@@ -1,0 +1,138 @@
+//! K-anonymity verification over released tables.
+//!
+//! Given a *published* table (post-generalization), the equivalence classes
+//! are recovered by grouping rows on the rendered quasi-identifier
+//! signature; k-anonymity holds when the smallest group has at least `k`
+//! members.
+
+use crate::error::{AnonError, Result};
+use crate::partition::Partition;
+use fred_data::Table;
+use std::collections::HashMap;
+
+/// Recovers the equivalence classes of a released table by grouping rows on
+/// their quasi-identifier signatures.
+pub fn classes_from_release(table: &Table) -> Result<Partition> {
+    let qi = table.schema().quasi_identifier_indices();
+    if qi.is_empty() {
+        return Err(AnonError::NoQuasiIdentifiers);
+    }
+    let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, row) in table.rows().iter().enumerate() {
+        let mut sig = String::new();
+        for &c in &qi {
+            sig.push_str(&row[c].to_string());
+            sig.push('\u{1f}'); // unit separator avoids accidental collisions
+        }
+        groups.entry(sig).or_default().push(i);
+    }
+    let mut classes: Vec<Vec<usize>> = groups.into_values().collect();
+    classes.sort_by_key(|c| *c.iter().min().expect("non-empty class"));
+    Partition::new(classes, table.len())
+}
+
+/// Whether the released table is k-anonymous with respect to its
+/// quasi-identifiers.
+pub fn is_k_anonymous(table: &Table, k: usize) -> Result<bool> {
+    if k == 0 {
+        return Err(AnonError::InvalidK(k));
+    }
+    if table.is_empty() {
+        return Ok(true);
+    }
+    Ok(classes_from_release(table)?.satisfies_k(k))
+}
+
+/// The largest `k` for which the released table is k-anonymous (its
+/// anonymity level). Empty tables report 0.
+pub fn anonymity_level(table: &Table) -> Result<usize> {
+    if table.is_empty() {
+        return Ok(0);
+    }
+    Ok(classes_from_release(table)?.min_class_size())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anonymizer::Anonymizer;
+    use crate::mdav::Mdav;
+    use crate::release::{build_release, QiStyle};
+    use fred_data::{Schema, Table, Value};
+
+    fn released_table() -> Table {
+        // Two classes: [5-10] and [1-5].
+        let schema = Schema::builder()
+            .identifier("Name")
+            .quasi_numeric("Vol")
+            .sensitive_numeric("Income")
+            .build()
+            .unwrap();
+        let iv_hi = Value::parse("[5-10]", fred_data::ValueKind::Interval).unwrap();
+        let iv_lo = Value::parse("[1-5]", fred_data::ValueKind::Interval).unwrap();
+        Table::with_rows(
+            schema,
+            vec![
+                vec![Value::Text("a".into()), iv_hi.clone(), Value::Missing],
+                vec![Value::Text("b".into()), iv_lo.clone(), Value::Missing],
+                vec![Value::Text("c".into()), iv_hi, Value::Missing],
+                vec![Value::Text("d".into()), iv_lo, Value::Missing],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn groups_by_qi_signature() {
+        let t = released_table();
+        let p = classes_from_release(&t).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.satisfies_k(2));
+        let class_of = p.class_of_rows();
+        assert_eq!(class_of[0], class_of[2]);
+        assert_eq!(class_of[1], class_of[3]);
+        assert_ne!(class_of[0], class_of[1]);
+    }
+
+    #[test]
+    fn k_anonymity_checks() {
+        let t = released_table();
+        assert!(is_k_anonymous(&t, 2).unwrap());
+        assert!(!is_k_anonymous(&t, 3).unwrap());
+        assert_eq!(anonymity_level(&t).unwrap(), 2);
+        assert!(is_k_anonymous(&t, 0).is_err());
+    }
+
+    #[test]
+    fn empty_table_is_vacuously_anonymous() {
+        let schema = Schema::builder().quasi_numeric("x").build().unwrap();
+        let t = Table::new(schema);
+        assert!(is_k_anonymous(&t, 5).unwrap());
+        assert_eq!(anonymity_level(&t).unwrap(), 0);
+    }
+
+    #[test]
+    fn mdav_release_verifies_k_anonymous() {
+        let schema = Schema::builder()
+            .quasi_numeric("x")
+            .quasi_numeric("y")
+            .sensitive_numeric("s")
+            .build()
+            .unwrap();
+        let rows: Vec<Vec<Value>> = (0..20)
+            .map(|i| {
+                vec![
+                    Value::Float(i as f64),
+                    Value::Float((i * i % 13) as f64),
+                    Value::Float(1000.0 + i as f64),
+                ]
+            })
+            .collect();
+        let t = Table::with_rows(schema, rows).unwrap();
+        for k in [2usize, 3, 5] {
+            let p = Mdav::new().partition(&t, k).unwrap();
+            let rel = build_release(&t, &p, k, QiStyle::Range).unwrap();
+            assert!(is_k_anonymous(&rel.table, k).unwrap(), "k={k}");
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Equivalence-class partitions of a table's rows.
+//!
+//! Every partitioning anonymizer in this crate (MDAV, Mondrian, full-domain
+//! generalization) produces a [`Partition`]: a set of disjoint equivalence
+//! classes covering all row indices. Releases, privacy checks and the
+//! discernibility metric all consume partitions.
+
+use crate::error::{AnonError, Result};
+use fred_data::Table;
+
+/// One equivalence class: the indices of the rows it contains.
+pub type EquivalenceClass = Vec<usize>;
+
+/// A partition of `0..n` row indices into disjoint equivalence classes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    classes: Vec<EquivalenceClass>,
+    n_rows: usize,
+}
+
+impl Partition {
+    /// Builds a partition after validating that the classes are non-empty,
+    /// disjoint and cover exactly `0..n_rows`.
+    pub fn new(classes: Vec<EquivalenceClass>, n_rows: usize) -> Result<Self> {
+        let mut seen = vec![false; n_rows];
+        let mut covered = 0usize;
+        for (ci, class) in classes.iter().enumerate() {
+            if class.is_empty() {
+                return Err(AnonError::InvalidPartition(format!("class {ci} is empty")));
+            }
+            for &row in class {
+                if row >= n_rows {
+                    return Err(AnonError::InvalidPartition(format!(
+                        "class {ci} references row {row} beyond table of {n_rows}"
+                    )));
+                }
+                if seen[row] {
+                    return Err(AnonError::InvalidPartition(format!(
+                        "row {row} appears in more than one class"
+                    )));
+                }
+                seen[row] = true;
+                covered += 1;
+            }
+        }
+        if covered != n_rows {
+            return Err(AnonError::InvalidPartition(format!(
+                "classes cover {covered} of {n_rows} rows"
+            )));
+        }
+        Ok(Partition { classes, n_rows })
+    }
+
+    /// The single-class partition (everything indistinguishable).
+    pub fn single(n_rows: usize) -> Self {
+        Partition { classes: vec![(0..n_rows).collect()], n_rows }
+    }
+
+    /// The identity partition (every row its own class, i.e. no anonymity).
+    pub fn identity(n_rows: usize) -> Self {
+        Partition {
+            classes: (0..n_rows).map(|i| vec![i]).collect(),
+            n_rows,
+        }
+    }
+
+    /// Number of rows covered.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// The equivalence classes.
+    pub fn classes(&self) -> &[EquivalenceClass] {
+        &self.classes
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether there are no classes (only true for empty tables).
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Size of the smallest class; `0` for an empty partition.
+    pub fn min_class_size(&self) -> usize {
+        self.classes.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Size of the largest class; `0` for an empty partition.
+    pub fn max_class_size(&self) -> usize {
+        self.classes.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Average class size; `0.0` for an empty partition.
+    pub fn mean_class_size(&self) -> f64 {
+        if self.classes.is_empty() {
+            0.0
+        } else {
+            self.n_rows as f64 / self.classes.len() as f64
+        }
+    }
+
+    /// Whether every class holds at least `k` rows (the structural
+    /// k-anonymity requirement).
+    pub fn satisfies_k(&self, k: usize) -> bool {
+        self.min_class_size() >= k
+    }
+
+    /// Map from row index to the index of its class.
+    pub fn class_of_rows(&self) -> Vec<usize> {
+        let mut out = vec![0usize; self.n_rows];
+        for (ci, class) in self.classes.iter().enumerate() {
+            for &row in class {
+                out[row] = ci;
+            }
+        }
+        out
+    }
+
+    /// Per-class numeric centroids over the given columns.
+    pub fn centroids(&self, table: &Table, cols: &[usize]) -> Result<Vec<Vec<f64>>> {
+        let matrix = table.numeric_matrix(cols)?;
+        let mut out = Vec::with_capacity(self.classes.len());
+        for class in &self.classes {
+            let mut centroid = vec![0.0; cols.len()];
+            for &row in class {
+                for (c, v) in matrix[row].iter().enumerate() {
+                    centroid[c] += v;
+                }
+            }
+            for v in &mut centroid {
+                *v /= class.len() as f64;
+            }
+            out.push(centroid);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_accepts_proper_partition() {
+        let p = Partition::new(vec![vec![0, 2], vec![1, 3]], 4).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.min_class_size(), 2);
+        assert!(p.satisfies_k(2));
+        assert!(!p.satisfies_k(3));
+    }
+
+    #[test]
+    fn validation_rejects_gaps_overlaps_and_empties() {
+        assert!(matches!(
+            Partition::new(vec![vec![0], vec![0, 1]], 2),
+            Err(AnonError::InvalidPartition(_))
+        ));
+        assert!(matches!(
+            Partition::new(vec![vec![0]], 2),
+            Err(AnonError::InvalidPartition(_))
+        ));
+        assert!(matches!(
+            Partition::new(vec![vec![0, 1], vec![]], 2),
+            Err(AnonError::InvalidPartition(_))
+        ));
+        assert!(matches!(
+            Partition::new(vec![vec![0, 5]], 2),
+            Err(AnonError::InvalidPartition(_))
+        ));
+    }
+
+    #[test]
+    fn canonical_partitions() {
+        let single = Partition::single(4);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single.max_class_size(), 4);
+        let id = Partition::identity(4);
+        assert_eq!(id.len(), 4);
+        assert_eq!(id.max_class_size(), 1);
+        assert!(id.satisfies_k(1));
+        assert!(!id.satisfies_k(2));
+    }
+
+    #[test]
+    fn class_of_rows_inverts_classes() {
+        let p = Partition::new(vec![vec![0, 3], vec![1, 2]], 4).unwrap();
+        assert_eq!(p.class_of_rows(), vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn mean_class_size() {
+        let p = Partition::new(vec![vec![0, 1, 2], vec![3]], 4).unwrap();
+        assert_eq!(p.mean_class_size(), 2.0);
+        assert_eq!(Partition::new(vec![], 0).unwrap().mean_class_size(), 0.0);
+    }
+
+    #[test]
+    fn centroids() {
+        use fred_data::{Schema, Table, Value};
+        let schema = Schema::builder()
+            .quasi_numeric("a")
+            .quasi_numeric("b")
+            .build()
+            .unwrap();
+        let table = Table::with_rows(
+            schema,
+            vec![
+                vec![Value::Float(0.0), Value::Float(0.0)],
+                vec![Value::Float(2.0), Value::Float(4.0)],
+                vec![Value::Float(10.0), Value::Float(10.0)],
+            ],
+        )
+        .unwrap();
+        let p = Partition::new(vec![vec![0, 1], vec![2]], 3).unwrap();
+        let c = p.centroids(&table, &[0, 1]).unwrap();
+        assert_eq!(c, vec![vec![1.0, 2.0], vec![10.0, 10.0]]);
+    }
+}

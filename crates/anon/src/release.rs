@@ -1,0 +1,224 @@
+//! Construction of anonymized releases (paper Table III).
+//!
+//! A release keeps identifiers verbatim (the enterprise requirement that
+//! enables the attack), rewrites each quasi-identifier cell with a
+//! class-level summary, and suppresses every sensitive cell.
+
+use crate::error::Result;
+use crate::partition::Partition;
+use fred_data::{Interval, Table, Value};
+
+/// How quasi-identifier cells are summarized within an equivalence class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QiStyle {
+    /// Publish the covering range `[min-max]` (presentation used by the
+    /// paper's Table III).
+    Range,
+    /// Publish the class centroid (classic microaggregation output).
+    Centroid,
+}
+
+/// An anonymized release: the rewritten table plus the partition that
+/// produced it and the level (`k`) it was built for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Release {
+    /// The published table.
+    pub table: Table,
+    /// Equivalence classes over the original row indices (row order is
+    /// preserved by construction).
+    pub partition: Partition,
+    /// Anonymization level used.
+    pub k: usize,
+    /// Quasi-identifier summarization style.
+    pub style: QiStyle,
+}
+
+/// Builds an anonymized release from a table and a partition of its rows.
+///
+/// * identifier and insensitive columns pass through unchanged;
+/// * numeric quasi-identifier cells become the class [`Interval`]
+///   ([`QiStyle::Range`]) or class mean ([`QiStyle::Centroid`]);
+/// * categorical quasi-identifier cells become the class value when the
+///   class agrees, otherwise the sorted distinct values joined with `|`;
+/// * sensitive cells are suppressed to [`Value::Missing`].
+pub fn build_release(table: &Table, partition: &Partition, k: usize, style: QiStyle) -> Result<Release> {
+    let qi_cols = table.quasi_identifier_columns();
+    let sens_cols = table.sensitive_columns();
+    let class_of = partition.class_of_rows();
+
+    // Precompute per-class, per-QI summaries.
+    let mut summaries: Vec<Vec<Value>> = Vec::with_capacity(partition.len());
+    for class in partition.classes() {
+        let mut per_col = Vec::with_capacity(qi_cols.len());
+        for &c in &qi_cols {
+            per_col.push(summarize_class(table, class, c, style));
+        }
+        summaries.push(per_col);
+    }
+
+    let mut out = table.clone();
+    for (row_idx, _) in table.rows().iter().enumerate() {
+        let class_idx = class_of[row_idx];
+        for (qi_pos, &c) in qi_cols.iter().enumerate() {
+            out.set_cell(row_idx, c, summaries[class_idx][qi_pos].clone())?;
+        }
+        for &c in &sens_cols {
+            out.set_cell(row_idx, c, Value::Missing)?;
+        }
+    }
+    Ok(Release { table: out, partition: partition.clone(), k, style })
+}
+
+fn summarize_class(table: &Table, class: &[usize], col: usize, style: QiStyle) -> Value {
+    // Numeric path: all members numeric-viewable.
+    let numeric: Option<Vec<f64>> = class
+        .iter()
+        .map(|&r| table.cell(r, col).and_then(Value::as_f64))
+        .collect();
+    if let Some(xs) = numeric {
+        return match style {
+            QiStyle::Range => match Interval::cover(&xs) {
+                Some(iv) => Value::Interval(iv),
+                None => Value::Missing,
+            },
+            QiStyle::Centroid => {
+                Value::Float(xs.iter().sum::<f64>() / xs.len() as f64)
+            }
+        };
+    }
+    // Categorical path: distinct sorted values.
+    let mut labels: Vec<String> = class
+        .iter()
+        .filter_map(|&r| table.cell(r, col).and_then(Value::as_str).map(str::to_owned))
+        .collect();
+    labels.sort();
+    labels.dedup();
+    match labels.len() {
+        0 => Value::Missing,
+        1 => Value::Categorical(labels.pop().expect("len checked")),
+        _ => Value::Categorical(labels.join("|")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anonymizer::Anonymizer;
+    use crate::mdav::Mdav;
+    use fred_data::{Schema, Table, Value};
+
+    fn customer_table() -> Table {
+        let schema = Schema::builder()
+            .identifier("Name")
+            .quasi_numeric("InvstVol")
+            .quasi_numeric("InvstAmt")
+            .quasi_numeric("Valuation")
+            .sensitive_numeric("Income")
+            .build()
+            .unwrap();
+        let rows = [
+            ("Alice", 8.0, 7.0, 4.0, 91_250.0),
+            ("Bob", 5.0, 4.0, 4.0, 74_340.0),
+            ("Christine", 4.0, 5.0, 5.0, 75_123.0),
+            ("Robert", 9.0, 8.0, 9.0, 98_230.0),
+        ];
+        Table::with_rows(
+            schema,
+            rows.iter()
+                .map(|&(n, v, a, val, inc)| {
+                    vec![
+                        Value::Text(n.into()),
+                        Value::Float(v),
+                        Value::Float(a),
+                        Value::Float(val),
+                        Value::Float(inc),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn release_keeps_identifiers_and_suppresses_sensitive() {
+        let t = customer_table();
+        let p = Mdav::new().partition(&t, 2).unwrap();
+        let rel = build_release(&t, &p, 2, QiStyle::Range).unwrap();
+        assert_eq!(
+            rel.table.identifier_strings(),
+            vec!["Alice", "Bob", "Christine", "Robert"]
+        );
+        assert!(rel.table.column(4).all(Value::is_missing));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn range_style_publishes_covering_intervals() {
+        let t = customer_table();
+        let p = Mdav::new().partition(&t, 2).unwrap();
+        let rel = build_release(&t, &p, 2, QiStyle::Range).unwrap();
+        // Every QI cell is an interval containing the original value.
+        for (r, row) in t.rows().iter().enumerate() {
+            for c in 1..=3 {
+                let published = rel.table.cell(r, c).unwrap();
+                let iv = published.as_interval().expect("interval");
+                let original = row[c].as_f64().unwrap();
+                assert!(
+                    iv.contains(original),
+                    "row {r} col {c}: {iv:?} does not contain {original}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn centroid_style_publishes_class_means() {
+        let t = customer_table();
+        let p = crate::partition::Partition::new(vec![vec![0, 3], vec![1, 2]], 4).unwrap();
+        let rel = build_release(&t, &p, 2, QiStyle::Centroid).unwrap();
+        // Alice & Robert share centroid (8.5, 7.5, 6.5).
+        assert_eq!(rel.table.cell(0, 1).unwrap().as_f64(), Some(8.5));
+        assert_eq!(rel.table.cell(3, 1).unwrap().as_f64(), Some(8.5));
+        assert_eq!(rel.table.cell(0, 3).unwrap().as_f64(), Some(6.5));
+        // Bob & Christine share centroid (4.5, 4.5, 4.5).
+        assert_eq!(rel.table.cell(1, 2).unwrap().as_f64(), Some(4.5));
+    }
+
+    #[test]
+    fn rows_in_same_class_publish_identical_qi_cells() {
+        let t = customer_table();
+        let p = Mdav::new().partition(&t, 2).unwrap();
+        let rel = build_release(&t, &p, 2, QiStyle::Range).unwrap();
+        for class in rel.partition.classes() {
+            for c in 1..=3 {
+                let first = rel.table.cell(class[0], c).unwrap();
+                for &r in class {
+                    assert_eq!(rel.table.cell(r, c).unwrap(), first);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn categorical_qi_summarization() {
+        let schema = Schema::builder()
+            .quasi_categorical("Country")
+            .sensitive_numeric("Salary")
+            .build()
+            .unwrap();
+        let t = Table::with_rows(
+            schema,
+            vec![
+                vec![Value::Categorical("FR".into()), Value::Float(1.0)],
+                vec![Value::Categorical("DE".into()), Value::Float(2.0)],
+                vec![Value::Categorical("FR".into()), Value::Float(3.0)],
+                vec![Value::Categorical("FR".into()), Value::Float(4.0)],
+            ],
+        )
+        .unwrap();
+        let p = crate::partition::Partition::new(vec![vec![0, 1], vec![2, 3]], 4).unwrap();
+        let rel = build_release(&t, &p, 2, QiStyle::Range).unwrap();
+        assert_eq!(rel.table.cell(0, 0).unwrap().as_str(), Some("DE|FR"));
+        assert_eq!(rel.table.cell(2, 0).unwrap().as_str(), Some("FR"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Errors for the attack crate.
+
+use std::fmt;
+
+/// Errors produced by the attack pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackError {
+    /// Underlying data error.
+    Data(fred_data::DataError),
+    /// Underlying fuzzy-engine error.
+    Fuzzy(fred_fuzzy::FuzzyError),
+    /// The release has no identifier column to harvest with.
+    NoIdentifiers,
+    /// The release declares no quasi-identifier inputs.
+    NoInputs,
+    /// The fusion system was configured with an empty income range.
+    InvalidIncomeRange {
+        /// Lower bound supplied.
+        lo: f64,
+        /// Upper bound supplied.
+        hi: f64,
+    },
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::Data(e) => write!(f, "data error: {e}"),
+            AttackError::Fuzzy(e) => write!(f, "fuzzy error: {e}"),
+            AttackError::NoIdentifiers => write!(f, "release carries no identifier column"),
+            AttackError::NoInputs => write!(f, "release carries no quasi-identifier inputs"),
+            AttackError::InvalidIncomeRange { lo, hi } => {
+                write!(f, "invalid income range [{lo}, {hi}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Data(e) => Some(e),
+            AttackError::Fuzzy(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fred_data::DataError> for AttackError {
+    fn from(e: fred_data::DataError) -> Self {
+        AttackError::Data(e)
+    }
+}
+
+impl From<fred_fuzzy::FuzzyError> for AttackError {
+    fn from(e: fred_fuzzy::FuzzyError) -> Self {
+        AttackError::Fuzzy(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, AttackError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: AttackError = fred_data::DataError::EmptyTable.into();
+        assert!(e.to_string().contains("data error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: AttackError = fred_fuzzy::FuzzyError::NoRules.into();
+        assert!(e.to_string().contains("fuzzy error"));
+        assert!(AttackError::NoIdentifiers.to_string().contains("identifier"));
+    }
+}

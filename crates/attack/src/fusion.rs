@@ -1,0 +1,501 @@
+//! Information fusion: estimating the suppressed sensitive attribute from
+//! the anonymized release plus harvested auxiliary data.
+//!
+//! [`FuzzyFusion`] is the paper's system F (Figure 2): a Mamdani fuzzy
+//! inference system whose inputs are the release quasi-identifiers (read at
+//! interval midpoints) and the web-derived Employment and Property
+//! variables, with a "simplistic set of knowledge rules" at uniform
+//! weights mapping each input's Low/Med/High terms to the income classes.
+
+use fred_data::Table;
+use fred_fuzzy::{FuzzyEngine, LinguisticVariable};
+use fred_web::AuxRecord;
+use std::collections::HashMap;
+
+use crate::error::{AttackError, Result};
+
+/// Anything that can estimate the sensitive attribute per release row.
+pub trait FusionSystem {
+    /// Short name for reports and benches.
+    fn name(&self) -> &'static str;
+
+    /// Estimates the sensitive value for every release row. `aux[i]` is the
+    /// harvested auxiliary record for row `i` (or `None`).
+    fn estimate(&self, release: &Table, aux: &[Option<AuxRecord>]) -> Result<Vec<f64>>;
+}
+
+/// One numeric input to the fusion system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct InputSpec {
+    /// Universe of discourse.
+    lo: f64,
+    hi: f64,
+}
+
+/// Names of the auxiliary fuzzy inputs.
+const EMPLOYMENT: &str = "employment";
+const PROPERTY: &str = "property";
+
+/// The linguistic scale shared by every fusion variable. Five classes give
+/// the finer within-class resolution the paper's example exercises when the
+/// adversary narrows "High" down to its upper sub-range.
+const TERMS: &[&str] = &["very-low", "low", "med", "high", "very-high"];
+
+/// Configuration of [`FuzzyFusion`].
+#[derive(Debug, Clone)]
+pub struct FuzzyFusionConfig {
+    /// The adversary's domain knowledge of the income range (the paper's
+    /// `[$40000 - $100000]`-style classes are derived from it).
+    pub income_range: (f64, f64),
+    /// Universe for release quasi-identifier scores.
+    pub qi_range: (f64, f64),
+    /// Universe for the employment seniority level.
+    pub employment_range: (f64, f64),
+    /// Universe for property holdings (sq ft).
+    pub property_range: (f64, f64),
+    /// Include the auxiliary inputs. Disabling them yields the
+    /// "before information fusion" estimator of paper Figure 4 (the best
+    /// the adversary can do from the release alone).
+    pub use_auxiliary: bool,
+}
+
+impl Default for FuzzyFusionConfig {
+    fn default() -> Self {
+        FuzzyFusionConfig {
+            income_range: (40_000.0, 160_000.0),
+            qi_range: (1.0, 10.0),
+            employment_range: (1.0, 4.0),
+            // Calibrated so positions on the property scale line up with
+            // positions on the income scale under the adversary's rule of
+            // thumb "about 25 dollars of income per square foot".
+            property_range: (1_600.0, 6_400.0),
+            use_auxiliary: true,
+        }
+    }
+}
+
+/// The paper's fuzzy information-fusion system.
+#[derive(Debug, Clone)]
+pub struct FuzzyFusion {
+    config: FuzzyFusionConfig,
+}
+
+impl FuzzyFusion {
+    /// Creates the fusion system.
+    pub fn new(config: FuzzyFusionConfig) -> Result<Self> {
+        let (lo, hi) = config.income_range;
+        // `!(..)` deliberately rejects NaN ranges as invalid.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(lo < hi) {
+            return Err(AttackError::InvalidIncomeRange { lo, hi });
+        }
+        Ok(FuzzyFusion { config })
+    }
+
+    /// Release-only variant (paper's "before fusion" baseline).
+    pub fn release_only() -> Self {
+        FuzzyFusion {
+            config: FuzzyFusionConfig { use_auxiliary: false, ..FuzzyFusionConfig::default() },
+        }
+    }
+
+    /// Builds the engine for a specific set of available inputs.
+    ///
+    /// Every input contributes one single-antecedent rule per income class
+    /// (`IF x IS low THEN income IS low`, ...) — the "simplistic set of
+    /// knowledge rules" with "uniform weights" of paper Section VI-A: every
+    /// input gets the same total weight (`1/n_inputs`), so the engine is a
+    /// Kosko-style standard additive model in which the inputs *vote* on
+    /// the income class and the centroid blends the votes. (Plain
+    /// max-aggregation would instead let a single outlier vote dominate.)
+    fn build_engine(&self, inputs: &[(String, InputSpec)]) -> Result<FuzzyEngine> {
+        use fred_fuzzy::{
+            Aggregation, Antecedent, Defuzzifier, EngineConfig, Implication, Rule,
+        };
+        let mut vars = Vec::with_capacity(inputs.len());
+        for (name, spec) in inputs {
+            vars.push(
+                LinguisticVariable::new(name.clone(), spec.lo, spec.hi)
+                    .map_err(AttackError::Fuzzy)?
+                    .with_uniform_terms(TERMS)
+                    .map_err(AttackError::Fuzzy)?,
+            );
+        }
+        let (ilo, ihi) = self.config.income_range;
+        let income = LinguisticVariable::new("income", ilo, ihi)
+            .map_err(AttackError::Fuzzy)?
+            .with_uniform_terms(TERMS)
+            .map_err(AttackError::Fuzzy)?;
+        let mut engine = FuzzyEngine::new(vars, income).with_config(EngineConfig {
+            implication: Implication::Product,
+            aggregation: Aggregation::BoundedSum,
+            defuzzifier: Defuzzifier::Centroid,
+            ..EngineConfig::default()
+        });
+        let weight = 1.0 / inputs.len() as f64;
+        for (name, _) in inputs {
+            for term in TERMS {
+                let rule = Rule::new(Antecedent::is(name.clone(), *term), *term)
+                    .with_weight(weight)
+                    .map_err(AttackError::Fuzzy)?;
+                engine.add_rule(rule).map_err(AttackError::Fuzzy)?;
+            }
+        }
+        Ok(engine)
+    }
+
+    /// The quasi-identifier input specs for a release table.
+    fn qi_inputs(&self, release: &Table) -> Result<Vec<(usize, String, InputSpec)>> {
+        let qi = release.quasi_identifier_columns();
+        if qi.is_empty() {
+            return Err(AttackError::NoInputs);
+        }
+        let (lo, hi) = self.config.qi_range;
+        Ok(qi
+            .into_iter()
+            .map(|c| {
+                let name = release
+                    .schema()
+                    .attribute(c)
+                    .map(|a| a.name().to_lowercase().replace(' ', "_"))
+                    .unwrap_or_else(|_| format!("qi{c}"));
+                (c, name, InputSpec { lo, hi })
+            })
+            .collect())
+    }
+}
+
+impl FusionSystem for FuzzyFusion {
+    fn name(&self) -> &'static str {
+        if self.config.use_auxiliary {
+            "fuzzy-fusion"
+        } else {
+            "fuzzy-release-only"
+        }
+    }
+
+    fn estimate(&self, release: &Table, aux: &[Option<AuxRecord>]) -> Result<Vec<f64>> {
+        let qi_inputs = self.qi_inputs(release)?;
+        let (elo, ehi) = self.config.employment_range;
+        let (plo, phi) = self.config.property_range;
+
+        // Engines are cached per availability mask: bit 0 = employment
+        // present, bit 1 = property present (release QIs are always
+        // available). Only up to four engines are ever built per release.
+        let mut engines: HashMap<u8, FuzzyEngine> = HashMap::new();
+        let mut out = Vec::with_capacity(release.len());
+        for (row_idx, row) in release.rows().iter().enumerate() {
+            let record = aux.get(row_idx).and_then(|r| r.as_ref());
+            let employment = if self.config.use_auxiliary {
+                record.and_then(|r| r.seniority_level).map(f64::from)
+            } else {
+                None
+            };
+            let property = if self.config.use_auxiliary {
+                record.and_then(|r| r.property_sqft)
+            } else {
+                None
+            };
+            let mask = u8::from(employment.is_some()) | (u8::from(property.is_some()) << 1);
+            if let std::collections::hash_map::Entry::Vacant(e) = engines.entry(mask) {
+                let mut inputs: Vec<(String, InputSpec)> = qi_inputs
+                    .iter()
+                    .map(|(_, name, spec)| (name.clone(), *spec))
+                    .collect();
+                if employment.is_some() {
+                    inputs.push((EMPLOYMENT.to_string(), InputSpec { lo: elo, hi: ehi }));
+                }
+                if property.is_some() {
+                    inputs.push((PROPERTY.to_string(), InputSpec { lo: plo, hi: phi }));
+                }
+                e.insert(self.build_engine(&inputs)?);
+            }
+            let engine = engines.get(&mask).expect("inserted above");
+
+            let mut values: HashMap<&str, f64> = HashMap::new();
+            for (col, name, _) in &qi_inputs {
+                // Interval cells read at their midpoint; missing cells read
+                // at the universe centre (uninformative).
+                let x = row[*col]
+                    .as_f64()
+                    .unwrap_or((self.config.qi_range.0 + self.config.qi_range.1) / 2.0);
+                values.insert(name.as_str(), x);
+            }
+            if let Some(e) = employment {
+                values.insert(EMPLOYMENT, e);
+            }
+            if let Some(p) = property {
+                values.insert(PROPERTY, p);
+            }
+            out.push(engine.evaluate(&values).map_err(AttackError::Fuzzy)?);
+        }
+        Ok(out)
+    }
+}
+
+/// A domain-calibrated linear fusion baseline: normalizes every available
+/// input into `[0, 1]`, averages them, and maps the blend linearly into the
+/// income range. No training data — pure domain knowledge, like the fuzzy
+/// system, but without inference machinery. Used in ablation benches.
+#[derive(Debug, Clone)]
+pub struct LinearFusion {
+    config: FuzzyFusionConfig,
+}
+
+impl LinearFusion {
+    /// Creates the baseline with the same domain knowledge as
+    /// [`FuzzyFusion`].
+    pub fn new(config: FuzzyFusionConfig) -> Result<Self> {
+        let (lo, hi) = config.income_range;
+        // `!(..)` deliberately rejects NaN ranges as invalid.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(lo < hi) {
+            return Err(AttackError::InvalidIncomeRange { lo, hi });
+        }
+        Ok(LinearFusion { config })
+    }
+}
+
+impl FusionSystem for LinearFusion {
+    fn name(&self) -> &'static str {
+        "linear-fusion"
+    }
+
+    fn estimate(&self, release: &Table, aux: &[Option<AuxRecord>]) -> Result<Vec<f64>> {
+        let qi = release.quasi_identifier_columns();
+        if qi.is_empty() {
+            return Err(AttackError::NoInputs);
+        }
+        let (qlo, qhi) = self.config.qi_range;
+        let (elo, ehi) = self.config.employment_range;
+        let (plo, phi) = self.config.property_range;
+        let (ilo, ihi) = self.config.income_range;
+        let norm = |x: f64, lo: f64, hi: f64| ((x - lo) / (hi - lo)).clamp(0.0, 1.0);
+        let mut out = Vec::with_capacity(release.len());
+        for (row_idx, row) in release.rows().iter().enumerate() {
+            let mut parts = Vec::new();
+            for &c in &qi {
+                if let Some(x) = row[c].as_f64() {
+                    parts.push(norm(x, qlo, qhi));
+                }
+            }
+            if self.config.use_auxiliary {
+                if let Some(r) = aux.get(row_idx).and_then(|r| r.as_ref()) {
+                    if let Some(e) = r.seniority_level {
+                        parts.push(norm(f64::from(e), elo, ehi));
+                    }
+                    if let Some(p) = r.property_sqft {
+                        parts.push(norm(p, plo, phi));
+                    }
+                }
+            }
+            let blend = if parts.is_empty() {
+                0.5
+            } else {
+                parts.iter().sum::<f64>() / parts.len() as f64
+            };
+            out.push(ilo + blend * (ihi - ilo));
+        }
+        Ok(out)
+    }
+}
+
+/// The trivial baseline: every record is estimated at the centre of the
+/// adversary's assumed income range (no release signal, no web signal).
+/// The weakest possible adversary; used as the floor in ablation benches.
+#[derive(Debug, Clone)]
+pub struct MidpointEstimator {
+    /// Assumed income range.
+    pub income_range: (f64, f64),
+}
+
+impl Default for MidpointEstimator {
+    fn default() -> Self {
+        MidpointEstimator { income_range: FuzzyFusionConfig::default().income_range }
+    }
+}
+
+impl FusionSystem for MidpointEstimator {
+    fn name(&self) -> &'static str {
+        "midpoint"
+    }
+
+    fn estimate(&self, release: &Table, _aux: &[Option<AuxRecord>]) -> Result<Vec<f64>> {
+        let mid = (self.income_range.0 + self.income_range.1) / 2.0;
+        Ok(vec![mid; release.len()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fred_data::{Interval, Schema, Table, Value};
+    use fred_web::AuxRecord;
+
+    fn release_with_valuations(vals: &[f64]) -> Table {
+        let schema = Schema::builder()
+            .identifier("Name")
+            .quasi_numeric("Valuation")
+            .sensitive_numeric("Income")
+            .build()
+            .unwrap();
+        Table::with_rows(
+            schema,
+            vals.iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    vec![
+                        Value::Text(format!("p{i}")),
+                        Value::Float(v),
+                        Value::Missing,
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn aux(seniority: Option<u8>, sqft: Option<f64>) -> Option<AuxRecord> {
+        Some(AuxRecord {
+            page_id: 0,
+            name: "p".into(),
+            title: None,
+            employer: None,
+            seniority_level: seniority,
+            property_sqft: sqft,
+        })
+    }
+
+    #[test]
+    fn higher_valuation_means_higher_estimate() {
+        let release = release_with_valuations(&[1.0, 5.5, 10.0]);
+        let fusion = FuzzyFusion::release_only();
+        let est = fusion.estimate(&release, &[None, None, None]).unwrap();
+        assert!(est[0] < est[1] && est[1] < est[2], "{est:?}");
+    }
+
+    #[test]
+    fn auxiliary_data_sharpens_extremes() {
+        // Identical (uninformative) release values; aux separates them.
+        let release = release_with_valuations(&[5.5, 5.5]);
+        let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+        let aux_records = vec![aux(Some(4), Some(5_500.0)), aux(Some(1), Some(600.0))];
+        let est = fusion.estimate(&release, &aux_records).unwrap();
+        assert!(est[0] > est[1] + 10_000.0, "{est:?}");
+    }
+
+    #[test]
+    fn release_only_ignores_auxiliary() {
+        let release = release_with_valuations(&[5.0, 5.0]);
+        let fusion = FuzzyFusion::release_only();
+        let with_aux = fusion
+            .estimate(&release, &[aux(Some(4), Some(6_000.0)), aux(Some(1), Some(500.0))])
+            .unwrap();
+        assert!((with_aux[0] - with_aux[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_cells_read_at_midpoint() {
+        let schema = Schema::builder()
+            .identifier("Name")
+            .quasi_numeric("Valuation")
+            .sensitive_numeric("Income")
+            .build()
+            .unwrap();
+        let release = Table::with_rows(
+            schema,
+            vec![vec![
+                Value::Text("p".into()),
+                Value::Interval(Interval::new(8.0, 10.0).unwrap()),
+                Value::Missing,
+            ]],
+        )
+        .unwrap();
+        let fusion = FuzzyFusion::release_only();
+        let est = fusion.estimate(&release, &[None]).unwrap();
+        // Midpoint 9.0 is firmly "high".
+        let flat = fusion
+            .estimate(&release_with_valuations(&[9.0]), &[None])
+            .unwrap();
+        assert!((est[0] - flat[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_aux_fields_fall_back_gracefully() {
+        let release = release_with_valuations(&[5.0]);
+        let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+        // Aux record with only property.
+        let est = fusion.estimate(&release, &[aux(None, Some(5_000.0))]).unwrap();
+        assert_eq!(est.len(), 1);
+        // Aux record with nothing useful behaves like no record.
+        let empty = fusion.estimate(&release, &[aux(None, None)]).unwrap();
+        let none = fusion.estimate(&release, &[None]).unwrap();
+        assert!((empty[0] - none[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimates_stay_in_income_range() {
+        let release = release_with_valuations(&[1.0, 3.0, 5.0, 7.0, 10.0]);
+        let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+        let aux_records = vec![
+            aux(Some(1), Some(300.0)),
+            aux(Some(2), None),
+            None,
+            aux(None, Some(6_500.0)),
+            aux(Some(4), Some(6_500.0)),
+        ];
+        for x in fusion.estimate(&release, &aux_records).unwrap() {
+            assert!((40_000.0..=160_000.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn invalid_income_range_rejected() {
+        let cfg = FuzzyFusionConfig { income_range: (5.0, 5.0), ..Default::default() };
+        assert!(FuzzyFusion::new(cfg.clone()).is_err());
+        assert!(LinearFusion::new(cfg).is_err());
+    }
+
+    #[test]
+    fn no_quasi_identifiers_rejected() {
+        let schema = Schema::builder().identifier("Name").build().unwrap();
+        let release = Table::with_rows(schema, vec![vec![Value::Text("p".into())]]).unwrap();
+        let fusion = FuzzyFusion::release_only();
+        assert!(matches!(
+            fusion.estimate(&release, &[None]),
+            Err(AttackError::NoInputs)
+        ));
+    }
+
+    #[test]
+    fn linear_fusion_monotone() {
+        let release = release_with_valuations(&[1.0, 5.0, 10.0]);
+        let fusion = LinearFusion::new(FuzzyFusionConfig::default()).unwrap();
+        let est = fusion.estimate(&release, &[None, None, None]).unwrap();
+        assert!(est[0] < est[1] && est[1] < est[2]);
+    }
+
+    #[test]
+    fn midpoint_estimator_is_constant() {
+        let release = release_with_valuations(&[1.0, 10.0]);
+        let est = MidpointEstimator::default()
+            .estimate(&release, &[None, None])
+            .unwrap();
+        assert_eq!(est[0], est[1]);
+        assert_eq!(est[0], 100_000.0);
+    }
+
+    #[test]
+    fn fusion_names() {
+        assert_eq!(FuzzyFusion::release_only().name(), "fuzzy-release-only");
+        assert_eq!(
+            FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap().name(),
+            "fuzzy-fusion"
+        );
+        assert_eq!(
+            LinearFusion::new(FuzzyFusionConfig::default()).unwrap().name(),
+            "linear-fusion"
+        );
+        assert_eq!(MidpointEstimator::default().name(), "midpoint");
+    }
+}

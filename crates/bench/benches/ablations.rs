@@ -1,0 +1,48 @@
+//! Benches for the ablation experiments (DESIGN.md §5): the design-choice
+//! comparisons that extend the paper's evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fred_bench::ablations::{
+    anonymizer_ablation, coverage_ablation, fusion_ablation, noise_ablation,
+};
+use fred_bench::{faculty_world, WorldConfig};
+use std::hint::black_box;
+
+fn small() -> WorldConfig {
+    WorldConfig { size: 60, ..WorldConfig::default() }
+}
+
+fn bench_ablation_a1(c: &mut Criterion) {
+    let world = faculty_world(&small());
+    c.bench_function("ablation_a1/anonymizer_swap_k3_6", |b| {
+        b.iter(|| black_box(anonymizer_ablation(&world, 3, 6)))
+    });
+}
+
+fn bench_ablation_a2(c: &mut Criterion) {
+    let world = faculty_world(&small());
+    c.bench_function("ablation_a2/fusion_swap_k3_5", |b| {
+        b.iter(|| black_box(fusion_ablation(&world, 3, 5)))
+    });
+}
+
+fn bench_ablation_a3(c: &mut Criterion) {
+    let cfg = small();
+    c.bench_function("ablation_a3/name_noise_two_points", |b| {
+        b.iter(|| black_box(noise_ablation(&cfg, 4, &[0.0, 2.0])))
+    });
+}
+
+fn bench_ablation_a4(c: &mut Criterion) {
+    let cfg = small();
+    c.bench_function("ablation_a4/coverage_two_points", |b| {
+        b.iter(|| black_box(coverage_ablation(&cfg, 4, &[0.3, 0.9])))
+    });
+}
+
+criterion_group! {
+    name = ablation_benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablation_a1, bench_ablation_a2, bench_ablation_a3, bench_ablation_a4
+}
+criterion_main!(ablation_benches);

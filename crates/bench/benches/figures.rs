@@ -1,0 +1,70 @@
+//! Criterion benches regenerating every figure of the paper's evaluation.
+//!
+//! Each bench times the exact code path the `repro` binary uses to print
+//! that figure, at a reduced world size so `cargo bench` completes in
+//! minutes. The printed series themselves come from `repro`; these benches
+//! measure the cost of regenerating them and guard against performance
+//! regressions in the pipeline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fred_bench::figures::{figure8, figure_sweep_with_range};
+use fred_bench::tables::{figure2_demo, render_all, table_iii};
+use fred_bench::{faculty_world, World, WorldConfig};
+use std::hint::black_box;
+
+fn bench_world() -> World {
+    faculty_world(&WorldConfig { size: 60, ..WorldConfig::default() })
+}
+
+/// Tables I-IV: the running example (anonymize Table II, render all).
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("tables_i_to_iv/render", |b| b.iter(|| black_box(render_all())));
+    c.bench_function("tables_i_to_iv/anonymize_table_ii", |b| {
+        b.iter(|| black_box(table_iii()))
+    });
+}
+
+/// Figure 2: one fused estimate through the full fuzzy system.
+fn bench_figure2(c: &mut Criterion) {
+    c.bench_function("figure2/fuzzy_fusion_walkthrough", |b| {
+        b.iter(|| black_box(figure2_demo()))
+    });
+}
+
+/// Figures 4-7 share one sweep; benched together and per-figure-series.
+fn bench_figures_4_to_7(c: &mut Criterion) {
+    let world = bench_world();
+    c.bench_function("figures_4_to_7/sweep_k2_8_n60", |b| {
+        b.iter(|| black_box(figure_sweep_with_range(&world, 2, 8)))
+    });
+    let report = figure_sweep_with_range(&world, 2, 8);
+    c.bench_function("figures_4_to_7/series_extraction", |b| {
+        b.iter_batched(
+            || report.clone(),
+            |r| {
+                black_box((
+                    r.before_series(),
+                    r.after_series(),
+                    r.gain_series(),
+                    r.utility_series(),
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Figure 8: threshold derivation + Algorithm 1 over the window.
+fn bench_figure8(c: &mut Criterion) {
+    let world = bench_world();
+    c.bench_function("figure8/fred_algorithm1_n60", |b| {
+        b.iter(|| black_box(figure8(&world, (4, 8))))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tables, bench_figure2, bench_figures_4_to_7, bench_figure8
+}
+criterion_main!(figures);

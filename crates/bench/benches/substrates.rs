@@ -1,0 +1,107 @@
+//! Micro-benches of the substrate algorithms: anonymizers, fuzzy
+//! inference, record linkage and the search engine. These are the pieces
+//! the figure pipelines spend their time in; tracking them separately
+//! makes regressions attributable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fred_anon::{build_release, Anonymizer, Mdav, Mondrian, QiStyle};
+use fred_bench::{faculty_world, WorldConfig};
+use fred_fuzzy::{FuzzyEngine, LinguisticVariable};
+use fred_linkage::{jaro_winkler, levenshtein, Linker, NameNormalizer};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn bench_anonymizers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("anonymizers");
+    for &n in &[100usize, 400] {
+        let world = faculty_world(&WorldConfig { size: n, ..WorldConfig::default() });
+        group.bench_with_input(BenchmarkId::new("mdav_k5", n), &world.table, |b, t| {
+            b.iter(|| black_box(Mdav::new().partition(t, 5).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("mondrian_k5", n), &world.table, |b, t| {
+            b.iter(|| black_box(Mondrian::new().partition(t, 5).unwrap()))
+        });
+        let partition = Mdav::new().partition(&world.table, 5).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("build_release_k5", n),
+            &(&world.table, &partition),
+            |b, (t, p)| b.iter(|| black_box(build_release(t, p, 5, QiStyle::Range).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_fuzzy(c: &mut Criterion) {
+    let service = LinguisticVariable::new("service", 0.0, 10.0)
+        .unwrap()
+        .with_uniform_terms(&["poor", "ok", "good", "great", "superb"])
+        .unwrap();
+    let food = LinguisticVariable::new("food", 0.0, 10.0)
+        .unwrap()
+        .with_uniform_terms(&["bad", "meh", "fine", "tasty", "divine"])
+        .unwrap();
+    let tip = LinguisticVariable::new("tip", 0.0, 30.0)
+        .unwrap()
+        .with_uniform_terms(&["t1", "t2", "t3", "t4", "t5"])
+        .unwrap();
+    let mut engine = FuzzyEngine::new(vec![service, food], tip);
+    for (vin, vout) in [
+        ("poor", "t1"),
+        ("ok", "t2"),
+        ("good", "t3"),
+        ("great", "t4"),
+        ("superb", "t5"),
+    ] {
+        engine
+            .add_rules_text(&format!("IF service IS {vin} THEN tip IS {vout}"))
+            .unwrap();
+    }
+    for (vin, vout) in [
+        ("bad", "t1"),
+        ("meh", "t2"),
+        ("fine", "t3"),
+        ("tasty", "t4"),
+        ("divine", "t5"),
+    ] {
+        engine
+            .add_rules_text(&format!("IF food IS {vin} THEN tip IS {vout}"))
+            .unwrap();
+    }
+    let inputs: HashMap<&str, f64> = [("service", 6.5), ("food", 3.2)].into_iter().collect();
+    c.bench_function("fuzzy/mamdani_eval_2in_10rules", |b| {
+        b.iter(|| black_box(engine.evaluate(&inputs).unwrap()))
+    });
+}
+
+fn bench_linkage(c: &mut Criterion) {
+    c.bench_function("linkage/levenshtein_10x10", |b| {
+        b.iter(|| black_box(levenshtein("washington", "wushington")))
+    });
+    c.bench_function("linkage/jaro_winkler", |b| {
+        b.iter(|| black_box(jaro_winkler("srivatsava ranjit", "ranjit srivatsava")))
+    });
+    let normalizer = NameNormalizer::new();
+    c.bench_function("linkage/normalize_name", |b| {
+        b.iter(|| black_box(normalizer.canonical("Dr. Robert K. Smith, Jr.")))
+    });
+    let world = faculty_world(&WorldConfig { size: 100, ..WorldConfig::default() });
+    let names: Vec<String> = world.people.iter().map(|p| p.name.clone()).collect();
+    let shuffled: Vec<String> = names.iter().rev().cloned().collect();
+    c.bench_function("linkage/link_100x100", |b| {
+        b.iter(|| black_box(Linker::new().link(&names, &shuffled)))
+    });
+}
+
+fn bench_search(c: &mut Criterion) {
+    let world = faculty_world(&WorldConfig { size: 200, ..WorldConfig::default() });
+    c.bench_function("web/search_name", |b| {
+        b.iter(|| black_box(world.web.search(&world.people[17].name, 8)))
+    });
+}
+
+criterion_group! {
+    name = substrates;
+    config = Criterion::default().sample_size(20);
+    targets = bench_anonymizers, bench_fuzzy, bench_linkage, bench_search
+}
+criterion_main!(substrates);

@@ -1,0 +1,288 @@
+//! Ablation experiments beyond the paper's own evaluation (DESIGN.md §5).
+//!
+//! * A1 — anonymizer ablation: Algorithm 1's `Basic_Anonymization` swapped
+//!   between MDAV, Mondrian, optimal-univariate and full-domain
+//!   generalization;
+//! * A2 — fusion ablation: fuzzy vs linear vs midpoint adversaries;
+//! * A3 — linkage ablation: attack strength as web name noise rises;
+//! * A4 — corpus-coverage sweep: attack strength vs web-presence rate;
+//! * A5 — publisher preference sweep: protection weight vs chosen k_opt;
+//! * A6 — l-diversity / t-closeness of categorical releases per k.
+
+use fred_anon::{
+    AttributeHierarchy, Anonymizer, FullDomain, Mdav, Mondrian, NumericHierarchy,
+    OptimalUnivariate, QiStyle,
+};
+use fred_attack::{
+    FusionSystem, FuzzyFusion, FuzzyFusionConfig, HarvestConfig, LinearFusion, MidpointEstimator,
+};
+use fred_core::{sweep, SweepConfig, SweepReport};
+
+use crate::world::{faculty_world, World, WorldConfig};
+
+/// One named series in an ablation result.
+#[derive(Debug, Clone)]
+pub struct AblationSeries {
+    /// Configuration label.
+    pub label: String,
+    /// The measured sweep.
+    pub report: SweepReport,
+}
+
+fn run_with(world: &World, anonymizer: &dyn Anonymizer, k_min: usize, k_max: usize) -> SweepReport {
+    let before = MidpointEstimator::default();
+    let after = FuzzyFusion::new(FuzzyFusionConfig::default()).expect("valid config");
+    sweep(
+        &world.table,
+        &world.web,
+        anonymizer,
+        &before,
+        &after,
+        &SweepConfig { k_min, k_max, style: QiStyle::Range, harvest: HarvestConfig::default() },
+    )
+    .expect("sweep on well-formed world")
+}
+
+/// A full-domain generalizer for the faculty schema (three 1-10 review
+/// scores).
+pub fn faculty_full_domain(n_scores: usize) -> FullDomain {
+    let hierarchy = NumericHierarchy::new(0.0, 1.0, 5).expect("static hierarchy");
+    FullDomain::new(
+        vec![AttributeHierarchy::Numeric(hierarchy); n_scores],
+        // Tolerate a few suppressed outliers, as Datafly does.
+        8,
+    )
+}
+
+/// A1: the same attack swept under four basic anonymizers.
+pub fn anonymizer_ablation(world: &World, k_min: usize, k_max: usize) -> Vec<AblationSeries> {
+    let mdav = run_with(world, &Mdav::new(), k_min, k_max);
+    let mondrian = run_with(world, &Mondrian::new(), k_min, k_max);
+    let optimal = run_with(world, &OptimalUnivariate::new(), k_min, k_max);
+    let full_domain = run_with(world, &faculty_full_domain(3), k_min, k_max);
+    vec![
+        AblationSeries { label: "mdav".into(), report: mdav },
+        AblationSeries { label: "mondrian".into(), report: mondrian },
+        AblationSeries { label: "optimal-1d".into(), report: optimal },
+        AblationSeries { label: "full-domain".into(), report: full_domain },
+    ]
+}
+
+/// A2: the attack with different fusion systems (adversary strength).
+pub fn fusion_ablation(world: &World, k_min: usize, k_max: usize) -> Vec<AblationSeries> {
+    let mk = |after: &dyn FusionSystem| {
+        sweep(
+            &world.table,
+            &world.web,
+            &Mdav::new(),
+            &MidpointEstimator::default(),
+            after,
+            &SweepConfig { k_min, k_max, style: QiStyle::Range, harvest: HarvestConfig::default() },
+        )
+        .expect("sweep on well-formed world")
+    };
+    let fuzzy = FuzzyFusion::new(FuzzyFusionConfig::default()).expect("valid");
+    let fuzzy_release_only = FuzzyFusion::release_only();
+    let linear = LinearFusion::new(FuzzyFusionConfig::default()).expect("valid");
+    vec![
+        AblationSeries { label: "fuzzy-fusion".into(), report: mk(&fuzzy) },
+        AblationSeries { label: "fuzzy-release-only".into(), report: mk(&fuzzy_release_only) },
+        AblationSeries { label: "linear-fusion".into(), report: mk(&linear) },
+    ]
+}
+
+/// A3: attack error (post-fusion dissimilarity at a fixed k) as the web
+/// name-noise scale rises. Returns `(noise_scale, dissim_after,
+/// aux_coverage)` triples.
+pub fn noise_ablation(base: &WorldConfig, k: usize, scales: &[f64]) -> Vec<(f64, f64, f64)> {
+    scales
+        .iter()
+        .map(|&s| {
+            let (d, c) = seed_averaged(base, k, |cfg| WorldConfig { name_noise: s, ..cfg });
+            (s, d, c)
+        })
+        .collect()
+}
+
+/// Runs the fixed-k sweep over three seeds and averages `(dissim_after,
+/// aux_coverage)` — single-seed harvests are noisy enough to invert small
+/// effects, so the dose-response ablations (A3, A4) smooth over seeds.
+fn seed_averaged(
+    base: &WorldConfig,
+    k: usize,
+    configure: impl Fn(WorldConfig) -> WorldConfig,
+) -> (f64, f64) {
+    let seeds = [base.seed, base.seed ^ 0x9E37, base.seed ^ 0x79B9];
+    let mut dissim = 0.0;
+    let mut coverage = 0.0;
+    for seed in seeds {
+        let world = faculty_world(&configure(WorldConfig { seed, ..base.clone() }));
+        let report = run_with(&world, &Mdav::new(), k, k);
+        let row = &report.rows()[0];
+        dissim += row.dissim_after;
+        coverage += row.aux_coverage;
+    }
+    (dissim / seeds.len() as f64, coverage / seeds.len() as f64)
+}
+
+/// A4: attack error at a fixed k as web-presence coverage falls. Returns
+/// `(presence_rate, dissim_after, aux_coverage)` triples.
+pub fn coverage_ablation(base: &WorldConfig, k: usize, rates: &[f64]) -> Vec<(f64, f64, f64)> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let (d, c) =
+                seed_averaged(base, k, |cfg| WorldConfig { web_presence_rate: rate, ..cfg });
+            (rate, d, c)
+        })
+        .collect()
+}
+
+/// A5: publisher preference sweep — how the optimal level `k_opt` chosen
+/// by Algorithm 1 moves as the protection weight `W1` rises (with
+/// `W2 = 1 - W1`). Returns `(w1, k_opt)` pairs.
+pub fn weight_ablation(world: &World, k_max: usize, w1s: &[f64]) -> Vec<(f64, usize)> {
+    use fred_core::{fred_anonymize, FredParams, FredWeights};
+    let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).expect("valid config");
+    w1s.iter()
+        .map(|&w1| {
+            let weights = FredWeights::new(w1, 1.0 - w1).expect("valid weights");
+            let result = fred_anonymize(
+                &world.table,
+                &world.web,
+                &Mdav::new(),
+                &fusion,
+                &FredParams { weights, k_max, ..FredParams::default() },
+            )
+            .expect("unconstrained run is feasible");
+            (w1, result.k_opt)
+        })
+        .collect()
+}
+
+/// A6: privacy beyond k-anonymity on a categorical release — the
+/// l-diversity and t-closeness of full-domain-generalized partitions of
+/// the patient dataset (paper Table I's setting), per k. Returns
+/// `(k, distinct_diversity, entropy_diversity, closeness)` rows.
+pub fn diversity_ablation(ks: &[usize]) -> Vec<(usize, usize, f64, f64)> {
+    use fred_anon::{closeness, distinct_diversity, entropy_diversity, Hierarchy};
+    use fred_synth::{hospital_table, HospitalConfig};
+    let table = hospital_table(&HospitalConfig::default());
+    let nationality = Hierarchy::two_level(&[
+        ("Americas", &["American", "Brazilian"]),
+        ("Europe", &["Russian", "German"]),
+        ("Asia", &["Japanese", "Indian", "Chinese"]),
+        ("Africa", &["Nigerian"]),
+    ])
+    .expect("static hierarchy");
+    let generalizer = FullDomain::new(
+        vec![
+            AttributeHierarchy::Numeric(NumericHierarchy::new(13_000.0, 10.0, 5).expect("static")),
+            AttributeHierarchy::Numeric(NumericHierarchy::new(0.0, 5.0, 7).expect("static")),
+            AttributeHierarchy::Categorical(nationality),
+        ],
+        // No suppression: suppressed rows become singleton classes, whose
+        // degenerate distributions would dominate the *worst-case*
+        // diversity and closeness metrics and mask the k-dependence this
+        // ablation measures.
+        0,
+    );
+    ks.iter()
+        .map(|&k| {
+            let p = generalizer.partition(&table, k).expect("patient table partitions");
+            (
+                k,
+                distinct_diversity(&table, &p).expect("sensitive attr present"),
+                entropy_diversity(&table, &p).expect("sensitive attr present"),
+                closeness(&table, &p).expect("sensitive attr present"),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> WorldConfig {
+        WorldConfig { size: 60, ..WorldConfig::default() }
+    }
+
+    #[test]
+    fn anonymizer_ablation_runs_all_three() {
+        let world = faculty_world(&small());
+        let series = anonymizer_ablation(&world, 3, 6);
+        assert_eq!(series.len(), 4);
+        for s in &series {
+            assert_eq!(s.report.rows().len(), 4, "{}", s.label);
+            // Fusion helps under every anonymizer.
+            for r in s.report.rows() {
+                assert!(r.gain > 0.0, "{} k={}", s.label, r.k);
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_ablation_orders_adversaries() {
+        let world = faculty_world(&small());
+        let series = fusion_ablation(&world, 3, 5);
+        let err_of = |label: &str| {
+            series
+                .iter()
+                .find(|s| s.label == label)
+                .unwrap()
+                .report
+                .after_series()
+                .iter()
+                .sum::<f64>()
+        };
+        // Full fusion must beat the release-only adversary.
+        assert!(err_of("fuzzy-fusion") < err_of("fuzzy-release-only"));
+    }
+
+    #[test]
+    fn noise_ablation_degrades_coverage() {
+        let triples = noise_ablation(&small(), 4, &[0.0, 4.0]);
+        assert_eq!(triples.len(), 2);
+        let (_, _, cov_clean) = triples[0];
+        let (_, _, cov_noisy) = triples[1];
+        assert!(
+            cov_noisy < cov_clean,
+            "noise should reduce coverage: clean {cov_clean}, noisy {cov_noisy}"
+        );
+    }
+
+    #[test]
+    fn coverage_ablation_tracks_presence() {
+        let triples = coverage_ablation(&small(), 4, &[0.2, 1.0]);
+        let (_, err_low, cov_low) = triples[0];
+        let (_, err_high, cov_high) = triples[1];
+        assert!(cov_low < cov_high);
+        // Less auxiliary data can only hurt (or not help) the adversary.
+        assert!(err_low >= err_high, "err_low {err_low} vs err_high {err_high}");
+    }
+
+    #[test]
+    fn weight_ablation_monotone_endpoints() {
+        let world = faculty_world(&small());
+        let pairs = weight_ablation(&world, 10, &[0.0, 1.0]);
+        // Pure utility picks the smallest k; pure protection a larger one.
+        assert_eq!(pairs[0].1, 2, "{pairs:?}");
+        assert!(pairs[1].1 > pairs[0].1, "{pairs:?}");
+    }
+
+    #[test]
+    fn diversity_ablation_exposes_k_anonymity_limits() {
+        // The instructive (and correct) result: raising k does NOT
+        // reliably raise worst-case l-diversity — one homogeneous class
+        // keeps distinct-l at 1. That is exactly the l-diversity paper's
+        // critique of k-anonymity (the paper's reference [4]).
+        let rows = diversity_ablation(&[2, 4, 8]);
+        for (k, d, e, c) in rows {
+            assert!(d >= 1, "k={k}");
+            // exp(entropy) can never exceed the distinct count.
+            assert!(e <= d as f64 + 1e-9, "k={k}: entropy-l {e} > distinct {d}");
+            assert!((0.0..=1.0).contains(&c), "k={k}: closeness {c}");
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Figure regeneration: the parameter sweeps behind paper Figures 4-8.
+
+use fred_anon::{Mdav, QiStyle};
+use fred_attack::{FuzzyFusion, FuzzyFusionConfig, HarvestConfig, MidpointEstimator};
+use fred_core::{
+    fred_anonymize, sweep, FredParams, FredResult, FredWeights, SweepConfig, SweepReport,
+    Thresholds,
+};
+
+use crate::world::World;
+
+/// The k range the paper sweeps (Figures 4-7 plot k = 2..16).
+pub const PAPER_K_MIN: usize = 2;
+/// Upper end of the paper's sweep.
+pub const PAPER_K_MAX: usize = 16;
+
+/// Runs the joint sweep that generates Figures 4, 5, 6 and 7:
+/// for each k — `(P∘P′)` (before fusion, Fig 4), `(P∘P̂)` (after fusion,
+/// Fig 5), information gain `G` (Fig 6) and utility `U_k` (Fig 7).
+///
+/// The paper's Figure 4 baseline is k-invariant (its axis repeats one
+/// value), which matches a pre-fusion adversary whose best guess is the
+/// centre of the publicly-known salary range: [`MidpointEstimator`].
+pub fn figure_sweep(world: &World) -> SweepReport {
+    figure_sweep_with_range(world, PAPER_K_MIN, PAPER_K_MAX)
+}
+
+/// [`figure_sweep`] with an explicit k range (used by benches at reduced
+/// scale).
+pub fn figure_sweep_with_range(world: &World, k_min: usize, k_max: usize) -> SweepReport {
+    let before = MidpointEstimator::default();
+    let after = FuzzyFusion::new(FuzzyFusionConfig::default()).expect("default config valid");
+    sweep(
+        &world.table,
+        &world.web,
+        &Mdav::new(),
+        &before,
+        &after,
+        &SweepConfig {
+            k_min,
+            k_max,
+            style: QiStyle::Range,
+            harvest: HarvestConfig::default(),
+        },
+    )
+    .expect("sweep over a well-formed world cannot fail")
+}
+
+/// Figure 8: the weighted objective `H` over the feasible window and the
+/// optimal `k`.
+///
+/// The paper sets `Tp = 3.075e8` and `Tu = 0.0018` "based on experimental
+/// observations", yielding the solution space k = 7..14 on their data. We
+/// derive the analogous thresholds from our own sweep: `Tp` is the
+/// protection reached at `window.0`, `Tu` the utility at `window.1`, which
+/// reproduces the same kind of interior feasible window.
+pub fn figure8(world: &World, window: (usize, usize)) -> (FredResult, Thresholds) {
+    let report = figure_sweep_with_range(world, PAPER_K_MIN, window.1 + 2);
+    let tp = report
+        .row_for(window.0)
+        .map(|r| r.dissim_after)
+        .expect("window start inside sweep");
+    let tu = report
+        .row_for(window.1)
+        .map(|r| r.utility)
+        .expect("window end inside sweep");
+    let thresholds = Thresholds::new(tp, tu);
+    let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).expect("default config valid");
+    let result = fred_anonymize(
+        &world.table,
+        &world.web,
+        &Mdav::new(),
+        &fusion,
+        &FredParams {
+            thresholds,
+            weights: FredWeights::default(),
+            k_min: PAPER_K_MIN,
+            k_max: window.1 + 2,
+            style: QiStyle::Range,
+            harvest: HarvestConfig::default(),
+        },
+    )
+    .expect("paper-style window is feasible");
+    (result, thresholds)
+}
+
+/// Renders a numeric series as a rough ASCII plot (one row per k), so the
+/// repro harness output can be eyeballed against the paper's figures.
+pub fn ascii_plot(title: &str, ks: &[usize], ys: &[f64]) -> String {
+    let lo = ys.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let width = 48usize;
+    let mut out = format!("{title}\n");
+    for (&k, &y) in ks.iter().zip(ys) {
+        let frac = if hi > lo { (y - lo) / (hi - lo) } else { 0.5 };
+        let bar = (frac * width as f64).round() as usize;
+        out.push_str(&format!("  k={k:<3} {:>12.4e} |{}\n", y, "*".repeat(bar.max(1))));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{faculty_world, WorldConfig};
+
+    fn small_world() -> World {
+        faculty_world(&WorldConfig { size: 80, ..WorldConfig::default() })
+    }
+
+    #[test]
+    fn figure_sweep_shapes_hold() {
+        let world = small_world();
+        let report = figure_sweep_with_range(&world, 2, 12);
+        let before = report.before_series();
+        let after = report.after_series();
+        let gain = report.gain_series();
+        // Fig 4 vs 5: fusion strictly helps at every k.
+        for (b, a) in before.iter().zip(&after) {
+            assert!(a < b, "after {a} !< before {b}");
+        }
+        // Fig 6: positive gain everywhere.
+        assert!(gain.iter().all(|&g| g > 0.0));
+        // Fig 6 trend: gain at the high-k end below gain at the low-k end.
+        assert!(
+            gain.last().unwrap() < gain.first().unwrap(),
+            "gain should trend down: {gain:?}"
+        );
+        // Fig 5 trend: after-fusion dissimilarity rises with k.
+        assert!(after.last().unwrap() > after.first().unwrap());
+    }
+
+    #[test]
+    fn figure8_finds_interior_optimum() {
+        // The paper's window (k = 7..14) is carved by thresholds chosen
+        // "based on experimental observations" on its dataset; the exact
+        // window is noise-sensitive, so this assertion runs on the
+        // canonical default world (the headline experiment), where the
+        // derived thresholds reproduce the interior-optimum structure.
+        let world = faculty_world(&WorldConfig::default());
+        let (result, thresholds) = figure8(&world, (7, 14));
+        assert!(result.k_opt >= 7 && result.k_opt <= 14, "k_opt {}", result.k_opt);
+        // The solution space respects the derived thresholds.
+        for c in result.solution_space() {
+            assert!(c.protection >= thresholds.tp);
+            assert!(c.utility >= thresholds.tu);
+        }
+    }
+
+    #[test]
+    fn ascii_plot_renders_all_rows() {
+        let s = ascii_plot("t", &[2, 3], &[1.0, 2.0]);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains("k=2"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Regeneration of the paper's Tables I-IV and the Figure 2 demo.
+
+use fred_anon::{build_release, Anonymizer, Partition, QiStyle};
+use fred_data::{Schema, Table, Value};
+use fred_synth::{paper_table_ii, paper_table_iv};
+
+/// Paper Table I: the toy sensitive database with attribute roles.
+pub fn table_i() -> Table {
+    let schema = Schema::builder()
+        .identifier("Name")
+        .identifier("SSN")
+        .quasi_int("Zipcode")
+        .quasi_int("Age")
+        .quasi_categorical("Nationality")
+        .sensitive_categorical("Condition")
+        .build()
+        .expect("static schema");
+    let rows = [
+        ("Alice", "111-111-1111", 13053, 28, "Russian", "AIDS"),
+        ("Bob", "222-222-2222", 13068, 29, "American", "Flu"),
+        ("Christine", "333-333-3333", 13068, 21, "Japanese", "Cancer"),
+        ("Robert", "444-444-4444", 13053, 23, "American", "Meningitis"),
+    ];
+    Table::with_rows(
+        schema,
+        rows.iter()
+            .map(|&(n, s, z, a, nat, c)| {
+                vec![
+                    Value::Text(n.into()),
+                    Value::Text(s.into()),
+                    Value::Int(z),
+                    Value::Int(a),
+                    Value::Categorical(nat.into()),
+                    Value::Categorical(c.into()),
+                ]
+            })
+            .collect(),
+    )
+    .expect("static rows")
+}
+
+/// Paper Table III: the 2-anonymized release of Table II.
+///
+/// The paper's partition groups {Alice, Robert} (high investors) and
+/// {Bob, Christine}; MDAV at k=2 recovers exactly that grouping, and the
+/// published ranges match the paper's `[5-10]`/`[1-5]` presentation up to
+/// the tightness of the covering interval.
+pub fn table_iii() -> Table {
+    let table = paper_table_ii();
+    let partition = fred_anon::Mdav::new()
+        .partition(&table, 2)
+        .expect("4-row table supports k=2");
+    build_release(&table, &partition, 2, QiStyle::Range)
+        .expect("release of static table")
+        .table
+}
+
+/// The paper's exact Table III grouping, for comparison with what MDAV
+/// chooses: {Alice, Robert} vs {Bob, Christine}.
+pub fn paper_partition() -> Partition {
+    Partition::new(vec![vec![0, 3], vec![1, 2]], 4).expect("static partition")
+}
+
+/// Renders paper Table IV (the adversary's harvested auxiliary data).
+pub fn table_iv_ascii() -> String {
+    let mut out = String::from("Name       Employment            Property Holdings\n");
+    out.push_str(&"-".repeat(52));
+    out.push('\n');
+    for (name, emp, prop) in paper_table_iv() {
+        out.push_str(&format!("{name:<10} {emp:<21} {prop:>6.0}\n"));
+    }
+    out
+}
+
+/// Renders all four tables for the repro harness.
+pub fn render_all() -> String {
+    let mut out = String::new();
+    out.push_str("== Table I: sensitive database (attribute roles) ==\n");
+    out.push_str(&table_i().to_ascii());
+    out.push_str("\n== Table II: enterprise customer data ==\n");
+    out.push_str(&paper_table_ii().to_ascii());
+    out.push_str("\n== Table III: 2-anonymized release (names retained, income suppressed) ==\n");
+    out.push_str(&table_iii().to_ascii());
+    out.push_str("\n== Table IV: auxiliary data collected by the adversary ==\n");
+    out.push_str(&table_iv_ascii());
+    out
+}
+
+/// The Figure 2 walk-through: the paper's worked example — Robert's
+/// valuation is in the top band and his web profile says "CEO, Microsoft,
+/// 5430 sq ft", so the fused estimate should land in the upper income
+/// region (the paper concludes ≈ $95,000 against a true $98,230).
+///
+/// Returns `(estimate, truth)` for Robert.
+pub fn figure2_demo() -> (f64, f64) {
+    use fred_attack::{FusionSystem, FuzzyFusion, FuzzyFusionConfig};
+    use fred_web::AuxRecord;
+
+    let release = table_iii();
+    let truth = paper_table_ii().numeric_column(4).expect("income column");
+    // Harvested aux records mirroring Table IV.
+    let aux: Vec<Option<AuxRecord>> = paper_table_iv()
+        .into_iter()
+        .map(|(name, emp, prop)| {
+            let title = emp.split(',').next().unwrap_or("").trim().to_owned();
+            Some(AuxRecord {
+                page_id: 0,
+                name: name.to_owned(),
+                seniority_level: fred_web::title_seniority(&title),
+                title: Some(title),
+                employer: emp.split(',').nth(1).map(|s| s.trim().to_owned()),
+                property_sqft: Some(prop),
+            })
+        })
+        .collect();
+    let fusion = FuzzyFusion::new(FuzzyFusionConfig {
+        income_range: (40_000.0, 100_000.0), // the paper's example range
+        property_range: (500.0, 6_000.0),
+        ..FuzzyFusionConfig::default()
+    })
+    .expect("valid config");
+    let estimates = fusion.estimate(&release, &aux).expect("fusion runs");
+    (estimates[3], truth[3]) // Robert is row 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_shape() {
+        let t = table_i();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.schema().identifier_indices().len(), 2);
+        assert_eq!(t.schema().quasi_identifier_indices().len(), 3);
+        assert!(t.to_ascii().contains("Meningitis"));
+    }
+
+    #[test]
+    fn table_iii_matches_paper_grouping() {
+        let release = table_iii();
+        // Income suppressed.
+        assert!(release.column(4).all(|v| v.is_missing()));
+        // Names retained.
+        assert_eq!(
+            release.identifier_strings(),
+            vec!["Alice", "Bob", "Christine", "Robert"]
+        );
+        // MDAV groups Alice with Robert (rows 0 and 3) like the paper.
+        let classes = fred_anon::classes_from_release(&release).unwrap();
+        let class_of = classes.class_of_rows();
+        assert_eq!(class_of[0], class_of[3], "Alice and Robert together");
+        assert_eq!(class_of[1], class_of[2], "Bob and Christine together");
+    }
+
+    #[test]
+    fn figure2_demo_reproduces_the_papers_conclusion() {
+        let (estimate, truth) = figure2_demo();
+        assert_eq!(truth, 98_230.0);
+        // The paper's adversary concludes ~$95,000 from the same evidence;
+        // our fused estimate must land in the same upper region, clearly
+        // above the range midpoint of $70,000.
+        assert!(
+            estimate > 80_000.0,
+            "Robert's fused estimate {estimate} should be in the high band"
+        );
+        let error = (estimate - truth).abs();
+        assert!(error < 20_000.0, "estimate {estimate} too far from {truth}");
+    }
+
+    #[test]
+    fn table_iv_rendering() {
+        let s = table_iv_ascii();
+        assert!(s.contains("CEO, Microsoft"));
+        assert!(s.contains("5430"));
+    }
+
+    #[test]
+    fn render_all_contains_every_table() {
+        let s = render_all();
+        for needle in ["Table I", "Table II", "Table III", "Table IV", "[", "-"] {
+            assert!(s.contains(needle), "missing {needle}");
+        }
+    }
+}

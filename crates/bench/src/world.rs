@@ -1,0 +1,95 @@
+//! Experiment worlds: the paper's setup (faculty table + employee web
+//! pages), reproducible from a seed.
+
+use fred_data::Table;
+use fred_synth::{
+    faculty_table, generate_population, FacultyConfig, PersonProfile, PopulationConfig,
+};
+use fred_web::{build_corpus, CorpusConfig, NameNoise, SearchEngine};
+
+/// One fully-built experiment world.
+pub struct World {
+    /// Ground-truth population.
+    pub people: Vec<PersonProfile>,
+    /// The private dataset `P` (sensitive attribute present).
+    pub table: Table,
+    /// The adversary-visible web corpus `Q`.
+    pub web: SearchEngine,
+    /// The true sensitive column (salary), row-aligned with `table`.
+    pub truth: Vec<f64>,
+}
+
+/// World-generation knobs.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Population size (the paper's faculty count is unreported; 120 is a
+    /// plausible department-scale figure and our default).
+    pub size: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Web-presence rate ("the external data is collected from the
+    /// employee web pages" — most but not all faculty have one).
+    pub web_presence_rate: f64,
+    /// Name-noise scale factor (1.0 = default channel, 0.0 = clean).
+    pub name_noise: f64,
+    /// Review-score noise on the 1-10 scale.
+    pub score_noise: f64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            size: 120,
+            seed: 2008, // the paper's year
+            web_presence_rate: 0.9,
+            name_noise: 1.0,
+            score_noise: 0.8,
+        }
+    }
+}
+
+/// Builds the faculty world used by every figure experiment.
+pub fn faculty_world(config: &WorldConfig) -> World {
+    let people = generate_population(&PopulationConfig {
+        web_presence_rate: config.web_presence_rate,
+        ..PopulationConfig::faculty(config.size, config.seed)
+    });
+    let table = faculty_table(
+        &people,
+        &FacultyConfig { score_noise: config.score_noise, seed: config.seed ^ 0xFAC, ..FacultyConfig::default() },
+    );
+    let web = build_corpus(
+        &people,
+        &CorpusConfig {
+            seed: config.seed ^ 0x3EB,
+            noise: NameNoise::default().scaled(config.name_noise),
+            ..CorpusConfig::default()
+        },
+    );
+    let sens = table.schema().sensitive_indices()[0];
+    let truth = table.numeric_column(sens).expect("salary column is numeric");
+    World { people, table, web, truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_is_consistent() {
+        let w = faculty_world(&WorldConfig { size: 50, ..WorldConfig::default() });
+        assert_eq!(w.people.len(), 50);
+        assert_eq!(w.table.len(), 50);
+        assert_eq!(w.truth.len(), 50);
+        assert!(!w.web.is_empty());
+    }
+
+    #[test]
+    fn world_is_reproducible() {
+        let cfg = WorldConfig { size: 30, ..WorldConfig::default() };
+        let a = faculty_world(&cfg);
+        let b = faculty_world(&cfg);
+        assert_eq!(a.table, b.table);
+        assert_eq!(a.web.pages(), b.web.pages());
+    }
+}

@@ -1,0 +1,144 @@
+//! The paper's dissimilarity measure (Definition 1):
+//!
+//! ```text
+//! D1 ∘ D2 = (1/m) · Tr((D1 − D2)ᵀ (D1 − D2))
+//! ```
+//!
+//! For matrices, the trace of the Gram matrix of differences is the sum of
+//! squared entry-wise differences, so `D1 ∘ D2` is the mean (per record)
+//! squared difference — and for single-column sensitive data it reduces to
+//! the mean squared error between the true and estimated values.
+
+use crate::error::{CoreError, Result};
+use fred_data::DataError;
+
+/// Dissimilarity of two single-attribute datasets (columns), per
+/// Definition 1. Errors when the lengths differ or the inputs are empty.
+pub fn dissimilarity(d1: &[f64], d2: &[f64]) -> Result<f64> {
+    if d1.len() != d2.len() {
+        return Err(CoreError::Data(DataError::ShapeMismatch {
+            left: (d1.len(), 1),
+            right: (d2.len(), 1),
+        }));
+    }
+    if d1.is_empty() {
+        return Err(CoreError::Data(DataError::EmptyTable));
+    }
+    let m = d1.len() as f64;
+    Ok(d1
+        .iter()
+        .zip(d2)
+        .map(|(&a, &b)| (a - b) * (a - b))
+        .sum::<f64>()
+        / m)
+}
+
+/// Dissimilarity of two multi-attribute datasets of shape `m × n`
+/// (same individuals, same attributes): `(1/m) Σ_ij (d1_ij − d2_ij)²`.
+pub fn dissimilarity_matrix(d1: &[Vec<f64>], d2: &[Vec<f64>]) -> Result<f64> {
+    if d1.len() != d2.len() {
+        return Err(CoreError::Data(DataError::ShapeMismatch {
+            left: (d1.len(), d1.first().map_or(0, Vec::len)),
+            right: (d2.len(), d2.first().map_or(0, Vec::len)),
+        }));
+    }
+    if d1.is_empty() {
+        return Err(CoreError::Data(DataError::EmptyTable));
+    }
+    let m = d1.len() as f64;
+    let mut total = 0.0;
+    for (r1, r2) in d1.iter().zip(d2) {
+        if r1.len() != r2.len() {
+            return Err(CoreError::Data(DataError::ShapeMismatch {
+                left: (d1.len(), r1.len()),
+                right: (d2.len(), r2.len()),
+            }));
+        }
+        total += r1
+            .iter()
+            .zip(r2)
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum::<f64>();
+    }
+    Ok(total / m)
+}
+
+/// The adversary's information gain (paper Section VI-B):
+/// `G = (P ∘ P′) − (P ∘ P̂)` — how much closer the estimate moved to the
+/// truth thanks to fusion. Positive gain means fusion helped the attacker.
+pub fn information_gain(before: f64, after: f64) -> f64 {
+    before - after
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_dissimilarity_is_mse() {
+        let p = [1.0, 2.0, 3.0];
+        let q = [1.0, 4.0, 3.0];
+        assert!((dissimilarity(&p, &q).unwrap() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_is_zero() {
+        let p = [5.0, -3.0, 0.0];
+        assert_eq!(dissimilarity(&p, &p).unwrap(), 0.0);
+        let m = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert_eq!(dissimilarity_matrix(&m, &m).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let p = [1.0, 2.0];
+        let q = [4.0, 0.0];
+        assert_eq!(dissimilarity(&p, &q).unwrap(), dissimilarity(&q, &p).unwrap());
+    }
+
+    #[test]
+    fn non_negative() {
+        let p = [1.0, 2.0, 3.0, 4.0];
+        let q = [-1.0, 7.0, 2.0, 4.5];
+        assert!(dissimilarity(&p, &q).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn matrix_form_matches_trace_formula() {
+        // Hand-computed: rows (1,2) vs (0,0) and (3,4) vs (1,1):
+        // diffs (1,2),(2,3) -> squares 1+4+4+9 = 18; /m=2 -> 9.
+        let d1 = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let d2 = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+        assert_eq!(dissimilarity_matrix(&d1, &d2).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn column_and_matrix_agree_on_single_column() {
+        let p = [10.0, 20.0, 30.0];
+        let q = [11.0, 19.0, 33.0];
+        let pm: Vec<Vec<f64>> = p.iter().map(|&x| vec![x]).collect();
+        let qm: Vec<Vec<f64>> = q.iter().map(|&x| vec![x]).collect();
+        assert!(
+            (dissimilarity(&p, &q).unwrap() - dissimilarity_matrix(&pm, &qm).unwrap()).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(dissimilarity(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(dissimilarity(&[], &[]).is_err());
+        let a = vec![vec![1.0, 2.0]];
+        let b = vec![vec![1.0]];
+        assert!(dissimilarity_matrix(&a, &b).is_err());
+        assert!(dissimilarity_matrix(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn gain_sign_convention() {
+        // Estimate moved closer to truth: positive gain.
+        assert_eq!(information_gain(5.0, 3.0), 2.0);
+        // Fusion made things worse: negative gain.
+        assert_eq!(information_gain(3.0, 5.0), -2.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Errors for the FRED core crate.
+
+use std::fmt;
+
+/// Errors produced by dissimilarity, sweep and Algorithm 1.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Underlying data error.
+    Data(fred_data::DataError),
+    /// Underlying anonymization error.
+    Anon(fred_anon::AnonError),
+    /// Underlying attack error.
+    Attack(fred_attack::AttackError),
+    /// A `k` range with `k_min < 2` or `k_min > k_max`.
+    InvalidKRange {
+        /// Smallest k requested.
+        k_min: usize,
+        /// Largest k requested.
+        k_max: usize,
+    },
+    /// Weights outside `[0, 1]` or not summing to a positive value.
+    InvalidWeights {
+        /// Protection weight.
+        w1: f64,
+        /// Utility weight.
+        w2: f64,
+    },
+    /// Algorithm 1 found no anonymization level satisfying both thresholds.
+    NoFeasibleAnonymization {
+        /// Protection threshold that had to be met.
+        tp: f64,
+        /// Utility threshold that had to be met.
+        tu: f64,
+    },
+    /// The sweep produced no rows (empty k range after clamping).
+    EmptySweep,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Data(e) => write!(f, "data error: {e}"),
+            CoreError::Anon(e) => write!(f, "anonymization error: {e}"),
+            CoreError::Attack(e) => write!(f, "attack error: {e}"),
+            CoreError::InvalidKRange { k_min, k_max } => {
+                write!(f, "invalid k range [{k_min}, {k_max}] (need 2 <= k_min <= k_max)")
+            }
+            CoreError::InvalidWeights { w1, w2 } => {
+                write!(f, "invalid weights W1={w1}, W2={w2}")
+            }
+            CoreError::NoFeasibleAnonymization { tp, tu } => write!(
+                f,
+                "no anonymization level satisfies protection >= {tp} and utility >= {tu}"
+            ),
+            CoreError::EmptySweep => write!(f, "sweep produced no rows"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Data(e) => Some(e),
+            CoreError::Anon(e) => Some(e),
+            CoreError::Attack(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fred_data::DataError> for CoreError {
+    fn from(e: fred_data::DataError) -> Self {
+        CoreError::Data(e)
+    }
+}
+
+impl From<fred_anon::AnonError> for CoreError {
+    fn from(e: fred_anon::AnonError) -> Self {
+        CoreError::Anon(e)
+    }
+}
+
+impl From<fred_attack::AttackError> for CoreError {
+    fn from(e: fred_attack::AttackError) -> Self {
+        CoreError::Attack(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e: CoreError = fred_data::DataError::EmptyTable.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e = CoreError::NoFeasibleAnonymization { tp: 1.0, tu: 0.5 };
+        assert!(e.to_string().contains(">= 1"));
+        assert!(CoreError::InvalidKRange { k_min: 1, k_max: 5 }
+            .to_string()
+            .contains("[1, 5]"));
+    }
+}

@@ -1,0 +1,339 @@
+//! Algorithm 1: FRED Anonymization (Fusion Resilient Enterprise Data).
+//!
+//! The iterative scheme of paper Section V: anonymize at increasing levels,
+//! simulate the web-based fusion attack at each level, keep the candidates
+//! whose post-attack dissimilarity clears the protection threshold `Tp`,
+//! stop once utility falls below `Tu`, and return the level maximizing the
+//! weighted sum `H` of protection and utility.
+//!
+//! One pseudocode divergence, faithful to the prose: Algorithm 1's line 20
+//! reads `until U_level >= Tu`, but the text states "the stopping condition
+//! ... is achieved when the utility of anonymized result (P′) ... falls
+//! below the threshold Tu". We implement the prose (iterate while
+//! `U >= Tu`), which also matches Figure 8's feasible window.
+
+use fred_anon::{build_release, discernibility, utility, Anonymizer, QiStyle, Release};
+use fred_attack::{harvest_auxiliary, FusionSystem, HarvestConfig};
+use fred_data::Table;
+use fred_web::SearchEngine;
+
+use crate::dissimilarity::dissimilarity;
+use crate::error::{CoreError, Result};
+use crate::objective::{normalized_objective, FredWeights, Thresholds};
+
+/// Parameters of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct FredParams {
+    /// Feasibility thresholds `Tp` (protection) and `Tu` (utility).
+    pub thresholds: Thresholds,
+    /// Objective weights `W1`, `W2`.
+    pub weights: FredWeights,
+    /// Starting level (paper: k = 2, "the minimal level of
+    /// anonymization").
+    pub k_min: usize,
+    /// Hard upper bound on the level (safety rail; the utility threshold
+    /// normally stops the loop first).
+    pub k_max: usize,
+    /// Quasi-identifier publication style.
+    pub style: QiStyle,
+    /// Harvest configuration for the simulated attacks.
+    pub harvest: HarvestConfig,
+}
+
+impl Default for FredParams {
+    fn default() -> Self {
+        FredParams {
+            thresholds: Thresholds::new(0.0, 0.0),
+            weights: FredWeights::default(),
+            k_min: 2,
+            k_max: 64,
+            style: QiStyle::Range,
+            harvest: HarvestConfig::default(),
+        }
+    }
+}
+
+/// One candidate anonymization considered by the algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Anonymization level.
+    pub k: usize,
+    /// Post-attack dissimilarity `(P ∘ P̂_k)` — the protection.
+    pub protection: f64,
+    /// Utility `U_k = 1/C_DM(k)`.
+    pub utility: f64,
+    /// Discernibility `C_DM(k)`.
+    pub discernibility: f64,
+    /// Whether the candidate clears the protection threshold.
+    pub feasible: bool,
+    /// Normalized objective `H` (populated after the loop over the
+    /// feasible set; `None` for infeasible candidates).
+    pub h: Option<f64>,
+}
+
+/// The result of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct FredResult {
+    /// The optimal level `k_opt`.
+    pub k_opt: usize,
+    /// The fusion-resilient release `P′_{k_opt}`.
+    pub release: Release,
+    /// The objective value at the optimum.
+    pub h_opt: f64,
+    /// Every level evaluated, in ascending `k`.
+    pub candidates: Vec<Candidate>,
+}
+
+impl FredResult {
+    /// The feasible candidates (the paper's "solution space").
+    pub fn solution_space(&self) -> Vec<&Candidate> {
+        self.candidates.iter().filter(|c| c.feasible).collect()
+    }
+}
+
+/// Runs FRED Anonymization (Algorithm 1).
+///
+/// * `table` — sensitive data `P`;
+/// * `web` — the adversary-visible corpus `Q`;
+/// * `anonymizer` — `Basic_Anonymization` (the paper uses MDAV);
+/// * `fusion` — the information-fusion system `F` used to simulate the
+///   attack at each level.
+pub fn fred_anonymize(
+    table: &Table,
+    web: &SearchEngine,
+    anonymizer: &dyn Anonymizer,
+    fusion: &dyn FusionSystem,
+    params: &FredParams,
+) -> Result<FredResult> {
+    if params.k_min < 2 || params.k_min > params.k_max {
+        return Err(CoreError::InvalidKRange { k_min: params.k_min, k_max: params.k_max });
+    }
+    let sens_cols = table.sensitive_columns();
+    let sens = *sens_cols
+        .first()
+        .ok_or(CoreError::Anon(fred_anon::AnonError::NoSensitiveAttribute))?;
+    let truth = table.numeric_column(sens)?;
+
+    // Harvest once — identifiers survive every release level.
+    let first_partition = anonymizer.partition(table, params.k_min)?;
+    let first_release = build_release(table, &first_partition, params.k_min, params.style)?;
+    let harvest = harvest_auxiliary(&first_release.table, web, &params.harvest)?;
+
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let mut releases: Vec<Release> = Vec::new();
+    let k_cap = params.k_max.min(table.len());
+    for k in params.k_min..=k_cap {
+        let partition = anonymizer.partition(table, k)?;
+        let release = build_release(table, &partition, k, params.style)?;
+        let estimate = fusion.estimate(&release.table, &harvest.records)?;
+        let protection = dissimilarity(&truth, &estimate)?;
+        let u = utility(&partition, k).map_err(CoreError::Anon)?;
+        let cdm = discernibility(&partition, k);
+        let below_utility_threshold = u < params.thresholds.tu;
+        candidates.push(Candidate {
+            k,
+            protection,
+            utility: u,
+            discernibility: cdm,
+            feasible: protection >= params.thresholds.tp && !below_utility_threshold,
+            h: None,
+        });
+        releases.push(release);
+        // The prose stopping rule: stop once utility drops below Tu.
+        if below_utility_threshold {
+            break;
+        }
+    }
+
+    // Score the feasible set with the normalized objective.
+    let feasible_idx: Vec<usize> = candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.feasible)
+        .map(|(i, _)| i)
+        .collect();
+    if feasible_idx.is_empty() {
+        return Err(CoreError::NoFeasibleAnonymization {
+            tp: params.thresholds.tp,
+            tu: params.thresholds.tu,
+        });
+    }
+    let protections: Vec<f64> = feasible_idx.iter().map(|&i| candidates[i].protection).collect();
+    let utilities: Vec<f64> = feasible_idx.iter().map(|&i| candidates[i].utility).collect();
+    let h = normalized_objective(params.weights, &protections, &utilities)?;
+    let mut best: Option<(usize, f64)> = None; // (candidate index, h)
+    for (pos, &i) in feasible_idx.iter().enumerate() {
+        candidates[i].h = Some(h[pos]);
+        // `>=` matches Algorithm 1 line 24, which keeps the *largest* k on
+        // ties (more anonymity at equal objective).
+        if best.is_none_or(|(_, hb)| h[pos] >= hb) {
+            best = Some((i, h[pos]));
+        }
+    }
+    let (best_idx, h_opt) = best.expect("feasible set non-empty");
+    Ok(FredResult {
+        k_opt: candidates[best_idx].k,
+        release: releases[best_idx].clone(),
+        h_opt,
+        candidates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fred_anon::Mdav;
+    use fred_attack::{FuzzyFusion, FuzzyFusionConfig};
+    use fred_synth::{customer_table, generate_population, CustomerConfig, PopulationConfig};
+    use fred_web::{build_corpus, CorpusConfig, NameNoise};
+
+    fn world() -> (Table, SearchEngine) {
+        let people = generate_population(&PopulationConfig {
+            size: 60,
+            web_presence_rate: 0.95,
+            seed: 91,
+            ..PopulationConfig::default()
+        });
+        let table = customer_table(&people, &CustomerConfig::default());
+        let web = build_corpus(
+            &people,
+            &CorpusConfig {
+                noise: NameNoise::none(),
+                pages_per_person: (2, 3),
+                ..CorpusConfig::default()
+            },
+        );
+        (table, web)
+    }
+
+    fn fusion() -> FuzzyFusion {
+        FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn returns_a_feasible_optimum() {
+        let (table, web) = world();
+        let params = FredParams { k_max: 16, ..FredParams::default() };
+        let result = fred_anonymize(&table, &web, &Mdav::new(), &fusion(), &params).unwrap();
+        assert!(result.k_opt >= 2 && result.k_opt <= 16);
+        let opt = result
+            .candidates
+            .iter()
+            .find(|c| c.k == result.k_opt)
+            .unwrap();
+        assert!(opt.feasible);
+        assert_eq!(opt.h, Some(result.h_opt));
+        // The release really is at the chosen level.
+        assert_eq!(result.release.k, result.k_opt);
+        assert!(fred_anon::is_k_anonymous(&result.release.table, result.k_opt).unwrap());
+    }
+
+    #[test]
+    fn utility_threshold_stops_the_loop() {
+        let (table, web) = world();
+        // U(k) = 1/C_DM(k) and C_DM >= n*k, so U at k=8 is at most
+        // 1/(60*8). Setting Tu just above that stops the sweep early.
+        let tu = 1.0 / (60.0 * 8.0);
+        let params = FredParams {
+            thresholds: Thresholds::new(0.0, tu),
+            k_max: 30,
+            ..FredParams::default()
+        };
+        let result = fred_anonymize(&table, &web, &Mdav::new(), &fusion(), &params).unwrap();
+        let max_k = result.candidates.last().unwrap().k;
+        assert!(max_k < 30, "loop should stop early, ran to {max_k}");
+    }
+
+    #[test]
+    fn protection_threshold_filters_candidates() {
+        let (table, web) = world();
+        // First find the protection scale, then demand more than the
+        // minimum observed so low-k candidates fall out.
+        let probe = fred_anonymize(&table, &web, &Mdav::new(), &fusion(), &FredParams {
+            k_max: 10,
+            ..FredParams::default()
+        })
+        .unwrap();
+        let min_p = probe
+            .candidates
+            .iter()
+            .map(|c| c.protection)
+            .fold(f64::INFINITY, f64::min);
+        let max_p = probe
+            .candidates
+            .iter()
+            .map(|c| c.protection)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let tp = (min_p + max_p) / 2.0;
+        let result = fred_anonymize(&table, &web, &Mdav::new(), &fusion(), &FredParams {
+            thresholds: Thresholds::new(tp, 0.0),
+            k_max: 10,
+            ..FredParams::default()
+        })
+        .unwrap();
+        assert!(result.candidates.iter().any(|c| !c.feasible));
+        assert!(result.solution_space().iter().all(|c| c.protection >= tp));
+    }
+
+    #[test]
+    fn impossible_thresholds_error() {
+        let (table, web) = world();
+        let params = FredParams {
+            thresholds: Thresholds::new(f64::INFINITY, 0.0),
+            k_max: 6,
+            ..FredParams::default()
+        };
+        assert!(matches!(
+            fred_anonymize(&table, &web, &Mdav::new(), &fusion(), &params),
+            Err(CoreError::NoFeasibleAnonymization { .. })
+        ));
+    }
+
+    #[test]
+    fn pure_utility_weighting_picks_smallest_k() {
+        let (table, web) = world();
+        let params = FredParams {
+            weights: FredWeights::new(0.0, 1.0).unwrap(),
+            k_max: 10,
+            ..FredParams::default()
+        };
+        let result = fred_anonymize(&table, &web, &Mdav::new(), &fusion(), &params).unwrap();
+        // Utility decreases in k, so pure utility weighting keeps k at the
+        // minimum (unless ties push it up, which min-max normalization
+        // prevents at the endpoints).
+        assert_eq!(result.k_opt, 2, "candidates: {:?}", result.candidates);
+    }
+
+    #[test]
+    fn pure_protection_weighting_picks_a_larger_k_than_pure_utility() {
+        let (table, web) = world();
+        let protective = fred_anonymize(&table, &web, &Mdav::new(), &fusion(), &FredParams {
+            weights: FredWeights::new(1.0, 0.0).unwrap(),
+            k_max: 12,
+            ..FredParams::default()
+        })
+        .unwrap();
+        let useful = fred_anonymize(&table, &web, &Mdav::new(), &fusion(), &FredParams {
+            weights: FredWeights::new(0.0, 1.0).unwrap(),
+            k_max: 12,
+            ..FredParams::default()
+        })
+        .unwrap();
+        assert!(
+            protective.k_opt > useful.k_opt,
+            "protection-weighted k {} should exceed utility-weighted k {}",
+            protective.k_opt,
+            useful.k_opt
+        );
+    }
+
+    #[test]
+    fn invalid_k_range_rejected() {
+        let (table, web) = world();
+        let params = FredParams { k_min: 1, ..FredParams::default() };
+        assert!(matches!(
+            fred_anonymize(&table, &web, &Mdav::new(), &fusion(), &params),
+            Err(CoreError::InvalidKRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,159 @@
+//! The FRED objective `H = W1·(P ∘ P̂) + W2·U` and its thresholds.
+
+use crate::error::{CoreError, Result};
+
+/// Publisher weights for protection vs utility (paper: `W1 = W2 = 0.5`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FredWeights {
+    /// Weight on protection (the post-attack dissimilarity `P ∘ P̂`).
+    pub w1: f64,
+    /// Weight on utility (`U = 1/C_DM`).
+    pub w2: f64,
+}
+
+impl Default for FredWeights {
+    fn default() -> Self {
+        FredWeights { w1: 0.5, w2: 0.5 }
+    }
+}
+
+impl FredWeights {
+    /// Validating constructor: weights in `[0, 1]` with a positive sum.
+    pub fn new(w1: f64, w2: f64) -> Result<Self> {
+        let valid = (0.0..=1.0).contains(&w1) && (0.0..=1.0).contains(&w2) && w1 + w2 > 0.0;
+        if !valid || w1.is_nan() || w2.is_nan() {
+            return Err(CoreError::InvalidWeights { w1, w2 });
+        }
+        Ok(FredWeights { w1, w2 })
+    }
+}
+
+/// Feasibility thresholds (paper: `Tp`, `Tu`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// Minimum post-attack dissimilarity for a release to count as
+    /// protected (`(P ∘ P̂) >= Tp`).
+    pub tp: f64,
+    /// Minimum utility for a release to be useful (`U >= Tu`).
+    pub tu: f64,
+}
+
+impl Thresholds {
+    /// Creates thresholds.
+    pub fn new(tp: f64, tu: f64) -> Self {
+        Thresholds { tp, tu }
+    }
+
+    /// Whether a `(protection, utility)` pair is feasible.
+    pub fn feasible(&self, protection: f64, utility: f64) -> bool {
+        protection >= self.tp && utility >= self.tu
+    }
+}
+
+/// The paper's raw objective: `H = W1·protection + W2·utility`.
+///
+/// Note the two terms live on wildly different scales (dissimilarity is in
+/// squared dollars, utility is an inverse discernibility count), so the raw
+/// H is dominated by protection unless the caller rescales; the paper's own
+/// Figure 8 plots values in `[0.16, 0.32]`, implying such a rescaling. Use
+/// [`normalized_objective`] for scale-free trade-off studies.
+pub fn raw_objective(weights: FredWeights, protection: f64, utility: f64) -> f64 {
+    weights.w1 * protection + weights.w2 * utility
+}
+
+/// Min-max normalizes a series into `[0, 1]`; constant series map to 0.5.
+pub fn min_max_normalize(series: &[f64]) -> Vec<f64> {
+    let lo = series.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = series.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    // `!(..)` keeps constant *and* NaN series on the 0.5 fallback path.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(hi > lo) {
+        return vec![0.5; series.len()];
+    }
+    series.iter().map(|&x| (x - lo) / (hi - lo)).collect()
+}
+
+/// The normalized objective over a sweep: both series are min-max
+/// normalized over the candidate set before weighting, so `H` trades off
+/// *relative* protection against *relative* utility — the form under which
+/// the paper's interior optimum (`k = 12` between opposing monotone
+/// curves) is well-defined.
+pub fn normalized_objective(
+    weights: FredWeights,
+    protection: &[f64],
+    utility: &[f64],
+) -> Result<Vec<f64>> {
+    if protection.len() != utility.len() {
+        return Err(CoreError::Data(fred_data::DataError::ShapeMismatch {
+            left: (protection.len(), 1),
+            right: (utility.len(), 1),
+        }));
+    }
+    let p = min_max_normalize(protection);
+    let u = min_max_normalize(utility);
+    Ok(p
+        .iter()
+        .zip(&u)
+        .map(|(&pi, &ui)| weights.w1 * pi + weights.w2 * ui)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_validation() {
+        assert!(FredWeights::new(0.5, 0.5).is_ok());
+        assert!(FredWeights::new(1.0, 0.0).is_ok());
+        assert!(FredWeights::new(-0.1, 0.5).is_err());
+        assert!(FredWeights::new(0.5, 1.5).is_err());
+        assert!(FredWeights::new(0.0, 0.0).is_err());
+        assert!(FredWeights::new(f64::NAN, 0.5).is_err());
+        assert_eq!(FredWeights::default(), FredWeights { w1: 0.5, w2: 0.5 });
+    }
+
+    #[test]
+    fn thresholds_gate_feasibility() {
+        let t = Thresholds::new(3.0, 0.001);
+        assert!(t.feasible(3.0, 0.001));
+        assert!(t.feasible(10.0, 1.0));
+        assert!(!t.feasible(2.9, 0.001));
+        assert!(!t.feasible(3.0, 0.0009));
+    }
+
+    #[test]
+    fn raw_objective_weighted_sum() {
+        let w = FredWeights::new(0.25, 0.75).unwrap();
+        assert!((raw_objective(w, 4.0, 8.0) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_maps_to_unit_interval() {
+        let n = min_max_normalize(&[2.0, 4.0, 6.0]);
+        assert_eq!(n, vec![0.0, 0.5, 1.0]);
+        assert_eq!(min_max_normalize(&[3.0, 3.0]), vec![0.5, 0.5]);
+        assert!(min_max_normalize(&[]).is_empty());
+    }
+
+    #[test]
+    fn normalized_objective_finds_interior_optimum() {
+        // Protection rises with k, utility falls: the blend must peak in
+        // the interior, not at an endpoint.
+        let protection = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let utility = [5.0, 4.5, 4.2, 2.0, 1.0];
+        let h = normalized_objective(FredWeights::default(), &protection, &utility).unwrap();
+        let argmax = h
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(argmax > 0 && argmax < 4, "argmax {argmax}, h {h:?}");
+    }
+
+    #[test]
+    fn normalized_objective_shape_mismatch() {
+        assert!(normalized_objective(FredWeights::default(), &[1.0], &[1.0, 2.0]).is_err());
+    }
+}

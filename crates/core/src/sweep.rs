@@ -1,0 +1,363 @@
+//! The anonymization-level sweep: the engine behind every figure in the
+//! paper's evaluation (Figures 4-8).
+//!
+//! For each `k` in the configured range the sweep anonymizes the table,
+//! simulates the web-based information-fusion attack against the release,
+//! and records the before/after dissimilarities, information gain,
+//! discernibility and utility. The harvest step depends only on the
+//! identifiers — which every release retains verbatim — so auxiliary data
+//! is harvested once and reused across all levels.
+
+use fred_anon::{build_release, discernibility, utility, Anonymizer, QiStyle};
+use fred_attack::{harvest_auxiliary, FusionSystem, HarvestConfig};
+use fred_data::Table;
+use fred_web::SearchEngine;
+
+use crate::dissimilarity::{dissimilarity, information_gain};
+use crate::error::{CoreError, Result};
+
+/// Configuration of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Smallest anonymization level (paper: 2).
+    pub k_min: usize,
+    /// Largest anonymization level (paper: 16).
+    pub k_max: usize,
+    /// Quasi-identifier publication style.
+    pub style: QiStyle,
+    /// Harvesting configuration for the simulated attack.
+    pub harvest: HarvestConfig,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            k_min: 2,
+            k_max: 16,
+            style: QiStyle::Range,
+            harvest: HarvestConfig::default(),
+        }
+    }
+}
+
+/// Per-level measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Anonymization level.
+    pub k: usize,
+    /// `(P ∘ P′)`: dissimilarity between the truth and the adversary's
+    /// best *pre-fusion* estimate (paper Figure 4).
+    pub dissim_before: f64,
+    /// `(P ∘ P̂)`: dissimilarity after information fusion (Figure 5).
+    pub dissim_after: f64,
+    /// Information gain `G` (Figure 6).
+    pub gain: f64,
+    /// Discernibility metric `C_DM(k)`.
+    pub discernibility: f64,
+    /// Utility `U_k = 1/C_DM(k)` (Figure 7).
+    pub utility: f64,
+    /// Fraction of rows with harvested auxiliary data.
+    pub aux_coverage: f64,
+}
+
+/// The full sweep output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    rows: Vec<SweepRow>,
+}
+
+impl SweepReport {
+    /// All rows in ascending `k`.
+    pub fn rows(&self) -> &[SweepRow] {
+        &self.rows
+    }
+
+    /// The `k` values.
+    pub fn ks(&self) -> Vec<usize> {
+        self.rows.iter().map(|r| r.k).collect()
+    }
+
+    /// Figure 4 series: `(P ∘ P′)` per k.
+    pub fn before_series(&self) -> Vec<f64> {
+        self.rows.iter().map(|r| r.dissim_before).collect()
+    }
+
+    /// Figure 5 series: `(P ∘ P̂)` per k.
+    pub fn after_series(&self) -> Vec<f64> {
+        self.rows.iter().map(|r| r.dissim_after).collect()
+    }
+
+    /// Figure 6 series: information gain per k.
+    pub fn gain_series(&self) -> Vec<f64> {
+        self.rows.iter().map(|r| r.gain).collect()
+    }
+
+    /// Figure 7 series: utility per k.
+    pub fn utility_series(&self) -> Vec<f64> {
+        self.rows.iter().map(|r| r.utility).collect()
+    }
+
+    /// Row for a specific k, if present.
+    pub fn row_for(&self, k: usize) -> Option<&SweepRow> {
+        self.rows.iter().find(|r| r.k == k)
+    }
+
+    /// Renders the report as an aligned ASCII table (used by the repro
+    /// harness and examples).
+    pub fn to_ascii(&self) -> String {
+        let mut out = String::from(
+            "   k    (P.P') before     (P.P^) after          gain G     utility U_k  aux-cov\n",
+        );
+        out.push_str(&"-".repeat(87));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:4}  {:>15.4e}  {:>15.4e}  {:>14.4e}  {:>14.6e}  {:>7.2}\n",
+                r.k, r.dissim_before, r.dissim_after, r.gain, r.utility, r.aux_coverage
+            ));
+        }
+        out
+    }
+
+    /// Serializes the report as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("k,dissim_before,dissim_after,gain,discernibility,utility,aux_coverage\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                r.k, r.dissim_before, r.dissim_after, r.gain, r.discernibility, r.utility,
+                r.aux_coverage
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the sweep.
+///
+/// * `table` — the private dataset `P` (sensitive attribute present);
+/// * `web` — the adversary-accessible corpus `Q`;
+/// * `anonymizer` — the `Basic_Anonymization` procedure (MDAV in the
+///   paper);
+/// * `before` — the adversary's pre-fusion estimator (the paper's Figure 4
+///   baseline; use [`fred_attack::MidpointEstimator`] for the paper's
+///   k-independent reading or a release-only fuzzy system for a stronger
+///   baseline);
+/// * `after` — the full fusion system (paper's F).
+pub fn sweep(
+    table: &Table,
+    web: &SearchEngine,
+    anonymizer: &dyn Anonymizer,
+    before: &dyn FusionSystem,
+    after: &dyn FusionSystem,
+    config: &SweepConfig,
+) -> Result<SweepReport> {
+    if config.k_min < 2 || config.k_min > config.k_max {
+        return Err(CoreError::InvalidKRange { k_min: config.k_min, k_max: config.k_max });
+    }
+    let sens_cols = table.sensitive_columns();
+    let sens = *sens_cols
+        .first()
+        .ok_or(CoreError::Anon(fred_anon::AnonError::NoSensitiveAttribute))?;
+    let truth = table.numeric_column(sens)?;
+    if truth.len() != table.len() {
+        // Missing sensitive cells would silently misalign the comparison.
+        return Err(CoreError::Data(fred_data::DataError::NonNumericColumn(
+            table
+                .schema()
+                .attribute(sens)
+                .map(|a| a.name().to_owned())
+                .unwrap_or_default(),
+        )));
+    }
+
+    // Harvest once: identifiers are invariant across levels.
+    let reference_release = {
+        let partition = anonymizer.partition(table, config.k_min)?;
+        build_release(table, &partition, config.k_min, config.style)?
+    };
+    let harvest = harvest_auxiliary(&reference_release.table, web, &config.harvest)?;
+
+    let mut rows = Vec::with_capacity(config.k_max - config.k_min + 1);
+    for k in config.k_min..=config.k_max.min(table.len()) {
+        let partition = anonymizer.partition(table, k)?;
+        let release = build_release(table, &partition, k, config.style)?;
+        let est_before = before.estimate(&release.table, &harvest.records)?;
+        let est_after = after.estimate(&release.table, &harvest.records)?;
+        let dissim_before = dissimilarity(&truth, &est_before)?;
+        let dissim_after = dissimilarity(&truth, &est_after)?;
+        let cdm = discernibility(&partition, k);
+        rows.push(SweepRow {
+            k,
+            dissim_before,
+            dissim_after,
+            gain: information_gain(dissim_before, dissim_after),
+            discernibility: cdm,
+            utility: utility(&partition, k).map_err(CoreError::Anon)?,
+            aux_coverage: harvest.coverage(),
+        });
+    }
+    if rows.is_empty() {
+        return Err(CoreError::EmptySweep);
+    }
+    Ok(SweepReport { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fred_anon::Mdav;
+    use fred_attack::{FuzzyFusion, FuzzyFusionConfig, MidpointEstimator};
+    use fred_synth::{customer_table, generate_population, CustomerConfig, PopulationConfig};
+    use fred_web::{build_corpus, CorpusConfig, NameNoise};
+
+    fn world() -> (Table, SearchEngine) {
+        let people = generate_population(&PopulationConfig {
+            size: 60,
+            web_presence_rate: 0.95,
+            seed: 55,
+            ..PopulationConfig::default()
+        });
+        let table = customer_table(&people, &CustomerConfig::default());
+        let web = build_corpus(
+            &people,
+            &CorpusConfig {
+                noise: NameNoise::none(),
+                pages_per_person: (2, 3),
+                ..CorpusConfig::default()
+            },
+        );
+        (table, web)
+    }
+
+    fn run_sweep(k_min: usize, k_max: usize) -> SweepReport {
+        let (table, web) = world();
+        let before = MidpointEstimator::default();
+        let after = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+        sweep(
+            &table,
+            &web,
+            &Mdav::new(),
+            &before,
+            &after,
+            &SweepConfig { k_min, k_max, ..SweepConfig::default() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sweep_produces_row_per_k() {
+        let report = run_sweep(2, 8);
+        assert_eq!(report.ks(), vec![2, 3, 4, 5, 6, 7, 8]);
+        assert!(report.row_for(5).is_some());
+        assert!(report.row_for(9).is_none());
+    }
+
+    #[test]
+    fn fusion_always_helps_the_adversary() {
+        // Figure 4 vs Figure 5: after-fusion dissimilarity below before.
+        let report = run_sweep(2, 10);
+        for r in report.rows() {
+            assert!(
+                r.dissim_after < r.dissim_before,
+                "k={}: after {} !< before {}",
+                r.k,
+                r.dissim_after,
+                r.dissim_before
+            );
+            assert!(r.gain > 0.0);
+        }
+    }
+
+    #[test]
+    fn utility_decreasing_trend_in_k() {
+        // Figure 7 shape. C_DM is not strictly monotone for MDAV (a k that
+        // divides n evenly packs perfectly and beats k-1 slightly), so the
+        // assertion is trend-level: no step may *increase* utility by more
+        // than 10%, and the endpoints must fall substantially.
+        let report = run_sweep(2, 10);
+        let u = report.utility_series();
+        for w in u.windows(2) {
+            assert!(w[1] <= w[0] * 1.10, "utility jumped: {u:?}");
+        }
+        assert!(
+            u.last().unwrap() < &(u[0] * 0.5),
+            "utility should fall substantially over the sweep: {u:?}"
+        );
+    }
+
+    #[test]
+    fn before_series_is_flat_for_midpoint_baseline() {
+        // Figure 4: the paper's pre-fusion curve is k-invariant.
+        let report = run_sweep(2, 10);
+        let b = report.before_series();
+        for w in b.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn csv_and_ascii_render() {
+        let report = run_sweep(2, 4);
+        let csv = report.to_csv();
+        assert!(csv.lines().count() == 4);
+        assert!(csv.starts_with("k,"));
+        let ascii = report.to_ascii();
+        assert!(ascii.contains("gain"));
+    }
+
+    #[test]
+    fn invalid_ranges_rejected() {
+        let (table, web) = world();
+        let before = MidpointEstimator::default();
+        let after = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+        for (k_min, k_max) in [(1usize, 5usize), (6, 5)] {
+            let err = sweep(
+                &table,
+                &web,
+                &Mdav::new(),
+                &before,
+                &after,
+                &SweepConfig { k_min, k_max, ..SweepConfig::default() },
+            )
+            .unwrap_err();
+            assert!(matches!(err, CoreError::InvalidKRange { .. }));
+        }
+    }
+
+    #[test]
+    fn k_max_clamped_to_table_size() {
+        let (table, web) = world();
+        let before = MidpointEstimator::default();
+        let after = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+        let report = sweep(
+            &table,
+            &web,
+            &Mdav::new(),
+            &before,
+            &after,
+            &SweepConfig { k_min: 58, k_max: 100, ..SweepConfig::default() },
+        )
+        .unwrap();
+        // Table has 60 rows: levels 58..=60.
+        assert_eq!(report.ks(), vec![58, 59, 60]);
+    }
+
+    #[test]
+    fn missing_sensitive_values_rejected() {
+        let (mut table, web) = world();
+        table.set_cell(0, 4, fred_data::Value::Missing).unwrap();
+        let before = MidpointEstimator::default();
+        let after = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+        assert!(sweep(
+            &table,
+            &web,
+            &Mdav::new(),
+            &before,
+            &after,
+            &SweepConfig::default()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,302 @@
+//! Minimal, dependency-free CSV reader/writer.
+//!
+//! Supports RFC-4180-style quoting (`"` to quote, `""` to escape a quote).
+//! The reader is schema-directed: every field is parsed with the declared
+//! [`ValueKind`](crate::value::ValueKind) of its column, and the missing
+//! markers (`-`, `?`, empty) become [`Value::Missing`](crate::value::Value).
+
+use crate::error::{DataError, Result};
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Serializes a table to a CSV string, header row first.
+pub fn to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = table
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| escape(a.name()))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in table.rows() {
+        let cells: Vec<String> = row.iter().map(|v| escape(&v.to_string())).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses CSV text against a schema. The header row is validated against the
+/// schema's attribute names (order-sensitive).
+pub fn from_csv(text: &str, schema: Schema) -> Result<Table> {
+    let mut lines = split_records(text);
+    if lines.is_empty() {
+        return Ok(Table::new(schema));
+    }
+    let header = parse_record(&lines.remove(0), 1)?;
+    if header.len() != schema.len() {
+        return Err(DataError::Csv {
+            line: 1,
+            message: format!(
+                "header has {} fields, schema expects {}",
+                header.len(),
+                schema.len()
+            ),
+        });
+    }
+    for (i, h) in header.iter().enumerate() {
+        let expected = schema.attribute(i)?.name();
+        if h != expected {
+            return Err(DataError::Csv {
+                line: 1,
+                message: format!("header field {i} is `{h}`, expected `{expected}`"),
+            });
+        }
+    }
+    let mut table = Table::new(schema);
+    for (lineno, raw) in lines.iter().enumerate() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let fields = parse_record(raw, lineno + 2)?;
+        if fields.len() != table.schema().len() {
+            return Err(DataError::Csv {
+                line: lineno + 2,
+                message: format!(
+                    "record has {} fields, schema expects {}",
+                    fields.len(),
+                    table.schema().len()
+                ),
+            });
+        }
+        let mut row = Vec::with_capacity(fields.len());
+        for (i, field) in fields.iter().enumerate() {
+            let kind = table.schema().attribute(i)?.kind();
+            let value = Value::parse(field, kind).map_err(|_| DataError::Csv {
+                line: lineno + 2,
+                message: format!("field {i} `{field}` is not a valid {kind}"),
+            })?;
+            row.push(value);
+        }
+        table.push_row(row)?;
+    }
+    Ok(table)
+}
+
+/// Splits text into physical CSV records, honouring newlines inside quotes.
+fn split_records(text: &str) -> Vec<String> {
+    let mut records = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    for ch in text.chars() {
+        match ch {
+            '"' => {
+                in_quotes = !in_quotes;
+                current.push(ch);
+            }
+            '\n' if !in_quotes => {
+                records.push(std::mem::take(&mut current));
+            }
+            '\r' if !in_quotes => {}
+            _ => current.push(ch),
+        }
+    }
+    if !current.is_empty() {
+        records.push(current);
+    }
+    records
+}
+
+/// Parses one record into unescaped fields.
+fn parse_record(record: &str, line: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = record.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(ch),
+            }
+        } else {
+            match ch {
+                '"' => {
+                    if field.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(DataError::Csv {
+                            line,
+                            message: "quote inside unquoted field".into(),
+                        });
+                    }
+                }
+                ',' => fields.push(std::mem::take(&mut field)),
+                _ => field.push(ch),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DataError::Csv { line, message: "unterminated quote".into() });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Writes a table to a CSV file.
+pub fn write_file(table: &Table, path: impl AsRef<std::path::Path>) -> Result<()> {
+    std::fs::write(path, to_csv(table)).map_err(|e| DataError::Csv {
+        line: 0,
+        message: format!("io error: {e}"),
+    })
+}
+
+/// Reads a table from a CSV file against a schema.
+pub fn read_file(path: impl AsRef<std::path::Path>, schema: Schema) -> Result<Table> {
+    let text = std::fs::read_to_string(path).map_err(|e| DataError::Csv {
+        line: 0,
+        message: format!("io error: {e}"),
+    })?;
+    from_csv(&text, schema)
+}
+
+fn escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for ch in s.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+        out
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::{Value, ValueKind};
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .identifier("Name")
+            .quasi_numeric("Score")
+            .sensitive_numeric("Salary")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut t = Table::new(schema());
+        t.push_row(vec![Value::Text("Alice".into()), Value::Float(3.5), Value::Float(90000.0)])
+            .unwrap();
+        t.push_row(vec![Value::Text("Bob, Jr.".into()), Value::Float(2.0), Value::Missing])
+            .unwrap();
+        let csv = to_csv(&t);
+        assert!(csv.starts_with("Name,Score,Salary\n"));
+        assert!(csv.contains("\"Bob, Jr.\""));
+        let t2 = from_csv(&csv, schema()).unwrap();
+        assert_eq!(t2.len(), 2);
+        assert_eq!(t2.row(1).unwrap()[0].as_str(), Some("Bob, Jr."));
+        assert!(t2.row(1).unwrap()[2].is_missing());
+        assert_eq!(t2.row(0).unwrap()[1], Value::Float(3.5));
+    }
+
+    #[test]
+    fn quoted_newline_and_escaped_quote() {
+        let s = Schema::builder().identifier("A").build().unwrap();
+        let csv = "A\n\"line1\nline2\"\n\"say \"\"hi\"\"\"\n";
+        let t = from_csv(csv, s).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.row(0).unwrap()[0].as_str(), Some("line1\nline2"));
+        assert_eq!(t.row(1).unwrap()[0].as_str(), Some("say \"hi\""));
+    }
+
+    #[test]
+    fn header_validation() {
+        let csv = "Wrong,Score,Salary\nAlice,1,2\n";
+        let err = from_csv(csv, schema()).unwrap_err();
+        assert!(matches!(err, DataError::Csv { line: 1, .. }));
+        let csv = "Name,Score\nAlice,1\n";
+        assert!(from_csv(csv, schema()).is_err());
+    }
+
+    #[test]
+    fn bad_field_reports_line() {
+        let csv = "Name,Score,Salary\nAlice,notanumber,2\n";
+        match from_csv(csv, schema()) {
+            Err(DataError::Csv { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected csv error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let s = Schema::builder().identifier("A").build().unwrap();
+        // The unterminated quote swallows the newline, producing a single record.
+        assert!(from_csv("A\n\"oops\n", s).is_err());
+    }
+
+    #[test]
+    fn missing_markers_parse_as_missing() {
+        let csv = "Name,Score,Salary\nAlice,-,?\n";
+        let t = from_csv(csv, schema()).unwrap();
+        assert!(t.row(0).unwrap()[1].is_missing());
+        assert!(t.row(0).unwrap()[2].is_missing());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_table() {
+        let t = from_csv("", schema()).unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let csv = "Name,Score,Salary\r\nAlice,1,2\r\n";
+        let t = from_csv(csv, schema()).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut t = Table::new(schema());
+        t.push_row(vec![Value::Text("Ada".into()), Value::Float(1.0), Value::Float(2.0)])
+            .unwrap();
+        let dir = std::env::temp_dir().join("fred_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.csv");
+        write_file(&t, &path).unwrap();
+        let back = read_file(&path, schema()).unwrap();
+        assert_eq!(back, t);
+        std::fs::remove_file(&path).ok();
+        assert!(read_file(dir.join("missing.csv"), schema()).is_err());
+    }
+
+    #[test]
+    fn value_parse_interval_kind() {
+        let s = Schema::builder()
+            .attribute("R", ValueKind::Interval, crate::schema::AttributeRole::QuasiIdentifier)
+            .build()
+            .unwrap();
+        let t = from_csv("R\n[5-10]\n", s).unwrap();
+        assert_eq!(t.row(0).unwrap()[0].as_f64(), Some(7.5));
+    }
+}

@@ -1,0 +1,129 @@
+//! Error types for the tabular data engine.
+
+use std::fmt;
+
+/// Errors produced by schema construction, table mutation and I/O.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A row was pushed whose arity differs from the schema arity.
+    ArityMismatch {
+        /// Number of attributes declared in the schema.
+        expected: usize,
+        /// Number of values in the offending row.
+        found: usize,
+    },
+    /// A value's type does not match the declared attribute kind.
+    TypeMismatch {
+        /// Attribute name.
+        attribute: String,
+        /// Declared kind.
+        expected: &'static str,
+        /// Kind actually found.
+        found: &'static str,
+    },
+    /// An attribute name was looked up but does not exist.
+    UnknownAttribute(String),
+    /// An attribute index was out of bounds.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Number of attributes.
+        len: usize,
+    },
+    /// Two attributes with the same name were declared.
+    DuplicateAttribute(String),
+    /// A column could not be interpreted as numeric.
+    NonNumericColumn(String),
+    /// A CSV document could not be parsed.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// Interval construction with `lo > hi`.
+    InvalidInterval {
+        /// Lower bound supplied.
+        lo: f64,
+        /// Upper bound supplied.
+        hi: f64,
+    },
+    /// Operation requires a non-empty table.
+    EmptyTable,
+    /// Two tables that must be conformable (same rows/columns) are not.
+    ShapeMismatch {
+        /// Shape of the left operand as (rows, cols).
+        left: (usize, usize),
+        /// Shape of the right operand as (rows, cols).
+        right: (usize, usize),
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ArityMismatch { expected, found } => {
+                write!(f, "row arity {found} does not match schema arity {expected}")
+            }
+            DataError::TypeMismatch { attribute, expected, found } => {
+                write!(f, "attribute `{attribute}` expects {expected}, found {found}")
+            }
+            DataError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            DataError::IndexOutOfBounds { index, len } => {
+                write!(f, "attribute index {index} out of bounds for schema of {len}")
+            }
+            DataError::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute name `{name}`")
+            }
+            DataError::NonNumericColumn(name) => {
+                write!(f, "column `{name}` cannot be interpreted as numeric")
+            }
+            DataError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            DataError::InvalidInterval { lo, hi } => {
+                write!(f, "invalid interval: lo {lo} > hi {hi}")
+            }
+            DataError::EmptyTable => write!(f, "operation requires a non-empty table"),
+            DataError::ShapeMismatch { left, right } => write!(
+                f,
+                "shape mismatch: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, DataError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DataError::ArityMismatch { expected: 4, found: 2 };
+        assert!(e.to_string().contains("arity 2"));
+        assert!(e.to_string().contains("schema arity 4"));
+
+        let e = DataError::TypeMismatch {
+            attribute: "age".into(),
+            expected: "Int",
+            found: "Text",
+        };
+        assert!(e.to_string().contains("age"));
+
+        let e = DataError::Csv { line: 7, message: "unterminated quote".into() };
+        assert!(e.to_string().contains("line 7"));
+
+        let e = DataError::ShapeMismatch { left: (3, 2), right: (4, 2) };
+        assert!(e.to_string().contains("3x2"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&DataError::EmptyTable);
+    }
+}

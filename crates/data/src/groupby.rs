@@ -1,0 +1,198 @@
+//! Group-by and aggregation over tables — the release-analysis utilities
+//! an enterprise consumer of an anonymized release would actually run
+//! (the "intended purpose" whose fidelity the utility metric protects).
+
+use crate::error::{DataError, Result};
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Aggregate functions available to [`group_by`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Row count per group.
+    Count,
+    /// Mean of a numeric column.
+    Mean,
+    /// Minimum of a numeric column.
+    Min,
+    /// Maximum of a numeric column.
+    Max,
+    /// Sum of a numeric column.
+    Sum,
+}
+
+/// One group's aggregation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupRow {
+    /// The group key (rendered cell value of the grouping column).
+    pub key: String,
+    /// Number of rows in the group.
+    pub count: usize,
+    /// The aggregate value (equals `count` for [`Aggregate::Count`]).
+    pub value: f64,
+}
+
+/// Groups rows by the rendered value of `key_col` and aggregates
+/// `value_col` with `agg`. For [`Aggregate::Count`], `value_col` is
+/// ignored. Missing cells are skipped in numeric aggregates; groups whose
+/// cells are all missing report NaN-free zero counts.
+pub fn group_by(table: &Table, key_col: usize, value_col: usize, agg: Aggregate) -> Result<Vec<GroupRow>> {
+    table.schema().attribute(key_col)?;
+    if agg != Aggregate::Count {
+        table.schema().attribute(value_col)?;
+    }
+    let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, row) in table.rows().iter().enumerate() {
+        groups.entry(row[key_col].to_string()).or_default().push(i);
+    }
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, rows) in groups {
+        let numeric: Vec<f64> = if agg == Aggregate::Count {
+            Vec::new()
+        } else {
+            rows.iter()
+                .filter_map(|&r| table.cell(r, value_col).and_then(Value::as_f64))
+                .collect()
+        };
+        let value = match agg {
+            Aggregate::Count => rows.len() as f64,
+            Aggregate::Sum => numeric.iter().sum(),
+            Aggregate::Mean => {
+                if numeric.is_empty() {
+                    0.0
+                } else {
+                    numeric.iter().sum::<f64>() / numeric.len() as f64
+                }
+            }
+            Aggregate::Min => numeric.iter().copied().fold(f64::INFINITY, f64::min),
+            Aggregate::Max => numeric.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        };
+        let value = if value.is_finite() { value } else { 0.0 };
+        out.push(GroupRow { key, count: rows.len(), value });
+    }
+    out.sort_by(|a, b| a.key.cmp(&b.key));
+    Ok(out)
+}
+
+/// Measures how well an anonymized release preserves a grouped aggregate:
+/// runs the same `group_by` on both tables and returns the mean absolute
+/// relative error over groups present in both (the *query-fidelity* view
+/// of release utility, complementing the discernibility metric).
+pub fn aggregate_fidelity(
+    original: &Table,
+    release: &Table,
+    key_col: usize,
+    value_col: usize,
+    agg: Aggregate,
+) -> Result<f64> {
+    if original.len() != release.len() {
+        return Err(DataError::ShapeMismatch {
+            left: (original.len(), original.schema().len()),
+            right: (release.len(), release.schema().len()),
+        });
+    }
+    let a = group_by(original, key_col, value_col, agg)?;
+    let b = group_by(release, key_col, value_col, agg)?;
+    let b_map: HashMap<&str, f64> = b.iter().map(|g| (g.key.as_str(), g.value)).collect();
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for g in &a {
+        if let Some(&rv) = b_map.get(g.key.as_str()) {
+            let denom = g.value.abs().max(1e-12);
+            total += (g.value - rv).abs() / denom;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return Err(DataError::EmptyTable);
+    }
+    Ok(total / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn table() -> Table {
+        let schema = Schema::builder()
+            .quasi_categorical("Dept")
+            .sensitive_numeric("Salary")
+            .build()
+            .unwrap();
+        Table::with_rows(
+            schema,
+            vec![
+                vec![Value::Categorical("cs".into()), Value::Float(100.0)],
+                vec![Value::Categorical("cs".into()), Value::Float(200.0)],
+                vec![Value::Categorical("math".into()), Value::Float(50.0)],
+                vec![Value::Categorical("math".into()), Value::Missing],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn count_and_mean() {
+        let t = table();
+        let counts = group_by(&t, 0, 0, Aggregate::Count).unwrap();
+        assert_eq!(counts.len(), 2);
+        assert_eq!(counts[0].key, "cs");
+        assert_eq!(counts[0].count, 2);
+
+        let means = group_by(&t, 0, 1, Aggregate::Mean).unwrap();
+        assert_eq!(means[0].value, 150.0); // cs
+        assert_eq!(means[1].value, 50.0); // math: missing skipped
+    }
+
+    #[test]
+    fn min_max_sum() {
+        let t = table();
+        assert_eq!(group_by(&t, 0, 1, Aggregate::Min).unwrap()[0].value, 100.0);
+        assert_eq!(group_by(&t, 0, 1, Aggregate::Max).unwrap()[0].value, 200.0);
+        assert_eq!(group_by(&t, 0, 1, Aggregate::Sum).unwrap()[0].value, 300.0);
+    }
+
+    #[test]
+    fn all_missing_group_is_zero() {
+        let schema = Schema::builder()
+            .quasi_categorical("g")
+            .sensitive_numeric("v")
+            .build()
+            .unwrap();
+        let t = Table::with_rows(
+            schema,
+            vec![vec![Value::Categorical("a".into()), Value::Missing]],
+        )
+        .unwrap();
+        let g = group_by(&t, 0, 1, Aggregate::Min).unwrap();
+        assert_eq!(g[0].value, 0.0);
+    }
+
+    #[test]
+    fn bad_columns_error() {
+        let t = table();
+        assert!(group_by(&t, 9, 1, Aggregate::Count).is_err());
+        assert!(group_by(&t, 0, 9, Aggregate::Mean).is_err());
+    }
+
+    #[test]
+    fn fidelity_of_identical_tables_is_zero() {
+        let t = table();
+        let f = aggregate_fidelity(&t, &t, 0, 1, Aggregate::Mean).unwrap();
+        assert_eq!(f, 0.0);
+    }
+
+    #[test]
+    fn fidelity_detects_perturbation() {
+        let t = table();
+        let mut r = t.clone();
+        r.set_cell(0, 1, Value::Float(400.0)).unwrap(); // cs mean 150 -> 300
+        let f = aggregate_fidelity(&t, &r, 0, 1, Aggregate::Mean).unwrap();
+        assert!(f > 0.4, "fidelity error {f}");
+        // Shape mismatch errors.
+        let shorter = t.filter(|_| false);
+        assert!(aggregate_fidelity(&t, &shorter, 0, 1, Aggregate::Mean).is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! Closed numeric intervals `[lo, hi]`.
+//!
+//! Intervals are the generalized form a numeric quasi-identifier takes after
+//! k-anonymization (paper Table III publishes `Invst Vol` as `[5-10]` etc.).
+//! The adversary, lacking anything better, reads an interval at its
+//! *midpoint*; the fusion system then sharpens that estimate.
+
+use crate::error::{DataError, Result};
+use std::fmt;
+
+/// A closed interval `[lo, hi]` over `f64` with `lo <= hi`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// Creates a new interval, failing if `lo > hi` or either bound is NaN.
+    pub fn new(lo: f64, hi: f64) -> Result<Self> {
+        if lo.is_nan() || hi.is_nan() || lo > hi {
+            return Err(DataError::InvalidInterval { lo, hi });
+        }
+        Ok(Interval { lo, hi })
+    }
+
+    /// Creates a degenerate interval `[x, x]`.
+    pub fn point(x: f64) -> Self {
+        Interval { lo: x, hi: x }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Midpoint `(lo + hi) / 2` — the adversary's default point estimate.
+    pub fn midpoint(&self) -> f64 {
+        self.lo + (self.hi - self.lo) / 2.0
+    }
+
+    /// Width `hi - lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether `x` lies inside the closed interval.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Whether `other` is entirely inside `self`.
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Whether the two intervals share at least one point.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Smallest interval covering both operands (convex hull).
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Intersection, if non-empty.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(Interval { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// Smallest interval covering every value in `xs`; `None` when empty or
+    /// when any value is NaN.
+    pub fn cover(xs: &[f64]) -> Option<Interval> {
+        if xs.is_empty() || xs.iter().any(|x| x.is_nan()) {
+            return None;
+        }
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(Interval { lo, hi })
+    }
+
+    /// Clamps `x` into the interval.
+    pub fn clamp(&self, x: f64) -> f64 {
+        x.clamp(self.lo, self.hi)
+    }
+
+    /// Linear position of `x` inside the interval in `[0, 1]` (0 at `lo`,
+    /// 1 at `hi`). Degenerate intervals map everything to `0.5`.
+    pub fn position(&self, x: f64) -> f64 {
+        if self.width() == 0.0 {
+            0.5
+        } else {
+            ((x - self.lo) / self.width()).clamp(0.0, 1.0)
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render integral bounds without a trailing ".0" so the output
+        // matches the paper's "[5-10]" presentation.
+        fn fmt_bound(x: f64) -> String {
+            if x.fract() == 0.0 && x.abs() < 1e15 {
+                format!("{}", x as i64)
+            } else {
+                format!("{x}")
+            }
+        }
+        write!(f, "[{}-{}]", fmt_bound(self.lo), fmt_bound(self.hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_inverted_and_nan() {
+        assert!(Interval::new(2.0, 1.0).is_err());
+        assert!(Interval::new(f64::NAN, 1.0).is_err());
+        assert!(Interval::new(0.0, f64::NAN).is_err());
+        assert!(Interval::new(1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn midpoint_and_width() {
+        let iv = Interval::new(5.0, 10.0).unwrap();
+        assert_eq!(iv.midpoint(), 7.5);
+        assert_eq!(iv.width(), 5.0);
+        assert_eq!(Interval::point(3.0).midpoint(), 3.0);
+        assert_eq!(Interval::point(3.0).width(), 0.0);
+    }
+
+    #[test]
+    fn containment_and_overlap() {
+        let a = Interval::new(0.0, 10.0).unwrap();
+        let b = Interval::new(2.0, 5.0).unwrap();
+        let c = Interval::new(9.0, 12.0).unwrap();
+        let d = Interval::new(11.0, 12.0).unwrap();
+        assert!(a.contains(0.0) && a.contains(10.0) && !a.contains(10.001));
+        assert!(a.contains_interval(&b));
+        assert!(!b.contains_interval(&a));
+        assert!(a.overlaps(&c));
+        assert!(!a.overlaps(&d));
+    }
+
+    #[test]
+    fn hull_and_intersection() {
+        let a = Interval::new(0.0, 4.0).unwrap();
+        let b = Interval::new(2.0, 8.0).unwrap();
+        assert_eq!(a.hull(&b), Interval::new(0.0, 8.0).unwrap());
+        assert_eq!(a.intersect(&b), Some(Interval::new(2.0, 4.0).unwrap()));
+        let c = Interval::new(5.0, 6.0).unwrap();
+        assert_eq!(a.intersect(&c), None);
+        // Touching intervals intersect in a point.
+        let d = Interval::new(4.0, 9.0).unwrap();
+        assert_eq!(a.intersect(&d), Some(Interval::point(4.0)));
+    }
+
+    #[test]
+    fn cover_spans_all_values() {
+        let iv = Interval::cover(&[3.0, -1.0, 7.0]).unwrap();
+        assert_eq!(iv.lo(), -1.0);
+        assert_eq!(iv.hi(), 7.0);
+        assert!(Interval::cover(&[]).is_none());
+        assert!(Interval::cover(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn position_is_normalized() {
+        let iv = Interval::new(10.0, 20.0).unwrap();
+        assert_eq!(iv.position(10.0), 0.0);
+        assert_eq!(iv.position(20.0), 1.0);
+        assert_eq!(iv.position(15.0), 0.5);
+        assert_eq!(iv.position(0.0), 0.0); // clamped
+        assert_eq!(Interval::point(4.0).position(4.0), 0.5);
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        assert_eq!(Interval::new(5.0, 10.0).unwrap().to_string(), "[5-10]");
+        assert_eq!(Interval::new(1.5, 2.5).unwrap().to_string(), "[1.5-2.5]");
+    }
+}

@@ -1,0 +1,48 @@
+//! # fred-data — tabular substrate for the FRED reproduction
+//!
+//! In-memory tables with privacy-role-annotated schemas, the value model
+//! (including generalized [`Interval`] cells and suppressed cells), CSV I/O
+//! and descriptive statistics.
+//!
+//! This crate is the foundation every other crate in the workspace builds
+//! on: anonymizers rewrite [`Table`]s, the attack reads them, and the FRED
+//! optimizer compares them.
+//!
+//! ## Example
+//!
+//! ```
+//! use fred_data::{Schema, Table, Value};
+//!
+//! let schema = Schema::builder()
+//!     .identifier("Name")
+//!     .quasi_numeric("Valuation")
+//!     .sensitive_numeric("Income")
+//!     .build()
+//!     .unwrap();
+//! let mut table = Table::new(schema);
+//! table
+//!     .push_row(vec![Value::from("Robert"), Value::from(9.0), Value::from(98_230.0)])
+//!     .unwrap();
+//! let release = table.suppress_sensitive();
+//! assert!(release.row(0).unwrap()[2].is_missing());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod error;
+pub mod groupby;
+pub mod interval;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use csv::{from_csv, read_file, to_csv, write_file};
+pub use error::{DataError, Result};
+pub use groupby::{aggregate_fidelity, group_by, Aggregate, GroupRow};
+pub use interval::Interval;
+pub use schema::{Attribute, AttributeRole, Schema, SchemaBuilder};
+pub use stats::{histogram, mae, pearson, rmse, ColumnStats};
+pub use table::{Row, Table};
+pub use value::{Value, ValueKind};

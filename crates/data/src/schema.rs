@@ -1,0 +1,309 @@
+//! Schemas: named, typed, role-annotated attributes.
+//!
+//! The paper's attribute taxonomy (Section I) is carried by
+//! [`AttributeRole`]: identifiers must survive the release, quasi-identifiers
+//! are generalized, sensitive attributes are suppressed, and insensitive
+//! attributes pass through untouched.
+
+use crate::error::{DataError, Result};
+use crate::value::ValueKind;
+use std::fmt;
+
+/// Privacy role of an attribute, following the paper's classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttributeRole {
+    /// Explicit identifier (Name, SSN). In enterprise releases these are
+    /// *retained* — that retention is what enables the fusion attack.
+    Identifier,
+    /// Quasi-identifier: indirectly identifying, generalized by the
+    /// anonymizer (Age, Zipcode, Invst Vol, ...).
+    QuasiIdentifier,
+    /// Sensitive attribute whose disclosure must be prevented (Income).
+    Sensitive,
+    /// Neither identifying nor sensitive; passes through releases.
+    Insensitive,
+}
+
+impl fmt::Display for AttributeRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttributeRole::Identifier => "identifier",
+            AttributeRole::QuasiIdentifier => "quasi-identifier",
+            AttributeRole::Sensitive => "sensitive",
+            AttributeRole::Insensitive => "insensitive",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named, typed, role-annotated attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    name: String,
+    kind: ValueKind,
+    role: AttributeRole,
+}
+
+impl Attribute {
+    /// Creates an attribute.
+    pub fn new(name: impl Into<String>, kind: ValueKind, role: AttributeRole) -> Self {
+        Attribute { name: name.into(), kind, role }
+    }
+
+    /// Attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared value kind.
+    pub fn kind(&self) -> ValueKind {
+        self.kind
+    }
+
+    /// Privacy role.
+    pub fn role(&self) -> AttributeRole {
+        self.role
+    }
+}
+
+/// An ordered collection of attributes with unique names.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Builds a schema from attributes, rejecting duplicate names.
+    pub fn new(attributes: Vec<Attribute>) -> Result<Self> {
+        for (i, a) in attributes.iter().enumerate() {
+            if attributes[..i].iter().any(|b| b.name == a.name) {
+                return Err(DataError::DuplicateAttribute(a.name.clone()));
+            }
+        }
+        Ok(Schema { attributes })
+    }
+
+    /// Fluent builder.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder::default()
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Whether the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// All attributes in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Attribute at `index`.
+    pub fn attribute(&self, index: usize) -> Result<&Attribute> {
+        self.attributes.get(index).ok_or(DataError::IndexOutOfBounds {
+            index,
+            len: self.attributes.len(),
+        })
+    }
+
+    /// Index of the attribute named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.attributes
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| DataError::UnknownAttribute(name.to_owned()))
+    }
+
+    /// Indices of attributes carrying the given role, in declaration order.
+    pub fn indices_with_role(&self, role: AttributeRole) -> Vec<usize> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.role == role)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of the quasi-identifier attributes.
+    pub fn quasi_identifier_indices(&self) -> Vec<usize> {
+        self.indices_with_role(AttributeRole::QuasiIdentifier)
+    }
+
+    /// Indices of the sensitive attributes.
+    pub fn sensitive_indices(&self) -> Vec<usize> {
+        self.indices_with_role(AttributeRole::Sensitive)
+    }
+
+    /// Indices of the identifier attributes.
+    pub fn identifier_indices(&self) -> Vec<usize> {
+        self.indices_with_role(AttributeRole::Identifier)
+    }
+
+    /// Projects a subset of attributes (by index) into a new schema.
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let mut attrs = Vec::with_capacity(indices.len());
+        for &i in indices {
+            attrs.push(self.attribute(i)?.clone());
+        }
+        Schema::new(attrs)
+    }
+
+    /// Returns a copy of the schema where the attribute at `index` has a new
+    /// role (used when a release re-classifies columns).
+    pub fn with_role(&self, index: usize, role: AttributeRole) -> Result<Schema> {
+        let mut attrs = self.attributes.clone();
+        let len = attrs.len();
+        let a = attrs
+            .get_mut(index)
+            .ok_or(DataError::IndexOutOfBounds { index, len })?;
+        a.role = role;
+        Ok(Schema { attributes: attrs })
+    }
+}
+
+/// Fluent builder for [`Schema`].
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    attributes: Vec<Attribute>,
+}
+
+impl SchemaBuilder {
+    /// Adds an identifier attribute (always textual in this crate).
+    pub fn identifier(mut self, name: impl Into<String>) -> Self {
+        self.attributes
+            .push(Attribute::new(name, ValueKind::Text, AttributeRole::Identifier));
+        self
+    }
+
+    /// Adds a numeric (float) quasi-identifier.
+    pub fn quasi_numeric(mut self, name: impl Into<String>) -> Self {
+        self.attributes.push(Attribute::new(
+            name,
+            ValueKind::Float,
+            AttributeRole::QuasiIdentifier,
+        ));
+        self
+    }
+
+    /// Adds an integer quasi-identifier.
+    pub fn quasi_int(mut self, name: impl Into<String>) -> Self {
+        self.attributes
+            .push(Attribute::new(name, ValueKind::Int, AttributeRole::QuasiIdentifier));
+        self
+    }
+
+    /// Adds a categorical quasi-identifier.
+    pub fn quasi_categorical(mut self, name: impl Into<String>) -> Self {
+        self.attributes.push(Attribute::new(
+            name,
+            ValueKind::Categorical,
+            AttributeRole::QuasiIdentifier,
+        ));
+        self
+    }
+
+    /// Adds a numeric sensitive attribute.
+    pub fn sensitive_numeric(mut self, name: impl Into<String>) -> Self {
+        self.attributes
+            .push(Attribute::new(name, ValueKind::Float, AttributeRole::Sensitive));
+        self
+    }
+
+    /// Adds a categorical sensitive attribute.
+    pub fn sensitive_categorical(mut self, name: impl Into<String>) -> Self {
+        self.attributes.push(Attribute::new(
+            name,
+            ValueKind::Categorical,
+            AttributeRole::Sensitive,
+        ));
+        self
+    }
+
+    /// Adds an arbitrary attribute.
+    pub fn attribute(mut self, name: impl Into<String>, kind: ValueKind, role: AttributeRole) -> Self {
+        self.attributes.push(Attribute::new(name, kind, role));
+        self
+    }
+
+    /// Finalizes the schema.
+    pub fn build(self) -> Result<Schema> {
+        Schema::new(self.attributes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_table_one() -> Schema {
+        // Table I of the paper: Name, SSN | Zipcode, Age, Nationality | Condition
+        Schema::builder()
+            .identifier("Name")
+            .identifier("SSN")
+            .quasi_int("Zipcode")
+            .quasi_int("Age")
+            .quasi_categorical("Nationality")
+            .sensitive_categorical("Condition")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_expected_roles() {
+        let s = paper_table_one();
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.identifier_indices(), vec![0, 1]);
+        assert_eq!(s.quasi_identifier_indices(), vec![2, 3, 4]);
+        assert_eq!(s.sensitive_indices(), vec![5]);
+        assert_eq!(s.attribute(3).unwrap().name(), "Age");
+        assert_eq!(s.attribute(3).unwrap().kind(), ValueKind::Int);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::builder()
+            .identifier("Name")
+            .quasi_int("Name")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, DataError::DuplicateAttribute("Name".into()));
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = paper_table_one();
+        assert_eq!(s.index_of("Age").unwrap(), 3);
+        assert!(matches!(s.index_of("Salary"), Err(DataError::UnknownAttribute(_))));
+        assert!(matches!(
+            s.attribute(10),
+            Err(DataError::IndexOutOfBounds { index: 10, len: 6 })
+        ));
+    }
+
+    #[test]
+    fn projection_preserves_order() {
+        let s = paper_table_one();
+        let p = s.project(&[0, 3, 5]).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.attribute(1).unwrap().name(), "Age");
+        assert_eq!(p.attribute(2).unwrap().role(), AttributeRole::Sensitive);
+    }
+
+    #[test]
+    fn with_role_reclassifies() {
+        let s = paper_table_one();
+        let s2 = s.with_role(5, AttributeRole::Insensitive).unwrap();
+        assert!(s2.sensitive_indices().is_empty());
+        assert_eq!(s.sensitive_indices(), vec![5]); // original untouched
+    }
+
+    #[test]
+    fn role_display() {
+        assert_eq!(AttributeRole::QuasiIdentifier.to_string(), "quasi-identifier");
+    }
+}

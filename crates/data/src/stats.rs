@@ -1,0 +1,219 @@
+//! Descriptive statistics over numeric columns.
+
+use crate::error::{DataError, Result};
+use crate::table::Table;
+
+/// Summary statistics for a numeric sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of non-missing observations.
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance (divides by `n`).
+    pub variance: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Median (average of middle two for even `n`).
+    pub median: f64,
+}
+
+impl ColumnStats {
+    /// Computes statistics for a non-empty sample.
+    pub fn from_slice(xs: &[f64]) -> Result<ColumnStats> {
+        if xs.is_empty() {
+            return Err(DataError::EmptyTable);
+        }
+        let n = xs.len() as f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+            sum += x;
+        }
+        let mean = sum / n;
+        let variance = xs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            let hi = sorted.len() / 2;
+            (sorted[hi - 1] + sorted[hi]) / 2.0
+        };
+        Ok(ColumnStats {
+            count: xs.len(),
+            min,
+            max,
+            mean,
+            variance,
+            std_dev: variance.sqrt(),
+            median,
+        })
+    }
+
+    /// Computes statistics for a table column (missing cells skipped).
+    pub fn from_table(table: &Table, col: usize) -> Result<ColumnStats> {
+        let xs = table.numeric_column(col)?;
+        ColumnStats::from_slice(&xs)
+    }
+}
+
+/// Pearson correlation coefficient of two equally-long samples.
+///
+/// Returns `0.0` when either sample is constant (degenerate correlation).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(DataError::ShapeMismatch {
+            left: (xs.len(), 1),
+            right: (ys.len(), 1),
+        });
+    }
+    if xs.is_empty() {
+        return Err(DataError::EmptyTable);
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// Fixed-width histogram over `[min, max]` with `bins` buckets.
+///
+/// Values exactly at `max` land in the last bucket.
+pub fn histogram(xs: &[f64], min: f64, max: f64, bins: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; bins];
+    if bins == 0 || max <= min {
+        return counts;
+    }
+    let width = (max - min) / bins as f64;
+    for &x in xs {
+        if x < min || x > max {
+            continue;
+        }
+        let mut b = ((x - min) / width) as usize;
+        if b >= bins {
+            b = bins - 1;
+        }
+        counts[b] += 1;
+    }
+    counts
+}
+
+/// Root-mean-square error between prediction and truth.
+pub fn rmse(pred: &[f64], truth: &[f64]) -> Result<f64> {
+    if pred.len() != truth.len() {
+        return Err(DataError::ShapeMismatch {
+            left: (pred.len(), 1),
+            right: (truth.len(), 1),
+        });
+    }
+    if pred.is_empty() {
+        return Err(DataError::EmptyTable);
+    }
+    let mse = pred
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64;
+    Ok(mse.sqrt())
+}
+
+/// Mean absolute error between prediction and truth.
+pub fn mae(pred: &[f64], truth: &[f64]) -> Result<f64> {
+    if pred.len() != truth.len() {
+        return Err(DataError::ShapeMismatch {
+            left: (pred.len(), 1),
+            right: (truth.len(), 1),
+        });
+    }
+    if pred.is_empty() {
+        return Err(DataError::EmptyTable);
+    }
+    Ok(pred.iter().zip(truth).map(|(&p, &t)| (p - t).abs()).sum::<f64>() / pred.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_simple_sample() {
+        let s = ColumnStats::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.variance, 4.0);
+        assert_eq!(s.std_dev, 2.0);
+        assert_eq!(s.median, 4.5);
+    }
+
+    #[test]
+    fn median_odd() {
+        let s = ColumnStats::from_slice(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn empty_sample_errors() {
+        assert!(ColumnStats::from_slice(&[]).is_err());
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_is_zero() {
+        let xs = [1.0, 1.0, 1.0];
+        let ys = [2.0, 3.0, 4.0];
+        assert_eq!(pearson(&xs, &ys).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn pearson_shape_mismatch() {
+        assert!(pearson(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let xs = [0.0, 0.5, 1.0, 2.5, 5.0, 4.999, 10.0];
+        let h = histogram(&xs, 0.0, 5.0, 5);
+        // 10.0 is out of range; 5.0 lands in the last bucket; 1.0 in bucket 1.
+        assert_eq!(h, vec![2, 1, 1, 0, 2]);
+        assert_eq!(histogram(&xs, 0.0, 5.0, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn error_metrics() {
+        let pred = [1.0, 2.0, 3.0];
+        let truth = [1.0, 4.0, 3.0];
+        assert!((rmse(&pred, &truth).unwrap() - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((mae(&pred, &truth).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(rmse(&pred, &truth[..2]).is_err());
+    }
+}

@@ -1,0 +1,366 @@
+//! Dynamically-typed cell values.
+
+use crate::error::{DataError, Result};
+use crate::interval::Interval;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single cell in a [`crate::table::Table`].
+///
+/// The variants mirror the attribute kinds found in enterprise data releases:
+/// raw numerics (`Int`/`Float`), free text (`Text`), categorical codes
+/// (`Categorical`), generalized numerics (`Interval`, produced by
+/// anonymization) and suppressed/missing cells (`Missing`, rendered as `-`
+/// exactly like the suppressed Income column in paper Table III).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Free text (identifiers such as names live here).
+    Text(String),
+    /// Categorical code; compared only for equality.
+    Categorical(String),
+    /// Generalized numeric range produced by anonymization.
+    Interval(Interval),
+    /// Suppressed or absent value.
+    Missing,
+}
+
+impl Value {
+    /// Short human-readable kind name (used in error messages).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "Int",
+            Value::Float(_) => "Float",
+            Value::Text(_) => "Text",
+            Value::Categorical(_) => "Categorical",
+            Value::Interval(_) => "Interval",
+            Value::Missing => "Missing",
+        }
+    }
+
+    /// Whether the cell is suppressed/absent.
+    pub fn is_missing(&self) -> bool {
+        matches!(self, Value::Missing)
+    }
+
+    /// Numeric view of the cell.
+    ///
+    /// Integers and floats map to themselves; intervals map to their
+    /// midpoint (the adversary's default reading of a generalized value);
+    /// text, categorical and missing cells have no numeric view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(x) => Some(*x),
+            Value::Interval(iv) => Some(iv.midpoint()),
+            Value::Text(_) | Value::Categorical(_) | Value::Missing => None,
+        }
+    }
+
+    /// Exact numeric view: like [`Value::as_f64`] but refuses intervals with
+    /// non-zero width, so callers that require ungeneralized data can detect
+    /// generalization.
+    pub fn as_exact_f64(&self) -> Option<f64> {
+        match self {
+            Value::Interval(iv) if iv.width() > 0.0 => None,
+            other => other.as_f64(),
+        }
+    }
+
+    /// Text view of the cell (both `Text` and `Categorical`).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) | Value::Categorical(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Interval view; scalars are seen as degenerate intervals.
+    pub fn as_interval(&self) -> Option<Interval> {
+        match self {
+            Value::Interval(iv) => Some(*iv),
+            Value::Int(i) => Some(Interval::point(*i as f64)),
+            Value::Float(x) => Some(Interval::point(*x)),
+            _ => None,
+        }
+    }
+
+    /// Partial order over numeric views; text compares lexicographically;
+    /// everything else is unordered.
+    pub fn partial_cmp_value(&self, other: &Value) -> Option<Ordering> {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(a), Some(b)) => a.partial_cmp(&b),
+            _ => match (self.as_str(), other.as_str()) {
+                (Some(a), Some(b)) => Some(a.cmp(b)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Parses a raw string into a value of the requested [`ValueKind`].
+    ///
+    /// The empty string, `-` and `?` parse as [`Value::Missing`] for every
+    /// kind (matching the suppression marker used in the paper's tables).
+    pub fn parse(raw: &str, kind: ValueKind) -> Result<Value> {
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed == "-" || trimmed == "?" {
+            return Ok(Value::Missing);
+        }
+        match kind {
+            ValueKind::Int => trimmed
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| DataError::TypeMismatch {
+                    attribute: String::new(),
+                    expected: "Int",
+                    found: "Text",
+                }),
+            ValueKind::Float => trimmed
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| DataError::TypeMismatch {
+                    attribute: String::new(),
+                    expected: "Float",
+                    found: "Text",
+                }),
+            ValueKind::Text => Ok(Value::Text(trimmed.to_owned())),
+            ValueKind::Categorical => Ok(Value::Categorical(trimmed.to_owned())),
+            ValueKind::Interval => parse_interval(trimmed),
+        }
+    }
+
+    /// Whether the value is compatible with the declared kind.
+    ///
+    /// `Missing` is compatible with every kind; `Interval` cells are
+    /// compatible with numeric kinds because anonymization generalizes
+    /// numerics into ranges in place.
+    pub fn conforms_to(&self, kind: ValueKind) -> bool {
+        matches!(
+            (self, kind),
+            (Value::Missing, _)
+                | (Value::Int(_), ValueKind::Int | ValueKind::Float)
+                | (Value::Float(_), ValueKind::Float)
+                | (
+                    Value::Interval(_),
+                    ValueKind::Int | ValueKind::Float | ValueKind::Interval
+                )
+                | (Value::Text(_), ValueKind::Text)
+                | (
+                    Value::Categorical(_),
+                    ValueKind::Categorical | ValueKind::Text
+                )
+        )
+    }
+}
+
+fn parse_interval(raw: &str) -> Result<Value> {
+    // Accept "[lo-hi]" (paper style) and "lo..hi".
+    let inner = raw.trim_start_matches('[').trim_end_matches(']');
+    let type_err = || DataError::TypeMismatch {
+        attribute: String::new(),
+        expected: "Interval",
+        found: "Text",
+    };
+    if let Some((lo, hi)) = inner.split_once("..") {
+        let (lo, hi) = (
+            lo.trim().parse::<f64>().map_err(|_| type_err())?,
+            hi.trim().parse::<f64>().map_err(|_| type_err())?,
+        );
+        return Ok(Value::Interval(Interval::new(lo, hi)?));
+    }
+    // Try every interior '-' as the delimiter; the first split where both
+    // halves parse as numbers wins (handles negative bounds like "-4--2").
+    for (i, ch) in inner.char_indices().skip(1) {
+        if ch != '-' {
+            continue;
+        }
+        let (lo_raw, hi_raw) = (&inner[..i], &inner[i + 1..]);
+        if let (Ok(lo), Ok(hi)) =
+            (lo_raw.trim().parse::<f64>(), hi_raw.trim().parse::<f64>())
+        {
+            return Ok(Value::Interval(Interval::new(lo, hi)?));
+        }
+    }
+    Err(type_err())
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{}", *x as i64)
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Text(s) | Value::Categorical(s) => write!(f, "{s}"),
+            Value::Interval(iv) => write!(f, "{iv}"),
+            Value::Missing => write!(f, "-"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl From<Interval> for Value {
+    fn from(v: Interval) -> Self {
+        Value::Interval(v)
+    }
+}
+
+/// Declared kind of an attribute's values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueKind {
+    /// Integer-valued attribute.
+    Int,
+    /// Float-valued attribute.
+    Float,
+    /// Free-text attribute.
+    Text,
+    /// Categorical attribute.
+    Categorical,
+    /// Interval-valued attribute (generalized numerics).
+    Interval,
+}
+
+impl ValueKind {
+    /// Whether values of this kind carry a numeric view.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, ValueKind::Int | ValueKind::Float | ValueKind::Interval)
+    }
+}
+
+impl fmt::Display for ValueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueKind::Int => "Int",
+            ValueKind::Float => "Float",
+            ValueKind::Text => "Text",
+            ValueKind::Categorical => "Categorical",
+            ValueKind::Interval => "Interval",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        let iv = Value::Interval(Interval::new(5.0, 10.0).unwrap());
+        assert_eq!(iv.as_f64(), Some(7.5));
+        assert_eq!(iv.as_exact_f64(), None);
+        assert_eq!(Value::Int(7).as_exact_f64(), Some(7.0));
+        assert_eq!(Value::Text("x".into()).as_f64(), None);
+        assert_eq!(Value::Missing.as_f64(), None);
+    }
+
+    #[test]
+    fn interval_views_of_scalars() {
+        assert_eq!(Value::Int(3).as_interval(), Some(Interval::point(3.0)));
+        assert_eq!(Value::Float(1.5).as_interval(), Some(Interval::point(1.5)));
+        assert_eq!(Value::Missing.as_interval(), None);
+    }
+
+    #[test]
+    fn parse_by_kind() {
+        assert_eq!(Value::parse("42", ValueKind::Int).unwrap(), Value::Int(42));
+        assert_eq!(Value::parse("-3", ValueKind::Int).unwrap(), Value::Int(-3));
+        assert_eq!(Value::parse("2.5", ValueKind::Float).unwrap(), Value::Float(2.5));
+        assert_eq!(
+            Value::parse("alice", ValueKind::Text).unwrap(),
+            Value::Text("alice".into())
+        );
+        assert_eq!(
+            Value::parse("CEO", ValueKind::Categorical).unwrap(),
+            Value::Categorical("CEO".into())
+        );
+        assert!(Value::parse("4x", ValueKind::Int).is_err());
+    }
+
+    #[test]
+    fn parse_missing_markers() {
+        for raw in ["", "  ", "-", "?"] {
+            assert_eq!(Value::parse(raw, ValueKind::Int).unwrap(), Value::Missing);
+            assert_eq!(Value::parse(raw, ValueKind::Text).unwrap(), Value::Missing);
+        }
+    }
+
+    #[test]
+    fn parse_intervals() {
+        let v = Value::parse("[5-10]", ValueKind::Interval).unwrap();
+        assert_eq!(v, Value::Interval(Interval::new(5.0, 10.0).unwrap()));
+        let v = Value::parse("1.5..2.5", ValueKind::Interval).unwrap();
+        assert_eq!(v, Value::Interval(Interval::new(1.5, 2.5).unwrap()));
+        // Negative bounds survive the '-' delimiter heuristic.
+        let v = Value::parse("[-4--2]", ValueKind::Interval).unwrap();
+        assert_eq!(v, Value::Interval(Interval::new(-4.0, -2.0).unwrap()));
+        assert!(Value::parse("[10-5]", ValueKind::Interval).is_err());
+    }
+
+    #[test]
+    fn conformance() {
+        assert!(Value::Int(1).conforms_to(ValueKind::Int));
+        assert!(Value::Int(1).conforms_to(ValueKind::Float));
+        assert!(!Value::Float(1.0).conforms_to(ValueKind::Int));
+        assert!(Value::Missing.conforms_to(ValueKind::Categorical));
+        let iv = Value::Interval(Interval::new(0.0, 1.0).unwrap());
+        assert!(iv.conforms_to(ValueKind::Int));
+        assert!(iv.conforms_to(ValueKind::Float));
+        assert!(!Value::Text("a".into()).conforms_to(ValueKind::Categorical));
+        assert!(Value::Categorical("a".into()).conforms_to(ValueKind::Text));
+    }
+
+    #[test]
+    fn ordering() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Value::Int(1).partial_cmp_value(&Value::Float(2.0)), Some(Less));
+        assert_eq!(
+            Value::Text("a".into()).partial_cmp_value(&Value::Text("b".into())),
+            Some(Less)
+        );
+        assert_eq!(Value::Missing.partial_cmp_value(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn display_matches_paper_tables() {
+        assert_eq!(Value::Missing.to_string(), "-");
+        assert_eq!(
+            Value::Interval(Interval::new(5.0, 10.0).unwrap()).to_string(),
+            "[5-10]"
+        );
+        assert_eq!(Value::Float(3.0).to_string(), "3");
+        assert_eq!(Value::Float(3.25).to_string(), "3.25");
+    }
+}

@@ -1,0 +1,146 @@
+//! Defuzzification of sampled aggregate membership curves.
+
+/// Defuzzification methods over the aggregated output fuzzy set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Defuzzifier {
+    /// Centre of gravity of the aggregate curve (Mamdani default).
+    #[default]
+    Centroid,
+    /// The x that splits the area under the curve in half.
+    Bisector,
+    /// Mean of the x values attaining the maximum membership.
+    MeanOfMaxima,
+    /// Smallest x attaining the maximum membership.
+    SmallestOfMaxima,
+    /// Largest x attaining the maximum membership.
+    LargestOfMaxima,
+}
+
+impl Defuzzifier {
+    /// Defuzzifies a curve sampled at `xs` with memberships `ys`.
+    ///
+    /// Returns `None` when the curve is entirely zero (no rule fired).
+    pub fn defuzzify(&self, xs: &[f64], ys: &[f64]) -> Option<f64> {
+        debug_assert_eq!(xs.len(), ys.len());
+        if xs.is_empty() || ys.iter().all(|&y| y <= 0.0) {
+            return None;
+        }
+        match self {
+            Defuzzifier::Centroid => {
+                let (mut num, mut den) = (0.0, 0.0);
+                for (&x, &y) in xs.iter().zip(ys) {
+                    num += x * y;
+                    den += y;
+                }
+                (den > 0.0).then(|| num / den)
+            }
+            Defuzzifier::Bisector => {
+                let total: f64 = ys.iter().sum();
+                let mut acc = 0.0;
+                for (&x, &y) in xs.iter().zip(ys) {
+                    acc += y;
+                    if acc >= total / 2.0 {
+                        return Some(x);
+                    }
+                }
+                xs.last().copied()
+            }
+            Defuzzifier::MeanOfMaxima | Defuzzifier::SmallestOfMaxima | Defuzzifier::LargestOfMaxima => {
+                let max = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let at_max: Vec<f64> = xs
+                    .iter()
+                    .zip(ys)
+                    .filter(|(_, &y)| (y - max).abs() < 1e-12)
+                    .map(|(&x, _)| x)
+                    .collect();
+                match self {
+                    Defuzzifier::MeanOfMaxima => {
+                        Some(at_max.iter().sum::<f64>() / at_max.len() as f64)
+                    }
+                    Defuzzifier::SmallestOfMaxima => at_max.first().copied(),
+                    Defuzzifier::LargestOfMaxima => at_max.last().copied(),
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(f: impl Fn(f64) -> f64, lo: f64, hi: f64, n: usize) -> (Vec<f64>, Vec<f64>) {
+        let xs: Vec<f64> = (0..n)
+            .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| f(x)).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn centroid_of_symmetric_triangle() {
+        let (xs, ys) = sample(
+            |x| (1.0 - (x - 5.0).abs() / 5.0).max(0.0),
+            0.0,
+            10.0,
+            1001,
+        );
+        let c = Defuzzifier::Centroid.defuzzify(&xs, &ys).unwrap();
+        assert!((c - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn centroid_shifts_with_mass() {
+        // Two spikes, one twice as tall: centroid pulled toward it.
+        let xs = vec![0.0, 10.0];
+        let ys = vec![1.0, 2.0];
+        let c = Defuzzifier::Centroid.defuzzify(&xs, &ys).unwrap();
+        assert!((c - 20.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bisector_of_uniform_curve() {
+        let (xs, ys) = sample(|_| 1.0, 0.0, 10.0, 1001);
+        let b = Defuzzifier::Bisector.defuzzify(&xs, &ys).unwrap();
+        assert!((b - 5.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn maxima_family_on_plateau() {
+        // Plateau of maximum membership between 4 and 6.
+        let (xs, ys) = sample(
+            |x| {
+                if (4.0..=6.0).contains(&x) {
+                    1.0
+                } else {
+                    0.2
+                }
+            },
+            0.0,
+            10.0,
+            1001,
+        );
+        let som = Defuzzifier::SmallestOfMaxima.defuzzify(&xs, &ys).unwrap();
+        let lom = Defuzzifier::LargestOfMaxima.defuzzify(&xs, &ys).unwrap();
+        let mom = Defuzzifier::MeanOfMaxima.defuzzify(&xs, &ys).unwrap();
+        assert!((som - 4.0).abs() < 0.02);
+        assert!((lom - 6.0).abs() < 0.02);
+        assert!((mom - 5.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_curve_yields_none() {
+        let (xs, ys) = sample(|_| 0.0, 0.0, 1.0, 11);
+        for d in [
+            Defuzzifier::Centroid,
+            Defuzzifier::Bisector,
+            Defuzzifier::MeanOfMaxima,
+            Defuzzifier::SmallestOfMaxima,
+            Defuzzifier::LargestOfMaxima,
+        ] {
+            assert_eq!(d.defuzzify(&xs, &ys), None, "{d:?}");
+        }
+        assert_eq!(Defuzzifier::Centroid.defuzzify(&[], &[]), None);
+    }
+}

@@ -1,0 +1,525 @@
+//! The Mamdani fuzzy-inference engine.
+//!
+//! Pipeline per evaluation (paper Figure 2): fuzzify crisp inputs →
+//! evaluate each rule's antecedent (t-norm/s-norm) → scale by rule weight →
+//! imply onto the consequent term (clip or scale) → aggregate all rule
+//! outputs over a sampled output universe → defuzzify.
+
+use crate::defuzz::Defuzzifier;
+use crate::error::{FuzzyError, Result};
+use crate::parser;
+use crate::rule::{Antecedent, Rule};
+use crate::variable::LinguisticVariable;
+use std::collections::HashMap;
+
+/// T-norm used for `AND`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AndOp {
+    /// Gödel t-norm `min(a, b)` (Mamdani default).
+    #[default]
+    Min,
+    /// Product t-norm `a * b`.
+    Product,
+}
+
+/// S-norm used for `OR`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrOp {
+    /// Gödel s-norm `max(a, b)` (Mamdani default).
+    #[default]
+    Max,
+    /// Probabilistic sum `a + b - a*b`.
+    ProbabilisticSum,
+}
+
+/// Implication operator applied to the consequent membership curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Implication {
+    /// Clip the consequent at the firing strength (Mamdani).
+    #[default]
+    Min,
+    /// Scale the consequent by the firing strength (Larsen).
+    Product,
+}
+
+/// Aggregation of the per-rule output curves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Aggregation {
+    /// Pointwise maximum (Mamdani).
+    #[default]
+    Max,
+    /// Pointwise bounded sum `min(1, a + b)`.
+    BoundedSum,
+}
+
+/// Configuration of the inference operators.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EngineConfig {
+    /// `AND` operator.
+    pub and_op: AndOp,
+    /// `OR` operator.
+    pub or_op: OrOp,
+    /// Implication operator.
+    pub implication: Implication,
+    /// Aggregation operator.
+    pub aggregation: Aggregation,
+    /// Defuzzifier.
+    pub defuzzifier: Defuzzifier,
+}
+
+const DEFAULT_RESOLUTION: usize = 501;
+
+/// A complete Mamdani fuzzy-inference system.
+#[derive(Debug, Clone)]
+pub struct FuzzyEngine {
+    inputs: Vec<LinguisticVariable>,
+    output: LinguisticVariable,
+    rules: Vec<Rule>,
+    config: EngineConfig,
+    resolution: usize,
+}
+
+impl FuzzyEngine {
+    /// Creates an engine with the given inputs and output variable.
+    pub fn new(inputs: Vec<LinguisticVariable>, output: LinguisticVariable) -> Self {
+        FuzzyEngine {
+            inputs,
+            output,
+            rules: Vec::new(),
+            config: EngineConfig::default(),
+            resolution: DEFAULT_RESOLUTION,
+        }
+    }
+
+    /// Overrides the operator configuration.
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the output-universe sampling resolution (min 11).
+    pub fn with_resolution(mut self, resolution: usize) -> Self {
+        self.resolution = resolution.max(11);
+        self
+    }
+
+    /// Adds a structured rule after validating every variable/term
+    /// reference.
+    pub fn add_rule(&mut self, rule: Rule) -> Result<()> {
+        for (var, term) in rule.antecedent().references() {
+            let v = self.input(var)?;
+            v.term(term)?;
+        }
+        self.output.term(rule.output_term())?;
+        self.rules.push(rule);
+        Ok(())
+    }
+
+    /// Parses and adds every rule in a text block (see [`crate::parser`]).
+    pub fn add_rules_text(&mut self, text: &str) -> Result<usize> {
+        let parsed = parser::parse_rules(text)?;
+        let mut added = 0;
+        for (output_var, rule) in parsed {
+            if output_var != self.output.name() {
+                return Err(FuzzyError::UnknownVariable(format!(
+                    "rule targets `{output_var}` but engine output is `{}`",
+                    self.output.name()
+                )));
+            }
+            self.add_rule(rule)?;
+            added += 1;
+        }
+        Ok(added)
+    }
+
+    /// The input variables.
+    pub fn inputs(&self) -> &[LinguisticVariable] {
+        &self.inputs
+    }
+
+    /// The output variable.
+    pub fn output(&self) -> &LinguisticVariable {
+        &self.output
+    }
+
+    /// Number of rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    fn input(&self, name: &str) -> Result<&LinguisticVariable> {
+        self.inputs
+            .iter()
+            .find(|v| v.name() == name)
+            .ok_or_else(|| FuzzyError::UnknownVariable(name.to_owned()))
+    }
+
+    fn strength(&self, antecedent: &Antecedent, values: &HashMap<&str, f64>) -> Result<f64> {
+        Ok(match antecedent {
+            Antecedent::Is { variable, term } => {
+                let v = self.input(variable)?;
+                let x = *values
+                    .get(variable.as_str())
+                    .ok_or_else(|| FuzzyError::MissingInput(variable.clone()))?;
+                v.fuzzify(term, x)?
+            }
+            Antecedent::Not(inner) => 1.0 - self.strength(inner, values)?,
+            Antecedent::And(l, r) => {
+                let (a, b) = (self.strength(l, values)?, self.strength(r, values)?);
+                match self.config.and_op {
+                    AndOp::Min => a.min(b),
+                    AndOp::Product => a * b,
+                }
+            }
+            Antecedent::Or(l, r) => {
+                let (a, b) = (self.strength(l, values)?, self.strength(r, values)?);
+                match self.config.or_op {
+                    OrOp::Max => a.max(b),
+                    OrOp::ProbabilisticSum => a + b - a * b,
+                }
+            }
+        })
+    }
+
+    /// Firing strengths of every rule for the given crisp inputs
+    /// (diagnostic view used by tests and the attack explainers).
+    pub fn firing_strengths(&self, values: &HashMap<&str, f64>) -> Result<Vec<f64>> {
+        self.rules
+            .iter()
+            .map(|r| Ok(self.strength(r.antecedent(), values)? * r.weight()))
+            .collect()
+    }
+
+    /// Runs inference and returns the defuzzified crisp output.
+    pub fn evaluate(&self, values: &HashMap<&str, f64>) -> Result<f64> {
+        if self.rules.is_empty() {
+            return Err(FuzzyError::NoRules);
+        }
+        let strengths = self.firing_strengths(values)?;
+        let lo = self.output.lo();
+        let hi = self.output.hi();
+        let n = self.resolution;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+            .collect();
+        let mut aggregate = vec![0.0f64; n];
+        for (rule, &w) in self.rules.iter().zip(&strengths) {
+            if w <= 0.0 {
+                continue;
+            }
+            let term = self.output.term(rule.output_term())?;
+            for (i, &x) in xs.iter().enumerate() {
+                let m = term.mf().degree(x);
+                let implied = match self.config.implication {
+                    Implication::Min => m.min(w),
+                    Implication::Product => m * w,
+                };
+                aggregate[i] = match self.config.aggregation {
+                    Aggregation::Max => aggregate[i].max(implied),
+                    Aggregation::BoundedSum => (aggregate[i] + implied).min(1.0),
+                };
+            }
+        }
+        self.config
+            .defuzzifier
+            .defuzzify(&xs, &aggregate)
+            .ok_or(FuzzyError::NoRuleFired)
+    }
+}
+
+/// A zero-order Takagi-Sugeno engine: consequents are crisp constants and
+/// the output is the firing-strength-weighted average. A lighter-weight
+/// fusion alternative used in the ablation benches.
+#[derive(Debug, Clone)]
+pub struct SugenoEngine {
+    inputs: Vec<LinguisticVariable>,
+    rules: Vec<(Antecedent, f64, f64)>, // (antecedent, constant, weight)
+    and_op: AndOp,
+    or_op: OrOp,
+}
+
+impl SugenoEngine {
+    /// Creates an empty Sugeno engine over the given inputs.
+    pub fn new(inputs: Vec<LinguisticVariable>) -> Self {
+        SugenoEngine { inputs, rules: Vec::new(), and_op: AndOp::Min, or_op: OrOp::Max }
+    }
+
+    /// Adds a rule with a constant consequent.
+    pub fn add_rule(&mut self, antecedent: Antecedent, constant: f64, weight: f64) -> Result<()> {
+        if !(0.0..=1.0).contains(&weight) || weight.is_nan() {
+            return Err(FuzzyError::InvalidWeight(weight));
+        }
+        for (var, term) in antecedent.references() {
+            let v = self
+                .inputs
+                .iter()
+                .find(|v| v.name() == var)
+                .ok_or_else(|| FuzzyError::UnknownVariable(var.to_owned()))?;
+            v.term(term)?;
+        }
+        self.rules.push((antecedent, constant, weight));
+        Ok(())
+    }
+
+    /// Weighted-average inference.
+    pub fn evaluate(&self, values: &HashMap<&str, f64>) -> Result<f64> {
+        if self.rules.is_empty() {
+            return Err(FuzzyError::NoRules);
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (antecedent, constant, weight) in &self.rules {
+            let s = self.strength(antecedent, values)? * weight;
+            num += s * constant;
+            den += s;
+        }
+        if den <= 0.0 {
+            return Err(FuzzyError::NoRuleFired);
+        }
+        Ok(num / den)
+    }
+
+    fn strength(&self, antecedent: &Antecedent, values: &HashMap<&str, f64>) -> Result<f64> {
+        Ok(match antecedent {
+            Antecedent::Is { variable, term } => {
+                let v = self
+                    .inputs
+                    .iter()
+                    .find(|v| v.name() == variable.as_str())
+                    .ok_or_else(|| FuzzyError::UnknownVariable(variable.clone()))?;
+                let x = *values
+                    .get(variable.as_str())
+                    .ok_or_else(|| FuzzyError::MissingInput(variable.clone()))?;
+                v.fuzzify(term, x)?
+            }
+            Antecedent::Not(inner) => 1.0 - self.strength(inner, values)?,
+            Antecedent::And(l, r) => {
+                let (a, b) = (self.strength(l, values)?, self.strength(r, values)?);
+                match self.and_op {
+                    AndOp::Min => a.min(b),
+                    AndOp::Product => a * b,
+                }
+            }
+            Antecedent::Or(l, r) => {
+                let (a, b) = (self.strength(l, values)?, self.strength(r, values)?);
+                match self.or_op {
+                    OrOp::Max => a.max(b),
+                    OrOp::ProbabilisticSum => a + b - a * b,
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::membership::MembershipFunction;
+
+    fn tip_engine() -> FuzzyEngine {
+        // The classic tipping problem: service quality -> tip percent.
+        let service = LinguisticVariable::new("service", 0.0, 10.0)
+            .unwrap()
+            .with_uniform_terms(&["poor", "good", "excellent"])
+            .unwrap();
+        let tip = LinguisticVariable::new("tip", 0.0, 30.0)
+            .unwrap()
+            .with_term("low", MembershipFunction::triangular(0.0, 5.0, 10.0).unwrap())
+            .unwrap()
+            .with_term("medium", MembershipFunction::triangular(10.0, 15.0, 20.0).unwrap())
+            .unwrap()
+            .with_term("high", MembershipFunction::triangular(20.0, 25.0, 30.0).unwrap())
+            .unwrap();
+        let mut engine = FuzzyEngine::new(vec![service], tip);
+        engine
+            .add_rules_text(
+                "IF service IS poor THEN tip IS low\n\
+                 IF service IS good THEN tip IS medium\n\
+                 IF service IS excellent THEN tip IS high",
+            )
+            .unwrap();
+        engine
+    }
+
+    fn inputs(pairs: &[(&'static str, f64)]) -> HashMap<&'static str, f64> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn crisp_extremes_map_to_term_centres() {
+        let e = tip_engine();
+        let poor = e.evaluate(&inputs(&[("service", 0.0)])).unwrap();
+        let excellent = e.evaluate(&inputs(&[("service", 10.0)])).unwrap();
+        assert!((poor - 5.0).abs() < 0.5, "poor service tip {poor}");
+        assert!((excellent - 25.0).abs() < 0.5, "excellent service tip {excellent}");
+    }
+
+    #[test]
+    fn output_is_monotone_in_input() {
+        let e = tip_engine();
+        let mut prev = -1.0;
+        for i in 0..=20 {
+            let x = i as f64 / 2.0;
+            let y = e.evaluate(&inputs(&[("service", x)])).unwrap();
+            assert!(y >= prev - 1e-9, "tip not monotone at service={x}: {y} < {prev}");
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn output_stays_in_universe() {
+        let e = tip_engine();
+        for i in 0..=100 {
+            let x = i as f64 / 10.0;
+            let y = e.evaluate(&inputs(&[("service", x)])).unwrap();
+            assert!((0.0..=30.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn missing_input_errors() {
+        let e = tip_engine();
+        assert!(matches!(
+            e.evaluate(&HashMap::new()),
+            Err(FuzzyError::MissingInput(_))
+        ));
+    }
+
+    #[test]
+    fn no_rules_errors() {
+        let service = LinguisticVariable::new("service", 0.0, 10.0)
+            .unwrap()
+            .with_uniform_terms(&["poor", "good"])
+            .unwrap();
+        let tip = LinguisticVariable::new("tip", 0.0, 30.0)
+            .unwrap()
+            .with_uniform_terms(&["low", "high"])
+            .unwrap();
+        let e = FuzzyEngine::new(vec![service], tip);
+        assert!(matches!(
+            e.evaluate(&inputs(&[("service", 5.0)])),
+            Err(FuzzyError::NoRules)
+        ));
+    }
+
+    #[test]
+    fn rule_validation_rejects_unknown_references() {
+        let mut e = tip_engine();
+        assert!(matches!(
+            e.add_rules_text("IF ambience IS poor THEN tip IS low"),
+            Err(FuzzyError::UnknownVariable(_))
+        ));
+        assert!(matches!(
+            e.add_rules_text("IF service IS terrible THEN tip IS low"),
+            Err(FuzzyError::UnknownTerm { .. })
+        ));
+        assert!(matches!(
+            e.add_rules_text("IF service IS poor THEN gratuity IS low"),
+            Err(FuzzyError::UnknownVariable(_))
+        ));
+        assert!(matches!(
+            e.add_rules_text("IF service IS poor THEN tip IS enormous"),
+            Err(FuzzyError::UnknownTerm { .. })
+        ));
+    }
+
+    #[test]
+    fn rule_weights_shift_output() {
+        let mut weighted = tip_engine();
+        // Add a strongly weighted contradicting rule pulling everything low.
+        weighted
+            .add_rules_text("IF service IS excellent THEN tip IS low WITH 1.0")
+            .unwrap();
+        let base = tip_engine().evaluate(&inputs(&[("service", 10.0)])).unwrap();
+        let pulled = weighted.evaluate(&inputs(&[("service", 10.0)])).unwrap();
+        assert!(pulled < base, "contradicting rule must lower output");
+    }
+
+    #[test]
+    fn two_input_and_rule() {
+        let service = LinguisticVariable::new("service", 0.0, 10.0)
+            .unwrap()
+            .with_uniform_terms(&["poor", "excellent"])
+            .unwrap();
+        let food = LinguisticVariable::new("food", 0.0, 10.0)
+            .unwrap()
+            .with_uniform_terms(&["bad", "tasty"])
+            .unwrap();
+        let tip = LinguisticVariable::new("tip", 0.0, 30.0)
+            .unwrap()
+            .with_uniform_terms(&["low", "high"])
+            .unwrap();
+        let mut e = FuzzyEngine::new(vec![service, food], tip);
+        e.add_rules_text(
+            "IF service IS excellent AND food IS tasty THEN tip IS high\n\
+             IF service IS poor OR food IS bad THEN tip IS low",
+        )
+        .unwrap();
+        let both_good = e
+            .evaluate(&inputs(&[("service", 10.0), ("food", 10.0)]))
+            .unwrap();
+        let one_bad = e
+            .evaluate(&inputs(&[("service", 10.0), ("food", 0.0)]))
+            .unwrap();
+        assert!(both_good > 20.0);
+        assert!(one_bad < 10.0);
+    }
+
+    #[test]
+    fn product_config_differs_from_min() {
+        let e_min = tip_engine();
+        let e_prod = tip_engine().with_config(EngineConfig {
+            and_op: AndOp::Product,
+            or_op: OrOp::ProbabilisticSum,
+            implication: Implication::Product,
+            aggregation: Aggregation::BoundedSum,
+            defuzzifier: Defuzzifier::Centroid,
+        });
+        // Mid-universe input where clipping vs scaling matters.
+        let min_out = e_min.evaluate(&inputs(&[("service", 3.0)])).unwrap();
+        let prod_out = e_prod.evaluate(&inputs(&[("service", 3.0)])).unwrap();
+        assert!((min_out - prod_out).abs() > 1e-6);
+    }
+
+    #[test]
+    fn firing_strengths_diagnostics() {
+        let e = tip_engine();
+        let s = e.firing_strengths(&inputs(&[("service", 0.0)])).unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0], 1.0); // poor fires fully
+        assert_eq!(s[2], 0.0); // excellent does not fire
+    }
+
+    #[test]
+    fn sugeno_weighted_average() {
+        let service = LinguisticVariable::new("service", 0.0, 10.0)
+            .unwrap()
+            .with_uniform_terms(&["poor", "excellent"])
+            .unwrap();
+        let mut e = SugenoEngine::new(vec![service]);
+        e.add_rule(Antecedent::is("service", "poor"), 5.0, 1.0).unwrap();
+        e.add_rule(Antecedent::is("service", "excellent"), 25.0, 1.0).unwrap();
+        let mid = e.evaluate(&inputs(&[("service", 5.0)])).unwrap();
+        assert!((mid - 15.0).abs() < 1e-9, "symmetric blend, got {mid}");
+        assert_eq!(e.evaluate(&inputs(&[("service", 0.0)])).unwrap(), 5.0);
+        assert!(matches!(
+            e.evaluate(&HashMap::new()),
+            Err(FuzzyError::MissingInput(_))
+        ));
+    }
+
+    #[test]
+    fn sugeno_validation() {
+        let service = LinguisticVariable::new("service", 0.0, 10.0)
+            .unwrap()
+            .with_uniform_terms(&["poor"])
+            .unwrap();
+        let mut e = SugenoEngine::new(vec![service]);
+        assert!(e.add_rule(Antecedent::is("service", "poor"), 1.0, 2.0).is_err());
+        assert!(e.add_rule(Antecedent::is("nope", "poor"), 1.0, 1.0).is_err());
+        assert!(matches!(
+            e.evaluate(&inputs(&[("service", 1.0)])),
+            Err(FuzzyError::NoRules)
+        ));
+    }
+}

@@ -1,0 +1,96 @@
+//! Errors for the fuzzy-inference crate.
+
+use std::fmt;
+
+/// Errors produced by fuzzy-set construction, rule parsing and inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FuzzyError {
+    /// A membership function's breakpoints are not monotonically ordered.
+    InvalidMembership(String),
+    /// A universe of discourse with `lo >= hi` or non-finite bounds.
+    InvalidUniverse {
+        /// Lower bound supplied.
+        lo: f64,
+        /// Upper bound supplied.
+        hi: f64,
+    },
+    /// A linguistic variable declared two terms with the same name.
+    DuplicateTerm {
+        /// Variable name.
+        variable: String,
+        /// Term name.
+        term: String,
+    },
+    /// Rule references a variable the engine does not know.
+    UnknownVariable(String),
+    /// Rule references a term the variable does not define.
+    UnknownTerm {
+        /// Variable name.
+        variable: String,
+        /// Term name.
+        term: String,
+    },
+    /// Rule text failed to parse.
+    Parse {
+        /// Offending rule text.
+        rule: String,
+        /// Explanation.
+        message: String,
+    },
+    /// Inference was invoked without a value for a required input.
+    MissingInput(String),
+    /// The engine has no rules.
+    NoRules,
+    /// No rule fired with positive strength, so the output is undefined.
+    NoRuleFired,
+    /// Rule weight outside `[0, 1]`.
+    InvalidWeight(f64),
+}
+
+impl fmt::Display for FuzzyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuzzyError::InvalidMembership(msg) => write!(f, "invalid membership function: {msg}"),
+            FuzzyError::InvalidUniverse { lo, hi } => {
+                write!(f, "invalid universe [{lo}, {hi}]")
+            }
+            FuzzyError::DuplicateTerm { variable, term } => {
+                write!(f, "variable `{variable}` declares term `{term}` twice")
+            }
+            FuzzyError::UnknownVariable(name) => write!(f, "unknown variable `{name}`"),
+            FuzzyError::UnknownTerm { variable, term } => {
+                write!(f, "variable `{variable}` has no term `{term}`")
+            }
+            FuzzyError::Parse { rule, message } => {
+                write!(f, "cannot parse rule `{rule}`: {message}")
+            }
+            FuzzyError::MissingInput(name) => write!(f, "missing input `{name}`"),
+            FuzzyError::NoRules => write!(f, "engine has no rules"),
+            FuzzyError::NoRuleFired => write!(f, "no rule fired; output undefined"),
+            FuzzyError::InvalidWeight(w) => write!(f, "rule weight {w} outside [0, 1]"),
+        }
+    }
+}
+
+impl std::error::Error for FuzzyError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, FuzzyError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(FuzzyError::MissingInput("valuation".into())
+            .to_string()
+            .contains("valuation"));
+        assert!(FuzzyError::InvalidUniverse { lo: 5.0, hi: 1.0 }
+            .to_string()
+            .contains("[5, 1]"));
+        assert!(FuzzyError::Parse { rule: "IF".into(), message: "truncated".into() }
+            .to_string()
+            .contains("truncated"));
+    }
+}

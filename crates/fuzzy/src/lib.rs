@@ -1,0 +1,61 @@
+//! # fred-fuzzy — Mamdani fuzzy-inference engine
+//!
+//! The information-fusion substrate of the reproduction: the paper's
+//! adversary fuses the anonymized release with web-harvested auxiliary data
+//! through a fuzzy inference system (paper Figure 2, built in Matlab's
+//! fuzzy toolbox). This crate is that system in Rust:
+//!
+//! * [`membership`] — triangular / trapezoidal / gaussian / shoulder
+//!   membership functions;
+//! * [`variable`] — linguistic variables over a universe of discourse;
+//! * [`rule`] + [`parser`] — weighted if-then rules with a text DSL
+//!   (`IF valuation IS level3 AND property IS high THEN income IS high`);
+//! * [`engine`] — Mamdani inference (min/product implication, max/sum
+//!   aggregation) plus a zero-order Sugeno variant;
+//! * [`defuzz`] — centroid, bisector and maxima defuzzifiers.
+//!
+//! ## Example
+//!
+//! ```
+//! use fred_fuzzy::{FuzzyEngine, LinguisticVariable};
+//! use std::collections::HashMap;
+//!
+//! let valuation = LinguisticVariable::new("valuation", 0.0, 10.0)
+//!     .unwrap()
+//!     .with_uniform_terms(&["level1", "level2", "level3"])
+//!     .unwrap();
+//! let income = LinguisticVariable::new("income", 40_000.0, 100_000.0)
+//!     .unwrap()
+//!     .with_uniform_terms(&["low", "med", "high"])
+//!     .unwrap();
+//! let mut fis = FuzzyEngine::new(vec![valuation], income);
+//! fis.add_rules_text(
+//!     "IF valuation IS level1 THEN income IS low\n\
+//!      IF valuation IS level2 THEN income IS med\n\
+//!      IF valuation IS level3 THEN income IS high",
+//! ).unwrap();
+//! let estimate = fis.evaluate(&HashMap::from([("valuation", 9.0)])).unwrap();
+//! assert!(estimate > 78_000.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod defuzz;
+pub mod engine;
+pub mod error;
+pub mod membership;
+pub mod parser;
+pub mod rule;
+pub mod set_ops;
+pub mod variable;
+
+pub use defuzz::Defuzzifier;
+pub use engine::{
+    Aggregation, AndOp, EngineConfig, FuzzyEngine, Implication, OrOp, SugenoEngine,
+};
+pub use error::{FuzzyError, Result};
+pub use membership::MembershipFunction;
+pub use parser::{parse_rule, parse_rules};
+pub use rule::{Antecedent, Rule};
+pub use set_ops::SampledSet;
+pub use variable::{LinguisticVariable, Term};

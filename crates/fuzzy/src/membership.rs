@@ -1,0 +1,285 @@
+//! Membership functions over the real line.
+
+use crate::error::{FuzzyError, Result};
+
+/// A parametric membership function mapping crisp values to degrees in
+/// `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MembershipFunction {
+    /// Triangle with feet `a`, `c` and peak `b` (`a <= b <= c`).
+    Triangular {
+        /// Left foot.
+        a: f64,
+        /// Peak.
+        b: f64,
+        /// Right foot.
+        c: f64,
+    },
+    /// Trapezoid with feet `a`, `d` and plateau `[b, c]`
+    /// (`a <= b <= c <= d`).
+    Trapezoidal {
+        /// Left foot.
+        a: f64,
+        /// Plateau start.
+        b: f64,
+        /// Plateau end.
+        c: f64,
+        /// Right foot.
+        d: f64,
+    },
+    /// Gaussian bell centred at `mean` with width `sigma > 0`.
+    Gaussian {
+        /// Centre.
+        mean: f64,
+        /// Standard deviation.
+        sigma: f64,
+    },
+    /// Full membership below `a`, sloping to zero at `b` (`a < b`). The
+    /// natural shape for "Low" terms.
+    LeftShoulder {
+        /// Plateau end.
+        a: f64,
+        /// Zero point.
+        b: f64,
+    },
+    /// Zero membership below `a`, sloping to one at `b` (`a < b`). The
+    /// natural shape for "High" terms.
+    RightShoulder {
+        /// Zero point.
+        a: f64,
+        /// Plateau start.
+        b: f64,
+    },
+}
+
+impl MembershipFunction {
+    /// Validating constructor for [`MembershipFunction::Triangular`].
+    pub fn triangular(a: f64, b: f64, c: f64) -> Result<Self> {
+        // `!(..)` deliberately rejects NaN orderings as invalid.
+        #[allow(clippy::neg_cmp_op_on_partial_ord, clippy::nonminimal_bool)]
+        if !(a <= b && b <= c) || !(a.is_finite() && b.is_finite() && c.is_finite()) {
+            return Err(FuzzyError::InvalidMembership(format!(
+                "triangular breakpoints must satisfy a<=b<=c, got ({a}, {b}, {c})"
+            )));
+        }
+        Ok(MembershipFunction::Triangular { a, b, c })
+    }
+
+    /// Validating constructor for [`MembershipFunction::Trapezoidal`].
+    pub fn trapezoidal(a: f64, b: f64, c: f64, d: f64) -> Result<Self> {
+        // `!(..)` deliberately rejects NaN orderings as invalid.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(a <= b && b <= c && c <= d)
+            || !(a.is_finite() && b.is_finite() && c.is_finite() && d.is_finite())
+        {
+            return Err(FuzzyError::InvalidMembership(format!(
+                "trapezoidal breakpoints must satisfy a<=b<=c<=d, got ({a}, {b}, {c}, {d})"
+            )));
+        }
+        Ok(MembershipFunction::Trapezoidal { a, b, c, d })
+    }
+
+    /// Validating constructor for [`MembershipFunction::Gaussian`].
+    pub fn gaussian(mean: f64, sigma: f64) -> Result<Self> {
+        if sigma <= 0.0 || !sigma.is_finite() || !mean.is_finite() {
+            return Err(FuzzyError::InvalidMembership(format!(
+                "gaussian requires finite mean and sigma > 0, got ({mean}, {sigma})"
+            )));
+        }
+        Ok(MembershipFunction::Gaussian { mean, sigma })
+    }
+
+    /// Validating constructor for [`MembershipFunction::LeftShoulder`].
+    pub fn left_shoulder(a: f64, b: f64) -> Result<Self> {
+        // `!(..)` deliberately rejects NaN orderings as invalid.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(a < b) || !a.is_finite() || !b.is_finite() {
+            return Err(FuzzyError::InvalidMembership(format!(
+                "left shoulder requires a < b, got ({a}, {b})"
+            )));
+        }
+        Ok(MembershipFunction::LeftShoulder { a, b })
+    }
+
+    /// Validating constructor for [`MembershipFunction::RightShoulder`].
+    pub fn right_shoulder(a: f64, b: f64) -> Result<Self> {
+        // `!(..)` deliberately rejects NaN orderings as invalid.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(a < b) || !a.is_finite() || !b.is_finite() {
+            return Err(FuzzyError::InvalidMembership(format!(
+                "right shoulder requires a < b, got ({a}, {b})"
+            )));
+        }
+        Ok(MembershipFunction::RightShoulder { a, b })
+    }
+
+    /// Membership degree of `x` in `[0, 1]`.
+    pub fn degree(&self, x: f64) -> f64 {
+        match *self {
+            MembershipFunction::Triangular { a, b, c } => {
+                if x < a || x > c {
+                    0.0
+                } else if x == b {
+                    1.0
+                } else if x < b {
+                    (x - a) / (b - a)
+                } else {
+                    (c - x) / (c - b)
+                }
+            }
+            MembershipFunction::Trapezoidal { a, b, c, d } => {
+                if x < a || x > d {
+                    0.0
+                } else if x < b {
+                    (x - a) / (b - a)
+                } else if x <= c {
+                    1.0
+                } else {
+                    (d - x) / (d - c)
+                }
+            }
+            MembershipFunction::Gaussian { mean, sigma } => {
+                let z = (x - mean) / sigma;
+                (-0.5 * z * z).exp()
+            }
+            MembershipFunction::LeftShoulder { a, b } => {
+                if x <= a {
+                    1.0
+                } else if x >= b {
+                    0.0
+                } else {
+                    (b - x) / (b - a)
+                }
+            }
+            MembershipFunction::RightShoulder { a, b } => {
+                if x <= a {
+                    0.0
+                } else if x >= b {
+                    1.0
+                } else {
+                    (x - a) / (b - a)
+                }
+            }
+        }
+    }
+
+    /// The value at which membership peaks (centre of the plateau for
+    /// trapezoids and shoulders — shoulders peak at their outer edge).
+    pub fn peak(&self) -> f64 {
+        match *self {
+            MembershipFunction::Triangular { b, .. } => b,
+            MembershipFunction::Trapezoidal { b, c, .. } => b + (c - b) / 2.0,
+            MembershipFunction::Gaussian { mean, .. } => mean,
+            MembershipFunction::LeftShoulder { a, .. } => a,
+            MembershipFunction::RightShoulder { b, .. } => b,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangular_shape() {
+        let mf = MembershipFunction::triangular(0.0, 5.0, 10.0).unwrap();
+        assert_eq!(mf.degree(-1.0), 0.0);
+        assert_eq!(mf.degree(0.0), 0.0);
+        assert_eq!(mf.degree(2.5), 0.5);
+        assert_eq!(mf.degree(5.0), 1.0);
+        assert_eq!(mf.degree(7.5), 0.5);
+        assert_eq!(mf.degree(10.0), 0.0);
+        assert_eq!(mf.degree(11.0), 0.0);
+        assert_eq!(mf.peak(), 5.0);
+    }
+
+    #[test]
+    fn degenerate_triangle_spike() {
+        // a == b == c: a crisp spike.
+        let mf = MembershipFunction::triangular(3.0, 3.0, 3.0).unwrap();
+        assert_eq!(mf.degree(3.0), 1.0);
+        assert_eq!(mf.degree(3.0001), 0.0);
+        assert_eq!(mf.degree(2.9999), 0.0);
+    }
+
+    #[test]
+    fn right_angle_triangles() {
+        // b == a (vertical left edge).
+        let mf = MembershipFunction::triangular(0.0, 0.0, 4.0).unwrap();
+        assert_eq!(mf.degree(0.0), 1.0);
+        assert_eq!(mf.degree(2.0), 0.5);
+        // b == c (vertical right edge).
+        let mf = MembershipFunction::triangular(0.0, 4.0, 4.0).unwrap();
+        assert_eq!(mf.degree(4.0), 1.0);
+        assert_eq!(mf.degree(2.0), 0.5);
+    }
+
+    #[test]
+    fn trapezoidal_shape() {
+        let mf = MembershipFunction::trapezoidal(0.0, 2.0, 6.0, 10.0).unwrap();
+        assert_eq!(mf.degree(1.0), 0.5);
+        assert_eq!(mf.degree(2.0), 1.0);
+        assert_eq!(mf.degree(4.0), 1.0);
+        assert_eq!(mf.degree(6.0), 1.0);
+        assert_eq!(mf.degree(8.0), 0.5);
+        assert_eq!(mf.degree(10.5), 0.0);
+        assert_eq!(mf.peak(), 4.0);
+    }
+
+    #[test]
+    fn gaussian_shape() {
+        let mf = MembershipFunction::gaussian(5.0, 2.0).unwrap();
+        assert_eq!(mf.degree(5.0), 1.0);
+        let one_sigma = mf.degree(7.0);
+        assert!((one_sigma - (-0.5f64).exp()).abs() < 1e-12);
+        assert!(mf.degree(100.0) < 1e-10);
+        assert!(MembershipFunction::gaussian(0.0, 0.0).is_err());
+        assert!(MembershipFunction::gaussian(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn shoulders() {
+        let low = MembershipFunction::left_shoulder(30.0, 60.0).unwrap();
+        assert_eq!(low.degree(0.0), 1.0);
+        assert_eq!(low.degree(30.0), 1.0);
+        assert_eq!(low.degree(45.0), 0.5);
+        assert_eq!(low.degree(60.0), 0.0);
+        assert_eq!(low.peak(), 30.0);
+
+        let high = MembershipFunction::right_shoulder(60.0, 90.0).unwrap();
+        assert_eq!(high.degree(60.0), 0.0);
+        assert_eq!(high.degree(75.0), 0.5);
+        assert_eq!(high.degree(90.0), 1.0);
+        assert_eq!(high.degree(1000.0), 1.0);
+        assert_eq!(high.peak(), 90.0);
+
+        assert!(MembershipFunction::left_shoulder(5.0, 5.0).is_err());
+        assert!(MembershipFunction::right_shoulder(6.0, 5.0).is_err());
+    }
+
+    #[test]
+    fn invalid_breakpoints_rejected() {
+        assert!(MembershipFunction::triangular(5.0, 1.0, 10.0).is_err());
+        assert!(MembershipFunction::trapezoidal(0.0, 5.0, 4.0, 10.0).is_err());
+        assert!(MembershipFunction::triangular(f64::NAN, 1.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn degrees_stay_in_unit_interval() {
+        let mfs = [
+            MembershipFunction::triangular(0.0, 5.0, 10.0).unwrap(),
+            MembershipFunction::trapezoidal(0.0, 2.0, 6.0, 10.0).unwrap(),
+            MembershipFunction::gaussian(5.0, 1.0).unwrap(),
+            MembershipFunction::left_shoulder(2.0, 8.0).unwrap(),
+            MembershipFunction::right_shoulder(2.0, 8.0).unwrap(),
+        ];
+        for mf in &mfs {
+            let mut x = -5.0;
+            while x <= 15.0 {
+                let d = mf.degree(x);
+                assert!((0.0..=1.0).contains(&d), "{mf:?} at {x} gave {d}");
+                x += 0.25;
+            }
+        }
+    }
+}

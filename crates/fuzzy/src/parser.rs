@@ -1,0 +1,312 @@
+//! Text DSL for fuzzy rules.
+//!
+//! Grammar (case-insensitive keywords, `#` comments):
+//!
+//! ```text
+//! rule      := "IF" or_expr "THEN" ident "IS" ident ("WITH" number)?
+//! or_expr   := and_expr ("OR" and_expr)*
+//! and_expr  := unary ("AND" unary)*
+//! unary     := "NOT" unary | "(" or_expr ")" | ident "IS" ident
+//! ```
+//!
+//! Example: `IF valuation IS level3 AND property IS high THEN income IS high
+//! WITH 0.9`.
+
+use crate::error::{FuzzyError, Result};
+use crate::rule::{Antecedent, Rule};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    If,
+    Then,
+    And,
+    Or,
+    Not,
+    Is,
+    With,
+    LParen,
+    RParen,
+    Ident(String),
+    Number(f64),
+}
+
+fn tokenize(text: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&ch) = chars.peek() {
+        match ch {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::RParen);
+            }
+            '#' => break, // comment to end of line
+            c if c.is_ascii_digit() || c == '.' => {
+                let mut buf = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() || c == '.' {
+                        buf.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let n = buf.parse::<f64>().map_err(|_| FuzzyError::Parse {
+                    rule: text.to_owned(),
+                    message: format!("bad number `{buf}`"),
+                })?;
+                tokens.push(Token::Number(n));
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '-' => {
+                let mut buf = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '-' {
+                        buf.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let tok = match buf.to_ascii_uppercase().as_str() {
+                    "IF" => Token::If,
+                    "THEN" => Token::Then,
+                    "AND" => Token::And,
+                    "OR" => Token::Or,
+                    "NOT" => Token::Not,
+                    "IS" => Token::Is,
+                    "WITH" => Token::With,
+                    _ => Token::Ident(buf),
+                };
+                tokens.push(tok);
+            }
+            other => {
+                return Err(FuzzyError::Parse {
+                    rule: text.to_owned(),
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    text: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> FuzzyError {
+        FuzzyError::Parse { rule: self.text.to_owned(), message: message.into() }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Token, what: &str) -> Result<()> {
+        match self.next() {
+            Some(t) if &t == tok => Ok(()),
+            Some(t) => Err(self.err(format!("expected {what}, found {t:?}"))),
+            None => Err(self.err(format!("expected {what}, found end of rule"))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            Some(t) => Err(self.err(format!("expected {what}, found {t:?}"))),
+            None => Err(self.err(format!("expected {what}, found end of rule"))),
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Antecedent> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == Some(&Token::Or) {
+            self.next();
+            let rhs = self.and_expr()?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Antecedent> {
+        let mut lhs = self.unary()?;
+        while self.peek() == Some(&Token::And) {
+            self.next();
+            let rhs = self.unary()?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Antecedent> {
+        match self.peek() {
+            Some(Token::Not) => {
+                self.next();
+                Ok(self.unary()?.not())
+            }
+            Some(Token::LParen) => {
+                self.next();
+                let inner = self.or_expr()?;
+                self.expect(&Token::RParen, "`)`")?;
+                Ok(inner)
+            }
+            _ => {
+                let variable = self.ident("input variable name")?;
+                self.expect(&Token::Is, "`IS`")?;
+                let term = self.ident("term name")?;
+                Ok(Antecedent::is(variable, term))
+            }
+        }
+    }
+}
+
+/// Parses a single rule. The output variable name is returned alongside the
+/// rule so the engine can check it matches its configured output.
+pub fn parse_rule(text: &str) -> Result<(String, Rule)> {
+    let tokens = tokenize(text)?;
+    let mut p = Parser { tokens, pos: 0, text };
+    p.expect(&Token::If, "`IF`")?;
+    let antecedent = p.or_expr()?;
+    p.expect(&Token::Then, "`THEN`")?;
+    let output_var = p.ident("output variable name")?;
+    p.expect(&Token::Is, "`IS`")?;
+    let output_term = p.ident("output term name")?;
+    let mut rule = Rule::new(antecedent, output_term);
+    if p.peek() == Some(&Token::With) {
+        p.next();
+        match p.next() {
+            Some(Token::Number(w)) => {
+                rule = rule.with_weight(w)?;
+            }
+            other => return Err(p.err(format!("expected weight after WITH, found {other:?}"))),
+        }
+    }
+    if let Some(t) = p.peek() {
+        return Err(p.err(format!("trailing input after rule: {t:?}")));
+    }
+    Ok((output_var, rule))
+}
+
+/// Parses a multi-line rule block, skipping blank lines and `#` comments.
+pub fn parse_rules(text: &str) -> Result<Vec<(String, Rule)>> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        out.push(parse_rule(trimmed)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_rule() {
+        let (var, rule) = parse_rule("IF valuation IS level3 THEN income IS high").unwrap();
+        assert_eq!(var, "income");
+        assert_eq!(rule.output_term(), "high");
+        assert_eq!(rule.weight(), 1.0);
+        assert_eq!(rule.antecedent().references(), vec![("valuation", "level3")]);
+    }
+
+    #[test]
+    fn and_or_precedence() {
+        // AND binds tighter than OR.
+        let (_, rule) =
+            parse_rule("IF a IS x OR b IS y AND c IS z THEN o IS t").unwrap();
+        match rule.antecedent() {
+            Antecedent::Or(l, r) => {
+                assert!(matches!(l.as_ref(), Antecedent::Is { .. }));
+                assert!(matches!(r.as_ref(), Antecedent::And(_, _)));
+            }
+            other => panic!("expected Or at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let (_, rule) =
+            parse_rule("IF (a IS x OR b IS y) AND c IS z THEN o IS t").unwrap();
+        assert!(matches!(rule.antecedent(), Antecedent::And(_, _)));
+    }
+
+    #[test]
+    fn not_and_nesting() {
+        let (_, rule) = parse_rule("IF NOT a IS x AND NOT (b IS y OR c IS z) THEN o IS t").unwrap();
+        match rule.antecedent() {
+            Antecedent::And(l, r) => {
+                assert!(matches!(l.as_ref(), Antecedent::Not(_)));
+                assert!(matches!(r.as_ref(), Antecedent::Not(_)));
+            }
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn weight_clause() {
+        let (_, rule) = parse_rule("IF a IS x THEN o IS t WITH 0.75").unwrap();
+        assert_eq!(rule.weight(), 0.75);
+        assert!(parse_rule("IF a IS x THEN o IS t WITH 1.5").is_err());
+        assert!(parse_rule("IF a IS x THEN o IS t WITH abc").is_err());
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let (var, _) = parse_rule("if a is x then o is t").unwrap();
+        assert_eq!(var, "o");
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_rule("a IS x THEN o IS t").is_err()); // missing IF
+        assert!(parse_rule("IF a IS x").is_err()); // missing THEN
+        assert!(parse_rule("IF a x THEN o IS t").is_err()); // missing IS
+        assert!(parse_rule("IF a IS x THEN o IS t extra").is_err());
+        assert!(parse_rule("IF (a IS x THEN o IS t").is_err()); // unbalanced
+        assert!(parse_rule("IF a IS x THEN o IS t WITH").is_err());
+        assert!(parse_rule("IF ? IS x THEN o IS t").is_err());
+    }
+
+    #[test]
+    fn rule_block_with_comments() {
+        let text = "
+            # employment dominates
+            IF employment IS executive THEN income IS high
+
+            IF valuation IS level1 AND property IS low THEN income IS low # inline ignored? no
+        ";
+        // Inline comments after a rule body are supported by the tokenizer
+        // (it stops at `#`).
+        let rules = parse_rules(text).unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].0, "income");
+        assert_eq!(rules[1].1.antecedent().references().len(), 2);
+    }
+
+    #[test]
+    fn hyphenated_and_numeric_identifiers() {
+        let (_, rule) = parse_rule("IF invst-vol IS level_2 THEN o IS t").unwrap();
+        assert_eq!(rule.antecedent().references(), vec![("invst-vol", "level_2")]);
+    }
+}

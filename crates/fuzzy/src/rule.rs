@@ -1,0 +1,141 @@
+//! Fuzzy if-then rules: antecedent expression trees and weighted
+//! consequents.
+
+use crate::error::{FuzzyError, Result};
+
+/// Antecedent expression over input variables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Antecedent {
+    /// `variable IS term`.
+    Is {
+        /// Input variable name.
+        variable: String,
+        /// Term name within that variable.
+        term: String,
+    },
+    /// Fuzzy negation (`1 - x`).
+    Not(Box<Antecedent>),
+    /// Fuzzy conjunction (t-norm; min or product per engine config).
+    And(Box<Antecedent>, Box<Antecedent>),
+    /// Fuzzy disjunction (s-norm; max or probabilistic-or per config).
+    Or(Box<Antecedent>, Box<Antecedent>),
+}
+
+impl Antecedent {
+    /// Leaf constructor.
+    pub fn is(variable: impl Into<String>, term: impl Into<String>) -> Self {
+        Antecedent::Is { variable: variable.into(), term: term.into() }
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, rhs: Antecedent) -> Self {
+        Antecedent::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, rhs: Antecedent) -> Self {
+        Antecedent::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// Negation helper.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Antecedent::Not(Box::new(self))
+    }
+
+    /// All `(variable, term)` pairs referenced by the expression.
+    pub fn references(&self) -> Vec<(&str, &str)> {
+        let mut out = Vec::new();
+        self.collect_refs(&mut out);
+        out
+    }
+
+    fn collect_refs<'a>(&'a self, out: &mut Vec<(&'a str, &'a str)>) {
+        match self {
+            Antecedent::Is { variable, term } => out.push((variable, term)),
+            Antecedent::Not(inner) => inner.collect_refs(out),
+            Antecedent::And(l, r) | Antecedent::Or(l, r) => {
+                l.collect_refs(out);
+                r.collect_refs(out);
+            }
+        }
+    }
+}
+
+/// A weighted Mamdani rule: `IF <antecedent> THEN <output> IS <term>
+/// [WITH w]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    antecedent: Antecedent,
+    output_term: String,
+    weight: f64,
+}
+
+impl Rule {
+    /// Creates a rule with weight 1.
+    pub fn new(antecedent: Antecedent, output_term: impl Into<String>) -> Self {
+        Rule { antecedent, output_term: output_term.into(), weight: 1.0 }
+    }
+
+    /// Sets the rule weight in `[0, 1]`.
+    pub fn with_weight(mut self, weight: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&weight) || weight.is_nan() {
+            return Err(FuzzyError::InvalidWeight(weight));
+        }
+        self.weight = weight;
+        Ok(self)
+    }
+
+    /// The antecedent expression.
+    pub fn antecedent(&self) -> &Antecedent {
+        &self.antecedent
+    }
+
+    /// The consequent output term name.
+    pub fn output_term(&self) -> &str {
+        &self.output_term
+    }
+
+    /// The rule weight.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let a = Antecedent::is("valuation", "high")
+            .and(Antecedent::is("property", "high").or(Antecedent::is("employment", "ceo")))
+            .not();
+        match &a {
+            Antecedent::Not(inner) => match inner.as_ref() {
+                Antecedent::And(_, r) => {
+                    assert!(matches!(r.as_ref(), Antecedent::Or(_, _)));
+                }
+                other => panic!("expected And, got {other:?}"),
+            },
+            other => panic!("expected Not, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn references_collects_all_leaves() {
+        let a = Antecedent::is("x", "low").and(Antecedent::is("y", "hi").or(Antecedent::is("x", "mid")));
+        let refs = a.references();
+        assert_eq!(refs, vec![("x", "low"), ("y", "hi"), ("x", "mid")]);
+    }
+
+    #[test]
+    fn weight_validation() {
+        let r = Rule::new(Antecedent::is("x", "low"), "out_low");
+        assert_eq!(r.weight(), 1.0);
+        assert!(r.clone().with_weight(0.5).is_ok());
+        assert!(r.clone().with_weight(-0.1).is_err());
+        assert!(r.clone().with_weight(1.1).is_err());
+        assert!(r.with_weight(f64::NAN).is_err());
+    }
+}

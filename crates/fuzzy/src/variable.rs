@@ -1,0 +1,231 @@
+//! Linguistic variables: a named universe of discourse plus named terms.
+
+use crate::error::{FuzzyError, Result};
+use crate::membership::MembershipFunction;
+
+/// A named fuzzy set within a linguistic variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Term {
+    name: String,
+    mf: MembershipFunction,
+}
+
+impl Term {
+    /// Creates a term.
+    pub fn new(name: impl Into<String>, mf: MembershipFunction) -> Self {
+        Term { name: name.into(), mf }
+    }
+
+    /// Term name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Membership function.
+    pub fn mf(&self) -> &MembershipFunction {
+        &self.mf
+    }
+}
+
+/// A linguistic variable: a universe `[lo, hi]` with a set of terms.
+///
+/// Mirrors the paper's Figure 2 variables, e.g. *Customer Valuation* over
+/// `[0, 10]` with terms `level1 [1-3]`, `level2 [4-7]`, `level3 [8-10]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinguisticVariable {
+    name: String,
+    lo: f64,
+    hi: f64,
+    terms: Vec<Term>,
+}
+
+impl LinguisticVariable {
+    /// Creates a variable over `[lo, hi]`.
+    pub fn new(name: impl Into<String>, lo: f64, hi: f64) -> Result<Self> {
+        // `!(..)` deliberately rejects NaN universes as invalid.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+            return Err(FuzzyError::InvalidUniverse { lo, hi });
+        }
+        Ok(LinguisticVariable { name: name.into(), lo, hi, terms: Vec::new() })
+    }
+
+    /// Adds a term, rejecting duplicates (builder style).
+    pub fn with_term(mut self, name: impl Into<String>, mf: MembershipFunction) -> Result<Self> {
+        let name = name.into();
+        if self.terms.iter().any(|t| t.name == name) {
+            return Err(FuzzyError::DuplicateTerm {
+                variable: self.name.clone(),
+                term: name,
+            });
+        }
+        self.terms.push(Term::new(name, mf));
+        Ok(self)
+    }
+
+    /// Convenience: evenly partitions the universe into `labels.len()`
+    /// triangular terms with 50% overlap, shoulders at the edges. This is
+    /// the standard "Low/Med/High" layout used throughout the paper's
+    /// fusion system.
+    pub fn with_uniform_terms(mut self, labels: &[&str]) -> Result<Self> {
+        let n = labels.len();
+        if n == 0 {
+            return Ok(self);
+        }
+        if n == 1 {
+            let mf = MembershipFunction::trapezoidal(self.lo, self.lo, self.hi, self.hi)?;
+            return self.with_term(labels[0], mf);
+        }
+        let step = (self.hi - self.lo) / (n - 1) as f64;
+        for (i, &label) in labels.iter().enumerate() {
+            let centre = self.lo + step * i as f64;
+            let mf = if i == 0 {
+                MembershipFunction::left_shoulder(centre, centre + step)?
+            } else if i == n - 1 {
+                MembershipFunction::right_shoulder(centre - step, centre)?
+            } else {
+                MembershipFunction::triangular(centre - step, centre, centre + step)?
+            };
+            self = self.with_term(label, mf)?;
+        }
+        Ok(self)
+    }
+
+    /// Variable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Universe lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Universe upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// The declared terms.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// Looks up a term by name.
+    pub fn term(&self, name: &str) -> Result<&Term> {
+        self.terms.iter().find(|t| t.name == name).ok_or_else(|| {
+            FuzzyError::UnknownTerm {
+                variable: self.name.clone(),
+                term: name.to_owned(),
+            }
+        })
+    }
+
+    /// Membership degree of `x` (clamped into the universe) in `term`.
+    pub fn fuzzify(&self, term: &str, x: f64) -> Result<f64> {
+        let t = self.term(term)?;
+        Ok(t.mf().degree(x.clamp(self.lo, self.hi)))
+    }
+
+    /// Degrees of `x` in every term, in declaration order.
+    pub fn fuzzify_all(&self, x: f64) -> Vec<(&str, f64)> {
+        let clamped = x.clamp(self.lo, self.hi);
+        self.terms
+            .iter()
+            .map(|t| (t.name.as_str(), t.mf().degree(clamped)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valuation() -> LinguisticVariable {
+        // Figure 2: Customer Valuation with level1 [1-3], level2 [4-7],
+        // level3 [8-10] over a [0, 10] universe.
+        LinguisticVariable::new("valuation", 0.0, 10.0)
+            .unwrap()
+            .with_term("level1", MembershipFunction::left_shoulder(2.0, 4.5).unwrap())
+            .unwrap()
+            .with_term("level2", MembershipFunction::triangular(3.0, 5.5, 8.0).unwrap())
+            .unwrap()
+            .with_term("level3", MembershipFunction::right_shoulder(6.5, 9.0).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn universe_validation() {
+        assert!(LinguisticVariable::new("x", 1.0, 1.0).is_err());
+        assert!(LinguisticVariable::new("x", 2.0, 1.0).is_err());
+        assert!(LinguisticVariable::new("x", f64::NEG_INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn duplicate_terms_rejected() {
+        let v = LinguisticVariable::new("x", 0.0, 1.0)
+            .unwrap()
+            .with_term("low", MembershipFunction::left_shoulder(0.2, 0.6).unwrap())
+            .unwrap();
+        assert!(matches!(
+            v.with_term("low", MembershipFunction::right_shoulder(0.4, 0.8).unwrap()),
+            Err(FuzzyError::DuplicateTerm { .. })
+        ));
+    }
+
+    #[test]
+    fn fuzzify_clamps_to_universe() {
+        let v = valuation();
+        // x = 50 clamps to 10, firmly level3.
+        assert_eq!(v.fuzzify("level3", 50.0).unwrap(), 1.0);
+        assert_eq!(v.fuzzify("level1", -5.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn fuzzify_all_orders_by_declaration() {
+        let v = valuation();
+        let degrees = v.fuzzify_all(5.5);
+        assert_eq!(degrees[0].0, "level1");
+        assert_eq!(degrees[1], ("level2", 1.0));
+        assert!(degrees[2].1 < 0.01);
+    }
+
+    #[test]
+    fn unknown_term_errors() {
+        let v = valuation();
+        assert!(matches!(
+            v.fuzzify("level9", 5.0),
+            Err(FuzzyError::UnknownTerm { .. })
+        ));
+    }
+
+    #[test]
+    fn uniform_terms_cover_universe() {
+        let v = LinguisticVariable::new("income", 40_000.0, 100_000.0)
+            .unwrap()
+            .with_uniform_terms(&["low", "med", "high"])
+            .unwrap();
+        assert_eq!(v.terms().len(), 3);
+        // Low peaks at the left edge, high at the right.
+        assert_eq!(v.fuzzify("low", 40_000.0).unwrap(), 1.0);
+        assert_eq!(v.fuzzify("high", 100_000.0).unwrap(), 1.0);
+        assert_eq!(v.fuzzify("med", 70_000.0).unwrap(), 1.0);
+        // Every point has positive total membership (complete coverage).
+        let mut x = 40_000.0;
+        while x <= 100_000.0 {
+            let total: f64 = v.fuzzify_all(x).iter().map(|(_, d)| d).sum();
+            assert!(total > 0.0, "coverage gap at {x}");
+            x += 500.0;
+        }
+    }
+
+    #[test]
+    fn single_uniform_term_spans_all() {
+        let v = LinguisticVariable::new("x", 0.0, 1.0)
+            .unwrap()
+            .with_uniform_terms(&["all"])
+            .unwrap();
+        assert_eq!(v.fuzzify("all", 0.0).unwrap(), 1.0);
+        assert_eq!(v.fuzzify("all", 1.0).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Blocking: cheap candidate-pair generation before expensive comparison.
+//!
+//! Comparing every release record against every web record is quadratic;
+//! blocking buckets records by a cheap key (first letter, Soundex of the
+//! last token, …) and only compares within buckets. Sorted-neighbourhood
+//! instead slides a fixed window over records sorted by key.
+
+use crate::normalize::NameNormalizer;
+use crate::phonetic::soundex;
+use std::collections::HashMap;
+
+/// Strategy for generating candidate pairs between two name lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Blocking {
+    /// Compare every left record with every right record.
+    Full,
+    /// Block on the first letter of the first normalized token.
+    FirstLetter,
+    /// Block on the Soundex code of the last normalized token (surname).
+    SurnameSoundex,
+    /// Sorted-neighbourhood over the canonical name with the given window.
+    SortedNeighbourhood(usize),
+}
+
+/// Generates candidate `(left_index, right_index)` pairs for two lists of
+/// raw names under the chosen strategy.
+pub fn candidate_pairs(
+    strategy: Blocking,
+    normalizer: &NameNormalizer,
+    left: &[String],
+    right: &[String],
+) -> Vec<(usize, usize)> {
+    match strategy {
+        Blocking::Full => {
+            let mut out = Vec::with_capacity(left.len() * right.len());
+            for i in 0..left.len() {
+                for j in 0..right.len() {
+                    out.push((i, j));
+                }
+            }
+            out
+        }
+        Blocking::FirstLetter => block_by(left, right, |raw| {
+            normalizer
+                .tokens(raw)
+                .first()
+                .and_then(|t| t.chars().next())
+                .map(|c| c.to_string())
+        }),
+        Blocking::SurnameSoundex => block_by(left, right, |raw| {
+            normalizer.tokens(raw).last().and_then(|t| soundex(t))
+        }),
+        Blocking::SortedNeighbourhood(window) => {
+            sorted_neighbourhood(normalizer, left, right, window.max(1))
+        }
+    }
+}
+
+fn block_by(
+    left: &[String],
+    right: &[String],
+    key: impl Fn(&str) -> Option<String>,
+) -> Vec<(usize, usize)> {
+    let mut right_blocks: HashMap<String, Vec<usize>> = HashMap::new();
+    for (j, name) in right.iter().enumerate() {
+        if let Some(k) = key(name) {
+            right_blocks.entry(k).or_default().push(j);
+        }
+    }
+    let mut out = Vec::new();
+    for (i, name) in left.iter().enumerate() {
+        if let Some(k) = key(name) {
+            if let Some(js) = right_blocks.get(&k) {
+                out.extend(js.iter().map(|&j| (i, j)));
+            }
+        }
+    }
+    out
+}
+
+fn sorted_neighbourhood(
+    normalizer: &NameNormalizer,
+    left: &[String],
+    right: &[String],
+    window: usize,
+) -> Vec<(usize, usize)> {
+    // Merge both sides into one key-sorted sequence, then pair left/right
+    // records that fall within `window` positions of each other.
+    #[derive(Clone)]
+    struct Entry {
+        key: String,
+        side: bool, // false = left, true = right
+        index: usize,
+    }
+    let mut entries: Vec<Entry> = Vec::with_capacity(left.len() + right.len());
+    for (i, name) in left.iter().enumerate() {
+        entries.push(Entry { key: normalizer.canonical(name), side: false, index: i });
+    }
+    for (j, name) in right.iter().enumerate() {
+        entries.push(Entry { key: normalizer.canonical(name), side: true, index: j });
+    }
+    entries.sort_by(|a, b| a.key.cmp(&b.key));
+    let mut out = Vec::new();
+    for (pos, e) in entries.iter().enumerate() {
+        let hi = (pos + window + 1).min(entries.len());
+        for other in &entries[pos + 1..hi] {
+            match (e.side, other.side) {
+                (false, true) => out.push((e.index, other.index)),
+                (true, false) => out.push((other.index, e.index)),
+                _ => {}
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Reduction ratio of a blocking run: `1 - candidates / (|L| * |R|)`.
+pub fn reduction_ratio(candidates: usize, left: usize, right: usize) -> f64 {
+    let full = left * right;
+    if full == 0 {
+        return 0.0;
+    }
+    1.0 - candidates as f64 / full as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn full_blocking_is_cartesian() {
+        let n = NameNormalizer::new();
+        let left = names(&["a", "b"]);
+        let right = names(&["x", "y", "z"]);
+        let pairs = candidate_pairs(Blocking::Full, &n, &left, &right);
+        assert_eq!(pairs.len(), 6);
+    }
+
+    #[test]
+    fn first_letter_blocks() {
+        let n = NameNormalizer::new();
+        let left = names(&["Alice Zhu", "Robert Smith"]);
+        let right = names(&["alice zhu", "Amanda Jones", "Robert smith"]);
+        let pairs = candidate_pairs(Blocking::FirstLetter, &n, &left, &right);
+        // Alice matches alice+Amanda; Robert matches Robert.
+        assert!(pairs.contains(&(0, 0)));
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(1, 2)));
+        assert_eq!(pairs.len(), 3);
+    }
+
+    #[test]
+    fn surname_soundex_blocks_spelling_variants() {
+        let n = NameNormalizer::new();
+        let left = names(&["John Smith"]);
+        let right = names(&["Jon Smyth", "John Adams"]);
+        let pairs = candidate_pairs(Blocking::SurnameSoundex, &n, &left, &right);
+        assert_eq!(pairs, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn sorted_neighbourhood_finds_close_keys() {
+        let n = NameNormalizer::new();
+        let left = names(&["aa", "zz"]);
+        let right = names(&["ab", "zy"]);
+        let pairs = candidate_pairs(Blocking::SortedNeighbourhood(1), &n, &left, &right);
+        assert!(pairs.contains(&(0, 0)), "close keys must pair, got {pairs:?}");
+        assert!(pairs.contains(&(1, 1)), "close keys must pair, got {pairs:?}");
+        // Keys at opposite ends of the sort order stay unpaired.
+        assert!(!pairs.contains(&(0, 1)));
+        assert!(!pairs.contains(&(1, 0)));
+    }
+
+    #[test]
+    fn sorted_neighbourhood_window_grows_candidates() {
+        let n = NameNormalizer::new();
+        let left = names(&["aa", "bb", "cc", "dd"]);
+        let right = names(&["ab", "bc", "cd", "de"]);
+        let small = candidate_pairs(Blocking::SortedNeighbourhood(1), &n, &left, &right).len();
+        let large = candidate_pairs(Blocking::SortedNeighbourhood(8), &n, &left, &right).len();
+        assert!(large > small);
+        assert_eq!(large, 16); // window covers everything -> full cartesian
+    }
+
+    #[test]
+    fn blocking_reduces_candidates() {
+        let n = NameNormalizer::new();
+        let left: Vec<String> = (0..26)
+            .map(|i| format!("{}name Surname{i}", (b'a' + i as u8) as char))
+            .collect();
+        let right = left.clone();
+        let full = candidate_pairs(Blocking::Full, &n, &left, &right).len();
+        let blocked = candidate_pairs(Blocking::FirstLetter, &n, &left, &right).len();
+        assert!(blocked < full / 10);
+        let rr = reduction_ratio(blocked, left.len(), right.len());
+        assert!(rr > 0.9, "reduction ratio {rr}");
+    }
+
+    #[test]
+    fn empty_names_are_skipped() {
+        let n = NameNormalizer::new();
+        let left = names(&["", "Robert Smith"]);
+        let right = names(&["Robert Smith", ""]);
+        let pairs = candidate_pairs(Blocking::SurnameSoundex, &n, &left, &right);
+        assert_eq!(pairs, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn reduction_ratio_edges() {
+        assert_eq!(reduction_ratio(0, 0, 10), 0.0);
+        assert_eq!(reduction_ratio(100, 10, 10), 0.0);
+        assert_eq!(reduction_ratio(0, 10, 10), 1.0);
+    }
+}

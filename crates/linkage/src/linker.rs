@@ -1,0 +1,361 @@
+//! The end-to-end name linker: normalize → block → compare → score →
+//! classify → one-to-one assignment.
+//!
+//! This is the programmatic stand-in for the paper's manual "use the
+//! customer names present in the release to search for additional
+//! information" step: given release identifiers and web-record names, it
+//! returns the best match per release record.
+
+use crate::blocking::{candidate_pairs, Blocking};
+use crate::edit::levenshtein_similarity;
+use crate::fellegi_sunter::{Decision, FellegiSunter, FieldParams};
+use crate::jaro::jaro_winkler;
+use crate::ngram::dice;
+use crate::normalize::NameNormalizer;
+use crate::phonetic::soundex;
+
+/// Similarity feature vector for a pair of names.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NameFeatures {
+    /// Jaro-Winkler on the order-preserving normalized form.
+    pub jaro_winkler: f64,
+    /// Bigram Dice on the canonical (sorted-token) form.
+    pub dice_bigram: f64,
+    /// Levenshtein similarity on the canonical form.
+    pub levenshtein: f64,
+    /// Whether the surname (last token) Soundex codes agree.
+    pub surname_phonetic: bool,
+    /// Whether token sets are compatible under initial-matching.
+    pub tokens_compatible: bool,
+}
+
+/// Computes the feature vector for two raw names.
+pub fn compare_names(normalizer: &NameNormalizer, a: &str, b: &str) -> NameFeatures {
+    let ta = normalizer.tokens(a);
+    let tb = normalizer.tokens(b);
+    let ja = ta.join(" ");
+    let jb = tb.join(" ");
+    let mut ca = ta.clone();
+    let mut cb = tb.clone();
+    ca.sort();
+    cb.sort();
+    let ca = ca.join(" ");
+    let cb = cb.join(" ");
+    let surname_phonetic = match (ta.last(), tb.last()) {
+        (Some(x), Some(y)) => soundex(x).is_some() && soundex(x) == soundex(y),
+        _ => false,
+    };
+    NameFeatures {
+        jaro_winkler: jaro_winkler(&ja, &jb),
+        dice_bigram: dice(&ca, &cb, 2),
+        levenshtein: levenshtein_similarity(&ca, &cb),
+        surname_phonetic,
+        tokens_compatible: NameNormalizer::tokens_compatible(&ta, &tb),
+    }
+}
+
+impl NameFeatures {
+    /// Binary agreement vector for the Fellegi-Sunter scorer, thresholding
+    /// the continuous similarities at conventional cut-offs.
+    pub fn agreement_vector(&self) -> Vec<bool> {
+        vec![
+            self.jaro_winkler >= 0.85,
+            self.dice_bigram >= 0.6,
+            self.levenshtein >= 0.7,
+            self.surname_phonetic,
+            self.tokens_compatible,
+        ]
+    }
+
+    /// Blended continuous score in `[0, 1]` (used for ranking candidates
+    /// within the same decision class).
+    pub fn blended(&self) -> f64 {
+        0.4 * self.jaro_winkler
+            + 0.25 * self.dice_bigram
+            + 0.15 * self.levenshtein
+            + 0.1 * f64::from(self.surname_phonetic)
+            + 0.1 * f64::from(self.tokens_compatible)
+    }
+}
+
+/// One linked pair in the linker's output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    /// Index into the left (release) list.
+    pub left: usize,
+    /// Index into the right (web) list.
+    pub right: usize,
+    /// Fellegi-Sunter log2 weight.
+    pub weight: f64,
+    /// Continuous blended similarity.
+    pub score: f64,
+    /// Classification decision.
+    pub decision: Decision,
+}
+
+/// Configuration for [`Linker`].
+#[derive(Debug, Clone)]
+pub struct LinkerConfig {
+    /// Blocking strategy.
+    pub blocking: Blocking,
+    /// Fellegi-Sunter model over the 5 name features.
+    pub model: FellegiSunter,
+    /// Keep [`Decision::Possible`] pairs in the output.
+    pub keep_possible: bool,
+}
+
+impl Default for LinkerConfig {
+    fn default() -> Self {
+        LinkerConfig {
+            blocking: Blocking::SurnameSoundex,
+            model: default_name_model(),
+            keep_possible: true,
+        }
+    }
+}
+
+/// The default five-field name-matching model: m/u values follow the
+/// conventional pattern for person names (high agreement among matches,
+/// near-random among non-matches).
+pub fn default_name_model() -> FellegiSunter {
+    FellegiSunter::new(
+        vec![
+            FieldParams::new(0.92, 0.02), // jaro-winkler >= 0.85
+            FieldParams::new(0.90, 0.02), // dice >= 0.6
+            FieldParams::new(0.85, 0.02), // levenshtein >= 0.7
+            FieldParams::new(0.95, 0.08), // surname soundex
+            FieldParams::new(0.90, 0.01), // token compatibility
+        ],
+        0.0,
+        8.0,
+    )
+}
+
+/// The end-to-end linker.
+#[derive(Debug, Clone, Default)]
+pub struct Linker {
+    normalizer: NameNormalizer,
+    config: LinkerConfig,
+}
+
+impl Linker {
+    /// Creates a linker with the default configuration.
+    pub fn new() -> Self {
+        Linker::default()
+    }
+
+    /// Overrides the configuration.
+    pub fn with_config(mut self, config: LinkerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the normalizer.
+    pub fn with_normalizer(mut self, normalizer: NameNormalizer) -> Self {
+        self.normalizer = normalizer;
+        self
+    }
+
+    /// Scores all candidate pairs (post-blocking) between two name lists.
+    pub fn score_pairs(&self, left: &[String], right: &[String]) -> Vec<Link> {
+        let pairs = candidate_pairs(self.config.blocking, &self.normalizer, left, right);
+        let mut out = Vec::with_capacity(pairs.len());
+        for (i, j) in pairs {
+            let features = compare_names(&self.normalizer, &left[i], &right[j]);
+            let agreement = features.agreement_vector();
+            let weight = self.config.model.weight(&agreement);
+            let decision = self.config.model.classify(&agreement);
+            if decision == Decision::NonMatch {
+                continue;
+            }
+            if decision == Decision::Possible && !self.config.keep_possible {
+                continue;
+            }
+            out.push(Link { left: i, right: j, weight, score: features.blended(), decision });
+        }
+        out
+    }
+
+    /// Links two name lists one-to-one: each left record gets at most one
+    /// right record and vice versa, assigned greedily by descending
+    /// `(weight, score)`.
+    pub fn link(&self, left: &[String], right: &[String]) -> Vec<Link> {
+        let mut links = self.score_pairs(left, right);
+        links.sort_by(|a, b| {
+            b.weight
+                .partial_cmp(&a.weight)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal))
+                .then(a.left.cmp(&b.left))
+                .then(a.right.cmp(&b.right))
+        });
+        let mut used_left = vec![false; left.len()];
+        let mut used_right = vec![false; right.len()];
+        let mut out = Vec::new();
+        for link in links {
+            if used_left[link.left] || used_right[link.right] {
+                continue;
+            }
+            used_left[link.left] = true;
+            used_right[link.right] = true;
+            out.push(link);
+        }
+        out.sort_by_key(|l| l.left);
+        out
+    }
+}
+
+/// Precision/recall of a set of links against ground truth pairs.
+pub fn evaluate(links: &[Link], truth: &[(usize, usize)]) -> LinkageQuality {
+    let predicted: Vec<(usize, usize)> = links.iter().map(|l| (l.left, l.right)).collect();
+    let tp = predicted.iter().filter(|p| truth.contains(p)).count();
+    let precision = if predicted.is_empty() {
+        0.0
+    } else {
+        tp as f64 / predicted.len() as f64
+    };
+    let recall = if truth.is_empty() {
+        0.0
+    } else {
+        tp as f64 / truth.len() as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    LinkageQuality { precision, recall, f1, true_positives: tp }
+}
+
+/// Linkage quality summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkageQuality {
+    /// Fraction of predicted links that are correct.
+    pub precision: f64,
+    /// Fraction of true links recovered.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Correct link count.
+    pub true_positives: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn features_for_identical_names() {
+        let n = NameNormalizer::new();
+        let f = compare_names(&n, "Robert Smith", "robert smith");
+        assert_eq!(f.jaro_winkler, 1.0);
+        assert_eq!(f.dice_bigram, 1.0);
+        assert!(f.surname_phonetic);
+        assert!(f.tokens_compatible);
+        assert!(f.agreement_vector().iter().all(|&b| b));
+    }
+
+    #[test]
+    fn features_for_nickname_and_reorder() {
+        let n = NameNormalizer::new();
+        let f = compare_names(&n, "Smith, Bob", "Robert Smith");
+        // Canonical forms agree exactly thanks to nickname expansion.
+        assert_eq!(f.dice_bigram, 1.0);
+        assert!(f.tokens_compatible);
+    }
+
+    #[test]
+    fn linker_matches_clean_lists() {
+        let release = names(&["Alice Walker", "Robert Smith", "Christine Lee"]);
+        let web = names(&["christine lee", "alice walker", "robert smith"]);
+        let links = Linker::new().link(&release, &web);
+        assert_eq!(links.len(), 3);
+        let truth = vec![(0, 1), (1, 2), (2, 0)];
+        let q = evaluate(&links, &truth);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+    }
+
+    #[test]
+    fn linker_survives_typos_and_titles() {
+        let release = names(&["Robert Smith", "Katherine O'Hara"]);
+        let web = names(&["Dr. Robret Smith", "Kathy Ohara"]);
+        let links = Linker::new().link(&release, &web);
+        let q = evaluate(&links, &[(0, 0), (1, 1)]);
+        assert_eq!(q.recall, 1.0, "links: {links:?}");
+    }
+
+    #[test]
+    fn linker_rejects_unrelated_names() {
+        let release = names(&["Robert Smith"]);
+        let web = names(&["Wei Zhang", "Priya Patel"]);
+        let links = Linker::new()
+            .with_config(LinkerConfig {
+                blocking: Blocking::Full,
+                model: default_name_model(),
+                keep_possible: false,
+            })
+            .link(&release, &web);
+        assert!(links.is_empty(), "got {links:?}");
+    }
+
+    #[test]
+    fn one_to_one_assignment_prefers_best() {
+        // Two release records compete for one web record; the exact match
+        // must win and the other stays unlinked (no double assignment).
+        let release = names(&["Robert Smith", "Roberta Smith"]);
+        let web = names(&["Robert Smith"]);
+        let links = Linker::new().link(&release, &web);
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].left, 0);
+    }
+
+    #[test]
+    fn keep_possible_flag() {
+        let release = names(&["R. Smith"]);
+        let web = names(&["Robert Smith"]);
+        let strict = Linker::new()
+            .with_config(LinkerConfig {
+                blocking: Blocking::Full,
+                model: default_name_model(),
+                keep_possible: false,
+            })
+            .link(&release, &web);
+        let lenient = Linker::new()
+            .with_config(LinkerConfig {
+                blocking: Blocking::Full,
+                model: default_name_model(),
+                keep_possible: true,
+            })
+            .link(&release, &web);
+        assert!(lenient.len() >= strict.len());
+    }
+
+    #[test]
+    fn evaluate_edge_cases() {
+        let q = evaluate(&[], &[]);
+        assert_eq!(q.precision, 0.0);
+        assert_eq!(q.recall, 0.0);
+        assert_eq!(q.f1, 0.0);
+    }
+
+    #[test]
+    fn scored_pairs_expose_weights() {
+        let release = names(&["Robert Smith"]);
+        let web = names(&["Robert Smith", "Robert Smyth"]);
+        let linker = Linker::new().with_config(LinkerConfig {
+            blocking: Blocking::Full,
+            model: default_name_model(),
+            keep_possible: true,
+        });
+        let scored = linker.score_pairs(&release, &web);
+        assert!(scored.len() >= 2);
+        let exact = scored.iter().find(|l| l.right == 0).unwrap();
+        let fuzzy = scored.iter().find(|l| l.right == 1).unwrap();
+        assert!(exact.weight >= fuzzy.weight);
+    }
+}

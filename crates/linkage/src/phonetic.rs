@@ -1,0 +1,177 @@
+//! Phonetic encodings: Soundex and a Metaphone-style simplified code.
+//!
+//! Phonetic codes power blocking (candidate generation) — two spellings of
+//! the same surname usually share a code even when edit distance is large.
+
+/// American Soundex: first letter plus three digits.
+///
+/// Returns `None` for inputs with no ASCII-alphabetic characters.
+pub fn soundex(s: &str) -> Option<String> {
+    let letters: Vec<char> = s
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    let first = *letters.first()?;
+
+    fn code(c: char) -> u8 {
+        match c {
+            'B' | 'F' | 'P' | 'V' => 1,
+            'C' | 'G' | 'J' | 'K' | 'Q' | 'S' | 'X' | 'Z' => 2,
+            'D' | 'T' => 3,
+            'L' => 4,
+            'M' | 'N' => 5,
+            'R' => 6,
+            _ => 0, // vowels + H, W, Y
+        }
+    }
+
+    let mut out = String::with_capacity(4);
+    out.push(first);
+    let mut last_code = code(first);
+    for &c in &letters[1..] {
+        let k = code(c);
+        // H and W are transparent: they do not reset the previous code.
+        if c == 'H' || c == 'W' {
+            continue;
+        }
+        if k != 0 && k != last_code {
+            out.push((b'0' + k) as char);
+            if out.len() == 4 {
+                break;
+            }
+        }
+        last_code = k;
+    }
+    while out.len() < 4 {
+        out.push('0');
+    }
+    Some(out)
+}
+
+/// A simplified Metaphone-style consonant-skeleton code: maps the word to a
+/// compact phonetic consonant string (length-capped at 6). Coarser than
+/// real Metaphone but distinguishes more than Soundex while still merging
+/// common spelling variants.
+pub fn phonetic_skeleton(s: &str) -> Option<String> {
+    let lower: Vec<char> = s
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_lowercase())
+        .collect();
+    if lower.is_empty() {
+        return None;
+    }
+    let mut out = String::new();
+    let mut i = 0;
+    while i < lower.len() && out.len() < 6 {
+        let c = lower[i];
+        let next = lower.get(i + 1).copied();
+        let mapped: Option<char> = match c {
+            // Digraph handling first.
+            'p' if next == Some('h') => {
+                i += 1;
+                Some('f')
+            }
+            's' if next == Some('h') => {
+                i += 1;
+                Some('x') // "sh" sound
+            }
+            'c' if next == Some('h') => {
+                i += 1;
+                Some('x')
+            }
+            'c' if matches!(next, Some('e') | Some('i') | Some('y')) => Some('s'),
+            'c' => Some('k'),
+            'q' => Some('k'),
+            'x' => Some('k'),
+            'g' if next == Some('h') => {
+                i += 1;
+                Some('k')
+            }
+            'd' if next == Some('g') => {
+                i += 1;
+                Some('j')
+            }
+            'z' => Some('s'),
+            'w' | 'h' | 'y' => None,
+            'a' | 'e' | 'i' | 'o' | 'u' => {
+                if out.is_empty() {
+                    Some('a') // leading vowel kept as canonical 'a'
+                } else {
+                    None
+                }
+            }
+            other => Some(other),
+        };
+        if let Some(m) = mapped {
+            // Collapse doubled output codes.
+            if !out.ends_with(m) {
+                out.push(m);
+            }
+        }
+        i += 1;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soundex_textbook_values() {
+        assert_eq!(soundex("Robert").as_deref(), Some("R163"));
+        assert_eq!(soundex("Rupert").as_deref(), Some("R163"));
+        assert_eq!(soundex("Ashcraft").as_deref(), Some("A261"));
+        assert_eq!(soundex("Ashcroft").as_deref(), Some("A261"));
+        assert_eq!(soundex("Tymczak").as_deref(), Some("T522"));
+        assert_eq!(soundex("Pfister").as_deref(), Some("P236"));
+        assert_eq!(soundex("Honeyman").as_deref(), Some("H555"));
+    }
+
+    #[test]
+    fn soundex_merges_spelling_variants() {
+        assert_eq!(soundex("Smith"), soundex("Smyth"));
+        assert_eq!(soundex("Ganta"), soundex("Gantha"));
+    }
+
+    #[test]
+    fn soundex_edge_cases() {
+        assert_eq!(soundex(""), None);
+        assert_eq!(soundex("123"), None);
+        assert_eq!(soundex("A").as_deref(), Some("A000"));
+        assert_eq!(soundex("  o'Brien ").as_deref(), Some("O165"));
+        // Case-insensitive.
+        assert_eq!(soundex("ROBERT"), soundex("robert"));
+    }
+
+    #[test]
+    fn skeleton_merges_phonetic_variants() {
+        assert_eq!(phonetic_skeleton("Philip"), phonetic_skeleton("Filip"));
+        assert_eq!(phonetic_skeleton("Catherine"), phonetic_skeleton("Katherine"));
+        assert_eq!(phonetic_skeleton("Zara"), phonetic_skeleton("Sara"));
+    }
+
+    #[test]
+    fn skeleton_distinguishes_different_names() {
+        assert_ne!(phonetic_skeleton("Robert"), phonetic_skeleton("Alice"));
+        assert_ne!(phonetic_skeleton("Ganta"), phonetic_skeleton("Acharya"));
+    }
+
+    #[test]
+    fn skeleton_edge_cases() {
+        assert_eq!(phonetic_skeleton(""), None);
+        assert_eq!(phonetic_skeleton("!!!"), None);
+        assert!(phonetic_skeleton("Aeiou").is_some());
+        // Length capped.
+        let code = phonetic_skeleton("Brobdingnagian").unwrap();
+        assert!(code.len() <= 6);
+    }
+
+    #[test]
+    fn skeleton_collapses_doubles() {
+        assert_eq!(phonetic_skeleton("Bobby"), phonetic_skeleton("Boby"));
+        assert_eq!(phonetic_skeleton("Anna"), phonetic_skeleton("Ana"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Token-level TF-IDF cosine similarity.
+//!
+//! Edit distances treat a name as one string; token TF-IDF treats it as a
+//! bag of words weighted by corpus rarity, which is the right model when
+//! comparing multi-token fields (employers, page snippets, full "First
+//! Middle Last" names) where a rare surname should count far more than a
+//! ubiquitous "the" or "inc".
+
+use std::collections::HashMap;
+
+/// A TF-IDF vectorizer fitted on a corpus of documents.
+#[derive(Debug, Clone)]
+pub struct TfIdf {
+    /// Document frequency per token.
+    df: HashMap<String, usize>,
+    /// Number of documents fitted.
+    n_docs: usize,
+}
+
+fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+impl TfIdf {
+    /// Fits document frequencies on a corpus.
+    pub fn fit<S: AsRef<str>>(corpus: &[S]) -> Self {
+        let mut df: HashMap<String, usize> = HashMap::new();
+        for doc in corpus {
+            let mut seen: Vec<String> = tokenize(doc.as_ref());
+            seen.sort();
+            seen.dedup();
+            for tok in seen {
+                *df.entry(tok).or_insert(0) += 1;
+            }
+        }
+        TfIdf { df, n_docs: corpus.len() }
+    }
+
+    /// Number of fitted documents.
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Inverse document frequency of a token. Unseen tokens get the
+    /// maximum IDF (they are maximally discriminative).
+    pub fn idf(&self, token: &str) -> f64 {
+        let df = self.df.get(token).copied().unwrap_or(0);
+        ((self.n_docs as f64 + 1.0) / (df as f64 + 1.0)).ln() + 1.0
+    }
+
+    /// Sparse TF-IDF vector of a text.
+    pub fn vectorize(&self, text: &str) -> HashMap<String, f64> {
+        let mut tf: HashMap<String, f64> = HashMap::new();
+        for tok in tokenize(text) {
+            *tf.entry(tok).or_insert(0.0) += 1.0;
+        }
+        for (tok, v) in tf.iter_mut() {
+            *v = (1.0 + v.ln()) * self.idf(tok);
+        }
+        tf
+    }
+
+    /// Cosine similarity of two texts under the fitted weights, in
+    /// `[0, 1]`.
+    pub fn cosine(&self, a: &str, b: &str) -> f64 {
+        let va = self.vectorize(a);
+        let vb = self.vectorize(b);
+        if va.is_empty() && vb.is_empty() {
+            return 1.0;
+        }
+        let dot: f64 = va
+            .iter()
+            .filter_map(|(tok, &wa)| vb.get(tok).map(|&wb| wa * wb))
+            .sum();
+        let na: f64 = va.values().map(|w| w * w).sum::<f64>().sqrt();
+        let nb: f64 = vb.values().map(|w| w * w).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        (dot / (na * nb)).clamp(0.0, 1.0)
+    }
+
+    /// Ranks `candidates` by cosine similarity to `query`, descending.
+    /// Returns `(index, score)` pairs.
+    pub fn rank<S: AsRef<str>>(&self, query: &str, candidates: &[S]) -> Vec<(usize, f64)> {
+        let mut scored: Vec<(usize, f64)> = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, self.cosine(query, c.as_ref())))
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<&'static str> {
+        vec![
+            "robert smith works at microsoft",
+            "alice walker deutsche bank ceo",
+            "the quick brown fox",
+            "robert jones at the verizon store",
+            "christine lee nyu assistant",
+        ]
+    }
+
+    #[test]
+    fn identity_and_disjoint() {
+        let t = TfIdf::fit(&corpus());
+        assert!((t.cosine("robert smith", "robert smith") - 1.0).abs() < 1e-9);
+        assert_eq!(t.cosine("robert", "christine"), 0.0);
+        assert!((t.cosine("", "") - 1.0).abs() < 1e-12);
+        assert_eq!(t.cosine("robert", ""), 0.0);
+    }
+
+    #[test]
+    fn rare_tokens_dominate() {
+        let t = TfIdf::fit(&corpus());
+        // "smith" is rarer than "the" in the corpus; sharing "smith"
+        // scores far higher than sharing "the".
+        let share_rare = t.cosine("smith consulting", "smith holdings");
+        let share_common = t.cosine("the consulting", "the holdings");
+        assert!(share_rare > share_common + 0.05, "{share_rare} vs {share_common}");
+        assert!(t.idf("smith") > t.idf("the"));
+    }
+
+    #[test]
+    fn unseen_tokens_get_max_idf() {
+        let t = TfIdf::fit(&corpus());
+        assert!(t.idf("zzyzx") >= t.idf("smith"));
+    }
+
+    #[test]
+    fn symmetry_and_bounds() {
+        let t = TfIdf::fit(&corpus());
+        for (a, b) in [
+            ("robert smith", "smith robert"),
+            ("alice walker", "alice who"),
+            ("x", "y z"),
+        ] {
+            let ab = t.cosine(a, b);
+            let ba = t.cosine(b, a);
+            assert!((ab - ba).abs() < 1e-12);
+            assert!((0.0..=1.0).contains(&ab));
+        }
+        // Token order does not matter.
+        assert!((t.cosine("robert smith", "smith robert") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranking() {
+        let t = TfIdf::fit(&corpus());
+        let candidates = ["robert smith microsoft", "alice walker", "robert jones verizon"];
+        let ranked = t.rank("robert smith", &candidates);
+        assert_eq!(ranked[0].0, 0);
+        assert!(ranked[0].1 > ranked[1].1);
+        // Both Roberts beat Alice.
+        assert_eq!(ranked[2].0, 1);
+    }
+
+    #[test]
+    fn fit_on_empty_corpus() {
+        let t = TfIdf::fit::<&str>(&[]);
+        assert_eq!(t.n_docs(), 0);
+        // Still usable: every token unseen, cosine well-defined.
+        assert!((t.cosine("a b", "a b") - 1.0).abs() < 1e-9);
+    }
+}

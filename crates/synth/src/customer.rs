@@ -1,0 +1,150 @@
+//! Enterprise customer data: the paper's running example (Table II) and a
+//! scalable generator of the same shape.
+
+use crate::person::PersonProfile;
+use crate::rng::{normal, rng_from_seed};
+use fred_data::{Schema, Table, Value};
+
+/// Builds the customer schema:
+/// `Name | InvstVol, InvstAmt, Valuation | Income`.
+pub fn customer_schema() -> Schema {
+    Schema::builder()
+        .identifier("Name")
+        .quasi_numeric("InvstVol")
+        .quasi_numeric("InvstAmt")
+        .quasi_numeric("Valuation")
+        .sensitive_numeric("Income")
+        .build()
+        .expect("static schema is valid")
+}
+
+/// The paper's Table II, verbatim.
+pub fn paper_table_ii() -> Table {
+    let rows = [
+        ("Alice", 8.0, 7.0, 4.0, 91_250.0),
+        ("Bob", 5.0, 4.0, 4.0, 74_340.0),
+        ("Christine", 4.0, 5.0, 5.0, 75_123.0),
+        ("Robert", 9.0, 8.0, 9.0, 98_230.0),
+    ];
+    Table::with_rows(
+        customer_schema(),
+        rows.iter()
+            .map(|&(n, v, a, val, inc)| {
+                vec![
+                    Value::Text(n.into()),
+                    Value::Float(v),
+                    Value::Float(a),
+                    Value::Float(val),
+                    Value::Float(inc),
+                ]
+            })
+            .collect(),
+    )
+    .expect("static rows match schema")
+}
+
+/// The auxiliary data the paper's adversary collects (Table IV, verbatim):
+/// `(name, employment, property holdings sqft)`.
+pub fn paper_table_iv() -> Vec<(&'static str, &'static str, f64)> {
+    vec![
+        ("Alice", "CEO, Deutsche Bank", 3560.0),
+        ("Bob", "Manager, Verizon", 1200.0),
+        ("Christine", "Assistant, NYU", 720.0),
+        ("Robert", "CEO, Microsoft", 5430.0),
+    ]
+}
+
+/// Configuration for the scalable customer generator.
+#[derive(Debug, Clone)]
+pub struct CustomerConfig {
+    /// Noise (1-10 scale) added to the income-derived investment indices.
+    pub index_noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CustomerConfig {
+    fn default() -> Self {
+        CustomerConfig { index_noise: 1.0, seed: 0xC057 }
+    }
+}
+
+/// Builds a customer table of the Table II shape from a population: the
+/// investment indices are noisy functions of income (wealthier customers
+/// trade more), the valuation blends them.
+pub fn customer_table(people: &[PersonProfile], config: &CustomerConfig) -> Table {
+    let mut rng = rng_from_seed(config.seed);
+    let (lo, hi) = people.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+        (lo.min(p.income), hi.max(p.income))
+    });
+    let span = (hi - lo).max(1.0);
+    let mut table = Table::new(customer_schema());
+    for p in people {
+        let z = (p.income - lo) / span; // 0..1
+        let base = 1.0 + 9.0 * z;
+        let vol = (base + normal(&mut rng, 0.0, config.index_noise)).clamp(1.0, 10.0);
+        let amt = (base + normal(&mut rng, 0.0, config.index_noise)).clamp(1.0, 10.0);
+        let valuation = ((vol + amt) / 2.0 + normal(&mut rng, 0.0, config.index_noise / 2.0))
+            .clamp(1.0, 10.0);
+        table
+            .push_row(vec![
+                Value::Text(p.name.clone()),
+                Value::Float(vol.round()),
+                Value::Float(amt.round()),
+                Value::Float(valuation.round()),
+                Value::Float(p.income.round()),
+            ])
+            .expect("row matches customer schema");
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::person::{generate_population, PopulationConfig};
+    use fred_data::pearson;
+
+    #[test]
+    fn paper_table_ii_is_verbatim() {
+        let t = paper_table_ii();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.row(3).unwrap()[0].as_str(), Some("Robert"));
+        assert_eq!(t.row(3).unwrap()[4].as_f64(), Some(98_230.0));
+        assert_eq!(t.row(0).unwrap()[1].as_f64(), Some(8.0));
+        let ascii = t.to_ascii();
+        assert!(ascii.contains("Christine"));
+    }
+
+    #[test]
+    fn paper_table_iv_matches() {
+        let aux = paper_table_iv();
+        assert_eq!(aux.len(), 4);
+        assert_eq!(aux[3].1, "CEO, Microsoft");
+        assert_eq!(aux[3].2, 5430.0);
+    }
+
+    #[test]
+    fn generated_indices_on_scale_and_correlated() {
+        let people = generate_population(&PopulationConfig::default());
+        let t = customer_table(&people, &CustomerConfig::default());
+        assert_eq!(t.len(), people.len());
+        let income = t.numeric_column(4).unwrap();
+        for c in 1..=3 {
+            let idx = t.numeric_column(c).unwrap();
+            for &x in &idx {
+                assert!((1.0..=10.0).contains(&x));
+            }
+            let r = pearson(&idx, &income).unwrap();
+            assert!(r > 0.6, "col {c} correlation {r}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let people = generate_population(&PopulationConfig::default());
+        let a = customer_table(&people, &CustomerConfig::default());
+        let b = customer_table(&people, &CustomerConfig::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,154 @@
+//! The faculty dataset: our analog of the paper's experimental data.
+//!
+//! "The sensitive data (P) is collected from a real-life enterprise (a
+//! public university) and contains salary information and performance
+//! review numbers of the employees (faculty). The employee Salary is the
+//! sensitive attribute while the performance review numbers are the
+//! non-sensitive attributes." (paper Section VI-A)
+//!
+//! We derive review scores from the ground-truth income with calibrated
+//! noise, so the quasi-identifiers carry real but imperfect signal about
+//! the sensitive attribute — the property the attack exploits.
+
+use crate::person::PersonProfile;
+use crate::rng::{normal, rng_from_seed};
+use fred_data::{Schema, Table, Value};
+
+/// Configuration for review-score generation.
+#[derive(Debug, Clone)]
+pub struct FacultyConfig {
+    /// Number of review-score attributes (the paper uses several
+    /// performance numbers; we default to 3).
+    pub n_scores: usize,
+    /// Correlation strength: standard deviation of the noise added to the
+    /// income-derived score signal, on the 1-10 score scale.
+    pub score_noise: f64,
+    /// RNG seed for the score noise.
+    pub seed: u64,
+}
+
+impl Default for FacultyConfig {
+    fn default() -> Self {
+        FacultyConfig { n_scores: 3, score_noise: 1.2, seed: 0xFAC }
+    }
+}
+
+/// Names of the review-score attributes.
+pub fn score_names(n: usize) -> Vec<String> {
+    (1..=n).map(|i| format!("Review{i}")).collect()
+}
+
+/// Builds the faculty schema: `Name | Review1..ReviewN | Salary`.
+pub fn faculty_schema(n_scores: usize) -> Schema {
+    let mut b = Schema::builder().identifier("Name");
+    for name in score_names(n_scores) {
+        b = b.quasi_numeric(name);
+    }
+    b.sensitive_numeric("Salary")
+        .build()
+        .expect("static schema is valid")
+}
+
+/// Builds the faculty table from a population.
+///
+/// Each review score is `1 + 9 * income_percentile + noise`, clamped to
+/// `[1, 10]`: the score carries income signal with per-attribute noise.
+pub fn faculty_table(people: &[PersonProfile], config: &FacultyConfig) -> Table {
+    let mut rng = rng_from_seed(config.seed);
+    // Income percentile within this population.
+    let mut sorted: Vec<f64> = people.iter().map(|p| p.income).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let percentile = |x: f64| -> f64 {
+        let below = sorted.partition_point(|&v| v < x);
+        below as f64 / sorted.len().max(1) as f64
+    };
+
+    let mut table = Table::new(faculty_schema(config.n_scores));
+    for p in people {
+        let base = 1.0 + 9.0 * percentile(p.income);
+        let mut row = Vec::with_capacity(config.n_scores + 2);
+        row.push(Value::Text(p.name.clone()));
+        for _ in 0..config.n_scores {
+            let score = (base + normal(&mut rng, 0.0, config.score_noise)).clamp(1.0, 10.0);
+            // Review numbers are reported to one decimal place.
+            row.push(Value::Float((score * 10.0).round() / 10.0));
+        }
+        row.push(Value::Float(p.income.round()));
+        table.push_row(row).expect("row matches faculty schema");
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::person::{generate_population, PopulationConfig};
+    use fred_data::pearson;
+
+    fn population() -> Vec<PersonProfile> {
+        generate_population(&PopulationConfig::faculty(400, 21))
+    }
+
+    #[test]
+    fn schema_shape() {
+        let s = faculty_schema(3);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.identifier_indices(), vec![0]);
+        assert_eq!(s.quasi_identifier_indices(), vec![1, 2, 3]);
+        assert_eq!(s.sensitive_indices(), vec![4]);
+    }
+
+    #[test]
+    fn table_matches_population() {
+        let people = population();
+        let t = faculty_table(&people, &FacultyConfig::default());
+        assert_eq!(t.len(), people.len());
+        for (row, p) in t.rows().iter().zip(&people) {
+            assert_eq!(row[0].as_str(), Some(p.name.as_str()));
+            assert_eq!(row[4].as_f64(), Some(p.income.round()));
+        }
+    }
+
+    #[test]
+    fn scores_live_on_one_to_ten_scale() {
+        let t = faculty_table(&population(), &FacultyConfig::default());
+        for c in 1..=3 {
+            for v in t.column(c) {
+                let x = v.as_f64().unwrap();
+                assert!((1.0..=10.0).contains(&x), "score {x} out of scale");
+            }
+        }
+    }
+
+    #[test]
+    fn scores_correlate_with_salary() {
+        let t = faculty_table(&population(), &FacultyConfig::default());
+        let salary = t.numeric_column(4).unwrap();
+        for c in 1..=3 {
+            let scores = t.numeric_column(c).unwrap();
+            let r = pearson(&scores, &salary).unwrap();
+            assert!(r > 0.6, "Review{c} correlation {r} too weak");
+        }
+    }
+
+    #[test]
+    fn noise_decorrelates_when_large() {
+        let people = population();
+        let noisy = faculty_table(
+            &people,
+            &FacultyConfig { score_noise: 50.0, ..FacultyConfig::default() },
+        );
+        let salary = noisy.numeric_column(4).unwrap();
+        let scores = noisy.numeric_column(1).unwrap();
+        let r = pearson(&scores, &salary).unwrap();
+        assert!(r.abs() < 0.4, "huge noise should wash out signal, r={r}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let people = population();
+        let a = faculty_table(&people, &FacultyConfig::default());
+        let b = faculty_table(&people, &FacultyConfig::default());
+        assert_eq!(a, b);
+    }
+}

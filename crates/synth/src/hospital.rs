@@ -1,0 +1,158 @@
+//! A patient dataset in the mould of the paper's Table I: categorical
+//! sensitive attribute (Condition), demographic quasi-identifiers.
+//!
+//! The running example's Table I is the classic k-anonymity setting; this
+//! generator scales it up so the categorical privacy checkers
+//! (l-diversity, t-closeness) have a realistic workload, and so the
+//! workspace exercises categorical releases end to end.
+
+use crate::names::unique_names;
+use crate::rng::{choice, rng_from_seed};
+use fred_data::{Schema, Table, Value};
+use rand::Rng;
+
+/// Diagnosis pool with rough prevalence weights.
+const CONDITIONS: &[(&str, f64)] = &[
+    ("Flu", 0.30),
+    ("Hypertension", 0.20),
+    ("Diabetes", 0.15),
+    ("Asthma", 0.12),
+    ("Cancer", 0.08),
+    ("Meningitis", 0.05),
+    ("Hepatitis", 0.05),
+    ("AIDS", 0.05),
+];
+
+/// Nationality pool (mirrors Table I's attribute).
+const NATIONALITIES: &[&str] = &[
+    "American", "Russian", "Japanese", "Indian", "German", "Brazilian", "Chinese", "Nigerian",
+];
+
+/// Configuration for the patient generator.
+#[derive(Debug, Clone)]
+pub struct HospitalConfig {
+    /// Number of patients.
+    pub size: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Zip codes are drawn from `zip_base .. zip_base + zip_spread`.
+    pub zip_base: i64,
+    /// Number of distinct zip codes.
+    pub zip_spread: i64,
+}
+
+impl Default for HospitalConfig {
+    fn default() -> Self {
+        HospitalConfig { size: 200, seed: 0x405, zip_base: 13000, zip_spread: 80 }
+    }
+}
+
+/// Builds the patient schema:
+/// `Name | Zipcode, Age, Nationality | Condition`.
+pub fn hospital_schema() -> Schema {
+    Schema::builder()
+        .identifier("Name")
+        .quasi_int("Zipcode")
+        .quasi_int("Age")
+        .quasi_categorical("Nationality")
+        .sensitive_categorical("Condition")
+        .build()
+        .expect("static schema is valid")
+}
+
+/// Generates the patient table. Age correlates weakly with condition
+/// severity (older patients skew toward the chronic diagnoses), giving the
+/// privacy checkers a non-uniform joint distribution to detect.
+pub fn hospital_table(config: &HospitalConfig) -> Table {
+    let mut rng = rng_from_seed(config.seed);
+    let names = unique_names(&mut rng, config.size);
+    let total_weight: f64 = CONDITIONS.iter().map(|&(_, w)| w).sum();
+    let mut table = Table::new(hospital_schema());
+    for name in names {
+        let zip = config.zip_base + rng.gen_range(0..config.zip_spread.max(1));
+        // Draw a condition, then an age consistent with it.
+        let mut draw = rng.gen::<f64>() * total_weight;
+        let mut condition = CONDITIONS[0].0;
+        let mut cond_idx = 0usize;
+        for (i, &(c, w)) in CONDITIONS.iter().enumerate() {
+            if draw < w {
+                condition = c;
+                cond_idx = i;
+                break;
+            }
+            draw -= w;
+        }
+        // Chronic/severe conditions (later in the list) skew older.
+        let age_lo = 18 + (cond_idx as i64) * 4;
+        let age_hi = 60 + (cond_idx as i64) * 4;
+        let age = rng.gen_range(age_lo..=age_hi);
+        table
+            .push_row(vec![
+                Value::Text(name),
+                Value::Int(zip),
+                Value::Int(age),
+                Value::Categorical(choice(&mut rng, NATIONALITIES).to_string()),
+                Value::Categorical(condition.to_owned()),
+            ])
+            .expect("row matches hospital schema");
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_matches_table_i_roles() {
+        let s = hospital_schema();
+        assert_eq!(s.identifier_indices(), vec![0]);
+        assert_eq!(s.quasi_identifier_indices(), vec![1, 2, 3]);
+        assert_eq!(s.sensitive_indices(), vec![4]);
+    }
+
+    #[test]
+    fn generated_values_are_plausible() {
+        let t = hospital_table(&HospitalConfig::default());
+        assert_eq!(t.len(), 200);
+        for row in t.rows() {
+            let zip = row[1].as_f64().unwrap() as i64;
+            assert!((13000..13080).contains(&zip));
+            let age = row[2].as_f64().unwrap();
+            assert!((18.0..=100.0).contains(&age));
+            let cond = row[4].as_str().unwrap();
+            assert!(CONDITIONS.iter().any(|&(c, _)| c == cond));
+        }
+    }
+
+    #[test]
+    fn prevalence_roughly_matches_weights() {
+        let t = hospital_table(&HospitalConfig { size: 4000, ..Default::default() });
+        let flu = t.column(4).filter(|v| v.as_str() == Some("Flu")).count() as f64 / 4000.0;
+        assert!((flu - 0.30).abs() < 0.04, "flu prevalence {flu}");
+        let aids = t.column(4).filter(|v| v.as_str() == Some("AIDS")).count() as f64 / 4000.0;
+        assert!((aids - 0.05).abs() < 0.02, "aids prevalence {aids}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = hospital_table(&HospitalConfig::default());
+        let b = hospital_table(&HospitalConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chronic_conditions_skew_older() {
+        let t = hospital_table(&HospitalConfig { size: 4000, ..Default::default() });
+        let mean_age = |cond: &str| {
+            let ages: Vec<f64> = t
+                .rows()
+                .iter()
+                .filter(|r| r[4].as_str() == Some(cond))
+                .map(|r| r[2].as_f64().unwrap())
+                .collect();
+            ages.iter().sum::<f64>() / ages.len() as f64
+        };
+        assert!(mean_age("AIDS") > mean_age("Flu") + 5.0);
+    }
+}

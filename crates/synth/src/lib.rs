@@ -1,0 +1,36 @@
+//! # fred-synth — synthetic population and dataset generators
+//!
+//! The paper's experiments use a private university's faculty salary data
+//! and hand-harvested web pages; neither is available. This crate generates
+//! the substitution described in `DESIGN.md`: a seeded ground-truth
+//! population ([`person::PersonProfile`]) from which both the sensitive
+//! enterprise tables ([`faculty`], [`customer`]) and the web corpus
+//! (`fred-web`) are derived, preserving the QI↔sensitive and
+//! auxiliary↔sensitive correlations the attack exploits.
+//!
+//! ## Example
+//!
+//! ```
+//! use fred_synth::{generate_population, PopulationConfig, faculty_table, FacultyConfig};
+//!
+//! let people = generate_population(&PopulationConfig::faculty(100, 42));
+//! let table = faculty_table(&people, &FacultyConfig::default());
+//! assert_eq!(table.len(), 100);
+//! assert_eq!(table.schema().sensitive_indices().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod customer;
+pub mod faculty;
+pub mod hospital;
+pub mod names;
+pub mod person;
+pub mod rng;
+
+pub use customer::{customer_schema, customer_table, paper_table_ii, paper_table_iv, CustomerConfig};
+pub use faculty::{faculty_schema, faculty_table, score_names, FacultyConfig};
+pub use hospital::{hospital_schema, hospital_table, HospitalConfig};
+pub use names::{unique_names, FIRST_NAMES, LAST_NAMES};
+pub use person::{generate_population, PersonProfile, PopulationConfig, Seniority};
+pub use rng::rng_from_seed;

@@ -1,0 +1,88 @@
+//! Name pools and unique-name generation.
+
+use rand::Rng;
+
+/// First-name pool (mix of conventional US names, matching the kind of
+/// names in the paper's running example).
+pub const FIRST_NAMES: &[&str] = &[
+    "Alice", "Robert", "Christine", "William", "Elizabeth", "James", "Michael", "Thomas",
+    "Anthony", "Katherine", "Alexander", "Daniel", "David", "Edward", "Joseph", "Margaret",
+    "Samuel", "Steven", "Susan", "Patricia", "Andrew", "Nicholas", "Matthew", "Gregory",
+    "Jennifer", "Rebecca", "Victoria", "Richard", "Sarah", "Laura", "Kevin", "Brian",
+    "Angela", "Melissa", "George", "Frank", "Helen", "Carol", "Dennis", "Diane",
+    "Raymond", "Janet", "Walter", "Gloria", "Harold", "Teresa", "Eugene", "Judith",
+    "Priya", "Wei", "Hiroshi", "Fatima", "Chen", "Ravi", "Ingrid", "Pablo",
+];
+
+/// Surname pool.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
+    "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson",
+    "Taylor", "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White",
+    "Harris", "Sanchez", "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young",
+    "Allen", "King", "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores",
+    "Green", "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts", "Ganta", "Acharya", "Patel", "Kumar", "Chen", "Tanaka",
+    "Kowalski", "Petrov", "Silva", "Costa", "Haddad",
+];
+
+/// Generates `n` distinct `"First Last"` names. When `n` exceeds the number
+/// of unique pool combinations, a numeric disambiguator is appended.
+pub fn unique_names<R: Rng>(rng: &mut R, n: usize) -> Vec<String> {
+    let mut out = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::with_capacity(n);
+    let capacity = FIRST_NAMES.len() * LAST_NAMES.len();
+    let mut counter = 0usize;
+    while out.len() < n {
+        let first = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+        let last = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+        let name = if out.len() < capacity {
+            format!("{first} {last}")
+        } else {
+            counter += 1;
+            format!("{first} {last} {counter}")
+        };
+        if seen.insert(name.clone()) {
+            out.push(name);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn names_are_unique() {
+        let mut rng = rng_from_seed(11);
+        let names = unique_names(&mut rng, 500);
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), 500);
+    }
+
+    #[test]
+    fn names_have_first_and_last() {
+        let mut rng = rng_from_seed(11);
+        for name in unique_names(&mut rng, 50) {
+            assert!(name.split_whitespace().count() >= 2, "{name}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = unique_names(&mut rng_from_seed(5), 100);
+        let b = unique_names(&mut rng_from_seed(5), 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn overflow_beyond_pool_capacity_still_unique() {
+        let mut rng = rng_from_seed(1);
+        let n = FIRST_NAMES.len() * LAST_NAMES.len() + 50;
+        let names = unique_names(&mut rng, n);
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), n);
+    }
+}

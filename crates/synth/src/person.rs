@@ -1,0 +1,292 @@
+//! The ground-truth population shared by the enterprise table and the web
+//! corpus.
+//!
+//! The paper's experiment pairs a private faculty table with the same
+//! people's public web pages. Our substitution generates one
+//! [`PersonProfile`] per individual — seniority, employer, title, property
+//! holdings, income, web presence — and derives *both* the sensitive table
+//! (`crate::faculty`, `crate::customer`) and the web corpus (`fred-web`)
+//! from it, so the attack faces a consistent world.
+
+use crate::names::unique_names;
+use crate::rng::{coin, normal, rng_from_seed, truncated_normal};
+use rand::Rng;
+
+/// Seniority band of an individual; the dominant driver of income.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Seniority {
+    /// Entry level (assistant, analyst).
+    Junior,
+    /// Mid-career (associate, manager).
+    Mid,
+    /// Senior (full professor, director).
+    Senior,
+    /// Executive (chair, VP, CEO).
+    Executive,
+}
+
+impl Seniority {
+    /// All bands in ascending order.
+    pub const ALL: [Seniority; 4] = [
+        Seniority::Junior,
+        Seniority::Mid,
+        Seniority::Senior,
+        Seniority::Executive,
+    ];
+
+    /// Numeric level 1..=4 (used as a fuzzy-input scale).
+    pub fn level(&self) -> u8 {
+        match self {
+            Seniority::Junior => 1,
+            Seniority::Mid => 2,
+            Seniority::Senior => 3,
+            Seniority::Executive => 4,
+        }
+    }
+
+    /// Academic job title for this band.
+    pub fn faculty_title(&self) -> &'static str {
+        match self {
+            Seniority::Junior => "Assistant Professor",
+            Seniority::Mid => "Associate Professor",
+            Seniority::Senior => "Professor",
+            Seniority::Executive => "Department Chair",
+        }
+    }
+
+    /// Industry job title for this band.
+    pub fn industry_title(&self) -> &'static str {
+        match self {
+            Seniority::Junior => "Analyst",
+            Seniority::Mid => "Manager",
+            Seniority::Senior => "Director",
+            Seniority::Executive => "CEO",
+        }
+    }
+}
+
+/// Ground truth for one individual.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersonProfile {
+    /// Stable index within the population.
+    pub id: usize,
+    /// Full name as it appears in the enterprise database.
+    pub name: String,
+    /// Seniority band.
+    pub seniority: Seniority,
+    /// Employer name.
+    pub employer: String,
+    /// Job title (consistent with seniority).
+    pub title: String,
+    /// Assessed property holdings in square feet (paper Table IV uses this
+    /// unit; correlated with income).
+    pub property_sqft: f64,
+    /// Annual income in dollars — the sensitive attribute.
+    pub income: f64,
+    /// Whether the person has any web presence (pages to harvest).
+    pub has_web_presence: bool,
+}
+
+/// Configuration for population generation.
+#[derive(Debug, Clone)]
+pub struct PopulationConfig {
+    /// Number of individuals.
+    pub size: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Mixing proportions of the four seniority bands (normalized
+    /// internally).
+    pub seniority_mix: [f64; 4],
+    /// Mean income per band, ascending.
+    pub income_means: [f64; 4],
+    /// Income standard deviation per band.
+    pub income_stds: [f64; 4],
+    /// Hard income floor/ceiling (the paper's `[$40k, $160k]`-style range).
+    pub income_range: (f64, f64),
+    /// Probability an individual has web presence.
+    pub web_presence_rate: f64,
+    /// Employer pool.
+    pub employers: Vec<String>,
+    /// Use academic titles (faculty) instead of industry titles.
+    pub academic: bool,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            size: 500,
+            seed: 0xF12ED,
+            seniority_mix: [0.35, 0.3, 0.25, 0.1],
+            income_means: [55_000.0, 75_000.0, 100_000.0, 135_000.0],
+            income_stds: [7_000.0, 9_000.0, 12_000.0, 15_000.0],
+            income_range: (40_000.0, 160_000.0),
+            web_presence_rate: 0.9,
+            employers: [
+                "Penn State University",
+                "Deutsche Bank",
+                "Verizon",
+                "Microsoft",
+                "NYU",
+                "General Electric",
+                "Acme Analytics",
+                "Keystone Insurance",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            academic: false,
+        }
+    }
+}
+
+impl PopulationConfig {
+    /// Faculty-flavoured defaults (single academic employer, academic
+    /// titles) matching the paper's experimental dataset.
+    pub fn faculty(size: usize, seed: u64) -> Self {
+        PopulationConfig {
+            size,
+            seed,
+            employers: vec!["Penn State University".to_string()],
+            academic: true,
+            ..PopulationConfig::default()
+        }
+    }
+}
+
+/// Generates the population.
+pub fn generate_population(config: &PopulationConfig) -> Vec<PersonProfile> {
+    let mut rng = rng_from_seed(config.seed);
+    let names = unique_names(&mut rng, config.size);
+    let total_mix: f64 = config.seniority_mix.iter().sum();
+    let mut people = Vec::with_capacity(config.size);
+    for (id, name) in names.into_iter().enumerate() {
+        // Sample a seniority band from the mixing proportions.
+        let mut draw = rng.gen::<f64>() * total_mix;
+        let mut band = Seniority::Junior;
+        for (i, s) in Seniority::ALL.iter().enumerate() {
+            if draw < config.seniority_mix[i] {
+                band = *s;
+                break;
+            }
+            draw -= config.seniority_mix[i];
+        }
+        let bi = (band.level() - 1) as usize;
+        let income = truncated_normal(
+            &mut rng,
+            config.income_means[bi],
+            config.income_stds[bi],
+            config.income_range.0,
+            config.income_range.1,
+        );
+        // Property holdings scale with income: ~sqft = income/25 +/- noise.
+        let property_sqft = (income / 25.0 + normal(&mut rng, 0.0, 400.0)).max(300.0);
+        let employer = crate::rng::choice(&mut rng, &config.employers).clone();
+        let title = if config.academic {
+            band.faculty_title()
+        } else {
+            band.industry_title()
+        };
+        people.push(PersonProfile {
+            id,
+            name,
+            seniority: band,
+            employer,
+            title: title.to_string(),
+            property_sqft,
+            income,
+            has_web_presence: coin(&mut rng, config.web_presence_rate),
+        });
+    }
+    people
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_is_reproducible() {
+        let cfg = PopulationConfig::default();
+        let a = generate_population(&cfg);
+        let b = generate_population(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), cfg.size);
+    }
+
+    #[test]
+    fn incomes_respect_range() {
+        let cfg = PopulationConfig::default();
+        for p in generate_population(&cfg) {
+            assert!(p.income >= cfg.income_range.0 && p.income <= cfg.income_range.1);
+            assert!(p.property_sqft >= 300.0);
+        }
+    }
+
+    #[test]
+    fn income_increases_with_seniority_on_average() {
+        let cfg = PopulationConfig { size: 2000, ..PopulationConfig::default() };
+        let people = generate_population(&cfg);
+        let mean_for = |s: Seniority| {
+            let xs: Vec<f64> = people
+                .iter()
+                .filter(|p| p.seniority == s)
+                .map(|p| p.income)
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        let means: Vec<f64> = Seniority::ALL.iter().map(|&s| mean_for(s)).collect();
+        for w in means.windows(2) {
+            assert!(w[0] < w[1], "income means not increasing: {means:?}");
+        }
+    }
+
+    #[test]
+    fn property_correlates_with_income() {
+        let cfg = PopulationConfig { size: 2000, ..PopulationConfig::default() };
+        let people = generate_population(&cfg);
+        let incomes: Vec<f64> = people.iter().map(|p| p.income).collect();
+        let props: Vec<f64> = people.iter().map(|p| p.property_sqft).collect();
+        let n = incomes.len() as f64;
+        let mi = incomes.iter().sum::<f64>() / n;
+        let mp = props.iter().sum::<f64>() / n;
+        let cov: f64 = incomes
+            .iter()
+            .zip(&props)
+            .map(|(&i, &p)| (i - mi) * (p - mp))
+            .sum::<f64>();
+        let vi: f64 = incomes.iter().map(|&i| (i - mi) * (i - mi)).sum();
+        let vp: f64 = props.iter().map(|&p| (p - mp) * (p - mp)).sum();
+        let r = cov / (vi.sqrt() * vp.sqrt());
+        assert!(r > 0.7, "correlation too weak: {r}");
+    }
+
+    #[test]
+    fn web_presence_rate_is_honoured() {
+        let cfg = PopulationConfig {
+            size: 2000,
+            web_presence_rate: 0.5,
+            ..PopulationConfig::default()
+        };
+        let people = generate_population(&cfg);
+        let rate = people.iter().filter(|p| p.has_web_presence).count() as f64 / 2000.0;
+        assert!((rate - 0.5).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn faculty_config_uses_academic_titles() {
+        let cfg = PopulationConfig::faculty(50, 9);
+        let people = generate_population(&cfg);
+        assert!(people.iter().all(|p| p.employer == "Penn State University"));
+        assert!(people
+            .iter()
+            .all(|p| p.title.contains("Professor") || p.title.contains("Chair")));
+    }
+
+    #[test]
+    fn titles_match_seniority() {
+        let cfg = PopulationConfig::default();
+        for p in generate_population(&cfg) {
+            assert_eq!(p.title, p.seniority.industry_title());
+        }
+    }
+}

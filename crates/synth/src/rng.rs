@@ -1,0 +1,94 @@
+//! Seeded randomness helpers shared by all generators.
+//!
+//! Every generator in the workspace takes an explicit `u64` seed and derives
+//! a [`rand::rngs::StdRng`] from it, so datasets, corpora and experiments
+//! are bit-reproducible across runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic RNG from a seed.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Samples a standard-normal variate via Box-Muller (rand's distributions
+/// crate is not part of the offline set, so we roll the transform).
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    // Guard u1 away from zero so ln() stays finite.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples `N(mu, sigma)`.
+pub fn normal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    mu + sigma * standard_normal(rng)
+}
+
+/// Samples `N(mu, sigma)` truncated to `[lo, hi]` by resampling (falls back
+/// to clamping after 32 attempts so the call always terminates).
+pub fn truncated_normal<R: Rng>(rng: &mut R, mu: f64, sigma: f64, lo: f64, hi: f64) -> f64 {
+    for _ in 0..32 {
+        let x = normal(rng, mu, sigma);
+        if (lo..=hi).contains(&x) {
+            return x;
+        }
+    }
+    normal(rng, mu, sigma).clamp(lo, hi)
+}
+
+/// Uniformly picks an element of a non-empty slice.
+pub fn choice<'a, T, R: Rng>(rng: &mut R, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+/// Bernoulli draw.
+pub fn coin<R: Rng>(rng: &mut R, p: f64) -> bool {
+    rng.gen::<f64>() < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_reproducible() {
+        let mut a = rng_from_seed(7);
+        let mut b = rng_from_seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = rng_from_seed(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 10.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut rng = rng_from_seed(1);
+        for _ in 0..1000 {
+            let x = truncated_normal(&mut rng, 0.0, 5.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn choice_and_coin() {
+        let mut rng = rng_from_seed(3);
+        let items = [1, 2, 3];
+        for _ in 0..50 {
+            assert!(items.contains(choice(&mut rng, &items)));
+        }
+        let heads = (0..10_000).filter(|_| coin(&mut rng, 0.25)).count();
+        assert!((heads as f64 / 10_000.0 - 0.25).abs() < 0.03);
+    }
+}

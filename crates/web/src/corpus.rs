@@ -1,0 +1,179 @@
+//! Corpus generation: from a ground-truth population to a searchable web.
+
+use crate::index::SearchEngine;
+use crate::noise::NameNoise;
+use crate::page::{PageKind, WebPage};
+use fred_synth::person::PersonProfile;
+use fred_synth::rng::{coin, rng_from_seed};
+use fred_synth::unique_names;
+use rand::Rng;
+
+/// Configuration of corpus generation.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Name-noise channel applied to every page's display name.
+    pub noise: NameNoise,
+    /// Minimum and maximum pages per person with web presence.
+    pub pages_per_person: (usize, usize),
+    /// Number of distractor pages about people outside the population
+    /// (search-result noise).
+    pub distractors: usize,
+    /// Probability that a homepage mentions property holdings.
+    pub homepage_property_rate: f64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            seed: 0x3EB,
+            noise: NameNoise::default(),
+            pages_per_person: (1, 3),
+            distractors: 50,
+            homepage_property_rate: 0.7,
+        }
+    }
+}
+
+/// Generates the page corpus for a population and builds the search
+/// engine over it.
+pub fn build_corpus(people: &[PersonProfile], config: &CorpusConfig) -> SearchEngine {
+    let mut rng = rng_from_seed(config.seed);
+    let mut pages = Vec::new();
+    let (lo, hi) = config.pages_per_person;
+    let (lo, hi) = (lo.max(1), hi.max(lo.max(1)));
+    for p in people {
+        if !p.has_web_presence {
+            continue;
+        }
+        let n_pages = rng.gen_range(lo..=hi);
+        for _ in 0..n_pages {
+            let kind = *fred_synth::rng::choice(&mut rng, &PageKind::ALL);
+            let display = config.noise.corrupt(&mut rng, &p.name);
+            let property = match kind {
+                PageKind::PropertyRecord => Some(p.property_sqft),
+                PageKind::Homepage if coin(&mut rng, config.homepage_property_rate) => {
+                    Some(p.property_sqft)
+                }
+                _ => None,
+            };
+            pages.push(WebPage::render(
+                pages.len(),
+                Some(p.id),
+                kind,
+                &display,
+                &p.title,
+                &p.employer,
+                property,
+            ));
+        }
+    }
+    // Distractors: pages about people who are not in the population.
+    let distractor_names = unique_names(&mut rng, config.distractors);
+    for name in distractor_names {
+        let kind = *fred_synth::rng::choice(&mut rng, &PageKind::ALL);
+        let titles = ["Clerk", "Manager", "Director", "Analyst", "CEO"];
+        let employers = ["Smalltown Hardware", "Rivertown Times", "Bluefield LLC"];
+        let title = titles[rng.gen_range(0..titles.len())];
+        let employer = employers[rng.gen_range(0..employers.len())];
+        let sqft = 500.0 + rng.gen::<f64>() * 4000.0;
+        pages.push(WebPage::render(
+            pages.len(),
+            None,
+            kind,
+            &name,
+            title,
+            employer,
+            Some(sqft),
+        ));
+    }
+    SearchEngine::build(pages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fred_synth::person::{generate_population, PopulationConfig};
+
+    fn population() -> Vec<PersonProfile> {
+        generate_population(&PopulationConfig {
+            size: 60,
+            web_presence_rate: 1.0,
+            ..PopulationConfig::default()
+        })
+    }
+
+    #[test]
+    fn corpus_covers_population() {
+        let people = population();
+        let engine = build_corpus(&people, &CorpusConfig::default());
+        // Every person has 1-3 pages plus 50 distractors.
+        let person_pages = engine
+            .pages()
+            .iter()
+            .filter(|p| p.person_id.is_some())
+            .count();
+        assert!(person_pages >= people.len());
+        assert!(person_pages <= 3 * people.len());
+        let distractors = engine.pages().iter().filter(|p| p.person_id.is_none()).count();
+        assert_eq!(distractors, 50);
+    }
+
+    #[test]
+    fn searching_a_real_name_finds_their_pages() {
+        let people = population();
+        let engine = build_corpus(
+            &people,
+            &CorpusConfig { noise: NameNoise::none(), ..CorpusConfig::default() },
+        );
+        let mut found = 0;
+        for p in &people {
+            let hits = engine.search(&p.name, 5);
+            if hits
+                .iter()
+                .any(|h| engine.page(h.page).unwrap().person_id == Some(p.id))
+            {
+                found += 1;
+            }
+        }
+        // With noiseless names, search should find nearly everyone.
+        assert!(found >= people.len() * 9 / 10, "found {found}/{}", people.len());
+    }
+
+    #[test]
+    fn web_presence_controls_coverage() {
+        let mut people = population();
+        for p in &mut people {
+            p.has_web_presence = false;
+        }
+        let engine = build_corpus(&people, &CorpusConfig::default());
+        assert!(engine.pages().iter().all(|p| p.person_id.is_none()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let people = population();
+        let a = build_corpus(&people, &CorpusConfig::default());
+        let b = build_corpus(&people, &CorpusConfig::default());
+        assert_eq!(a.pages(), b.pages());
+    }
+
+    #[test]
+    fn property_records_carry_ground_truth_sqft() {
+        let people = population();
+        let engine = build_corpus(
+            &people,
+            &CorpusConfig { noise: NameNoise::none(), ..CorpusConfig::default() },
+        );
+        for page in engine.pages() {
+            if page.kind == PageKind::PropertyRecord {
+                if let Some(pid) = page.person_id {
+                    let truth = &people[pid];
+                    let extracted = crate::extract::extract(page).property_sqft.unwrap();
+                    assert!((extracted - truth.property_sqft).abs() < 1.0);
+                }
+            }
+        }
+    }
+}

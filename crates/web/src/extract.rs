@@ -1,0 +1,237 @@
+//! Attribute extraction: semi-structured parsing of page text back into
+//! the auxiliary facts the adversary needs (paper Table IV's columns).
+
+use crate::page::{PageKind, WebPage};
+
+/// An auxiliary record extracted from one page — the programmatic analog
+/// of one row of the paper's Table IV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuxRecord {
+    /// The page the record came from.
+    pub page_id: usize,
+    /// Name as printed on the page (noisy).
+    pub name: String,
+    /// Job title, when the page carries one.
+    pub title: Option<String>,
+    /// Employer, when the page carries one.
+    pub employer: Option<String>,
+    /// Employment seniority level 1..=4 inferred from the title keywords,
+    /// when a title was found.
+    pub seniority_level: Option<u8>,
+    /// Property holdings in square feet, when the page carries them.
+    pub property_sqft: Option<f64>,
+}
+
+/// Maps a job title to a seniority level 1..=4 by keyword — the domain
+/// knowledge the paper's adversary applies to the Employment column.
+pub fn title_seniority(title: &str) -> Option<u8> {
+    let t = title.to_lowercase();
+    // Most-senior keywords first so "assistant professor" and "assistant"
+    // resolve correctly.
+    if t.contains("ceo") || t.contains("chief") || t.contains("chair") || t.contains("president")
+    {
+        Some(4)
+    } else if t.contains("director") || (t.contains("professor") && !t.contains("assistant") && !t.contains("associate")) || t.contains("vp")
+    {
+        Some(3)
+    } else if t.contains("manager") || t.contains("associate") {
+        Some(2)
+    } else if t.contains("assistant") || t.contains("analyst") || t.contains("intern") {
+        Some(1)
+    } else {
+        None
+    }
+}
+
+/// Extracts an [`AuxRecord`] from a page.
+///
+/// Extraction is template-aware but intentionally lossy in exactly the ways
+/// the page kinds are: news blurbs yield no title or property, directory
+/// entries no property, and so on.
+pub fn extract(page: &WebPage) -> AuxRecord {
+    let mut record = AuxRecord {
+        page_id: page.id,
+        name: page.display_name.clone(),
+        title: None,
+        employer: None,
+        seniority_level: None,
+        property_sqft: None,
+    };
+    match page.kind {
+        PageKind::Directory => {
+            record.title = field_after(&page.text, "Position:");
+            record.employer = field_after(&page.text, "Organization:");
+        }
+        PageKind::Homepage => {
+            // "I work as a {title} at {employer}."
+            if let Some(rest) = page.text.split("work as a ").nth(1) {
+                if let Some(stop) = rest.find(" at ") {
+                    record.title = Some(rest[..stop].trim().to_owned());
+                    let after = &rest[stop + 4..];
+                    let end = after.find('.').unwrap_or(after.len());
+                    record.employer = Some(after[..end].trim().to_owned());
+                }
+            }
+            record.property_sqft = sqft_before(&page.text, "sq ft");
+        }
+        PageKind::News => {
+            // "{name} of {employer} spoke at ..."
+            if let Some(rest) = page.text.split(" of ").nth(1) {
+                if let Some(stop) = rest.find(" spoke at") {
+                    record.employer = Some(rest[..stop].trim().to_owned());
+                }
+            }
+        }
+        PageKind::PropertyRecord => {
+            record.property_sqft = sqft_before(&page.text, "sq ft");
+        }
+        PageKind::Blog => {
+            // "By day I'm a {title}, paying my dues at {employer};"
+            if let Some(rest) = page.text.split("I'm a ").nth(1) {
+                if let Some(stop) = rest.find(',') {
+                    record.title = Some(rest[..stop].trim().to_owned());
+                }
+            }
+            if let Some(rest) = page.text.split(" dues at ").nth(1) {
+                let end = rest.find(';').unwrap_or(rest.len());
+                record.employer = Some(rest[..end].trim().to_owned());
+            }
+        }
+    }
+    record.seniority_level = record.title.as_deref().and_then(title_seniority);
+    record
+}
+
+/// Merges several extractions about the same person into one consolidated
+/// record: first non-missing title/employer, maximum seniority, mean of the
+/// property figures (a real adversary would reconcile sources similarly).
+pub fn consolidate(records: &[AuxRecord]) -> Option<AuxRecord> {
+    let first = records.first()?;
+    let mut out = AuxRecord {
+        page_id: first.page_id,
+        name: first.name.clone(),
+        title: None,
+        employer: None,
+        seniority_level: None,
+        property_sqft: None,
+    };
+    let mut sqfts = Vec::new();
+    for r in records {
+        if out.title.is_none() {
+            out.title = r.title.clone();
+        }
+        if out.employer.is_none() {
+            out.employer = r.employer.clone();
+        }
+        out.seniority_level = match (out.seniority_level, r.seniority_level) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        if let Some(s) = r.property_sqft {
+            sqfts.push(s);
+        }
+    }
+    if !sqfts.is_empty() {
+        out.property_sqft = Some(sqfts.iter().sum::<f64>() / sqfts.len() as f64);
+    }
+    Some(out)
+}
+
+fn field_after(text: &str, label: &str) -> Option<String> {
+    let start = text.find(label)? + label.len();
+    let rest = &text[start..];
+    let end = rest.find('\n').unwrap_or(rest.len());
+    let value = rest[..end].trim();
+    (!value.is_empty()).then(|| value.to_owned())
+}
+
+/// Finds the number immediately preceding `unit` in the text.
+fn sqft_before(text: &str, unit: &str) -> Option<f64> {
+    let pos = text.find(unit)?;
+    let before = text[..pos].trim_end();
+    let start = before
+        .rfind(|c: char| !(c.is_ascii_digit() || c == '.' || c == ','))
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let num: String = before[start..].chars().filter(|c| *c != ',').collect();
+    num.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::WebPage;
+
+    #[test]
+    fn directory_extraction() {
+        let p = WebPage::render(7, Some(1), PageKind::Directory, "Alice Walker", "Assistant Professor", "NYU", None);
+        let r = extract(&p);
+        assert_eq!(r.title.as_deref(), Some("Assistant Professor"));
+        assert_eq!(r.employer.as_deref(), Some("NYU"));
+        assert_eq!(r.seniority_level, Some(1));
+        assert_eq!(r.property_sqft, None);
+        assert_eq!(r.page_id, 7);
+    }
+
+    #[test]
+    fn homepage_extraction() {
+        let p = WebPage::render(0, None, PageKind::Homepage, "Robert Smith", "CEO", "Microsoft", Some(5430.0));
+        let r = extract(&p);
+        assert_eq!(r.title.as_deref(), Some("CEO"));
+        assert_eq!(r.employer.as_deref(), Some("Microsoft"));
+        assert_eq!(r.seniority_level, Some(4));
+        assert_eq!(r.property_sqft, Some(5430.0));
+    }
+
+    #[test]
+    fn news_extraction_only_employer() {
+        let p = WebPage::render(0, None, PageKind::News, "Wei Chen", "Director", "General Electric", Some(2000.0));
+        let r = extract(&p);
+        assert_eq!(r.employer.as_deref(), Some("General Electric"));
+        assert_eq!(r.title, None);
+        assert_eq!(r.property_sqft, None);
+    }
+
+    #[test]
+    fn property_record_extraction() {
+        let p = WebPage::render(0, Some(3), PageKind::PropertyRecord, "Bob Lee", "", "", Some(1234.0));
+        let r = extract(&p);
+        assert_eq!(r.property_sqft, Some(1234.0)); // template renders %.0f
+        assert_eq!(r.title, None);
+    }
+
+    #[test]
+    fn blog_extraction() {
+        let p = WebPage::render(3, Some(7), PageKind::Blog, "Wei Chen", "Manager", "Verizon", None);
+        let r = extract(&p);
+        assert_eq!(r.title.as_deref(), Some("Manager"));
+        assert_eq!(r.employer.as_deref(), Some("Verizon"));
+        assert_eq!(r.seniority_level, Some(2));
+        assert_eq!(r.property_sqft, None);
+    }
+
+    #[test]
+    fn title_seniority_mapping() {
+        assert_eq!(title_seniority("CEO"), Some(4));
+        assert_eq!(title_seniority("Department Chair"), Some(4));
+        assert_eq!(title_seniority("Director of Engineering"), Some(3));
+        assert_eq!(title_seniority("Professor"), Some(3));
+        assert_eq!(title_seniority("Associate Professor"), Some(2));
+        assert_eq!(title_seniority("Manager"), Some(2));
+        assert_eq!(title_seniority("Assistant Professor"), Some(1));
+        assert_eq!(title_seniority("Analyst"), Some(1));
+        assert_eq!(title_seniority("Wizard"), None);
+    }
+
+    #[test]
+    fn consolidation_merges_sources() {
+        let dir = extract(&WebPage::render(0, Some(1), PageKind::Directory, "R. Smith", "Manager", "Verizon", None));
+        let prop = extract(&WebPage::render(1, Some(1), PageKind::PropertyRecord, "Robert Smith", "", "", Some(2000.0)));
+        let prop2 = extract(&WebPage::render(2, Some(1), PageKind::PropertyRecord, "Robert Smith", "", "", Some(2400.0)));
+        let merged = consolidate(&[dir, prop, prop2]).unwrap();
+        assert_eq!(merged.title.as_deref(), Some("Manager"));
+        assert_eq!(merged.seniority_level, Some(2));
+        assert_eq!(merged.property_sqft, Some(2200.0));
+        assert!(consolidate(&[]).is_none());
+    }
+}

@@ -1,0 +1,167 @@
+//! A miniature search engine over the corpus: inverted index with TF-IDF
+//! ranking. This is the "index into the web" the paper's intruder uses.
+
+use crate::page::{tokenize, WebPage};
+use std::collections::HashMap;
+
+/// An inverted-index search engine over [`WebPage`]s.
+#[derive(Debug, Clone)]
+pub struct SearchEngine {
+    pages: Vec<WebPage>,
+    // term -> (page index, term frequency)
+    index: HashMap<String, Vec<(usize, usize)>>,
+}
+
+/// A ranked search hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// Index into [`SearchEngine::pages`].
+    pub page: usize,
+    /// TF-IDF relevance score.
+    pub score: f64,
+}
+
+impl SearchEngine {
+    /// Builds the index over a corpus of pages.
+    pub fn build(pages: Vec<WebPage>) -> Self {
+        let mut index: HashMap<String, Vec<(usize, usize)>> = HashMap::new();
+        for (pi, page) in pages.iter().enumerate() {
+            let mut counts: HashMap<String, usize> = HashMap::new();
+            for tok in page.tokens() {
+                *counts.entry(tok).or_insert(0) += 1;
+            }
+            for (tok, count) in counts {
+                index.entry(tok).or_default().push((pi, count));
+            }
+        }
+        SearchEngine { pages, index }
+    }
+
+    /// Number of pages indexed.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// The indexed pages.
+    pub fn pages(&self) -> &[WebPage] {
+        &self.pages
+    }
+
+    /// Page by index.
+    pub fn page(&self, idx: usize) -> Option<&WebPage> {
+        self.pages.get(idx)
+    }
+
+    /// Searches for pages matching the query, ranked by summed TF-IDF of
+    /// the query terms. Returns at most `limit` hits.
+    ///
+    /// This mirrors a name search: querying `"Robert Smith"` scores pages
+    /// mentioning both tokens highest, with rare surnames dominating.
+    pub fn search(&self, query: &str, limit: usize) -> Vec<SearchHit> {
+        let terms = tokenize(query);
+        if terms.is_empty() || self.pages.is_empty() {
+            return Vec::new();
+        }
+        let n = self.pages.len() as f64;
+        let mut scores: HashMap<usize, f64> = HashMap::new();
+        for term in &terms {
+            if let Some(postings) = self.index.get(term) {
+                let idf = (n / postings.len() as f64).ln() + 1.0;
+                for &(page, tf) in postings {
+                    *scores.entry(page).or_insert(0.0) += (1.0 + (tf as f64).ln()) * idf;
+                }
+            }
+        }
+        let mut hits: Vec<SearchHit> = scores
+            .into_iter()
+            .map(|(page, score)| SearchHit { page, score })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.page.cmp(&b.page))
+        });
+        hits.truncate(limit);
+        hits
+    }
+
+    /// Convenience: searches and returns the hit pages directly.
+    pub fn search_pages(&self, query: &str, limit: usize) -> Vec<&WebPage> {
+        self.search(query, limit)
+            .into_iter()
+            .filter_map(|h| self.pages.get(h.page))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageKind;
+
+    fn corpus() -> SearchEngine {
+        let pages = vec![
+            WebPage::render(0, Some(0), PageKind::Homepage, "Robert Smith", "CEO", "Microsoft", Some(5430.0)),
+            WebPage::render(1, Some(1), PageKind::Directory, "Alice Walker", "Manager", "Verizon", None),
+            WebPage::render(2, Some(0), PageKind::PropertyRecord, "Robert Smith", "", "", Some(5430.0)),
+            WebPage::render(3, None, PageKind::News, "Robert Jones", "", "Acme", None),
+        ];
+        SearchEngine::build(pages)
+    }
+
+    #[test]
+    fn name_search_ranks_both_token_pages_first() {
+        let e = corpus();
+        let hits = e.search("Robert Smith", 10);
+        assert!(!hits.is_empty());
+        // Pages 0 and 2 mention both tokens; page 3 only "Robert".
+        let top2: Vec<usize> = hits.iter().take(2).map(|h| h.page).collect();
+        assert!(top2.contains(&0) && top2.contains(&2), "hits: {hits:?}");
+        let robert_jones = hits.iter().find(|h| h.page == 3).unwrap();
+        assert!(robert_jones.score < hits[0].score);
+    }
+
+    #[test]
+    fn unrelated_query_returns_nothing() {
+        let e = corpus();
+        assert!(e.search("zzyzx unknown", 10).is_empty());
+        assert!(e.search("", 10).is_empty());
+    }
+
+    #[test]
+    fn limit_respected() {
+        let e = corpus();
+        let hits = e.search("Robert", 1);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn rare_terms_weigh_more() {
+        let e = corpus();
+        // "walker" appears once, "robert" in two pages: a query for Alice
+        // Walker must put page 1 first.
+        let hits = e.search("Alice Walker", 10);
+        assert_eq!(hits[0].page, 1);
+    }
+
+    #[test]
+    fn search_pages_resolves() {
+        let e = corpus();
+        let pages = e.search_pages("Verizon", 5);
+        assert_eq!(pages.len(), 1);
+        assert_eq!(pages[0].display_name, "Alice Walker");
+    }
+
+    #[test]
+    fn empty_engine() {
+        let e = SearchEngine::build(vec![]);
+        assert!(e.is_empty());
+        assert!(e.search("anything", 5).is_empty());
+    }
+}

@@ -1,0 +1,232 @@
+//! Name-noise models: how a person's name mutates on the open web.
+
+use fred_linkage::NICKNAMES;
+use fred_synth::rng::coin;
+use rand::Rng;
+
+/// Configuration of the name-noise channel.
+#[derive(Debug, Clone)]
+pub struct NameNoise {
+    /// Probability of replacing the first name with a nickname (when one
+    /// exists in the table).
+    pub nickname_rate: f64,
+    /// Probability of reducing the first name to an initial ("R. Smith").
+    pub initial_rate: f64,
+    /// Probability of injecting one typo (adjacent transposition, deletion
+    /// or substitution) into the surname.
+    pub typo_rate: f64,
+    /// Probability of prefixing an honorific.
+    pub title_rate: f64,
+    /// Probability of rendering "Last, First" order.
+    pub reorder_rate: f64,
+}
+
+impl Default for NameNoise {
+    fn default() -> Self {
+        NameNoise {
+            nickname_rate: 0.2,
+            initial_rate: 0.1,
+            typo_rate: 0.08,
+            title_rate: 0.15,
+            reorder_rate: 0.1,
+        }
+    }
+}
+
+impl NameNoise {
+    /// A noiseless channel (names appear verbatim).
+    pub fn none() -> Self {
+        NameNoise {
+            nickname_rate: 0.0,
+            initial_rate: 0.0,
+            typo_rate: 0.0,
+            title_rate: 0.0,
+            reorder_rate: 0.0,
+        }
+    }
+
+    /// A heavy-noise channel for stress tests.
+    pub fn heavy() -> Self {
+        NameNoise {
+            nickname_rate: 0.4,
+            initial_rate: 0.3,
+            typo_rate: 0.3,
+            title_rate: 0.3,
+            reorder_rate: 0.3,
+        }
+    }
+
+    /// Uniformly scales all rates by `f` (clamped to `[0, 1]`).
+    pub fn scaled(&self, f: f64) -> Self {
+        let s = |r: f64| (r * f).clamp(0.0, 1.0);
+        NameNoise {
+            nickname_rate: s(self.nickname_rate),
+            initial_rate: s(self.initial_rate),
+            typo_rate: s(self.typo_rate),
+            title_rate: s(self.title_rate),
+            reorder_rate: s(self.reorder_rate),
+        }
+    }
+
+    /// Applies the noise channel to a `"First Last"` name.
+    pub fn corrupt<R: Rng>(&self, rng: &mut R, name: &str) -> String {
+        let mut parts: Vec<String> = name.split_whitespace().map(str::to_owned).collect();
+        if parts.is_empty() {
+            return name.to_owned();
+        }
+        // Nickname substitution on the first token.
+        if parts.len() >= 2 && coin(rng, self.nickname_rate) {
+            let lower = parts[0].to_lowercase();
+            let nicks: Vec<&str> = NICKNAMES
+                .iter()
+                .filter(|&&(_, full)| full == lower)
+                .map(|&(nick, _)| nick)
+                .collect();
+            if !nicks.is_empty() {
+                let nick = nicks[rng.gen_range(0..nicks.len())];
+                parts[0] = capitalize(nick);
+            }
+        }
+        // Initialization of the first token.
+        if parts.len() >= 2 && coin(rng, self.initial_rate) {
+            let initial: String = parts[0].chars().take(1).collect();
+            parts[0] = format!("{initial}.");
+        }
+        // Typo in the last token.
+        if coin(rng, self.typo_rate) {
+            let last = parts.len() - 1;
+            parts[last] = inject_typo(rng, &parts[last]);
+        }
+        // Reorder "Last, First".
+        let mut rendered = if parts.len() >= 2 && coin(rng, self.reorder_rate) {
+            let last = parts.pop().expect("len >= 2");
+            format!("{last}, {}", parts.join(" "))
+        } else {
+            parts.join(" ")
+        };
+        // Honorific.
+        if coin(rng, self.title_rate) {
+            let titles = ["Dr.", "Mr.", "Ms.", "Prof."];
+            rendered = format!("{} {rendered}", titles[rng.gen_range(0..titles.len())]);
+        }
+        rendered
+    }
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Injects one character-level typo: transpose, delete or substitute.
+fn inject_typo<R: Rng>(rng: &mut R, word: &str) -> String {
+    let chars: Vec<char> = word.chars().collect();
+    if chars.len() < 3 {
+        return word.to_owned();
+    }
+    // Never touch the first character so blocking keys stay usable more
+    // often than not (mirrors how real typos cluster word-internally).
+    let pos = rng.gen_range(1..chars.len() - 1);
+    let mut out = chars.clone();
+    match rng.gen_range(0..3) {
+        0 => out.swap(pos, pos + 1),
+        1 => {
+            out.remove(pos);
+        }
+        _ => {
+            let sub = (b'a' + rng.gen_range(0..26u8)) as char;
+            out[pos] = sub;
+        }
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fred_synth::rng_from_seed;
+
+    #[test]
+    fn no_noise_is_identity() {
+        let mut rng = rng_from_seed(1);
+        let noise = NameNoise::none();
+        for name in ["Robert Smith", "Alice", "Wei Chen"] {
+            assert_eq!(noise.corrupt(&mut rng, name), name);
+        }
+    }
+
+    #[test]
+    fn heavy_noise_changes_most_names() {
+        let mut rng = rng_from_seed(2);
+        let noise = NameNoise::heavy();
+        let changed = (0..200)
+            .filter(|_| noise.corrupt(&mut rng, "Robert Smith") != "Robert Smith")
+            .count();
+        assert!(changed > 120, "only {changed}/200 corrupted");
+    }
+
+    #[test]
+    fn nicknames_come_from_the_table() {
+        let mut rng = rng_from_seed(3);
+        let noise = NameNoise { nickname_rate: 1.0, ..NameNoise::none() };
+        let mut seen_nick = false;
+        for _ in 0..50 {
+            let c = noise.corrupt(&mut rng, "Robert Smith");
+            let first = c.split_whitespace().next().unwrap().to_lowercase();
+            if first != "robert" {
+                assert!(
+                    NICKNAMES.iter().any(|&(nick, full)| nick == first && full == "robert"),
+                    "unexpected nickname {first}"
+                );
+                seen_nick = true;
+            }
+        }
+        assert!(seen_nick);
+    }
+
+    #[test]
+    fn initials_form() {
+        let mut rng = rng_from_seed(4);
+        let noise = NameNoise { initial_rate: 1.0, ..NameNoise::none() };
+        let c = noise.corrupt(&mut rng, "Robert Smith");
+        assert_eq!(c, "R. Smith");
+    }
+
+    #[test]
+    fn reorder_form() {
+        let mut rng = rng_from_seed(5);
+        let noise = NameNoise { reorder_rate: 1.0, ..NameNoise::none() };
+        let c = noise.corrupt(&mut rng, "Robert Smith");
+        assert_eq!(c, "Smith, Robert");
+    }
+
+    #[test]
+    fn typos_are_single_edits() {
+        let mut rng = rng_from_seed(6);
+        let noise = NameNoise { typo_rate: 1.0, ..NameNoise::none() };
+        for _ in 0..100 {
+            let c = noise.corrupt(&mut rng, "Robert Smith");
+            let last = c.split_whitespace().last().unwrap();
+            let d = fred_linkage::damerau_osa(last, "Smith");
+            assert!(d <= 1, "typo produced distance {d}: {last}");
+        }
+    }
+
+    #[test]
+    fn short_words_never_typod() {
+        let mut rng = rng_from_seed(7);
+        let noise = NameNoise { typo_rate: 1.0, ..NameNoise::none() };
+        assert_eq!(noise.corrupt(&mut rng, "Al Bo"), "Al Bo");
+    }
+
+    #[test]
+    fn scaling() {
+        let half = NameNoise::default().scaled(0.5);
+        assert!((half.nickname_rate - 0.1).abs() < 1e-12);
+        let capped = NameNoise::heavy().scaled(10.0);
+        assert_eq!(capped.typo_rate, 1.0);
+    }
+}

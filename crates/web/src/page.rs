@@ -1,0 +1,168 @@
+//! Web pages: templated documents about people.
+
+use std::fmt;
+
+/// The kind of page, which determines its template and which facts it
+/// carries (real web sources are similarly uneven: a directory entry has a
+/// title but no property records, a news blurb may have neither).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageKind {
+    /// Staff-directory entry: name, title, employer. No property data.
+    Directory,
+    /// Personal homepage: name, title, employer, property hints.
+    Homepage,
+    /// Local-news blurb: name and employer; title sometimes.
+    News,
+    /// County property-record listing: name and square footage only.
+    PropertyRecord,
+    /// First-person blog post: title and employer in prose ("blogs" are
+    /// called out by the paper as a harvest source). No property data.
+    Blog,
+}
+
+impl PageKind {
+    /// All kinds.
+    pub const ALL: [PageKind; 5] = [
+        PageKind::Directory,
+        PageKind::Homepage,
+        PageKind::News,
+        PageKind::PropertyRecord,
+        PageKind::Blog,
+    ];
+}
+
+impl fmt::Display for PageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PageKind::Directory => "directory",
+            PageKind::Homepage => "homepage",
+            PageKind::News => "news",
+            PageKind::PropertyRecord => "property-record",
+            PageKind::Blog => "blog",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One web page in the corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WebPage {
+    /// Corpus-unique page id.
+    pub id: usize,
+    /// Ground-truth person id, if the page is about a real person in the
+    /// population (`None` for distractor pages). Hidden from the adversary;
+    /// used only for evaluation.
+    pub person_id: Option<usize>,
+    /// The (possibly noisy) name as printed on the page.
+    pub display_name: String,
+    /// Page kind.
+    pub kind: PageKind,
+    /// Full rendered text.
+    pub text: String,
+}
+
+impl WebPage {
+    /// Renders a page of the given kind from its facts.
+    ///
+    /// Templates intentionally vary phrasing per kind so that extraction
+    /// has to handle more than one format.
+    pub fn render(
+        id: usize,
+        person_id: Option<usize>,
+        kind: PageKind,
+        display_name: &str,
+        title: &str,
+        employer: &str,
+        property_sqft: Option<f64>,
+    ) -> WebPage {
+        let text = match kind {
+            PageKind::Directory => format!(
+                "STAFF DIRECTORY\nName: {display_name}\nPosition: {title}\nOrganization: {employer}\nOffice hours by appointment."
+            ),
+            PageKind::Homepage => {
+                let property = property_sqft
+                    .map(|s| format!(" We recently moved into our {:.0} sq ft home.", s))
+                    .unwrap_or_default();
+                format!(
+                    "Welcome to the homepage of {display_name}. I work as a {title} at {employer}.{property} Thanks for visiting!"
+                )
+            }
+            PageKind::News => format!(
+                "LOCAL NEWS — {display_name} of {employer} spoke at the community fundraiser last Saturday. \
+                 The event raised over $12,000 for the public library."
+            ),
+            PageKind::PropertyRecord => {
+                let sqft = property_sqft.unwrap_or(0.0);
+                format!(
+                    "COUNTY PROPERTY RECORDS\nOwner: {display_name}\nParcel improvement: {sqft:.0} sq ft\nAssessment year: 2007."
+                )
+            }
+            PageKind::Blog => format!(
+                "About me — {display_name} here. By day I'm a {title}, paying my dues at {employer}; \
+                 by night I blog about gardening and chess."
+            ),
+        };
+        WebPage { id, person_id, display_name: display_name.to_owned(), kind, text }
+    }
+
+    /// Lowercased alphanumeric tokens of the page text (the search unit).
+    pub fn tokens(&self) -> Vec<String> {
+        tokenize(&self.text)
+    }
+}
+
+/// Splits text into lowercased alphanumeric tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directory_pages_have_title_no_property() {
+        let p = WebPage::render(0, Some(1), PageKind::Directory, "Robert Smith", "Director", "Verizon", Some(2000.0));
+        assert!(p.text.contains("Position: Director"));
+        assert!(!p.text.contains("sq ft"));
+    }
+
+    #[test]
+    fn homepage_carries_property_when_present() {
+        let p = WebPage::render(0, None, PageKind::Homepage, "Alice Walker", "CEO", "Deutsche Bank", Some(3560.0));
+        assert!(p.text.contains("3560 sq ft"));
+        assert!(p.text.contains("CEO at Deutsche Bank"));
+        let no_prop = WebPage::render(0, None, PageKind::Homepage, "Alice Walker", "CEO", "Deutsche Bank", None);
+        assert!(!no_prop.text.contains("sq ft"));
+    }
+
+    #[test]
+    fn property_record_has_sqft() {
+        let p = WebPage::render(0, Some(2), PageKind::PropertyRecord, "Bob Lee", "", "", Some(1234.0));
+        assert!(p.text.contains("1234 sq ft"));
+        assert!(p.text.contains("Owner: Bob Lee"));
+    }
+
+    #[test]
+    fn blog_carries_title_and_employer_in_prose() {
+        let p = WebPage::render(0, Some(4), PageKind::Blog, "Wei Chen", "Director", "Verizon", Some(999.0));
+        assert!(p.text.contains("I'm a Director"));
+        assert!(p.text.contains("at Verizon"));
+        assert!(!p.text.contains("sq ft"));
+    }
+
+    #[test]
+    fn tokenization() {
+        assert_eq!(
+            tokenize("Hello, World! 123 sq-ft."),
+            vec!["hello", "world", "123", "sq", "ft"]
+        );
+        assert!(tokenize("").is_empty());
+        let p = WebPage::render(0, None, PageKind::News, "Wei Chen", "", "NYU", None);
+        assert!(p.tokens().contains(&"wei".to_string()));
+        assert!(p.tokens().contains(&"nyu".to_string()));
+    }
+}

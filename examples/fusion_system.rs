@@ -1,0 +1,83 @@
+//! Building the paper's Figure 2 fuzzy inference system by hand with the
+//! rule DSL, and inspecting how each input moves the income estimate.
+//!
+//! Run with: `cargo run --release --example fusion_system`
+
+use fred_fuzzy::{FuzzyEngine, LinguisticVariable, MembershipFunction};
+use std::collections::HashMap;
+
+fn main() {
+    // Inputs straight from Figure 2: customer valuation levels, investment
+    // volume, employment seniority and property holdings.
+    let valuation = LinguisticVariable::new("valuation", 0.0, 10.0)
+        .unwrap()
+        .with_term("level1", MembershipFunction::left_shoulder(2.0, 4.5).unwrap())
+        .unwrap()
+        .with_term("level2", MembershipFunction::triangular(3.0, 5.5, 8.0).unwrap())
+        .unwrap()
+        .with_term("level3", MembershipFunction::right_shoulder(6.5, 9.0).unwrap())
+        .unwrap();
+    let volume = LinguisticVariable::new("volume", 0.0, 10.0)
+        .unwrap()
+        .with_uniform_terms(&["low", "med", "high"])
+        .unwrap();
+    let employment = LinguisticVariable::new("employment", 1.0, 4.0)
+        .unwrap()
+        .with_uniform_terms(&["junior", "mid", "executive"])
+        .unwrap();
+    let property = LinguisticVariable::new("property", 500.0, 6000.0)
+        .unwrap()
+        .with_term("low", MembershipFunction::left_shoulder(1000.0, 2500.0).unwrap())
+        .unwrap()
+        .with_term("med", MembershipFunction::triangular(1000.0, 2500.0, 4500.0).unwrap())
+        .unwrap()
+        .with_term("high", MembershipFunction::right_shoulder(2500.0, 4500.0).unwrap())
+        .unwrap();
+    // Output: income classes like the paper's Low/Med/High bands.
+    let income = LinguisticVariable::new("income", 40_000.0, 160_000.0)
+        .unwrap()
+        .with_uniform_terms(&["low", "med", "high"])
+        .unwrap();
+
+    let mut fis = FuzzyEngine::new(vec![valuation, volume, employment, property], income);
+    let rules = "
+        # the adversary's domain knowledge, uniform weights
+        IF valuation IS level1 THEN income IS low
+        IF valuation IS level2 THEN income IS med
+        IF valuation IS level3 THEN income IS high
+        IF volume IS low THEN income IS low
+        IF volume IS med THEN income IS med
+        IF volume IS high THEN income IS high
+        IF employment IS junior THEN income IS low
+        IF employment IS mid THEN income IS med
+        IF employment IS executive THEN income IS high
+        IF property IS low THEN income IS low
+        IF property IS med THEN income IS med
+        IF property IS high THEN income IS high
+        IF employment IS executive AND property IS high THEN income IS high WITH 0.9
+    ";
+    let added = fis.add_rules_text(rules).expect("rules parse");
+    println!("Loaded {added} rules into the fusion system.");
+
+    let profiles = [
+        ("Christine (assistant, small flat)", [4.0, 4.0, 1.0, 720.0]),
+        ("Bob (manager, mid-size home)", [4.5, 5.0, 2.0, 1200.0]),
+        ("Alice (CEO, large home)", [4.0, 8.0, 4.0, 3560.0]),
+        ("Robert (CEO, very large home)", [9.0, 9.0, 4.0, 5430.0]),
+    ];
+    println!("\nFused income estimates:");
+    for (who, [val, vol, emp, prop]) in profiles {
+        let inputs: HashMap<&str, f64> = [
+            ("valuation", val),
+            ("volume", vol),
+            ("employment", emp),
+            ("property", prop),
+        ]
+        .into_iter()
+        .collect();
+        let estimate = fis.evaluate(&inputs).expect("all inputs provided");
+        let strengths = fis.firing_strengths(&inputs).expect("strengths");
+        let active = strengths.iter().filter(|&&s| s > 0.01).count();
+        println!("  {who:<36} -> $ {estimate:>9.0}   ({active} rules firing)");
+    }
+}

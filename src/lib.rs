@@ -1,0 +1,37 @@
+//! # fred-suite — reproduction of "On Breaching Enterprise Data Privacy
+//! Through Adversarial Information Fusion" (Ganta & Acharya, ICDE 2008)
+//!
+//! A single facade over the workspace crates:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`data`] | `fred-data` | tables, role-annotated schemas, intervals, CSV |
+//! | [`anon`] | `fred-anon` | MDAV, Mondrian, full-domain generalization, k-anonymity / l-diversity / t-closeness, discernibility |
+//! | [`fuzzy`] | `fred-fuzzy` | Mamdani fuzzy-inference engine with rule DSL |
+//! | [`linkage`] | `fred-linkage` | string similarity, blocking, Fellegi-Sunter |
+//! | [`web`] | `fred-web` | synthetic web corpus + search engine |
+//! | [`synth`] | `fred-synth` | seeded population and dataset generators |
+//! | [`attack`] | `fred-attack` | the web-based information-fusion attack |
+//! | [`core`] | `fred-core` | dissimilarity, objective `H`, Algorithm 1 (FRED) |
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for paper-vs-measured results. The `repro` binary in
+//! `fred-bench` regenerates every table and figure:
+//!
+//! ```text
+//! cargo run --release -p fred-bench --bin repro
+//! ```
+
+pub use fred_anon as anon;
+pub use fred_attack as attack;
+pub use fred_core as core;
+pub use fred_data as data;
+pub use fred_fuzzy as fuzzy;
+pub use fred_linkage as linkage;
+pub use fred_synth as synth;
+pub use fred_web as web;
+
+/// Everything a typical user needs, one `use` away.
+pub mod prelude {
+    pub use fred_core::prelude::*;
+}

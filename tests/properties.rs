@@ -1,0 +1,273 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants across the workspace.
+
+use proptest::prelude::*;
+
+use fred_suite::anon::{
+    build_release, discernibility, is_k_anonymous, per_record_costs, Anonymizer, Mdav, Mondrian,
+    Partition, QiStyle,
+};
+use fred_suite::core::{dissimilarity, min_max_normalize};
+use fred_suite::data::{Interval, Schema, Table, Value};
+use fred_suite::fuzzy::{Defuzzifier, FuzzyEngine, LinguisticVariable};
+use fred_suite::linkage::{
+    damerau_osa, dice, jaro, jaro_winkler, levenshtein, soundex, FellegiSunter, FieldParams,
+    NameNormalizer,
+};
+
+fn numeric_table(points: &[(f64, f64)]) -> Table {
+    let schema = Schema::builder()
+        .quasi_numeric("x")
+        .quasi_numeric("y")
+        .sensitive_numeric("s")
+        .build()
+        .unwrap();
+    Table::with_rows(
+        schema,
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| vec![Value::Float(x), Value::Float(y), Value::Float(i as f64)])
+            .collect(),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------- anonymizers ----------
+
+    #[test]
+    fn mdav_partitions_satisfy_k_and_size_bounds(
+        points in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 4..60),
+        k in 2usize..6,
+    ) {
+        prop_assume!(points.len() >= k);
+        let table = numeric_table(&points);
+        let p = Mdav::new().partition(&table, k).unwrap();
+        prop_assert!(p.satisfies_k(k));
+        prop_assert!(p.max_class_size() < 2 * k);
+        prop_assert_eq!(p.n_rows(), points.len());
+    }
+
+    #[test]
+    fn mondrian_partitions_satisfy_k(
+        points in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 4..60),
+        k in 2usize..6,
+    ) {
+        prop_assume!(points.len() >= k);
+        let table = numeric_table(&points);
+        let p = Mondrian::new().partition(&table, k).unwrap();
+        prop_assert!(p.satisfies_k(k));
+    }
+
+    #[test]
+    fn releases_generalize_soundly(
+        points in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 6..40),
+        k in 2usize..5,
+    ) {
+        prop_assume!(points.len() >= k);
+        let table = numeric_table(&points);
+        let p = Mdav::new().partition(&table, k).unwrap();
+        let release = build_release(&table, &p, k, QiStyle::Range).unwrap();
+        // Every published interval contains the original value; the
+        // release is verifiably k-anonymous; sensitive cells are gone.
+        for (r, row) in table.rows().iter().enumerate() {
+            for c in [0usize, 1] {
+                let iv = release.table.cell(r, c).unwrap().as_interval().unwrap();
+                prop_assert!(iv.contains(row[c].as_f64().unwrap()));
+            }
+            prop_assert!(release.table.cell(r, 2).unwrap().is_missing());
+        }
+        prop_assert!(is_k_anonymous(&release.table, k).unwrap());
+    }
+
+    // ---------- discernibility ----------
+
+    #[test]
+    fn discernibility_lower_bound_nk(
+        sizes in prop::collection::vec(2usize..10, 1..10),
+        k in 2usize..6,
+    ) {
+        // Build a partition with the given class sizes.
+        let n: usize = sizes.iter().sum();
+        let mut classes = Vec::new();
+        let mut next = 0;
+        for s in &sizes {
+            classes.push((next..next + s).collect::<Vec<_>>());
+            next += s;
+        }
+        let p = Partition::new(classes, n).unwrap();
+        let cdm = discernibility(&p, k);
+        // C_DM >= n * min(k, smallest class contribution): every record
+        // costs at least min(|E|, ...) >= 1; the sharp bound when all
+        // classes >= k is n*k <= sum |E|^2 (AM-QM), and outliers cost n
+        // each, which is >= k for n >= k.
+        // Per-record costs: for k-satisfying partitions each record costs
+        // its class size, so the sum equals the metric; sub-k classes
+        // charge |D|·|E| to *every* member (paper's C_i definition), so
+        // the per-record sum dominates the class-level metric.
+        let total: f64 = per_record_costs(&p, k).iter().sum();
+        if p.satisfies_k(k) {
+            prop_assert!(cdm >= (n * k) as f64 - 1e-9);
+            prop_assert!((total - cdm).abs() < 1e-9);
+        } else {
+            prop_assert!(total >= cdm - 1e-9);
+        }
+    }
+
+    // ---------- dissimilarity ----------
+
+    #[test]
+    fn dissimilarity_axioms(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..50),
+        ys in prop::collection::vec(-1e6f64..1e6, 1..50),
+    ) {
+        let n = xs.len().min(ys.len());
+        let (a, b) = (&xs[..n], &ys[..n]);
+        let d_ab = dissimilarity(a, b).unwrap();
+        let d_ba = dissimilarity(b, a).unwrap();
+        prop_assert!(d_ab >= 0.0);
+        prop_assert!((d_ab - d_ba).abs() <= 1e-6 * d_ab.abs().max(1.0));
+        prop_assert!(dissimilarity(a, a).unwrap() == 0.0);
+    }
+
+    #[test]
+    fn min_max_normalize_bounds(xs in prop::collection::vec(-1e9f64..1e9, 1..100)) {
+        let n = min_max_normalize(&xs);
+        prop_assert_eq!(n.len(), xs.len());
+        for v in &n {
+            prop_assert!((0.0..=1.0).contains(v));
+        }
+    }
+
+    // ---------- intervals ----------
+
+    #[test]
+    fn interval_cover_contains_all(xs in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+        let iv = Interval::cover(&xs).unwrap();
+        for &x in &xs {
+            prop_assert!(iv.contains(x));
+        }
+        prop_assert!(iv.contains(iv.midpoint()));
+    }
+
+    #[test]
+    fn interval_hull_is_commutative_and_covering(
+        a in -1e6f64..1e6, b in 0.0f64..1e5,
+        c in -1e6f64..1e6, d in 0.0f64..1e5,
+    ) {
+        let i1 = Interval::new(a, a + b).unwrap();
+        let i2 = Interval::new(c, c + d).unwrap();
+        let h12 = i1.hull(&i2);
+        let h21 = i2.hull(&i1);
+        prop_assert_eq!(h12, h21);
+        prop_assert!(h12.contains_interval(&i1));
+        prop_assert!(h12.contains_interval(&i2));
+    }
+
+    // ---------- string comparators ----------
+
+    #[test]
+    fn levenshtein_metric_properties(
+        a in "[a-z]{0,12}", b in "[a-z]{0,12}", c in "[a-z]{0,12}",
+    ) {
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        // OSA never exceeds plain Levenshtein.
+        prop_assert!(damerau_osa(&a, &b) <= levenshtein(&a, &b));
+    }
+
+    #[test]
+    fn similarity_scores_bounded(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+        for s in [jaro(&a, &b), jaro_winkler(&a, &b), dice(&a, &b, 2)] {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&s), "{s}");
+        }
+        prop_assert!(jaro_winkler(&a, &b) >= jaro(&a, &b) - 1e-12);
+    }
+
+    #[test]
+    fn soundex_shape(a in "[A-Za-z]{1,16}") {
+        let code = soundex(&a).unwrap();
+        prop_assert_eq!(code.len(), 4);
+        let mut chars = code.chars();
+        prop_assert!(chars.next().unwrap().is_ascii_uppercase());
+        prop_assert!(chars.all(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn normalizer_is_idempotent(raw in "[A-Za-z. ]{0,30}") {
+        let n = NameNormalizer::new();
+        let once = n.canonical(&raw);
+        let twice = n.canonical(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    // ---------- Fellegi-Sunter ----------
+
+    #[test]
+    fn fs_weight_monotone_in_agreement(
+        m in 0.55f64..0.99, u in 0.01f64..0.45,
+        pattern in prop::collection::vec(any::<bool>(), 3),
+    ) {
+        let model = FellegiSunter::new(
+            vec![FieldParams::new(m, u); 3],
+            0.0,
+            4.0,
+        );
+        // Flipping any disagreement to agreement cannot lower the weight.
+        let w0 = model.weight(&pattern);
+        for i in 0..3 {
+            if !pattern[i] {
+                let mut improved = pattern.clone();
+                improved[i] = true;
+                prop_assert!(model.weight(&improved) > w0);
+            }
+        }
+        // Posterior is a probability.
+        let p = model.match_probability(&pattern, 0.1);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    // ---------- fuzzy engine ----------
+
+    #[test]
+    fn fuzzy_output_stays_in_universe(x in 0.0f64..10.0) {
+        let input = LinguisticVariable::new("x", 0.0, 10.0)
+            .unwrap()
+            .with_uniform_terms(&["low", "med", "high"])
+            .unwrap();
+        let output = LinguisticVariable::new("y", -5.0, 5.0)
+            .unwrap()
+            .with_uniform_terms(&["low", "med", "high"])
+            .unwrap();
+        let mut engine = FuzzyEngine::new(vec![input], output);
+        engine
+            .add_rules_text(
+                "IF x IS low THEN y IS low\nIF x IS med THEN y IS med\nIF x IS high THEN y IS high",
+            )
+            .unwrap();
+        let y = engine.evaluate(&std::collections::HashMap::from([("x", x)])).unwrap();
+        prop_assert!((-5.0..=5.0).contains(&y));
+    }
+
+    #[test]
+    fn defuzzifiers_return_sample_range(
+        ys in prop::collection::vec(0.0f64..1.0, 3..50),
+    ) {
+        prop_assume!(ys.iter().any(|&y| y > 0.0));
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        for d in [
+            Defuzzifier::Centroid,
+            Defuzzifier::Bisector,
+            Defuzzifier::MeanOfMaxima,
+            Defuzzifier::SmallestOfMaxima,
+            Defuzzifier::LargestOfMaxima,
+        ] {
+            let v = d.defuzzify(&xs, &ys).unwrap();
+            prop_assert!(v >= xs[0] - 1e-9 && v <= xs[xs.len() - 1] + 1e-9, "{d:?} gave {v}");
+        }
+    }
+}
