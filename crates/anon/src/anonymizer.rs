@@ -13,7 +13,9 @@ use crate::partition::Partition;
 use fred_data::Table;
 
 /// A partitioning anonymization algorithm.
-pub trait Anonymizer {
+/// `Sync` is a supertrait so anonymizers can be shared across the worker
+/// threads of the parallel k-sweep; every implementor is plain data.
+pub trait Anonymizer: Sync {
     /// Short human-readable algorithm name (used in reports and benches).
     fn name(&self) -> &'static str;
 
@@ -32,7 +34,10 @@ pub(crate) fn numeric_qi_matrix(table: &Table, k: usize) -> Result<Vec<Vec<f64>>
         return Err(AnonError::InvalidK(k));
     }
     if table.len() < k {
-        return Err(AnonError::NotEnoughRows { rows: table.len(), k });
+        return Err(AnonError::NotEnoughRows {
+            rows: table.len(),
+            k,
+        });
     }
     let qi = table.schema().quasi_identifier_indices();
     if qi.is_empty() {
@@ -53,10 +58,18 @@ pub(crate) fn normalize_columns(matrix: &mut [Vec<f64>]) {
     let n = matrix.len() as f64;
     for c in 0..cols {
         let mean = matrix.iter().map(|r| r[c]).sum::<f64>() / n;
-        let var = matrix.iter().map(|r| (r[c] - mean) * (r[c] - mean)).sum::<f64>() / n;
+        let var = matrix
+            .iter()
+            .map(|r| (r[c] - mean) * (r[c] - mean))
+            .sum::<f64>()
+            / n;
         let std = var.sqrt();
         for row in matrix.iter_mut() {
-            row[c] = if std > 0.0 { (row[c] - mean) / std } else { 0.0 };
+            row[c] = if std > 0.0 {
+                (row[c] - mean) / std
+            } else {
+                0.0
+            };
         }
     }
 }
@@ -90,7 +103,10 @@ mod tests {
     #[test]
     fn precondition_checks() {
         let t = table(&[(1.0, 2.0), (3.0, 4.0)]);
-        assert!(matches!(numeric_qi_matrix(&t, 0), Err(AnonError::InvalidK(0))));
+        assert!(matches!(
+            numeric_qi_matrix(&t, 0),
+            Err(AnonError::InvalidK(0))
+        ));
         assert!(matches!(
             numeric_qi_matrix(&t, 5),
             Err(AnonError::NotEnoughRows { rows: 2, k: 5 })
@@ -98,14 +114,20 @@ mod tests {
         assert_eq!(numeric_qi_matrix(&t, 2).unwrap().len(), 2);
 
         let no_qi = Table::new(Schema::builder().identifier("Name").build().unwrap());
-        assert!(matches!(numeric_qi_matrix(&no_qi, 1), Err(AnonError::NotEnoughRows { .. })));
+        assert!(matches!(
+            numeric_qi_matrix(&no_qi, 1),
+            Err(AnonError::NotEnoughRows { .. })
+        ));
     }
 
     #[test]
     fn no_quasi_identifier_error() {
         let schema = Schema::builder().identifier("Name").build().unwrap();
         let t = Table::with_rows(schema, vec![vec![Value::Text("a".into())]]).unwrap();
-        assert!(matches!(numeric_qi_matrix(&t, 1), Err(AnonError::NoQuasiIdentifiers)));
+        assert!(matches!(
+            numeric_qi_matrix(&t, 1),
+            Err(AnonError::NoQuasiIdentifiers)
+        ));
     }
 
     #[test]

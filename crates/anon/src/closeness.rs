@@ -56,20 +56,17 @@ pub fn closeness(table: &Table, partition: &Partition) -> Result<f64> {
     if table.is_empty() {
         return Ok(0.0);
     }
-    let numeric = table
-        .rows()
-        .iter()
-        .all(|r| r[sens].as_f64().is_some());
+    let numeric = table.rows().iter().all(|r| r[sens].as_f64().is_some());
 
     // Build the ordered support of distinct values (numeric: by value;
     // categorical: lexical — order is irrelevant for variational distance).
-    let mut support: Vec<String> = table
-        .column(sens)
-        .map(|v| v.to_string())
-        .collect();
+    let mut support: Vec<String> = table.column(sens).map(|v| v.to_string()).collect();
     if numeric {
         support.sort_by(|a, b| {
-            let (x, y) = (a.parse::<f64>().unwrap_or(0.0), b.parse::<f64>().unwrap_or(0.0));
+            let (x, y) = (
+                a.parse::<f64>().unwrap_or(0.0),
+                b.parse::<f64>().unwrap_or(0.0),
+            );
             x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal)
         });
     } else {
@@ -125,7 +122,17 @@ mod tests {
     #[test]
     fn ordered_emd_textbook_values() {
         // Distributions over {3k, 4k, 5k ... 11k} style ordered support.
-        let p = [1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let p = [
+            1.0 / 3.0,
+            1.0 / 3.0,
+            1.0 / 3.0,
+            0.0,
+            0.0,
+            0.0,
+            0.0,
+            0.0,
+            0.0,
+        ];
         let q = [1.0 / 9.0; 9];
         let emd = ordered_emd(&p, &q);
         // Li et al. report 0.375 for the analogous {3,4,5}-in-{3..11} case.

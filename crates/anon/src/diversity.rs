@@ -66,7 +66,11 @@ pub fn entropy_diversity(table: &Table, partition: &Partition) -> Result<f64> {
             .sum();
         min_h = min_h.min(h);
     }
-    Ok(if partition.is_empty() { 0.0 } else { min_h.exp() })
+    Ok(if partition.is_empty() {
+        0.0
+    } else {
+        min_h.exp()
+    })
 }
 
 /// Whether the partition is entropy l-diverse.

@@ -32,7 +32,9 @@ impl Hierarchy {
         let mut levels = 0usize;
         for (leaf, path) in paths {
             if path.is_empty() {
-                return Err(AnonError::InvalidHierarchy(format!("empty path for `{leaf}`")));
+                return Err(AnonError::InvalidHierarchy(format!(
+                    "empty path for `{leaf}`"
+                )));
             }
             if path[0] != leaf {
                 return Err(AnonError::InvalidHierarchy(format!(
@@ -48,11 +50,15 @@ impl Hierarchy {
                 )));
             }
             if map.insert(leaf.clone(), path).is_some() {
-                return Err(AnonError::InvalidHierarchy(format!("duplicate leaf `{leaf}`")));
+                return Err(AnonError::InvalidHierarchy(format!(
+                    "duplicate leaf `{leaf}`"
+                )));
             }
         }
         if levels == 0 {
-            return Err(AnonError::InvalidHierarchy("hierarchy has no leaves".into()));
+            return Err(AnonError::InvalidHierarchy(
+                "hierarchy has no leaves".into(),
+            ));
         }
         Ok(Hierarchy { paths: map, levels })
     }
@@ -80,12 +86,20 @@ impl Hierarchy {
     /// at any level > 0 and stay themselves at level 0.
     pub fn generalize(&self, value: &str, level: usize) -> Result<String> {
         if level >= self.levels {
-            return Err(AnonError::LevelOutOfRange { level, max: self.levels - 1 });
+            return Err(AnonError::LevelOutOfRange {
+                level,
+                max: self.levels - 1,
+            });
         }
         match self.paths.get(value) {
             Some(path) => Ok(path[level].clone()),
             None if level == 0 => Ok(value.to_owned()),
-            None => Ok(self.paths.values().next().map(|p| p[self.levels - 1].clone()).unwrap_or_else(|| "*".into())),
+            None => Ok(self
+                .paths
+                .values()
+                .next()
+                .map(|p| p[self.levels - 1].clone())
+                .unwrap_or_else(|| "*".into())),
         }
     }
 }
@@ -114,7 +128,11 @@ impl NumericHierarchy {
         if levels < 2 {
             return Err(AnonError::InvalidHierarchy("need at least 2 levels".into()));
         }
-        Ok(NumericHierarchy { origin, base_width, levels })
+        Ok(NumericHierarchy {
+            origin,
+            base_width,
+            levels,
+        })
     }
 
     /// Number of levels including the exact level 0.
@@ -126,7 +144,10 @@ impl NumericHierarchy {
     /// rendered `lo..hi`; level 0 renders the value itself.
     pub fn generalize(&self, x: f64, level: usize) -> Result<String> {
         if level >= self.levels {
-            return Err(AnonError::LevelOutOfRange { level, max: self.levels - 1 });
+            return Err(AnonError::LevelOutOfRange {
+                level,
+                max: self.levels - 1,
+            });
         }
         if level == 0 {
             return Ok(format!("{x}"));
@@ -194,7 +215,10 @@ impl FullDomain {
     /// Creates a full-domain anonymizer. `hierarchies` must align 1:1 with
     /// the table's quasi-identifier columns (in schema order).
     pub fn new(hierarchies: Vec<AttributeHierarchy>, max_suppressed: usize) -> Self {
-        FullDomain { hierarchies, max_suppressed }
+        FullDomain {
+            hierarchies,
+            max_suppressed,
+        }
     }
 
     /// The generalization levels chosen by the most recent run are not
@@ -213,7 +237,9 @@ impl FullDomain {
         for row in table.rows() {
             let mut sig = Vec::with_capacity(qi.len());
             for (h, &c) in self.hierarchies.iter().zip(&qi) {
-                sig.push(h.generalize_value(&row[c], levels[qi.iter().position(|&x| x == c).unwrap()])?);
+                sig.push(
+                    h.generalize_value(&row[c], levels[qi.iter().position(|&x| x == c).unwrap()])?,
+                );
             }
             out.push(sig);
         }
@@ -231,7 +257,10 @@ impl Anonymizer for FullDomain {
             return Err(AnonError::InvalidK(k));
         }
         if table.len() < k {
-            return Err(AnonError::NotEnoughRows { rows: table.len(), k });
+            return Err(AnonError::NotEnoughRows {
+                rows: table.len(),
+                k,
+            });
         }
         let qi = table.schema().quasi_identifier_indices();
         if qi.is_empty() {
@@ -437,10 +466,7 @@ mod tests {
     fn suppression_budget_respected() {
         // One outlier (row 8) that never merges below root: with a budget of
         // 1 it gets suppressed rather than dragging everything to root.
-        let schema = Schema::builder()
-            .quasi_int("Age")
-            .build()
-            .unwrap();
+        let schema = Schema::builder().quasi_int("Age").build().unwrap();
         let mut rows: Vec<Vec<Value>> = (0..6).map(|i| vec![Value::Int(20 + i)]).collect();
         rows.push(vec![Value::Int(90)]);
         let t = Table::with_rows(schema, rows).unwrap();

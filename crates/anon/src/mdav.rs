@@ -25,12 +25,16 @@ pub struct Mdav {
 impl Mdav {
     /// Creates an MDAV anonymizer with z-score normalization (recommended).
     pub fn new() -> Self {
-        Mdav { skip_normalization: false }
+        Mdav {
+            skip_normalization: false,
+        }
     }
 
     /// Creates an MDAV anonymizer that clusters on raw attribute scales.
     pub fn without_normalization() -> Self {
-        Mdav { skip_normalization: true }
+        Mdav {
+            skip_normalization: true,
+        }
     }
 }
 
@@ -106,7 +110,12 @@ fn farthest_from_row(matrix: &[Vec<f64>], rows: &[usize], anchor: &[f64]) -> usi
 
 /// Removes `anchor` and its `k-1` nearest neighbours from `remaining`,
 /// returning them as a cluster. `anchor` must be present in `remaining`.
-fn take_nearest(matrix: &[Vec<f64>], remaining: &mut Vec<usize>, anchor: usize, k: usize) -> Vec<usize> {
+fn take_nearest(
+    matrix: &[Vec<f64>],
+    remaining: &mut Vec<usize>,
+    anchor: usize,
+    k: usize,
+) -> Vec<usize> {
     // Sort candidates by distance to the anchor; ties broken by row index so
     // the algorithm is fully deterministic.
     let anchor_point = matrix[anchor].clone();
@@ -114,7 +123,11 @@ fn take_nearest(matrix: &[Vec<f64>], remaining: &mut Vec<usize>, anchor: usize, 
         .iter()
         .map(|&r| (dist2(&matrix[r], &anchor_point), r))
         .collect();
-    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1)));
+    scored.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
     let cluster: Vec<usize> = scored.iter().take(k).map(|&(_, r)| r).collect();
     remaining.retain(|r| !cluster.contains(r));
     cluster
@@ -213,12 +226,7 @@ mod tests {
         // y spans a much wider range; without normalization it dominates,
         // with normalization both contribute equally. The two configs should
         // produce different clusterings on this adversarial layout.
-        let pts = [
-            (0.0, 0.0),
-            (1.0, 1000.0),
-            (0.1, 1000.0),
-            (1.1, 0.0),
-        ];
+        let pts = [(0.0, 0.0), (1.0, 1000.0), (0.1, 1000.0), (1.1, 0.0)];
         let t = numeric_table(&pts);
         let raw = Mdav::without_normalization().partition(&t, 2).unwrap();
         // Raw scale: rows pair by y (0 with 3, 1 with 2).

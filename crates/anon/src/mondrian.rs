@@ -38,7 +38,10 @@ impl Anonymizer for Mondrian {
         let global_range: Vec<f64> = (0..dims)
             .map(|d| {
                 let lo = matrix.iter().map(|r| r[d]).fold(f64::INFINITY, f64::min);
-                let hi = matrix.iter().map(|r| r[d]).fold(f64::NEG_INFINITY, f64::max);
+                let hi = matrix
+                    .iter()
+                    .map(|r| r[d])
+                    .fold(f64::NEG_INFINITY, f64::max);
                 hi - lo
             })
             .collect();
@@ -72,7 +75,10 @@ fn split(
     let dims = matrix[0].len();
     let mut spreads: Vec<(f64, usize)> = (0..dims)
         .map(|d| {
-            let lo = class.iter().map(|&r| matrix[r][d]).fold(f64::INFINITY, f64::min);
+            let lo = class
+                .iter()
+                .map(|&r| matrix[r][d])
+                .fold(f64::INFINITY, f64::min);
             let hi = class
                 .iter()
                 .map(|&r| matrix[r][d])
@@ -86,7 +92,11 @@ fn split(
         })
         .collect();
     // Widest normalized spread first; ties by dimension index.
-    spreads.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1)));
+    spreads.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
 
     for &(spread, d) in &spreads {
         if spread <= 0.0 {
@@ -134,9 +144,7 @@ mod tests {
     }
 
     fn grid_table(n: usize) -> Table {
-        let pts: Vec<(f64, f64)> = (0..n)
-            .map(|i| ((i % 10) as f64, (i / 10) as f64))
-            .collect();
+        let pts: Vec<(f64, f64)> = (0..n).map(|i| ((i % 10) as f64, (i / 10) as f64)).collect();
         numeric_table(&pts)
     }
 
@@ -160,7 +168,11 @@ mod tests {
         let t = grid_table(100);
         let p = Mondrian::new().partition(&t, 5).unwrap();
         // Mondrian should produce many classes, not a single blob.
-        assert!(p.len() >= 10, "expected fine partition, got {} classes", p.len());
+        assert!(
+            p.len() >= 10,
+            "expected fine partition, got {} classes",
+            p.len()
+        );
         // Strict Mondrian keeps classes below 2k whenever splits exist, but
         // ties can block splits; 100 distinct grid points have none.
         assert!(p.max_class_size() < 10);

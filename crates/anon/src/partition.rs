@@ -53,7 +53,10 @@ impl Partition {
 
     /// The single-class partition (everything indistinguishable).
     pub fn single(n_rows: usize) -> Self {
-        Partition { classes: vec![(0..n_rows).collect()], n_rows }
+        Partition {
+            classes: vec![(0..n_rows).collect()],
+            n_rows,
+        }
     }
 
     /// The identity partition (every row its own class, i.e. no anonymity).

@@ -41,7 +41,12 @@ pub struct Release {
 /// * categorical quasi-identifier cells become the class value when the
 ///   class agrees, otherwise the sorted distinct values joined with `|`;
 /// * sensitive cells are suppressed to [`Value::Missing`].
-pub fn build_release(table: &Table, partition: &Partition, k: usize, style: QiStyle) -> Result<Release> {
+pub fn build_release(
+    table: &Table,
+    partition: &Partition,
+    k: usize,
+    style: QiStyle,
+) -> Result<Release> {
     let qi_cols = table.quasi_identifier_columns();
     let sens_cols = table.sensitive_columns();
     let class_of = partition.class_of_rows();
@@ -66,7 +71,12 @@ pub fn build_release(table: &Table, partition: &Partition, k: usize, style: QiSt
             out.set_cell(row_idx, c, Value::Missing)?;
         }
     }
-    Ok(Release { table: out, partition: partition.clone(), k, style })
+    Ok(Release {
+        table: out,
+        partition: partition.clone(),
+        k,
+        style,
+    })
 }
 
 fn summarize_class(table: &Table, class: &[usize], col: usize, style: QiStyle) -> Value {
@@ -81,15 +91,18 @@ fn summarize_class(table: &Table, class: &[usize], col: usize, style: QiStyle) -
                 Some(iv) => Value::Interval(iv),
                 None => Value::Missing,
             },
-            QiStyle::Centroid => {
-                Value::Float(xs.iter().sum::<f64>() / xs.len() as f64)
-            }
+            QiStyle::Centroid => Value::Float(xs.iter().sum::<f64>() / xs.len() as f64),
         };
     }
     // Categorical path: distinct sorted values.
     let mut labels: Vec<String> = class
         .iter()
-        .filter_map(|&r| table.cell(r, col).and_then(Value::as_str).map(str::to_owned))
+        .filter_map(|&r| {
+            table
+                .cell(r, col)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+        })
         .collect();
     labels.sort();
     labels.dedup();

@@ -43,7 +43,9 @@ pub fn discernibility(partition: &Partition, k: usize) -> f64 {
 /// Returns an error for empty partitions (the metric is undefined).
 pub fn utility(partition: &Partition, k: usize) -> Result<f64> {
     if partition.is_empty() {
-        return Err(AnonError::InvalidPartition("utility of empty partition".into()));
+        return Err(AnonError::InvalidPartition(
+            "utility of empty partition".into(),
+        ));
     }
     Ok(1.0 / discernibility(partition, k))
 }
@@ -75,7 +77,9 @@ pub fn per_record_utilities(partition: &Partition, k: usize) -> Vec<f64> {
 /// (LeFevre et al.). 1.0 is optimal; larger is worse.
 pub fn average_class_size(partition: &Partition, k: usize) -> Result<f64> {
     if partition.is_empty() {
-        return Err(AnonError::InvalidPartition("metric of empty partition".into()));
+        return Err(AnonError::InvalidPartition(
+            "metric of empty partition".into(),
+        ));
     }
     if k == 0 {
         return Err(AnonError::InvalidK(0));
@@ -130,11 +134,7 @@ mod tests {
     #[test]
     fn discernibility_of_uniform_partition() {
         // 9 rows in 3 classes of 3 at k=3: 3 * 9 = 27.
-        let p = Partition::new(
-            vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8]],
-            9,
-        )
-        .unwrap();
+        let p = Partition::new(vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8]], 9).unwrap();
         assert_eq!(discernibility(&p, 3), 27.0);
         assert!((utility(&p, 3).unwrap() - 1.0 / 27.0).abs() < 1e-15);
     }
@@ -183,10 +183,7 @@ mod tests {
     #[test]
     fn loss_metric_of_release() {
         use fred_data::{Interval, Schema, Table, Value};
-        let schema = Schema::builder()
-            .quasi_numeric("x")
-            .build()
-            .unwrap();
+        let schema = Schema::builder().quasi_numeric("x").build().unwrap();
         let t = Table::with_rows(
             schema,
             vec![

@@ -60,7 +60,10 @@ impl Default for WebFusionAttack<FuzzyFusion> {
 impl<F: FusionSystem> WebFusionAttack<F> {
     /// Builds an attack around a custom fusion system.
     pub fn with_fusion(fusion: F) -> Self {
-        WebFusionAttack { harvest_config: HarvestConfig::default(), fusion }
+        WebFusionAttack {
+            harvest_config: HarvestConfig::default(),
+            fusion,
+        }
     }
 
     /// Overrides the harvest configuration.
@@ -125,7 +128,11 @@ mod tests {
             },
         );
         let truth = table.numeric_column(4).unwrap();
-        World { table, engine, truth }
+        World {
+            table,
+            engine,
+            truth,
+        }
     }
 
     fn anonymized(table: &fred_data::Table, k: usize) -> fred_data::Table {
@@ -137,9 +144,16 @@ mod tests {
     fn attack_runs_end_to_end() {
         let w = world(101);
         let release = anonymized(&w.table, 4);
-        let outcome = WebFusionAttack::new().unwrap().run(&release, &w.engine).unwrap();
+        let outcome = WebFusionAttack::new()
+            .unwrap()
+            .run(&release, &w.engine)
+            .unwrap();
         assert_eq!(outcome.estimates.len(), w.table.len());
-        assert!(outcome.aux_coverage > 0.8, "coverage {}", outcome.aux_coverage);
+        assert!(
+            outcome.aux_coverage > 0.8,
+            "coverage {}",
+            outcome.aux_coverage
+        );
         assert_eq!(outcome.fusion_name, "fuzzy-fusion");
         for e in &outcome.estimates {
             assert!(e.is_finite());
@@ -152,8 +166,13 @@ mod tests {
         // estimate is closer to the truth than the pre-fusion one.
         let w = world(102);
         let release = anonymized(&w.table, 6);
-        let fused = WebFusionAttack::new().unwrap().run(&release, &w.engine).unwrap();
-        let before = WebFusionAttack::release_only().run(&release, &w.engine).unwrap();
+        let fused = WebFusionAttack::new()
+            .unwrap()
+            .run(&release, &w.engine)
+            .unwrap();
+        let before = WebFusionAttack::release_only()
+            .run(&release, &w.engine)
+            .unwrap();
         let err_fused = rmse(&fused.estimates, &w.truth).unwrap();
         let err_before = rmse(&before.estimates, &w.truth).unwrap();
         assert!(
@@ -173,11 +192,21 @@ mod tests {
         let table = customer_table(&people, &CustomerConfig::default());
         let noisy = build_corpus(
             &people,
-            &CorpusConfig { noise: NameNoise::default(), ..CorpusConfig::default() },
+            &CorpusConfig {
+                noise: NameNoise::default(),
+                ..CorpusConfig::default()
+            },
         );
         let release = anonymized(&table, 4);
-        let outcome = WebFusionAttack::new().unwrap().run(&release, &noisy).unwrap();
-        assert!(outcome.aux_coverage > 0.4, "coverage {}", outcome.aux_coverage);
+        let outcome = WebFusionAttack::new()
+            .unwrap()
+            .run(&release, &noisy)
+            .unwrap();
+        assert!(
+            outcome.aux_coverage > 0.4,
+            "coverage {}",
+            outcome.aux_coverage
+        );
     }
 
     #[test]
@@ -187,8 +216,14 @@ mod tests {
         let w = world(104);
         let release = anonymized(&w.table, 4);
         assert!(release.column(4).all(|v| v.is_missing()));
-        let a = WebFusionAttack::new().unwrap().run(&release, &w.engine).unwrap();
-        let b = WebFusionAttack::new().unwrap().run(&release, &w.engine).unwrap();
+        let a = WebFusionAttack::new()
+            .unwrap()
+            .run(&release, &w.engine)
+            .unwrap();
+        let b = WebFusionAttack::new()
+            .unwrap()
+            .run(&release, &w.engine)
+            .unwrap();
         assert_eq!(a.estimates, b.estimates);
     }
 }

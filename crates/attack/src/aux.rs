@@ -6,8 +6,8 @@
 //! customers available on the web" (Section I), made programmatic.
 
 use fred_data::Table;
-use fred_linkage::{compare_names, Decision, NameNormalizer};
-use fred_web::{consolidate, extract, AuxRecord, SearchEngine};
+use fred_linkage::{compare_prepared, Decision, FellegiSunter, NameNormalizer};
+use fred_web::{consolidate, extract, AuxRecord, SearchEngine, WebPage};
 
 use crate::error::{AttackError, Result};
 
@@ -23,7 +23,10 @@ pub struct HarvestConfig {
 
 impl Default for HarvestConfig {
     fn default() -> Self {
-        HarvestConfig { hits_per_name: 8, accept_possible: true }
+        HarvestConfig {
+            hits_per_name: 8,
+            accept_possible: true,
+        }
     }
 }
 
@@ -47,6 +50,47 @@ impl Harvest {
         }
         self.records.iter().filter(|r| r.is_some()).count() as f64 / self.records.len() as f64
     }
+}
+
+/// Searches one release name and classifies every hit page, returning
+/// the accepted pages plus the number of pages inspected.
+///
+/// Confident links trump tentative ones: when any page matched outright,
+/// merely-possible pages are treated as noise for this name. Both the
+/// harvester and the precision evaluator link through this single
+/// routine, so the metric always measures actual harvest behavior.
+fn linked_pages<'a>(
+    name: &str,
+    engine: &'a SearchEngine,
+    config: &HarvestConfig,
+    normalizer: &NameNormalizer,
+    fs_model: &FellegiSunter,
+) -> (Vec<&'a WebPage>, usize) {
+    let hits = engine.search(name, config.hits_per_name);
+    // The release name's keys are derived once, not once per hit.
+    let prepared = normalizer.prepare(name);
+    let mut inspected = 0usize;
+    let mut matches = Vec::new();
+    let mut possibles = Vec::new();
+    for hit in &hits {
+        let page = match engine.page(hit.page) {
+            Some(p) => p,
+            None => continue,
+        };
+        inspected += 1;
+        let features = compare_prepared(&prepared, &normalizer.prepare(&page.display_name));
+        match fs_model.classify(&features.agreement_vector()) {
+            Decision::Match => matches.push(page),
+            Decision::Possible if config.accept_possible => possibles.push(page),
+            _ => {}
+        }
+    }
+    let accepted = if matches.is_empty() {
+        possibles
+    } else {
+        matches
+    };
+    (accepted, inspected)
 }
 
 /// Harvests auxiliary data for every identifier in the release.
@@ -79,29 +123,17 @@ pub fn harvest_auxiliary(
             records.push(None);
             continue;
         }
-        let hits = engine.search(name, config.hits_per_name);
-        let mut accepted = Vec::new();
-        for hit in &hits {
-            let page = match engine.page(hit.page) {
-                Some(p) => p,
-                None => continue,
-            };
-            pages_inspected += 1;
-            let features = compare_names(&normalizer, name, &page.display_name);
-            let decision = fs_model.classify(&features.agreement_vector());
-            let keep = match decision {
-                Decision::Match => true,
-                Decision::Possible => config.accept_possible,
-                Decision::NonMatch => false,
-            };
-            if keep {
-                pages_linked += 1;
-                accepted.push(extract(page));
-            }
-        }
-        records.push(consolidate(&accepted));
+        let (accepted, inspected) = linked_pages(name, engine, config, &normalizer, &fs_model);
+        pages_inspected += inspected;
+        pages_linked += accepted.len();
+        let extractions: Vec<AuxRecord> = accepted.into_iter().map(extract).collect();
+        records.push(consolidate(&extractions));
     }
-    Ok(Harvest { records, pages_inspected, pages_linked })
+    Ok(Harvest {
+        records,
+        pages_inspected,
+        pages_linked,
+    })
 }
 
 /// Evaluates harvesting accuracy against ground truth: the fraction of
@@ -123,28 +155,19 @@ pub fn harvest_precision(
     let mut correct = 0usize;
     let mut total = 0usize;
     for (row, name) in names.iter().enumerate() {
-        let hits = engine.search(name, config.hits_per_name);
-        for hit in &hits {
-            let page = match engine.page(hit.page) {
-                Some(p) => p,
-                None => continue,
-            };
-            let features = compare_names(&normalizer, name, &page.display_name);
-            let decision = fs_model.classify(&features.agreement_vector());
-            let keep = match decision {
-                Decision::Match => true,
-                Decision::Possible => config.accept_possible,
-                Decision::NonMatch => false,
-            };
-            if keep {
-                total += 1;
-                if page.person_id == Some(person_ids[row]) {
-                    correct += 1;
-                }
+        let (accepted, _) = linked_pages(name, engine, config, &normalizer, &fs_model);
+        for page in accepted {
+            total += 1;
+            if page.person_id == Some(person_ids[row]) {
+                correct += 1;
             }
         }
     }
-    Ok(if total == 0 { 0.0 } else { correct as f64 / total as f64 })
+    Ok(if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    })
 }
 
 #[cfg(test)]
@@ -153,7 +176,11 @@ mod tests {
     use fred_synth::{customer_table, generate_population, CustomerConfig, PopulationConfig};
     use fred_web::{build_corpus, CorpusConfig, NameNoise};
 
-    fn world() -> (Vec<fred_synth::PersonProfile>, fred_data::Table, SearchEngine) {
+    fn world() -> (
+        Vec<fred_synth::PersonProfile>,
+        fred_data::Table,
+        SearchEngine,
+    ) {
         let people = generate_population(&PopulationConfig {
             size: 50,
             web_presence_rate: 1.0,

@@ -72,6 +72,8 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let e: AttackError = fred_fuzzy::FuzzyError::NoRules.into();
         assert!(e.to_string().contains("fuzzy error"));
-        assert!(AttackError::NoIdentifiers.to_string().contains("identifier"));
+        assert!(AttackError::NoIdentifiers
+            .to_string()
+            .contains("identifier"));
     }
 }

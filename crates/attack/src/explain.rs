@@ -109,10 +109,7 @@ pub fn explain_attack(
 /// Ranks rows by estimation accuracy against ground truth: the most
 /// exposed individuals first (smallest squared error). Feeds the
 /// risk-directed defence and audit reports.
-pub fn most_exposed(
-    explanations: &[RecordExplanation],
-    truth: &[f64],
-) -> Vec<(usize, f64)> {
+pub fn most_exposed(explanations: &[RecordExplanation], truth: &[f64]) -> Vec<(usize, f64)> {
     let mut scored: Vec<(usize, f64)> = explanations
         .iter()
         .zip(truth)
@@ -138,8 +135,16 @@ mod tests {
         Table::with_rows(
             schema,
             vec![
-                vec![Value::Text("Robert".into()), Value::Float(9.0), Value::Missing],
-                vec![Value::Text("Christine".into()), Value::Float(4.0), Value::Missing],
+                vec![
+                    Value::Text("Robert".into()),
+                    Value::Float(9.0),
+                    Value::Missing,
+                ],
+                vec![
+                    Value::Text("Christine".into()),
+                    Value::Float(4.0),
+                    Value::Missing,
+                ],
             ],
         )
         .unwrap()

@@ -8,14 +8,18 @@
 //! weights mapping each input's Low/Med/High terms to the income classes.
 
 use fred_data::Table;
-use fred_fuzzy::{FuzzyEngine, LinguisticVariable};
+use fred_fuzzy::{CompiledEngine, FuzzyEngine, LinguisticVariable, Scratch};
 use fred_web::AuxRecord;
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 use crate::error::{AttackError, Result};
 
 /// Anything that can estimate the sensitive attribute per release row.
-pub trait FusionSystem {
+///
+/// `Sync` is a supertrait so estimators can be shared across the worker
+/// threads of the parallel sweep; every implementor is plain data.
+pub trait FusionSystem: Sync {
     /// Short name for reports and benches.
     fn name(&self) -> &'static str;
 
@@ -95,7 +99,10 @@ impl FuzzyFusion {
     /// Release-only variant (paper's "before fusion" baseline).
     pub fn release_only() -> Self {
         FuzzyFusion {
-            config: FuzzyFusionConfig { use_auxiliary: false, ..FuzzyFusionConfig::default() },
+            config: FuzzyFusionConfig {
+                use_auxiliary: false,
+                ..FuzzyFusionConfig::default()
+            },
         }
     }
 
@@ -109,9 +116,7 @@ impl FuzzyFusion {
     /// the income class and the centroid blends the votes. (Plain
     /// max-aggregation would instead let a single outlier vote dominate.)
     fn build_engine(&self, inputs: &[(String, InputSpec)]) -> Result<FuzzyEngine> {
-        use fred_fuzzy::{
-            Aggregation, Antecedent, Defuzzifier, EngineConfig, Implication, Rule,
-        };
+        use fred_fuzzy::{Aggregation, Antecedent, Defuzzifier, EngineConfig, Implication, Rule};
         let mut vars = Vec::with_capacity(inputs.len());
         for (name, spec) in inputs {
             vars.push(
@@ -174,10 +179,126 @@ impl FusionSystem for FuzzyFusion {
         }
     }
 
+    /// The batch fast path: compiles one engine per availability mask,
+    /// then streams release rows through the compiled engines — in
+    /// parallel, with per-worker reusable scratch. Row `i`'s estimate is
+    /// bit-identical to [`estimate_interpreted`](FuzzyFusion::estimate_interpreted).
     fn estimate(&self, release: &Table, aux: &[Option<AuxRecord>]) -> Result<Vec<f64>> {
         let qi_inputs = self.qi_inputs(release)?;
+        let n_qi = qi_inputs.len();
+        let qi_mid = (self.config.qi_range.0 + self.config.qi_range.1) / 2.0;
+
+        // One pass over the release: per-row input values in a flat
+        // matrix (layout: QIs…, employment, property) plus the
+        // availability mask (bit 0 = employment, bit 1 = property).
+        let stride = n_qi + 2;
+        let rows = release.rows();
+        let mut values = vec![0.0f64; rows.len() * stride];
+        let mut masks = vec![0u8; rows.len()];
+        for (row_idx, row) in rows.iter().enumerate() {
+            let slot = &mut values[row_idx * stride..(row_idx + 1) * stride];
+            for (j, (col, _, _)) in qi_inputs.iter().enumerate() {
+                // Interval cells read at their midpoint; missing cells read
+                // at the universe centre (uninformative).
+                slot[j] = row[*col].as_f64().unwrap_or(qi_mid);
+            }
+            if self.config.use_auxiliary {
+                let record = aux.get(row_idx).and_then(|r| r.as_ref());
+                if let Some(e) = record.and_then(|r| r.seniority_level) {
+                    slot[n_qi] = f64::from(e);
+                    masks[row_idx] |= 1;
+                }
+                if let Some(p) = record.and_then(|r| r.property_sqft) {
+                    slot[n_qi + 1] = p;
+                    masks[row_idx] |= 2;
+                }
+            }
+        }
+
+        // Compile one engine per distinct mask (at most four).
+        let mut engines: [Option<CompiledEngine>; 4] = [None, None, None, None];
+        for &mask in &masks {
+            if engines[mask as usize].is_none() {
+                engines[mask as usize] = Some(self.compiled_engine_for_mask(&qi_inputs, mask)?);
+            }
+        }
+
+        // Stream rows through the compiled engines. Each worker reuses
+        // one scratch and one positional input buffer for its whole
+        // chunk; the map is pure per row, so the parallel result is
+        // exactly the sequential result.
+        (0..rows.len())
+            .into_par_iter()
+            .map_init(
+                || (Scratch::default(), Vec::<f64>::with_capacity(stride)),
+                |(scratch, inbuf), row_idx| -> Result<f64> {
+                    let mask = masks[row_idx];
+                    let engine = engines[mask as usize]
+                        .as_ref()
+                        .expect("engine compiled for every observed mask");
+                    let slot = &values[row_idx * stride..(row_idx + 1) * stride];
+                    inbuf.clear();
+                    inbuf.extend_from_slice(&slot[..n_qi]);
+                    if mask & 1 != 0 {
+                        inbuf.push(slot[n_qi]);
+                    }
+                    if mask & 2 != 0 {
+                        inbuf.push(slot[n_qi + 1]);
+                    }
+                    engine
+                        .evaluate_with(inbuf, scratch)
+                        .map_err(AttackError::Fuzzy)
+                },
+            )
+            .collect()
+    }
+}
+
+impl FuzzyFusion {
+    /// The engine input list for one availability mask, ordered QIs…,
+    /// employment (bit 0), property (bit 1). Single source of truth for
+    /// both estimate paths — the bit-identical guarantee depends on them
+    /// declaring inputs in the same order with the same universes.
+    fn inputs_for_mask(
+        &self,
+        qi_inputs: &[(usize, String, InputSpec)],
+        mask: u8,
+    ) -> Vec<(String, InputSpec)> {
         let (elo, ehi) = self.config.employment_range;
         let (plo, phi) = self.config.property_range;
+        let mut inputs: Vec<(String, InputSpec)> = qi_inputs
+            .iter()
+            .map(|(_, name, spec)| (name.clone(), *spec))
+            .collect();
+        if mask & 1 != 0 {
+            inputs.push((EMPLOYMENT.to_string(), InputSpec { lo: elo, hi: ehi }));
+        }
+        if mask & 2 != 0 {
+            inputs.push((PROPERTY.to_string(), InputSpec { lo: plo, hi: phi }));
+        }
+        inputs
+    }
+
+    /// Builds and compiles the engine for one availability mask.
+    fn compiled_engine_for_mask(
+        &self,
+        qi_inputs: &[(usize, String, InputSpec)],
+        mask: u8,
+    ) -> Result<CompiledEngine> {
+        self.build_engine(&self.inputs_for_mask(qi_inputs, mask))?
+            .compile()
+            .map_err(AttackError::Fuzzy)
+    }
+
+    /// The naive per-row reference path: interpreted engine, per-row
+    /// `HashMap` lookups, sequential. Kept as the baseline the benches
+    /// and equivalence tests compare the batch path against.
+    pub fn estimate_interpreted(
+        &self,
+        release: &Table,
+        aux: &[Option<AuxRecord>],
+    ) -> Result<Vec<f64>> {
+        let qi_inputs = self.qi_inputs(release)?;
 
         // Engines are cached per availability mask: bit 0 = employment
         // present, bit 1 = property present (release QIs are always
@@ -198,17 +319,7 @@ impl FusionSystem for FuzzyFusion {
             };
             let mask = u8::from(employment.is_some()) | (u8::from(property.is_some()) << 1);
             if let std::collections::hash_map::Entry::Vacant(e) = engines.entry(mask) {
-                let mut inputs: Vec<(String, InputSpec)> = qi_inputs
-                    .iter()
-                    .map(|(_, name, spec)| (name.clone(), *spec))
-                    .collect();
-                if employment.is_some() {
-                    inputs.push((EMPLOYMENT.to_string(), InputSpec { lo: elo, hi: ehi }));
-                }
-                if property.is_some() {
-                    inputs.push((PROPERTY.to_string(), InputSpec { lo: plo, hi: phi }));
-                }
-                e.insert(self.build_engine(&inputs)?);
+                e.insert(self.build_engine(&self.inputs_for_mask(&qi_inputs, mask))?);
             }
             let engine = engines.get(&mask).expect("inserted above");
 
@@ -311,7 +422,9 @@ pub struct MidpointEstimator {
 
 impl Default for MidpointEstimator {
     fn default() -> Self {
-        MidpointEstimator { income_range: FuzzyFusionConfig::default().income_range }
+        MidpointEstimator {
+            income_range: FuzzyFusionConfig::default().income_range,
+        }
     }
 }
 
@@ -389,7 +502,10 @@ mod tests {
         let release = release_with_valuations(&[5.0, 5.0]);
         let fusion = FuzzyFusion::release_only();
         let with_aux = fusion
-            .estimate(&release, &[aux(Some(4), Some(6_000.0)), aux(Some(1), Some(500.0))])
+            .estimate(
+                &release,
+                &[aux(Some(4), Some(6_000.0)), aux(Some(1), Some(500.0))],
+            )
             .unwrap();
         assert!((with_aux[0] - with_aux[1]).abs() < 1e-9);
     }
@@ -425,7 +541,9 @@ mod tests {
         let release = release_with_valuations(&[5.0]);
         let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
         // Aux record with only property.
-        let est = fusion.estimate(&release, &[aux(None, Some(5_000.0))]).unwrap();
+        let est = fusion
+            .estimate(&release, &[aux(None, Some(5_000.0))])
+            .unwrap();
         assert_eq!(est.len(), 1);
         // Aux record with nothing useful behaves like no record.
         let empty = fusion.estimate(&release, &[aux(None, None)]).unwrap();
@@ -451,7 +569,10 @@ mod tests {
 
     #[test]
     fn invalid_income_range_rejected() {
-        let cfg = FuzzyFusionConfig { income_range: (5.0, 5.0), ..Default::default() };
+        let cfg = FuzzyFusionConfig {
+            income_range: (5.0, 5.0),
+            ..Default::default()
+        };
         assert!(FuzzyFusion::new(cfg.clone()).is_err());
         assert!(LinearFusion::new(cfg).is_err());
     }
@@ -486,14 +607,42 @@ mod tests {
     }
 
     #[test]
+    fn batch_path_matches_interpreted_bit_for_bit() {
+        let release = release_with_valuations(&[1.0, 2.5, 5.5, 7.0, 9.0, 10.0]);
+        let aux_records = vec![
+            aux(Some(1), Some(800.0)),
+            aux(Some(3), None),
+            None,
+            aux(None, Some(5_200.0)),
+            aux(Some(4), Some(6_100.0)),
+            aux(None, None),
+        ];
+        for fusion in [
+            FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap(),
+            FuzzyFusion::release_only(),
+        ] {
+            let fast = fusion.estimate(&release, &aux_records).unwrap();
+            let slow = fusion.estimate_interpreted(&release, &aux_records).unwrap();
+            assert_eq!(fast.len(), slow.len());
+            for (i, (f, s)) in fast.iter().zip(&slow).enumerate() {
+                assert_eq!(f.to_bits(), s.to_bits(), "row {i}: {f} vs {s}");
+            }
+        }
+    }
+
+    #[test]
     fn fusion_names() {
         assert_eq!(FuzzyFusion::release_only().name(), "fuzzy-release-only");
         assert_eq!(
-            FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap().name(),
+            FuzzyFusion::new(FuzzyFusionConfig::default())
+                .unwrap()
+                .name(),
             "fuzzy-fusion"
         );
         assert_eq!(
-            LinearFusion::new(FuzzyFusionConfig::default()).unwrap().name(),
+            LinearFusion::new(FuzzyFusionConfig::default())
+                .unwrap()
+                .name(),
             "linear-fusion"
         );
         assert_eq!(MidpointEstimator::default().name(), "midpoint");

@@ -45,6 +45,4 @@ pub use attack::{AttackOutcome, WebFusionAttack};
 pub use aux::{harvest_auxiliary, harvest_precision, Harvest, HarvestConfig};
 pub use error::{AttackError, Result};
 pub use explain::{explain_attack, most_exposed, RecordExplanation};
-pub use fusion::{
-    FusionSystem, FuzzyFusion, FuzzyFusionConfig, LinearFusion, MidpointEstimator,
-};
+pub use fusion::{FusionSystem, FuzzyFusion, FuzzyFusionConfig, LinearFusion, MidpointEstimator};

@@ -9,7 +9,10 @@ use fred_bench::{faculty_world, WorldConfig};
 use std::hint::black_box;
 
 fn small() -> WorldConfig {
-    WorldConfig { size: 60, ..WorldConfig::default() }
+    WorldConfig {
+        size: 60,
+        ..WorldConfig::default()
+    }
 }
 
 fn bench_ablation_a1(c: &mut Criterion) {

@@ -13,12 +13,17 @@ use fred_bench::{faculty_world, World, WorldConfig};
 use std::hint::black_box;
 
 fn bench_world() -> World {
-    faculty_world(&WorldConfig { size: 60, ..WorldConfig::default() })
+    faculty_world(&WorldConfig {
+        size: 60,
+        ..WorldConfig::default()
+    })
 }
 
 /// Tables I-IV: the running example (anonymize Table II, render all).
 fn bench_tables(c: &mut Criterion) {
-    c.bench_function("tables_i_to_iv/render", |b| b.iter(|| black_box(render_all())));
+    c.bench_function("tables_i_to_iv/render", |b| {
+        b.iter(|| black_box(render_all()))
+    });
     c.bench_function("tables_i_to_iv/anonymize_table_ii", |b| {
         b.iter(|| black_box(table_iii()))
     });

@@ -14,7 +14,10 @@ use std::hint::black_box;
 fn bench_anonymizers(c: &mut Criterion) {
     let mut group = c.benchmark_group("anonymizers");
     for &n in &[100usize, 400] {
-        let world = faculty_world(&WorldConfig { size: n, ..WorldConfig::default() });
+        let world = faculty_world(&WorldConfig {
+            size: n,
+            ..WorldConfig::default()
+        });
         group.bench_with_input(BenchmarkId::new("mdav_k5", n), &world.table, |b, t| {
             b.iter(|| black_box(Mdav::new().partition(t, 5).unwrap()))
         });
@@ -71,6 +74,42 @@ fn bench_fuzzy(c: &mut Criterion) {
     c.bench_function("fuzzy/mamdani_eval_2in_10rules", |b| {
         b.iter(|| black_box(engine.evaluate(&inputs).unwrap()))
     });
+    // The compiled fast path over the same rulebase: dense indices,
+    // precomputed consequent curves, reusable scratch.
+    let compiled = engine.compile().unwrap();
+    let mut scratch = compiled.scratch();
+    c.bench_function("fuzzy/compiled_eval_2in_10rules", |b| {
+        b.iter(|| black_box(compiled.evaluate_with(&[6.5, 3.2], &mut scratch).unwrap()))
+    });
+}
+
+/// The measured fusion hot path: naive per-row interpreted estimates vs
+/// the compiled batch/parallel pipeline, over the same release and
+/// harvested auxiliary records.
+fn bench_fusion_paths(c: &mut Criterion) {
+    use fred_attack::{
+        harvest_auxiliary, FusionSystem, FuzzyFusion, FuzzyFusionConfig, HarvestConfig,
+    };
+    let world = faculty_world(&WorldConfig {
+        size: 120,
+        ..WorldConfig::default()
+    });
+    let partition = Mdav::new().partition(&world.table, 5).unwrap();
+    let release = build_release(&world.table, &partition, 5, QiStyle::Range).unwrap();
+    let harvest = harvest_auxiliary(&release.table, &world.web, &HarvestConfig::default()).unwrap();
+    let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+    c.bench_function("fusion/estimate_naive_per_row_n120", |b| {
+        b.iter(|| {
+            black_box(
+                fusion
+                    .estimate_interpreted(&release.table, &harvest.records)
+                    .unwrap(),
+            )
+        })
+    });
+    c.bench_function("fusion/estimate_batch_parallel_n120", |b| {
+        b.iter(|| black_box(fusion.estimate(&release.table, &harvest.records).unwrap()))
+    });
 }
 
 fn bench_linkage(c: &mut Criterion) {
@@ -84,7 +123,10 @@ fn bench_linkage(c: &mut Criterion) {
     c.bench_function("linkage/normalize_name", |b| {
         b.iter(|| black_box(normalizer.canonical("Dr. Robert K. Smith, Jr.")))
     });
-    let world = faculty_world(&WorldConfig { size: 100, ..WorldConfig::default() });
+    let world = faculty_world(&WorldConfig {
+        size: 100,
+        ..WorldConfig::default()
+    });
     let names: Vec<String> = world.people.iter().map(|p| p.name.clone()).collect();
     let shuffled: Vec<String> = names.iter().rev().cloned().collect();
     c.bench_function("linkage/link_100x100", |b| {
@@ -93,7 +135,10 @@ fn bench_linkage(c: &mut Criterion) {
 }
 
 fn bench_search(c: &mut Criterion) {
-    let world = faculty_world(&WorldConfig { size: 200, ..WorldConfig::default() });
+    let world = faculty_world(&WorldConfig {
+        size: 200,
+        ..WorldConfig::default()
+    });
     c.bench_function("web/search_name", |b| {
         b.iter(|| black_box(world.web.search(&world.people[17].name, 8)))
     });
@@ -102,6 +147,6 @@ fn bench_search(c: &mut Criterion) {
 criterion_group! {
     name = substrates;
     config = Criterion::default().sample_size(20);
-    targets = bench_anonymizers, bench_fuzzy, bench_linkage, bench_search
+    targets = bench_anonymizers, bench_fuzzy, bench_fusion_paths, bench_linkage, bench_search
 }
 criterion_main!(substrates);

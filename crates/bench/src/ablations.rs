@@ -10,7 +10,7 @@
 //! * A6 — l-diversity / t-closeness of categorical releases per k.
 
 use fred_anon::{
-    AttributeHierarchy, Anonymizer, FullDomain, Mdav, Mondrian, NumericHierarchy,
+    Anonymizer, AttributeHierarchy, FullDomain, Mdav, Mondrian, NumericHierarchy,
     OptimalUnivariate, QiStyle,
 };
 use fred_attack::{
@@ -38,7 +38,12 @@ fn run_with(world: &World, anonymizer: &dyn Anonymizer, k_min: usize, k_max: usi
         anonymizer,
         &before,
         &after,
-        &SweepConfig { k_min, k_max, style: QiStyle::Range, harvest: HarvestConfig::default() },
+        &SweepConfig {
+            k_min,
+            k_max,
+            style: QiStyle::Range,
+            harvest: HarvestConfig::default(),
+        },
     )
     .expect("sweep on well-formed world")
 }
@@ -61,10 +66,22 @@ pub fn anonymizer_ablation(world: &World, k_min: usize, k_max: usize) -> Vec<Abl
     let optimal = run_with(world, &OptimalUnivariate::new(), k_min, k_max);
     let full_domain = run_with(world, &faculty_full_domain(3), k_min, k_max);
     vec![
-        AblationSeries { label: "mdav".into(), report: mdav },
-        AblationSeries { label: "mondrian".into(), report: mondrian },
-        AblationSeries { label: "optimal-1d".into(), report: optimal },
-        AblationSeries { label: "full-domain".into(), report: full_domain },
+        AblationSeries {
+            label: "mdav".into(),
+            report: mdav,
+        },
+        AblationSeries {
+            label: "mondrian".into(),
+            report: mondrian,
+        },
+        AblationSeries {
+            label: "optimal-1d".into(),
+            report: optimal,
+        },
+        AblationSeries {
+            label: "full-domain".into(),
+            report: full_domain,
+        },
     ]
 }
 
@@ -77,7 +94,12 @@ pub fn fusion_ablation(world: &World, k_min: usize, k_max: usize) -> Vec<Ablatio
             &Mdav::new(),
             &MidpointEstimator::default(),
             after,
-            &SweepConfig { k_min, k_max, style: QiStyle::Range, harvest: HarvestConfig::default() },
+            &SweepConfig {
+                k_min,
+                k_max,
+                style: QiStyle::Range,
+                harvest: HarvestConfig::default(),
+            },
         )
         .expect("sweep on well-formed world")
     };
@@ -85,9 +107,18 @@ pub fn fusion_ablation(world: &World, k_min: usize, k_max: usize) -> Vec<Ablatio
     let fuzzy_release_only = FuzzyFusion::release_only();
     let linear = LinearFusion::new(FuzzyFusionConfig::default()).expect("valid");
     vec![
-        AblationSeries { label: "fuzzy-fusion".into(), report: mk(&fuzzy) },
-        AblationSeries { label: "fuzzy-release-only".into(), report: mk(&fuzzy_release_only) },
-        AblationSeries { label: "linear-fusion".into(), report: mk(&linear) },
+        AblationSeries {
+            label: "fuzzy-fusion".into(),
+            report: mk(&fuzzy),
+        },
+        AblationSeries {
+            label: "fuzzy-release-only".into(),
+            report: mk(&fuzzy_release_only),
+        },
+        AblationSeries {
+            label: "linear-fusion".into(),
+            report: mk(&linear),
+        },
     ]
 }
 
@@ -98,7 +129,10 @@ pub fn noise_ablation(base: &WorldConfig, k: usize, scales: &[f64]) -> Vec<(f64,
     scales
         .iter()
         .map(|&s| {
-            let (d, c) = seed_averaged(base, k, |cfg| WorldConfig { name_noise: s, ..cfg });
+            let (d, c) = seed_averaged(base, k, |cfg| WorldConfig {
+                name_noise: s,
+                ..cfg
+            });
             (s, d, c)
         })
         .collect()
@@ -116,7 +150,10 @@ fn seed_averaged(
     let mut dissim = 0.0;
     let mut coverage = 0.0;
     for seed in seeds {
-        let world = faculty_world(&configure(WorldConfig { seed, ..base.clone() }));
+        let world = faculty_world(&configure(WorldConfig {
+            seed,
+            ..base.clone()
+        }));
         let report = run_with(&world, &Mdav::new(), k, k);
         let row = &report.rows()[0];
         dissim += row.dissim_after;
@@ -131,8 +168,10 @@ pub fn coverage_ablation(base: &WorldConfig, k: usize, rates: &[f64]) -> Vec<(f6
     rates
         .iter()
         .map(|&rate| {
-            let (d, c) =
-                seed_averaged(base, k, |cfg| WorldConfig { web_presence_rate: rate, ..cfg });
+            let (d, c) = seed_averaged(base, k, |cfg| WorldConfig {
+                web_presence_rate: rate,
+                ..cfg
+            });
             (rate, d, c)
         })
         .collect()
@@ -152,7 +191,11 @@ pub fn weight_ablation(world: &World, k_max: usize, w1s: &[f64]) -> Vec<(f64, us
                 &world.web,
                 &Mdav::new(),
                 &fusion,
-                &FredParams { weights, k_max, ..FredParams::default() },
+                &FredParams {
+                    weights,
+                    k_max,
+                    ..FredParams::default()
+                },
             )
             .expect("unconstrained run is feasible");
             (w1, result.k_opt)
@@ -189,7 +232,9 @@ pub fn diversity_ablation(ks: &[usize]) -> Vec<(usize, usize, f64, f64)> {
     );
     ks.iter()
         .map(|&k| {
-            let p = generalizer.partition(&table, k).expect("patient table partitions");
+            let p = generalizer
+                .partition(&table, k)
+                .expect("patient table partitions");
             (
                 k,
                 distinct_diversity(&table, &p).expect("sensitive attr present"),
@@ -205,7 +250,10 @@ mod tests {
     use super::*;
 
     fn small() -> WorldConfig {
-        WorldConfig { size: 60, ..WorldConfig::default() }
+        WorldConfig {
+            size: 60,
+            ..WorldConfig::default()
+        }
     }
 
     #[test]
@@ -259,7 +307,10 @@ mod tests {
         let (_, err_high, cov_high) = triples[1];
         assert!(cov_low < cov_high);
         // Less auxiliary data can only hurt (or not help) the adversary.
-        assert!(err_low >= err_high, "err_low {err_low} vs err_high {err_high}");
+        assert!(
+            err_low >= err_high,
+            "err_low {err_low} vs err_high {err_high}"
+        );
     }
 
     #[test]

@@ -7,9 +7,12 @@
 //!   repro --tables        # Tables I-IV + Figure 2 walk-through
 //!   repro --fig 4         # one figure (4, 5, 6, 7 or 8)
 //!   repro --ablations     # the extension ablations (A1-A6)
+//!   repro --quick         # reduced timed sweep -> BENCH_sweep.json
+//!   repro --quick --out perf.json
 //!   repro --size 240 --seed 2008
 
 use fred_bench::figures::{ascii_plot, figure8, figure_sweep};
+use fred_bench::perf::quick_bench;
 use fred_bench::tables::{figure2_demo, render_all};
 use fred_bench::{ablations, faculty_world, WorldConfig};
 
@@ -18,12 +21,24 @@ fn main() {
     let mut config = WorldConfig::default();
     let mut want_tables = false;
     let mut want_ablations = false;
+    let mut want_quick = false;
+    let mut out_given = false;
+    let mut out_path = String::from("BENCH_sweep.json");
     let mut figs: Vec<u32> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--tables" => want_tables = true,
             "--ablations" => want_ablations = true,
+            "--quick" => want_quick = true,
+            "--out" => {
+                i += 1;
+                out_given = true;
+                out_path = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| usage("--out needs a path"));
+            }
             "--fig" => {
                 i += 1;
                 figs.push(
@@ -51,6 +66,13 @@ fn main() {
         }
         i += 1;
     }
+    if out_given && !want_quick {
+        usage("--out only applies together with --quick");
+    }
+    if want_quick {
+        run_quick(&config, &out_path);
+        return;
+    }
     let all = !want_tables && !want_ablations && figs.is_empty();
 
     if want_tables || all {
@@ -72,10 +94,33 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--tables] [--fig N]... [--ablations] [--size N] [--seed N]\n\
-         regenerates the paper's tables (I-IV) and figures (4-8)"
+        "usage: repro [--tables] [--fig N]... [--ablations] [--quick] [--out PATH] \
+         [--size N] [--seed N]\n\
+         regenerates the paper's tables (I-IV) and figures (4-8);\n\
+         --quick runs a reduced timed sweep and writes a machine-readable\n\
+         perf baseline (default BENCH_sweep.json)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// `--quick`: the reduced timed sweep, printed and persisted as JSON.
+fn run_quick(config: &WorldConfig, out_path: &str) {
+    if config.size < 2 {
+        usage("--quick needs --size >= 2 (the sweep starts at k = 2)");
+    }
+    println!("======================================================================");
+    println!(
+        " Quick perf sweep: {} records, seed {}",
+        config.size, config.seed
+    );
+    println!("======================================================================");
+    let bench = quick_bench(config, 2, 10, 3);
+    print!("{}", bench.to_ascii());
+    if let Err(e) = std::fs::write(out_path, bench.to_json()) {
+        eprintln!("error: could not write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("  baseline written to {out_path}");
 }
 
 fn print_tables() {
@@ -183,16 +228,12 @@ fn print_ablations(config: &WorldConfig) {
     }
 
     println!("-- A3: web name noise vs attack (k = 6) --");
-    for (scale, dissim, cov) in
-        ablations::noise_ablation(config, 6, &[0.0, 0.5, 1.0, 2.0, 4.0])
-    {
+    for (scale, dissim, cov) in ablations::noise_ablation(config, 6, &[0.0, 0.5, 1.0, 2.0, 4.0]) {
         println!("  noise x{scale:<4} dissim_after = {dissim:.4e}  aux coverage = {cov:.2}");
     }
 
     println!("-- A4: web presence vs attack (k = 6) --");
-    for (rate, dissim, cov) in
-        ablations::coverage_ablation(config, 6, &[0.2, 0.4, 0.6, 0.8, 1.0])
-    {
+    for (rate, dissim, cov) in ablations::coverage_ablation(config, 6, &[0.2, 0.4, 0.6, 0.8, 1.0]) {
         println!("  presence {rate:<4} dissim_after = {dissim:.4e}  aux coverage = {cov:.2}");
     }
 

@@ -94,7 +94,11 @@ pub fn ascii_plot(title: &str, ks: &[usize], ys: &[f64]) -> String {
     for (&k, &y) in ks.iter().zip(ys) {
         let frac = if hi > lo { (y - lo) / (hi - lo) } else { 0.5 };
         let bar = (frac * width as f64).round() as usize;
-        out.push_str(&format!("  k={k:<3} {:>12.4e} |{}\n", y, "*".repeat(bar.max(1))));
+        out.push_str(&format!(
+            "  k={k:<3} {:>12.4e} |{}\n",
+            y,
+            "*".repeat(bar.max(1))
+        ));
     }
     out
 }
@@ -105,7 +109,10 @@ mod tests {
     use crate::world::{faculty_world, WorldConfig};
 
     fn small_world() -> World {
-        faculty_world(&WorldConfig { size: 80, ..WorldConfig::default() })
+        faculty_world(&WorldConfig {
+            size: 80,
+            ..WorldConfig::default()
+        })
     }
 
     #[test]
@@ -139,7 +146,11 @@ mod tests {
         // derived thresholds reproduce the interior-optimum structure.
         let world = faculty_world(&WorldConfig::default());
         let (result, thresholds) = figure8(&world, (7, 14));
-        assert!(result.k_opt >= 7 && result.k_opt <= 14, "k_opt {}", result.k_opt);
+        assert!(
+            result.k_opt >= 7 && result.k_opt <= 14,
+            "k_opt {}",
+            result.k_opt
+        );
         // The solution space respects the derived thresholds.
         for c in result.solution_space() {
             assert!(c.protection >= thresholds.tp);

@@ -21,6 +21,7 @@
 
 pub mod ablations;
 pub mod figures;
+pub mod perf;
 pub mod tables;
 pub mod world;
 

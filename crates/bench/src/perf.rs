@@ -1,0 +1,298 @@
+//! The `--quick` performance harness behind `repro --quick`: times every
+//! stage of the sweep-and-attack pipeline at reduced scale and emits a
+//! machine-readable `BENCH_sweep.json` baseline so perf changes across
+//! PRs are diffable.
+//!
+//! The headline number is `speedup_batch_vs_naive`: the same releases and
+//! auxiliary records pushed through [`FuzzyFusion::estimate`] (compiled
+//! rulebase, parallel rows, reusable scratch) versus
+//! [`FuzzyFusion::estimate_interpreted`] (per-row string/`HashMap`
+//! lookups). The two paths return bit-identical estimates — the harness
+//! asserts it — so the ratio is pure overhead, not changed work.
+
+use std::time::Instant;
+
+use fred_anon::{build_release, Anonymizer, Mdav, QiStyle, Release};
+use fred_attack::{
+    harvest_auxiliary, FusionSystem, FuzzyFusion, FuzzyFusionConfig, Harvest, HarvestConfig,
+    MidpointEstimator,
+};
+use fred_core::{sweep, SweepConfig};
+
+use crate::world::{faculty_world, WorldConfig};
+
+/// Wall-clock + throughput of one pipeline stage.
+#[derive(Debug, Clone)]
+pub struct StageTiming {
+    /// Stage identifier (stable across PRs; used as the JSON key).
+    pub name: &'static str,
+    /// Wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Rows (records × levels where applicable) processed.
+    pub rows: usize,
+}
+
+impl StageTiming {
+    /// Rows per second, `0.0` when the stage was too fast to resolve.
+    pub fn rows_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.rows as f64 / (self.wall_ms / 1e3)
+    }
+}
+
+/// The quick-bench result.
+#[derive(Debug, Clone)]
+pub struct QuickBench {
+    /// World/sweep parameters the numbers were taken at.
+    pub size: usize,
+    /// World seed.
+    pub seed: u64,
+    /// Swept anonymization levels.
+    pub k_range: (usize, usize),
+    /// Per-stage timings in pipeline order.
+    pub stages: Vec<StageTiming>,
+    /// Naive per-row estimate wall-clock over batch wall-clock.
+    pub speedup_batch_vs_naive: f64,
+}
+
+impl QuickBench {
+    /// Renders the machine-readable baseline (hand-rolled JSON — the
+    /// workspace builds offline, without serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"config\": {{ \"size\": {}, \"seed\": {}, \"k_min\": {}, \"k_max\": {} }},\n",
+            self.size, self.seed, self.k_range.0, self.k_range.1
+        ));
+        out.push_str("  \"stages\": [\n");
+        for (i, s) in self.stages.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"wall_ms\": {:.3}, \"rows\": {}, \"rows_per_sec\": {:.1} }}{}\n",
+                s.name,
+                s.wall_ms,
+                s.rows,
+                s.rows_per_sec(),
+                if i + 1 < self.stages.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"speedup_batch_vs_naive\": {:.2}\n",
+            self.speedup_batch_vs_naive
+        ));
+        out.push_str("}\n");
+        out
+    }
+
+    /// One-screen human summary for the terminal.
+    pub fn to_ascii(&self) -> String {
+        let mut out = format!(
+            "quick bench — {} records, seed {}, k = {}..={}\n",
+            self.size, self.seed, self.k_range.0, self.k_range.1
+        );
+        out.push_str("  stage                        wall (ms)      rows    rows/sec\n");
+        for s in &self.stages {
+            out.push_str(&format!(
+                "  {:<26} {:>10.2} {:>9} {:>11.0}\n",
+                s.name,
+                s.wall_ms,
+                s.rows,
+                s.rows_per_sec()
+            ));
+        }
+        out.push_str(&format!(
+            "  batch/parallel estimate is {:.1}x the naive per-row path\n",
+            self.speedup_batch_vs_naive
+        ));
+        out
+    }
+}
+
+fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Runs the reduced sweep-and-attack pipeline with per-stage timing.
+///
+/// `repeats` controls how many times the two estimate paths run over the
+/// full release set (median-free but averaged), keeping the comparison
+/// stable at quick scale.
+pub fn quick_bench(config: &WorldConfig, k_min: usize, k_max: usize, repeats: usize) -> QuickBench {
+    let repeats = repeats.max(1);
+    let mut stages = Vec::new();
+
+    // Stage 1: world generation.
+    let (world, wall) = time_ms(|| faculty_world(config));
+    stages.push(StageTiming {
+        name: "world_build",
+        wall_ms: wall,
+        rows: world.table.len(),
+    });
+
+    // Stage 2: per-level anonymization (partition + release).
+    let anonymizer = Mdav::new();
+    let k_max = k_max.min(world.table.len());
+    assert!(
+        k_min <= k_max,
+        "quick bench needs a world with at least {k_min} records to sweep \
+         k = {k_min}..; got {} (raise --size)",
+        world.table.len()
+    );
+    let ks: Vec<usize> = (k_min..=k_max).collect();
+    let (releases, wall) = time_ms(|| {
+        ks.iter()
+            .map(|&k| {
+                let partition = anonymizer
+                    .partition(&world.table, k)
+                    .expect("quick-bench world partitions cleanly");
+                build_release(&world.table, &partition, k, QiStyle::Range)
+                    .expect("release builds from a valid partition")
+            })
+            .collect::<Vec<Release>>()
+    });
+    stages.push(StageTiming {
+        name: "anonymize_all_levels",
+        wall_ms: wall,
+        rows: world.table.len() * ks.len(),
+    });
+
+    // Stage 3: auxiliary harvest (shared across levels, like the sweep).
+    let (harvest, wall) = time_ms(|| {
+        harvest_auxiliary(&releases[0].table, &world.web, &HarvestConfig::default())
+            .expect("harvest over a generated corpus cannot fail")
+    });
+    stages.push(StageTiming {
+        name: "harvest_auxiliary",
+        wall_ms: wall,
+        rows: world.table.len(),
+    });
+
+    // Stages 4+5: the measured comparison — identical inputs through the
+    // naive interpreted path and the compiled batch/parallel path.
+    let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).expect("default config valid");
+    let estimate_rows = world.table.len() * ks.len() * repeats;
+
+    let (naive, naive_wall) = time_ms(|| run_naive(&fusion, &releases, &harvest, repeats));
+    stages.push(StageTiming {
+        name: "estimate_naive_per_row",
+        wall_ms: naive_wall,
+        rows: estimate_rows,
+    });
+
+    let (batch, batch_wall) = time_ms(|| run_batch(&fusion, &releases, &harvest, repeats));
+    stages.push(StageTiming {
+        name: "estimate_batch_parallel",
+        wall_ms: batch_wall,
+        rows: estimate_rows,
+    });
+
+    assert_eq!(
+        naive, batch,
+        "batch path must be bit-identical to the naive path"
+    );
+
+    // Stage 6: the full parallel sweep end-to-end (what figures 4-7 run).
+    let before = MidpointEstimator::default();
+    let (_, wall) = time_ms(|| {
+        sweep(
+            &world.table,
+            &world.web,
+            &anonymizer,
+            &before,
+            &fusion,
+            &SweepConfig {
+                k_min,
+                k_max,
+                ..SweepConfig::default()
+            },
+        )
+        .expect("quick-bench sweep succeeds")
+    });
+    stages.push(StageTiming {
+        name: "sweep_end_to_end",
+        wall_ms: wall,
+        rows: world.table.len() * ks.len(),
+    });
+
+    QuickBench {
+        size: world.table.len(),
+        seed: config.seed,
+        k_range: (k_min, k_max),
+        stages,
+        speedup_batch_vs_naive: if batch_wall > 0.0 {
+            naive_wall / batch_wall
+        } else {
+            0.0
+        },
+    }
+}
+
+fn run_naive(
+    fusion: &FuzzyFusion,
+    releases: &[Release],
+    harvest: &Harvest,
+    repeats: usize,
+) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for rep in 0..repeats {
+        for release in releases {
+            let est = fusion
+                .estimate_interpreted(&release.table, &harvest.records)
+                .expect("estimate succeeds");
+            if rep == 0 {
+                bits.extend(est.iter().map(|e| e.to_bits()));
+            }
+        }
+    }
+    bits
+}
+
+fn run_batch(
+    fusion: &FuzzyFusion,
+    releases: &[Release],
+    harvest: &Harvest,
+    repeats: usize,
+) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for rep in 0..repeats {
+        for release in releases {
+            let est = fusion
+                .estimate(&release.table, &harvest.records)
+                .expect("estimate succeeds");
+            if rep == 0 {
+                bits.extend(est.iter().map(|e| e.to_bits()));
+            }
+        }
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_runs_and_serializes() {
+        let bench = quick_bench(
+            &WorldConfig {
+                size: 30,
+                ..WorldConfig::default()
+            },
+            2,
+            4,
+            1,
+        );
+        assert_eq!(bench.k_range, (2, 4));
+        assert_eq!(bench.stages.len(), 6);
+        let json = bench.to_json();
+        assert!(json.contains("\"estimate_batch_parallel\""));
+        assert!(json.contains("\"speedup_batch_vs_naive\""));
+        assert!(json.trim_end().ends_with('}'));
+        let ascii = bench.to_ascii();
+        assert!(ascii.contains("rows/sec"));
+    }
+}

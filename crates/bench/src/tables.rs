@@ -19,7 +19,14 @@ pub fn table_i() -> Table {
         ("Alice", "111-111-1111", 13053, 28, "Russian", "AIDS"),
         ("Bob", "222-222-2222", 13068, 29, "American", "Flu"),
         ("Christine", "333-333-3333", 13068, 21, "Japanese", "Cancer"),
-        ("Robert", "444-444-4444", 13053, 23, "American", "Meningitis"),
+        (
+            "Robert",
+            "444-444-4444",
+            13053,
+            23,
+            "American",
+            "Meningitis",
+        ),
     ];
     Table::with_rows(
         schema,

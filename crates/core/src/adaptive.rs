@@ -78,7 +78,10 @@ pub struct AdaptiveResult {
 impl AdaptiveResult {
     /// The smallest per-record squared error (the residual risk).
     pub fn min_record_risk(&self) -> f64 {
-        self.record_risks.iter().copied().fold(f64::INFINITY, f64::min)
+        self.record_risks
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 }
 
@@ -91,7 +94,10 @@ pub fn adaptive_anonymize(
     params: &AdaptiveParams,
 ) -> Result<AdaptiveResult> {
     if params.k0 < 2 {
-        return Err(CoreError::InvalidKRange { k_min: params.k0, k_max: params.k0 });
+        return Err(CoreError::InvalidKRange {
+            k_min: params.k0,
+            k_max: params.k0,
+        });
     }
     let sens_cols = table.sensitive_columns();
     let sens = *sens_cols
@@ -201,7 +207,10 @@ mod tests {
         let table = customer_table(&people, &CustomerConfig::default());
         let web = build_corpus(
             &people,
-            &CorpusConfig { noise: NameNoise::none(), ..CorpusConfig::default() },
+            &CorpusConfig {
+                noise: NameNoise::none(),
+                ..CorpusConfig::default()
+            },
         );
         let truth = table.numeric_column(4).unwrap();
         (table, web, truth)
@@ -245,10 +254,17 @@ mod tests {
             &web,
             &Mdav::new(),
             &fusion(),
-            &AdaptiveParams { tr, max_merges: 40, ..AdaptiveParams::default() },
+            &AdaptiveParams {
+                tr,
+                max_merges: 40,
+                ..AdaptiveParams::default()
+            },
         )
         .unwrap();
-        assert!(adaptive.merges > 0, "threshold above baseline must force merges");
+        assert!(
+            adaptive.merges > 0,
+            "threshold above baseline must force merges"
+        );
         assert!(
             adaptive.min_record_risk() > base.min_record_risk(),
             "adaptive {} should exceed base {}",
@@ -268,15 +284,18 @@ mod tests {
             &Mdav::new(),
             &fusion(),
             &AdaptiveParams {
-                tr: f64::INFINITY,        // unreachable protection
-                tu: base_utility * 0.9,   // tight utility floor
+                tr: f64::INFINITY,      // unreachable protection
+                tu: base_utility * 0.9, // tight utility floor
                 max_merges: 1000,
                 ..AdaptiveParams::default()
             },
         )
         .unwrap();
         assert!(!result.fully_protected);
-        assert!(result.utility >= base_utility * 0.9 * 0.5, "utility collapsed");
+        assert!(
+            result.utility >= base_utility * 0.9 * 0.5,
+            "utility collapsed"
+        );
         // The floor must have stopped it long before 1000 merges.
         assert!(result.merges < 1000);
     }
@@ -308,7 +327,11 @@ mod tests {
             &web,
             &Mdav::new(),
             &fusion(),
-            &AdaptiveParams { tr: 1e9, max_merges: 10, ..AdaptiveParams::default() },
+            &AdaptiveParams {
+                tr: 1e9,
+                max_merges: 10,
+                ..AdaptiveParams::default()
+            },
         )
         .unwrap();
         // Merging classes only grows them, so k0-anonymity is preserved.
@@ -320,15 +343,19 @@ mod tests {
         let (table, web, truth) = world();
         let f = fusion();
         // Global approach: raise k until min risk clears the bar.
-        let base = adaptive_anonymize(&table, &web, &Mdav::new(), &f, &AdaptiveParams::default())
-            .unwrap();
+        let base =
+            adaptive_anonymize(&table, &web, &Mdav::new(), &f, &AdaptiveParams::default()).unwrap();
         let bar = base.min_record_risk() * 2.0 + 1.0;
         let adaptive = adaptive_anonymize(
             &table,
             &web,
             &Mdav::new(),
             &f,
-            &AdaptiveParams { tr: bar, max_merges: 200, ..AdaptiveParams::default() },
+            &AdaptiveParams {
+                tr: bar,
+                max_merges: 200,
+                ..AdaptiveParams::default()
+            },
         )
         .unwrap();
         if !adaptive.fully_protected {

@@ -93,7 +93,10 @@ mod tests {
     fn symmetry() {
         let p = [1.0, 2.0];
         let q = [4.0, 0.0];
-        assert_eq!(dissimilarity(&p, &q).unwrap(), dissimilarity(&q, &p).unwrap());
+        assert_eq!(
+            dissimilarity(&p, &q).unwrap(),
+            dissimilarity(&q, &p).unwrap()
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl fmt::Display for CoreError {
             CoreError::Anon(e) => write!(f, "anonymization error: {e}"),
             CoreError::Attack(e) => write!(f, "attack error: {e}"),
             CoreError::InvalidKRange { k_min, k_max } => {
-                write!(f, "invalid k range [{k_min}, {k_max}] (need 2 <= k_min <= k_max)")
+                write!(
+                    f,
+                    "invalid k range [{k_min}, {k_max}] (need 2 <= k_min <= k_max)"
+                )
             }
             CoreError::InvalidWeights { w1, w2 } => {
                 write!(f, "invalid weights W1={w1}, W2={w2}")

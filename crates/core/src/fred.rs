@@ -106,7 +106,10 @@ pub fn fred_anonymize(
     params: &FredParams,
 ) -> Result<FredResult> {
     if params.k_min < 2 || params.k_min > params.k_max {
-        return Err(CoreError::InvalidKRange { k_min: params.k_min, k_max: params.k_max });
+        return Err(CoreError::InvalidKRange {
+            k_min: params.k_min,
+            k_max: params.k_max,
+        });
     }
     let sens_cols = table.sensitive_columns();
     let sens = *sens_cols
@@ -158,8 +161,14 @@ pub fn fred_anonymize(
             tu: params.thresholds.tu,
         });
     }
-    let protections: Vec<f64> = feasible_idx.iter().map(|&i| candidates[i].protection).collect();
-    let utilities: Vec<f64> = feasible_idx.iter().map(|&i| candidates[i].utility).collect();
+    let protections: Vec<f64> = feasible_idx
+        .iter()
+        .map(|&i| candidates[i].protection)
+        .collect();
+    let utilities: Vec<f64> = feasible_idx
+        .iter()
+        .map(|&i| candidates[i].utility)
+        .collect();
     let h = normalized_objective(params.weights, &protections, &utilities)?;
     let mut best: Option<(usize, f64)> = None; // (candidate index, h)
     for (pos, &i) in feasible_idx.iter().enumerate() {
@@ -213,7 +222,10 @@ mod tests {
     #[test]
     fn returns_a_feasible_optimum() {
         let (table, web) = world();
-        let params = FredParams { k_max: 16, ..FredParams::default() };
+        let params = FredParams {
+            k_max: 16,
+            ..FredParams::default()
+        };
         let result = fred_anonymize(&table, &web, &Mdav::new(), &fusion(), &params).unwrap();
         assert!(result.k_opt >= 2 && result.k_opt <= 16);
         let opt = result
@@ -249,10 +261,16 @@ mod tests {
         let (table, web) = world();
         // First find the protection scale, then demand more than the
         // minimum observed so low-k candidates fall out.
-        let probe = fred_anonymize(&table, &web, &Mdav::new(), &fusion(), &FredParams {
-            k_max: 10,
-            ..FredParams::default()
-        })
+        let probe = fred_anonymize(
+            &table,
+            &web,
+            &Mdav::new(),
+            &fusion(),
+            &FredParams {
+                k_max: 10,
+                ..FredParams::default()
+            },
+        )
         .unwrap();
         let min_p = probe
             .candidates
@@ -265,11 +283,17 @@ mod tests {
             .map(|c| c.protection)
             .fold(f64::NEG_INFINITY, f64::max);
         let tp = (min_p + max_p) / 2.0;
-        let result = fred_anonymize(&table, &web, &Mdav::new(), &fusion(), &FredParams {
-            thresholds: Thresholds::new(tp, 0.0),
-            k_max: 10,
-            ..FredParams::default()
-        })
+        let result = fred_anonymize(
+            &table,
+            &web,
+            &Mdav::new(),
+            &fusion(),
+            &FredParams {
+                thresholds: Thresholds::new(tp, 0.0),
+                k_max: 10,
+                ..FredParams::default()
+            },
+        )
         .unwrap();
         assert!(result.candidates.iter().any(|c| !c.feasible));
         assert!(result.solution_space().iter().all(|c| c.protection >= tp));
@@ -307,17 +331,29 @@ mod tests {
     #[test]
     fn pure_protection_weighting_picks_a_larger_k_than_pure_utility() {
         let (table, web) = world();
-        let protective = fred_anonymize(&table, &web, &Mdav::new(), &fusion(), &FredParams {
-            weights: FredWeights::new(1.0, 0.0).unwrap(),
-            k_max: 12,
-            ..FredParams::default()
-        })
+        let protective = fred_anonymize(
+            &table,
+            &web,
+            &Mdav::new(),
+            &fusion(),
+            &FredParams {
+                weights: FredWeights::new(1.0, 0.0).unwrap(),
+                k_max: 12,
+                ..FredParams::default()
+            },
+        )
         .unwrap();
-        let useful = fred_anonymize(&table, &web, &Mdav::new(), &fusion(), &FredParams {
-            weights: FredWeights::new(0.0, 1.0).unwrap(),
-            k_max: 12,
-            ..FredParams::default()
-        })
+        let useful = fred_anonymize(
+            &table,
+            &web,
+            &Mdav::new(),
+            &fusion(),
+            &FredParams {
+                weights: FredWeights::new(0.0, 1.0).unwrap(),
+                k_max: 12,
+                ..FredParams::default()
+            },
+        )
         .unwrap();
         assert!(
             protective.k_opt > useful.k_opt,
@@ -330,7 +366,10 @@ mod tests {
     #[test]
     fn invalid_k_range_rejected() {
         let (table, web) = world();
-        let params = FredParams { k_min: 1, ..FredParams::default() };
+        let params = FredParams {
+            k_min: 1,
+            ..FredParams::default()
+        };
         assert!(matches!(
             fred_anonymize(&table, &web, &Mdav::new(), &fusion(), &params),
             Err(CoreError::InvalidKRange { .. })

@@ -91,8 +91,7 @@ pub fn normalized_objective(
     }
     let p = min_max_normalize(protection);
     let u = min_max_normalize(utility);
-    Ok(p
-        .iter()
+    Ok(p.iter()
         .zip(&u)
         .map(|(&pi, &ui)| weights.w1 * pi + weights.w2 * ui)
         .collect())

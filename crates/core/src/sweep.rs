@@ -12,6 +12,7 @@ use fred_anon::{build_release, discernibility, utility, Anonymizer, QiStyle};
 use fred_attack::{harvest_auxiliary, FusionSystem, HarvestConfig};
 use fred_data::Table;
 use fred_web::SearchEngine;
+use rayon::prelude::*;
 
 use crate::dissimilarity::{dissimilarity, information_gain};
 use crate::error::{CoreError, Result};
@@ -126,7 +127,12 @@ impl SweepReport {
         for r in &self.rows {
             out.push_str(&format!(
                 "{},{},{},{},{},{},{}\n",
-                r.k, r.dissim_before, r.dissim_after, r.gain, r.discernibility, r.utility,
+                r.k,
+                r.dissim_before,
+                r.dissim_after,
+                r.gain,
+                r.discernibility,
+                r.utility,
                 r.aux_coverage
             ));
         }
@@ -154,7 +160,10 @@ pub fn sweep(
     config: &SweepConfig,
 ) -> Result<SweepReport> {
     if config.k_min < 2 || config.k_min > config.k_max {
-        return Err(CoreError::InvalidKRange { k_min: config.k_min, k_max: config.k_max });
+        return Err(CoreError::InvalidKRange {
+            k_min: config.k_min,
+            k_max: config.k_max,
+        });
     }
     let sens_cols = table.sensitive_columns();
     let sens = *sens_cols
@@ -179,25 +188,31 @@ pub fn sweep(
     };
     let harvest = harvest_auxiliary(&reference_release.table, web, &config.harvest)?;
 
-    let mut rows = Vec::with_capacity(config.k_max - config.k_min + 1);
-    for k in config.k_min..=config.k_max.min(table.len()) {
-        let partition = anonymizer.partition(table, k)?;
-        let release = build_release(table, &partition, k, config.style)?;
-        let est_before = before.estimate(&release.table, &harvest.records)?;
-        let est_after = after.estimate(&release.table, &harvest.records)?;
-        let dissim_before = dissimilarity(&truth, &est_before)?;
-        let dissim_after = dissimilarity(&truth, &est_after)?;
-        let cdm = discernibility(&partition, k);
-        rows.push(SweepRow {
-            k,
-            dissim_before,
-            dissim_after,
-            gain: information_gain(dissim_before, dissim_after),
-            discernibility: cdm,
-            utility: utility(&partition, k).map_err(CoreError::Anon)?,
-            aux_coverage: harvest.coverage(),
-        });
-    }
+    // Levels are independent given the shared harvest, so they run in
+    // parallel. Results are collected in ascending-k order, making the
+    // report bit-identical to the sequential loop this replaces.
+    let ks: Vec<usize> = (config.k_min..=config.k_max.min(table.len())).collect();
+    let rows: Vec<SweepRow> = ks
+        .into_par_iter()
+        .map(|k| -> Result<SweepRow> {
+            let partition = anonymizer.partition(table, k)?;
+            let release = build_release(table, &partition, k, config.style)?;
+            let est_before = before.estimate(&release.table, &harvest.records)?;
+            let est_after = after.estimate(&release.table, &harvest.records)?;
+            let dissim_before = dissimilarity(&truth, &est_before)?;
+            let dissim_after = dissimilarity(&truth, &est_after)?;
+            let cdm = discernibility(&partition, k);
+            Ok(SweepRow {
+                k,
+                dissim_before,
+                dissim_after,
+                gain: information_gain(dissim_before, dissim_after),
+                discernibility: cdm,
+                utility: utility(&partition, k).map_err(CoreError::Anon)?,
+                aux_coverage: harvest.coverage(),
+            })
+        })
+        .collect::<Result<Vec<SweepRow>>>()?;
     if rows.is_empty() {
         return Err(CoreError::EmptySweep);
     }
@@ -241,7 +256,11 @@ mod tests {
             &Mdav::new(),
             &before,
             &after,
-            &SweepConfig { k_min, k_max, ..SweepConfig::default() },
+            &SweepConfig {
+                k_min,
+                k_max,
+                ..SweepConfig::default()
+            },
         )
         .unwrap()
     }
@@ -319,7 +338,11 @@ mod tests {
                 &Mdav::new(),
                 &before,
                 &after,
-                &SweepConfig { k_min, k_max, ..SweepConfig::default() },
+                &SweepConfig {
+                    k_min,
+                    k_max,
+                    ..SweepConfig::default()
+                },
             )
             .unwrap_err();
             assert!(matches!(err, CoreError::InvalidKRange { .. }));
@@ -337,7 +360,11 @@ mod tests {
             &Mdav::new(),
             &before,
             &after,
-            &SweepConfig { k_min: 58, k_max: 100, ..SweepConfig::default() },
+            &SweepConfig {
+                k_min: 58,
+                k_max: 100,
+                ..SweepConfig::default()
+            },
         )
         .unwrap();
         // Table has 60 rows: levels 58..=60.

@@ -147,7 +147,10 @@ fn parse_record(record: &str, line: usize) -> Result<Vec<String>> {
         }
     }
     if in_quotes {
-        return Err(DataError::Csv { line, message: "unterminated quote".into() });
+        return Err(DataError::Csv {
+            line,
+            message: "unterminated quote".into(),
+        });
     }
     fields.push(field);
     Ok(fields)
@@ -205,10 +208,18 @@ mod tests {
     #[test]
     fn roundtrip() {
         let mut t = Table::new(schema());
-        t.push_row(vec![Value::Text("Alice".into()), Value::Float(3.5), Value::Float(90000.0)])
-            .unwrap();
-        t.push_row(vec![Value::Text("Bob, Jr.".into()), Value::Float(2.0), Value::Missing])
-            .unwrap();
+        t.push_row(vec![
+            Value::Text("Alice".into()),
+            Value::Float(3.5),
+            Value::Float(90000.0),
+        ])
+        .unwrap();
+        t.push_row(vec![
+            Value::Text("Bob, Jr.".into()),
+            Value::Float(2.0),
+            Value::Missing,
+        ])
+        .unwrap();
         let csv = to_csv(&t);
         assert!(csv.starts_with("Name,Score,Salary\n"));
         assert!(csv.contains("\"Bob, Jr.\""));
@@ -278,8 +289,12 @@ mod tests {
     #[test]
     fn file_roundtrip() {
         let mut t = Table::new(schema());
-        t.push_row(vec![Value::Text("Ada".into()), Value::Float(1.0), Value::Float(2.0)])
-            .unwrap();
+        t.push_row(vec![
+            Value::Text("Ada".into()),
+            Value::Float(1.0),
+            Value::Float(2.0),
+        ])
+        .unwrap();
         let dir = std::env::temp_dir().join("fred_csv_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("roundtrip.csv");
@@ -293,7 +308,11 @@ mod tests {
     #[test]
     fn value_parse_interval_kind() {
         let s = Schema::builder()
-            .attribute("R", ValueKind::Interval, crate::schema::AttributeRole::QuasiIdentifier)
+            .attribute(
+                "R",
+                ValueKind::Interval,
+                crate::schema::AttributeRole::QuasiIdentifier,
+            )
             .build()
             .unwrap();
         let t = from_csv("R\n[5-10]\n", s).unwrap();

@@ -63,14 +63,27 @@ impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DataError::ArityMismatch { expected, found } => {
-                write!(f, "row arity {found} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "row arity {found} does not match schema arity {expected}"
+                )
             }
-            DataError::TypeMismatch { attribute, expected, found } => {
-                write!(f, "attribute `{attribute}` expects {expected}, found {found}")
+            DataError::TypeMismatch {
+                attribute,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "attribute `{attribute}` expects {expected}, found {found}"
+                )
             }
             DataError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
             DataError::IndexOutOfBounds { index, len } => {
-                write!(f, "attribute index {index} out of bounds for schema of {len}")
+                write!(
+                    f,
+                    "attribute index {index} out of bounds for schema of {len}"
+                )
             }
             DataError::DuplicateAttribute(name) => {
                 write!(f, "duplicate attribute name `{name}`")
@@ -78,7 +91,9 @@ impl fmt::Display for DataError {
             DataError::NonNumericColumn(name) => {
                 write!(f, "column `{name}` cannot be interpreted as numeric")
             }
-            DataError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            DataError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
             DataError::InvalidInterval { lo, hi } => {
                 write!(f, "invalid interval: lo {lo} > hi {hi}")
             }
@@ -103,7 +118,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = DataError::ArityMismatch { expected: 4, found: 2 };
+        let e = DataError::ArityMismatch {
+            expected: 4,
+            found: 2,
+        };
         assert!(e.to_string().contains("arity 2"));
         assert!(e.to_string().contains("schema arity 4"));
 
@@ -114,10 +132,16 @@ mod tests {
         };
         assert!(e.to_string().contains("age"));
 
-        let e = DataError::Csv { line: 7, message: "unterminated quote".into() };
+        let e = DataError::Csv {
+            line: 7,
+            message: "unterminated quote".into(),
+        };
         assert!(e.to_string().contains("line 7"));
 
-        let e = DataError::ShapeMismatch { left: (3, 2), right: (4, 2) };
+        let e = DataError::ShapeMismatch {
+            left: (3, 2),
+            right: (4, 2),
+        };
         assert!(e.to_string().contains("3x2"));
     }
 

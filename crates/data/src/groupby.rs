@@ -37,7 +37,12 @@ pub struct GroupRow {
 /// `value_col` with `agg`. For [`Aggregate::Count`], `value_col` is
 /// ignored. Missing cells are skipped in numeric aggregates; groups whose
 /// cells are all missing report NaN-free zero counts.
-pub fn group_by(table: &Table, key_col: usize, value_col: usize, agg: Aggregate) -> Result<Vec<GroupRow>> {
+pub fn group_by(
+    table: &Table,
+    key_col: usize,
+    value_col: usize,
+    agg: Aggregate,
+) -> Result<Vec<GroupRow>> {
     table.schema().attribute(key_col)?;
     if agg != Aggregate::Count {
         table.schema().attribute(value_col)?;
@@ -69,7 +74,11 @@ pub fn group_by(table: &Table, key_col: usize, value_col: usize, agg: Aggregate)
             Aggregate::Max => numeric.iter().copied().fold(f64::NEG_INFINITY, f64::max),
         };
         let value = if value.is_finite() { value } else { 0.0 };
-        out.push(GroupRow { key, count: rows.len(), value });
+        out.push(GroupRow {
+            key,
+            count: rows.len(),
+            value,
+        });
     }
     out.sort_by(|a, b| a.key.cmp(&b.key));
     Ok(out)

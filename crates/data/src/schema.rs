@@ -47,7 +47,11 @@ pub struct Attribute {
 impl Attribute {
     /// Creates an attribute.
     pub fn new(name: impl Into<String>, kind: ValueKind, role: AttributeRole) -> Self {
-        Attribute { name: name.into(), kind, role }
+        Attribute {
+            name: name.into(),
+            kind,
+            role,
+        }
     }
 
     /// Attribute name.
@@ -105,10 +109,12 @@ impl Schema {
 
     /// Attribute at `index`.
     pub fn attribute(&self, index: usize) -> Result<&Attribute> {
-        self.attributes.get(index).ok_or(DataError::IndexOutOfBounds {
-            index,
-            len: self.attributes.len(),
-        })
+        self.attributes
+            .get(index)
+            .ok_or(DataError::IndexOutOfBounds {
+                index,
+                len: self.attributes.len(),
+            })
     }
 
     /// Index of the attribute named `name`.
@@ -175,8 +181,11 @@ pub struct SchemaBuilder {
 impl SchemaBuilder {
     /// Adds an identifier attribute (always textual in this crate).
     pub fn identifier(mut self, name: impl Into<String>) -> Self {
-        self.attributes
-            .push(Attribute::new(name, ValueKind::Text, AttributeRole::Identifier));
+        self.attributes.push(Attribute::new(
+            name,
+            ValueKind::Text,
+            AttributeRole::Identifier,
+        ));
         self
     }
 
@@ -192,8 +201,11 @@ impl SchemaBuilder {
 
     /// Adds an integer quasi-identifier.
     pub fn quasi_int(mut self, name: impl Into<String>) -> Self {
-        self.attributes
-            .push(Attribute::new(name, ValueKind::Int, AttributeRole::QuasiIdentifier));
+        self.attributes.push(Attribute::new(
+            name,
+            ValueKind::Int,
+            AttributeRole::QuasiIdentifier,
+        ));
         self
     }
 
@@ -209,8 +221,11 @@ impl SchemaBuilder {
 
     /// Adds a numeric sensitive attribute.
     pub fn sensitive_numeric(mut self, name: impl Into<String>) -> Self {
-        self.attributes
-            .push(Attribute::new(name, ValueKind::Float, AttributeRole::Sensitive));
+        self.attributes.push(Attribute::new(
+            name,
+            ValueKind::Float,
+            AttributeRole::Sensitive,
+        ));
         self
     }
 
@@ -225,7 +240,12 @@ impl SchemaBuilder {
     }
 
     /// Adds an arbitrary attribute.
-    pub fn attribute(mut self, name: impl Into<String>, kind: ValueKind, role: AttributeRole) -> Self {
+    pub fn attribute(
+        mut self,
+        name: impl Into<String>,
+        kind: ValueKind,
+        role: AttributeRole,
+    ) -> Self {
         self.attributes.push(Attribute::new(name, kind, role));
         self
     }
@@ -278,7 +298,10 @@ mod tests {
     fn index_lookup() {
         let s = paper_table_one();
         assert_eq!(s.index_of("Age").unwrap(), 3);
-        assert!(matches!(s.index_of("Salary"), Err(DataError::UnknownAttribute(_))));
+        assert!(matches!(
+            s.index_of("Salary"),
+            Err(DataError::UnknownAttribute(_))
+        ));
         assert!(matches!(
             s.attribute(10),
             Err(DataError::IndexOutOfBounds { index: 10, len: 6 })
@@ -304,6 +327,9 @@ mod tests {
 
     #[test]
     fn role_display() {
-        assert_eq!(AttributeRole::QuasiIdentifier.to_string(), "quasi-identifier");
+        assert_eq!(
+            AttributeRole::QuasiIdentifier.to_string(),
+            "quasi-identifier"
+        );
     }
 }

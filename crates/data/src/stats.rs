@@ -148,7 +148,12 @@ pub fn mae(pred: &[f64], truth: &[f64]) -> Result<f64> {
     if pred.is_empty() {
         return Err(DataError::EmptyTable);
     }
-    Ok(pred.iter().zip(truth).map(|(&p, &t)| (p - t).abs()).sum::<f64>() / pred.len() as f64)
+    Ok(pred
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64)
 }
 
 #[cfg(test)]

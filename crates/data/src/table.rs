@@ -23,7 +23,10 @@ pub struct Table {
 impl Table {
     /// Creates an empty table over `schema`.
     pub fn new(schema: Schema) -> Self {
-        Table { schema, rows: Vec::new() }
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Creates a table and bulk-loads `rows`, validating each.
@@ -77,10 +80,10 @@ impl Table {
                 found: value.kind_name(),
             });
         }
-        let r = self
-            .rows
-            .get_mut(row)
-            .ok_or(DataError::IndexOutOfBounds { index: row, len: ncols })?;
+        let r = self.rows.get_mut(row).ok_or(DataError::IndexOutOfBounds {
+            index: row,
+            len: ncols,
+        })?;
         r[col] = value;
         Ok(())
     }
@@ -209,13 +212,16 @@ impl Table {
         }
         let mut rows = Vec::with_capacity(order.len());
         for &i in order {
-            let r = self
-                .rows
-                .get(i)
-                .ok_or(DataError::IndexOutOfBounds { index: i, len: self.rows.len() })?;
+            let r = self.rows.get(i).ok_or(DataError::IndexOutOfBounds {
+                index: i,
+                len: self.rows.len(),
+            })?;
             rows.push(r.clone());
         }
-        Ok(Table { schema: self.schema.clone(), rows })
+        Ok(Table {
+            schema: self.schema.clone(),
+            rows,
+        })
     }
 
     /// Looks up rows by the value of an identifier column; returns row
@@ -326,8 +332,7 @@ impl Table {
         self.rows
             .iter()
             .map(|r| {
-                let parts: Vec<&str> =
-                    ids.iter().filter_map(|&c| r[c].as_str()).collect();
+                let parts: Vec<&str> = ids.iter().filter_map(|&c| r[c].as_str()).collect();
                 parts.join(" ")
             })
             .collect()
@@ -386,7 +391,10 @@ mod tests {
         let mut t = Table::new(customer_schema());
         assert!(matches!(
             t.push_row(vec![Value::Text("x".into())]),
-            Err(DataError::ArityMismatch { expected: 5, found: 1 })
+            Err(DataError::ArityMismatch {
+                expected: 5,
+                found: 1
+            })
         ));
         let err = t
             .push_row(vec![
@@ -460,7 +468,10 @@ mod tests {
     #[test]
     fn identifier_helpers() {
         let t = customer_table();
-        assert_eq!(t.identifier_strings(), vec!["Alice", "Bob", "Christine", "Robert"]);
+        assert_eq!(
+            t.identifier_strings(),
+            vec!["Alice", "Bob", "Christine", "Robert"]
+        );
         assert_eq!(t.find_by_identifier(0, "Christine"), vec![2]);
         assert!(t.find_by_identifier(0, "Eve").is_empty());
     }

@@ -110,22 +110,26 @@ impl Value {
             return Ok(Value::Missing);
         }
         match kind {
-            ValueKind::Int => trimmed
-                .parse::<i64>()
-                .map(Value::Int)
-                .map_err(|_| DataError::TypeMismatch {
-                    attribute: String::new(),
-                    expected: "Int",
-                    found: "Text",
-                }),
-            ValueKind::Float => trimmed
-                .parse::<f64>()
-                .map(Value::Float)
-                .map_err(|_| DataError::TypeMismatch {
-                    attribute: String::new(),
-                    expected: "Float",
-                    found: "Text",
-                }),
+            ValueKind::Int => {
+                trimmed
+                    .parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|_| DataError::TypeMismatch {
+                        attribute: String::new(),
+                        expected: "Int",
+                        found: "Text",
+                    })
+            }
+            ValueKind::Float => {
+                trimmed
+                    .parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|_| DataError::TypeMismatch {
+                        attribute: String::new(),
+                        expected: "Float",
+                        found: "Text",
+                    })
+            }
             ValueKind::Text => Ok(Value::Text(trimmed.to_owned())),
             ValueKind::Categorical => Ok(Value::Categorical(trimmed.to_owned())),
             ValueKind::Interval => parse_interval(trimmed),
@@ -178,9 +182,7 @@ fn parse_interval(raw: &str) -> Result<Value> {
             continue;
         }
         let (lo_raw, hi_raw) = (&inner[..i], &inner[i + 1..]);
-        if let (Ok(lo), Ok(hi)) =
-            (lo_raw.trim().parse::<f64>(), hi_raw.trim().parse::<f64>())
-        {
+        if let (Ok(lo), Ok(hi)) = (lo_raw.trim().parse::<f64>(), hi_raw.trim().parse::<f64>()) {
             return Ok(Value::Interval(Interval::new(lo, hi)?));
         }
     }
@@ -253,7 +255,10 @@ pub enum ValueKind {
 impl ValueKind {
     /// Whether values of this kind carry a numeric view.
     pub fn is_numeric(&self) -> bool {
-        matches!(self, ValueKind::Int | ValueKind::Float | ValueKind::Interval)
+        matches!(
+            self,
+            ValueKind::Int | ValueKind::Float | ValueKind::Interval
+        )
     }
 }
 
@@ -297,7 +302,10 @@ mod tests {
     fn parse_by_kind() {
         assert_eq!(Value::parse("42", ValueKind::Int).unwrap(), Value::Int(42));
         assert_eq!(Value::parse("-3", ValueKind::Int).unwrap(), Value::Int(-3));
-        assert_eq!(Value::parse("2.5", ValueKind::Float).unwrap(), Value::Float(2.5));
+        assert_eq!(
+            Value::parse("2.5", ValueKind::Float).unwrap(),
+            Value::Float(2.5)
+        );
         assert_eq!(
             Value::parse("alice", ValueKind::Text).unwrap(),
             Value::Text("alice".into())
@@ -345,7 +353,10 @@ mod tests {
     #[test]
     fn ordering() {
         use std::cmp::Ordering::*;
-        assert_eq!(Value::Int(1).partial_cmp_value(&Value::Float(2.0)), Some(Less));
+        assert_eq!(
+            Value::Int(1).partial_cmp_value(&Value::Float(2.0)),
+            Some(Less)
+        );
         assert_eq!(
             Value::Text("a".into()).partial_cmp_value(&Value::Text("b".into())),
             Some(Less)

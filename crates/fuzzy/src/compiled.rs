@@ -1,0 +1,389 @@
+//! The compiled Mamdani engine: the allocation-lean, index-based fast
+//! path behind [`FuzzyEngine::compile`].
+//!
+//! [`FuzzyEngine::evaluate`] resolves variable and term names through
+//! string maps, re-samples the output universe and re-evaluates every
+//! consequent membership function *per call*. Compilation hoists all of
+//! that out of the hot loop once per rulebase:
+//!
+//! * variables and terms become dense indices (rule antecedents become
+//!   postfix programs over an explicit stack — no recursion, no string
+//!   hashing);
+//! * the output universe `xs` and every consequent term's membership
+//!   curve sampled over it are precomputed;
+//! * the aggregated output curve lives in a caller-owned reusable
+//!   [`Scratch`], so steady-state evaluation performs **zero heap
+//!   allocations**.
+//!
+//! The compiled engine is float-for-float identical to the interpreted
+//! one: it performs the same operations on the same values in the same
+//! order (see the equivalence tests at the bottom of this module).
+
+use crate::engine::{Aggregation, AndOp, EngineConfig, FuzzyEngine, Implication, OrOp};
+use crate::error::{FuzzyError, Result};
+use crate::membership::MembershipFunction;
+use crate::rule::Antecedent;
+
+/// One postfix instruction of a compiled antecedent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Op {
+    /// Push the fuzzified degree of input `input` in its `term`-th term.
+    Is {
+        /// Dense input index.
+        input: u16,
+        /// Dense term index within that input.
+        term: u16,
+    },
+    /// Pop `a`, push `1 - a`.
+    Not,
+    /// Pop `b` then `a`, push the configured t-norm of `(a, b)`.
+    And,
+    /// Pop `b` then `a`, push the configured s-norm of `(a, b)`.
+    Or,
+}
+
+/// A compiled rule: postfix antecedent, weight, dense consequent index.
+#[derive(Debug, Clone)]
+struct CompiledRule {
+    ops: Vec<Op>,
+    weight: f64,
+    consequent: u16,
+}
+
+/// Reusable evaluation buffers. Create once with
+/// [`CompiledEngine::scratch`] and thread through every call on the same
+/// engine; steady-state evaluation then allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    aggregate: Vec<f64>,
+    stack: Vec<f64>,
+    strengths: Vec<f64>,
+}
+
+/// A dense, immutable compilation of a [`FuzzyEngine`] rulebase.
+#[derive(Debug, Clone)]
+pub struct CompiledEngine {
+    input_names: Vec<String>,
+    input_bounds: Vec<(f64, f64)>,
+    /// `term_mfs[i]` holds input `i`'s membership functions in
+    /// declaration order.
+    term_mfs: Vec<Vec<MembershipFunction>>,
+    rules: Vec<CompiledRule>,
+    config: EngineConfig,
+    /// Sampled output universe.
+    xs: Vec<f64>,
+    /// `consequent_curves[t][j]` = degree of output term `t` at `xs[j]`.
+    consequent_curves: Vec<Vec<f64>>,
+}
+
+impl CompiledEngine {
+    pub(crate) fn from_engine(engine: &FuzzyEngine) -> Result<Self> {
+        if engine.rule_count() == 0 {
+            return Err(FuzzyError::NoRules);
+        }
+        let inputs = engine.inputs();
+        let input_names: Vec<String> = inputs.iter().map(|v| v.name().to_owned()).collect();
+        let input_bounds: Vec<(f64, f64)> = inputs.iter().map(|v| (v.lo(), v.hi())).collect();
+        let term_mfs: Vec<Vec<MembershipFunction>> = inputs
+            .iter()
+            .map(|v| v.terms().iter().map(|t| t.mf().clone()).collect())
+            .collect();
+
+        let input_index = |name: &str| -> Result<u16> {
+            inputs
+                .iter()
+                .position(|v| v.name() == name)
+                .map(|i| i as u16)
+                .ok_or_else(|| FuzzyError::UnknownVariable(name.to_owned()))
+        };
+        let term_index = |input: u16, term: &str| -> Result<u16> {
+            let v = &inputs[input as usize];
+            v.terms()
+                .iter()
+                .position(|t| t.name() == term)
+                .map(|i| i as u16)
+                .ok_or_else(|| FuzzyError::UnknownTerm {
+                    variable: v.name().to_owned(),
+                    term: term.to_owned(),
+                })
+        };
+
+        let output = engine.output();
+        let mut rules = Vec::with_capacity(engine.rule_count());
+        for rule in engine.rules() {
+            let mut ops = Vec::new();
+            compile_antecedent(rule.antecedent(), &input_index, &term_index, &mut ops)?;
+            let consequent = output
+                .terms()
+                .iter()
+                .position(|t| t.name() == rule.output_term())
+                .ok_or_else(|| FuzzyError::UnknownTerm {
+                    variable: output.name().to_owned(),
+                    term: rule.output_term().to_owned(),
+                })? as u16;
+            rules.push(CompiledRule {
+                ops,
+                weight: rule.weight(),
+                consequent,
+            });
+        }
+
+        // Precompute the output universe and each consequent term's curve
+        // over it; the aggregation loop then only reads table entries.
+        let (lo, hi) = (output.lo(), output.hi());
+        let n = engine.resolution();
+        let xs: Vec<f64> = (0..n)
+            .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+            .collect();
+        let consequent_curves: Vec<Vec<f64>> = output
+            .terms()
+            .iter()
+            .map(|t| xs.iter().map(|&x| t.mf().degree(x)).collect())
+            .collect();
+
+        Ok(CompiledEngine {
+            input_names,
+            input_bounds,
+            term_mfs,
+            rules,
+            config: *engine.config(),
+            xs,
+            consequent_curves,
+        })
+    }
+
+    /// Number of inputs, in declaration order.
+    pub fn n_inputs(&self) -> usize {
+        self.input_names.len()
+    }
+
+    /// Dense index of the named input, if declared.
+    pub fn input_index(&self, name: &str) -> Option<usize> {
+        self.input_names.iter().position(|n| n == name)
+    }
+
+    /// Fresh reusable buffers sized for this engine.
+    pub fn scratch(&self) -> Scratch {
+        Scratch {
+            aggregate: vec![0.0; self.xs.len()],
+            stack: Vec::with_capacity(8),
+            strengths: vec![0.0; self.rules.len()],
+        }
+    }
+
+    /// Firing strength (weight-scaled) of every rule for positional
+    /// inputs, written into `scratch.strengths`.
+    fn fire(&self, values: &[f64], scratch: &mut Scratch) -> Result<()> {
+        if values.len() < self.input_names.len() {
+            return Err(FuzzyError::MissingInput(
+                self.input_names[values.len()].clone(),
+            ));
+        }
+        // Resize instead of assuming: the same `Scratch` may be reused
+        // across engines with different rule counts and resolutions.
+        scratch.strengths.clear();
+        scratch.strengths.resize(self.rules.len(), 0.0);
+        for (slot, rule) in scratch.strengths.iter_mut().zip(&self.rules) {
+            let stack = &mut scratch.stack;
+            stack.clear();
+            for op in &rule.ops {
+                match *op {
+                    Op::Is { input, term } => {
+                        let (lo, hi) = self.input_bounds[input as usize];
+                        let x = values[input as usize].clamp(lo, hi);
+                        stack.push(self.term_mfs[input as usize][term as usize].degree(x));
+                    }
+                    Op::Not => {
+                        let a = stack.pop().expect("compiled antecedent underflow");
+                        stack.push(1.0 - a);
+                    }
+                    Op::And => {
+                        let b = stack.pop().expect("compiled antecedent underflow");
+                        let a = stack.pop().expect("compiled antecedent underflow");
+                        stack.push(match self.config.and_op {
+                            AndOp::Min => a.min(b),
+                            AndOp::Product => a * b,
+                        });
+                    }
+                    Op::Or => {
+                        let b = stack.pop().expect("compiled antecedent underflow");
+                        let a = stack.pop().expect("compiled antecedent underflow");
+                        stack.push(match self.config.or_op {
+                            OrOp::Max => a.max(b),
+                            OrOp::ProbabilisticSum => a + b - a * b,
+                        });
+                    }
+                }
+            }
+            debug_assert_eq!(stack.len(), 1, "antecedent leaves one value");
+            *slot = stack.pop().expect("compiled antecedent underflow") * rule.weight;
+        }
+        Ok(())
+    }
+
+    /// Runs inference on positional inputs (declaration order), reusing
+    /// `scratch`; the hot-path equivalent of [`FuzzyEngine::evaluate`].
+    pub fn evaluate_with(&self, values: &[f64], scratch: &mut Scratch) -> Result<f64> {
+        self.fire(values, scratch)?;
+        let aggregate = &mut scratch.aggregate;
+        aggregate.clear();
+        aggregate.resize(self.xs.len(), 0.0);
+        for (rule, &w) in self.rules.iter().zip(&scratch.strengths) {
+            if w <= 0.0 {
+                continue;
+            }
+            let curve = &self.consequent_curves[rule.consequent as usize];
+            match (self.config.implication, self.config.aggregation) {
+                (Implication::Min, Aggregation::Max) => {
+                    for (agg, &m) in aggregate.iter_mut().zip(curve) {
+                        *agg = agg.max(m.min(w));
+                    }
+                }
+                (Implication::Min, Aggregation::BoundedSum) => {
+                    for (agg, &m) in aggregate.iter_mut().zip(curve) {
+                        *agg = (*agg + m.min(w)).min(1.0);
+                    }
+                }
+                (Implication::Product, Aggregation::Max) => {
+                    for (agg, &m) in aggregate.iter_mut().zip(curve) {
+                        *agg = agg.max(m * w);
+                    }
+                }
+                (Implication::Product, Aggregation::BoundedSum) => {
+                    for (agg, &m) in aggregate.iter_mut().zip(curve) {
+                        *agg = (*agg + m * w).min(1.0);
+                    }
+                }
+            }
+        }
+        self.config
+            .defuzzifier
+            .defuzzify(&self.xs, aggregate)
+            .ok_or(FuzzyError::NoRuleFired)
+    }
+
+    /// Convenience wrapper allocating throwaway scratch. Prefer
+    /// [`evaluate_with`](Self::evaluate_with) in loops.
+    pub fn evaluate(&self, values: &[f64]) -> Result<f64> {
+        let mut scratch = self.scratch();
+        self.evaluate_with(values, &mut scratch)
+    }
+}
+
+fn compile_antecedent(
+    antecedent: &Antecedent,
+    input_index: &impl Fn(&str) -> Result<u16>,
+    term_index: &impl Fn(u16, &str) -> Result<u16>,
+    ops: &mut Vec<Op>,
+) -> Result<()> {
+    match antecedent {
+        Antecedent::Is { variable, term } => {
+            let input = input_index(variable)?;
+            let term = term_index(input, term)?;
+            ops.push(Op::Is { input, term });
+        }
+        Antecedent::Not(inner) => {
+            compile_antecedent(inner, input_index, term_index, ops)?;
+            ops.push(Op::Not);
+        }
+        Antecedent::And(l, r) => {
+            compile_antecedent(l, input_index, term_index, ops)?;
+            compile_antecedent(r, input_index, term_index, ops)?;
+            ops.push(Op::And);
+        }
+        Antecedent::Or(l, r) => {
+            compile_antecedent(l, input_index, term_index, ops)?;
+            compile_antecedent(r, input_index, term_index, ops)?;
+            ops.push(Op::Or);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::tests_support::tip_engine_for_compiled_tests as tip_engine;
+    use crate::variable::LinguisticVariable;
+    use std::collections::HashMap;
+
+    #[test]
+    fn compiled_matches_interpreted_bit_for_bit() {
+        let engine = tip_engine();
+        let compiled = engine.compile().unwrap();
+        let mut scratch = compiled.scratch();
+        for i in 0..=200 {
+            let x = i as f64 / 20.0;
+            let interpreted = engine.evaluate(&HashMap::from([("service", x)])).unwrap();
+            let fast = compiled.evaluate_with(&[x], &mut scratch).unwrap();
+            assert_eq!(interpreted.to_bits(), fast.to_bits(), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn compiled_matches_on_compound_antecedents() {
+        let service = LinguisticVariable::new("service", 0.0, 10.0)
+            .unwrap()
+            .with_uniform_terms(&["poor", "good", "excellent"])
+            .unwrap();
+        let food = LinguisticVariable::new("food", 0.0, 10.0)
+            .unwrap()
+            .with_uniform_terms(&["bad", "tasty"])
+            .unwrap();
+        let tip = LinguisticVariable::new("tip", 0.0, 30.0)
+            .unwrap()
+            .with_uniform_terms(&["low", "med", "high"])
+            .unwrap();
+        let mut engine = crate::engine::FuzzyEngine::new(vec![service, food], tip);
+        engine
+            .add_rules_text(
+                "IF service IS excellent AND food IS tasty THEN tip IS high\n\
+                 IF service IS poor OR food IS bad THEN tip IS low\n\
+                 IF NOT service IS poor THEN tip IS med WITH 0.5",
+            )
+            .unwrap();
+        let compiled = engine.compile().unwrap();
+        let mut scratch = compiled.scratch();
+        for i in 0..=20 {
+            for j in 0..=20 {
+                let (s, f) = (i as f64 / 2.0, j as f64 / 2.0);
+                let interpreted = engine
+                    .evaluate(&HashMap::from([("service", s), ("food", f)]))
+                    .unwrap();
+                let fast = compiled.evaluate_with(&[s, f], &mut scratch).unwrap();
+                assert_eq!(interpreted.to_bits(), fast.to_bits(), "s={s} f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_rejects_short_input_slices() {
+        let compiled = tip_engine().compile().unwrap();
+        assert!(matches!(
+            compiled.evaluate(&[]),
+            Err(FuzzyError::MissingInput(_))
+        ));
+    }
+
+    #[test]
+    fn empty_rulebase_does_not_compile() {
+        let service = LinguisticVariable::new("service", 0.0, 10.0)
+            .unwrap()
+            .with_uniform_terms(&["poor"])
+            .unwrap();
+        let tip = LinguisticVariable::new("tip", 0.0, 30.0)
+            .unwrap()
+            .with_uniform_terms(&["low"])
+            .unwrap();
+        let engine = crate::engine::FuzzyEngine::new(vec![service], tip);
+        assert!(matches!(engine.compile(), Err(FuzzyError::NoRules)));
+    }
+
+    #[test]
+    fn input_index_maps_declaration_order() {
+        let compiled = tip_engine().compile().unwrap();
+        assert_eq!(compiled.n_inputs(), 1);
+        assert_eq!(compiled.input_index("service"), Some(0));
+        assert_eq!(compiled.input_index("ambience"), None);
+    }
+}

@@ -45,7 +45,9 @@ impl Defuzzifier {
                 }
                 xs.last().copied()
             }
-            Defuzzifier::MeanOfMaxima | Defuzzifier::SmallestOfMaxima | Defuzzifier::LargestOfMaxima => {
+            Defuzzifier::MeanOfMaxima
+            | Defuzzifier::SmallestOfMaxima
+            | Defuzzifier::LargestOfMaxima => {
                 let max = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
                 let at_max: Vec<f64> = xs
                     .iter()
@@ -80,12 +82,7 @@ mod tests {
 
     #[test]
     fn centroid_of_symmetric_triangle() {
-        let (xs, ys) = sample(
-            |x| (1.0 - (x - 5.0).abs() / 5.0).max(0.0),
-            0.0,
-            10.0,
-            1001,
-        );
+        let (xs, ys) = sample(|x| (1.0 - (x - 5.0).abs() / 5.0).max(0.0), 0.0, 10.0, 1001);
         let c = Defuzzifier::Centroid.defuzzify(&xs, &ys).unwrap();
         assert!((c - 5.0).abs() < 1e-9);
     }

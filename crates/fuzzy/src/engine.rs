@@ -147,6 +147,29 @@ impl FuzzyEngine {
         self.rules.len()
     }
 
+    /// The rules, in insertion order.
+    pub(crate) fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// The operator configuration.
+    pub(crate) fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The output-universe sampling resolution.
+    pub(crate) fn resolution(&self) -> usize {
+        self.resolution
+    }
+
+    /// Compiles the rulebase to the dense index-based fast path. The
+    /// result is float-for-float identical to [`evaluate`](Self::evaluate)
+    /// but performs no string lookups and (with a reused
+    /// [`Scratch`](crate::compiled::Scratch)) no per-call allocations.
+    pub fn compile(&self) -> Result<crate::compiled::CompiledEngine> {
+        crate::compiled::CompiledEngine::from_engine(self)
+    }
+
     fn input(&self, name: &str) -> Result<&LinguisticVariable> {
         self.inputs
             .iter()
@@ -241,7 +264,12 @@ pub struct SugenoEngine {
 impl SugenoEngine {
     /// Creates an empty Sugeno engine over the given inputs.
     pub fn new(inputs: Vec<LinguisticVariable>) -> Self {
-        SugenoEngine { inputs, rules: Vec::new(), and_op: AndOp::Min, or_op: OrOp::Max }
+        SugenoEngine {
+            inputs,
+            rules: Vec::new(),
+            and_op: AndOp::Min,
+            or_op: OrOp::Max,
+        }
     }
 
     /// Adds a rule with a constant consequent.
@@ -312,23 +340,34 @@ impl SugenoEngine {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests_support {
     use super::*;
     use crate::membership::MembershipFunction;
 
-    fn tip_engine() -> FuzzyEngine {
-        // The classic tipping problem: service quality -> tip percent.
+    /// The classic tipping problem: service quality -> tip percent.
+    /// Shared by the engine tests and the compiled-engine equivalence
+    /// tests.
+    pub(crate) fn tip_engine_for_compiled_tests() -> FuzzyEngine {
         let service = LinguisticVariable::new("service", 0.0, 10.0)
             .unwrap()
             .with_uniform_terms(&["poor", "good", "excellent"])
             .unwrap();
         let tip = LinguisticVariable::new("tip", 0.0, 30.0)
             .unwrap()
-            .with_term("low", MembershipFunction::triangular(0.0, 5.0, 10.0).unwrap())
+            .with_term(
+                "low",
+                MembershipFunction::triangular(0.0, 5.0, 10.0).unwrap(),
+            )
             .unwrap()
-            .with_term("medium", MembershipFunction::triangular(10.0, 15.0, 20.0).unwrap())
+            .with_term(
+                "medium",
+                MembershipFunction::triangular(10.0, 15.0, 20.0).unwrap(),
+            )
             .unwrap()
-            .with_term("high", MembershipFunction::triangular(20.0, 25.0, 30.0).unwrap())
+            .with_term(
+                "high",
+                MembershipFunction::triangular(20.0, 25.0, 30.0).unwrap(),
+            )
             .unwrap();
         let mut engine = FuzzyEngine::new(vec![service], tip);
         engine
@@ -340,6 +379,13 @@ mod tests {
             .unwrap();
         engine
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use super::tests_support::tip_engine_for_compiled_tests as tip_engine;
 
     fn inputs(pairs: &[(&'static str, f64)]) -> HashMap<&'static str, f64> {
         pairs.iter().copied().collect()
@@ -351,7 +397,10 @@ mod tests {
         let poor = e.evaluate(&inputs(&[("service", 0.0)])).unwrap();
         let excellent = e.evaluate(&inputs(&[("service", 10.0)])).unwrap();
         assert!((poor - 5.0).abs() < 0.5, "poor service tip {poor}");
-        assert!((excellent - 25.0).abs() < 0.5, "excellent service tip {excellent}");
+        assert!(
+            (excellent - 25.0).abs() < 0.5,
+            "excellent service tip {excellent}"
+        );
     }
 
     #[test]
@@ -361,7 +410,10 @@ mod tests {
         for i in 0..=20 {
             let x = i as f64 / 2.0;
             let y = e.evaluate(&inputs(&[("service", x)])).unwrap();
-            assert!(y >= prev - 1e-9, "tip not monotone at service={x}: {y} < {prev}");
+            assert!(
+                y >= prev - 1e-9,
+                "tip not monotone at service={x}: {y} < {prev}"
+            );
             prev = y;
         }
     }
@@ -430,7 +482,9 @@ mod tests {
         weighted
             .add_rules_text("IF service IS excellent THEN tip IS low WITH 1.0")
             .unwrap();
-        let base = tip_engine().evaluate(&inputs(&[("service", 10.0)])).unwrap();
+        let base = tip_engine()
+            .evaluate(&inputs(&[("service", 10.0)]))
+            .unwrap();
         let pulled = weighted.evaluate(&inputs(&[("service", 10.0)])).unwrap();
         assert!(pulled < base, "contradicting rule must lower output");
     }
@@ -497,8 +551,10 @@ mod tests {
             .with_uniform_terms(&["poor", "excellent"])
             .unwrap();
         let mut e = SugenoEngine::new(vec![service]);
-        e.add_rule(Antecedent::is("service", "poor"), 5.0, 1.0).unwrap();
-        e.add_rule(Antecedent::is("service", "excellent"), 25.0, 1.0).unwrap();
+        e.add_rule(Antecedent::is("service", "poor"), 5.0, 1.0)
+            .unwrap();
+        e.add_rule(Antecedent::is("service", "excellent"), 25.0, 1.0)
+            .unwrap();
         let mid = e.evaluate(&inputs(&[("service", 5.0)])).unwrap();
         assert!((mid - 15.0).abs() < 1e-9, "symmetric blend, got {mid}");
         assert_eq!(e.evaluate(&inputs(&[("service", 0.0)])).unwrap(), 5.0);
@@ -515,8 +571,12 @@ mod tests {
             .with_uniform_terms(&["poor"])
             .unwrap();
         let mut e = SugenoEngine::new(vec![service]);
-        assert!(e.add_rule(Antecedent::is("service", "poor"), 1.0, 2.0).is_err());
-        assert!(e.add_rule(Antecedent::is("nope", "poor"), 1.0, 1.0).is_err());
+        assert!(e
+            .add_rule(Antecedent::is("service", "poor"), 1.0, 2.0)
+            .is_err());
+        assert!(e
+            .add_rule(Antecedent::is("nope", "poor"), 1.0, 1.0)
+            .is_err());
         assert!(matches!(
             e.evaluate(&inputs(&[("service", 1.0)])),
             Err(FuzzyError::NoRules)

@@ -89,8 +89,11 @@ mod tests {
         assert!(FuzzyError::InvalidUniverse { lo: 5.0, hi: 1.0 }
             .to_string()
             .contains("[5, 1]"));
-        assert!(FuzzyError::Parse { rule: "IF".into(), message: "truncated".into() }
-            .to_string()
-            .contains("truncated"));
+        assert!(FuzzyError::Parse {
+            rule: "IF".into(),
+            message: "truncated".into()
+        }
+        .to_string()
+        .contains("truncated"));
     }
 }

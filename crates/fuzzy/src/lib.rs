@@ -40,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod defuzz;
 pub mod engine;
 pub mod error;
@@ -49,10 +50,9 @@ pub mod rule;
 pub mod set_ops;
 pub mod variable;
 
+pub use compiled::{CompiledEngine, Scratch};
 pub use defuzz::Defuzzifier;
-pub use engine::{
-    Aggregation, AndOp, EngineConfig, FuzzyEngine, Implication, OrOp, SugenoEngine,
-};
+pub use engine::{Aggregation, AndOp, EngineConfig, FuzzyEngine, Implication, OrOp, SugenoEngine};
 pub use error::{FuzzyError, Result};
 pub use membership::MembershipFunction;
 pub use parser::{parse_rule, parse_rules};

@@ -104,7 +104,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: impl Into<String>) -> FuzzyError {
-        FuzzyError::Parse { rule: self.text.to_owned(), message: message.into() }
+        FuzzyError::Parse {
+            rule: self.text.to_owned(),
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -181,7 +184,11 @@ impl<'a> Parser<'a> {
 /// rule so the engine can check it matches its configured output.
 pub fn parse_rule(text: &str) -> Result<(String, Rule)> {
     let tokens = tokenize(text)?;
-    let mut p = Parser { tokens, pos: 0, text };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        text,
+    };
     p.expect(&Token::If, "`IF`")?;
     let antecedent = p.or_expr()?;
     p.expect(&Token::Then, "`THEN`")?;
@@ -227,14 +234,16 @@ mod tests {
         assert_eq!(var, "income");
         assert_eq!(rule.output_term(), "high");
         assert_eq!(rule.weight(), 1.0);
-        assert_eq!(rule.antecedent().references(), vec![("valuation", "level3")]);
+        assert_eq!(
+            rule.antecedent().references(),
+            vec![("valuation", "level3")]
+        );
     }
 
     #[test]
     fn and_or_precedence() {
         // AND binds tighter than OR.
-        let (_, rule) =
-            parse_rule("IF a IS x OR b IS y AND c IS z THEN o IS t").unwrap();
+        let (_, rule) = parse_rule("IF a IS x OR b IS y AND c IS z THEN o IS t").unwrap();
         match rule.antecedent() {
             Antecedent::Or(l, r) => {
                 assert!(matches!(l.as_ref(), Antecedent::Is { .. }));
@@ -246,8 +255,7 @@ mod tests {
 
     #[test]
     fn parens_override_precedence() {
-        let (_, rule) =
-            parse_rule("IF (a IS x OR b IS y) AND c IS z THEN o IS t").unwrap();
+        let (_, rule) = parse_rule("IF (a IS x OR b IS y) AND c IS z THEN o IS t").unwrap();
         assert!(matches!(rule.antecedent(), Antecedent::And(_, _)));
     }
 
@@ -307,6 +315,9 @@ mod tests {
     #[test]
     fn hyphenated_and_numeric_identifiers() {
         let (_, rule) = parse_rule("IF invst-vol IS level_2 THEN o IS t").unwrap();
-        assert_eq!(rule.antecedent().references(), vec![("invst-vol", "level_2")]);
+        assert_eq!(
+            rule.antecedent().references(),
+            vec![("invst-vol", "level_2")]
+        );
     }
 }

@@ -24,7 +24,10 @@ pub enum Antecedent {
 impl Antecedent {
     /// Leaf constructor.
     pub fn is(variable: impl Into<String>, term: impl Into<String>) -> Self {
-        Antecedent::Is { variable: variable.into(), term: term.into() }
+        Antecedent::Is {
+            variable: variable.into(),
+            term: term.into(),
+        }
     }
 
     /// Conjunction helper.
@@ -74,7 +77,11 @@ pub struct Rule {
 impl Rule {
     /// Creates a rule with weight 1.
     pub fn new(antecedent: Antecedent, output_term: impl Into<String>) -> Self {
-        Rule { antecedent, output_term: output_term.into(), weight: 1.0 }
+        Rule {
+            antecedent,
+            output_term: output_term.into(),
+            weight: 1.0,
+        }
     }
 
     /// Sets the rule weight in `[0, 1]`.
@@ -124,7 +131,8 @@ mod tests {
 
     #[test]
     fn references_collects_all_leaves() {
-        let a = Antecedent::is("x", "low").and(Antecedent::is("y", "hi").or(Antecedent::is("x", "mid")));
+        let a = Antecedent::is("x", "low")
+            .and(Antecedent::is("y", "hi").or(Antecedent::is("x", "mid")));
         let refs = a.references();
         assert_eq!(refs, vec![("x", "low"), ("y", "hi"), ("x", "mid")]);
     }

@@ -13,7 +13,10 @@ pub struct Term {
 impl Term {
     /// Creates a term.
     pub fn new(name: impl Into<String>, mf: MembershipFunction) -> Self {
-        Term { name: name.into(), mf }
+        Term {
+            name: name.into(),
+            mf,
+        }
     }
 
     /// Term name.
@@ -47,7 +50,12 @@ impl LinguisticVariable {
         if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
             return Err(FuzzyError::InvalidUniverse { lo, hi });
         }
-        Ok(LinguisticVariable { name: name.into(), lo, hi, terms: Vec::new() })
+        Ok(LinguisticVariable {
+            name: name.into(),
+            lo,
+            hi,
+            terms: Vec::new(),
+        })
     }
 
     /// Adds a term, rejecting duplicates (builder style).
@@ -113,12 +121,13 @@ impl LinguisticVariable {
 
     /// Looks up a term by name.
     pub fn term(&self, name: &str) -> Result<&Term> {
-        self.terms.iter().find(|t| t.name == name).ok_or_else(|| {
-            FuzzyError::UnknownTerm {
+        self.terms
+            .iter()
+            .find(|t| t.name == name)
+            .ok_or_else(|| FuzzyError::UnknownTerm {
                 variable: self.name.clone(),
                 term: name.to_owned(),
-            }
-        })
+            })
     }
 
     /// Membership degree of `x` (clamped into the universe) in `term`.
@@ -146,11 +155,20 @@ mod tests {
         // level3 [8-10] over a [0, 10] universe.
         LinguisticVariable::new("valuation", 0.0, 10.0)
             .unwrap()
-            .with_term("level1", MembershipFunction::left_shoulder(2.0, 4.5).unwrap())
+            .with_term(
+                "level1",
+                MembershipFunction::left_shoulder(2.0, 4.5).unwrap(),
+            )
             .unwrap()
-            .with_term("level2", MembershipFunction::triangular(3.0, 5.5, 8.0).unwrap())
+            .with_term(
+                "level2",
+                MembershipFunction::triangular(3.0, 5.5, 8.0).unwrap(),
+            )
             .unwrap()
-            .with_term("level3", MembershipFunction::right_shoulder(6.5, 9.0).unwrap())
+            .with_term(
+                "level3",
+                MembershipFunction::right_shoulder(6.5, 9.0).unwrap(),
+            )
             .unwrap()
     }
 

@@ -5,9 +5,8 @@
 //! last token, …) and only compares within buckets. Sorted-neighbourhood
 //! instead slides a fixed window over records sorted by key.
 
-use crate::normalize::NameNormalizer;
-use crate::phonetic::soundex;
-use std::collections::HashMap;
+use crate::normalize::{NameNormalizer, PreparedName};
+use std::collections::{BTreeMap, HashMap};
 
 /// Strategy for generating candidate pairs between two name lists.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,49 +17,153 @@ pub enum Blocking {
     FirstLetter,
     /// Block on the Soundex code of the last normalized token (surname).
     SurnameSoundex,
-    /// Sorted-neighbourhood over the canonical name with the given window.
+    /// Sorted-neighbourhood over the canonical name with the given window
+    /// (measured in *distinct* canonical keys, so exact-duplicate names
+    /// always pair regardless of how many records share the key).
     SortedNeighbourhood(usize),
 }
 
-/// Generates candidate `(left_index, right_index)` pairs for two lists of
-/// raw names under the chosen strategy.
+/// Lazily generated candidate `(left_index, right_index)` pairs.
+///
+/// `Blocking::Full` streams the cartesian product by index arithmetic —
+/// nothing is materialized, so an `n × m` corpus no longer risks a
+/// `with_capacity` overflow or an O(n·m) allocation before the first
+/// comparison runs. The blocked strategies materialize their (already
+/// sub-quadratic) pair lists.
+#[derive(Debug)]
+pub enum CandidatePairs {
+    /// Lazy cartesian product.
+    Full {
+        /// Left list length.
+        n_left: usize,
+        /// Right list length.
+        n_right: usize,
+        /// Cursor: next left index.
+        i: usize,
+        /// Cursor: next right index.
+        j: usize,
+    },
+    /// Pre-computed pair list from a blocked strategy.
+    Materialized(std::vec::IntoIter<(usize, usize)>),
+}
+
+impl Iterator for CandidatePairs {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        match self {
+            CandidatePairs::Full {
+                n_left,
+                n_right,
+                i,
+                j,
+            } => {
+                if *i >= *n_left || *n_right == 0 {
+                    return None;
+                }
+                let pair = (*i, *j);
+                *j += 1;
+                if *j == *n_right {
+                    *j = 0;
+                    *i += 1;
+                }
+                Some(pair)
+            }
+            CandidatePairs::Materialized(iter) => iter.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            CandidatePairs::Full {
+                n_left,
+                n_right,
+                i,
+                j,
+            } => {
+                let remaining = n_left
+                    .saturating_sub(*i)
+                    .checked_mul(*n_right)
+                    .map(|t| t.saturating_sub(*j));
+                // A `None` upper bound (usize overflow) keeps `collect`
+                // from attempting an absurd up-front reservation.
+                (remaining.unwrap_or(usize::MAX).min(1 << 16), remaining)
+            }
+            CandidatePairs::Materialized(iter) => iter.size_hint(),
+        }
+    }
+}
+
+/// Generates candidate pairs for two lists of raw names under the chosen
+/// strategy, materialized into a `Vec`.
+///
+/// Prefer [`candidate_pairs_iter`] (or prepare the names once with
+/// [`NameNormalizer::prepare`] and use [`candidate_pairs_prepared`]) in
+/// hot paths: `Blocking::Full` then streams pairs instead of allocating
+/// the full cartesian product.
 pub fn candidate_pairs(
     strategy: Blocking,
     normalizer: &NameNormalizer,
     left: &[String],
     right: &[String],
 ) -> Vec<(usize, usize)> {
+    candidate_pairs_iter(strategy, normalizer, left, right).collect()
+}
+
+/// Lazy variant of [`candidate_pairs`].
+pub fn candidate_pairs_iter(
+    strategy: Blocking,
+    normalizer: &NameNormalizer,
+    left: &[String],
+    right: &[String],
+) -> CandidatePairs {
+    if strategy == Blocking::Full {
+        // No keys needed: skip normalization entirely.
+        return CandidatePairs::Full {
+            n_left: left.len(),
+            n_right: right.len(),
+            i: 0,
+            j: 0,
+        };
+    }
+    candidate_pairs_prepared(
+        strategy,
+        &normalizer.prepare_all(left),
+        &normalizer.prepare_all(right),
+    )
+}
+
+/// Candidate pairs over names already prepared with
+/// [`NameNormalizer::prepare`] — every blocking key is read from the
+/// per-record cache instead of re-derived per pair.
+pub fn candidate_pairs_prepared(
+    strategy: Blocking,
+    left: &[PreparedName],
+    right: &[PreparedName],
+) -> CandidatePairs {
     match strategy {
-        Blocking::Full => {
-            let mut out = Vec::with_capacity(left.len() * right.len());
-            for i in 0..left.len() {
-                for j in 0..right.len() {
-                    out.push((i, j));
-                }
-            }
-            out
-        }
-        Blocking::FirstLetter => block_by(left, right, |raw| {
-            normalizer
-                .tokens(raw)
+        Blocking::Full => CandidatePairs::Full {
+            n_left: left.len(),
+            n_right: right.len(),
+            i: 0,
+            j: 0,
+        },
+        Blocking::FirstLetter => block_by(left, right, |p| {
+            p.tokens
                 .first()
                 .and_then(|t| t.chars().next())
                 .map(|c| c.to_string())
         }),
-        Blocking::SurnameSoundex => block_by(left, right, |raw| {
-            normalizer.tokens(raw).last().and_then(|t| soundex(t))
-        }),
-        Blocking::SortedNeighbourhood(window) => {
-            sorted_neighbourhood(normalizer, left, right, window.max(1))
-        }
+        Blocking::SurnameSoundex => block_by(left, right, |p| p.surname_soundex.clone()),
+        Blocking::SortedNeighbourhood(window) => sorted_neighbourhood(left, right, window.max(1)),
     }
 }
 
 fn block_by(
-    left: &[String],
-    right: &[String],
-    key: impl Fn(&str) -> Option<String>,
-) -> Vec<(usize, usize)> {
+    left: &[PreparedName],
+    right: &[PreparedName],
+    key: impl Fn(&PreparedName) -> Option<String>,
+) -> CandidatePairs {
     let mut right_blocks: HashMap<String, Vec<usize>> = HashMap::new();
     for (j, name) in right.iter().enumerate() {
         if let Some(k) = key(name) {
@@ -75,54 +178,57 @@ fn block_by(
             }
         }
     }
-    out
+    CandidatePairs::Materialized(out.into_iter())
 }
 
 fn sorted_neighbourhood(
-    normalizer: &NameNormalizer,
-    left: &[String],
-    right: &[String],
+    left: &[PreparedName],
+    right: &[PreparedName],
     window: usize,
-) -> Vec<(usize, usize)> {
-    // Merge both sides into one key-sorted sequence, then pair left/right
-    // records that fall within `window` positions of each other.
-    #[derive(Clone)]
-    struct Entry {
-        key: String,
-        side: bool, // false = left, true = right
-        index: usize,
+) -> CandidatePairs {
+    // Bucket both sides by canonical key, then pair left/right records
+    // whose *distinct keys* fall within `window` positions of each other
+    // in sort order. Records sharing a key are always paired (distance
+    // zero), so exact duplicates can never fall outside the window.
+    let mut by_key: BTreeMap<&str, (Vec<usize>, Vec<usize>)> = BTreeMap::new();
+    for (i, p) in left.iter().enumerate() {
+        by_key.entry(p.canonical.as_str()).or_default().0.push(i);
     }
-    let mut entries: Vec<Entry> = Vec::with_capacity(left.len() + right.len());
-    for (i, name) in left.iter().enumerate() {
-        entries.push(Entry { key: normalizer.canonical(name), side: false, index: i });
+    for (j, p) in right.iter().enumerate() {
+        by_key.entry(p.canonical.as_str()).or_default().1.push(j);
     }
-    for (j, name) in right.iter().enumerate() {
-        entries.push(Entry { key: normalizer.canonical(name), side: true, index: j });
-    }
-    entries.sort_by(|a, b| a.key.cmp(&b.key));
+    let buckets: Vec<&(Vec<usize>, Vec<usize>)> = by_key.values().collect();
     let mut out = Vec::new();
-    for (pos, e) in entries.iter().enumerate() {
-        let hi = (pos + window + 1).min(entries.len());
-        for other in &entries[pos + 1..hi] {
-            match (e.side, other.side) {
-                (false, true) => out.push((e.index, other.index)),
-                (true, false) => out.push((other.index, e.index)),
-                _ => {}
+    for (pos, bucket) in buckets.iter().enumerate() {
+        let hi = (pos + window + 1).min(buckets.len());
+        for (offset, other) in buckets[pos..hi].iter().enumerate() {
+            for &i in &bucket.0 {
+                for &j in &other.1 {
+                    out.push((i, j));
+                }
+            }
+            if offset > 0 {
+                for &i in &other.0 {
+                    for &j in &bucket.1 {
+                        out.push((i, j));
+                    }
+                }
             }
         }
     }
     out.sort_unstable();
     out.dedup();
-    out
+    CandidatePairs::Materialized(out.into_iter())
 }
 
 /// Reduction ratio of a blocking run: `1 - candidates / (|L| * |R|)`.
+/// Computed in floating point so huge corpora cannot overflow.
 pub fn reduction_ratio(candidates: usize, left: usize, right: usize) -> f64 {
-    let full = left * right;
-    if full == 0 {
+    let full = left as f64 * right as f64;
+    if full == 0.0 {
         return 0.0;
     }
-    1.0 - candidates as f64 / full as f64
+    1.0 - candidates as f64 / full
 }
 
 #[cfg(test)]
@@ -170,8 +276,14 @@ mod tests {
         let left = names(&["aa", "zz"]);
         let right = names(&["ab", "zy"]);
         let pairs = candidate_pairs(Blocking::SortedNeighbourhood(1), &n, &left, &right);
-        assert!(pairs.contains(&(0, 0)), "close keys must pair, got {pairs:?}");
-        assert!(pairs.contains(&(1, 1)), "close keys must pair, got {pairs:?}");
+        assert!(
+            pairs.contains(&(0, 0)),
+            "close keys must pair, got {pairs:?}"
+        );
+        assert!(
+            pairs.contains(&(1, 1)),
+            "close keys must pair, got {pairs:?}"
+        );
         // Keys at opposite ends of the sort order stay unpaired.
         assert!(!pairs.contains(&(0, 1)));
         assert!(!pairs.contains(&(1, 0)));
@@ -209,6 +321,68 @@ mod tests {
         let right = names(&["Robert Smith", ""]);
         let pairs = candidate_pairs(Blocking::SurnameSoundex, &n, &left, &right);
         assert_eq!(pairs, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn full_blocking_streams_lazily() {
+        let n = NameNormalizer::new();
+        let left = names(&["a", "b", "c"]);
+        let right = names(&["x", "y"]);
+        let mut iter = candidate_pairs_iter(Blocking::Full, &n, &left, &right);
+        assert_eq!(iter.size_hint().1, Some(6));
+        assert_eq!(iter.next(), Some((0, 0)));
+        assert_eq!(iter.next(), Some((0, 1)));
+        assert_eq!(iter.next(), Some((1, 0)));
+        assert_eq!(iter.by_ref().count(), 3);
+        assert_eq!(iter.next(), None);
+        // Empty sides terminate immediately.
+        assert_eq!(
+            candidate_pairs_iter(Blocking::Full, &n, &[], &right).count(),
+            0
+        );
+        assert_eq!(
+            candidate_pairs_iter(Blocking::Full, &n, &left, &[]).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn no_strategy_misses_an_exact_duplicate_pair() {
+        // Duplicate names on both sides, including a repeated run that a
+        // record-level sorted-neighbourhood window would split.
+        let n = NameNormalizer::new();
+        let left = names(&[
+            "Robert Smith",
+            "Robert Smith",
+            "Alice Walker",
+            "Robert Smith",
+            "Wei Zhang",
+        ]);
+        let right = names(&[
+            "robert smith",
+            "Alice Walker",
+            "ROBERT SMITH",
+            "Priya Patel",
+            "robert smith",
+        ]);
+        for strategy in [
+            Blocking::Full,
+            Blocking::FirstLetter,
+            Blocking::SurnameSoundex,
+            Blocking::SortedNeighbourhood(1),
+        ] {
+            let pairs = candidate_pairs(strategy, &n, &left, &right);
+            for (i, l) in left.iter().enumerate() {
+                for (j, r) in right.iter().enumerate() {
+                    if l.to_lowercase() == r.to_lowercase() {
+                        assert!(
+                            pairs.contains(&(i, j)),
+                            "{strategy:?} missed exact duplicate ({i}, {j})"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

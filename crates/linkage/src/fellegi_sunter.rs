@@ -45,7 +45,10 @@ impl FieldParams {
     /// Creates parameters, clamping into the open interval `(0, 1)` so the
     /// log-weights stay finite.
     pub fn new(m: f64, u: f64) -> Self {
-        FieldParams { m: clamp_prob(m), u: clamp_prob(u) }
+        FieldParams {
+            m: clamp_prob(m),
+            u: clamp_prob(u),
+        }
     }
 
     /// Weight contributed on agreement: `log2(m/u)`.
@@ -76,8 +79,16 @@ impl FellegiSunter {
     /// Creates a model. `upper >= lower`; weights above `upper` classify as
     /// [`Decision::Match`], below `lower` as [`Decision::NonMatch`].
     pub fn new(fields: Vec<FieldParams>, lower: f64, upper: f64) -> Self {
-        let (lower, upper) = if lower <= upper { (lower, upper) } else { (upper, lower) };
-        FellegiSunter { fields, lower, upper }
+        let (lower, upper) = if lower <= upper {
+            (lower, upper)
+        } else {
+            (upper, lower)
+        };
+        FellegiSunter {
+            fields,
+            lower,
+            upper,
+        }
     }
 
     /// Number of comparison fields.
@@ -98,7 +109,13 @@ impl FellegiSunter {
         self.fields
             .iter()
             .zip(agreement)
-            .map(|(f, &a)| if a { f.agreement_weight() } else { f.disagreement_weight() })
+            .map(|(f, &a)| {
+                if a {
+                    f.agreement_weight()
+                } else {
+                    f.disagreement_weight()
+                }
+            })
             .sum()
     }
 
@@ -270,7 +287,9 @@ mod tests {
         // Deterministic pseudo-random pattern (LCG) to avoid rand dep here.
         let mut state = 42u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
         for i in 0..1000 {

@@ -40,15 +40,18 @@ pub mod normalize;
 pub mod phonetic;
 pub mod tfidf;
 
-pub use blocking::{candidate_pairs, reduction_ratio, Blocking};
+pub use blocking::{
+    candidate_pairs, candidate_pairs_iter, candidate_pairs_prepared, reduction_ratio, Blocking,
+    CandidatePairs,
+};
 pub use edit::{damerau_osa, levenshtein, levenshtein_similarity};
 pub use fellegi_sunter::{Decision, FellegiSunter, FieldParams};
 pub use jaro::{jaro, jaro_winkler, jaro_winkler_with};
 pub use linker::{
-    compare_names, default_name_model, evaluate, Link, LinkageQuality, Linker, LinkerConfig,
-    NameFeatures,
+    compare_names, compare_prepared, default_name_model, evaluate, Link, LinkageQuality, Linker,
+    LinkerConfig, NameFeatures,
 };
 pub use ngram::{cosine, dice, jaccard, ngrams};
-pub use normalize::{NameNormalizer, NICKNAMES};
+pub use normalize::{NameNormalizer, PreparedName, NICKNAMES};
 pub use phonetic::{phonetic_skeleton, soundex};
 pub use tfidf::TfIdf;

@@ -6,13 +6,12 @@
 //! information" step: given release identifiers and web-record names, it
 //! returns the best match per release record.
 
-use crate::blocking::{candidate_pairs, Blocking};
+use crate::blocking::{candidate_pairs_prepared, Blocking};
 use crate::edit::levenshtein_similarity;
 use crate::fellegi_sunter::{Decision, FellegiSunter, FieldParams};
 use crate::jaro::jaro_winkler;
 use crate::ngram::dice;
-use crate::normalize::NameNormalizer;
-use crate::phonetic::soundex;
+use crate::normalize::{NameNormalizer, PreparedName};
 
 /// Similarity feature vector for a pair of names.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,27 +29,27 @@ pub struct NameFeatures {
 }
 
 /// Computes the feature vector for two raw names.
+///
+/// Convenience wrapper that normalizes both names on the spot; batch
+/// callers should [`NameNormalizer::prepare`] each record once and use
+/// [`compare_prepared`] so tokenization/Soundex run per record, not per
+/// pair.
 pub fn compare_names(normalizer: &NameNormalizer, a: &str, b: &str) -> NameFeatures {
-    let ta = normalizer.tokens(a);
-    let tb = normalizer.tokens(b);
-    let ja = ta.join(" ");
-    let jb = tb.join(" ");
-    let mut ca = ta.clone();
-    let mut cb = tb.clone();
-    ca.sort();
-    cb.sort();
-    let ca = ca.join(" ");
-    let cb = cb.join(" ");
-    let surname_phonetic = match (ta.last(), tb.last()) {
-        (Some(x), Some(y)) => soundex(x).is_some() && soundex(x) == soundex(y),
+    compare_prepared(&normalizer.prepare(a), &normalizer.prepare(b))
+}
+
+/// Computes the feature vector from per-record cached keys.
+pub fn compare_prepared(a: &PreparedName, b: &PreparedName) -> NameFeatures {
+    let surname_phonetic = match (&a.surname_soundex, &b.surname_soundex) {
+        (Some(x), Some(y)) => x == y,
         _ => false,
     };
     NameFeatures {
-        jaro_winkler: jaro_winkler(&ja, &jb),
-        dice_bigram: dice(&ca, &cb, 2),
-        levenshtein: levenshtein_similarity(&ca, &cb),
+        jaro_winkler: jaro_winkler(&a.joined, &b.joined),
+        dice_bigram: dice(&a.canonical, &b.canonical, 2),
+        levenshtein: levenshtein_similarity(&a.canonical, &b.canonical),
         surname_phonetic,
-        tokens_compatible: NameNormalizer::tokens_compatible(&ta, &tb),
+        tokens_compatible: NameNormalizer::tokens_compatible(&a.tokens, &b.tokens),
     }
 }
 
@@ -157,11 +156,17 @@ impl Linker {
     }
 
     /// Scores all candidate pairs (post-blocking) between two name lists.
+    ///
+    /// Each name is normalized/tokenized/Soundexed exactly once; the pair
+    /// loop — streamed lazily, so `Blocking::Full` never materializes the
+    /// cartesian index set — then reads cached keys only.
     pub fn score_pairs(&self, left: &[String], right: &[String]) -> Vec<Link> {
-        let pairs = candidate_pairs(self.config.blocking, &self.normalizer, left, right);
-        let mut out = Vec::with_capacity(pairs.len());
+        let prep_left = self.normalizer.prepare_all(left);
+        let prep_right = self.normalizer.prepare_all(right);
+        let pairs = candidate_pairs_prepared(self.config.blocking, &prep_left, &prep_right);
+        let mut out = Vec::new();
         for (i, j) in pairs {
-            let features = compare_names(&self.normalizer, &left[i], &right[j]);
+            let features = compare_prepared(&prep_left[i], &prep_right[j]);
             let agreement = features.agreement_vector();
             let weight = self.config.model.weight(&agreement);
             let decision = self.config.model.classify(&agreement);
@@ -171,7 +176,13 @@ impl Linker {
             if decision == Decision::Possible && !self.config.keep_possible {
                 continue;
             }
-            out.push(Link { left: i, right: j, weight, score: features.blended(), decision });
+            out.push(Link {
+                left: i,
+                right: j,
+                weight,
+                score: features.blended(),
+                decision,
+            });
         }
         out
     }
@@ -185,7 +196,11 @@ impl Linker {
             b.weight
                 .partial_cmp(&a.weight)
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then(b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal))
+                .then(
+                    b.score
+                        .partial_cmp(&a.score)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
                 .then(a.left.cmp(&b.left))
                 .then(a.right.cmp(&b.right))
         });
@@ -224,7 +239,12 @@ pub fn evaluate(links: &[Link], truth: &[(usize, usize)]) -> LinkageQuality {
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    LinkageQuality { precision, recall, f1, true_positives: tp }
+    LinkageQuality {
+        precision,
+        recall,
+        f1,
+        true_positives: tp,
+    }
 }
 
 /// Linkage quality summary.

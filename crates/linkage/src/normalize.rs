@@ -68,8 +68,23 @@ pub const NICKNAMES: &[(&str, &str)] = &[
 
 /// Honorifics and suffixes dropped during normalization.
 const TITLES: &[&str] = &[
-    "mr", "mrs", "ms", "miss", "dr", "prof", "professor", "sir", "madam", "jr", "sr", "ii",
-    "iii", "iv", "phd", "md", "esq",
+    "mr",
+    "mrs",
+    "ms",
+    "miss",
+    "dr",
+    "prof",
+    "professor",
+    "sir",
+    "madam",
+    "jr",
+    "sr",
+    "ii",
+    "iii",
+    "iv",
+    "phd",
+    "md",
+    "esq",
 ];
 
 /// A configurable name normalizer.
@@ -77,6 +92,22 @@ const TITLES: &[&str] = &[
 pub struct NameNormalizer {
     nicknames: HashMap<String, String>,
     expand_nicknames: bool,
+}
+
+/// Every derived linkage key of one name, computed once per record by
+/// [`NameNormalizer::prepare`] and reused across all of that record's
+/// candidate pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedName {
+    /// Normalized tokens in original order.
+    pub tokens: Vec<String>,
+    /// Tokens joined in original order (feed to order-sensitive
+    /// comparators like Jaro-Winkler).
+    pub joined: String,
+    /// Tokens sorted and joined (order-insensitive canonical form).
+    pub canonical: String,
+    /// Soundex code of the last token, when computable.
+    pub surname_soundex: Option<String>,
 }
 
 impl Default for NameNormalizer {
@@ -105,7 +136,8 @@ impl NameNormalizer {
 
     /// Adds a custom nickname expansion.
     pub fn with_nickname(mut self, nick: &str, full: &str) -> Self {
-        self.nicknames.insert(nick.to_lowercase(), full.to_lowercase());
+        self.nicknames
+            .insert(nick.to_lowercase(), full.to_lowercase());
         self
     }
 
@@ -149,6 +181,30 @@ impl NameNormalizer {
         self.tokens(raw).join(" ")
     }
 
+    /// Precomputes every derived key for one raw name: the comparison and
+    /// blocking hot paths then read cached fields instead of re-running
+    /// normalize/tokenize/Soundex once per candidate *pair*.
+    pub fn prepare(&self, raw: &str) -> PreparedName {
+        let tokens = self.tokens(raw);
+        let joined = tokens.join(" ");
+        let mut sorted = tokens.clone();
+        sorted.sort();
+        let canonical = sorted.join(" ");
+        let surname_soundex = tokens.last().and_then(|t| crate::phonetic::soundex(t));
+        PreparedName {
+            tokens,
+            joined,
+            canonical,
+            surname_soundex,
+        }
+    }
+
+    /// [`prepare`](Self::prepare) over a whole record list — the batch
+    /// entry point the linker and blocking layers share.
+    pub fn prepare_all(&self, names: &[String]) -> Vec<PreparedName> {
+        names.iter().map(|n| self.prepare(n)).collect()
+    }
+
     /// Whether a token looks like a bare initial (single letter).
     pub fn is_initial(token: &str) -> bool {
         token.chars().count() == 1 && token.chars().all(|c| c.is_alphabetic())
@@ -161,10 +217,11 @@ impl NameNormalizer {
         let ok = |xs: &[String], ys: &[String]| {
             xs.iter().all(|x| {
                 if Self::is_initial(x) {
-                    ys.iter()
-                        .any(|y| y.chars().next() == x.chars().next())
+                    ys.iter().any(|y| y.chars().next() == x.chars().next())
                 } else {
-                    ys.iter().any(|y| y == x || (Self::is_initial(y) && y.chars().next() == x.chars().next()))
+                    ys.iter().any(|y| {
+                        y == x || (Self::is_initial(y) && y.chars().next() == x.chars().next())
+                    })
                 }
             })
         };
@@ -179,7 +236,10 @@ mod tests {
     #[test]
     fn strips_titles_punctuation_case() {
         let n = NameNormalizer::new();
-        assert_eq!(n.tokens("Dr. Robert K. Smith, Jr."), vec!["robert", "k", "smith"]);
+        assert_eq!(
+            n.tokens("Dr. Robert K. Smith, Jr."),
+            vec!["robert", "k", "smith"]
+        );
         assert_eq!(n.joined("SMITH, Robert"), "smith robert");
         assert_eq!(n.canonical("SMITH, Robert"), "robert smith");
     }

@@ -149,7 +149,10 @@ mod tests {
     #[test]
     fn skeleton_merges_phonetic_variants() {
         assert_eq!(phonetic_skeleton("Philip"), phonetic_skeleton("Filip"));
-        assert_eq!(phonetic_skeleton("Catherine"), phonetic_skeleton("Katherine"));
+        assert_eq!(
+            phonetic_skeleton("Catherine"),
+            phonetic_skeleton("Katherine")
+        );
         assert_eq!(phonetic_skeleton("Zara"), phonetic_skeleton("Sara"));
     }
 

@@ -36,7 +36,10 @@ impl TfIdf {
                 *df.entry(tok).or_insert(0) += 1;
             }
         }
-        TfIdf { df, n_docs: corpus.len() }
+        TfIdf {
+            df,
+            n_docs: corpus.len(),
+        }
     }
 
     /// Number of fitted documents.
@@ -130,7 +133,10 @@ mod tests {
         // scores far higher than sharing "the".
         let share_rare = t.cosine("smith consulting", "smith holdings");
         let share_common = t.cosine("the consulting", "the holdings");
-        assert!(share_rare > share_common + 0.05, "{share_rare} vs {share_common}");
+        assert!(
+            share_rare > share_common + 0.05,
+            "{share_rare} vs {share_common}"
+        );
         assert!(t.idf("smith") > t.idf("the"));
     }
 
@@ -160,7 +166,11 @@ mod tests {
     #[test]
     fn ranking() {
         let t = TfIdf::fit(&corpus());
-        let candidates = ["robert smith microsoft", "alice walker", "robert jones verizon"];
+        let candidates = [
+            "robert smith microsoft",
+            "alice walker",
+            "robert jones verizon",
+        ];
         let ranked = t.rank("robert smith", &candidates);
         assert_eq!(ranked[0].0, 0);
         assert!(ranked[0].1 > ranked[1].1);

@@ -65,7 +65,10 @@ pub struct CustomerConfig {
 
 impl Default for CustomerConfig {
     fn default() -> Self {
-        CustomerConfig { index_noise: 1.0, seed: 0xC057 }
+        CustomerConfig {
+            index_noise: 1.0,
+            seed: 0xC057,
+        }
     }
 }
 
@@ -74,9 +77,11 @@ impl Default for CustomerConfig {
 /// trade more), the valuation blends them.
 pub fn customer_table(people: &[PersonProfile], config: &CustomerConfig) -> Table {
     let mut rng = rng_from_seed(config.seed);
-    let (lo, hi) = people.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
-        (lo.min(p.income), hi.max(p.income))
-    });
+    let (lo, hi) = people
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+            (lo.min(p.income), hi.max(p.income))
+        });
     let span = (hi - lo).max(1.0);
     let mut table = Table::new(customer_schema());
     for p in people {
@@ -84,8 +89,8 @@ pub fn customer_table(people: &[PersonProfile], config: &CustomerConfig) -> Tabl
         let base = 1.0 + 9.0 * z;
         let vol = (base + normal(&mut rng, 0.0, config.index_noise)).clamp(1.0, 10.0);
         let amt = (base + normal(&mut rng, 0.0, config.index_noise)).clamp(1.0, 10.0);
-        let valuation = ((vol + amt) / 2.0 + normal(&mut rng, 0.0, config.index_noise / 2.0))
-            .clamp(1.0, 10.0);
+        let valuation =
+            ((vol + amt) / 2.0 + normal(&mut rng, 0.0, config.index_noise / 2.0)).clamp(1.0, 10.0);
         table
             .push_row(vec![
                 Value::Text(p.name.clone()),

@@ -29,7 +29,11 @@ pub struct FacultyConfig {
 
 impl Default for FacultyConfig {
     fn default() -> Self {
-        FacultyConfig { n_scores: 3, score_noise: 1.2, seed: 0xFAC }
+        FacultyConfig {
+            n_scores: 3,
+            score_noise: 1.2,
+            seed: 0xFAC,
+        }
     }
 }
 
@@ -136,7 +140,10 @@ mod tests {
         let people = population();
         let noisy = faculty_table(
             &people,
-            &FacultyConfig { score_noise: 50.0, ..FacultyConfig::default() },
+            &FacultyConfig {
+                score_noise: 50.0,
+                ..FacultyConfig::default()
+            },
         );
         let salary = noisy.numeric_column(4).unwrap();
         let scores = noisy.numeric_column(1).unwrap();

@@ -25,7 +25,14 @@ const CONDITIONS: &[(&str, f64)] = &[
 
 /// Nationality pool (mirrors Table I's attribute).
 const NATIONALITIES: &[&str] = &[
-    "American", "Russian", "Japanese", "Indian", "German", "Brazilian", "Chinese", "Nigerian",
+    "American",
+    "Russian",
+    "Japanese",
+    "Indian",
+    "German",
+    "Brazilian",
+    "Chinese",
+    "Nigerian",
 ];
 
 /// Configuration for the patient generator.
@@ -43,7 +50,12 @@ pub struct HospitalConfig {
 
 impl Default for HospitalConfig {
     fn default() -> Self {
-        HospitalConfig { size: 200, seed: 0x405, zip_base: 13000, zip_spread: 80 }
+        HospitalConfig {
+            size: 200,
+            seed: 0x405,
+            zip_base: 13000,
+            zip_spread: 80,
+        }
     }
 }
 
@@ -127,7 +139,10 @@ mod tests {
 
     #[test]
     fn prevalence_roughly_matches_weights() {
-        let t = hospital_table(&HospitalConfig { size: 4000, ..Default::default() });
+        let t = hospital_table(&HospitalConfig {
+            size: 4000,
+            ..Default::default()
+        });
         let flu = t.column(4).filter(|v| v.as_str() == Some("Flu")).count() as f64 / 4000.0;
         assert!((flu - 0.30).abs() < 0.04, "flu prevalence {flu}");
         let aids = t.column(4).filter(|v| v.as_str() == Some("AIDS")).count() as f64 / 4000.0;
@@ -143,7 +158,10 @@ mod tests {
 
     #[test]
     fn chronic_conditions_skew_older() {
-        let t = hospital_table(&HospitalConfig { size: 4000, ..Default::default() });
+        let t = hospital_table(&HospitalConfig {
+            size: 4000,
+            ..Default::default()
+        });
         let mean_age = |cond: &str| {
             let ages: Vec<f64> = t
                 .rows()

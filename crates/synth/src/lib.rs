@@ -28,7 +28,9 @@ pub mod names;
 pub mod person;
 pub mod rng;
 
-pub use customer::{customer_schema, customer_table, paper_table_ii, paper_table_iv, CustomerConfig};
+pub use customer::{
+    customer_schema, customer_table, paper_table_ii, paper_table_iv, CustomerConfig,
+};
 pub use faculty::{faculty_schema, faculty_table, score_names, FacultyConfig};
 pub use hospital::{hospital_schema, hospital_table, HospitalConfig};
 pub use names::{unique_names, FIRST_NAMES, LAST_NAMES};

@@ -5,25 +5,126 @@ use rand::Rng;
 /// First-name pool (mix of conventional US names, matching the kind of
 /// names in the paper's running example).
 pub const FIRST_NAMES: &[&str] = &[
-    "Alice", "Robert", "Christine", "William", "Elizabeth", "James", "Michael", "Thomas",
-    "Anthony", "Katherine", "Alexander", "Daniel", "David", "Edward", "Joseph", "Margaret",
-    "Samuel", "Steven", "Susan", "Patricia", "Andrew", "Nicholas", "Matthew", "Gregory",
-    "Jennifer", "Rebecca", "Victoria", "Richard", "Sarah", "Laura", "Kevin", "Brian",
-    "Angela", "Melissa", "George", "Frank", "Helen", "Carol", "Dennis", "Diane",
-    "Raymond", "Janet", "Walter", "Gloria", "Harold", "Teresa", "Eugene", "Judith",
-    "Priya", "Wei", "Hiroshi", "Fatima", "Chen", "Ravi", "Ingrid", "Pablo",
+    "Alice",
+    "Robert",
+    "Christine",
+    "William",
+    "Elizabeth",
+    "James",
+    "Michael",
+    "Thomas",
+    "Anthony",
+    "Katherine",
+    "Alexander",
+    "Daniel",
+    "David",
+    "Edward",
+    "Joseph",
+    "Margaret",
+    "Samuel",
+    "Steven",
+    "Susan",
+    "Patricia",
+    "Andrew",
+    "Nicholas",
+    "Matthew",
+    "Gregory",
+    "Jennifer",
+    "Rebecca",
+    "Victoria",
+    "Richard",
+    "Sarah",
+    "Laura",
+    "Kevin",
+    "Brian",
+    "Angela",
+    "Melissa",
+    "George",
+    "Frank",
+    "Helen",
+    "Carol",
+    "Dennis",
+    "Diane",
+    "Raymond",
+    "Janet",
+    "Walter",
+    "Gloria",
+    "Harold",
+    "Teresa",
+    "Eugene",
+    "Judith",
+    "Priya",
+    "Wei",
+    "Hiroshi",
+    "Fatima",
+    "Chen",
+    "Ravi",
+    "Ingrid",
+    "Pablo",
 ];
 
 /// Surname pool.
 pub const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
-    "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson",
-    "Taylor", "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White",
-    "Harris", "Sanchez", "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young",
-    "Allen", "King", "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores",
-    "Green", "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
-    "Carter", "Roberts", "Ganta", "Acharya", "Patel", "Kumar", "Chen", "Tanaka",
-    "Kowalski", "Petrov", "Silva", "Costa", "Haddad",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Perez",
+    "Thompson",
+    "White",
+    "Harris",
+    "Sanchez",
+    "Clark",
+    "Ramirez",
+    "Lewis",
+    "Robinson",
+    "Walker",
+    "Young",
+    "Allen",
+    "King",
+    "Wright",
+    "Scott",
+    "Torres",
+    "Nguyen",
+    "Hill",
+    "Flores",
+    "Green",
+    "Adams",
+    "Nelson",
+    "Baker",
+    "Hall",
+    "Rivera",
+    "Campbell",
+    "Mitchell",
+    "Carter",
+    "Roberts",
+    "Ganta",
+    "Acharya",
+    "Patel",
+    "Kumar",
+    "Chen",
+    "Tanaka",
+    "Kowalski",
+    "Petrov",
+    "Silva",
+    "Costa",
+    "Haddad",
 ];
 
 /// Generates `n` distinct `"First Last"` names. When `n` exceeds the number

@@ -224,7 +224,10 @@ mod tests {
 
     #[test]
     fn income_increases_with_seniority_on_average() {
-        let cfg = PopulationConfig { size: 2000, ..PopulationConfig::default() };
+        let cfg = PopulationConfig {
+            size: 2000,
+            ..PopulationConfig::default()
+        };
         let people = generate_population(&cfg);
         let mean_for = |s: Seniority| {
             let xs: Vec<f64> = people
@@ -242,7 +245,10 @@ mod tests {
 
     #[test]
     fn property_correlates_with_income() {
-        let cfg = PopulationConfig { size: 2000, ..PopulationConfig::default() };
+        let cfg = PopulationConfig {
+            size: 2000,
+            ..PopulationConfig::default()
+        };
         let people = generate_population(&cfg);
         let incomes: Vec<f64> = people.iter().map(|p| p.income).collect();
         let props: Vec<f64> = people.iter().map(|p| p.property_sqft).collect();

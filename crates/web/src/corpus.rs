@@ -116,7 +116,11 @@ mod tests {
             .count();
         assert!(person_pages >= people.len());
         assert!(person_pages <= 3 * people.len());
-        let distractors = engine.pages().iter().filter(|p| p.person_id.is_none()).count();
+        let distractors = engine
+            .pages()
+            .iter()
+            .filter(|p| p.person_id.is_none())
+            .count();
         assert_eq!(distractors, 50);
     }
 
@@ -125,7 +129,10 @@ mod tests {
         let people = population();
         let engine = build_corpus(
             &people,
-            &CorpusConfig { noise: NameNoise::none(), ..CorpusConfig::default() },
+            &CorpusConfig {
+                noise: NameNoise::none(),
+                ..CorpusConfig::default()
+            },
         );
         let mut found = 0;
         for p in &people {
@@ -138,7 +145,11 @@ mod tests {
             }
         }
         // With noiseless names, search should find nearly everyone.
-        assert!(found >= people.len() * 9 / 10, "found {found}/{}", people.len());
+        assert!(
+            found >= people.len() * 9 / 10,
+            "found {found}/{}",
+            people.len()
+        );
     }
 
     #[test]
@@ -164,7 +175,10 @@ mod tests {
         let people = population();
         let engine = build_corpus(
             &people,
-            &CorpusConfig { noise: NameNoise::none(), ..CorpusConfig::default() },
+            &CorpusConfig {
+                noise: NameNoise::none(),
+                ..CorpusConfig::default()
+            },
         );
         for page in engine.pages() {
             if page.kind == PageKind::PropertyRecord {

@@ -28,10 +28,11 @@ pub fn title_seniority(title: &str) -> Option<u8> {
     let t = title.to_lowercase();
     // Most-senior keywords first so "assistant professor" and "assistant"
     // resolve correctly.
-    if t.contains("ceo") || t.contains("chief") || t.contains("chair") || t.contains("president")
-    {
+    if t.contains("ceo") || t.contains("chief") || t.contains("chair") || t.contains("president") {
         Some(4)
-    } else if t.contains("director") || (t.contains("professor") && !t.contains("assistant") && !t.contains("associate")) || t.contains("vp")
+    } else if t.contains("director")
+        || (t.contains("professor") && !t.contains("assistant") && !t.contains("associate"))
+        || t.contains("vp")
     {
         Some(3)
     } else if t.contains("manager") || t.contains("associate") {
@@ -164,7 +165,15 @@ mod tests {
 
     #[test]
     fn directory_extraction() {
-        let p = WebPage::render(7, Some(1), PageKind::Directory, "Alice Walker", "Assistant Professor", "NYU", None);
+        let p = WebPage::render(
+            7,
+            Some(1),
+            PageKind::Directory,
+            "Alice Walker",
+            "Assistant Professor",
+            "NYU",
+            None,
+        );
         let r = extract(&p);
         assert_eq!(r.title.as_deref(), Some("Assistant Professor"));
         assert_eq!(r.employer.as_deref(), Some("NYU"));
@@ -175,7 +184,15 @@ mod tests {
 
     #[test]
     fn homepage_extraction() {
-        let p = WebPage::render(0, None, PageKind::Homepage, "Robert Smith", "CEO", "Microsoft", Some(5430.0));
+        let p = WebPage::render(
+            0,
+            None,
+            PageKind::Homepage,
+            "Robert Smith",
+            "CEO",
+            "Microsoft",
+            Some(5430.0),
+        );
         let r = extract(&p);
         assert_eq!(r.title.as_deref(), Some("CEO"));
         assert_eq!(r.employer.as_deref(), Some("Microsoft"));
@@ -185,7 +202,15 @@ mod tests {
 
     #[test]
     fn news_extraction_only_employer() {
-        let p = WebPage::render(0, None, PageKind::News, "Wei Chen", "Director", "General Electric", Some(2000.0));
+        let p = WebPage::render(
+            0,
+            None,
+            PageKind::News,
+            "Wei Chen",
+            "Director",
+            "General Electric",
+            Some(2000.0),
+        );
         let r = extract(&p);
         assert_eq!(r.employer.as_deref(), Some("General Electric"));
         assert_eq!(r.title, None);
@@ -194,7 +219,15 @@ mod tests {
 
     #[test]
     fn property_record_extraction() {
-        let p = WebPage::render(0, Some(3), PageKind::PropertyRecord, "Bob Lee", "", "", Some(1234.0));
+        let p = WebPage::render(
+            0,
+            Some(3),
+            PageKind::PropertyRecord,
+            "Bob Lee",
+            "",
+            "",
+            Some(1234.0),
+        );
         let r = extract(&p);
         assert_eq!(r.property_sqft, Some(1234.0)); // template renders %.0f
         assert_eq!(r.title, None);
@@ -202,7 +235,15 @@ mod tests {
 
     #[test]
     fn blog_extraction() {
-        let p = WebPage::render(3, Some(7), PageKind::Blog, "Wei Chen", "Manager", "Verizon", None);
+        let p = WebPage::render(
+            3,
+            Some(7),
+            PageKind::Blog,
+            "Wei Chen",
+            "Manager",
+            "Verizon",
+            None,
+        );
         let r = extract(&p);
         assert_eq!(r.title.as_deref(), Some("Manager"));
         assert_eq!(r.employer.as_deref(), Some("Verizon"));
@@ -225,9 +266,33 @@ mod tests {
 
     #[test]
     fn consolidation_merges_sources() {
-        let dir = extract(&WebPage::render(0, Some(1), PageKind::Directory, "R. Smith", "Manager", "Verizon", None));
-        let prop = extract(&WebPage::render(1, Some(1), PageKind::PropertyRecord, "Robert Smith", "", "", Some(2000.0)));
-        let prop2 = extract(&WebPage::render(2, Some(1), PageKind::PropertyRecord, "Robert Smith", "", "", Some(2400.0)));
+        let dir = extract(&WebPage::render(
+            0,
+            Some(1),
+            PageKind::Directory,
+            "R. Smith",
+            "Manager",
+            "Verizon",
+            None,
+        ));
+        let prop = extract(&WebPage::render(
+            1,
+            Some(1),
+            PageKind::PropertyRecord,
+            "Robert Smith",
+            "",
+            "",
+            Some(2000.0),
+        ));
+        let prop2 = extract(&WebPage::render(
+            2,
+            Some(1),
+            PageKind::PropertyRecord,
+            "Robert Smith",
+            "",
+            "",
+            Some(2400.0),
+        ));
         let merged = consolidate(&[dir, prop, prop2]).unwrap();
         assert_eq!(merged.title.as_deref(), Some("Manager"));
         assert_eq!(merged.seniority_level, Some(2));

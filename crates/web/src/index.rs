@@ -107,9 +107,33 @@ mod tests {
 
     fn corpus() -> SearchEngine {
         let pages = vec![
-            WebPage::render(0, Some(0), PageKind::Homepage, "Robert Smith", "CEO", "Microsoft", Some(5430.0)),
-            WebPage::render(1, Some(1), PageKind::Directory, "Alice Walker", "Manager", "Verizon", None),
-            WebPage::render(2, Some(0), PageKind::PropertyRecord, "Robert Smith", "", "", Some(5430.0)),
+            WebPage::render(
+                0,
+                Some(0),
+                PageKind::Homepage,
+                "Robert Smith",
+                "CEO",
+                "Microsoft",
+                Some(5430.0),
+            ),
+            WebPage::render(
+                1,
+                Some(1),
+                PageKind::Directory,
+                "Alice Walker",
+                "Manager",
+                "Verizon",
+                None,
+            ),
+            WebPage::render(
+                2,
+                Some(0),
+                PageKind::PropertyRecord,
+                "Robert Smith",
+                "",
+                "",
+                Some(5430.0),
+            ),
             WebPage::render(3, None, PageKind::News, "Robert Jones", "", "Acme", None),
         ];
         SearchEngine::build(pages)

@@ -171,14 +171,19 @@ mod tests {
     #[test]
     fn nicknames_come_from_the_table() {
         let mut rng = rng_from_seed(3);
-        let noise = NameNoise { nickname_rate: 1.0, ..NameNoise::none() };
+        let noise = NameNoise {
+            nickname_rate: 1.0,
+            ..NameNoise::none()
+        };
         let mut seen_nick = false;
         for _ in 0..50 {
             let c = noise.corrupt(&mut rng, "Robert Smith");
             let first = c.split_whitespace().next().unwrap().to_lowercase();
             if first != "robert" {
                 assert!(
-                    NICKNAMES.iter().any(|&(nick, full)| nick == first && full == "robert"),
+                    NICKNAMES
+                        .iter()
+                        .any(|&(nick, full)| nick == first && full == "robert"),
                     "unexpected nickname {first}"
                 );
                 seen_nick = true;
@@ -190,7 +195,10 @@ mod tests {
     #[test]
     fn initials_form() {
         let mut rng = rng_from_seed(4);
-        let noise = NameNoise { initial_rate: 1.0, ..NameNoise::none() };
+        let noise = NameNoise {
+            initial_rate: 1.0,
+            ..NameNoise::none()
+        };
         let c = noise.corrupt(&mut rng, "Robert Smith");
         assert_eq!(c, "R. Smith");
     }
@@ -198,7 +206,10 @@ mod tests {
     #[test]
     fn reorder_form() {
         let mut rng = rng_from_seed(5);
-        let noise = NameNoise { reorder_rate: 1.0, ..NameNoise::none() };
+        let noise = NameNoise {
+            reorder_rate: 1.0,
+            ..NameNoise::none()
+        };
         let c = noise.corrupt(&mut rng, "Robert Smith");
         assert_eq!(c, "Smith, Robert");
     }
@@ -206,7 +217,10 @@ mod tests {
     #[test]
     fn typos_are_single_edits() {
         let mut rng = rng_from_seed(6);
-        let noise = NameNoise { typo_rate: 1.0, ..NameNoise::none() };
+        let noise = NameNoise {
+            typo_rate: 1.0,
+            ..NameNoise::none()
+        };
         for _ in 0..100 {
             let c = noise.corrupt(&mut rng, "Robert Smith");
             let last = c.split_whitespace().last().unwrap();
@@ -218,7 +232,10 @@ mod tests {
     #[test]
     fn short_words_never_typod() {
         let mut rng = rng_from_seed(7);
-        let noise = NameNoise { typo_rate: 1.0, ..NameNoise::none() };
+        let noise = NameNoise {
+            typo_rate: 1.0,
+            ..NameNoise::none()
+        };
         assert_eq!(noise.corrupt(&mut rng, "Al Bo"), "Al Bo");
     }
 

@@ -102,7 +102,13 @@ impl WebPage {
                  by night I blog about gardening and chess."
             ),
         };
-        WebPage { id, person_id, display_name: display_name.to_owned(), kind, text }
+        WebPage {
+            id,
+            person_id,
+            display_name: display_name.to_owned(),
+            kind,
+            text,
+        }
     }
 
     /// Lowercased alphanumeric tokens of the page text (the search unit).
@@ -125,30 +131,70 @@ mod tests {
 
     #[test]
     fn directory_pages_have_title_no_property() {
-        let p = WebPage::render(0, Some(1), PageKind::Directory, "Robert Smith", "Director", "Verizon", Some(2000.0));
+        let p = WebPage::render(
+            0,
+            Some(1),
+            PageKind::Directory,
+            "Robert Smith",
+            "Director",
+            "Verizon",
+            Some(2000.0),
+        );
         assert!(p.text.contains("Position: Director"));
         assert!(!p.text.contains("sq ft"));
     }
 
     #[test]
     fn homepage_carries_property_when_present() {
-        let p = WebPage::render(0, None, PageKind::Homepage, "Alice Walker", "CEO", "Deutsche Bank", Some(3560.0));
+        let p = WebPage::render(
+            0,
+            None,
+            PageKind::Homepage,
+            "Alice Walker",
+            "CEO",
+            "Deutsche Bank",
+            Some(3560.0),
+        );
         assert!(p.text.contains("3560 sq ft"));
         assert!(p.text.contains("CEO at Deutsche Bank"));
-        let no_prop = WebPage::render(0, None, PageKind::Homepage, "Alice Walker", "CEO", "Deutsche Bank", None);
+        let no_prop = WebPage::render(
+            0,
+            None,
+            PageKind::Homepage,
+            "Alice Walker",
+            "CEO",
+            "Deutsche Bank",
+            None,
+        );
         assert!(!no_prop.text.contains("sq ft"));
     }
 
     #[test]
     fn property_record_has_sqft() {
-        let p = WebPage::render(0, Some(2), PageKind::PropertyRecord, "Bob Lee", "", "", Some(1234.0));
+        let p = WebPage::render(
+            0,
+            Some(2),
+            PageKind::PropertyRecord,
+            "Bob Lee",
+            "",
+            "",
+            Some(1234.0),
+        );
         assert!(p.text.contains("1234 sq ft"));
         assert!(p.text.contains("Owner: Bob Lee"));
     }
 
     #[test]
     fn blog_carries_title_and_employer_in_prose() {
-        let p = WebPage::render(0, Some(4), PageKind::Blog, "Wei Chen", "Director", "Verizon", Some(999.0));
+        let p = WebPage::render(
+            0,
+            Some(4),
+            PageKind::Blog,
+            "Wei Chen",
+            "Director",
+            "Verizon",
+            Some(999.0),
+        );
         assert!(p.text.contains("I'm a Director"));
         assert!(p.text.contains("at Verizon"));
         assert!(!p.text.contains("sq ft"));

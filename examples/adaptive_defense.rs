@@ -40,19 +40,19 @@ fn main() {
 
     // Audit: who is most exposed, and what does the adversary know?
     let partition = Mdav::new().partition(&table, 3).expect("partition");
-    let release = fred_suite::anon::build_release(
-        &table,
-        &partition,
-        3,
-        fred_suite::anon::QiStyle::Range,
-    )
-    .expect("release");
+    let release =
+        fred_suite::anon::build_release(&table, &partition, 3, fred_suite::anon::QiStyle::Range)
+            .expect("release");
     let harvest =
         harvest_auxiliary(&release.table, &web, &HarvestConfig::default()).expect("harvest");
     let explanations = explain_attack(&fusion, &release.table, &harvest.records).expect("explain");
     println!("\nThree most exposed individuals under the plain release:");
     for (row, err) in most_exposed(&explanations, &truth).into_iter().take(3) {
-        println!("  [err {:>10.0}] {}", err.sqrt(), explanations[row].narrative());
+        println!(
+            "  [err {:>10.0}] {}",
+            err.sqrt(),
+            explanations[row].narrative()
+        );
     }
 
     // Adaptive defence: demand 4x the baseline worst-case protection and
@@ -63,7 +63,11 @@ fn main() {
         &web,
         &Mdav::new(),
         &fusion,
-        &AdaptiveParams { tr: target, max_merges: 60, ..AdaptiveParams::default() },
+        &AdaptiveParams {
+            tr: target,
+            max_merges: 60,
+            ..AdaptiveParams::default()
+        },
     )
     .expect("adaptive run");
     println!(

@@ -54,7 +54,8 @@ fn main() {
             c.k,
             c.protection,
             c.utility,
-            c.h.map(|h| format!("{h:.3}")).unwrap_or_else(|| "  -  ".into()),
+            c.h.map(|h| format!("{h:.3}"))
+                .unwrap_or_else(|| "  -  ".into()),
             marker
         );
     }

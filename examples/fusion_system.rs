@@ -11,11 +11,20 @@ fn main() {
     // volume, employment seniority and property holdings.
     let valuation = LinguisticVariable::new("valuation", 0.0, 10.0)
         .unwrap()
-        .with_term("level1", MembershipFunction::left_shoulder(2.0, 4.5).unwrap())
+        .with_term(
+            "level1",
+            MembershipFunction::left_shoulder(2.0, 4.5).unwrap(),
+        )
         .unwrap()
-        .with_term("level2", MembershipFunction::triangular(3.0, 5.5, 8.0).unwrap())
+        .with_term(
+            "level2",
+            MembershipFunction::triangular(3.0, 5.5, 8.0).unwrap(),
+        )
         .unwrap()
-        .with_term("level3", MembershipFunction::right_shoulder(6.5, 9.0).unwrap())
+        .with_term(
+            "level3",
+            MembershipFunction::right_shoulder(6.5, 9.0).unwrap(),
+        )
         .unwrap();
     let volume = LinguisticVariable::new("volume", 0.0, 10.0)
         .unwrap()
@@ -27,11 +36,20 @@ fn main() {
         .unwrap();
     let property = LinguisticVariable::new("property", 500.0, 6000.0)
         .unwrap()
-        .with_term("low", MembershipFunction::left_shoulder(1000.0, 2500.0).unwrap())
+        .with_term(
+            "low",
+            MembershipFunction::left_shoulder(1000.0, 2500.0).unwrap(),
+        )
         .unwrap()
-        .with_term("med", MembershipFunction::triangular(1000.0, 2500.0, 4500.0).unwrap())
+        .with_term(
+            "med",
+            MembershipFunction::triangular(1000.0, 2500.0, 4500.0).unwrap(),
+        )
         .unwrap()
-        .with_term("high", MembershipFunction::right_shoulder(2500.0, 4500.0).unwrap())
+        .with_term(
+            "high",
+            MembershipFunction::right_shoulder(2500.0, 4500.0).unwrap(),
+        )
         .unwrap();
     // Output: income classes like the paper's Low/Med/High bands.
     let income = LinguisticVariable::new("income", 40_000.0, 160_000.0)

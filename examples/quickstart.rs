@@ -19,7 +19,9 @@ fn main() {
 
     // 2. A 4-anonymized release: names retained (the enterprise needs
     //    them), quasi-identifiers generalized, income suppressed.
-    let partition = Mdav::new().partition(&table, 4).expect("table has >= 4 rows");
+    let partition = Mdav::new()
+        .partition(&table, 4)
+        .expect("table has >= 4 rows");
     let release = build_release(&table, &partition, 4, QiStyle::Range).expect("release");
     println!("\n4-anonymized release (first rows):");
     print_head(&release.table, 5);
@@ -37,7 +39,13 @@ fn main() {
         outcome.aux_coverage * 100.0,
         mse
     );
-    for ((row, t), e) in table.rows().iter().zip(&truth).zip(&outcome.estimates).take(3) {
+    for ((row, t), e) in table
+        .rows()
+        .iter()
+        .zip(&truth)
+        .zip(&outcome.estimates)
+        .take(3)
+    {
         println!(
             "  {:<20} true income {t:>8.0}  adversary's estimate {e:>8.0}",
             row[0].as_str().unwrap_or_default(),
@@ -52,7 +60,10 @@ fn main() {
         &web,
         &Mdav::new(),
         &fusion,
-        &FredParams { k_max: 12, ..FredParams::default() },
+        &FredParams {
+            k_max: 12,
+            ..FredParams::default()
+        },
     )
     .expect("algorithm 1");
     println!(

@@ -1,0 +1,346 @@
+//! Offline drop-in subset of the `rayon` crate.
+//!
+//! Implements the `par_iter()` / `into_par_iter()` → `map` / `map_init` →
+//! `collect` pipeline used by the attack sweep on top of
+//! `std::thread::scope`. Work is split into per-thread chunks and results
+//! are re-assembled **in input order**, so a parallel map is always
+//! bit-identical to its sequential counterpart for pure per-item
+//! functions.
+//!
+//! Nested parallelism is flattened: a `par_iter` launched from inside a
+//! worker thread runs sequentially (one scoped pool at a time keeps the
+//! thread count bounded at `available_parallelism`).
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    /// Set while a worker thread runs pipeline items, to flatten nesting.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of worker threads a parallel call may use.
+fn pool_width() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parallel, order-preserving map over `items`. Falls back to sequential
+/// when the input is small, the machine has one core, or the caller is
+/// already inside a worker thread.
+fn parallel_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let width = pool_width();
+    let n = items.len();
+    if width <= 1 || n < 2 || IN_POOL.with(|c| c.get()) {
+        return items.into_iter().map(f).collect();
+    }
+    let threads = width.min(n);
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    // Split off tail-first so each chunk preserves input order.
+    while items.len() > chunk {
+        let tail = items.split_off(items.len() - chunk);
+        chunks.push(tail);
+    }
+    chunks.push(items);
+    chunks.reverse();
+
+    let f = &f;
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    IN_POOL.with(|c| c.set(true));
+                    let out: Vec<R> = chunk.into_iter().map(f).collect();
+                    IN_POOL.with(|c| c.set(false));
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("rayon-shim worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// A fully-materialized parallel iterator pipeline stage.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// `map` stage.
+pub struct Map<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// `map_init` stage: one `init()` per worker chunk, reused across its
+/// items (the allocation-lean scratch pattern).
+pub struct MapInit<T, I, F> {
+    items: Vec<T>,
+    init: I,
+    f: F,
+}
+
+/// Sink trait for [`ParallelIterator::collect`].
+pub trait FromParallelIterator<T>: Sized {
+    /// Builds the collection from in-order results.
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered_vec(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+/// The driving trait (subset of `rayon::iter::ParallelIterator`).
+pub trait ParallelIterator: Sized {
+    /// Item type produced by the pipeline.
+    type Item: Send;
+
+    /// Runs the pipeline, preserving input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps each item through `f` in parallel.
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> Map<Self::Item, F> {
+        Map {
+            items: self.run_items(),
+            f,
+        }
+    }
+
+    /// Like [`map`](Self::map) but threads a per-worker scratch value
+    /// created by `init` through consecutive items.
+    fn map_init<S, R, I, F>(self, init: I, f: F) -> MapInit<Self::Item, I, F>
+    where
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, Self::Item) -> R + Sync,
+    {
+        MapInit {
+            items: self.run_items(),
+            init,
+            f,
+        }
+    }
+
+    /// Collects pipeline output (order-preserving).
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_ordered_vec(self.run())
+    }
+
+    #[doc(hidden)]
+    fn run_items(self) -> Vec<Self::Item>;
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+
+    fn run_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParallelIterator for Map<T, F> {
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        parallel_map_vec(self.items, self.f)
+    }
+
+    fn run_items(self) -> Vec<R> {
+        self.run()
+    }
+}
+
+impl<T, S, R, I, F> ParallelIterator for MapInit<T, I, F>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        let init = self.init;
+        let f = self.f;
+        // Chunked manually so each worker creates one scratch value.
+        let width = pool_width();
+        let n = self.items.len();
+        if width <= 1 || n < 2 || IN_POOL.with(|c| c.get()) {
+            let mut scratch = init();
+            return self.items.into_iter().map(|t| f(&mut scratch, t)).collect();
+        }
+        let threads = width.min(n);
+        let chunk = n.div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut items = self.items;
+        while items.len() > chunk {
+            let tail = items.split_off(items.len() - chunk);
+            chunks.push(tail);
+        }
+        chunks.push(items);
+        chunks.reverse();
+
+        let init = &init;
+        let f = &f;
+        let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        IN_POOL.with(|c| c.set(true));
+                        let mut scratch = init();
+                        let out: Vec<R> = chunk.into_iter().map(|t| f(&mut scratch, t)).collect();
+                        IN_POOL.with(|c| c.set(false));
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("rayon-shim worker panicked"));
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+
+    fn run_items(self) -> Vec<R> {
+        self.run()
+    }
+}
+
+/// Owned conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Converts into the pipeline head.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Borrowed conversion (`slice.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// Converts into the pipeline head.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `rayon::prelude`.
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let xs: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_like_sequential() {
+        let xs: Vec<usize> = (0..100).collect();
+        let ok: Result<Vec<usize>, String> =
+            xs.par_iter().map(|&x| Ok::<_, String>(x + 1)).collect();
+        assert_eq!(ok.unwrap()[99], 100);
+        let err: Result<Vec<usize>, String> = (0..100)
+            .into_par_iter()
+            .map(|x| {
+                if x == 57 {
+                    Err(format!("bad {x}"))
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "bad 57");
+    }
+
+    #[test]
+    fn map_init_reuses_scratch_within_chunks() {
+        let xs: Vec<usize> = (0..64).collect();
+        let out: Vec<usize> = xs
+            .into_par_iter()
+            .map_init(Vec::<usize>::new, |scratch, x| {
+                scratch.push(x);
+                x
+            })
+            .collect();
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_parallelism_is_flattened_and_correct() {
+        let outer: Vec<Vec<usize>> = (0..8)
+            .into_par_iter()
+            .map(|i| (0..32).into_par_iter().map(move |j| i * 100 + j).collect())
+            .collect();
+        for (i, row) in outer.iter().enumerate() {
+            assert_eq!(row.len(), 32);
+            assert_eq!(row[5], i * 100 + 5);
+        }
+    }
+}

@@ -9,9 +9,7 @@ use fred_suite::anon::{
 use fred_suite::attack::{
     FusionSystem, FuzzyFusion, FuzzyFusionConfig, MidpointEstimator, WebFusionAttack,
 };
-use fred_suite::core::{
-    dissimilarity, fred_anonymize, sweep, FredParams, SweepConfig, Thresholds,
-};
+use fred_suite::core::{dissimilarity, fred_anonymize, sweep, FredParams, SweepConfig, Thresholds};
 use fred_suite::data::{rmse, Table};
 use fred_suite::synth::{
     customer_table, faculty_table, generate_population, CustomerConfig, FacultyConfig,
@@ -40,7 +38,10 @@ fn release_is_k_anonymous_and_keeps_identifiers() {
         let release = build_release(&table, &partition, k, QiStyle::Range).unwrap();
         assert!(is_k_anonymous(&release.table, k).unwrap());
         assert!(anonymity_level(&release.table).unwrap() >= k);
-        assert_eq!(release.table.identifier_strings(), table.identifier_strings());
+        assert_eq!(
+            release.table.identifier_strings(),
+            table.identifier_strings()
+        );
         // Income fully suppressed.
         assert!(release.table.column(4).all(|v| v.is_missing()));
     }
@@ -65,7 +66,10 @@ fn attack_beats_uninformed_guessing() {
     let (table, web, truth) = world(70, 3);
     let partition = Mdav::new().partition(&table, 4).unwrap();
     let release = build_release(&table, &partition, 4, QiStyle::Range).unwrap();
-    let outcome = WebFusionAttack::new().unwrap().run(&release.table, &web).unwrap();
+    let outcome = WebFusionAttack::new()
+        .unwrap()
+        .run(&release.table, &web)
+        .unwrap();
     let fused_err = rmse(&outcome.estimates, &truth).unwrap();
     let guess = MidpointEstimator::default()
         .estimate(&release.table, &vec![None; table.len()])
@@ -108,7 +112,11 @@ fn sweep_and_fred_agree_on_protection_values() {
         &Mdav::new(),
         &before,
         &after,
-        &SweepConfig { k_min: 2, k_max: 8, ..SweepConfig::default() },
+        &SweepConfig {
+            k_min: 2,
+            k_max: 8,
+            ..SweepConfig::default()
+        },
     )
     .unwrap();
     let result = fred_anonymize(
@@ -116,7 +124,11 @@ fn sweep_and_fred_agree_on_protection_values() {
         &web,
         &Mdav::new(),
         &after,
-        &FredParams { k_min: 2, k_max: 8, ..FredParams::default() },
+        &FredParams {
+            k_min: 2,
+            k_max: 8,
+            ..FredParams::default()
+        },
     )
     .unwrap();
     // The per-k protection measured by the sweep equals the candidate
@@ -173,7 +185,10 @@ fn mondrian_substitutes_for_mdav_in_the_whole_pipeline() {
         &web,
         &Mondrian::new(),
         &fusion,
-        &FredParams { k_max: 8, ..FredParams::default() },
+        &FredParams {
+            k_max: 8,
+            ..FredParams::default()
+        },
     )
     .unwrap();
     assert!(is_k_anonymous(&result.release.table, result.k_opt).unwrap());
@@ -184,7 +199,10 @@ fn centroid_style_release_still_supports_the_attack() {
     let (table, web, truth) = world(60, 8);
     let partition = Mdav::new().partition(&table, 4).unwrap();
     let release = build_release(&table, &partition, 4, QiStyle::Centroid).unwrap();
-    let outcome = WebFusionAttack::new().unwrap().run(&release.table, &web).unwrap();
+    let outcome = WebFusionAttack::new()
+        .unwrap()
+        .run(&release.table, &web)
+        .unwrap();
     let err = rmse(&outcome.estimates, &truth).unwrap();
     assert!(err.is_finite());
     // Centroid publication carries the same class information as ranges
@@ -217,17 +235,29 @@ fn name_noise_weakens_but_does_not_stop_the_attack() {
 
     let clean_web = build_corpus(
         &people,
-        &CorpusConfig { noise: NameNoise::none(), ..CorpusConfig::default() },
+        &CorpusConfig {
+            noise: NameNoise::none(),
+            ..CorpusConfig::default()
+        },
     );
     let noisy_web = build_corpus(
         &people,
-        &CorpusConfig { noise: NameNoise::heavy(), ..CorpusConfig::default() },
+        &CorpusConfig {
+            noise: NameNoise::heavy(),
+            ..CorpusConfig::default()
+        },
     );
     let clean = attack.run(&release.table, &clean_web).unwrap();
     let noisy = attack.run(&release.table, &noisy_web).unwrap();
     assert!(noisy.aux_coverage < clean.aux_coverage);
-    assert!(noisy.aux_coverage > 0.2, "linkage should still find some people");
+    assert!(
+        noisy.aux_coverage > 0.2,
+        "linkage should still find some people"
+    );
     let clean_err = rmse(&clean.estimates, &truth).unwrap();
     let noisy_err = rmse(&noisy.estimates, &truth).unwrap();
-    assert!(noisy_err >= clean_err * 0.95, "noise should not help the adversary");
+    assert!(
+        noisy_err >= clean_err * 0.95,
+        "noise should not help the adversary"
+    );
 }

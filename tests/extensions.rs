@@ -3,16 +3,14 @@
 //! the adaptive defence and the attack explainer.
 
 use fred_suite::anon::{
-    build_release, classes_from_release, distinct_diversity, is_k_anonymous, AttributeHierarchy,
-    Anonymizer, FullDomain, Hierarchy, Mdav, NumericHierarchy, OptimalUnivariate, QiStyle,
+    build_release, classes_from_release, distinct_diversity, is_k_anonymous, Anonymizer,
+    AttributeHierarchy, FullDomain, Hierarchy, Mdav, NumericHierarchy, OptimalUnivariate, QiStyle,
 };
 use fred_suite::attack::{
     explain_attack, harvest_auxiliary, FuzzyFusion, FuzzyFusionConfig, HarvestConfig,
 };
 use fred_suite::core::{adaptive_anonymize, fred_anonymize, AdaptiveParams, FredParams};
-use fred_suite::data::{
-    aggregate_fidelity, from_csv, group_by, to_csv, Aggregate, AttributeRole,
-};
+use fred_suite::data::{aggregate_fidelity, from_csv, group_by, to_csv, Aggregate, AttributeRole};
 use fred_suite::linkage::TfIdf;
 use fred_suite::synth::{
     customer_table, generate_population, hospital_table, CustomerConfig, HospitalConfig,
@@ -24,7 +22,10 @@ use fred_suite::web::{build_corpus, CorpusConfig};
 fn categorical_patient_pipeline_end_to_end() {
     // The Table I setting at scale: generalize the patient table with
     // hierarchies, verify k-anonymity, then audit diversity.
-    let table = hospital_table(&HospitalConfig { size: 120, ..Default::default() });
+    let table = hospital_table(&HospitalConfig {
+        size: 120,
+        ..Default::default()
+    });
     let nationality = Hierarchy::two_level(&[
         ("Americas", &["American", "Brazilian"]),
         ("Europe", &["Russian", "German"]),
@@ -55,7 +56,11 @@ fn categorical_patient_pipeline_end_to_end() {
 
 #[test]
 fn release_survives_csv_round_trip() {
-    let people = generate_population(&PopulationConfig { size: 30, seed: 77, ..Default::default() });
+    let people = generate_population(&PopulationConfig {
+        size: 30,
+        seed: 77,
+        ..Default::default()
+    });
     let table = customer_table(&people, &CustomerConfig::default());
     let partition = Mdav::new().partition(&table, 3).unwrap();
     let release = build_release(&table, &partition, 3, QiStyle::Range).unwrap();
@@ -63,9 +68,21 @@ fn release_survives_csv_round_trip() {
     // A consumer re-reads the release with intervals declared as such.
     let schema = fred_suite::data::Schema::builder()
         .identifier("Name")
-        .attribute("InvstVol", fred_suite::data::ValueKind::Interval, AttributeRole::QuasiIdentifier)
-        .attribute("InvstAmt", fred_suite::data::ValueKind::Interval, AttributeRole::QuasiIdentifier)
-        .attribute("Valuation", fred_suite::data::ValueKind::Interval, AttributeRole::QuasiIdentifier)
+        .attribute(
+            "InvstVol",
+            fred_suite::data::ValueKind::Interval,
+            AttributeRole::QuasiIdentifier,
+        )
+        .attribute(
+            "InvstAmt",
+            fred_suite::data::ValueKind::Interval,
+            AttributeRole::QuasiIdentifier,
+        )
+        .attribute(
+            "Valuation",
+            fred_suite::data::ValueKind::Interval,
+            AttributeRole::QuasiIdentifier,
+        )
         .sensitive_numeric("Income")
         .build()
         .unwrap();
@@ -83,7 +100,11 @@ fn release_survives_csv_round_trip() {
 fn release_preserves_grouped_aggregates_reasonably() {
     // The "intended purpose" check: a consumer grouping by a kept
     // identifier-derived key and averaging QIs should see bounded error.
-    let people = generate_population(&PopulationConfig { size: 60, seed: 5, ..Default::default() });
+    let people = generate_population(&PopulationConfig {
+        size: 60,
+        seed: 5,
+        ..Default::default()
+    });
     let table = customer_table(&people, &CustomerConfig::default());
     let partition = Mdav::new().partition(&table, 3).unwrap();
     let release = build_release(&table, &partition, 3, QiStyle::Centroid).unwrap();
@@ -100,7 +121,11 @@ fn release_preserves_grouped_aggregates_reasonably() {
 
 #[test]
 fn optimal_univariate_plugs_into_algorithm_one() {
-    let people = generate_population(&PopulationConfig { size: 50, seed: 6, ..Default::default() });
+    let people = generate_population(&PopulationConfig {
+        size: 50,
+        seed: 6,
+        ..Default::default()
+    });
     let table = customer_table(&people, &CustomerConfig::default());
     let web = build_corpus(&people, &CorpusConfig::default());
     let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
@@ -109,7 +134,10 @@ fn optimal_univariate_plugs_into_algorithm_one() {
         &web,
         &OptimalUnivariate::new(),
         &fusion,
-        &FredParams { k_max: 8, ..FredParams::default() },
+        &FredParams {
+            k_max: 8,
+            ..FredParams::default()
+        },
     )
     .unwrap();
     assert!(is_k_anonymous(&result.release.table, result.k_opt).unwrap());
@@ -127,15 +155,25 @@ fn adaptive_defence_targets_the_most_exposed() {
     let web = build_corpus(&people, &CorpusConfig::default());
     let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
 
-    let base = adaptive_anonymize(&table, &web, &Mdav::new(), &fusion, &AdaptiveParams::default())
-        .unwrap();
+    let base = adaptive_anonymize(
+        &table,
+        &web,
+        &Mdav::new(),
+        &fusion,
+        &AdaptiveParams::default(),
+    )
+    .unwrap();
     let tr = base.min_record_risk() * 3.0 + 1.0;
     let adaptive = adaptive_anonymize(
         &table,
         &web,
         &Mdav::new(),
         &fusion,
-        &AdaptiveParams { tr, max_merges: 30, ..AdaptiveParams::default() },
+        &AdaptiveParams {
+            tr,
+            max_merges: 30,
+            ..AdaptiveParams::default()
+        },
     )
     .unwrap();
     // When the loop terminates by protection, the bar is guaranteed; if
@@ -179,7 +217,11 @@ fn explanations_cover_every_release_row() {
 fn tfidf_ranks_the_right_employer_pages() {
     // TF-IDF over the synthetic web's page texts: searching an employer
     // phrase must rank that employer's pages above others.
-    let people = generate_population(&PopulationConfig { size: 40, seed: 10, ..Default::default() });
+    let people = generate_population(&PopulationConfig {
+        size: 40,
+        seed: 10,
+        ..Default::default()
+    });
     let web = build_corpus(&people, &CorpusConfig::default());
     let texts: Vec<String> = web.pages().iter().map(|p| p.text.clone()).collect();
     let model = TfIdf::fit(&texts);

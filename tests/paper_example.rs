@@ -96,7 +96,10 @@ fn figure2_walkthrough_lands_in_the_high_band() {
 
 #[test]
 fn figures_4_to_7_shapes_at_reduced_scale() {
-    let world = faculty_world(&WorldConfig { size: 100, ..WorldConfig::default() });
+    let world = faculty_world(&WorldConfig {
+        size: 100,
+        ..WorldConfig::default()
+    });
     let report = figure_sweep_with_range(&world, 2, 10);
     let before = report.before_series();
     let after = report.after_series();
@@ -128,5 +131,8 @@ fn figure8_reproduces_the_feasible_window_structure() {
         assert!(c.utility >= thresholds.tu);
     }
     let max_feasible = result.solution_space().iter().map(|c| c.k).max().unwrap();
-    assert!(max_feasible <= 16, "utility threshold failed to bound the sweep");
+    assert!(
+        max_feasible <= 16,
+        "utility threshold failed to bound the sweep"
+    );
 }

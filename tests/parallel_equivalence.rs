@@ -1,0 +1,110 @@
+//! Property tests pinning the parallel fast paths to their sequential
+//! reference semantics: the rayon-backed batch estimate and the parallel
+//! k-sweep must return *exactly* (bit-for-bit) what the naive sequential
+//! code returns.
+
+use proptest::prelude::*;
+
+use fred_suite::anon::{build_release, Anonymizer, Mdav, QiStyle};
+use fred_suite::attack::{
+    harvest_auxiliary, FusionSystem, FuzzyFusion, FuzzyFusionConfig, HarvestConfig,
+    MidpointEstimator,
+};
+use fred_suite::core::{dissimilarity, information_gain, sweep, SweepConfig};
+use fred_suite::synth::{customer_table, generate_population, CustomerConfig, PopulationConfig};
+use fred_suite::web::{build_corpus, CorpusConfig, NameNoise, SearchEngine};
+
+fn world(size: usize, seed: u64) -> (fred_suite::data::Table, SearchEngine) {
+    let people = generate_population(&PopulationConfig {
+        size,
+        web_presence_rate: 0.9,
+        seed,
+        ..PopulationConfig::default()
+    });
+    let table = customer_table(&people, &CustomerConfig::default());
+    let web = build_corpus(
+        &people,
+        &CorpusConfig {
+            noise: NameNoise::none(),
+            pages_per_person: (1, 3),
+            seed: seed ^ 0xBEEF,
+            ..CorpusConfig::default()
+        },
+    );
+    (table, web)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn parallel_batch_estimate_equals_sequential_interpreted(
+        size in 12usize..48,
+        seed in 0u64..1_000,
+        k in 2usize..6,
+    ) {
+        let (table, web) = world(size, seed);
+        let partition = Mdav::new().partition(&table, k).unwrap();
+        let release = build_release(&table, &partition, k, QiStyle::Range).unwrap();
+        let harvest =
+            harvest_auxiliary(&release.table, &web, &HarvestConfig::default()).unwrap();
+        for fusion in [
+            FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap(),
+            FuzzyFusion::release_only(),
+        ] {
+            let parallel = fusion.estimate(&release.table, &harvest.records).unwrap();
+            let sequential = fusion
+                .estimate_interpreted(&release.table, &harvest.records)
+                .unwrap();
+            prop_assert_eq!(parallel.len(), sequential.len());
+            for (i, (p, s)) in parallel.iter().zip(&sequential).enumerate() {
+                prop_assert_eq!(p.to_bits(), s.to_bits(), "row {} differs: {} vs {}", i, p, s);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_equals_sequential_reference(
+        size in 16usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let (table, web) = world(size, seed);
+        let before = MidpointEstimator::default();
+        let after = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+        let config = SweepConfig { k_min: 2, k_max: 6, ..SweepConfig::default() };
+        let report = sweep(&table, &web, &Mdav::new(), &before, &after, &config).unwrap();
+
+        // Sequential reference: the same per-level pipeline in a plain
+        // loop over k, with the shared harvest the sweep documents.
+        let reference_release = {
+            let partition = Mdav::new().partition(&table, config.k_min).unwrap();
+            build_release(&table, &partition, config.k_min, config.style).unwrap()
+        };
+        let harvest =
+            harvest_auxiliary(&reference_release.table, &web, &config.harvest).unwrap();
+        let sens = table.sensitive_columns()[0];
+        let truth = table.numeric_column(sens).unwrap();
+
+        let rows = report.rows();
+        let ks: Vec<usize> = (config.k_min..=config.k_max.min(table.len())).collect();
+        prop_assert_eq!(report.ks(), ks.clone());
+        for (row, &k) in rows.iter().zip(&ks) {
+            let partition = Mdav::new().partition(&table, k).unwrap();
+            let release = build_release(&table, &partition, k, config.style).unwrap();
+            let est_before = before.estimate(&release.table, &harvest.records).unwrap();
+            let est_after = after
+                .estimate_interpreted(&release.table, &harvest.records)
+                .unwrap();
+            let dissim_before = dissimilarity(&truth, &est_before).unwrap();
+            let dissim_after = dissimilarity(&truth, &est_after).unwrap();
+            prop_assert_eq!(row.k, k);
+            prop_assert_eq!(row.dissim_before.to_bits(), dissim_before.to_bits());
+            prop_assert_eq!(row.dissim_after.to_bits(), dissim_after.to_bits());
+            prop_assert_eq!(
+                row.gain.to_bits(),
+                information_gain(dissim_before, dissim_after).to_bits()
+            );
+            prop_assert_eq!(row.aux_coverage, harvest.coverage());
+        }
+    }
+}
