@@ -65,7 +65,7 @@ pub use mdav::Mdav;
 pub use mondrian::Mondrian;
 pub use optimal::{within_class_sse, OptimalUnivariate};
 pub use partition::{EquivalenceClass, Partition};
-pub use release::{build_release, QiStyle, Release};
+pub use release::{build_release, QiStyle, Release, ReleaseChunks};
 pub use utility::{
     average_class_size, discernibility, loss_metric, per_record_costs, per_record_utilities,
     utility,

@@ -79,6 +79,99 @@ pub fn build_release(
     })
 }
 
+impl Release {
+    /// Streams the release `build_release` would produce as row-chunks of
+    /// at most `chunk_rows` rows, without ever materializing the full
+    /// rewritten table: per-class summaries are computed lazily the first
+    /// time a chunk touches the class and cached for later chunks.
+    /// Concatenating every chunk's rows reproduces
+    /// [`build_release`]`(..).table` cell-for-cell — sweeps over large
+    /// worlds can therefore process one chunk at a time and keep peak
+    /// memory proportional to `chunk_rows`, not to `rows × k-levels`.
+    pub fn chunks<'a>(
+        table: &'a Table,
+        partition: &'a Partition,
+        style: QiStyle,
+        chunk_rows: usize,
+    ) -> ReleaseChunks<'a> {
+        ReleaseChunks {
+            table,
+            partition,
+            style,
+            qi_cols: table.quasi_identifier_columns(),
+            sens_cols: table.sensitive_columns(),
+            class_of: partition.class_of_rows(),
+            summaries: vec![None; partition.len()],
+            chunk_rows: chunk_rows.max(1),
+            next_row: 0,
+        }
+    }
+}
+
+/// Streaming iterator over the row-chunks of a release; see
+/// [`Release::chunks`].
+#[derive(Debug, Clone)]
+pub struct ReleaseChunks<'a> {
+    table: &'a Table,
+    partition: &'a Partition,
+    style: QiStyle,
+    qi_cols: Vec<usize>,
+    sens_cols: Vec<usize>,
+    class_of: Vec<usize>,
+    /// Lazily-filled per-class QI summaries (aligned with `qi_cols`).
+    summaries: Vec<Option<Vec<Value>>>,
+    chunk_rows: usize,
+    next_row: usize,
+}
+
+impl ReleaseChunks<'_> {
+    fn class_summary(&mut self, class_idx: usize) -> &[Value] {
+        if self.summaries[class_idx].is_none() {
+            let class = &self.partition.classes()[class_idx];
+            let per_col: Vec<Value> = self
+                .qi_cols
+                .iter()
+                .map(|&c| summarize_class(self.table, class, c, self.style))
+                .collect();
+            self.summaries[class_idx] = Some(per_col);
+        }
+        self.summaries[class_idx].as_deref().expect("just filled")
+    }
+}
+
+impl Iterator for ReleaseChunks<'_> {
+    type Item = Result<Table>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next_row >= self.table.len() {
+            return None;
+        }
+        let lo = self.next_row;
+        let hi = (lo + self.chunk_rows).min(self.table.len());
+        self.next_row = hi;
+        // Warm the summary cache for every class this chunk touches, then
+        // rewrite rows through immutable reads.
+        for row_idx in lo..hi {
+            self.class_summary(self.class_of[row_idx]);
+        }
+        let mut rows = Vec::with_capacity(hi - lo);
+        for row_idx in lo..hi {
+            let mut row = self.table.rows()[row_idx].clone();
+            let summary = self.summaries[self.class_of[row_idx]]
+                .as_deref()
+                .expect("warmed above");
+            for (qi_pos, &c) in self.qi_cols.iter().enumerate() {
+                row[c] = summary[qi_pos].clone();
+            }
+            for &c in &self.sens_cols {
+                row[c] = Value::Missing;
+            }
+            rows.push(row);
+        }
+        Some(Table::with_rows(self.table.schema().clone(), rows).map_err(Into::into))
+    }
+}
+
 fn summarize_class(table: &Table, class: &[usize], col: usize, style: QiStyle) -> Value {
     // Numeric path: all members numeric-viewable.
     let numeric: Option<Vec<f64>> = class
@@ -210,6 +303,40 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn chunks_concatenate_to_the_full_release() {
+        let t = customer_table();
+        let p = Mdav::new().partition(&t, 2).unwrap();
+        let full = build_release(&t, &p, 2, QiStyle::Range).unwrap();
+        for chunk_rows in [1usize, 2, 3, 4, 7] {
+            let mut streamed: Vec<Vec<Value>> = Vec::new();
+            for chunk in Release::chunks(&t, &p, QiStyle::Range, chunk_rows) {
+                let chunk = chunk.unwrap();
+                assert!(chunk.len() <= chunk_rows);
+                assert_eq!(chunk.schema(), t.schema());
+                streamed.extend(chunk.rows().iter().cloned());
+            }
+            assert_eq!(streamed, full.table.rows(), "chunk_rows={chunk_rows}");
+        }
+        // Centroid style streams identically too.
+        let full = build_release(&t, &p, 2, QiStyle::Centroid).unwrap();
+        let streamed: Vec<Vec<Value>> = Release::chunks(&t, &p, QiStyle::Centroid, 3)
+            .flat_map(|c| c.unwrap().rows().to_vec())
+            .collect();
+        assert_eq!(streamed, full.table.rows());
+    }
+
+    #[test]
+    fn chunks_clamp_degenerate_sizes() {
+        let t = customer_table();
+        let p = Mdav::new().partition(&t, 2).unwrap();
+        // chunk_rows = 0 is clamped to 1; oversized chunks yield one table.
+        assert_eq!(Release::chunks(&t, &p, QiStyle::Range, 0).count(), t.len());
+        let mut it = Release::chunks(&t, &p, QiStyle::Range, 1000);
+        assert_eq!(it.next().unwrap().unwrap().len(), t.len());
+        assert!(it.next().is_none());
     }
 
     #[test]

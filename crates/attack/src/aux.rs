@@ -6,8 +6,9 @@
 //! customers available on the web" (Section I), made programmatic.
 
 use fred_data::Table;
-use fred_linkage::{compare_prepared, Decision, FellegiSunter, NameNormalizer};
-use fred_web::{consolidate, extract, AuxRecord, SearchEngine, WebPage};
+use fred_linkage::{compare_prepared, Decision, FellegiSunter, NameNormalizer, PreparedName};
+use fred_web::{consolidate, extract, AuxRecord, SearchEngine};
+use rayon::prelude::*;
 
 use crate::error::{AttackError, Result};
 
@@ -36,6 +37,11 @@ pub struct Harvest {
     /// Consolidated auxiliary records, index-aligned with the release rows
     /// (`None` when nothing credible was found).
     pub records: Vec<Option<AuxRecord>>,
+    /// Accepted page indices (into the engine's corpus) per release row,
+    /// index-aligned with `records`. Lets evaluators such as
+    /// [`harvest_precision`] audit the links without re-running a single
+    /// search or comparison.
+    pub linked: Vec<Vec<usize>>,
     /// Number of pages inspected across all queries.
     pub pages_inspected: usize,
     /// Number of pages accepted by the linkage step.
@@ -52,36 +58,33 @@ impl Harvest {
     }
 }
 
-/// Searches one release name and classifies every hit page, returning
-/// the accepted pages plus the number of pages inspected.
+/// Classifies the hits of one already-ranked search result, returning
+/// accepted page indices plus the number of pages inspected.
 ///
 /// Confident links trump tentative ones: when any page matched outright,
-/// merely-possible pages are treated as noise for this name. Both the
-/// harvester and the precision evaluator link through this single
-/// routine, so the metric always measures actual harvest behavior.
-fn linked_pages<'a>(
-    name: &str,
-    engine: &'a SearchEngine,
+/// merely-possible pages are treated as noise for this name. Every
+/// harvest path (parallel, sequential reference) links through this
+/// single routine, so they cannot drift apart.
+fn classify_hits(
+    hits: &[fred_web::SearchHit],
+    prepared_name: &PreparedName,
+    engine: &SearchEngine,
     config: &HarvestConfig,
-    normalizer: &NameNormalizer,
+    prepared_pages: &[PreparedName],
     fs_model: &FellegiSunter,
-) -> (Vec<&'a WebPage>, usize) {
-    let hits = engine.search(name, config.hits_per_name);
-    // The release name's keys are derived once, not once per hit.
-    let prepared = normalizer.prepare(name);
+) -> (Vec<usize>, usize) {
     let mut inspected = 0usize;
     let mut matches = Vec::new();
     let mut possibles = Vec::new();
-    for hit in &hits {
-        let page = match engine.page(hit.page) {
-            Some(p) => p,
-            None => continue,
-        };
+    for hit in hits {
+        if engine.page(hit.page).is_none() {
+            continue;
+        }
         inspected += 1;
-        let features = compare_prepared(&prepared, &normalizer.prepare(&page.display_name));
+        let features = compare_prepared(prepared_name, &prepared_pages[hit.page]);
         match fs_model.classify(&features.agreement_vector()) {
-            Decision::Match => matches.push(page),
-            Decision::Possible if config.accept_possible => possibles.push(page),
+            Decision::Match => matches.push(hit.page),
+            Decision::Possible if config.accept_possible => possibles.push(hit.page),
             _ => {}
         }
     }
@@ -93,12 +96,47 @@ fn linked_pages<'a>(
     (accepted, inspected)
 }
 
+/// Every hit page's display name, normalized once per corpus (instead of
+/// once per `(name, hit)` pair) and in parallel.
+fn prepare_pages(engine: &SearchEngine, normalizer: &NameNormalizer) -> Vec<PreparedName> {
+    engine
+        .pages()
+        .par_iter()
+        .map(|page| normalizer.prepare(&page.display_name))
+        .collect()
+}
+
+/// Assembles a [`Harvest`] from in-row-order per-name results.
+fn assemble(per_name: Vec<(Option<AuxRecord>, Vec<usize>, usize)>) -> Harvest {
+    let mut records = Vec::with_capacity(per_name.len());
+    let mut linked = Vec::with_capacity(per_name.len());
+    let mut pages_inspected = 0usize;
+    let mut pages_linked = 0usize;
+    for (record, accepted, inspected) in per_name {
+        pages_inspected += inspected;
+        pages_linked += accepted.len();
+        records.push(record);
+        linked.push(accepted);
+    }
+    Harvest {
+        records,
+        linked,
+        pages_inspected,
+        pages_linked,
+    }
+}
+
 /// Harvests auxiliary data for every identifier in the release.
 ///
 /// For each release name: query the search engine, compare each hit's
 /// display name against the release name with the full linkage feature set,
 /// keep pages classified Match (and optionally Possible), and consolidate
 /// their extractions into one [`AuxRecord`].
+///
+/// The per-name loop runs across worker threads, each with its own search
+/// scratch and term cache; page display names are normalized once for the
+/// whole corpus up front. Results are row-order stable and record-for-record
+/// identical to [`harvest_auxiliary_sequential`] (pinned by property test).
 pub fn harvest_auxiliary(
     release: &Table,
     engine: &SearchEngine,
@@ -114,37 +152,40 @@ pub fn harvest_auxiliary(
     // name-query surfaces are compared, so the linker's model is applied
     // directly without a second blocking pass.
     let fs_model = fred_linkage::default_name_model();
+    let prepared_pages = prepare_pages(engine, &normalizer);
 
-    let mut records = Vec::with_capacity(names.len());
-    let mut pages_inspected = 0usize;
-    let mut pages_linked = 0usize;
-    for name in &names {
-        if name.trim().is_empty() {
-            records.push(None);
-            continue;
-        }
-        let (accepted, inspected) = linked_pages(name, engine, config, &normalizer, &fs_model);
-        pages_inspected += inspected;
-        pages_linked += accepted.len();
-        let extractions: Vec<AuxRecord> = accepted.into_iter().map(extract).collect();
-        records.push(consolidate(&extractions));
-    }
-    Ok(Harvest {
-        records,
-        pages_inspected,
-        pages_linked,
-    })
+    let per_name: Vec<(Option<AuxRecord>, Vec<usize>, usize)> = names
+        .into_par_iter()
+        .map_init(
+            || (engine.scratch(), engine.term_cache()),
+            |(scratch, cache), name| {
+                if name.trim().is_empty() {
+                    return (None, Vec::new(), 0);
+                }
+                let hits = engine.search_with(&name, config.hits_per_name, scratch, cache);
+                let prepared = normalizer.prepare(&name);
+                let (accepted, inspected) =
+                    classify_hits(&hits, &prepared, engine, config, &prepared_pages, &fs_model);
+                let extractions: Vec<AuxRecord> = accepted
+                    .iter()
+                    .filter_map(|&p| engine.page(p).map(extract))
+                    .collect();
+                (consolidate(&extractions), accepted, inspected)
+            },
+        )
+        .collect();
+    Ok(assemble(per_name))
 }
 
-/// Evaluates harvesting accuracy against ground truth: the fraction of
-/// linked records whose pages actually belong to the release person.
-/// Requires the release row order to match `person_ids`.
-pub fn harvest_precision(
+/// The plain one-name-at-a-time harvest loop the parallel
+/// [`harvest_auxiliary`] is pinned against: same search engine, same
+/// linkage model, no scratch reuse, no worker threads. Kept public as the
+/// reference implementation for equivalence property tests.
+pub fn harvest_auxiliary_sequential(
     release: &Table,
     engine: &SearchEngine,
     config: &HarvestConfig,
-    person_ids: &[usize],
-) -> Result<f64> {
+) -> Result<Harvest> {
     let id_cols = release.identifier_columns();
     if id_cols.is_empty() {
         return Err(AttackError::NoIdentifiers);
@@ -152,11 +193,56 @@ pub fn harvest_precision(
     let names = release.identifier_strings();
     let normalizer = NameNormalizer::new();
     let fs_model = fred_linkage::default_name_model();
+    let prepared_pages: Vec<PreparedName> = engine
+        .pages()
+        .iter()
+        .map(|page| normalizer.prepare(&page.display_name))
+        .collect();
+
+    let mut per_name = Vec::with_capacity(names.len());
+    for name in &names {
+        if name.trim().is_empty() {
+            per_name.push((None, Vec::new(), 0));
+            continue;
+        }
+        let hits = engine.search(name, config.hits_per_name);
+        let prepared = normalizer.prepare(name);
+        let (accepted, inspected) =
+            classify_hits(&hits, &prepared, engine, config, &prepared_pages, &fs_model);
+        let extractions: Vec<AuxRecord> = accepted
+            .iter()
+            .filter_map(|&p| engine.page(p).map(extract))
+            .collect();
+        per_name.push((consolidate(&extractions), accepted, inspected));
+    }
+    Ok(assemble(per_name))
+}
+
+/// Evaluates harvesting accuracy against ground truth: the fraction of
+/// linked records whose pages actually belong to the release person.
+///
+/// Consumes the links an existing [`Harvest`] already resolved instead of
+/// re-running every search and comparison, so evaluation is O(links) and
+/// cannot drift from actual harvest behavior. Requires the harvest's row
+/// order to match `person_ids`.
+pub fn harvest_precision(
+    harvest: &Harvest,
+    engine: &SearchEngine,
+    person_ids: &[usize],
+) -> Result<f64> {
+    if harvest.linked.len() != person_ids.len() {
+        return Err(AttackError::MisalignedTruth {
+            rows: harvest.linked.len(),
+            truths: person_ids.len(),
+        });
+    }
     let mut correct = 0usize;
     let mut total = 0usize;
-    for (row, name) in names.iter().enumerate() {
-        let (accepted, _) = linked_pages(name, engine, config, &normalizer, &fs_model);
-        for page in accepted {
+    for (row, accepted) in harvest.linked.iter().enumerate() {
+        for &page_idx in accepted {
+            let Some(page) = engine.page(page_idx) else {
+                continue;
+            };
             total += 1;
             if page.person_id == Some(person_ids[row]) {
                 correct += 1;
@@ -215,8 +301,44 @@ mod tests {
         let (people, table, engine) = world();
         let ids: Vec<usize> = people.iter().map(|p| p.id).collect();
         let release = table.suppress_sensitive();
-        let p = harvest_precision(&release, &engine, &HarvestConfig::default(), &ids).unwrap();
+        let h = harvest_auxiliary(&release, &engine, &HarvestConfig::default()).unwrap();
+        let p = harvest_precision(&h, &engine, &ids).unwrap();
         assert!(p > 0.9, "precision {p}");
+    }
+
+    #[test]
+    fn harvest_precision_rejects_misaligned_truth() {
+        let (_, table, engine) = world();
+        let release = table.suppress_sensitive();
+        let h = harvest_auxiliary(&release, &engine, &HarvestConfig::default()).unwrap();
+        assert!(matches!(
+            harvest_precision(&h, &engine, &[1, 2, 3]),
+            Err(AttackError::MisalignedTruth { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_harvest_equals_sequential_reference() {
+        let (_, table, engine) = world();
+        let release = table.suppress_sensitive();
+        let config = HarvestConfig::default();
+        let parallel = harvest_auxiliary(&release, &engine, &config).unwrap();
+        let sequential = harvest_auxiliary_sequential(&release, &engine, &config).unwrap();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn linked_pages_are_recorded_per_row() {
+        let (_, table, engine) = world();
+        let release = table.suppress_sensitive();
+        let h = harvest_auxiliary(&release, &engine, &HarvestConfig::default()).unwrap();
+        assert_eq!(h.linked.len(), h.records.len());
+        let linked_total: usize = h.linked.iter().map(Vec::len).sum();
+        assert_eq!(linked_total, h.pages_linked);
+        // Rows with a consolidated record must have at least one link.
+        for (record, links) in h.records.iter().zip(&h.linked) {
+            assert_eq!(record.is_some(), !links.is_empty());
+        }
     }
 
     #[test]

@@ -11,6 +11,13 @@ pub enum AttackError {
     Fuzzy(fred_fuzzy::FuzzyError),
     /// The release has no identifier column to harvest with.
     NoIdentifiers,
+    /// A harvest and its ground-truth ids cover different row counts.
+    MisalignedTruth {
+        /// Rows in the harvest.
+        rows: usize,
+        /// Ground-truth ids supplied.
+        truths: usize,
+    },
     /// The release declares no quasi-identifier inputs.
     NoInputs,
     /// The fusion system was configured with an empty income range.
@@ -28,6 +35,12 @@ impl fmt::Display for AttackError {
             AttackError::Data(e) => write!(f, "data error: {e}"),
             AttackError::Fuzzy(e) => write!(f, "fuzzy error: {e}"),
             AttackError::NoIdentifiers => write!(f, "release carries no identifier column"),
+            AttackError::MisalignedTruth { rows, truths } => {
+                write!(
+                    f,
+                    "harvest covers {rows} rows but {truths} ground-truth ids were supplied"
+                )
+            }
             AttackError::NoInputs => write!(f, "release carries no quasi-identifier inputs"),
             AttackError::InvalidIncomeRange { lo, hi } => {
                 write!(f, "invalid income range [{lo}, {hi}]")

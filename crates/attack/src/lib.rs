@@ -42,7 +42,9 @@ pub mod explain;
 pub mod fusion;
 
 pub use attack::{AttackOutcome, WebFusionAttack};
-pub use aux::{harvest_auxiliary, harvest_precision, Harvest, HarvestConfig};
+pub use aux::{
+    harvest_auxiliary, harvest_auxiliary_sequential, harvest_precision, Harvest, HarvestConfig,
+};
 pub use error::{AttackError, Result};
 pub use explain::{explain_attack, most_exposed, RecordExplanation};
 pub use fusion::{FusionSystem, FuzzyFusion, FuzzyFusionConfig, LinearFusion, MidpointEstimator};

@@ -43,6 +43,7 @@ fn run_with(world: &World, anonymizer: &dyn Anonymizer, k_min: usize, k_max: usi
             k_max,
             style: QiStyle::Range,
             harvest: HarvestConfig::default(),
+            chunk_rows: None,
         },
     )
     .expect("sweep on well-formed world")
@@ -99,6 +100,7 @@ pub fn fusion_ablation(world: &World, k_min: usize, k_max: usize) -> Vec<Ablatio
                 k_max,
                 style: QiStyle::Range,
                 harvest: HarvestConfig::default(),
+                chunk_rows: None,
             },
         )
         .expect("sweep on well-formed world")

@@ -11,10 +11,15 @@
 //!   repro --quick --out perf.json
 //!   repro --size 240 --seed 2008
 
+use fred_bench::compare::compare_baselines;
 use fred_bench::figures::{ascii_plot, figure8, figure_sweep};
 use fred_bench::perf::quick_bench;
 use fred_bench::tables::{figure2_demo, render_all};
 use fred_bench::{ablations, faculty_world, WorldConfig};
+
+/// Default large-world size for `--quick` (override with `--large-size N`,
+/// disable with `--large-size 0`).
+const DEFAULT_LARGE_SIZE: usize = 10_000;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,6 +29,8 @@ fn main() {
     let mut want_quick = false;
     let mut out_given = false;
     let mut out_path = String::from("BENCH_sweep.json");
+    let mut large_size = DEFAULT_LARGE_SIZE;
+    let mut compare_path: Option<String> = None;
     let mut figs: Vec<u32> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -38,6 +45,21 @@ fn main() {
                     .get(i)
                     .cloned()
                     .unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--large-size" => {
+                i += 1;
+                large_size = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--large-size needs an integer (0 disables)"));
+            }
+            "--compare" => {
+                i += 1;
+                compare_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--compare needs a baseline path")),
+                );
             }
             "--fig" => {
                 i += 1;
@@ -66,11 +88,16 @@ fn main() {
         }
         i += 1;
     }
-    if out_given && !want_quick {
-        usage("--out only applies together with --quick");
+    if (out_given || compare_path.is_some() || large_size != DEFAULT_LARGE_SIZE) && !want_quick {
+        usage("--out/--compare/--large-size only apply together with --quick");
     }
     if want_quick {
-        run_quick(&config, &out_path);
+        let large = if large_size == 0 {
+            None
+        } else {
+            Some(large_size)
+        };
+        run_quick(&config, &out_path, large, compare_path.as_deref());
         return;
     }
     let all = !want_tables && !want_ablations && figs.is_empty();
@@ -95,16 +122,19 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--tables] [--fig N]... [--ablations] [--quick] [--out PATH] \
-         [--size N] [--seed N]\n\
+         [--large-size N] [--compare BASELINE] [--size N] [--seed N]\n\
          regenerates the paper's tables (I-IV) and figures (4-8);\n\
-         --quick runs a reduced timed sweep and writes a machine-readable\n\
-         perf baseline (default BENCH_sweep.json)"
+         --quick runs a reduced timed sweep plus a large-world stage\n\
+         (default 10000 rows; --large-size 0 disables) and writes a\n\
+         machine-readable perf baseline (default BENCH_sweep.json);\n\
+         --compare gates the fresh run against a committed baseline and\n\
+         exits non-zero on a perf regression"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
 /// `--quick`: the reduced timed sweep, printed and persisted as JSON.
-fn run_quick(config: &WorldConfig, out_path: &str) {
+fn run_quick(config: &WorldConfig, out_path: &str, large: Option<usize>, compare: Option<&str>) {
     if config.size < 2 {
         usage("--quick needs --size >= 2 (the sweep starts at k = 2)");
     }
@@ -114,13 +144,51 @@ fn run_quick(config: &WorldConfig, out_path: &str) {
         config.size, config.seed
     );
     println!("======================================================================");
-    let bench = quick_bench(config, 2, 10, 3);
+    // Load the comparison baseline BEFORE any write: when `--out` (or its
+    // default) points at the same file as `--compare`, writing first would
+    // silently diff the fresh run against itself.
+    let committed = compare.map(
+        |baseline_path| match std::fs::read_to_string(baseline_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: could not read baseline {baseline_path}: {e}");
+                std::process::exit(1);
+            }
+        },
+    );
+    let bench = quick_bench(config, 2, 10, 3, large);
     print!("{}", bench.to_ascii());
-    if let Err(e) = std::fs::write(out_path, bench.to_json()) {
-        eprintln!("error: could not write {out_path}: {e}");
-        std::process::exit(1);
+    let fresh_json = bench.to_json();
+    let clobbers_baseline = compare.is_some_and(|baseline_path| {
+        let canon = |p: &str| std::fs::canonicalize(p).unwrap_or_else(|_| p.into());
+        canon(baseline_path) == canon(out_path)
+    });
+    if clobbers_baseline {
+        // A gate run must not replace the baseline it is gating against;
+        // regenerating the baseline is a deliberate act (`--out`, no
+        // `--compare`).
+        println!("  fresh baseline NOT written: {out_path} is the baseline under comparison");
+    } else {
+        if let Err(e) = std::fs::write(out_path, &fresh_json) {
+            eprintln!("error: could not write {out_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("  baseline written to {out_path}");
     }
-    println!("  baseline written to {out_path}");
+    if let (Some(baseline_path), Some(committed)) = (compare, committed) {
+        let report = compare_baselines(&committed, &fresh_json);
+        for note in &report.notes {
+            println!("  compare: {note}");
+        }
+        if report.violations.is_empty() {
+            println!("  compare: no perf regression versus {baseline_path}");
+        } else {
+            for v in &report.violations {
+                eprintln!("  REGRESSION: {v}");
+            }
+            std::process::exit(1);
+        }
+    }
 }
 
 fn print_tables() {

@@ -1,0 +1,261 @@
+//! The perf-smoke gate: diffs a fresh `BENCH_sweep.json` against the
+//! committed baseline and reports regressions.
+//!
+//! The workspace builds offline (no serde), and the only JSON either side
+//! of the diff ever sees is the output of
+//! [`QuickBench::to_json`](crate::perf::QuickBench::to_json), so parsing
+//! is a deliberately small line-oriented extractor over that one stable
+//! format rather than a general JSON reader.
+//!
+//! Gate rules (enforced by `repro --quick --compare BASELINE` and the CI
+//! perf-smoke step):
+//!
+//! * `speedup_batch_vs_naive` must stay ≥ 2.0;
+//! * no stage present in the committed baseline may run more than 3×
+//!   slower (stages faster than the timing floor are skipped as noise);
+//! * a stage present in the baseline must not disappear;
+//! * on machines with ≥ 4 cores, the large-world harvest must keep
+//!   `speedup_harvest_parallel_vs_seq` ≥ 2.0 (single-core runners skip
+//!   this check — there is nothing to parallelize over).
+
+use std::collections::BTreeMap;
+
+/// A stage may regress up to this factor before the gate fails (CI
+/// runners are noisy; superlinear blow-ups clear 3× immediately).
+pub const MAX_STAGE_REGRESSION: f64 = 3.0;
+
+/// Minimum required compiled-vs-interpreted estimate speedup.
+pub const MIN_BATCH_SPEEDUP: f64 = 2.0;
+
+/// Minimum required parallel-vs-sequential harvest speedup on ≥ 4 cores.
+pub const MIN_HARVEST_SPEEDUP: f64 = 2.0;
+
+/// Cores below which the harvest-speedup check is vacuous.
+pub const HARVEST_SPEEDUP_MIN_CORES: usize = 4;
+
+/// Committed wall-clocks below this are too fast to ratio meaningfully:
+/// the baseline and the fresh run are usually taken on *different
+/// machines* (a dev box vs a CI runner), where a millisecond-scale stage
+/// can miss 3x on clock-speed and scheduler differences alone. Every hot
+/// stage the gate exists for (MDAV, harvest, estimates — especially
+/// their `_large` variants) sits one to three orders of magnitude above
+/// this floor.
+pub const STAGE_FLOOR_MS: f64 = 2.0;
+
+/// Everything [`parse_baseline`] can recover from one baseline file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baseline {
+    /// Stage name → wall milliseconds (small- and large-world stages share
+    /// one namespace; large stages carry a `_large` suffix by construction).
+    pub stage_wall_ms: BTreeMap<String, f64>,
+    /// `speedup_batch_vs_naive`, when present.
+    pub speedup_batch_vs_naive: Option<f64>,
+    /// `speedup_harvest_parallel_vs_seq`, when present.
+    pub speedup_harvest_parallel_vs_seq: Option<f64>,
+    /// `cores` recorded in the config block, when present.
+    pub cores: Option<usize>,
+}
+
+/// The outcome of [`compare_baselines`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompareReport {
+    /// Human-readable observations that did not fail the gate.
+    pub notes: Vec<String>,
+    /// Gate failures; empty means the fresh run passed.
+    pub violations: Vec<String>,
+}
+
+/// Pulls the quoted value following `"key":` out of a line, if present.
+fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let rest = &line[line.find(&needle)? + needle.len()..];
+    let open = rest.find('"')?;
+    let rest = &rest[open + 1..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Pulls the numeric value following `"key":` out of a line, if present.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = line[line.find(&needle)? + needle.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses a `BENCH_sweep.json` produced by
+/// [`QuickBench::to_json`](crate::perf::QuickBench::to_json).
+pub fn parse_baseline(json: &str) -> Baseline {
+    let mut out = Baseline::default();
+    for line in json.lines() {
+        if let (Some(name), Some(wall)) = (str_field(line, "name"), num_field(line, "wall_ms")) {
+            out.stage_wall_ms.insert(name.to_owned(), wall);
+            continue;
+        }
+        if let Some(v) = num_field(line, "speedup_batch_vs_naive") {
+            out.speedup_batch_vs_naive = Some(v);
+        }
+        if let Some(v) = num_field(line, "speedup_harvest_parallel_vs_seq") {
+            out.speedup_harvest_parallel_vs_seq = Some(v);
+        }
+        if let Some(v) = num_field(line, "cores") {
+            out.cores = Some(v as usize);
+        }
+    }
+    out
+}
+
+/// Diffs a fresh baseline against the committed one under the gate rules.
+pub fn compare_baselines(committed_json: &str, fresh_json: &str) -> CompareReport {
+    let committed = parse_baseline(committed_json);
+    let fresh = parse_baseline(fresh_json);
+    let mut report = CompareReport::default();
+
+    match fresh.speedup_batch_vs_naive {
+        Some(v) if v < MIN_BATCH_SPEEDUP => report.violations.push(format!(
+            "speedup_batch_vs_naive fell to {v:.2} (must stay >= {MIN_BATCH_SPEEDUP:.1})"
+        )),
+        Some(v) => report
+            .notes
+            .push(format!("speedup_batch_vs_naive = {v:.2}")),
+        None => report
+            .violations
+            .push("fresh baseline carries no speedup_batch_vs_naive".into()),
+    }
+
+    for (name, &committed_ms) in &committed.stage_wall_ms {
+        let Some(&fresh_ms) = fresh.stage_wall_ms.get(name) else {
+            report.violations.push(format!(
+                "stage `{name}` disappeared from the fresh baseline"
+            ));
+            continue;
+        };
+        if committed_ms < STAGE_FLOOR_MS {
+            continue;
+        }
+        let ratio = fresh_ms / committed_ms;
+        if ratio > MAX_STAGE_REGRESSION {
+            report.violations.push(format!(
+                "stage `{name}` regressed {ratio:.2}x ({committed_ms:.3} ms -> {fresh_ms:.3} ms, \
+                 limit {MAX_STAGE_REGRESSION:.1}x)"
+            ));
+        }
+    }
+
+    let fresh_cores = fresh.cores.unwrap_or(1);
+    match fresh.speedup_harvest_parallel_vs_seq {
+        Some(v) if fresh_cores >= HARVEST_SPEEDUP_MIN_CORES && v < MIN_HARVEST_SPEEDUP => {
+            report.violations.push(format!(
+                "harvest parallel speedup fell to {v:.2} on {fresh_cores} cores \
+                 (must stay >= {MIN_HARVEST_SPEEDUP:.1} on >= {HARVEST_SPEEDUP_MIN_CORES})"
+            ))
+        }
+        Some(v) => report.notes.push(format!(
+            "harvest parallel speedup = {v:.2} on {fresh_cores} core(s)"
+        )),
+        None => {}
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::quick_bench;
+    use crate::world::WorldConfig;
+
+    fn small_bench_json(large: Option<usize>) -> String {
+        quick_bench(
+            &WorldConfig {
+                size: 30,
+                ..WorldConfig::default()
+            },
+            2,
+            4,
+            1,
+            large,
+        )
+        .to_json()
+    }
+
+    #[test]
+    fn parses_its_own_writer_round_trip() {
+        let json = small_bench_json(Some(40));
+        let b = parse_baseline(&json);
+        assert!(b.stage_wall_ms.contains_key("world_build"));
+        assert!(b.stage_wall_ms.contains_key("mdav_k5"));
+        assert!(b.stage_wall_ms.contains_key("mdav_k5_large"));
+        assert!(b.stage_wall_ms.contains_key("harvest_parallel_large"));
+        assert!(b.speedup_batch_vs_naive.is_some());
+        assert!(b.speedup_harvest_parallel_vs_seq.is_some());
+        assert!(b.cores.unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn identical_baselines_pass() {
+        // Synthetic timings: a real timed run under parallel-test load can
+        // legitimately dip below the speedup gate, which is not what this
+        // test is about.
+        let json = synthetic_json(100.0, 5.0);
+        let report = compare_baselines(&json, &json);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn slow_batch_speedup_fails() {
+        let committed = synthetic_json(100.0, 5.0);
+        let degraded = synthetic_json(100.0, 1.10);
+        let report = compare_baselines(&committed, &degraded);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("speedup_batch_vs_naive")));
+    }
+
+    /// A handcrafted baseline in the writer's format: timings are pinned
+    /// so the test does not depend on how fast this machine happens to be.
+    fn synthetic_json(mdav_ms: f64, speedup: f64) -> String {
+        format!(
+            "{{\n  \"config\": {{ \"size\": 120, \"seed\": 2015, \"k_min\": 2, \"k_max\": 10, \"cores\": 1 }},\n  \
+             \"stages\": [\n    \
+             {{ \"name\": \"world_build\", \"wall_ms\": 1.500, \"rows\": 120, \"rows_per_sec\": 80000.0 }},\n    \
+             {{ \"name\": \"mdav_k5\", \"wall_ms\": {mdav_ms:.3}, \"rows\": 120, \"rows_per_sec\": 1000.0 }}\n  \
+             ],\n  \"speedup_batch_vs_naive\": {speedup:.2}\n}}\n"
+        )
+    }
+
+    #[test]
+    fn stage_blowup_fails() {
+        // Committed: 100 ms (above floor). Fresh: 1000 ms — a 10x blow-up.
+        let committed = synthetic_json(100.0, 5.0);
+        let fresh = synthetic_json(1000.0, 5.0);
+        let report = compare_baselines(&committed, &fresh);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("`mdav_k5` regressed")),
+            "{:?}",
+            report.violations
+        );
+        // Same blow-up ratio below the floor is ignored as noise.
+        let committed = synthetic_json(STAGE_FLOOR_MS / 2.0, 5.0);
+        let fresh = synthetic_json(STAGE_FLOOR_MS * 4.0, 5.0);
+        let report = compare_baselines(&committed, &fresh);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn missing_stage_fails() {
+        let json = small_bench_json(None);
+        let fresh: String = json
+            .lines()
+            .filter(|l| !l.contains("\"mdav_k5\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let report = compare_baselines(&json, &fresh);
+        assert!(report.violations.iter().any(|v| v.contains("disappeared")));
+    }
+}

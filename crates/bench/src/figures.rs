@@ -41,6 +41,7 @@ pub fn figure_sweep_with_range(world: &World, k_min: usize, k_max: usize) -> Swe
             k_max,
             style: QiStyle::Range,
             harvest: HarvestConfig::default(),
+            chunk_rows: None,
         },
     )
     .expect("sweep over a well-formed world cannot fail")

@@ -14,12 +14,19 @@ use std::time::Instant;
 
 use fred_anon::{build_release, Anonymizer, Mdav, QiStyle, Release};
 use fred_attack::{
-    harvest_auxiliary, FusionSystem, FuzzyFusion, FuzzyFusionConfig, Harvest, HarvestConfig,
-    MidpointEstimator,
+    harvest_auxiliary, harvest_auxiliary_sequential, FusionSystem, FuzzyFusion, FuzzyFusionConfig,
+    Harvest, HarvestConfig, MidpointEstimator,
 };
 use fred_core::{sweep, SweepConfig};
 
 use crate::world::{faculty_world, WorldConfig};
+
+/// Anonymization level used by the dedicated MDAV/harvest stages (matches
+/// the `mdav_k5` target the ROADMAP tracks).
+const STAGE_K: usize = 5;
+
+/// Row-chunk size for the streaming-release stage.
+const STREAM_CHUNK_ROWS: usize = 1024;
 
 /// Wall-clock + throughput of one pipeline stage.
 #[derive(Debug, Clone)]
@@ -42,6 +49,19 @@ impl StageTiming {
     }
 }
 
+/// The large-world add-on: the same hot stages timed at enterprise scale
+/// (defaults to 10 000 rows), where superlinear behavior cannot hide.
+#[derive(Debug, Clone)]
+pub struct LargeBench {
+    /// Large-world row count.
+    pub size: usize,
+    /// Per-stage timings in pipeline order.
+    pub stages: Vec<StageTiming>,
+    /// Sequential harvest wall-clock over parallel harvest wall-clock
+    /// (scales with cores; ~1 on a single-core machine).
+    pub speedup_harvest_parallel_vs_seq: f64,
+}
+
 /// The quick-bench result.
 #[derive(Debug, Clone)]
 pub struct QuickBench {
@@ -49,39 +69,62 @@ pub struct QuickBench {
     pub size: usize,
     /// World seed.
     pub seed: u64,
+    /// Worker threads available when the numbers were taken (parallel
+    /// speedups are only meaningful relative to this).
+    pub cores: usize,
     /// Swept anonymization levels.
     pub k_range: (usize, usize),
     /// Per-stage timings in pipeline order.
     pub stages: Vec<StageTiming>,
     /// Naive per-row estimate wall-clock over batch wall-clock.
     pub speedup_batch_vs_naive: f64,
+    /// The large-world stage, when enabled.
+    pub large: Option<LargeBench>,
 }
 
 impl QuickBench {
     /// Renders the machine-readable baseline (hand-rolled JSON — the
     /// workspace builds offline, without serde).
     pub fn to_json(&self) -> String {
+        let render_stages = |stages: &[StageTiming], indent: &str| -> String {
+            let mut out = String::new();
+            for (i, s) in stages.iter().enumerate() {
+                out.push_str(&format!(
+                    "{indent}{{ \"name\": \"{}\", \"wall_ms\": {:.3}, \"rows\": {}, \"rows_per_sec\": {:.1} }}{}\n",
+                    s.name,
+                    s.wall_ms,
+                    s.rows,
+                    s.rows_per_sec(),
+                    if i + 1 < stages.len() { "," } else { "" }
+                ));
+            }
+            out
+        };
         let mut out = String::from("{\n");
         out.push_str(&format!(
-            "  \"config\": {{ \"size\": {}, \"seed\": {}, \"k_min\": {}, \"k_max\": {} }},\n",
-            self.size, self.seed, self.k_range.0, self.k_range.1
+            "  \"config\": {{ \"size\": {}, \"seed\": {}, \"k_min\": {}, \"k_max\": {}, \"cores\": {} }},\n",
+            self.size, self.seed, self.k_range.0, self.k_range.1, self.cores
         ));
         out.push_str("  \"stages\": [\n");
-        for (i, s) in self.stages.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{ \"name\": \"{}\", \"wall_ms\": {:.3}, \"rows\": {}, \"rows_per_sec\": {:.1} }}{}\n",
-                s.name,
-                s.wall_ms,
-                s.rows,
-                s.rows_per_sec(),
-                if i + 1 < self.stages.len() { "," } else { "" }
-            ));
-        }
+        out.push_str(&render_stages(&self.stages, "    "));
         out.push_str("  ],\n");
         out.push_str(&format!(
-            "  \"speedup_batch_vs_naive\": {:.2}\n",
+            "  \"speedup_batch_vs_naive\": {:.2}",
             self.speedup_batch_vs_naive
         ));
+        if let Some(large) = &self.large {
+            out.push_str(",\n  \"large\": {\n");
+            out.push_str(&format!("    \"size\": {},\n", large.size));
+            out.push_str("    \"stages\": [\n");
+            out.push_str(&render_stages(&large.stages, "      "));
+            out.push_str("    ],\n");
+            out.push_str(&format!(
+                "    \"speedup_harvest_parallel_vs_seq\": {:.2}\n  }}\n",
+                large.speedup_harvest_parallel_vs_seq
+            ));
+        } else {
+            out.push('\n');
+        }
         out.push_str("}\n");
         out
     }
@@ -106,6 +149,27 @@ impl QuickBench {
             "  batch/parallel estimate is {:.1}x the naive per-row path\n",
             self.speedup_batch_vs_naive
         ));
+        if let Some(large) = &self.large {
+            out.push_str(&format!(
+                "  large world — {} records ({} core{}):\n",
+                large.size,
+                self.cores,
+                if self.cores == 1 { "" } else { "s" }
+            ));
+            for s in &large.stages {
+                out.push_str(&format!(
+                    "  {:<26} {:>10.2} {:>9} {:>11.0}\n",
+                    s.name,
+                    s.wall_ms,
+                    s.rows,
+                    s.rows_per_sec()
+                ));
+            }
+            out.push_str(&format!(
+                "  parallel harvest is {:.1}x the sequential reference\n",
+                large.speedup_harvest_parallel_vs_seq
+            ));
+        }
         out
     }
 }
@@ -120,8 +184,16 @@ fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
 ///
 /// `repeats` controls how many times the two estimate paths run over the
 /// full release set (median-free but averaged), keeping the comparison
-/// stable at quick scale.
-pub fn quick_bench(config: &WorldConfig, k_min: usize, k_max: usize, repeats: usize) -> QuickBench {
+/// stable at quick scale. `large_size` additionally times the hot stages
+/// (world build, MDAV, parallel + sequential harvest, release streaming)
+/// on a world of that many rows — pass `None` to skip.
+pub fn quick_bench(
+    config: &WorldConfig,
+    k_min: usize,
+    k_max: usize,
+    repeats: usize,
+    large_size: Option<usize>,
+) -> QuickBench {
     let repeats = repeats.max(1);
     let mut stages = Vec::new();
 
@@ -133,8 +205,21 @@ pub fn quick_bench(config: &WorldConfig, k_min: usize, k_max: usize, repeats: us
         rows: world.table.len(),
     });
 
-    // Stage 2: per-level anonymization (partition + release).
+    // Stage 2: MDAV at the tracked level (the ROADMAP's `mdav_k5`).
     let anonymizer = Mdav::new();
+    let stage_k = STAGE_K.min(world.table.len());
+    let (_, wall) = time_ms(|| {
+        anonymizer
+            .partition(&world.table, stage_k)
+            .expect("quick-bench world partitions cleanly")
+    });
+    stages.push(StageTiming {
+        name: "mdav_k5",
+        wall_ms: wall,
+        rows: world.table.len(),
+    });
+
+    // Stage 3: per-level anonymization (partition + release).
     let k_max = k_max.min(world.table.len());
     assert!(
         k_min <= k_max,
@@ -221,10 +306,97 @@ pub fn quick_bench(config: &WorldConfig, k_min: usize, k_max: usize, repeats: us
     QuickBench {
         size: world.table.len(),
         seed: config.seed,
+        cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         k_range: (k_min, k_max),
         stages,
         speedup_batch_vs_naive: if batch_wall > 0.0 {
             naive_wall / batch_wall
+        } else {
+            0.0
+        },
+        large: large_size.map(|size| large_bench(config, size)),
+    }
+}
+
+/// Times the hot stages on a large world: this is where the near-linear
+/// MDAV, the batched/parallel harvest and the streaming release iterator
+/// earn their keep, and where a superlinear regression shows up as a
+/// wall-clock cliff rather than noise.
+fn large_bench(config: &WorldConfig, size: usize) -> LargeBench {
+    let mut stages = Vec::new();
+    let large_config = WorldConfig {
+        size,
+        ..config.clone()
+    };
+
+    let (world, wall) = time_ms(|| faculty_world(&large_config));
+    stages.push(StageTiming {
+        name: "world_build_large",
+        wall_ms: wall,
+        rows: world.table.len(),
+    });
+
+    let anonymizer = Mdav::new();
+    let stage_k = STAGE_K.min(world.table.len());
+    let (partition, wall) = time_ms(|| {
+        anonymizer
+            .partition(&world.table, stage_k)
+            .expect("large world partitions cleanly")
+    });
+    stages.push(StageTiming {
+        name: "mdav_k5_large",
+        wall_ms: wall,
+        rows: world.table.len(),
+    });
+
+    // Stream the release instead of materializing it: peak memory stays
+    // one chunk regardless of world size.
+    let (streamed_rows, wall) = time_ms(|| {
+        Release::chunks(&world.table, &partition, QiStyle::Range, STREAM_CHUNK_ROWS)
+            .map(|chunk| chunk.expect("chunk builds from a valid partition").len())
+            .sum::<usize>()
+    });
+    assert_eq!(streamed_rows, world.table.len());
+    stages.push(StageTiming {
+        name: "release_stream_large",
+        wall_ms: wall,
+        rows: streamed_rows,
+    });
+
+    let release = build_release(&world.table, &partition, stage_k, QiStyle::Range)
+        .expect("release builds from a valid partition");
+    let harvest_config = HarvestConfig::default();
+    let (harvest_par, par_wall) = time_ms(|| {
+        harvest_auxiliary(&release.table, &world.web, &harvest_config)
+            .expect("harvest over a generated corpus cannot fail")
+    });
+    stages.push(StageTiming {
+        name: "harvest_parallel_large",
+        wall_ms: par_wall,
+        rows: world.table.len(),
+    });
+
+    let (harvest_seq, seq_wall) = time_ms(|| {
+        harvest_auxiliary_sequential(&release.table, &world.web, &harvest_config)
+            .expect("harvest over a generated corpus cannot fail")
+    });
+    stages.push(StageTiming {
+        name: "harvest_sequential_large",
+        wall_ms: seq_wall,
+        rows: world.table.len(),
+    });
+    assert_eq!(
+        harvest_par, harvest_seq,
+        "parallel harvest must be record-for-record identical to the reference"
+    );
+
+    LargeBench {
+        size: world.table.len(),
+        stages,
+        speedup_harvest_parallel_vs_seq: if par_wall > 0.0 {
+            seq_wall / par_wall
         } else {
             0.0
         },
@@ -285,14 +457,56 @@ mod tests {
             2,
             4,
             1,
+            None,
         );
         assert_eq!(bench.k_range, (2, 4));
-        assert_eq!(bench.stages.len(), 6);
+        assert_eq!(bench.stages.len(), 7);
+        assert!(bench.large.is_none());
+        assert!(bench.cores >= 1);
         let json = bench.to_json();
+        assert!(json.contains("\"mdav_k5\""));
+        assert!(json.contains("\"cores\""));
         assert!(json.contains("\"estimate_batch_parallel\""));
         assert!(json.contains("\"speedup_batch_vs_naive\""));
+        assert!(!json.contains("\"large\""));
         assert!(json.trim_end().ends_with('}'));
         let ascii = bench.to_ascii();
         assert!(ascii.contains("rows/sec"));
+    }
+
+    #[test]
+    fn quick_bench_large_stage_runs_and_serializes() {
+        // A "large" world of 80 rows keeps the test fast while driving the
+        // exact code path `--size 10_000` exercises.
+        let bench = quick_bench(
+            &WorldConfig {
+                size: 30,
+                ..WorldConfig::default()
+            },
+            2,
+            4,
+            1,
+            Some(80),
+        );
+        let large = bench.large.as_ref().expect("large stage requested");
+        assert_eq!(large.size, 80);
+        let names: Vec<&str> = large.stages.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "world_build_large",
+                "mdav_k5_large",
+                "release_stream_large",
+                "harvest_parallel_large",
+                "harvest_sequential_large",
+            ]
+        );
+        assert!(large.speedup_harvest_parallel_vs_seq > 0.0);
+        let json = bench.to_json();
+        assert!(json.contains("\"large\""));
+        assert!(json.contains("\"mdav_k5_large\""));
+        assert!(json.contains("\"speedup_harvest_parallel_vs_seq\""));
+        let ascii = bench.to_ascii();
+        assert!(ascii.contains("large world"));
     }
 }

@@ -28,6 +28,13 @@ pub struct SweepConfig {
     pub style: QiStyle,
     /// Harvesting configuration for the simulated attack.
     pub harvest: HarvestConfig,
+    /// When set, each level's release is *streamed* through
+    /// [`fred_anon::Release::chunks`] in chunks of this many rows and the
+    /// estimators run chunk-by-chunk, so no k-level release is ever
+    /// materialized in full. Estimates are per-row, so the report is
+    /// bit-identical to the materializing path (pinned by property test).
+    /// `None` (the default) materializes each release whole.
+    pub chunk_rows: Option<usize>,
 }
 
 impl Default for SweepConfig {
@@ -37,6 +44,7 @@ impl Default for SweepConfig {
             k_max: 16,
             style: QiStyle::Range,
             harvest: HarvestConfig::default(),
+            chunk_rows: None,
         }
     }
 }
@@ -196,9 +204,35 @@ pub fn sweep(
         .into_par_iter()
         .map(|k| -> Result<SweepRow> {
             let partition = anonymizer.partition(table, k)?;
-            let release = build_release(table, &partition, k, config.style)?;
-            let est_before = before.estimate(&release.table, &harvest.records)?;
-            let est_after = after.estimate(&release.table, &harvest.records)?;
+            let (est_before, est_after) = match config.chunk_rows {
+                None => {
+                    let release = build_release(table, &partition, k, config.style)?;
+                    (
+                        before.estimate(&release.table, &harvest.records)?,
+                        after.estimate(&release.table, &harvest.records)?,
+                    )
+                }
+                Some(chunk_rows) => {
+                    // Stream the release: per-row estimators see each
+                    // chunk with its aligned slice of harvest records, so
+                    // the concatenated estimates match the materializing
+                    // path while peak memory stays O(chunk_rows).
+                    let mut est_b = Vec::with_capacity(table.len());
+                    let mut est_a = Vec::with_capacity(table.len());
+                    let mut lo = 0usize;
+                    for chunk in
+                        fred_anon::Release::chunks(table, &partition, config.style, chunk_rows)
+                    {
+                        let chunk = chunk.map_err(CoreError::Anon)?;
+                        let hi = lo + chunk.len();
+                        let aux = &harvest.records[lo..hi];
+                        est_b.extend(before.estimate(&chunk, aux)?);
+                        est_a.extend(after.estimate(&chunk, aux)?);
+                        lo = hi;
+                    }
+                    (est_b, est_a)
+                }
+            };
             let dissim_before = dissimilarity(&truth, &est_before)?;
             let dissim_after = dissimilarity(&truth, &est_after)?;
             let cdm = discernibility(&partition, k);
@@ -263,6 +297,33 @@ mod tests {
             },
         )
         .unwrap()
+    }
+
+    #[test]
+    fn chunked_sweep_is_bit_identical_to_materializing_sweep() {
+        let (table, web) = world();
+        let before = MidpointEstimator::default();
+        let after = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+        let run = |chunk_rows: Option<usize>| {
+            sweep(
+                &table,
+                &web,
+                &Mdav::new(),
+                &before,
+                &after,
+                &SweepConfig {
+                    k_min: 2,
+                    k_max: 6,
+                    chunk_rows,
+                    ..SweepConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let full = run(None);
+        for chunk_rows in [1usize, 7, 16, 1000] {
+            assert_eq!(run(Some(chunk_rows)), full, "chunk_rows={chunk_rows}");
+        }
     }
 
     #[test]

@@ -98,7 +98,139 @@ impl SearchEngine {
             .filter_map(|h| self.pages.get(h.page))
             .collect()
     }
+
+    /// A reusable scratch sized for this corpus; see
+    /// [`search_with`](SearchEngine::search_with).
+    pub fn scratch(&self) -> SearchScratch {
+        SearchScratch {
+            scores: vec![0.0; self.pages.len()],
+            mark: vec![0; self.pages.len()],
+            epoch: 0,
+            touched: Vec::new(),
+        }
+    }
+
+    /// An empty per-batch term cache; see
+    /// [`search_with`](SearchEngine::search_with).
+    pub fn term_cache(&self) -> TermCache<'_> {
+        TermCache {
+            map: HashMap::new(),
+        }
+    }
+
+    /// [`search`](SearchEngine::search) with caller-provided scratch: the
+    /// dense score accumulator replaces the per-call `HashMap`, and the
+    /// term cache skips repeated postings/IDF lookups across queries of
+    /// one batch (release names share a small token vocabulary, so the
+    /// hit rate is high). Results are bit-identical to `search` — scores
+    /// accumulate in the same term order and the final ranking comparator
+    /// is a total order.
+    pub fn search_with<'a>(
+        &'a self,
+        query: &str,
+        limit: usize,
+        scratch: &mut SearchScratch,
+        cache: &mut TermCache<'a>,
+    ) -> Vec<SearchHit> {
+        let terms = tokenize(query);
+        if terms.is_empty() || self.pages.is_empty() {
+            return Vec::new();
+        }
+        let n = self.pages.len() as f64;
+        scratch.begin(self.pages.len());
+        for term in terms {
+            let entry = cache.map.entry(term).or_insert_with_key(|t| {
+                self.index.get(t).map(|postings| {
+                    let idf = (n / postings.len() as f64).ln() + 1.0;
+                    (idf, postings.as_slice())
+                })
+            });
+            if let Some((idf, postings)) = entry {
+                for &(page, tf) in *postings {
+                    scratch.add(page, (1.0 + (tf as f64).ln()) * *idf);
+                }
+            }
+        }
+        let mut hits: Vec<SearchHit> = scratch
+            .touched
+            .iter()
+            .map(|&page| SearchHit {
+                page: page as usize,
+                score: scratch.scores[page as usize],
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.page.cmp(&b.page))
+        });
+        hits.truncate(limit);
+        hits
+    }
+
+    /// Batched multi-name queries: one scratch score map and one term
+    /// cache amortized across the whole batch. `search_many(qs, l)[i]` is
+    /// bit-identical to `search(qs[i], l)` for every `i`.
+    pub fn search_many<S: AsRef<str>>(&self, queries: &[S], limit: usize) -> Vec<Vec<SearchHit>> {
+        let mut scratch = self.scratch();
+        let mut cache = self.term_cache();
+        queries
+            .iter()
+            .map(|q| self.search_with(q.as_ref(), limit, &mut scratch, &mut cache))
+            .collect()
+    }
 }
+
+/// Reusable dense per-page score accumulator for
+/// [`SearchEngine::search_with`]: generation-stamped so resetting between
+/// queries is O(1) instead of O(pages).
+#[derive(Debug, Clone)]
+pub struct SearchScratch {
+    scores: Vec<f64>,
+    /// `scores[p]` is live iff `mark[p] == epoch`.
+    mark: Vec<u32>,
+    epoch: u32,
+    /// Pages touched by the current query, in first-touch order.
+    touched: Vec<u32>,
+}
+
+impl SearchScratch {
+    fn begin(&mut self, pages: usize) {
+        if self.scores.len() < pages {
+            self.scores.resize(pages, 0.0);
+            self.mark.resize(pages, 0);
+        }
+        self.touched.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: stale marks could alias the fresh epoch.
+            self.mark.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, page: usize, score: f64) {
+        if self.mark[page] == self.epoch {
+            self.scores[page] += score;
+        } else {
+            self.mark[page] = self.epoch;
+            self.scores[page] = score;
+            self.touched.push(page as u32);
+        }
+    }
+}
+
+/// Per-batch memo of term → (IDF, postings) resolved against one
+/// [`SearchEngine`]; negative lookups are cached too.
+#[derive(Debug, Clone, Default)]
+pub struct TermCache<'a> {
+    map: HashMap<String, CachedTerm<'a>>,
+}
+
+/// One resolved term: its IDF and postings slice (`None` = not indexed).
+type CachedTerm<'a> = Option<(f64, &'a [(usize, usize)])>;
 
 #[cfg(test)]
 mod tests {
@@ -187,5 +319,44 @@ mod tests {
         let e = SearchEngine::build(vec![]);
         assert!(e.is_empty());
         assert!(e.search("anything", 5).is_empty());
+        assert!(e.search_many(&["anything"], 5)[0].is_empty());
+    }
+
+    #[test]
+    fn search_many_matches_search_bit_for_bit() {
+        let e = corpus();
+        let queries = [
+            "Robert Smith",
+            "Alice Walker",
+            "Robert",
+            "Verizon",
+            "Robert Smith", // repeat: exercises the warm term cache
+            "zzyzx unknown",
+            "",
+            "Robert Jones Acme",
+        ];
+        for limit in [1usize, 2, 10] {
+            let batched = e.search_many(&queries, limit);
+            for (q, hits) in queries.iter().zip(&batched) {
+                let single = e.search(q, limit);
+                assert_eq!(hits.len(), single.len(), "query {q:?} limit {limit}");
+                for (a, b) in hits.iter().zip(&single) {
+                    assert_eq!(a.page, b.page, "query {q:?}");
+                    assert_eq!(a.score.to_bits(), b.score.to_bits(), "query {q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_survives_many_epochs() {
+        let e = corpus();
+        let mut scratch = e.scratch();
+        let mut cache = e.term_cache();
+        let reference = e.search("Robert Smith", 10);
+        for _ in 0..100 {
+            let hits = e.search_with("Robert Smith", 10, &mut scratch, &mut cache);
+            assert_eq!(hits, reference);
+        }
     }
 }

@@ -40,6 +40,6 @@ pub mod page;
 
 pub use corpus::{build_corpus, CorpusConfig};
 pub use extract::{consolidate, extract, title_seniority, AuxRecord};
-pub use index::{SearchEngine, SearchHit};
+pub use index::{SearchEngine, SearchHit, SearchScratch, TermCache};
 pub use noise::NameNoise;
 pub use page::{tokenize, PageKind, WebPage};

@@ -1,16 +1,18 @@
-//! Property tests pinning the parallel fast paths to their sequential
-//! reference semantics: the rayon-backed batch estimate and the parallel
-//! k-sweep must return *exactly* (bit-for-bit) what the naive sequential
-//! code returns.
+//! Property tests pinning the parallel/optimized fast paths to their
+//! sequential reference semantics: the rayon-backed batch estimate, the
+//! parallel k-sweep, the rewritten MDAV partitioner, the parallel harvest
+//! and the streaming (chunked) release sweep must return *exactly*
+//! (bit-for-bit) what the naive sequential code returns.
 
 use proptest::prelude::*;
 
-use fred_suite::anon::{build_release, Anonymizer, Mdav, QiStyle};
+use fred_suite::anon::{build_release, Anonymizer, Mdav, QiStyle, Release};
 use fred_suite::attack::{
-    harvest_auxiliary, FusionSystem, FuzzyFusion, FuzzyFusionConfig, HarvestConfig,
-    MidpointEstimator,
+    harvest_auxiliary, harvest_auxiliary_sequential, FusionSystem, FuzzyFusion, FuzzyFusionConfig,
+    HarvestConfig, MidpointEstimator,
 };
 use fred_suite::core::{dissimilarity, information_gain, sweep, SweepConfig};
+use fred_suite::data::{Schema, Table, Value};
 use fred_suite::synth::{customer_table, generate_population, CustomerConfig, PopulationConfig};
 use fred_suite::web::{build_corpus, CorpusConfig, NameNoise, SearchEngine};
 
@@ -34,8 +36,139 @@ fn world(size: usize, seed: u64) -> (fred_suite::data::Table, SearchEngine) {
     (table, web)
 }
 
+/// A random numeric quasi-identifier table: `n` rows over `dims`
+/// continuous columns of differing scales. Continuous draws make distance
+/// ties (the only place the optimized MDAV's incremental centroid could
+/// diverge from the reference's fresh fold by an ulp) a measure-zero
+/// event, mirroring real attribute data.
+fn random_qi_table(n: usize, dims: usize, seed: u64) -> Table {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut builder = Schema::builder();
+    for d in 0..dims {
+        builder = builder.quasi_numeric(format!("q{d}"));
+    }
+    let schema = builder.build().unwrap();
+    let rows: Vec<Vec<Value>> = (0..n)
+        .map(|_| {
+            (0..dims)
+                .map(|d| Value::Float(next() * 10f64.powi(d as i32 + 1)))
+                .collect()
+        })
+        .collect();
+    Table::with_rows(schema, rows).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn optimized_mdav_equals_reference_partition(
+        n in 4usize..300,
+        dims in 1usize..5,
+        seed in 0u64..1_000_000,
+        k in 2usize..11,
+        normalize in any::<bool>(),
+    ) {
+        prop_assume!(k <= n);
+        let table = random_qi_table(n, dims, seed);
+        let mdav = if normalize {
+            Mdav::new()
+        } else {
+            Mdav::without_normalization()
+        };
+        let fast = mdav.partition(&table, k).unwrap();
+        let reference = mdav.partition_reference(&table, k).unwrap();
+        prop_assert_eq!(fast, reference, "n={} dims={} k={} normalize={}", n, dims, k, normalize);
+    }
+
+    #[test]
+    fn parallel_harvest_equals_sequential_record_for_record(
+        size in 8usize..48,
+        seed in 0u64..1_000,
+        noisy in any::<bool>(),
+    ) {
+        let people = generate_population(&PopulationConfig {
+            size,
+            web_presence_rate: 0.85,
+            seed,
+            ..PopulationConfig::default()
+        });
+        let table = customer_table(&people, &CustomerConfig::default());
+        let web = build_corpus(
+            &people,
+            &CorpusConfig {
+                noise: if noisy { NameNoise::default() } else { NameNoise::none() },
+                pages_per_person: (1, 3),
+                seed: seed ^ 0xF00D,
+                ..CorpusConfig::default()
+            },
+        );
+        let release = table.suppress_sensitive();
+        let config = HarvestConfig::default();
+        let parallel = harvest_auxiliary(&release, &web, &config).unwrap();
+        let sequential = harvest_auxiliary_sequential(&release, &web, &config).unwrap();
+        prop_assert_eq!(parallel.records.len(), sequential.records.len());
+        for (i, (p, s)) in parallel.records.iter().zip(&sequential.records).enumerate() {
+            prop_assert_eq!(p, s, "record {} differs", i);
+        }
+        prop_assert_eq!(&parallel.linked, &sequential.linked);
+        prop_assert_eq!(parallel.pages_inspected, sequential.pages_inspected);
+        prop_assert_eq!(parallel.pages_linked, sequential.pages_linked);
+    }
+
+    #[test]
+    fn streamed_release_chunks_equal_built_release(
+        n in 4usize..120,
+        dims in 1usize..4,
+        seed in 0u64..1_000_000,
+        k in 2usize..9,
+        chunk_rows in 1usize..40,
+    ) {
+        prop_assume!(k <= n);
+        let table = random_qi_table(n, dims, seed);
+        let partition = Mdav::new().partition(&table, k).unwrap();
+        for style in [QiStyle::Range, QiStyle::Centroid] {
+            let full = build_release(&table, &partition, k, style).unwrap();
+            let mut streamed: Vec<Vec<Value>> = Vec::new();
+            for chunk in Release::chunks(&table, &partition, style, chunk_rows) {
+                streamed.extend(chunk.unwrap().rows().iter().cloned());
+            }
+            prop_assert_eq!(&streamed, full.table.rows());
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn chunked_sweep_equals_materializing_sweep(
+        size in 16usize..40,
+        seed in 0u64..1_000,
+        chunk_rows in 1usize..24,
+    ) {
+        let (table, web) = world(size, seed);
+        let before = MidpointEstimator::default();
+        let after = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+        let run = |chunk: Option<usize>| {
+            sweep(
+                &table,
+                &web,
+                &Mdav::new(),
+                &before,
+                &after,
+                &SweepConfig { k_min: 2, k_max: 6, chunk_rows: chunk, ..SweepConfig::default() },
+            )
+            .unwrap()
+        };
+        prop_assert_eq!(run(Some(chunk_rows)), run(None));
+    }
 
     #[test]
     fn parallel_batch_estimate_equals_sequential_interpreted(
