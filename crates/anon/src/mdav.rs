@@ -17,9 +17,10 @@ use fred_data::Table;
 use rayon::prelude::*;
 
 /// Minimum number of active rows before a distance scan is worth
-/// fanning out to worker threads: below this the scan is a few tens of
-/// microseconds and thread-handoff costs more than it saves.
-const PAR_SCAN_MIN_ROWS: usize = 16 * 1024;
+/// fanning out to worker threads. The rayon shim keeps a persistent
+/// worker pool (no per-call thread spawn), so handoff costs a channel
+/// send + condvar wait and fan-out pays from a few thousand rows.
+const PAR_SCAN_MIN_ROWS: usize = 4 * 1024;
 
 /// The MDAV microaggregation anonymizer.
 #[derive(Debug, Clone, Default)]
@@ -257,9 +258,9 @@ impl ActivePool {
         }
         ActivePool {
             dims,
-            width: std::thread::available_parallelism()
-                .map(|w| w.get())
-                .unwrap_or(1),
+            // Effective pool width (honors RAYON_NUM_THREADS) — ranges
+            // split for more workers than exist would run sequentially.
+            width: rayon::current_num_threads(),
             pts: flat,
             rows: (0..n as u32).collect(),
             pos: (0..n as u32).collect(),

@@ -135,8 +135,11 @@ fn assemble(per_name: Vec<(Option<AuxRecord>, Vec<usize>, usize)>) -> Harvest {
 ///
 /// The per-name loop runs across worker threads, each with its own search
 /// scratch and term cache; page display names are normalized once for the
-/// whole corpus up front. Results are row-order stable and record-for-record
-/// identical to [`harvest_auxiliary_sequential`] (pinned by property test).
+/// whole corpus up front, and each query runs through the engine's exact
+/// top-k searcher ([`SearchEngine::search_topk_with`]: contribution-sorted
+/// postings with early exit at `hits_per_name`) instead of the exhaustive
+/// scan. Results are row-order stable and record-for-record identical to
+/// [`harvest_auxiliary_sequential`] (pinned by property test).
 pub fn harvest_auxiliary(
     release: &Table,
     engine: &SearchEngine,
@@ -162,7 +165,7 @@ pub fn harvest_auxiliary(
                 if name.trim().is_empty() {
                     return (None, Vec::new(), 0);
                 }
-                let hits = engine.search_with(&name, config.hits_per_name, scratch, cache);
+                let hits = engine.search_topk_with(&name, config.hits_per_name, scratch, cache);
                 let prepared = normalizer.prepare(&name);
                 let (accepted, inspected) =
                     classify_hits(&hits, &prepared, engine, config, &prepared_pages, &fs_model);

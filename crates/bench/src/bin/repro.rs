@@ -7,7 +7,9 @@
 //!   repro --tables        # Tables I-IV + Figure 2 walk-through
 //!   repro --fig 4         # one figure (4, 5, 6, 7 or 8)
 //!   repro --ablations     # the extension ablations (A1-A6)
+//!   repro --compose       # the multi-release composition attack sweep
 //!   repro --quick         # reduced timed sweep -> BENCH_sweep.json
+//!   repro --quick --compose  # + composition stage in BENCH_sweep.json
 //!   repro --quick --out perf.json
 //!   repro --size 240 --seed 2008
 
@@ -26,6 +28,7 @@ fn main() {
     let mut config = WorldConfig::default();
     let mut want_tables = false;
     let mut want_ablations = false;
+    let mut want_compose = false;
     let mut want_quick = false;
     let mut out_given = false;
     let mut out_path = String::from("BENCH_sweep.json");
@@ -37,6 +40,7 @@ fn main() {
         match args[i].as_str() {
             "--tables" => want_tables = true,
             "--ablations" => want_ablations = true,
+            "--compose" => want_compose = true,
             "--quick" => want_quick = true,
             "--out" => {
                 i += 1;
@@ -97,10 +101,16 @@ fn main() {
         } else {
             Some(large_size)
         };
-        run_quick(&config, &out_path, large, compare_path.as_deref());
+        run_quick(
+            &config,
+            &out_path,
+            large,
+            compare_path.as_deref(),
+            want_compose,
+        );
         return;
     }
-    let all = !want_tables && !want_ablations && figs.is_empty();
+    let all = !want_tables && !want_ablations && !want_compose && figs.is_empty();
 
     if want_tables || all {
         print_tables();
@@ -114,6 +124,9 @@ fn main() {
     if want_ablations || all {
         print_ablations(&config);
     }
+    if want_compose || all {
+        print_composition(&config);
+    }
 }
 
 fn usage(err: &str) -> ! {
@@ -121,9 +134,11 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--tables] [--fig N]... [--ablations] [--quick] [--out PATH] \
-         [--large-size N] [--compare BASELINE] [--size N] [--seed N]\n\
+        "usage: repro [--tables] [--fig N]... [--ablations] [--compose] [--quick] \
+         [--out PATH] [--large-size N] [--compare BASELINE] [--size N] [--seed N]\n\
          regenerates the paper's tables (I-IV) and figures (4-8);\n\
+         --compose runs the multi-release composition attack sweep\n\
+         (with --quick: records the composition stage in the baseline);\n\
          --quick runs a reduced timed sweep plus a large-world stage\n\
          (default 10000 rows; --large-size 0 disables) and writes a\n\
          machine-readable perf baseline (default BENCH_sweep.json);\n\
@@ -134,9 +149,31 @@ fn usage(err: &str) -> ! {
 }
 
 /// `--quick`: the reduced timed sweep, printed and persisted as JSON.
-fn run_quick(config: &WorldConfig, out_path: &str, large: Option<usize>, compare: Option<&str>) {
+fn run_quick(
+    config: &WorldConfig,
+    out_path: &str,
+    large: Option<usize>,
+    compare: Option<&str>,
+    compose: bool,
+) {
     if config.size < 2 {
         usage("--quick needs --size >= 2 (the sweep starts at k = 2)");
+    }
+    if compose {
+        // The composition stage k-anonymizes a core of overlap * size
+        // rows; derive the bound from the stage's actual parameters so
+        // this guard cannot drift out of sync with them.
+        let overlap = fred_composition::CompositionSweepConfig::default().overlap;
+        let min_size = (2..)
+            .find(|&n| (n as f64 * overlap).round() as usize >= fred_bench::perf::STAGE_K)
+            .expect("some size satisfies the core bound");
+        if config.size < min_size {
+            usage(&format!(
+                "--quick --compose needs --size >= {min_size} (the composition core must hold \
+                 k = {} rows)",
+                fred_bench::perf::STAGE_K
+            ));
+        }
     }
     println!("======================================================================");
     println!(
@@ -156,7 +193,7 @@ fn run_quick(config: &WorldConfig, out_path: &str, large: Option<usize>, compare
             }
         },
     );
-    let bench = quick_bench(config, 2, 10, 3, large);
+    let bench = quick_bench(config, 2, 10, 3, large, compose);
     print!("{}", bench.to_ascii());
     let fresh_json = bench.to_json();
     let clobbers_baseline = compare.is_some_and(|baseline_path| {
@@ -267,6 +304,40 @@ fn print_figures(config: &WorldConfig, figs: &[u32]) {
             }
             other => eprintln!("no figure {other}; the paper's evaluation has figures 4-8"),
         }
+    }
+}
+
+fn print_composition(config: &WorldConfig) {
+    use fred_attack::{FuzzyFusion, FuzzyFusionConfig};
+    use fred_composition::{composition_sweep, CompositionSweepConfig};
+
+    println!("======================================================================");
+    println!(" Composition: several independently k-anonymized releases, one core");
+    println!(" (Ganta, Kasiviswanathan & Smith; extension beyond the paper)");
+    println!("======================================================================");
+    let world = faculty_world(config);
+    let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).expect("default config valid");
+    let sweep_config = CompositionSweepConfig {
+        ks: vec![3, 5, 8],
+        releases: vec![1, 2, 3, 4],
+        ..CompositionSweepConfig::default()
+    };
+    match composition_sweep(
+        &world.table,
+        &world.web,
+        &fred_anon::Mdav::new(),
+        &fusion,
+        &sweep_config,
+    ) {
+        Ok(report) => {
+            println!("{}", report.to_ascii());
+            println!(
+                "  reading: every added release shrinks each target's candidate set and\n\
+                 \x20 feasible sensitive range — k-anonymity does not compose."
+            );
+            println!();
+        }
+        Err(e) => eprintln!("composition sweep failed: {e}"),
     }
 }
 

@@ -16,7 +16,12 @@
 //! * a stage present in the baseline must not disappear;
 //! * on machines with ≥ 4 cores, the large-world harvest must keep
 //!   `speedup_harvest_parallel_vs_seq` ≥ 2.0 (single-core runners skip
-//!   this check — there is nothing to parallelize over).
+//!   this check — there is nothing to parallelize over);
+//! * when the baseline carries a composition stage the fresh run must
+//!   carry one too, its per-record disclosure gain must be *strictly
+//!   increasing* in the number of composed releases, and the mean
+//!   candidate count must never rise with an added release (composition
+//!   only adds constraints).
 
 use std::collections::BTreeMap;
 
@@ -42,6 +47,10 @@ pub const HARVEST_SPEEDUP_MIN_CORES: usize = 4;
 /// this floor.
 pub const STAGE_FLOOR_MS: f64 = 2.0;
 
+/// One composition-stage row: `(releases, disclosure_gain,
+/// mean_candidates)`.
+pub type CompositionRow = (usize, f64, f64);
+
 /// Everything [`parse_baseline`] can recover from one baseline file.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Baseline {
@@ -54,6 +63,8 @@ pub struct Baseline {
     pub speedup_harvest_parallel_vs_seq: Option<f64>,
     /// `cores` recorded in the config block, when present.
     pub cores: Option<usize>,
+    /// Composition-stage rows, ascending in releases, when present.
+    pub composition: Vec<CompositionRow>,
 }
 
 /// The outcome of [`compare_baselines`].
@@ -102,6 +113,13 @@ pub fn parse_baseline(json: &str) -> Baseline {
         if let Some(v) = num_field(line, "cores") {
             out.cores = Some(v as usize);
         }
+        if let (Some(r), Some(gain), Some(cand)) = (
+            num_field(line, "releases"),
+            num_field(line, "disclosure_gain"),
+            num_field(line, "mean_candidates"),
+        ) {
+            out.composition.push((r as usize, gain, cand));
+        }
     }
     out
 }
@@ -143,6 +161,36 @@ pub fn compare_baselines(committed_json: &str, fresh_json: &str) -> CompareRepor
         }
     }
 
+    // The composition gate: the physics of the stage, not its timing. A
+    // fresh run must keep the per-record disclosure gain strictly
+    // increasing in the release count and never let a target's candidate
+    // pool grow with an added release.
+    if !committed.composition.is_empty() && fresh.composition.is_empty() {
+        report
+            .violations
+            .push("composition stage disappeared from the fresh baseline".into());
+    }
+    for pair in fresh.composition.windows(2) {
+        let ((r0, g0, c0), (r1, g1, c1)) = (pair[0], pair[1]);
+        if g1 <= g0 {
+            report.violations.push(format!(
+                "composition disclosure gain not strictly increasing: R={r0} -> {g0:.1}, \
+                 R={r1} -> {g1:.1}"
+            ));
+        }
+        if c1 > c0 + 1e-9 {
+            report.violations.push(format!(
+                "composition candidate count rose with an added release: R={r0} -> {c0:.2}, \
+                 R={r1} -> {c1:.2}"
+            ));
+        }
+    }
+    if let Some((r, last_gain, _)) = fresh.composition.last() {
+        report.notes.push(format!(
+            "composition disclosure gain at R={r} is {last_gain:.1}"
+        ));
+    }
+
     let fresh_cores = fresh.cores.unwrap_or(1);
     match fresh.speedup_harvest_parallel_vs_seq {
         Some(v) if fresh_cores >= HARVEST_SPEEDUP_MIN_CORES && v < MIN_HARVEST_SPEEDUP => {
@@ -176,6 +224,7 @@ mod tests {
             4,
             1,
             large,
+            false,
         )
         .to_json()
     }
@@ -245,6 +294,63 @@ mod tests {
         let fresh = synthetic_json(STAGE_FLOOR_MS * 4.0, 5.0);
         let report = compare_baselines(&committed, &fresh);
         assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    /// A synthetic baseline with a composition block whose rows are
+    /// caller-controlled.
+    fn synthetic_composition_json(rows: &[(usize, f64, f64)]) -> String {
+        let mut out = synthetic_json(100.0, 5.0);
+        out.truncate(out.rfind("\n}").expect("closing brace"));
+        out.push_str(",\n  \"composition\": {\n    \"k\": 5, \"overlap\": 0.50, \"wall_ms\": 10.000,\n    \"rows\": [\n");
+        for (i, (r, gain, cand)) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{ \"releases\": {r}, \"disclosure_gain\": {gain:.1}, \"mean_candidates\": {cand:.2}, \"estimate_gain\": 0.0 }}{}\n",
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("    ]\n  }\n}\n");
+        out
+    }
+
+    #[test]
+    fn composition_rows_parse() {
+        let json = synthetic_composition_json(&[(1, 0.0, 5.0), (2, 7000.0, 2.3)]);
+        let b = parse_baseline(&json);
+        assert_eq!(b.composition, vec![(1, 0.0, 5.0), (2, 7000.0, 2.3)]);
+    }
+
+    #[test]
+    fn monotone_composition_passes_and_flat_gain_fails() {
+        let committed =
+            synthetic_composition_json(&[(1, 0.0, 5.0), (2, 7000.0, 2.3), (3, 9000.0, 1.7)]);
+        let report = compare_baselines(&committed, &committed);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+
+        let flat = synthetic_composition_json(&[(1, 0.0, 5.0), (2, 7000.0, 2.3), (3, 7000.0, 1.7)]);
+        let report = compare_baselines(&committed, &flat);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("not strictly increasing")));
+
+        let rising_candidates =
+            synthetic_composition_json(&[(1, 0.0, 5.0), (2, 7000.0, 2.3), (3, 9000.0, 2.9)]);
+        let report = compare_baselines(&committed, &rising_candidates);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("candidate count rose")));
+    }
+
+    #[test]
+    fn missing_composition_stage_fails() {
+        let committed = synthetic_composition_json(&[(1, 0.0, 5.0), (2, 7000.0, 2.3)]);
+        let fresh = synthetic_json(100.0, 5.0);
+        let report = compare_baselines(&committed, &fresh);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("composition stage disappeared")));
     }
 
     #[test]

@@ -17,13 +17,16 @@ use fred_attack::{
     harvest_auxiliary, harvest_auxiliary_sequential, FusionSystem, FuzzyFusion, FuzzyFusionConfig,
     Harvest, HarvestConfig, MidpointEstimator,
 };
+use fred_composition::{composition_sweep, CompositionSweepConfig};
 use fred_core::{sweep, SweepConfig};
 
 use crate::world::{faculty_world, WorldConfig};
 
-/// Anonymization level used by the dedicated MDAV/harvest stages (matches
-/// the `mdav_k5` target the ROADMAP tracks).
-const STAGE_K: usize = 5;
+/// Anonymization level used by the dedicated MDAV/harvest/composition
+/// stages (matches the `mdav_k5` target the ROADMAP tracks). Public so
+/// the `repro` CLI can derive argument bounds from it instead of
+/// duplicating the constant.
+pub const STAGE_K: usize = 5;
 
 /// Row-chunk size for the streaming-release stage.
 const STREAM_CHUNK_ROWS: usize = 1024;
@@ -62,6 +65,34 @@ pub struct LargeBench {
     pub speedup_harvest_parallel_vs_seq: f64,
 }
 
+/// One `(releases)` cell of the composition stage.
+#[derive(Debug, Clone)]
+pub struct CompositionBenchRow {
+    /// Number of composed releases.
+    pub releases: usize,
+    /// Per-record disclosure gain versus one release (sensitive-range
+    /// width eliminated; strictly increasing in `releases` is the gate).
+    pub disclosure_gain: f64,
+    /// Mean effective anonymity after composition.
+    pub mean_candidates: f64,
+    /// Estimate-side gain versus one release.
+    pub estimate_gain: f64,
+}
+
+/// The `--compose` add-on: the composition attack swept over release
+/// counts at the tracked `k`.
+#[derive(Debug, Clone)]
+pub struct CompositionBench {
+    /// Anonymization level every curator applied.
+    pub k: usize,
+    /// Shared-core fraction of the scenario.
+    pub overlap: f64,
+    /// Wall-clock of the whole composition sweep.
+    pub wall_ms: f64,
+    /// Per-release-count measurements, ascending in `releases`.
+    pub rows: Vec<CompositionBenchRow>,
+}
+
 /// The quick-bench result.
 #[derive(Debug, Clone)]
 pub struct QuickBench {
@@ -80,6 +111,8 @@ pub struct QuickBench {
     pub speedup_batch_vs_naive: f64,
     /// The large-world stage, when enabled.
     pub large: Option<LargeBench>,
+    /// The composition stage, when enabled (`repro --quick --compose`).
+    pub composition: Option<CompositionBench>,
 }
 
 impl QuickBench {
@@ -119,12 +152,30 @@ impl QuickBench {
             out.push_str(&render_stages(&large.stages, "      "));
             out.push_str("    ],\n");
             out.push_str(&format!(
-                "    \"speedup_harvest_parallel_vs_seq\": {:.2}\n  }}\n",
+                "    \"speedup_harvest_parallel_vs_seq\": {:.2}\n  }}",
                 large.speedup_harvest_parallel_vs_seq
             ));
-        } else {
-            out.push('\n');
         }
+        if let Some(comp) = &self.composition {
+            out.push_str(",\n  \"composition\": {\n");
+            out.push_str(&format!(
+                "    \"k\": {}, \"overlap\": {:.2}, \"wall_ms\": {:.3},\n",
+                comp.k, comp.overlap, comp.wall_ms
+            ));
+            out.push_str("    \"rows\": [\n");
+            for (i, row) in comp.rows.iter().enumerate() {
+                out.push_str(&format!(
+                    "      {{ \"releases\": {}, \"disclosure_gain\": {:.1}, \"mean_candidates\": {:.2}, \"estimate_gain\": {:.1} }}{}\n",
+                    row.releases,
+                    row.disclosure_gain,
+                    row.mean_candidates,
+                    row.estimate_gain,
+                    if i + 1 < comp.rows.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("    ]\n  }");
+        }
+        out.push('\n');
         out.push_str("}\n");
         out
     }
@@ -170,6 +221,18 @@ impl QuickBench {
                 large.speedup_harvest_parallel_vs_seq
             ));
         }
+        if let Some(comp) = &self.composition {
+            out.push_str(&format!(
+                "  composition — k = {}, overlap {:.2} ({:.2} ms):\n",
+                comp.k, comp.overlap, comp.wall_ms
+            ));
+            for row in &comp.rows {
+                out.push_str(&format!(
+                    "    R = {}: disclosure gain $ {:>8.0}   mean candidates {:>6.2}   estimate gain {:>10.3e}\n",
+                    row.releases, row.disclosure_gain, row.mean_candidates, row.estimate_gain
+                ));
+            }
+        }
         out
     }
 }
@@ -185,14 +248,19 @@ fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
 /// `repeats` controls how many times the two estimate paths run over the
 /// full release set (median-free but averaged), keeping the comparison
 /// stable at quick scale. `large_size` additionally times the hot stages
-/// (world build, MDAV, parallel + sequential harvest, release streaming)
-/// on a world of that many rows — pass `None` to skip.
+/// (world build, MDAV, parallel + sequential harvest, release streaming,
+/// streamed estimates) on a world of that many rows — pass `None` to
+/// skip. `compose` appends the composition stage: the multi-release
+/// intersection attack swept over `R = 1..=3` at the tracked `k`, whose
+/// per-record disclosure gain the compare gate requires to be strictly
+/// increasing.
 pub fn quick_bench(
     config: &WorldConfig,
     k_min: usize,
     k_max: usize,
     repeats: usize,
     large_size: Option<usize>,
+    compose: bool,
 ) -> QuickBench {
     let repeats = repeats.max(1);
     let mut stages = Vec::new();
@@ -303,12 +371,23 @@ pub fn quick_bench(
         rows: world.table.len() * ks.len(),
     });
 
+    // Stage 7 (optional): the composition attack at the tracked k.
+    let composition = compose.then(|| composition_bench(&world));
+    if let Some(comp) = &composition {
+        stages.push(StageTiming {
+            name: "composition_sweep",
+            wall_ms: comp.wall_ms,
+            rows: world.table.len() * comp.rows.len(),
+        });
+    }
+
     QuickBench {
         size: world.table.len(),
         seed: config.seed,
-        cores: std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        // The *effective* worker width (honors RAYON_NUM_THREADS), not
+        // raw available_parallelism: the >=4-core harvest-speedup gate
+        // keys off this, and an overridden pool must not trip it.
+        cores: rayon::current_num_threads(),
         k_range: (k_min, k_max),
         stages,
         speedup_batch_vs_naive: if batch_wall > 0.0 {
@@ -317,6 +396,37 @@ pub fn quick_bench(
             0.0
         },
         large: large_size.map(|size| large_bench(config, size)),
+        composition,
+    }
+}
+
+/// Runs the composition sweep (`R = 1..=3` at the tracked k) on the
+/// quick world and extracts the gated series.
+fn composition_bench(world: &crate::world::World) -> CompositionBench {
+    let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).expect("default config valid");
+    let config = CompositionSweepConfig {
+        ks: vec![STAGE_K.min(world.table.len())],
+        releases: vec![1, 2, 3],
+        ..CompositionSweepConfig::default()
+    };
+    let (report, wall) = time_ms(|| {
+        composition_sweep(&world.table, &world.web, &Mdav::new(), &fusion, &config)
+            .expect("composition sweep over the quick world succeeds")
+    });
+    CompositionBench {
+        k: config.ks[0],
+        overlap: config.overlap,
+        wall_ms: wall,
+        rows: report
+            .rows()
+            .iter()
+            .map(|r| CompositionBenchRow {
+                releases: r.releases,
+                disclosure_gain: r.disclosure_gain,
+                mean_candidates: r.mean_candidates,
+                estimate_gain: r.estimate_gain,
+            })
+            .collect(),
     }
 }
 
@@ -392,6 +502,32 @@ fn large_bench(config: &WorldConfig, size: usize) -> LargeBench {
         "parallel harvest must be record-for-record identical to the reference"
     );
 
+    // The batch/parallel estimator driven through the streaming release —
+    // the `SweepConfig::chunk_rows` path at enterprise scale: each chunk
+    // pairs with its aligned slice of harvest records, so peak memory
+    // stays one chunk while every row flows through
+    // `FuzzyFusion::estimate`.
+    let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).expect("default config valid");
+    let (estimated_rows, wall) = time_ms(|| {
+        let mut lo = 0usize;
+        for chunk in Release::chunks(&world.table, &partition, QiStyle::Range, STREAM_CHUNK_ROWS) {
+            let chunk = chunk.expect("chunk builds from a valid partition");
+            let hi = lo + chunk.len();
+            let est = fusion
+                .estimate(&chunk, &harvest_par.records[lo..hi])
+                .expect("estimate succeeds");
+            debug_assert_eq!(est.len(), chunk.len());
+            lo = hi;
+        }
+        lo
+    });
+    assert_eq!(estimated_rows, world.table.len());
+    stages.push(StageTiming {
+        name: "estimate_stream_large",
+        wall_ms: wall,
+        rows: estimated_rows,
+    });
+
     LargeBench {
         size: world.table.len(),
         stages,
@@ -458,10 +594,12 @@ mod tests {
             4,
             1,
             None,
+            false,
         );
         assert_eq!(bench.k_range, (2, 4));
         assert_eq!(bench.stages.len(), 7);
         assert!(bench.large.is_none());
+        assert!(bench.composition.is_none());
         assert!(bench.cores >= 1);
         let json = bench.to_json();
         assert!(json.contains("\"mdav_k5\""));
@@ -469,6 +607,7 @@ mod tests {
         assert!(json.contains("\"estimate_batch_parallel\""));
         assert!(json.contains("\"speedup_batch_vs_naive\""));
         assert!(!json.contains("\"large\""));
+        assert!(!json.contains("\"composition\""));
         assert!(json.trim_end().ends_with('}'));
         let ascii = bench.to_ascii();
         assert!(ascii.contains("rows/sec"));
@@ -487,6 +626,7 @@ mod tests {
             4,
             1,
             Some(80),
+            false,
         );
         let large = bench.large.as_ref().expect("large stage requested");
         assert_eq!(large.size, 80);
@@ -499,14 +639,66 @@ mod tests {
                 "release_stream_large",
                 "harvest_parallel_large",
                 "harvest_sequential_large",
+                "estimate_stream_large",
             ]
         );
         assert!(large.speedup_harvest_parallel_vs_seq > 0.0);
         let json = bench.to_json();
         assert!(json.contains("\"large\""));
         assert!(json.contains("\"mdav_k5_large\""));
+        assert!(json.contains("\"estimate_stream_large\""));
         assert!(json.contains("\"speedup_harvest_parallel_vs_seq\""));
         let ascii = bench.to_ascii();
         assert!(ascii.contains("large world"));
+    }
+
+    #[test]
+    fn quick_bench_composition_stage_runs_and_serializes() {
+        let bench = quick_bench(
+            &WorldConfig {
+                size: 40,
+                ..WorldConfig::default()
+            },
+            2,
+            4,
+            1,
+            None,
+            true,
+        );
+        let comp = bench.composition.as_ref().expect("composition requested");
+        assert_eq!(comp.k, STAGE_K);
+        let releases: Vec<usize> = comp.rows.iter().map(|r| r.releases).collect();
+        assert_eq!(releases, vec![1, 2, 3]);
+        assert_eq!(comp.rows[0].disclosure_gain, 0.0);
+        // The gate property: strictly increasing per-record gain.
+        for pair in comp.rows.windows(2) {
+            assert!(
+                pair[1].disclosure_gain > pair[0].disclosure_gain,
+                "gain not strictly increasing: {:?}",
+                comp.rows
+            );
+        }
+        assert!(bench.stages.iter().any(|s| s.name == "composition_sweep"));
+        let json = bench.to_json();
+        assert!(json.contains("\"composition\""));
+        assert!(json.contains("\"disclosure_gain\""));
+        assert!(json.trim_end().ends_with('}'));
+        let ascii = bench.to_ascii();
+        assert!(ascii.contains("disclosure gain"));
+        // JSON stays well-formed with both optional blocks present.
+        let both = quick_bench(
+            &WorldConfig {
+                size: 30,
+                ..WorldConfig::default()
+            },
+            2,
+            3,
+            1,
+            Some(40),
+            true,
+        );
+        let json = both.to_json();
+        assert!(json.contains("\"large\"") && json.contains("\"composition\""));
+        assert!(json.trim_end().ends_with('}'));
     }
 }

@@ -1,0 +1,62 @@
+//! Error type of the composition subsystem.
+
+use std::fmt;
+
+/// Errors raised while generating, intersecting or fusing multi-release
+/// scenarios.
+#[derive(Debug)]
+pub enum CompositionError {
+    /// Invalid scenario/sweep configuration.
+    InvalidConfig(String),
+    /// Anonymization failure while building a source release.
+    Anon(fred_anon::AnonError),
+    /// Harvest/fusion failure.
+    Attack(fred_attack::AttackError),
+    /// Dissimilarity/core failure.
+    Core(fred_core::CoreError),
+    /// Table-level failure.
+    Data(fred_data::DataError),
+}
+
+impl fmt::Display for CompositionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompositionError::InvalidConfig(msg) => {
+                write!(f, "invalid composition configuration: {msg}")
+            }
+            CompositionError::Anon(e) => write!(f, "anonymization failed: {e}"),
+            CompositionError::Attack(e) => write!(f, "attack failed: {e}"),
+            CompositionError::Core(e) => write!(f, "core measurement failed: {e}"),
+            CompositionError::Data(e) => write!(f, "table operation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompositionError {}
+
+impl From<fred_anon::AnonError> for CompositionError {
+    fn from(e: fred_anon::AnonError) -> Self {
+        CompositionError::Anon(e)
+    }
+}
+
+impl From<fred_attack::AttackError> for CompositionError {
+    fn from(e: fred_attack::AttackError) -> Self {
+        CompositionError::Attack(e)
+    }
+}
+
+impl From<fred_core::CoreError> for CompositionError {
+    fn from(e: fred_core::CoreError) -> Self {
+        CompositionError::Core(e)
+    }
+}
+
+impl From<fred_data::DataError> for CompositionError {
+    fn from(e: fred_data::DataError) -> Self {
+        CompositionError::Data(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, CompositionError>;

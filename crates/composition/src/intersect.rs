@@ -1,0 +1,491 @@
+//! The intersection engine: cross-referencing a target's equivalence
+//! classes across independently anonymized releases.
+//!
+//! Releases retain identifiers (the enterprise requirement the paper's
+//! attack rests on), so the adversary can locate a target's row in every
+//! release. Each release then constrains the target twice over:
+//!
+//! * **candidate set** — the identities sharing the target's equivalence
+//!   class. One release guarantees at least `k` of them; intersecting the
+//!   classes across releases shrinks the set toward the target alone
+//!   (Ganta, Kasiviswanathan & Smith's composition collapse). Candidate
+//!   sets are master-row bitsets, so an intersection is a word-wise AND.
+//! * **feasible box** — interval-style quasi-identifier summaries bound
+//!   the target's true attribute vector; intersecting the boxes narrows
+//!   the range every estimate is drawn from. Centroid-style summaries are
+//!   points, not bounds, and contribute a hint instead.
+//!
+//! Releases are **streamed** through [`fred_anon::Release::chunks`]; no
+//! release table is ever materialized whole. Two paths compute the same
+//! per-target result: [`intersect_releases_sequential`], the plain
+//! reference, and [`intersect_releases`], the parallel batched path with
+//! per-worker bitset scratch — pinned bit-identical by property test.
+
+use fred_anon::Release;
+use fred_data::{Interval, Value};
+use rayon::prelude::*;
+
+use crate::error::{CompositionError, Result};
+use crate::scenario::Source;
+
+/// One class's constraint on one quasi-identifier cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CellCon {
+    /// Interval summary: the member's true value lies inside.
+    Bound(Interval),
+    /// Centroid summary: a point estimate, not a bound.
+    Point(f64),
+    /// No numeric constraint (categorical or suppressed summary).
+    Free,
+}
+
+impl CellCon {
+    fn from_value(v: &Value) -> CellCon {
+        // Matches variants directly: `Value::as_interval` views scalars
+        // as degenerate intervals, which would promote a centroid (a
+        // point *estimate*) into a hard — and wrong — bound.
+        match v {
+            Value::Interval(iv) => CellCon::Bound(*iv),
+            Value::Float(x) => CellCon::Point(*x),
+            Value::Int(i) => CellCon::Point(*i as f64),
+            _ => CellCon::Free,
+        }
+    }
+}
+
+/// Everything the intersection needs from one source, extracted in a
+/// single streamed pass over its (never materialized) release.
+struct SourceDigest {
+    /// Class index per master row (`u32::MAX` when absent).
+    class_of_master: Vec<u32>,
+    /// Per class: candidate bitset over master rows.
+    class_bits: Vec<Vec<u64>>,
+    /// Per class, per quasi-identifier: the published constraint.
+    class_cons: Vec<Vec<CellCon>>,
+}
+
+fn digest_source(
+    source: &Source,
+    n_master: usize,
+    qi_cols: &[usize],
+    chunk_rows: usize,
+) -> Result<SourceDigest> {
+    let class_of_local = source.partition.class_of_rows();
+    let words = n_master.div_ceil(64);
+    let n_classes = source.partition.len();
+    let mut class_bits = vec![vec![0u64; words]; n_classes];
+    let mut class_of_master = vec![u32::MAX; n_master];
+    for (local, &g) in source.global_rows.iter().enumerate() {
+        let class = class_of_local[local];
+        class_bits[class][g >> 6] |= 1u64 << (g & 63);
+        class_of_master[g] = class as u32;
+    }
+    // Stream the release chunk by chunk; the first row of each class
+    // carries the whole class's published summary.
+    let mut class_cons: Vec<Vec<CellCon>> = vec![Vec::new(); n_classes];
+    let mut filled = vec![false; n_classes];
+    let mut lo = 0usize;
+    for chunk in Release::chunks(&source.table, &source.partition, source.style, chunk_rows) {
+        let chunk = chunk?;
+        for (i, row) in chunk.rows().iter().enumerate() {
+            let class = class_of_local[lo + i];
+            if !filled[class] {
+                filled[class] = true;
+                class_cons[class] = qi_cols
+                    .iter()
+                    .map(|&c| CellCon::from_value(&row[c]))
+                    .collect();
+            }
+        }
+        lo += chunk.len();
+    }
+    Ok(SourceDigest {
+        class_of_master,
+        class_bits,
+        class_cons,
+    })
+}
+
+/// What the composition of all releases pins down about one target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetIntersection {
+    /// Master-table row of the target.
+    pub master_row: usize,
+    /// Master rows still consistent with every release's class of the
+    /// target (ascending). Its length is the target's *effective*
+    /// anonymity under composition — `>= k` for one release, collapsing
+    /// toward 1 as releases accumulate.
+    pub candidate_rows: Vec<u32>,
+    /// Per-QI feasible interval (`None` = unconstrained by any release).
+    pub feasible: Vec<Option<Interval>>,
+    /// Per-QI mean of centroid observations, for sources publishing
+    /// points instead of ranges.
+    pub centroid_hint: Vec<Option<f64>>,
+    /// Number of releases that contained the target.
+    pub sources_seen: usize,
+}
+
+impl TargetIntersection {
+    /// Effective anonymity: `|∩ classes|`.
+    pub fn candidates(&self) -> usize {
+        self.candidate_rows.len()
+    }
+
+    /// Mean width of the constrained QIs' feasible intervals; `None`
+    /// when no release bounded any QI.
+    pub fn mean_feasible_width(&self) -> Option<f64> {
+        let widths: Vec<f64> = self
+            .feasible
+            .iter()
+            .flatten()
+            .map(Interval::width)
+            .collect();
+        if widths.is_empty() {
+            None
+        } else {
+            Some(widths.iter().sum::<f64>() / widths.len() as f64)
+        }
+    }
+}
+
+/// Narrows `cur` by `next`. Disjoint constraints cannot arise from
+/// consistent releases (each interval contains the target's true value);
+/// if a synthetic scenario produces them anyway, the adversary keeps the
+/// tighter of the two.
+fn narrow(cur: Interval, next: Interval) -> Interval {
+    cur.intersect(&next)
+        .unwrap_or(if next.width() < cur.width() {
+            next
+        } else {
+            cur
+        })
+}
+
+/// Ascending master rows set in `bits`.
+fn extract_candidates(bits: &[u64]) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (wi, &word) in bits.iter().enumerate() {
+        let mut w = word;
+        while w != 0 {
+            let b = w.trailing_zeros();
+            out.push((wi as u32) * 64 + b);
+            w &= w - 1;
+        }
+    }
+    out
+}
+
+/// Folds one source's class data into the running per-target state.
+/// Shared by both engine paths so the constraint arithmetic (and thus the
+/// float sequence) is identical by construction; what the property tests
+/// pin is the surrounding machinery — bitset scratch reuse and parallel
+/// chunking versus the naive fresh-allocation loop.
+#[allow(clippy::too_many_arguments)]
+fn fold_source(
+    digest: &SourceDigest,
+    class: usize,
+    bits: &mut [u64],
+    first: bool,
+    feasible: &mut [Option<Interval>],
+    centroid_sum: &mut [f64],
+    centroid_n: &mut [usize],
+) {
+    if first {
+        bits.copy_from_slice(&digest.class_bits[class]);
+    } else {
+        for (w, &src) in bits.iter_mut().zip(&digest.class_bits[class]) {
+            *w &= src;
+        }
+    }
+    for (qi, con) in digest.class_cons[class].iter().enumerate() {
+        match *con {
+            CellCon::Bound(iv) => {
+                feasible[qi] = Some(match feasible[qi] {
+                    None => iv,
+                    Some(cur) => narrow(cur, iv),
+                });
+            }
+            CellCon::Point(x) => {
+                centroid_sum[qi] += x;
+                centroid_n[qi] += 1;
+            }
+            CellCon::Free => {}
+        }
+    }
+}
+
+fn intersect_target(
+    target: usize,
+    digests: &[SourceDigest],
+    qi_len: usize,
+    bits: &mut [u64],
+) -> TargetIntersection {
+    let mut feasible: Vec<Option<Interval>> = vec![None; qi_len];
+    let mut centroid_sum = vec![0.0f64; qi_len];
+    let mut centroid_n = vec![0usize; qi_len];
+    let mut seen = 0usize;
+    for digest in digests {
+        let class = digest.class_of_master[target];
+        if class == u32::MAX {
+            continue;
+        }
+        fold_source(
+            digest,
+            class as usize,
+            bits,
+            seen == 0,
+            &mut feasible,
+            &mut centroid_sum,
+            &mut centroid_n,
+        );
+        seen += 1;
+    }
+    let candidate_rows = if seen == 0 {
+        Vec::new()
+    } else {
+        extract_candidates(bits)
+    };
+    TargetIntersection {
+        master_row: target,
+        candidate_rows,
+        feasible,
+        centroid_hint: (0..qi_len)
+            .map(|qi| {
+                if centroid_n[qi] > 0 {
+                    Some(centroid_sum[qi] / centroid_n[qi] as f64)
+                } else {
+                    None
+                }
+            })
+            .collect(),
+        sources_seen: seen,
+    }
+}
+
+fn digests_for(
+    sources: &[Source],
+    n_master: usize,
+    chunk_rows: usize,
+) -> Result<(Vec<SourceDigest>, usize)> {
+    let first = sources.first().ok_or_else(|| {
+        CompositionError::InvalidConfig("intersection needs at least one source".into())
+    })?;
+    let qi_cols = first.table.quasi_identifier_columns();
+    let digests = sources
+        .iter()
+        .map(|s| digest_source(s, n_master, &qi_cols, chunk_rows))
+        .collect::<Result<Vec<_>>>()?;
+    Ok((digests, qi_cols.len()))
+}
+
+/// The parallel batched intersection engine: digests every source in one
+/// streamed pass each, then fans the per-target intersections across
+/// worker threads, each reusing one bitset scratch for its whole chunk.
+/// Output is index-aligned with `targets` and bit-identical to
+/// [`intersect_releases_sequential`] (pinned by property test).
+pub fn intersect_releases(
+    sources: &[Source],
+    targets: &[usize],
+    n_master: usize,
+    chunk_rows: usize,
+) -> Result<Vec<TargetIntersection>> {
+    let (digests, qi_len) = digests_for(sources, n_master, chunk_rows)?;
+    let words = n_master.div_ceil(64);
+    Ok(targets
+        .to_vec()
+        .into_par_iter()
+        .map_init(
+            || vec![0u64; words],
+            |bits, target| intersect_target(target, &digests, qi_len, bits),
+        )
+        .collect())
+}
+
+/// The plain one-target-at-a-time reference: same digests, fresh bitset
+/// per target, no worker threads. Kept public for equivalence property
+/// tests.
+pub fn intersect_releases_sequential(
+    sources: &[Source],
+    targets: &[usize],
+    n_master: usize,
+    chunk_rows: usize,
+) -> Result<Vec<TargetIntersection>> {
+    let (digests, qi_len) = digests_for(sources, n_master, chunk_rows)?;
+    let words = n_master.div_ceil(64);
+    Ok(targets
+        .iter()
+        .map(|&target| {
+            let mut bits = vec![0u64; words];
+            intersect_target(target, &digests, qi_len, &mut bits)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{generate_scenario, ScenarioConfig};
+    use fred_anon::{Mdav, QiStyle};
+    use fred_data::Table;
+    use fred_synth::{customer_table, generate_population, CustomerConfig, PopulationConfig};
+
+    fn master(n: usize, seed: u64) -> Table {
+        let people = generate_population(&PopulationConfig {
+            size: n,
+            seed,
+            ..PopulationConfig::default()
+        });
+        customer_table(&people, &CustomerConfig::default())
+    }
+
+    fn scenario(n: usize, releases: usize, k: usize) -> (Table, crate::CompositionScenario) {
+        let table = master(n, 21);
+        let s = generate_scenario(
+            &table,
+            &Mdav::new(),
+            &ScenarioConfig {
+                releases,
+                k,
+                ..ScenarioConfig::default()
+            },
+        )
+        .unwrap();
+        (table, s)
+    }
+
+    #[test]
+    fn single_release_candidates_are_the_equivalence_class() {
+        let (table, s) = scenario(60, 1, 4);
+        let inters = intersect_releases(&s.sources, &s.targets, table.len(), 16).unwrap();
+        for inter in &inters {
+            // One release: the candidate set is exactly the k-anonymous
+            // class, mapped to master rows.
+            assert!(inter.candidates() >= 4, "{inter:?}");
+            assert!(inter
+                .candidate_rows
+                .iter()
+                .any(|&c| c as usize == inter.master_row));
+            assert_eq!(inter.sources_seen, 1);
+        }
+    }
+
+    #[test]
+    fn candidates_shrink_with_more_releases() {
+        let table = master(80, 3);
+        let mean_candidates = |releases: usize| -> f64 {
+            let s = generate_scenario(
+                &table,
+                &Mdav::new(),
+                &ScenarioConfig {
+                    releases,
+                    k: 5,
+                    ..ScenarioConfig::default()
+                },
+            )
+            .unwrap();
+            let inters = intersect_releases(&s.sources, &s.targets, table.len(), 32).unwrap();
+            inters.iter().map(|i| i.candidates() as f64).sum::<f64>() / inters.len() as f64
+        };
+        let one = mean_candidates(1);
+        let two = mean_candidates(2);
+        let three = mean_candidates(3);
+        assert!(one >= 5.0);
+        assert!(two < one, "R=2 {two} !< R=1 {one}");
+        // By R = 3 the candidate sets are already near-singleton at this
+        // scale, so the tail of the curve may plateau — but never rise.
+        assert!(three <= two, "R=3 {three} > R=2 {two}");
+        assert!(three < one / 2.0, "composition barely collapsed: {three}");
+    }
+
+    #[test]
+    fn target_always_survives_its_own_intersection() {
+        let (table, s) = scenario(70, 3, 4);
+        for inter in intersect_releases(&s.sources, &s.targets, table.len(), 8).unwrap() {
+            assert!(
+                inter
+                    .candidate_rows
+                    .iter()
+                    .any(|&c| c as usize == inter.master_row),
+                "target {} fell out of its own candidate set",
+                inter.master_row
+            );
+            assert!(inter.candidates() >= 1);
+            assert_eq!(inter.sources_seen, 3);
+        }
+    }
+
+    #[test]
+    fn feasible_boxes_contain_the_truth_and_shrink() {
+        let (table, s) = scenario(60, 3, 5);
+        let qi_cols = table.quasi_identifier_columns();
+        let all = intersect_releases(&s.sources, &s.targets, table.len(), 16).unwrap();
+        let one = intersect_releases(&s.sources[..1], &s.targets, table.len(), 16).unwrap();
+        let mut shrunk = 0usize;
+        for (ia, io) in all.iter().zip(&one) {
+            for (qi, &c) in qi_cols.iter().enumerate() {
+                let truth = table.rows()[ia.master_row][c].as_f64().unwrap();
+                let box_all = ia.feasible[qi].expect("range style bounds every QI");
+                let box_one = io.feasible[qi].expect("range style bounds every QI");
+                assert!(box_all.contains(truth), "truth outside composed box");
+                assert!(box_one.contains(truth), "truth outside single box");
+                assert!(
+                    box_all.width() <= box_one.width() + 1e-12,
+                    "composition widened a box"
+                );
+                if box_all.width() < box_one.width() - 1e-12 {
+                    shrunk += 1;
+                }
+            }
+        }
+        assert!(shrunk > 0, "composition never narrowed any box");
+    }
+
+    #[test]
+    fn centroid_sources_contribute_hints_not_bounds() {
+        let table = master(50, 9);
+        let s = generate_scenario(
+            &table,
+            &Mdav::new(),
+            &ScenarioConfig {
+                releases: 2,
+                k: 4,
+                styles: vec![QiStyle::Centroid],
+                ..ScenarioConfig::default()
+            },
+        )
+        .unwrap();
+        for inter in intersect_releases(&s.sources, &s.targets, table.len(), 16).unwrap() {
+            assert!(inter.feasible.iter().all(Option::is_none));
+            assert!(inter.centroid_hint.iter().all(Option::is_some));
+            assert!(inter.mean_feasible_width().is_none());
+        }
+    }
+
+    #[test]
+    fn parallel_engine_equals_sequential_reference() {
+        let (table, s) = scenario(90, 3, 4);
+        let fast = intersect_releases(&s.sources, &s.targets, table.len(), 16).unwrap();
+        let reference =
+            intersect_releases_sequential(&s.sources, &s.targets, table.len(), 16).unwrap();
+        assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn chunk_size_does_not_change_the_result() {
+        let (table, s) = scenario(60, 2, 4);
+        let baseline = intersect_releases(&s.sources, &s.targets, table.len(), 7).unwrap();
+        for chunk_rows in [1usize, 13, 1024] {
+            let other =
+                intersect_releases(&s.sources, &s.targets, table.len(), chunk_rows).unwrap();
+            assert_eq!(other, baseline, "chunk_rows={chunk_rows}");
+        }
+    }
+
+    #[test]
+    fn no_sources_errors() {
+        assert!(matches!(
+            intersect_releases(&[], &[0], 10, 8),
+            Err(CompositionError::InvalidConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,405 @@
+//! The composition sweep: disclosure gain measured over
+//! `ks × releases` at a fixed overlap — the new evaluation axis this
+//! subsystem adds next to the paper's per-`k` sweep.
+//!
+//! For each `k` the sweep evaluates the single-release world (`R = 1`,
+//! the paper's setting) and every configured release count, all against
+//! one shared web harvest (identifiers are invariant across cells). The
+//! headline series is per-record disclosure gain versus `R = 1` at the
+//! same `k`: privacy that survives one release collapses under
+//! composition.
+
+use fred_anon::{Anonymizer, QiStyle};
+use fred_attack::{harvest_auxiliary, FusionSystem, HarvestConfig};
+use fred_data::Table;
+use fred_web::SearchEngine;
+use rayon::prelude::*;
+
+use crate::error::{CompositionError, Result};
+use crate::fuse::{evaluate_sources, target_truth, targets_release};
+use crate::scenario::ScenarioConfig;
+
+/// Configuration of a composition sweep.
+#[derive(Debug, Clone)]
+pub struct CompositionSweepConfig {
+    /// Anonymization levels to sweep.
+    pub ks: Vec<usize>,
+    /// Release counts to sweep (an `R = 1` baseline is always evaluated
+    /// per `k`, whether or not it is listed).
+    pub releases: Vec<usize>,
+    /// Fraction of the population shared by every source.
+    pub overlap: f64,
+    /// Fraction of the non-core rows each source additionally samples
+    /// (see [`ScenarioConfig::extras`]).
+    pub extras: f64,
+    /// Seed for the population split.
+    pub seed: u64,
+    /// Per-source quasi-identifier styles (cycled).
+    pub styles: Vec<QiStyle>,
+    /// Harvesting configuration.
+    pub harvest: HarvestConfig,
+    /// Row-chunk size for streaming releases.
+    pub chunk_rows: usize,
+    /// Adversary QI-universe knowledge (see
+    /// [`crate::CompositionConfig::qi_range`]).
+    pub qi_range: (f64, f64),
+    /// Adversary sensitive-range knowledge (see
+    /// [`crate::CompositionConfig::income_range`]).
+    pub income_range: (f64, f64),
+}
+
+impl Default for CompositionSweepConfig {
+    fn default() -> Self {
+        CompositionSweepConfig {
+            ks: vec![5],
+            releases: vec![1, 2, 3],
+            overlap: 0.5,
+            extras: 0.5,
+            seed: 0xC0DE,
+            styles: vec![QiStyle::Range],
+            harvest: HarvestConfig::default(),
+            chunk_rows: 1024,
+            qi_range: (1.0, 10.0),
+            income_range: (40_000.0, 160_000.0),
+        }
+    }
+}
+
+/// One `(k, R)` cell of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompositionSweepRow {
+    /// Anonymization level.
+    pub k: usize,
+    /// Number of composed releases.
+    pub releases: usize,
+    /// Mean effective anonymity (`|∩ classes|`) across targets.
+    pub mean_candidates: f64,
+    /// Mean feasible-interval width across targets (QI units).
+    pub mean_feasible_width: f64,
+    /// Mean width of the implied feasible sensitive-value range.
+    pub mean_income_width: f64,
+    /// `(P ∘ P̂)` after composing the releases.
+    pub dissim_composed: f64,
+    /// Per-record disclosure gain versus `R = 1` at the same `k`: the
+    /// mean sensitive-range width each target lost to composition.
+    /// Structurally non-decreasing in `R` — source `s` is identical in
+    /// every scenario that contains it, so feasible sets only shrink as
+    /// releases accumulate.
+    pub disclosure_gain: f64,
+    /// Estimate-side gain versus `R = 1` at the same `k`
+    /// (`dissim(R=1) − dissim(R)`, the paper's `G` along this axis).
+    pub estimate_gain: f64,
+    /// Fraction of targets with harvested auxiliary evidence.
+    pub aux_coverage: f64,
+}
+
+/// The sweep output, ordered by `(k, releases)` ascending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompositionSweepReport {
+    rows: Vec<CompositionSweepRow>,
+}
+
+impl CompositionSweepReport {
+    /// All rows, `(k, releases)` ascending.
+    pub fn rows(&self) -> &[CompositionSweepRow] {
+        &self.rows
+    }
+
+    /// Row for a specific `(k, releases)` cell.
+    pub fn row_for(&self, k: usize, releases: usize) -> Option<&CompositionSweepRow> {
+        self.rows
+            .iter()
+            .find(|r| r.k == k && r.releases == releases)
+    }
+
+    /// Disclosure-gain series over `releases` at one `k`.
+    pub fn gain_series(&self, k: usize) -> Vec<(usize, f64)> {
+        self.rows
+            .iter()
+            .filter(|r| r.k == k)
+            .map(|r| (r.releases, r.disclosure_gain))
+            .collect()
+    }
+
+    /// Renders the report as an aligned ASCII table.
+    pub fn to_ascii(&self) -> String {
+        let mut out = String::from(
+            "   k    R   mean |cand|   feas width   feas income       disclosure gain          est gain  aux-cov\n",
+        );
+        out.push_str(&"-".repeat(100));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:4} {:4}  {:>11.2}  {:>11.3}  {:>12.0}  {:>20.1}  {:>16.4e}  {:>7.2}\n",
+                r.k,
+                r.releases,
+                r.mean_candidates,
+                r.mean_feasible_width,
+                r.mean_income_width,
+                r.disclosure_gain,
+                r.estimate_gain,
+                r.aux_coverage
+            ));
+        }
+        out
+    }
+
+    /// Serializes the report as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "k,releases,mean_candidates,mean_feasible_width,mean_income_width,dissim_composed,disclosure_gain,estimate_gain,aux_coverage\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{}\n",
+                r.k,
+                r.releases,
+                r.mean_candidates,
+                r.mean_feasible_width,
+                r.mean_income_width,
+                r.dissim_composed,
+                r.disclosure_gain,
+                r.estimate_gain,
+                r.aux_coverage
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the composition sweep.
+///
+/// The harvest runs once: the shared target core — and therefore the
+/// identifier set the web search sees — depends only on `(overlap,
+/// seed)`, not on `k` or `R`. Cells are independent given the harvest and
+/// evaluate in parallel, collected in `(k, releases)` order.
+pub fn composition_sweep(
+    table: &Table,
+    web: &SearchEngine,
+    anonymizer: &dyn Anonymizer,
+    fusion: &dyn FusionSystem,
+    config: &CompositionSweepConfig,
+) -> Result<CompositionSweepReport> {
+    if config.ks.is_empty() || config.releases.is_empty() {
+        return Err(CompositionError::InvalidConfig(
+            "ks and releases must be non-empty".into(),
+        ));
+    }
+    if config.releases.contains(&0) {
+        return Err(CompositionError::InvalidConfig(
+            "releases must be >= 1".into(),
+        ));
+    }
+    let scenario_for = |k: usize, releases: usize| ScenarioConfig {
+        releases,
+        overlap: config.overlap,
+        extras: config.extras,
+        k,
+        seed: config.seed,
+        styles: config.styles.clone(),
+    };
+    // The split is k- and R-invariant; probe it via the split alone (no
+    // throwaway anonymization), validated at the smallest swept k.
+    let k_probe = *config.ks.iter().min().expect("ks non-empty");
+    let targets = crate::scenario::core_targets(table.len(), &scenario_for(k_probe, 1))?;
+    let release = targets_release(table, &targets)?;
+    let harvest = harvest_auxiliary(&release, web, &config.harvest)?;
+    let truth = target_truth(table, &targets)?;
+
+    let mut ks = config.ks.clone();
+    ks.sort_unstable();
+    ks.dedup();
+    let mut r_values = config.releases.clone();
+    r_values.sort_unstable();
+    r_values.dedup();
+
+    // Source construction is R-invariant, so each k needs exactly one
+    // scenario at the largest release count; every cell — including the
+    // always-evaluated R = 1 baseline — is a prefix of its sources. The
+    // per-k work fans out in parallel; cells are pure given the shared
+    // harvest.
+    let r_max = *r_values.iter().max().expect("releases non-empty");
+    let mut r_cells = r_values.clone();
+    if !r_cells.contains(&1) {
+        r_cells.insert(0, 1);
+    }
+    let evaluated: Vec<((usize, usize), crate::fuse::CellEval)> = ks
+        .clone()
+        .into_par_iter()
+        .map(
+            |k| -> Result<Vec<((usize, usize), crate::fuse::CellEval)>> {
+                let scenario =
+                    crate::scenario::generate_scenario(table, anonymizer, &scenario_for(k, r_max))?;
+                debug_assert_eq!(scenario.targets, targets);
+                r_cells
+                    .iter()
+                    .map(|&r| {
+                        let eval = evaluate_sources(
+                            table,
+                            fusion,
+                            &harvest,
+                            &truth,
+                            &scenario.sources[..r],
+                            &targets,
+                            config.chunk_rows,
+                            config.qi_range,
+                            config.income_range,
+                        )?;
+                        Ok(((k, r), eval))
+                    })
+                    .collect()
+            },
+        )
+        .collect::<Result<Vec<Vec<_>>>>()?
+        .into_iter()
+        .flatten()
+        .collect();
+
+    let cell_at = |k: usize, r: usize| -> &crate::fuse::CellEval {
+        evaluated
+            .iter()
+            .find(|((ck, cr), _)| *ck == k && *cr == r)
+            .map(|(_, e)| e)
+            .expect("cell evaluated")
+    };
+    let mut rows = Vec::new();
+    for &k in &ks {
+        let baseline = cell_at(k, 1);
+        for &r in &r_values {
+            let eval = cell_at(k, r);
+            rows.push(CompositionSweepRow {
+                k,
+                releases: r,
+                mean_candidates: eval.mean_candidates,
+                mean_feasible_width: eval.mean_feasible_width,
+                mean_income_width: eval.mean_income_width,
+                dissim_composed: eval.dissim,
+                disclosure_gain: baseline.mean_income_width - eval.mean_income_width,
+                estimate_gain: baseline.dissim - eval.dissim,
+                aux_coverage: harvest.coverage(),
+            });
+        }
+    }
+    Ok(CompositionSweepReport { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fred_anon::Mdav;
+    use fred_attack::{FuzzyFusion, FuzzyFusionConfig};
+    use fred_synth::{customer_table, generate_population, CustomerConfig, PopulationConfig};
+    use fred_web::{build_corpus, CorpusConfig, NameNoise};
+
+    fn world(n: usize) -> (Table, SearchEngine) {
+        let people = generate_population(&PopulationConfig {
+            size: n,
+            web_presence_rate: 0.95,
+            seed: 44,
+            ..PopulationConfig::default()
+        });
+        let table = customer_table(&people, &CustomerConfig::default());
+        let web = build_corpus(
+            &people,
+            &CorpusConfig {
+                noise: NameNoise::none(),
+                pages_per_person: (2, 3),
+                ..CorpusConfig::default()
+            },
+        );
+        (table, web)
+    }
+
+    #[test]
+    fn sweep_produces_a_row_per_cell() {
+        let (table, web) = world(60);
+        let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+        let report = composition_sweep(
+            &table,
+            &web,
+            &Mdav::new(),
+            &fusion,
+            &CompositionSweepConfig {
+                ks: vec![4, 2],
+                releases: vec![2, 1],
+                ..CompositionSweepConfig::default()
+            },
+        )
+        .unwrap();
+        let cells: Vec<(usize, usize)> = report.rows().iter().map(|r| (r.k, r.releases)).collect();
+        assert_eq!(cells, vec![(2, 1), (2, 2), (4, 1), (4, 2)]);
+        for row in report.rows() {
+            if row.releases == 1 {
+                assert_eq!(row.disclosure_gain, 0.0);
+            }
+            assert!(row.mean_candidates >= 1.0);
+        }
+        assert!(report.row_for(2, 2).is_some());
+        assert!(report.row_for(9, 1).is_none());
+    }
+
+    #[test]
+    fn baseline_is_computed_even_when_not_listed() {
+        let (table, web) = world(50);
+        let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+        let report = composition_sweep(
+            &table,
+            &web,
+            &Mdav::new(),
+            &fusion,
+            &CompositionSweepConfig {
+                ks: vec![3],
+                releases: vec![2, 3],
+                ..CompositionSweepConfig::default()
+            },
+        )
+        .unwrap();
+        // Only the listed cells appear, but gains are measured vs R = 1.
+        let cells: Vec<(usize, usize)> = report.rows().iter().map(|r| (r.k, r.releases)).collect();
+        assert_eq!(cells, vec![(3, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn renders_ascii_and_csv() {
+        let (table, web) = world(40);
+        let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+        let report = composition_sweep(
+            &table,
+            &web,
+            &Mdav::new(),
+            &fusion,
+            &CompositionSweepConfig {
+                ks: vec![3],
+                releases: vec![1, 2],
+                ..CompositionSweepConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(report.to_ascii().contains("disclosure gain"));
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("k,releases,"));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let (table, web) = world(30);
+        let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+        for config in [
+            CompositionSweepConfig {
+                ks: vec![],
+                ..CompositionSweepConfig::default()
+            },
+            CompositionSweepConfig {
+                releases: vec![],
+                ..CompositionSweepConfig::default()
+            },
+            CompositionSweepConfig {
+                releases: vec![0, 2],
+                ..CompositionSweepConfig::default()
+            },
+        ] {
+            assert!(composition_sweep(&table, &web, &Mdav::new(), &fusion, &config).is_err());
+        }
+    }
+}

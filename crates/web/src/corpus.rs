@@ -7,6 +7,7 @@ use fred_synth::person::PersonProfile;
 use fred_synth::rng::{coin, rng_from_seed};
 use fred_synth::unique_names;
 use rand::Rng;
+use rayon::prelude::*;
 
 /// Configuration of corpus generation.
 #[derive(Debug, Clone)]
@@ -36,11 +37,29 @@ impl Default for CorpusConfig {
     }
 }
 
+/// Everything [`WebPage::render`] needs for one page, drawn ahead of the
+/// (parallel) render pass.
+struct PageSpec<'a> {
+    person_id: Option<usize>,
+    kind: PageKind,
+    display: String,
+    title: &'a str,
+    employer: &'a str,
+    property: Option<f64>,
+}
+
 /// Generates the page corpus for a population and builds the search
 /// engine over it.
+///
+/// Generation is split in two phases so the expensive part parallelizes
+/// without disturbing the seeded world: every RNG draw happens in a first,
+/// sequential pass — in exactly the order the one-pass builder made them,
+/// which pins the generated corpus bit-for-bit across thread counts — and
+/// the template rendering (the hot part of world build at large
+/// populations) fans out across workers afterwards.
 pub fn build_corpus(people: &[PersonProfile], config: &CorpusConfig) -> SearchEngine {
     let mut rng = rng_from_seed(config.seed);
-    let mut pages = Vec::new();
+    let mut specs: Vec<PageSpec<'_>> = Vec::new();
     let (lo, hi) = config.pages_per_person;
     let (lo, hi) = (lo.max(1), hi.max(lo.max(1)));
     for p in people {
@@ -58,15 +77,14 @@ pub fn build_corpus(people: &[PersonProfile], config: &CorpusConfig) -> SearchEn
                 }
                 _ => None,
             };
-            pages.push(WebPage::render(
-                pages.len(),
-                Some(p.id),
+            specs.push(PageSpec {
+                person_id: Some(p.id),
                 kind,
-                &display,
-                &p.title,
-                &p.employer,
+                display,
+                title: &p.title,
+                employer: &p.employer,
                 property,
-            ));
+            });
         }
     }
     // Distractors: pages about people who are not in the population.
@@ -78,16 +96,30 @@ pub fn build_corpus(people: &[PersonProfile], config: &CorpusConfig) -> SearchEn
         let title = titles[rng.gen_range(0..titles.len())];
         let employer = employers[rng.gen_range(0..employers.len())];
         let sqft = 500.0 + rng.gen::<f64>() * 4000.0;
-        pages.push(WebPage::render(
-            pages.len(),
-            None,
+        specs.push(PageSpec {
+            person_id: None,
             kind,
-            &name,
+            display: name,
             title,
             employer,
-            Some(sqft),
-        ));
+            property: Some(sqft),
+        });
     }
+    let pages: Vec<WebPage> = (0..specs.len())
+        .into_par_iter()
+        .map(|id| {
+            let s = &specs[id];
+            WebPage::render(
+                id,
+                s.person_id,
+                s.kind,
+                &s.display,
+                s.title,
+                s.employer,
+                s.property,
+            )
+        })
+        .collect();
     SearchEngine::build(pages)
 }
 

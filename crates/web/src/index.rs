@@ -1,15 +1,59 @@
 //! A miniature search engine over the corpus: inverted index with TF-IDF
 //! ranking. This is the "index into the web" the paper's intruder uses.
+//!
+//! Index tokens are *interned*: each distinct token string is stored once
+//! in the term table and postings live in dense per-term vectors keyed by
+//! term id (the corpus keys on ~a hundred distinct name tokens, so
+//! interning removes almost all per-posting string traffic). Two postings
+//! orders are kept per term: page-ascending (the classic scan + binary
+//! search order) and score-contribution-descending (the order the top-k
+//! searcher consumes, enabling its early exit).
 
 use crate::page::{tokenize, WebPage};
+use rayon::prelude::*;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a. The build interner and the query term cache hash hundreds of
+/// thousands of short tokens; the default SipHash costs more than the
+/// rest of the merge combined.
+struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<Fnv>>;
 
 /// An inverted-index search engine over [`WebPage`]s.
 #[derive(Debug, Clone)]
 pub struct SearchEngine {
     pages: Vec<WebPage>,
-    // term -> (page index, term frequency)
-    index: HashMap<String, Vec<(usize, usize)>>,
+    /// Interned token → dense term id.
+    terms: FnvMap<String, u32>,
+    /// Per-term postings `(page, term frequency)`, page-ascending (by
+    /// construction: pages are merged in ascending order).
+    postings: Vec<Vec<(u32, u32)>>,
+    /// Per-term postings re-sorted by score contribution: `tf`
+    /// descending, then page ascending. Fuel for
+    /// [`search_topk_with`](SearchEngine::search_topk_with)'s early exit.
+    by_contribution: Vec<Vec<(u32, u32)>>,
+    /// Per-term IDF (`ln(n / df) + 1`), precomputed at build.
+    idf: Vec<f64>,
 }
 
 /// A ranked search hit.
@@ -21,20 +65,96 @@ pub struct SearchHit {
     pub score: f64,
 }
 
+/// One posting's score contribution.
+#[inline]
+fn contribution(tf: u32, idf: f64) -> f64 {
+    (1.0 + f64::from(tf).ln()) * idf
+}
+
+/// Distinct lowercased tokens of one page in first-occurrence order with
+/// term frequencies. Produces exactly the tokens of
+/// [`tokenize`]`(text)` (ASCII tokens are lowercased into the reusable
+/// `buf`, everything else falls back to `str::to_lowercase`) but without
+/// per-repeat allocation or hashing: a page holds a few dozen distinct
+/// tokens, so counting is a linear scan.
+fn page_term_counts(text: &str, buf: &mut String, out: &mut Vec<(String, u32)>) {
+    out.clear();
+    for raw in text
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+    {
+        buf.clear();
+        if raw.is_ascii() {
+            for b in raw.bytes() {
+                buf.push(b.to_ascii_lowercase() as char);
+            }
+        } else {
+            buf.push_str(&raw.to_lowercase());
+        }
+        match out.iter_mut().find(|(t, _)| t == buf) {
+            Some((_, count)) => *count += 1,
+            None => out.push((buf.clone(), 1)),
+        }
+    }
+}
+
+/// The `(score desc, page asc)` hit total order used everywhere.
+#[inline]
+fn hit_beats(score: f64, page: u32, best_score: f64, best_page: u32) -> bool {
+    score > best_score || (score == best_score && page < best_page)
+}
+
 impl SearchEngine {
     /// Builds the index over a corpus of pages.
+    ///
+    /// Per-page tokenization (the hot part of world build at large corpus
+    /// sizes) runs across worker threads; each page's counts come out in
+    /// first-occurrence order — a function of the text alone — so the
+    /// sequential page-order merge, and therefore the whole index, is
+    /// identical regardless of thread count.
     pub fn build(pages: Vec<WebPage>) -> Self {
-        let mut index: HashMap<String, Vec<(usize, usize)>> = HashMap::new();
-        for (pi, page) in pages.iter().enumerate() {
-            let mut counts: HashMap<String, usize> = HashMap::new();
-            for tok in page.tokens() {
-                *counts.entry(tok).or_insert(0) += 1;
-            }
+        let page_counts: Vec<Vec<(String, u32)>> = pages
+            .par_iter()
+            .map_init(String::new, |buf, page| {
+                let mut counts = Vec::new();
+                page_term_counts(&page.text, buf, &mut counts);
+                counts
+            })
+            .collect();
+
+        let mut terms: FnvMap<String, u32> = FnvMap::default();
+        let mut postings: Vec<Vec<(u32, u32)>> = Vec::new();
+        for (pi, counts) in page_counts.into_iter().enumerate() {
             for (tok, count) in counts {
-                index.entry(tok).or_default().push((pi, count));
+                let next_id = postings.len() as u32;
+                let id = *terms.entry(tok).or_insert(next_id);
+                if id == next_id {
+                    postings.push(Vec::new());
+                }
+                postings[id as usize].push((pi as u32, count));
             }
         }
-        SearchEngine { pages, index }
+
+        let n = pages.len() as f64;
+        let idf: Vec<f64> = postings
+            .iter()
+            .map(|p| (n / p.len() as f64).ln() + 1.0)
+            .collect();
+        let by_contribution: Vec<Vec<(u32, u32)>> = postings
+            .par_iter()
+            .map(|p| {
+                let mut sorted = p.clone();
+                sorted.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                sorted
+            })
+            .collect();
+        SearchEngine {
+            pages,
+            terms,
+            postings,
+            by_contribution,
+            idf,
+        }
     }
 
     /// Number of pages indexed.
@@ -62,18 +182,22 @@ impl SearchEngine {
     ///
     /// This mirrors a name search: querying `"Robert Smith"` scores pages
     /// mentioning both tokens highest, with rare surnames dominating.
+    /// This is the exhaustive reference path: every posting of every
+    /// query term is scanned and the full candidate set sorted. The
+    /// accelerated paths ([`search_with`](SearchEngine::search_with),
+    /// [`search_topk_with`](SearchEngine::search_topk_with)) are pinned
+    /// bit-identical to it by property test.
     pub fn search(&self, query: &str, limit: usize) -> Vec<SearchHit> {
         let terms = tokenize(query);
         if terms.is_empty() || self.pages.is_empty() {
             return Vec::new();
         }
-        let n = self.pages.len() as f64;
         let mut scores: HashMap<usize, f64> = HashMap::new();
         for term in &terms {
-            if let Some(postings) = self.index.get(term) {
-                let idf = (n / postings.len() as f64).ln() + 1.0;
-                for &(page, tf) in postings {
-                    *scores.entry(page).or_insert(0.0) += (1.0 + (tf as f64).ln()) * idf;
+            if let Some(&tid) = self.terms.get(term) {
+                let idf = self.idf[tid as usize];
+                for &(page, tf) in &self.postings[tid as usize] {
+                    *scores.entry(page as usize).or_insert(0.0) += contribution(tf, idf);
                 }
             }
         }
@@ -112,42 +236,43 @@ impl SearchEngine {
 
     /// An empty per-batch term cache; see
     /// [`search_with`](SearchEngine::search_with).
-    pub fn term_cache(&self) -> TermCache<'_> {
-        TermCache {
-            map: HashMap::new(),
-        }
+    pub fn term_cache(&self) -> TermCache {
+        TermCache::default()
+    }
+
+    /// Resolves one query token to its term id through the cache.
+    #[inline]
+    fn resolve_term(&self, term: String, cache: &mut TermCache) -> Option<u32> {
+        *cache
+            .map
+            .entry(term)
+            .or_insert_with_key(|t| self.terms.get(t).copied())
     }
 
     /// [`search`](SearchEngine::search) with caller-provided scratch: the
     /// dense score accumulator replaces the per-call `HashMap`, and the
-    /// term cache skips repeated postings/IDF lookups across queries of
-    /// one batch (release names share a small token vocabulary, so the
+    /// term cache skips repeated token→term-id resolutions across queries
+    /// of one batch (release names share a small token vocabulary, so the
     /// hit rate is high). Results are bit-identical to `search` — scores
     /// accumulate in the same term order and the final ranking comparator
     /// is a total order.
-    pub fn search_with<'a>(
-        &'a self,
+    pub fn search_with(
+        &self,
         query: &str,
         limit: usize,
         scratch: &mut SearchScratch,
-        cache: &mut TermCache<'a>,
+        cache: &mut TermCache,
     ) -> Vec<SearchHit> {
         let terms = tokenize(query);
         if terms.is_empty() || self.pages.is_empty() {
             return Vec::new();
         }
-        let n = self.pages.len() as f64;
         scratch.begin(self.pages.len());
         for term in terms {
-            let entry = cache.map.entry(term).or_insert_with_key(|t| {
-                self.index.get(t).map(|postings| {
-                    let idf = (n / postings.len() as f64).ln() + 1.0;
-                    (idf, postings.as_slice())
-                })
-            });
-            if let Some((idf, postings)) = entry {
-                for &(page, tf) in *postings {
-                    scratch.add(page, (1.0 + (tf as f64).ln()) * *idf);
+            if let Some(tid) = self.resolve_term(term, cache) {
+                let idf = self.idf[tid as usize];
+                for &(page, tf) in &self.postings[tid as usize] {
+                    scratch.add(page as usize, contribution(tf, idf));
                 }
             }
         }
@@ -169,6 +294,147 @@ impl SearchEngine {
         hits
     }
 
+    /// Top-`limit` search with early exit — the harvest fast path.
+    ///
+    /// Exact, not approximate: returns precisely what
+    /// [`search`](SearchEngine::search) returns (same pages, same
+    /// bit-identical scores, same order), established as follows.
+    ///
+    /// * Term lists are scanned rarest-first in their pre-sorted
+    ///   contribution-descending order, so the maximum score any *unseen*
+    ///   page could still reach (`ub`: the current frontier contribution
+    ///   of the active list plus the best contribution of every unscanned
+    ///   list) only decreases.
+    /// * A page's full score is computed the moment it is first seen, by
+    ///   binary-searching every query term's page-ascending postings and
+    ///   accumulating in query-term order — the exact float-addition
+    ///   sequence of the exhaustive path.
+    /// * Once `limit` candidates are held and `ub` falls strictly below
+    ///   the current `limit`-th best score, no unseen page can enter the
+    ///   result (ties at the boundary are impossible: they would require
+    ///   `ub ==` the boundary score, which keeps the scan alive), so the
+    ///   remaining postings — typically the long tail of a common
+    ///   first-name list — are never touched.
+    ///
+    /// Selection is a bounded worst-out tracker instead of a full sort of
+    /// every candidate, which is the other constant-factor win at harvest
+    /// scale (hundreds of candidates, `limit` of eight).
+    pub fn search_topk_with(
+        &self,
+        query: &str,
+        limit: usize,
+        scratch: &mut SearchScratch,
+        cache: &mut TermCache,
+    ) -> Vec<SearchHit> {
+        if limit == 0 {
+            return Vec::new();
+        }
+        let tokens = tokenize(query);
+        if tokens.is_empty() || self.pages.is_empty() {
+            return Vec::new();
+        }
+        // Query-order term ids (duplicates kept: they contribute twice,
+        // exactly like the exhaustive accumulation).
+        let resolved: Vec<u32> = tokens
+            .into_iter()
+            .filter_map(|t| self.resolve_term(t, cache))
+            .collect();
+        if resolved.is_empty() {
+            return Vec::new();
+        }
+        // Scan order: distinct lists, rarest first (stable on equal
+        // lengths), so the upper bound collapses as early as possible.
+        // Each list carries its query multiplicity — a token repeated in
+        // the query contributes that many times to a page's score, so
+        // every upper bound below must scale by it too.
+        let mut scan: Vec<(u32, u32)> = {
+            let mut distinct: Vec<u32> = resolved.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            distinct
+                .into_iter()
+                .map(|t| (t, resolved.iter().filter(|&&r| r == t).count() as u32))
+                .collect()
+        };
+        scan.sort_by_key(|&(t, _)| self.postings[t as usize].len());
+        // `exhausted[t]` once list `t` has been scanned to the end: a page
+        // still unseen afterwards is provably absent from it, so scoring
+        // can skip that term without a lookup.
+        let mut exhausted: FnvMap<u32, bool> = scan.iter().map(|&(t, _)| (t, false)).collect();
+
+        scratch.begin(self.pages.len());
+        let mut tracker = TopHits::new(limit);
+        for (li, &(tid, mult)) in scan.iter().enumerate() {
+            // Best contribution still reachable from the lists after this
+            // one (their contribution-sorted heads, times multiplicity).
+            let rest_ub: f64 = scan[li + 1..]
+                .iter()
+                .map(|&(t, m)| {
+                    self.by_contribution[t as usize]
+                        .first()
+                        .map_or(0.0, |&(_, tf)| {
+                            f64::from(m) * contribution(tf, self.idf[t as usize])
+                        })
+                })
+                .sum();
+            let idf = self.idf[tid as usize];
+            let mut completed = true;
+            for &(page, tf) in &self.by_contribution[tid as usize] {
+                if tracker.is_full() {
+                    let ub = rest_ub + f64::from(mult) * contribution(tf, idf);
+                    let (kth_score, _) = tracker.worst();
+                    if ub < kth_score {
+                        // No page drawn from this list's remainder can
+                        // reach the boundary: within the list
+                        // contributions only fall, deeper lists are
+                        // already inside `rest_ub`, and the boundary
+                        // score only rises from here — so the skip stays
+                        // sound for the rest of the scan too. (Pages of
+                        // the remainder that also sit in a later list
+                        // still get scored there, via the lookup path.)
+                        completed = false;
+                        break;
+                    }
+                }
+                if scratch.mark[page as usize] == scratch.epoch {
+                    continue; // already scored on first sight
+                }
+                scratch.mark[page as usize] = scratch.epoch;
+                // Full exact score, accumulated in query-term order: the
+                // same addition sequence as the exhaustive path. The term
+                // being scanned contributes its known tf; terms whose
+                // lists were already exhausted cannot contain a page
+                // first seen here; everything else is a binary search.
+                let mut score = 0.0f64;
+                for &t in &resolved {
+                    if t == tid {
+                        score += contribution(tf, idf);
+                    } else if !exhausted[&t] {
+                        if let Ok(pos) =
+                            self.postings[t as usize].binary_search_by_key(&page, |&(p, _)| p)
+                        {
+                            let (_, tf_t) = self.postings[t as usize][pos];
+                            score += contribution(tf_t, self.idf[t as usize]);
+                        }
+                    }
+                }
+                tracker.offer(score, page);
+            }
+            if completed {
+                exhausted.insert(tid, true);
+            }
+        }
+        tracker.into_hits()
+    }
+
+    /// [`search_topk_with`](SearchEngine::search_topk_with) with one-shot
+    /// scratch (convenience for tests and single queries).
+    pub fn search_topk(&self, query: &str, limit: usize) -> Vec<SearchHit> {
+        let mut scratch = self.scratch();
+        let mut cache = self.term_cache();
+        self.search_topk_with(query, limit, &mut scratch, &mut cache)
+    }
+
     /// Batched multi-name queries: one scratch score map and one term
     /// cache amortized across the whole batch. `search_many(qs, l)[i]` is
     /// bit-identical to `search(qs[i], l)` for every `i`.
@@ -178,6 +444,81 @@ impl SearchEngine {
         queries
             .iter()
             .map(|q| self.search_with(q.as_ref(), limit, &mut scratch, &mut cache))
+            .collect()
+    }
+}
+
+/// Bounded best-`k` tracker under the `(score desc, page asc)` hit order:
+/// a candidate enters only by beating the current worst member, so the
+/// final contents are exactly the unique k-best set.
+struct TopHits {
+    k: usize,
+    items: Vec<(f64, u32)>,
+    /// Index of the current worst member once full.
+    worst: usize,
+}
+
+impl TopHits {
+    fn new(k: usize) -> Self {
+        TopHits {
+            k,
+            items: Vec::with_capacity(k),
+            worst: 0,
+        }
+    }
+
+    #[inline]
+    fn is_full(&self) -> bool {
+        self.items.len() == self.k
+    }
+
+    /// The current worst `(score, page)`; only meaningful when full.
+    #[inline]
+    fn worst(&self) -> (f64, u32) {
+        self.items[self.worst]
+    }
+
+    #[inline]
+    fn offer(&mut self, score: f64, page: u32) {
+        if self.items.len() < self.k {
+            self.items.push((score, page));
+            if self.items.len() == self.k {
+                self.find_worst();
+            }
+        } else {
+            let (ws, wp) = self.items[self.worst];
+            if hit_beats(score, page, ws, wp) {
+                self.items[self.worst] = (score, page);
+                self.find_worst();
+            }
+        }
+    }
+
+    fn find_worst(&mut self) {
+        let mut wi = 0;
+        for i in 1..self.items.len() {
+            let (s, p) = self.items[i];
+            let (ws, wp) = self.items[wi];
+            // `i` is worse than `wi` when `wi` beats it.
+            if hit_beats(ws, wp, s, p) {
+                wi = i;
+            }
+        }
+        self.worst = wi;
+    }
+
+    fn into_hits(mut self) -> Vec<SearchHit> {
+        self.items.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        self.items
+            .into_iter()
+            .map(|(score, page)| SearchHit {
+                page: page as usize,
+                score,
+            })
             .collect()
     }
 }
@@ -222,15 +563,12 @@ impl SearchScratch {
     }
 }
 
-/// Per-batch memo of term → (IDF, postings) resolved against one
+/// Per-batch memo of token → term id resolved against one
 /// [`SearchEngine`]; negative lookups are cached too.
-#[derive(Debug, Clone, Default)]
-pub struct TermCache<'a> {
-    map: HashMap<String, CachedTerm<'a>>,
+#[derive(Default)]
+pub struct TermCache {
+    map: FnvMap<String, Option<u32>>,
 }
-
-/// One resolved term: its IDF and postings slice (`None` = not indexed).
-type CachedTerm<'a> = Option<(f64, &'a [(usize, usize)])>;
 
 #[cfg(test)]
 mod tests {
@@ -288,6 +626,8 @@ mod tests {
         let e = corpus();
         assert!(e.search("zzyzx unknown", 10).is_empty());
         assert!(e.search("", 10).is_empty());
+        assert!(e.search_topk("zzyzx unknown", 10).is_empty());
+        assert!(e.search_topk("", 10).is_empty());
     }
 
     #[test]
@@ -295,6 +635,8 @@ mod tests {
         let e = corpus();
         let hits = e.search("Robert", 1);
         assert_eq!(hits.len(), 1);
+        assert_eq!(e.search_topk("Robert", 1).len(), 1);
+        assert!(e.search_topk("Robert", 0).is_empty());
     }
 
     #[test]
@@ -319,6 +661,7 @@ mod tests {
         let e = SearchEngine::build(vec![]);
         assert!(e.is_empty());
         assert!(e.search("anything", 5).is_empty());
+        assert!(e.search_topk("anything", 5).is_empty());
         assert!(e.search_many(&["anything"], 5)[0].is_empty());
     }
 
@@ -349,6 +692,75 @@ mod tests {
     }
 
     #[test]
+    fn search_topk_matches_search_bit_for_bit() {
+        let e = corpus();
+        let queries = [
+            "Robert Smith",
+            "Alice Walker",
+            "Robert",
+            "Robert Robert Smith", // duplicate token: contributes twice
+            "Verizon CEO",
+            "Robert Jones Acme zzyzx",
+            "smith",
+        ];
+        let mut scratch = e.scratch();
+        let mut cache = e.term_cache();
+        for limit in [1usize, 2, 3, 8, 100] {
+            for q in &queries {
+                let exhaustive = e.search(q, limit);
+                let fast = e.search_topk_with(q, limit, &mut scratch, &mut cache);
+                assert_eq!(fast.len(), exhaustive.len(), "query {q:?} limit {limit}");
+                for (a, b) in fast.iter().zip(&exhaustive) {
+                    assert_eq!(a.page, b.page, "query {q:?} limit {limit}");
+                    assert_eq!(
+                        a.score.to_bits(),
+                        b.score.to_bits(),
+                        "query {q:?} limit {limit}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topk_duplicate_query_tokens_scale_the_upper_bound() {
+        // Regression: the early-exit upper bound must multiply each
+        // list's head contribution by its query multiplicity. With
+        // "robert robert smith" the smith-bearing pages max out at
+        // 2·c_robert + c_smith < the 4·robert page's 8·c_robert-ish
+        // score, and an unscaled bound exits before ever seeing it.
+        let texts = [
+            "smith robert",
+            "smith robert",
+            "robert robert robert robert",
+            "robert robert robert",
+            "robert",
+            "robert",
+        ];
+        let pages: Vec<WebPage> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, t)| WebPage {
+                id: i,
+                person_id: None,
+                display_name: String::new(),
+                kind: PageKind::News,
+                text: (*t).into(),
+            })
+            .collect();
+        let e = SearchEngine::build(pages);
+        for limit in [1usize, 2, 3, 6] {
+            let exhaustive = e.search("robert robert smith", limit);
+            let fast = e.search_topk("robert robert smith", limit);
+            assert_eq!(fast.len(), exhaustive.len(), "limit {limit}");
+            for (a, b) in fast.iter().zip(&exhaustive) {
+                assert_eq!(a.page, b.page, "limit {limit}");
+                assert_eq!(a.score.to_bits(), b.score.to_bits(), "limit {limit}");
+            }
+        }
+    }
+
+    #[test]
     fn scratch_survives_many_epochs() {
         let e = corpus();
         let mut scratch = e.scratch();
@@ -357,6 +769,8 @@ mod tests {
         for _ in 0..100 {
             let hits = e.search_with("Robert Smith", 10, &mut scratch, &mut cache);
             assert_eq!(hits, reference);
+            let topk = e.search_topk_with("Robert Smith", 10, &mut scratch, &mut cache);
+            assert_eq!(topk, reference);
         }
     }
 }

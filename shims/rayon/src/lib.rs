@@ -1,29 +1,216 @@
 //! Offline drop-in subset of the `rayon` crate.
 //!
 //! Implements the `par_iter()` / `into_par_iter()` → `map` / `map_init` →
-//! `collect` pipeline used by the attack sweep on top of
-//! `std::thread::scope`. Work is split into per-thread chunks and results
-//! are re-assembled **in input order**, so a parallel map is always
-//! bit-identical to its sequential counterpart for pure per-item
-//! functions.
+//! `collect` pipeline used by the attack sweep on top of a **persistent
+//! worker pool**: worker threads are spawned once (lazily, on the first
+//! parallel call) and every subsequent call only enqueues its chunk jobs,
+//! so the per-call cost is a channel send + condvar wait instead of a
+//! thread spawn/join cycle. That keeps fan-out profitable for much
+//! smaller inputs — MDAV's distance scans fan out from a few thousand
+//! active rows instead of sixteen thousand.
+//!
+//! Work is split into per-thread chunks and results are re-assembled
+//! **in input order**, so a parallel map is always bit-identical to its
+//! sequential counterpart for pure per-item functions.
 //!
 //! Nested parallelism is flattened: a `par_iter` launched from inside a
-//! worker thread runs sequentially (one scoped pool at a time keeps the
-//! thread count bounded at `available_parallelism`).
+//! worker thread runs sequentially (one pool for the whole process keeps
+//! the thread count bounded at `available_parallelism`, overridable via
+//! `RAYON_NUM_THREADS` like the real crate).
 
 use std::cell::Cell;
 use std::ops::Range;
+use std::sync::OnceLock;
 
 thread_local! {
-    /// Set while a worker thread runs pipeline items, to flatten nesting.
+    /// Set on pool worker threads, to flatten nested parallelism.
     static IN_POOL: Cell<bool> = const { Cell::new(false) };
 }
 
-/// Number of worker threads a parallel call may use.
+/// Number of worker threads parallel calls will use, mirroring
+/// `rayon::current_num_threads`: the `RAYON_NUM_THREADS` override, else
+/// `available_parallelism`. Callers sizing their own fan-out (or
+/// recording "cores" in a benchmark baseline) should read this instead
+/// of `available_parallelism`, which ignores the override.
+pub fn current_num_threads() -> usize {
+    pool_width()
+}
+
+/// Number of worker threads a parallel call may use
+/// (`RAYON_NUM_THREADS` override, else `available_parallelism`).
 fn pool_width() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static WIDTH: OnceLock<usize> = OnceLock::new();
+    *WIDTH.get_or_init(|| {
+        if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            if n >= 1 {
+                return n;
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+mod pool {
+    //! The persistent worker pool behind every parallel call.
+
+    use std::any::Any;
+    use std::sync::mpsc::{channel, Sender};
+    use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+    /// A type-erased job. Jobs are *scoped*: they borrow the submitting
+    /// call's stack, transmuted to `'static` for transport. Soundness
+    /// rests on [`WorkerPool::map_chunks`] blocking until every job of
+    /// its batch has finished before any borrowed data goes out of scope.
+    type Job = Box<dyn FnOnce() + Send + 'static>;
+
+    /// Completion state of one submitted batch.
+    struct BatchState {
+        remaining: usize,
+        panic: Option<Box<dyn Any + Send>>,
+    }
+
+    struct Latch {
+        state: Mutex<BatchState>,
+        done: Condvar,
+    }
+
+    /// A fixed set of persistent worker threads fed from one shared
+    /// queue. Workers mark themselves [`IN_POOL`](super::IN_POOL) once at
+    /// spawn, so anything they run flattens nested parallelism.
+    pub(crate) struct WorkerPool {
+        tx: Mutex<Sender<Job>>,
+    }
+
+    impl WorkerPool {
+        pub(crate) fn new(width: usize) -> WorkerPool {
+            let (tx, rx) = channel::<Job>();
+            let rx = Arc::new(Mutex::new(rx));
+            for i in 0..width {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{i}"))
+                    .spawn(move || {
+                        super::IN_POOL.with(|c| c.set(true));
+                        loop {
+                            // The guard is held only for the handoff: the
+                            // receiving worker drops it before running the
+                            // job, so an idle peer immediately takes over
+                            // the queue.
+                            let job = match rx.lock() {
+                                Ok(guard) => guard.recv(),
+                                Err(_) => break,
+                            };
+                            match job {
+                                Ok(job) => job(),
+                                Err(_) => break,
+                            }
+                        }
+                    })
+                    .expect("spawn rayon-shim worker");
+            }
+            WorkerPool { tx: Mutex::new(tx) }
+        }
+
+        /// Runs `g` over every chunk on the workers, returning per-chunk
+        /// outputs in chunk order. Blocks until the whole batch settles;
+        /// a panicking chunk is re-raised here (only after every other
+        /// job has finished, so no borrow escapes the call).
+        pub(crate) fn map_chunks<T, R, G>(&self, chunks: Vec<Vec<T>>, g: G) -> Vec<Vec<R>>
+        where
+            T: Send,
+            R: Send,
+            G: Fn(Vec<T>) -> Vec<R> + Sync,
+        {
+            let n_chunks = chunks.len();
+            let slots: Vec<Mutex<Option<Vec<R>>>> =
+                (0..n_chunks).map(|_| Mutex::new(None)).collect();
+            let latch = Latch {
+                state: Mutex::new(BatchState {
+                    remaining: n_chunks,
+                    panic: None,
+                }),
+                done: Condvar::new(),
+            };
+            {
+                let g = &g;
+                let slots = &slots;
+                let latch = &latch;
+                let sender = self.tx.lock().expect("pool sender poisoned");
+                for (i, chunk) in chunks.into_iter().enumerate() {
+                    let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                        let out =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| g(chunk)));
+                        let mut state = latch.state.lock().expect("latch poisoned");
+                        match out {
+                            Ok(v) => *slots[i].lock().expect("slot poisoned") = Some(v),
+                            Err(payload) => {
+                                if state.panic.is_none() {
+                                    state.panic = Some(payload);
+                                }
+                            }
+                        }
+                        state.remaining -= 1;
+                        if state.remaining == 0 {
+                            latch.done.notify_all();
+                        }
+                    });
+                    // SAFETY: the job borrows `g`, `slots` and `latch`
+                    // from this stack frame. The wait loop below does not
+                    // return until `remaining == 0`, i.e. until every job
+                    // of this batch has run to completion (panics are
+                    // caught and counted), so the borrows outlive every
+                    // use. The transmute only erases the lifetime.
+                    let job: Job =
+                        unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+                    sender.send(job).expect("pool workers alive");
+                }
+            }
+            let mut state = latch.state.lock().expect("latch poisoned");
+            while state.remaining > 0 {
+                state = latch.done.wait(state).expect("latch poisoned");
+            }
+            if let Some(payload) = state.panic.take() {
+                drop(state);
+                std::panic::resume_unwind(payload);
+            }
+            drop(state);
+            slots
+                .into_iter()
+                .map(|s| {
+                    s.into_inner()
+                        .expect("slot poisoned")
+                        .expect("chunk finished without a result")
+                })
+                .collect()
+        }
+    }
+
+    /// The process-wide pool, spawned lazily with
+    /// [`pool_width`](super::pool_width) workers.
+    pub(crate) fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(|| WorkerPool::new(super::pool_width()))
+    }
+}
+
+/// Splits `items` into at most `threads` contiguous chunks, preserving
+/// input order across the concatenation of the chunks.
+fn split_chunks<T>(mut items: Vec<T>, threads: usize) -> Vec<Vec<T>> {
+    let chunk = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    // Split off tail-first so each chunk preserves input order.
+    while items.len() > chunk {
+        let tail = items.split_off(items.len() - chunk);
+        chunks.push(tail);
+    }
+    chunks.push(items);
+    chunks.reverse();
+    chunks
 }
 
 /// Parallel, order-preserving map over `items`. Falls back to sequential
@@ -40,37 +227,13 @@ where
     if width <= 1 || n < 2 || IN_POOL.with(|c| c.get()) {
         return items.into_iter().map(f).collect();
     }
-    let threads = width.min(n);
-    let chunk = n.div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    let mut items = items;
-    // Split off tail-first so each chunk preserves input order.
-    while items.len() > chunk {
-        let tail = items.split_off(items.len() - chunk);
-        chunks.push(tail);
-    }
-    chunks.push(items);
-    chunks.reverse();
-
+    let chunks = split_chunks(items, width.min(n));
     let f = &f;
-    let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                scope.spawn(move || {
-                    IN_POOL.with(|c| c.set(true));
-                    let out: Vec<R> = chunk.into_iter().map(f).collect();
-                    IN_POOL.with(|c| c.set(false));
-                    out
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("rayon-shim worker panicked"));
-        }
-    });
-    results.into_iter().flatten().collect()
+    pool::global()
+        .map_chunks(chunks, |chunk| chunk.into_iter().map(f).collect())
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// A fully-materialized parallel iterator pipeline stage.
@@ -186,45 +349,24 @@ where
     fn run(self) -> Vec<R> {
         let init = self.init;
         let f = self.f;
-        // Chunked manually so each worker creates one scratch value.
+        // Chunked so each worker creates one scratch value per chunk.
         let width = pool_width();
         let n = self.items.len();
         if width <= 1 || n < 2 || IN_POOL.with(|c| c.get()) {
             let mut scratch = init();
             return self.items.into_iter().map(|t| f(&mut scratch, t)).collect();
         }
-        let threads = width.min(n);
-        let chunk = n.div_ceil(threads);
-        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-        let mut items = self.items;
-        while items.len() > chunk {
-            let tail = items.split_off(items.len() - chunk);
-            chunks.push(tail);
-        }
-        chunks.push(items);
-        chunks.reverse();
-
+        let chunks = split_chunks(self.items, width.min(n));
         let init = &init;
         let f = &f;
-        let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        IN_POOL.with(|c| c.set(true));
-                        let mut scratch = init();
-                        let out: Vec<R> = chunk.into_iter().map(|t| f(&mut scratch, t)).collect();
-                        IN_POOL.with(|c| c.set(false));
-                        out
-                    })
-                })
-                .collect();
-            for h in handles {
-                results.push(h.join().expect("rayon-shim worker panicked"));
-            }
-        });
-        results.into_iter().flatten().collect()
+        pool::global()
+            .map_chunks(chunks, |chunk| {
+                let mut scratch = init();
+                chunk.into_iter().map(|t| f(&mut scratch, t)).collect()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
     }
 
     fn run_items(self) -> Vec<R> {
@@ -342,5 +484,86 @@ mod tests {
             assert_eq!(row.len(), 32);
             assert_eq!(row[5], i * 100 + 5);
         }
+    }
+
+    // The dedicated-pool tests construct their own `WorkerPool` so the
+    // machinery is exercised even on a single-core machine (where the
+    // public pipeline takes the sequential fast path).
+
+    #[test]
+    fn pool_map_chunks_preserves_chunk_order() {
+        let pool = super::pool::WorkerPool::new(4);
+        let chunks: Vec<Vec<usize>> = (0..16).map(|i| vec![i * 10, i * 10 + 1]).collect();
+        let out = pool.map_chunks(chunks.clone(), |chunk| {
+            chunk.into_iter().map(|x| x + 1).collect()
+        });
+        let expect: Vec<Vec<usize>> = chunks
+            .iter()
+            .map(|c| c.iter().map(|x| x + 1).collect())
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn pool_workers_persist_across_batches() {
+        use std::collections::HashSet;
+        use std::thread::ThreadId;
+        let pool = super::pool::WorkerPool::new(2);
+        let batch_ids = |pool: &super::pool::WorkerPool| -> HashSet<ThreadId> {
+            pool.map_chunks((0..8).map(|i| vec![i]).collect(), |chunk| {
+                // Slow the job down a touch so both workers participate.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                let _ = chunk;
+                vec![std::thread::current().id()]
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+        let first = batch_ids(&pool);
+        let second = batch_ids(&pool);
+        // Same pool, same threads: the second batch ran on (a subset of)
+        // the first batch's workers, proving no re-spawn per call.
+        assert!(!first.is_empty());
+        assert!(second.is_subset(&first), "{first:?} vs {second:?}");
+    }
+
+    #[test]
+    fn pool_borrows_caller_stack_soundly() {
+        let pool = super::pool::WorkerPool::new(3);
+        let data: Vec<usize> = (0..100).collect();
+        let slice = &data[..];
+        let out = pool.map_chunks(
+            (0..10).map(|i| vec![i]).collect(),
+            |chunk: Vec<usize>| -> Vec<usize> {
+                chunk.into_iter().map(|i| slice[i * 10] + 1).collect()
+            },
+        );
+        let flat: Vec<usize> = out.into_iter().flatten().collect();
+        assert_eq!(flat, (0..10).map(|i| i * 10 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_propagates_panics_after_batch_settles() {
+        let pool = super::pool::WorkerPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map_chunks((0..6).map(|i| vec![i]).collect(), |chunk| {
+                if chunk[0] == 3 {
+                    panic!("boom in chunk 3");
+                }
+                chunk
+            })
+        }));
+        let err = result.expect_err("panic must propagate");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("boom"), "unexpected payload: {msg}");
+        // The pool survives a panicking batch.
+        let ok = pool.map_chunks(vec![vec![1usize], vec![2]], |c| c);
+        assert_eq!(ok, vec![vec![1], vec![2]]);
     }
 }

@@ -12,6 +12,7 @@
 //! | [`web`] | `fred-web` | synthetic web corpus + search engine |
 //! | [`synth`] | `fred-synth` | seeded population and dataset generators |
 //! | [`attack`] | `fred-attack` | the web-based information-fusion attack |
+//! | [`composition`] | `fred-composition` | multi-release intersection attacks fused with the harvest |
 //! | [`core`] | `fred-core` | dissimilarity, objective `H`, Algorithm 1 (FRED) |
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
@@ -24,6 +25,7 @@
 
 pub use fred_anon as anon;
 pub use fred_attack as attack;
+pub use fred_composition as composition;
 pub use fred_core as core;
 pub use fred_data as data;
 pub use fred_fuzzy as fuzzy;
@@ -33,5 +35,9 @@ pub use fred_web as web;
 
 /// Everything a typical user needs, one `use` away.
 pub mod prelude {
+    pub use fred_composition::{
+        compose_attack, composition_sweep, CompositionConfig, CompositionSweepConfig,
+        ScenarioConfig,
+    };
     pub use fred_core::prelude::*;
 }

@@ -1,0 +1,165 @@
+//! End-to-end tests of the composition subsystem: several independently
+//! k-anonymized releases of overlapping populations, intersected and
+//! fused with the web harvest. The headline property is the paper-family
+//! claim the subsystem exists to demonstrate: privacy that survives one
+//! release collapses as releases accumulate — per-record disclosure gain
+//! grows with `R` at fixed `k`, candidate pools only shrink.
+
+use fred_suite::anon::Mdav;
+use fred_suite::attack::{FusionSystem, FuzzyFusion, FuzzyFusionConfig, LinearFusion};
+use fred_suite::composition::{
+    compose_attack, composition_sweep, CompositionConfig, CompositionSweepConfig, ScenarioConfig,
+};
+use fred_suite::data::Table;
+use fred_suite::synth::{customer_table, generate_population, CustomerConfig, PopulationConfig};
+use fred_suite::web::{build_corpus, CorpusConfig, NameNoise, SearchEngine};
+
+fn world(size: usize, seed: u64) -> (Table, SearchEngine) {
+    let people = generate_population(&PopulationConfig {
+        size,
+        web_presence_rate: 0.95,
+        seed,
+        ..PopulationConfig::default()
+    });
+    let table = customer_table(&people, &CustomerConfig::default());
+    let web = build_corpus(
+        &people,
+        &CorpusConfig {
+            noise: NameNoise::none(),
+            pages_per_person: (2, 3),
+            seed: seed ^ 0xBEEF,
+            ..CorpusConfig::default()
+        },
+    );
+    (table, web)
+}
+
+#[test]
+fn disclosure_gain_grows_with_releases_at_fixed_k() {
+    let (table, web) = world(120, 2015);
+    let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+    for k in [4usize, 6] {
+        let report = composition_sweep(
+            &table,
+            &web,
+            &Mdav::new(),
+            &fusion,
+            &CompositionSweepConfig {
+                ks: vec![k],
+                releases: vec![1, 2, 3],
+                ..CompositionSweepConfig::default()
+            },
+        )
+        .unwrap();
+        let gains = report.gain_series(k);
+        assert_eq!(gains.len(), 3);
+        assert_eq!(gains[0], (1, 0.0));
+        // The claim under test: strictly more disclosure per release.
+        for pair in gains.windows(2) {
+            assert!(
+                pair[1].1 > pair[0].1,
+                "k={k}: gain not strictly increasing: {gains:?}"
+            );
+        }
+        // And strictly fewer consistent identities per release.
+        let candidates: Vec<f64> = report
+            .rows()
+            .iter()
+            .filter(|r| r.k == k)
+            .map(|r| r.mean_candidates)
+            .collect();
+        for pair in candidates.windows(2) {
+            assert!(
+                pair[1] < pair[0],
+                "k={k}: candidates did not shrink: {candidates:?}"
+            );
+        }
+        // One release grants the full k-anonymity the curator promised.
+        assert!(candidates[0] >= k as f64);
+    }
+}
+
+#[test]
+fn composition_beats_single_release_for_both_estimator_families() {
+    let (table, web) = world(100, 77);
+    let fuzzy = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+    let linear = LinearFusion::new(FuzzyFusionConfig::default()).unwrap();
+    for fusion in [&fuzzy as &dyn FusionSystem, &linear] {
+        let outcome = compose_attack(
+            &table,
+            &web,
+            &Mdav::new(),
+            fusion,
+            &CompositionConfig {
+                scenario: ScenarioConfig {
+                    releases: 3,
+                    k: 5,
+                    ..ScenarioConfig::default()
+                },
+                ..CompositionConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            outcome.disclosure_gain > 0.0,
+            "{}: no disclosure gain",
+            fusion.name()
+        );
+        assert!(outcome.mean_candidates < 5.0, "{}", fusion.name());
+        assert!(outcome.aux_coverage > 0.5);
+        // Per-record soundness: composition never widens a record's
+        // feasible range, and the target itself always remains feasible.
+        for record in &outcome.records {
+            assert!(record.feasible_income_width <= record.baseline_income_width + 1e-9);
+            assert!(record.candidates >= 1);
+        }
+    }
+}
+
+#[test]
+fn outcome_records_align_with_the_shared_core() {
+    let (table, web) = world(80, 5);
+    let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+    let config = CompositionConfig {
+        scenario: ScenarioConfig {
+            releases: 2,
+            overlap: 0.4,
+            k: 4,
+            ..ScenarioConfig::default()
+        },
+        ..CompositionConfig::default()
+    };
+    let outcome = compose_attack(&table, &web, &Mdav::new(), &fusion, &config).unwrap();
+    assert_eq!(outcome.records.len(), 32); // 0.4 * 80
+    assert_eq!(outcome.k, 4);
+    assert_eq!(outcome.releases, 2);
+    let mut rows: Vec<usize> = outcome.records.iter().map(|r| r.master_row).collect();
+    let sorted = {
+        let mut s = rows.clone();
+        s.sort_unstable();
+        s
+    };
+    assert_eq!(rows, sorted, "records ascend by master row");
+    rows.dedup();
+    assert_eq!(rows.len(), 32, "each target exactly once");
+    // Truth column matches the master table.
+    let sens = table.sensitive_columns()[0];
+    for record in &outcome.records {
+        let expected = table
+            .cell(record.master_row, sens)
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert_eq!(record.truth, expected);
+    }
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let (table, web) = world(60, 11);
+    let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+    let config = CompositionConfig::default();
+    let a = compose_attack(&table, &web, &Mdav::new(), &fusion, &config).unwrap();
+    let b = compose_attack(&table, &web, &Mdav::new(), &fusion, &config).unwrap();
+    assert_eq!(a, b);
+}

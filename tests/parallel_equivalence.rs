@@ -1,8 +1,9 @@
 //! Property tests pinning the parallel/optimized fast paths to their
 //! sequential reference semantics: the rayon-backed batch estimate, the
-//! parallel k-sweep, the rewritten MDAV partitioner, the parallel harvest
-//! and the streaming (chunked) release sweep must return *exactly*
-//! (bit-for-bit) what the naive sequential code returns.
+//! parallel k-sweep, the rewritten MDAV partitioner, the parallel harvest,
+//! the streaming (chunked) release sweep, the top-k searcher and the
+//! composition intersection engine must return *exactly* (bit-for-bit)
+//! what the naive sequential code returns.
 
 use proptest::prelude::*;
 
@@ -120,6 +121,94 @@ proptest! {
         prop_assert_eq!(&parallel.linked, &sequential.linked);
         prop_assert_eq!(parallel.pages_inspected, sequential.pages_inspected);
         prop_assert_eq!(parallel.pages_linked, sequential.pages_linked);
+    }
+
+    #[test]
+    fn topk_search_equals_exhaustive_search(
+        size in 8usize..40,
+        seed in 0u64..1_000,
+        limit in 1usize..12,
+        noisy in any::<bool>(),
+    ) {
+        let people = generate_population(&PopulationConfig {
+            size,
+            web_presence_rate: 0.9,
+            seed,
+            ..PopulationConfig::default()
+        });
+        let web = build_corpus(
+            &people,
+            &CorpusConfig {
+                noise: if noisy { NameNoise::default() } else { NameNoise::none() },
+                pages_per_person: (1, 3),
+                seed: seed ^ 0xCAFE,
+                ..CorpusConfig::default()
+            },
+        );
+        let mut scratch = web.scratch();
+        let mut cache = web.term_cache();
+        // Real release names plus stress queries: single tokens,
+        // duplicates, unknown terms.
+        let mut queries: Vec<String> = people.iter().map(|p| p.name.clone()).collect();
+        queries.push("Robert".into());
+        queries.push("Robert Robert Smith".into());
+        queries.push("zzyzx unknown".into());
+        for q in &queries {
+            let exhaustive = web.search(q, limit);
+            let fast = web.search_topk_with(q, limit, &mut scratch, &mut cache);
+            prop_assert_eq!(fast.len(), exhaustive.len(), "query {:?}", q);
+            for (a, b) in fast.iter().zip(&exhaustive) {
+                prop_assert_eq!(a.page, b.page, "query {:?}", q);
+                prop_assert_eq!(a.score.to_bits(), b.score.to_bits(), "query {:?}", q);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_intersection_engine_equals_sequential_reference(
+        size in 20usize..90,
+        seed in 0u64..1_000,
+        k in 2usize..6,
+        releases in 1usize..5,
+        overlap_pct in 30usize..80,
+        centroid_style in any::<bool>(),
+    ) {
+        use fred_suite::composition::{
+            generate_scenario, intersect_releases, intersect_releases_sequential, ScenarioConfig,
+        };
+        let people = generate_population(&PopulationConfig {
+            size,
+            seed,
+            ..PopulationConfig::default()
+        });
+        let table = customer_table(&people, &CustomerConfig::default());
+        let config = ScenarioConfig {
+            releases,
+            overlap: overlap_pct as f64 / 100.0,
+            k,
+            seed: seed ^ 0xD15C,
+            styles: if centroid_style {
+                vec![QiStyle::Range, QiStyle::Centroid]
+            } else {
+                vec![QiStyle::Range]
+            },
+            ..ScenarioConfig::default()
+        };
+        prop_assume!(((size as f64) * config.overlap).round() as usize >= k);
+        let scenario = generate_scenario(&table, &Mdav::new(), &config).unwrap();
+        for chunk_rows in [1usize, 17, 1024] {
+            let fast =
+                intersect_releases(&scenario.sources, &scenario.targets, size, chunk_rows)
+                    .unwrap();
+            let reference = intersect_releases_sequential(
+                &scenario.sources,
+                &scenario.targets,
+                size,
+                chunk_rows,
+            )
+            .unwrap();
+            prop_assert_eq!(&fast, &reference, "chunk_rows={}", chunk_rows);
+        }
     }
 
     #[test]
