@@ -9,7 +9,9 @@
 //!   repro --ablations     # the extension ablations (A1-A6)
 //!   repro --compose       # the multi-release composition attack sweep
 //!   repro --quick         # reduced timed sweep -> BENCH_sweep.json
-//!   repro --quick --compose  # + composition stage in BENCH_sweep.json
+//!   repro --quick --compose  # + composition stages (quick world and,
+//!                            # with the large stage enabled, the 10k-row
+//!                            # composition_large block) in BENCH_sweep.json
 //!   repro --quick --out perf.json
 //!   repro --size 240 --seed 2008
 
@@ -138,7 +140,9 @@ fn usage(err: &str) -> ! {
          [--out PATH] [--large-size N] [--compare BASELINE] [--size N] [--seed N]\n\
          regenerates the paper's tables (I-IV) and figures (4-8);\n\
          --compose runs the multi-release composition attack sweep\n\
-         (with --quick: records the composition stage in the baseline);\n\
+         (with --quick: records the composition stage in the baseline,\n\
+         plus the composition_large stage at the large-world size when\n\
+         the large stage is enabled);\n\
          --quick runs a reduced timed sweep plus a large-world stage\n\
          (default 10000 rows; --large-size 0 disables) and writes a\n\
          machine-readable perf baseline (default BENCH_sweep.json);\n\

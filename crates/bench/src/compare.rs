@@ -15,13 +15,26 @@
 //!   slower (stages faster than the timing floor are skipped as noise);
 //! * a stage present in the baseline must not disappear;
 //! * on machines with ≥ 4 cores, the large-world harvest must keep
-//!   `speedup_harvest_parallel_vs_seq` ≥ 2.0 (single-core runners skip
-//!   this check — there is nothing to parallelize over);
-//! * when the baseline carries a composition stage the fresh run must
-//!   carry one too, its per-record disclosure gain must be *strictly
-//!   increasing* in the number of composed releases, and the mean
-//!   candidate count must never rise with an added release (composition
-//!   only adds constraints).
+//!   `speedup_harvest_parallel_vs_single` ≥ 2.0 — the parallel cached
+//!   path versus the same cached path pinned to one thread, so the ratio
+//!   is pure thread fan-out and a runner that silently lost all harvest
+//!   parallelism cannot clear the gate on algorithmic gains alone
+//!   (single-core runners skip this check — there is nothing to
+//!   parallelize over). The core count
+//!   is read from the `large` block itself when present (a heterogeneous
+//!   runner must not gate the 10k stage against the config block's
+//!   cores), falling back to the config block;
+//! * when the baseline carries a composition stage — the quick-world
+//!   `composition` block or the 10k-row `composition_large` block inside
+//!   `large` — the fresh run must carry the same stage, its per-record
+//!   disclosure gain must be *strictly increasing* in the number of
+//!   composed releases, and the mean candidate count must never rise
+//!   with an added release (composition only adds constraints). The two
+//!   blocks gate independently;
+//! * every composition row's numbers must be finite: a NaN gain would
+//!   not even parse out of the baseline and would otherwise sail through
+//!   the strict-monotonicity check (NaN comparisons are all false), so
+//!   an unparseable or non-finite row is itself a violation.
 
 use std::collections::BTreeMap;
 
@@ -59,12 +72,21 @@ pub struct Baseline {
     pub stage_wall_ms: BTreeMap<String, f64>,
     /// `speedup_batch_vs_naive`, when present.
     pub speedup_batch_vs_naive: Option<f64>,
-    /// `speedup_harvest_parallel_vs_seq`, when present.
-    pub speedup_harvest_parallel_vs_seq: Option<f64>,
+    /// `speedup_harvest_parallel_vs_single` (older baselines:
+    /// `speedup_harvest_parallel_vs_seq`), when present.
+    pub speedup_harvest_parallel_vs_single: Option<f64>,
     /// `cores` recorded in the config block, when present.
     pub cores: Option<usize>,
-    /// Composition-stage rows, ascending in releases, when present.
+    /// `cores` recorded inside the `large` block, when present — the
+    /// count the large-world gates key off.
+    pub large_cores: Option<usize>,
+    /// Quick-world composition rows, ascending in releases, when present.
     pub composition: Vec<CompositionRow>,
+    /// Large-world (`composition_large`) rows, when present.
+    pub composition_large: Vec<CompositionRow>,
+    /// Composition row lines that carried an unparseable or non-finite
+    /// value — each one is a gate violation when found in a fresh run.
+    pub malformed_rows: Vec<String>,
 }
 
 /// The outcome of [`compare_baselines`].
@@ -97,9 +119,32 @@ fn num_field(line: &str, key: &str) -> Option<f64> {
 
 /// Parses a `BENCH_sweep.json` produced by
 /// [`QuickBench::to_json`](crate::perf::QuickBench::to_json).
+///
+/// The scan is line-oriented over that one writer's stable shape; the
+/// only structure it tracks is which block it is inside — `large` (for
+/// its `cores` line) and whichever composition block (`composition` vs
+/// `composition_large`) opened most recently (for attributing rows).
 pub fn parse_baseline(json: &str) -> Baseline {
+    /// Which composition block subsequent rows belong to.
+    enum Series {
+        Quick,
+        Large,
+    }
     let mut out = Baseline::default();
+    let mut in_large = false;
+    let mut series = Series::Quick;
     for line in json.lines() {
+        if line.contains("\"large\":") {
+            in_large = true;
+        }
+        if line.contains("\"composition_large\":") {
+            series = Series::Large;
+        } else if line.contains("\"composition\":") {
+            // The quick-world block closes the large block (the writer
+            // emits it after `large`).
+            series = Series::Quick;
+            in_large = false;
+        }
         if let (Some(name), Some(wall)) = (str_field(line, "name"), num_field(line, "wall_ms")) {
             out.stage_wall_ms.insert(name.to_owned(), wall);
             continue;
@@ -107,18 +152,39 @@ pub fn parse_baseline(json: &str) -> Baseline {
         if let Some(v) = num_field(line, "speedup_batch_vs_naive") {
             out.speedup_batch_vs_naive = Some(v);
         }
-        if let Some(v) = num_field(line, "speedup_harvest_parallel_vs_seq") {
-            out.speedup_harvest_parallel_vs_seq = Some(v);
+        // Current key first; pre-PR-4 baselines recorded the ratio
+        // against the exhaustive sequential reference under the old name.
+        if let Some(v) = num_field(line, "speedup_harvest_parallel_vs_single")
+            .or_else(|| num_field(line, "speedup_harvest_parallel_vs_seq"))
+        {
+            out.speedup_harvest_parallel_vs_single = Some(v);
         }
         if let Some(v) = num_field(line, "cores") {
-            out.cores = Some(v as usize);
+            if line.contains("\"config\"") {
+                out.cores = Some(v as usize);
+            } else if in_large {
+                out.large_cores = Some(v as usize);
+            }
         }
-        if let (Some(r), Some(gain), Some(cand)) = (
-            num_field(line, "releases"),
-            num_field(line, "disclosure_gain"),
-            num_field(line, "mean_candidates"),
-        ) {
-            out.composition.push((r as usize, gain, cand));
+        if line.contains("\"disclosure_gain\":") {
+            let fields = (
+                num_field(line, "releases"),
+                num_field(line, "disclosure_gain"),
+                num_field(line, "mean_candidates"),
+                num_field(line, "estimate_gain"),
+            );
+            match fields {
+                (Some(r), Some(gain), Some(cand), Some(est))
+                    if gain.is_finite() && cand.is_finite() && est.is_finite() =>
+                {
+                    let row = (r as usize, gain, cand);
+                    match series {
+                        Series::Quick => out.composition.push(row),
+                        Series::Large => out.composition_large.push(row),
+                    }
+                }
+                _ => out.malformed_rows.push(line.trim().to_owned()),
+            }
         }
     }
     out
@@ -161,38 +227,74 @@ pub fn compare_baselines(committed_json: &str, fresh_json: &str) -> CompareRepor
         }
     }
 
-    // The composition gate: the physics of the stage, not its timing. A
+    // The composition gates: the physics of the stage, not its timing. A
     // fresh run must keep the per-record disclosure gain strictly
     // increasing in the release count and never let a target's candidate
-    // pool grow with an added release.
-    if !committed.composition.is_empty() && fresh.composition.is_empty() {
-        report
-            .violations
-            .push("composition stage disappeared from the fresh baseline".into());
-    }
-    for pair in fresh.composition.windows(2) {
-        let ((r0, g0, c0), (r1, g1, c1)) = (pair[0], pair[1]);
-        if g1 <= g0 {
-            report.violations.push(format!(
-                "composition disclosure gain not strictly increasing: R={r0} -> {g0:.1}, \
-                 R={r1} -> {g1:.1}"
+    // pool grow with an added release. The quick-world block and the
+    // 10k-row `composition_large` block gate independently.
+    let gate_series = |label: &str,
+                       committed: &[CompositionRow],
+                       fresh: &[CompositionRow],
+                       report: &mut CompareReport| {
+        if !committed.is_empty() && fresh.is_empty() {
+            report
+                .violations
+                .push(format!("{label} stage disappeared from the fresh baseline"));
+        }
+        for pair in fresh.windows(2) {
+            let ((r0, g0, c0), (r1, g1, c1)) = (pair[0], pair[1]);
+            if g1 <= g0 {
+                report.violations.push(format!(
+                    "{label} disclosure gain not strictly increasing: R={r0} -> {g0:.1}, \
+                         R={r1} -> {g1:.1}"
+                ));
+            }
+            if c1 > c0 + 1e-9 {
+                report.violations.push(format!(
+                    "{label} candidate count rose with an added release: R={r0} -> {c0:.2}, \
+                         R={r1} -> {c1:.2}"
+                ));
+            }
+        }
+        if let Some((r, last_gain, _)) = fresh.last() {
+            report.notes.push(format!(
+                "{label} disclosure gain at R={r} is {last_gain:.1}"
             ));
         }
-        if c1 > c0 + 1e-9 {
-            report.violations.push(format!(
-                "composition candidate count rose with an added release: R={r0} -> {c0:.2}, \
-                 R={r1} -> {c1:.2}"
-            ));
-        }
+    };
+    gate_series(
+        "composition",
+        &committed.composition,
+        &fresh.composition,
+        &mut report,
+    );
+    gate_series(
+        "composition_large",
+        &committed.composition_large,
+        &fresh.composition_large,
+        &mut report,
+    );
+    for line in &fresh.malformed_rows {
+        report.violations.push(format!(
+            "composition row carries a non-finite or unparseable value: {line}"
+        ));
     }
-    if let Some((r, last_gain, _)) = fresh.composition.last() {
-        report.notes.push(format!(
-            "composition disclosure gain at R={r} is {last_gain:.1}"
+    // A corrupt committed baseline is just as disarming: its rows drop
+    // out of the parsed series, so the disappeared/monotonicity checks
+    // above would silently stop guarding that block. Refuse to gate
+    // against it — regenerating the baseline is the remedy.
+    for line in &committed.malformed_rows {
+        report.violations.push(format!(
+            "committed baseline carries a non-finite or unparseable composition row \
+             (regenerate it): {line}"
         ));
     }
 
-    let fresh_cores = fresh.cores.unwrap_or(1);
-    match fresh.speedup_harvest_parallel_vs_seq {
+    // Key the large-world harvest gate off the cores that ran the large
+    // block when recorded, so a heterogeneous runner cannot gate the 10k
+    // stage against the wrong count.
+    let fresh_cores = fresh.large_cores.or(fresh.cores).unwrap_or(1);
+    match fresh.speedup_harvest_parallel_vs_single {
         Some(v) if fresh_cores >= HARVEST_SPEEDUP_MIN_CORES && v < MIN_HARVEST_SPEEDUP => {
             report.violations.push(format!(
                 "harvest parallel speedup fell to {v:.2} on {fresh_cores} cores \
@@ -238,8 +340,41 @@ mod tests {
         assert!(b.stage_wall_ms.contains_key("mdav_k5_large"));
         assert!(b.stage_wall_ms.contains_key("harvest_parallel_large"));
         assert!(b.speedup_batch_vs_naive.is_some());
-        assert!(b.speedup_harvest_parallel_vs_seq.is_some());
+        assert!(b.speedup_harvest_parallel_vs_single.is_some());
         assert!(b.cores.unwrap_or(0) >= 1);
+        assert!(b.large_cores.unwrap_or(0) >= 1);
+        assert!(b.malformed_rows.is_empty());
+    }
+
+    #[test]
+    fn both_composition_blocks_round_trip_separately() {
+        let json = quick_bench(
+            &WorldConfig {
+                size: 30,
+                ..WorldConfig::default()
+            },
+            2,
+            3,
+            1,
+            Some(40),
+            true,
+        )
+        .to_json();
+        let b = parse_baseline(&json);
+        // Both series present, attributed to their own blocks, R = 1..=3
+        // each — not nine rows pooled into one series.
+        let releases = |rows: &[CompositionRow]| rows.iter().map(|r| r.0).collect::<Vec<_>>();
+        assert_eq!(releases(&b.composition), vec![1, 2, 3]);
+        assert_eq!(releases(&b.composition_large), vec![1, 2, 3]);
+        assert!(b.stage_wall_ms.contains_key("composition_large"));
+        assert!(b.malformed_rows.is_empty());
+        // A self-diff passes the gates.
+        let report = compare_baselines(&json, &json);
+        assert!(
+            report.violations.iter().all(|v| !v.contains("composition")),
+            "{:?}",
+            report.violations
+        );
     }
 
     #[test]
@@ -351,6 +486,141 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.contains("composition stage disappeared")));
+    }
+
+    #[test]
+    fn non_finite_composition_rows_fail() {
+        let committed =
+            synthetic_composition_json(&[(1, 0.0, 5.0), (2, 7000.0, 2.3), (3, 9000.0, 1.7)]);
+        let poisoned =
+            synthetic_composition_json(&[(1, 0.0, 5.0), (2, f64::NAN, 2.3), (3, 9000.0, 1.7)]);
+        let b = parse_baseline(&poisoned);
+        // The NaN row must not silently vanish from the series.
+        assert_eq!(b.malformed_rows.len(), 1, "{:?}", b.malformed_rows);
+        let report = compare_baselines(&committed, &poisoned);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("non-finite or unparseable")),
+            "{:?}",
+            report.violations
+        );
+        // A poisoned COMMITTED baseline must refuse to gate, not let a
+        // fresh run with a vanished composition stage sail through
+        // (the NaN row drops out of the committed series, so the
+        // stage-disappeared check alone would never fire).
+        let fresh_without_composition = synthetic_json(100.0, 5.0);
+        let report = compare_baselines(&poisoned, &fresh_without_composition);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("committed baseline carries")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    /// A handcrafted baseline with a `large` block carrying its own
+    /// cores line, a `composition_large` block, and a quick-world
+    /// composition block — the full writer shape, with every number
+    /// caller-pinned.
+    fn synthetic_large_json(
+        config_cores: usize,
+        large_cores: usize,
+        harvest_speedup: f64,
+        large_rows: &[(usize, f64, f64)],
+        quick_rows: &[(usize, f64, f64)],
+    ) -> String {
+        let render_rows = |rows: &[(usize, f64, f64)], indent: &str| -> String {
+            let mut out = String::new();
+            for (i, (r, gain, cand)) in rows.iter().enumerate() {
+                out.push_str(&format!(
+                    "{indent}{{ \"releases\": {r}, \"disclosure_gain\": {gain:.1}, \"mean_candidates\": {cand:.2}, \"estimate_gain\": 0.0 }}{}\n",
+                    if i + 1 < rows.len() { "," } else { "" }
+                ));
+            }
+            out
+        };
+        format!(
+            "{{\n  \"config\": {{ \"size\": 120, \"seed\": 2015, \"k_min\": 2, \"k_max\": 10, \"cores\": {config_cores} }},\n  \
+             \"stages\": [\n    \
+             {{ \"name\": \"mdav_k5\", \"wall_ms\": 100.000, \"rows\": 120, \"rows_per_sec\": 1000.0 }}\n  \
+             ],\n  \"speedup_batch_vs_naive\": 5.00,\n  \
+             \"large\": {{\n    \"size\": 10000,\n    \"cores\": {large_cores},\n    \"stages\": [\n      \
+             {{ \"name\": \"harvest_parallel_large\", \"wall_ms\": 500.000, \"rows\": 10000, \"rows_per_sec\": 20000.0 }}\n    \
+             ],\n    \"speedup_harvest_parallel_vs_single\": {harvest_speedup:.2},\n    \
+             \"composition_large\": {{\n      \"k\": 5, \"overlap\": 0.50, \"wall_ms\": 900.000,\n      \"rows\": [\n{}      ]\n    }}\n  }},\n  \
+             \"composition\": {{\n    \"k\": 5, \"overlap\": 0.50, \"wall_ms\": 10.000,\n    \"rows\": [\n{}    ]\n  }}\n}}\n",
+            render_rows(large_rows, "        "),
+            render_rows(quick_rows, "      "),
+        )
+    }
+
+    #[test]
+    fn large_composition_block_parses_and_gates_independently() {
+        let good = synthetic_large_json(
+            1,
+            1,
+            1.0,
+            &[(1, 0.0, 5.0), (2, 4000.0, 2.8), (3, 6000.0, 2.1)],
+            &[(1, 0.0, 5.0), (2, 7000.0, 2.3), (3, 9000.0, 1.7)],
+        );
+        let b = parse_baseline(&good);
+        assert_eq!(b.composition.len(), 3);
+        assert_eq!(b.composition_large.len(), 3);
+        assert_eq!(b.composition_large[1], (2, 4000.0, 2.8));
+        assert_eq!(b.large_cores, Some(1));
+        assert_eq!(b.cores, Some(1));
+        let report = compare_baselines(&good, &good);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+
+        // A flat *large* series fails even while the quick series is
+        // fine — the blocks gate independently.
+        let flat_large = synthetic_large_json(
+            1,
+            1,
+            1.0,
+            &[(1, 0.0, 5.0), (2, 4000.0, 2.8), (3, 4000.0, 2.1)],
+            &[(1, 0.0, 5.0), (2, 7000.0, 2.3), (3, 9000.0, 1.7)],
+        );
+        let report = compare_baselines(&good, &flat_large);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("composition_large disclosure gain")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn harvest_gate_keys_off_the_large_blocks_cores() {
+        let rows_l = [(1usize, 0.0, 5.0), (2, 4000.0, 2.8)];
+        let rows_q = [(1usize, 0.0, 5.0), (2, 7000.0, 2.3)];
+        // Config says 8 cores but the large block ran on 1: the weak
+        // harvest speedup must NOT gate.
+        let fresh = synthetic_large_json(8, 1, 1.0, &rows_l, &rows_q);
+        let report = compare_baselines(&fresh, &fresh);
+        assert!(
+            !report.violations.iter().any(|v| v.contains("harvest")),
+            "{:?}",
+            report.violations
+        );
+        // Config says 1 core but the large block ran on 8: the weak
+        // speedup MUST gate.
+        let fresh = synthetic_large_json(1, 8, 1.0, &rows_l, &rows_q);
+        let report = compare_baselines(&fresh, &fresh);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("harvest parallel speedup fell")),
+            "{:?}",
+            report.violations
+        );
     }
 
     #[test]

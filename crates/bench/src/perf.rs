@@ -58,11 +58,24 @@ impl StageTiming {
 pub struct LargeBench {
     /// Large-world row count.
     pub size: usize,
+    /// Worker threads available when *this* block's numbers were taken.
+    /// Recorded alongside the stages (not only in the top-level config)
+    /// so a gate evaluated on a heterogeneous runner keys the large-world
+    /// checks off the cores that actually ran them.
+    pub cores: usize,
     /// Per-stage timings in pipeline order.
     pub stages: Vec<StageTiming>,
-    /// Sequential harvest wall-clock over parallel harvest wall-clock
-    /// (scales with cores; ~1 on a single-core machine).
-    pub speedup_harvest_parallel_vs_seq: f64,
+    /// Single-threaded fast-path harvest wall-clock over parallel
+    /// fast-path wall-clock. Both runs use the identical cached+pruned
+    /// classification, so the ratio isolates what the worker threads buy
+    /// (scales with cores; ~1 on a single-core machine — the algorithmic
+    /// gains cancel out of it by construction).
+    pub speedup_harvest_parallel_vs_single: f64,
+    /// The composition attack swept at enterprise scale (`repro --quick
+    /// --compose` with the large stage enabled): the `R` per-source MDAV
+    /// runs fan out across the worker pool and the releases stream
+    /// through the intersection engine at `size` rows.
+    pub composition: Option<CompositionBench>,
 }
 
 /// One `(releases)` cell of the composition stage.
@@ -133,6 +146,26 @@ impl QuickBench {
             }
             out
         };
+        let render_composition = |comp: &CompositionBench, key: &str, indent: &str| -> String {
+            let mut out = format!("{indent}\"{key}\": {{\n");
+            out.push_str(&format!(
+                "{indent}  \"k\": {}, \"overlap\": {:.2}, \"wall_ms\": {:.3},\n",
+                comp.k, comp.overlap, comp.wall_ms
+            ));
+            out.push_str(&format!("{indent}  \"rows\": [\n"));
+            for (i, row) in comp.rows.iter().enumerate() {
+                out.push_str(&format!(
+                    "{indent}    {{ \"releases\": {}, \"disclosure_gain\": {:.1}, \"mean_candidates\": {:.2}, \"estimate_gain\": {:.1} }}{}\n",
+                    row.releases,
+                    row.disclosure_gain,
+                    row.mean_candidates,
+                    row.estimate_gain,
+                    if i + 1 < comp.rows.len() { "," } else { "" }
+                ));
+            }
+            out.push_str(&format!("{indent}  ]\n{indent}}}"));
+            out
+        };
         let mut out = String::from("{\n");
         out.push_str(&format!(
             "  \"config\": {{ \"size\": {}, \"seed\": {}, \"k_min\": {}, \"k_max\": {}, \"cores\": {} }},\n",
@@ -148,32 +181,23 @@ impl QuickBench {
         if let Some(large) = &self.large {
             out.push_str(",\n  \"large\": {\n");
             out.push_str(&format!("    \"size\": {},\n", large.size));
+            out.push_str(&format!("    \"cores\": {},\n", large.cores));
             out.push_str("    \"stages\": [\n");
             out.push_str(&render_stages(&large.stages, "      "));
             out.push_str("    ],\n");
             out.push_str(&format!(
-                "    \"speedup_harvest_parallel_vs_seq\": {:.2}\n  }}",
-                large.speedup_harvest_parallel_vs_seq
+                "    \"speedup_harvest_parallel_vs_single\": {:.2}",
+                large.speedup_harvest_parallel_vs_single
             ));
+            if let Some(comp) = &large.composition {
+                out.push_str(",\n");
+                out.push_str(&render_composition(comp, "composition_large", "    "));
+            }
+            out.push_str("\n  }");
         }
         if let Some(comp) = &self.composition {
-            out.push_str(",\n  \"composition\": {\n");
-            out.push_str(&format!(
-                "    \"k\": {}, \"overlap\": {:.2}, \"wall_ms\": {:.3},\n",
-                comp.k, comp.overlap, comp.wall_ms
-            ));
-            out.push_str("    \"rows\": [\n");
-            for (i, row) in comp.rows.iter().enumerate() {
-                out.push_str(&format!(
-                    "      {{ \"releases\": {}, \"disclosure_gain\": {:.1}, \"mean_candidates\": {:.2}, \"estimate_gain\": {:.1} }}{}\n",
-                    row.releases,
-                    row.disclosure_gain,
-                    row.mean_candidates,
-                    row.estimate_gain,
-                    if i + 1 < comp.rows.len() { "," } else { "" }
-                ));
-            }
-            out.push_str("    ]\n  }");
+            out.push_str(",\n");
+            out.push_str(&render_composition(comp, "composition", "  "));
         }
         out.push('\n');
         out.push_str("}\n");
@@ -200,12 +224,24 @@ impl QuickBench {
             "  batch/parallel estimate is {:.1}x the naive per-row path\n",
             self.speedup_batch_vs_naive
         ));
+        let render_composition = |out: &mut String, comp: &CompositionBench, label: &str| {
+            out.push_str(&format!(
+                "  {label} — k = {}, overlap {:.2} ({:.2} ms):\n",
+                comp.k, comp.overlap, comp.wall_ms
+            ));
+            for row in &comp.rows {
+                out.push_str(&format!(
+                    "    R = {}: disclosure gain $ {:>8.0}   mean candidates {:>6.2}   estimate gain {:>10.3e}\n",
+                    row.releases, row.disclosure_gain, row.mean_candidates, row.estimate_gain
+                ));
+            }
+        };
         if let Some(large) = &self.large {
             out.push_str(&format!(
                 "  large world — {} records ({} core{}):\n",
                 large.size,
-                self.cores,
-                if self.cores == 1 { "" } else { "s" }
+                large.cores,
+                if large.cores == 1 { "" } else { "s" }
             ));
             for s in &large.stages {
                 out.push_str(&format!(
@@ -217,21 +253,15 @@ impl QuickBench {
                 ));
             }
             out.push_str(&format!(
-                "  parallel harvest is {:.1}x the sequential reference\n",
-                large.speedup_harvest_parallel_vs_seq
+                "  parallel harvest is {:.1}x the single-threaded fast path\n",
+                large.speedup_harvest_parallel_vs_single
             ));
+            if let Some(comp) = &large.composition {
+                render_composition(&mut out, comp, "composition (large world)");
+            }
         }
         if let Some(comp) = &self.composition {
-            out.push_str(&format!(
-                "  composition — k = {}, overlap {:.2} ({:.2} ms):\n",
-                comp.k, comp.overlap, comp.wall_ms
-            ));
-            for row in &comp.rows {
-                out.push_str(&format!(
-                    "    R = {}: disclosure gain $ {:>8.0}   mean candidates {:>6.2}   estimate gain {:>10.3e}\n",
-                    row.releases, row.disclosure_gain, row.mean_candidates, row.estimate_gain
-                ));
-            }
+            render_composition(&mut out, comp, "composition");
         }
         out
     }
@@ -395,13 +425,15 @@ pub fn quick_bench(
         } else {
             0.0
         },
-        large: large_size.map(|size| large_bench(config, size)),
+        large: large_size.map(|size| large_bench(config, size, compose)),
         composition,
     }
 }
 
-/// Runs the composition sweep (`R = 1..=3` at the tracked k) on the
-/// quick world and extracts the gated series.
+/// Runs the composition sweep (`R = 1..=3` at the tracked k) on a world
+/// and extracts the gated series. Every recorded value is asserted
+/// finite: a NaN here would vanish from the line-oriented baseline
+/// parser and silently dodge the monotonicity gate.
 fn composition_bench(world: &crate::world::World) -> CompositionBench {
     let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).expect("default config valid");
     let config = CompositionSweepConfig {
@@ -413,28 +445,42 @@ fn composition_bench(world: &crate::world::World) -> CompositionBench {
         composition_sweep(&world.table, &world.web, &Mdav::new(), &fusion, &config)
             .expect("composition sweep over the quick world succeeds")
     });
+    let rows: Vec<CompositionBenchRow> = report
+        .rows()
+        .iter()
+        .map(|r| CompositionBenchRow {
+            releases: r.releases,
+            disclosure_gain: r.disclosure_gain,
+            mean_candidates: r.mean_candidates,
+            estimate_gain: r.estimate_gain,
+        })
+        .collect();
+    for row in &rows {
+        assert!(
+            row.disclosure_gain.is_finite()
+                && row.mean_candidates.is_finite()
+                && row.estimate_gain.is_finite(),
+            "composition row at R = {} carries a non-finite value: {row:?}",
+            row.releases
+        );
+    }
     CompositionBench {
         k: config.ks[0],
         overlap: config.overlap,
         wall_ms: wall,
-        rows: report
-            .rows()
-            .iter()
-            .map(|r| CompositionBenchRow {
-                releases: r.releases,
-                disclosure_gain: r.disclosure_gain,
-                mean_candidates: r.mean_candidates,
-                estimate_gain: r.estimate_gain,
-            })
-            .collect(),
+        rows,
     }
 }
 
 /// Times the hot stages on a large world: this is where the near-linear
 /// MDAV, the batched/parallel harvest and the streaming release iterator
 /// earn their keep, and where a superlinear regression shows up as a
-/// wall-clock cliff rather than noise.
-fn large_bench(config: &WorldConfig, size: usize) -> LargeBench {
+/// wall-clock cliff rather than noise. With `compose` set (and a world
+/// big enough to hold a `STAGE_K`-anonymizable core) the composition
+/// attack runs at this scale too: `R` independent per-source MDAV runs
+/// fanned across the worker pool, releases streamed through the
+/// intersection engine, gains gated like the quick-world stage.
+fn large_bench(config: &WorldConfig, size: usize, compose: bool) -> LargeBench {
     let mut stages = Vec::new();
     let large_config = WorldConfig {
         size,
@@ -488,6 +534,22 @@ fn large_bench(config: &WorldConfig, size: usize) -> LargeBench {
         rows: world.table.len(),
     });
 
+    // The same cached fast path pinned to one thread: the parallelism
+    // ratio's denominator. Timing the *exhaustive* reference here
+    // instead would fold the algorithmic speedup (top-k search, score
+    // floor, agreement memo) into the ratio and let a runner that lost
+    // all thread fan-out still clear the >= 4-core gate on caching
+    // alone.
+    let (harvest_single, single_wall) = time_ms(|| {
+        fred_attack::harvest_auxiliary_single_threaded(&release.table, &world.web, &harvest_config)
+            .expect("harvest over a generated corpus cannot fail")
+    });
+    stages.push(StageTiming {
+        name: "harvest_single_thread_large",
+        wall_ms: single_wall,
+        rows: world.table.len(),
+    });
+
     let (harvest_seq, seq_wall) = time_ms(|| {
         harvest_auxiliary_sequential(&release.table, &world.web, &harvest_config)
             .expect("harvest over a generated corpus cannot fail")
@@ -500,6 +562,10 @@ fn large_bench(config: &WorldConfig, size: usize) -> LargeBench {
     assert_eq!(
         harvest_par, harvest_seq,
         "parallel harvest must be record-for-record identical to the reference"
+    );
+    assert_eq!(
+        harvest_par, harvest_single,
+        "single-threaded fast path must be record-for-record identical to the parallel one"
     );
 
     // The batch/parallel estimator driven through the streaming release —
@@ -528,14 +594,31 @@ fn large_bench(config: &WorldConfig, size: usize) -> LargeBench {
         rows: estimated_rows,
     });
 
+    // The composition attack at enterprise scale. Skipped (not failed)
+    // when the world cannot hold a STAGE_K-anonymizable core — the same
+    // feasibility bound the repro CLI derives for the quick stage.
+    let overlap = CompositionSweepConfig::default().overlap;
+    let core_rows = (world.table.len() as f64 * overlap).round() as usize;
+    let composition = (compose && core_rows >= STAGE_K).then(|| {
+        let comp = composition_bench(&world);
+        stages.push(StageTiming {
+            name: "composition_large",
+            wall_ms: comp.wall_ms,
+            rows: world.table.len() * comp.rows.len(),
+        });
+        comp
+    });
+
     LargeBench {
         size: world.table.len(),
+        cores: rayon::current_num_threads(),
         stages,
-        speedup_harvest_parallel_vs_seq: if par_wall > 0.0 {
-            seq_wall / par_wall
+        speedup_harvest_parallel_vs_single: if par_wall > 0.0 {
+            single_wall / par_wall
         } else {
             0.0
         },
+        composition,
     }
 }
 
@@ -630,6 +713,7 @@ mod tests {
         );
         let large = bench.large.as_ref().expect("large stage requested");
         assert_eq!(large.size, 80);
+        assert!(large.cores >= 1);
         let names: Vec<&str> = large.stages.iter().map(|s| s.name).collect();
         assert_eq!(
             names,
@@ -638,16 +722,26 @@ mod tests {
                 "mdav_k5_large",
                 "release_stream_large",
                 "harvest_parallel_large",
+                "harvest_single_thread_large",
                 "harvest_sequential_large",
                 "estimate_stream_large",
             ]
         );
-        assert!(large.speedup_harvest_parallel_vs_seq > 0.0);
+        assert!(large.speedup_harvest_parallel_vs_single > 0.0);
+        // Without --compose the large block carries no composition stage.
+        assert!(large.composition.is_none());
         let json = bench.to_json();
         assert!(json.contains("\"large\""));
         assert!(json.contains("\"mdav_k5_large\""));
         assert!(json.contains("\"estimate_stream_large\""));
-        assert!(json.contains("\"speedup_harvest_parallel_vs_seq\""));
+        assert!(json.contains("\"speedup_harvest_parallel_vs_single\""));
+        assert!(json.contains("\"harvest_single_thread_large\""));
+        assert!(!json.contains("\"composition_large\""));
+        // The large block records its own cores line next to its size.
+        assert!(json.contains(&format!(
+            "    \"size\": {},\n    \"cores\": {},\n",
+            large.size, large.cores
+        )));
         let ascii = bench.to_ascii();
         assert!(ascii.contains("large world"));
     }
@@ -685,7 +779,8 @@ mod tests {
         assert!(json.trim_end().ends_with('}'));
         let ascii = bench.to_ascii();
         assert!(ascii.contains("disclosure gain"));
-        // JSON stays well-formed with both optional blocks present.
+        // JSON stays well-formed with both optional blocks present, and
+        // --compose + large world yields the composition_large stage.
         let both = quick_bench(
             &WorldConfig {
                 size: 30,
@@ -699,6 +794,42 @@ mod tests {
         );
         let json = both.to_json();
         assert!(json.contains("\"large\"") && json.contains("\"composition\""));
+        assert!(json.contains("\"composition_large\""));
         assert!(json.trim_end().ends_with('}'));
+        let large = both.large.as_ref().expect("large stage requested");
+        let comp_large = large.composition.as_ref().expect("composition at scale");
+        assert_eq!(comp_large.rows[0].disclosure_gain, 0.0);
+        for pair in comp_large.rows.windows(2) {
+            assert!(
+                pair[1].disclosure_gain > pair[0].disclosure_gain,
+                "large-world gain not strictly increasing: {:?}",
+                comp_large.rows
+            );
+        }
+        assert!(large
+            .stages
+            .iter()
+            .any(|s| s.name == "composition_large" && s.rows == 40 * comp_large.rows.len()));
+        assert!(both.to_ascii().contains("composition (large world)"));
+    }
+
+    #[test]
+    fn infeasible_large_world_skips_composition_stage() {
+        // 8 rows at overlap 0.5 leaves a 4-row core — below STAGE_K, so
+        // the composition stage must be skipped, not panic.
+        let bench = quick_bench(
+            &WorldConfig {
+                size: 30,
+                ..WorldConfig::default()
+            },
+            2,
+            3,
+            1,
+            Some(8),
+            true,
+        );
+        let large = bench.large.as_ref().expect("large stage requested");
+        assert!(large.composition.is_none());
+        assert!(!large.stages.iter().any(|s| s.name == "composition_large"));
     }
 }

@@ -184,12 +184,23 @@ pub(crate) fn implied_income_width(
             None => 1.0,
         })
         .collect();
+    // The empty branch is load-bearing twice over: a table with no
+    // quasi-identifiers constrains nothing (the whole sensitive range
+    // stays feasible, fraction 1.0), and an unguarded `0.0 / 0` here
+    // would turn the mean — and with it every downstream
+    // disclosure-gain row — into NaN, which sails through
+    // strict-monotonicity gates because every NaN comparison is false.
     let mean_fraction = if fractions.is_empty() {
         1.0
     } else {
         fractions.iter().sum::<f64>() / fractions.len() as f64
     };
-    mean_fraction * (income_range.1 - income_range.0)
+    let width = mean_fraction * (income_range.1 - income_range.0);
+    debug_assert!(
+        width.is_finite(),
+        "implied income width must be finite, got {width} for {inter:?}"
+    );
+    width
 }
 
 /// One evaluated sweep cell: intersections, estimates and dissimilarity
@@ -418,6 +429,25 @@ mod tests {
         assert!(outcome.mean_candidates < 2.0 * 5.0);
         assert!(outcome.aux_coverage > 0.5);
         assert_eq!(outcome.records.len(), 40);
+    }
+
+    #[test]
+    fn zero_qi_intersection_yields_full_income_span_not_nan() {
+        // A target set with no intersected boxes (no quasi-identifier
+        // columns) must imply the *whole* sensitive range — a finite
+        // width — never a 0/0 NaN, which would poison every downstream
+        // disclosure-gain row and slip past strict-monotonicity gates.
+        let inter = TargetIntersection {
+            master_row: 0,
+            candidate_rows: vec![0],
+            feasible: vec![],
+            centroid_hint: vec![],
+            sources_seen: 1,
+        };
+        let income_range = (40_000.0, 160_000.0);
+        let width = implied_income_width(&inter, (1.0, 10.0), income_range);
+        assert!(width.is_finite());
+        assert_eq!(width, income_range.1 - income_range.0);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use fred_anon::{Anonymizer, Partition, QiStyle};
 use fred_data::Table;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 use crate::error::{CompositionError, Result};
 
@@ -151,6 +152,12 @@ pub fn core_targets(n: usize, config: &ScenarioConfig) -> Result<Vec<usize>> {
 /// independently, so neither membership nor row order leaks across
 /// releases, and every source has the same size regardless of how many
 /// releases exist.
+///
+/// Sources are *mutually independent* (each one's RNG stream is seeded
+/// from `(seed, s)` alone), so their construction — including the
+/// per-source MDAV run, the dominant cost at enterprise scale — fans out
+/// across the worker pool. Results are collected in source order, so the
+/// scenario is bit-identical regardless of thread count.
 pub fn generate_scenario(
     table: &Table,
     anonymizer: &dyn Anonymizer,
@@ -162,32 +169,35 @@ pub fn generate_scenario(
     let mut targets: Vec<usize> = core.clone();
     targets.sort_unstable();
 
-    let mut sources = Vec::with_capacity(config.releases);
-    for s in 0..config.releases {
-        // `s + 1`: with a bare `s` the first source's stream would equal
-        // the split's (the multiplier zeroes out), replaying the core
-        // selection instead of sampling independently.
-        let mut source_rng =
-            StdRng::seed_from_u64(config.seed ^ (s as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let mut pool: Vec<usize> = rest.to_vec();
-        shuffle(&mut pool, &mut source_rng);
-        let mut rows: Vec<usize> = core.to_vec();
-        rows.extend(pool.into_iter().take(extras_per_source));
-        shuffle(&mut rows, &mut source_rng);
-        let sub_rows = rows
-            .iter()
-            .map(|&r| table.rows()[r].clone())
-            .collect::<Vec<_>>();
-        let sub_table = Table::with_rows(table.schema().clone(), sub_rows)?;
-        let partition = anonymizer.partition(&sub_table, config.k)?;
-        sources.push(Source {
-            global_rows: rows,
-            table: sub_table,
-            partition,
-            k: config.k,
-            style: config.styles[s % config.styles.len()],
-        });
-    }
+    let sources: Vec<Source> = (0..config.releases)
+        .into_par_iter()
+        .map(|s| -> Result<Source> {
+            // `s + 1`: with a bare `s` the first source's stream would
+            // equal the split's (the multiplier zeroes out), replaying
+            // the core selection instead of sampling independently.
+            let mut source_rng = StdRng::seed_from_u64(
+                config.seed ^ (s as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let mut pool: Vec<usize> = rest.to_vec();
+            shuffle(&mut pool, &mut source_rng);
+            let mut rows: Vec<usize> = core.to_vec();
+            rows.extend(pool.into_iter().take(extras_per_source));
+            shuffle(&mut rows, &mut source_rng);
+            let sub_rows = rows
+                .iter()
+                .map(|&r| table.rows()[r].clone())
+                .collect::<Vec<_>>();
+            let sub_table = Table::with_rows(table.schema().clone(), sub_rows)?;
+            let partition = anonymizer.partition(&sub_table, config.k)?;
+            Ok(Source {
+                global_rows: rows,
+                table: sub_table,
+                partition,
+                k: config.k,
+                style: config.styles[s % config.styles.len()],
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
     Ok(CompositionScenario { targets, sources })
 }
 

@@ -1,0 +1,455 @@
+//! Batch-rate agreement classification: precomputed comparator keys, a
+//! model-derived score floor that prunes hopeless pairs, and a memo of
+//! decided pairs.
+//!
+//! The harvest loop classifies every (release name, search hit) pair
+//! through the five-field name model. Three observations make that loop
+//! cheap without changing a single decision:
+//!
+//! * **Comparator keys** ([`LinkKey`]) — everything the comparators
+//!   re-derive per *pair* (scalar buffers for Jaro-Winkler and
+//!   Levenshtein, the padded-bigram multiset for Dice) is a pure function
+//!   of one name, so it is computed once per *record* and reused across
+//!   all of that record's pairs.
+//! * **Score floor** ([`ScoreFloor`]) — the Fellegi-Sunter weight each
+//!   still-unevaluated field could contribute is bounded by its
+//!   precomputed agreement/disagreement weights. Fields are evaluated
+//!   cheapest first (cached Soundex equality and token compatibility cost
+//!   nothing), and the moment no completion of the remaining fields can
+//!   cross a decision threshold the classification short-circuits: a pair
+//!   that cannot reach the match band is rejected *before any string
+//!   comparator runs*, and one that cannot fall below it is accepted
+//!   without the expensive tail (with the default name model that skips
+//!   Jaro-Winkler for clear non-matches and both Levenshtein and
+//!   Jaro-Winkler for clear matches).
+//! * **Agreement memo** ([`AgreementCache`]) — web corpora repeat display
+//!   names (several pages per person, most rendered verbatim), so the
+//!   same (query, page-name) pair is classified again and again. The
+//!   cache keys on caller-assigned dense ids for the prepared query
+//!   token sequence and the hit page's (deduplicated) display name and
+//!   replays the decision.
+//!
+//! All three layers are exact: the pruned path either evaluates every
+//! field and delegates the final decision to
+//! [`FellegiSunter::classify`] over the same agreement vector the
+//! reference builds, or stops on a bound that holds with a safety margin
+//! wider than any float-reassociation error — so its decisions are
+//! pinned identical to `model.classify(&compare_prepared(a, b)
+//! .agreement_vector())` (property-tested at the harvest level).
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::edit::{levenshtein_similarity_chars, EditScratch};
+use crate::fellegi_sunter::{Decision, FellegiSunter};
+use crate::jaro::{jaro_winkler_chars, JaroScratch};
+use crate::linker::{DICE_AGREE, JARO_WINKLER_AGREE, LEVENSHTEIN_AGREE};
+use crate::ngram::{bigrams_sorted, dice_sorted_bigrams};
+use crate::normalize::{NameNormalizer, PreparedName};
+
+/// Number of fields in the name model this module accelerates (the
+/// [`crate::linker::NameFeatures`] agreement vector).
+pub const NAME_FIELDS: usize = 5;
+
+/// Safety margin on the prune bounds: wider than any error the
+/// float-summation reorder between the staged partial sums and the
+/// reference's field-order sum can introduce (weights are O(10), so
+/// reassociation error is O(1e-15)), yet far below the weight quanta of
+/// any real m/u configuration.
+const PRUNE_MARGIN: f64 = 1e-9;
+
+/// Every derived comparator input of one name, computed once per record:
+/// the [`PreparedName`] linkage keys plus the scalar buffers and the
+/// sorted padded-bigram multiset the string comparators consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkKey {
+    prepared: PreparedName,
+    joined_chars: Vec<char>,
+    canonical_chars: Vec<char>,
+    bigrams: Vec<u64>,
+}
+
+impl LinkKey {
+    /// Builds the comparator keys from an already-prepared name.
+    pub fn new(prepared: PreparedName) -> LinkKey {
+        let joined_chars = prepared.joined.chars().collect();
+        let canonical_chars = prepared.canonical.chars().collect();
+        let bigrams = bigrams_sorted(&prepared.canonical);
+        LinkKey {
+            prepared,
+            joined_chars,
+            canonical_chars,
+            bigrams,
+        }
+    }
+
+    /// Normalizes a raw name and builds its comparator keys.
+    pub fn prepare(normalizer: &NameNormalizer, raw: &str) -> LinkKey {
+        LinkKey::new(normalizer.prepare(raw))
+    }
+
+    /// The underlying linkage keys.
+    pub fn prepared(&self) -> &PreparedName {
+        &self.prepared
+    }
+}
+
+/// Field-evaluation order of the staged classifier: cached-key fields
+/// first (surname Soundex, token compatibility), then the string
+/// comparators cheapest-first (Dice over precomputed bigrams,
+/// Levenshtein, Jaro-Winkler). Entries are indices into the model's
+/// field order.
+const EVAL_ORDER: [usize; NAME_FIELDS] = [3, 4, 1, 2, 0];
+
+/// Index of the first string comparator in [`EVAL_ORDER`] — the stage the
+/// "before any string comparison" floor check runs at.
+const FIRST_STRING_STAGE: usize = 2;
+
+/// A Fellegi-Sunter model plus the precomputed per-comparator weight
+/// bounds that let [`ScoreFloor::classify`] stop early. See the module
+/// docs for the soundness argument.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreFloor {
+    model: FellegiSunter,
+    /// Agreement / disagreement weight per model field.
+    agree_w: [f64; NAME_FIELDS],
+    disagree_w: [f64; NAME_FIELDS],
+    /// `max_after[s]` / `min_after[s]`: largest / smallest total weight
+    /// the fields at stages `>= s` of [`EVAL_ORDER`] can still
+    /// contribute.
+    max_after: [f64; NAME_FIELDS + 1],
+    min_after: [f64; NAME_FIELDS + 1],
+}
+
+impl ScoreFloor {
+    /// Precomputes the floor for a five-field name model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the model does not have exactly [`NAME_FIELDS`]
+    /// fields.
+    pub fn new(model: &FellegiSunter) -> ScoreFloor {
+        assert_eq!(
+            model.field_count(),
+            NAME_FIELDS,
+            "ScoreFloor accelerates the {NAME_FIELDS}-field name model"
+        );
+        let mut agree_w = [0.0; NAME_FIELDS];
+        let mut disagree_w = [0.0; NAME_FIELDS];
+        for (f, params) in model.fields().iter().enumerate() {
+            agree_w[f] = params.agreement_weight();
+            disagree_w[f] = params.disagreement_weight();
+        }
+        let mut max_after = [0.0; NAME_FIELDS + 1];
+        let mut min_after = [0.0; NAME_FIELDS + 1];
+        for s in (0..NAME_FIELDS).rev() {
+            let f = EVAL_ORDER[s];
+            max_after[s] = max_after[s + 1] + agree_w[f].max(disagree_w[f]);
+            min_after[s] = min_after[s + 1] + agree_w[f].min(disagree_w[f]);
+        }
+        ScoreFloor {
+            model: model.clone(),
+            agree_w,
+            disagree_w,
+            max_after,
+            min_after,
+        }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &FellegiSunter {
+        &self.model
+    }
+
+    #[inline]
+    fn weight_of(&self, field: usize, agrees: bool) -> f64 {
+        if agrees {
+            self.agree_w[field]
+        } else {
+            self.disagree_w[field]
+        }
+    }
+
+    /// Decision forced by the bounds after the first `stage` stages
+    /// contributed `w`, if any: when even full agreement of the remaining
+    /// fields stays below the lower threshold the pair is a
+    /// [`Decision::NonMatch`], and when even full disagreement stays
+    /// above the upper threshold it is a [`Decision::Match`].
+    #[inline]
+    fn forced(&self, w: f64, stage: usize) -> Option<Decision> {
+        if w + self.max_after[stage] < self.model.lower() - PRUNE_MARGIN {
+            Some(Decision::NonMatch)
+        } else if w + self.min_after[stage] > self.model.upper() + PRUNE_MARGIN {
+            Some(Decision::Match)
+        } else {
+            None
+        }
+    }
+
+    /// Classifies a pair of comparator keys, short-circuiting on the
+    /// precomputed bounds. Returns exactly what
+    /// [`FellegiSunter::classify`] returns for the pair's full agreement
+    /// vector.
+    pub fn classify(&self, a: &LinkKey, b: &LinkKey, scratch: &mut AgreementScratch) -> Decision {
+        let (pa, pb) = (&a.prepared, &b.prepared);
+        let mut agreement = [false; NAME_FIELDS];
+        // Equal normalized names: every comparator scores 1.0, so the
+        // continuous bits all agree and only the cached-key bits need a
+        // look. (Soundex equality still requires a code on both sides.)
+        if pa.joined == pb.joined {
+            agreement[0] = true;
+            agreement[1] = true;
+            agreement[2] = true;
+            agreement[3] = pa.surname_soundex.is_some();
+            agreement[4] = true;
+            return self.model.classify(&agreement);
+        }
+        // Stages 0-1: the cached-key fields.
+        agreement[3] = match (&pa.surname_soundex, &pb.surname_soundex) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        };
+        agreement[4] = NameNormalizer::tokens_compatible(&pa.tokens, &pb.tokens);
+        let mut w = self.weight_of(3, agreement[3]) + self.weight_of(4, agreement[4]);
+        // The headline floor check: prune before any string comparator.
+        if let Some(decision) = self.forced(w, FIRST_STRING_STAGE) {
+            return decision;
+        }
+        // Stage 2: Dice over the precomputed bigram multisets.
+        agreement[1] = dice_sorted_bigrams(&a.bigrams, &b.bigrams) >= DICE_AGREE;
+        w += self.weight_of(1, agreement[1]);
+        if let Some(decision) = self.forced(w, FIRST_STRING_STAGE + 1) {
+            return decision;
+        }
+        // Stage 3: Levenshtein on the canonical forms.
+        agreement[2] =
+            levenshtein_similarity_chars(&a.canonical_chars, &b.canonical_chars, &mut scratch.edit)
+                >= LEVENSHTEIN_AGREE;
+        w += self.weight_of(2, agreement[2]);
+        if let Some(decision) = self.forced(w, FIRST_STRING_STAGE + 2) {
+            return decision;
+        }
+        // Stage 4: Jaro-Winkler on the order-preserving forms. The vector
+        // is now complete, so the model classifies it exactly as the
+        // unpruned reference would.
+        agreement[0] = jaro_winkler_chars(&a.joined_chars, &b.joined_chars, &mut scratch.jaro)
+            >= JARO_WINKLER_AGREE;
+        self.model.classify(&agreement)
+    }
+}
+
+/// Reusable comparator buffers for [`ScoreFloor::classify`] — one per
+/// worker, not per pair.
+#[derive(Debug, Clone, Default)]
+pub struct AgreementScratch {
+    jaro: JaroScratch,
+    edit: EditScratch,
+}
+
+/// Multiplicative mixer for the packed pair key: the ids are dense and
+/// sequential, so SipHash buys nothing over one multiply.
+#[derive(Default)]
+struct PairHasher(u64);
+
+impl Hasher for PairHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.0 = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+/// A reusable memo of classified pairs, keyed by caller-assigned dense
+/// ids: the prepared *query* token sequence on the left, the prepared
+/// candidate record (for the harvest: the hit page's deduplicated display
+/// name) on the right. The caller owns the id assignment and must keep it
+/// bijective with the prepared names — two ids may be equal only when the
+/// [`LinkKey`]s they denote are.
+#[derive(Debug, Clone, Default)]
+pub struct AgreementCache {
+    map: HashMap<u64, Decision, BuildHasherDefault<PairHasher>>,
+    lookups: u64,
+    hits: u64,
+}
+
+impl AgreementCache {
+    /// Creates an empty cache.
+    pub fn new() -> AgreementCache {
+        AgreementCache::default()
+    }
+
+    /// Classifies `(left, right)` through the floor, replaying the memo
+    /// when the pair (by id) was classified before.
+    pub fn classify(
+        &mut self,
+        left_id: u32,
+        right_id: u32,
+        floor: &ScoreFloor,
+        left: &LinkKey,
+        right: &LinkKey,
+        scratch: &mut AgreementScratch,
+    ) -> Decision {
+        let key = (u64::from(left_id) << 32) | u64::from(right_id);
+        self.lookups += 1;
+        if let Some(&decision) = self.map.get(&key) {
+            self.hits += 1;
+            return decision;
+        }
+        let decision = floor.classify(left, right, scratch);
+        self.map.insert(key, decision);
+        decision
+    }
+
+    /// Number of memoized pairs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Fraction of lookups served from the memo.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.lookups as f64
+    }
+
+    /// Drops every memoized pair (id spaces may be reused afterwards).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.lookups = 0;
+        self.hits = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linker::{compare_prepared, default_name_model};
+
+    /// Names that exercise every decision band against each other:
+    /// identical, nickname/reorder variants, typos, unrelated, initials,
+    /// empty and junk.
+    const NAMES: &[&str] = &[
+        "Robert Smith",
+        "robert smith",
+        "Smith, Bob",
+        "Dr. Robret Smith",
+        "R. Smith",
+        "Roberta Smith",
+        "Robert Smyth",
+        "Robert Jones",
+        "Alice Walker",
+        "alice m walker",
+        "Wei Zhang",
+        "Priya Patel",
+        "Katherine O'Hara",
+        "Kathy Ohara",
+        "Alice Smith 17",
+        "Alice Smith 203",
+        "",
+        "...  ,,",
+        "Dr. Prof.",
+        "X",
+    ];
+
+    fn reference_decision(model: &FellegiSunter, a: &PreparedName, b: &PreparedName) -> Decision {
+        model.classify(&compare_prepared(a, b).agreement_vector())
+    }
+
+    #[test]
+    fn floor_matches_reference_on_every_pair() {
+        let normalizer = NameNormalizer::new();
+        let model = default_name_model();
+        let floor = ScoreFloor::new(&model);
+        let mut scratch = AgreementScratch::default();
+        let keys: Vec<LinkKey> = NAMES
+            .iter()
+            .map(|n| LinkKey::prepare(&normalizer, n))
+            .collect();
+        for a in &keys {
+            for b in &keys {
+                let expected = reference_decision(&model, a.prepared(), b.prepared());
+                let got = floor.classify(a, b, &mut scratch);
+                assert_eq!(
+                    got,
+                    expected,
+                    "{:?} vs {:?}",
+                    a.prepared().joined,
+                    b.prepared().joined
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn floor_matches_reference_under_odd_models() {
+        use crate::fellegi_sunter::FieldParams;
+        let normalizer = NameNormalizer::new();
+        let mut scratch = AgreementScratch::default();
+        // Degenerate thresholds and skewed fields stress both prune
+        // directions (always-NonMatch, always-Match, no-prune).
+        let models = [
+            FellegiSunter::new(vec![FieldParams::new(0.9, 0.1); NAME_FIELDS], -100.0, -90.0),
+            FellegiSunter::new(vec![FieldParams::new(0.9, 0.1); NAME_FIELDS], 90.0, 100.0),
+            FellegiSunter::new(vec![FieldParams::new(0.5, 0.5); NAME_FIELDS], 0.0, 0.0),
+            default_name_model(),
+        ];
+        let keys: Vec<LinkKey> = NAMES
+            .iter()
+            .map(|n| LinkKey::prepare(&normalizer, n))
+            .collect();
+        for model in &models {
+            let floor = ScoreFloor::new(model);
+            for a in &keys {
+                for b in &keys {
+                    assert_eq!(
+                        floor.classify(a, b, &mut scratch),
+                        reference_decision(model, a.prepared(), b.prepared()),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_replays_decisions_and_counts_hits() {
+        let normalizer = NameNormalizer::new();
+        let floor = ScoreFloor::new(&default_name_model());
+        let mut scratch = AgreementScratch::default();
+        let mut cache = AgreementCache::new();
+        let a = LinkKey::prepare(&normalizer, "Robert Smith");
+        let b = LinkKey::prepare(&normalizer, "Dr. Bob Smith");
+        let first = cache.classify(0, 0, &floor, &a, &b, &mut scratch);
+        let second = cache.classify(0, 0, &floor, &a, &b, &mut scratch);
+        assert_eq!(first, second);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.hit_rate() > 0.49);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hit_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "5-field")]
+    fn floor_rejects_wrong_arity() {
+        use crate::fellegi_sunter::FieldParams;
+        ScoreFloor::new(&FellegiSunter::new(
+            vec![FieldParams::new(0.9, 0.1)],
+            0.0,
+            1.0,
+        ));
+    }
+}

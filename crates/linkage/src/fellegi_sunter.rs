@@ -101,6 +101,18 @@ impl FellegiSunter {
         &self.fields
     }
 
+    /// The lower decision threshold: summed weights `<= lower` classify as
+    /// [`Decision::NonMatch`].
+    pub fn lower(&self) -> f64 {
+        self.lower
+    }
+
+    /// The upper decision threshold: summed weights `>= upper` classify as
+    /// [`Decision::Match`].
+    pub fn upper(&self) -> f64 {
+        self.upper
+    }
+
     /// Total log2-weight of an agreement vector (`true` = field agrees).
     ///
     /// Panics in debug builds if the vector length differs from the model.

@@ -13,6 +13,9 @@
 //!   sorted neighbourhood);
 //! * [`fellegi_sunter`] — the probabilistic linkage model with EM
 //!   parameter estimation;
+//! * [`agreement`] — batch-rate classification: per-record comparator
+//!   keys, a model-derived score floor that prunes hopeless pairs before
+//!   any string comparison, and a reusable decided-pair memo;
 //! * [`linker`] — the end-to-end pipeline with one-to-one assignment and
 //!   precision/recall evaluation.
 //!
@@ -30,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod agreement;
 pub mod blocking;
 pub mod edit;
 pub mod fellegi_sunter;
@@ -40,6 +44,7 @@ pub mod normalize;
 pub mod phonetic;
 pub mod tfidf;
 
+pub use agreement::{AgreementCache, AgreementScratch, LinkKey, ScoreFloor};
 pub use blocking::{
     candidate_pairs, candidate_pairs_iter, candidate_pairs_prepared, reduction_ratio, Blocking,
     CandidatePairs,
@@ -51,7 +56,7 @@ pub use linker::{
     compare_names, compare_prepared, default_name_model, evaluate, Link, LinkageQuality, Linker,
     LinkerConfig, NameFeatures,
 };
-pub use ngram::{cosine, dice, jaccard, ngrams};
+pub use ngram::{bigrams_sorted, cosine, dice, dice_sorted_bigrams, jaccard, ngrams};
 pub use normalize::{NameNormalizer, PreparedName, NICKNAMES};
 pub use phonetic::{phonetic_skeleton, soundex};
 pub use tfidf::TfIdf;

@@ -53,14 +53,22 @@ pub fn compare_prepared(a: &PreparedName, b: &PreparedName) -> NameFeatures {
     }
 }
 
+/// Agreement cut-off on [`NameFeatures::jaro_winkler`] (field 0 of the
+/// five-field name model).
+pub const JARO_WINKLER_AGREE: f64 = 0.85;
+/// Agreement cut-off on [`NameFeatures::dice_bigram`] (field 1).
+pub const DICE_AGREE: f64 = 0.6;
+/// Agreement cut-off on [`NameFeatures::levenshtein`] (field 2).
+pub const LEVENSHTEIN_AGREE: f64 = 0.7;
+
 impl NameFeatures {
     /// Binary agreement vector for the Fellegi-Sunter scorer, thresholding
     /// the continuous similarities at conventional cut-offs.
     pub fn agreement_vector(&self) -> Vec<bool> {
         vec![
-            self.jaro_winkler >= 0.85,
-            self.dice_bigram >= 0.6,
-            self.levenshtein >= 0.7,
+            self.jaro_winkler >= JARO_WINKLER_AGREE,
+            self.dice_bigram >= DICE_AGREE,
+            self.levenshtein >= LEVENSHTEIN_AGREE,
             self.surname_phonetic,
             self.tokens_compatible,
         ]

@@ -177,6 +177,29 @@ impl SearchEngine {
         self.pages.get(idx)
     }
 
+    /// Deduplicates page display names: returns each page's dense
+    /// name id plus the distinct names in first-occurrence order.
+    ///
+    /// A corpus renders several pages per person and most display names
+    /// verbatim, so the distinct-name set is a fraction of the page
+    /// count. Name-comparison consumers (the harvest's agreement cache
+    /// and its per-name comparator keys) key their work on the name id
+    /// instead of the page id and skip the duplicates entirely.
+    pub fn distinct_display_names(&self) -> (Vec<u32>, Vec<&str>) {
+        let mut name_of_page = Vec::with_capacity(self.pages.len());
+        let mut ids: FnvMap<&str, u32> = FnvMap::default();
+        let mut names: Vec<&str> = Vec::new();
+        for page in &self.pages {
+            let next = names.len() as u32;
+            let id = *ids.entry(&page.display_name).or_insert(next);
+            if id == next {
+                names.push(&page.display_name);
+            }
+            name_of_page.push(id);
+        }
+        (name_of_page, names)
+    }
+
     /// Searches for pages matching the query, ranked by summed TF-IDF of
     /// the query terms. Returns at most `limit` hits.
     ///
@@ -646,6 +669,23 @@ mod tests {
         // Walker must put page 1 first.
         let hits = e.search("Alice Walker", 10);
         assert_eq!(hits[0].page, 1);
+    }
+
+    #[test]
+    fn distinct_display_names_dedupe_and_align() {
+        let e = corpus();
+        let (ids, names) = e.distinct_display_names();
+        assert_eq!(ids.len(), e.len());
+        // Pages 0 and 2 are both "Robert Smith".
+        assert_eq!(ids[0], ids[2]);
+        assert_ne!(ids[0], ids[1]);
+        assert_eq!(names.len(), 3);
+        for (page, &id) in e.pages().iter().zip(&ids) {
+            assert_eq!(page.display_name, names[id as usize]);
+        }
+        let empty = SearchEngine::build(vec![]);
+        let (ids, names) = empty.distinct_display_names();
+        assert!(ids.is_empty() && names.is_empty());
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod index;
 pub mod noise;
 pub mod page;
 
-pub use corpus::{build_corpus, CorpusConfig};
+pub use corpus::{audit_property_pages, build_corpus, CorpusConfig, PropertyAudit};
 pub use extract::{consolidate, extract, title_seniority, AuxRecord};
 pub use index::{SearchEngine, SearchHit, SearchScratch, TermCache};
 pub use noise::NameNoise;

@@ -154,6 +154,77 @@ fn outcome_records_align_with_the_shared_core() {
     }
 }
 
+/// The `composition_large` claim at enterprise scale: the gains the
+/// bench stage gates must hold at n = 10 000, not just on the 120-row
+/// quick world. One sweep covers it — the R per-source MDAV runs fan
+/// out across the worker pool, releases stream through the intersection
+/// engine, and the web harvest over the 5 000-target core rides the
+/// cached linkage path (this test is also the scale check on that
+/// cache: an accidental super-linear regression in harvest or
+/// intersection shows up here as a timeout, not noise).
+#[test]
+fn composition_large_gain_is_monotone_at_ten_thousand_rows() {
+    let size = 10_000;
+    let people = generate_population(&PopulationConfig {
+        size,
+        web_presence_rate: 0.95,
+        seed: 2015,
+        ..PopulationConfig::default()
+    });
+    let table = customer_table(&people, &CustomerConfig::default());
+    let web = build_corpus(
+        &people,
+        &CorpusConfig {
+            noise: NameNoise::none(),
+            // (1, 2) pages per person keeps the debug-profile corpus
+            // lean; the release-profile bench stage runs the default.
+            pages_per_person: (1, 2),
+            seed: 2015 ^ 0xBEEF,
+            ..CorpusConfig::default()
+        },
+    );
+    let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+    let k = 5;
+    let report = composition_sweep(
+        &table,
+        &web,
+        &Mdav::new(),
+        &fusion,
+        &CompositionSweepConfig {
+            ks: vec![k],
+            releases: vec![1, 2, 3],
+            ..CompositionSweepConfig::default()
+        },
+    )
+    .unwrap();
+    let gains = report.gain_series(k);
+    assert_eq!(gains.len(), 3);
+    assert_eq!(gains[0], (1, 0.0));
+    for pair in gains.windows(2) {
+        assert!(
+            pair[1].1 > pair[0].1,
+            "gain not strictly increasing at scale: {gains:?}"
+        );
+    }
+    let rows: Vec<_> = report.rows().iter().filter(|r| r.k == k).collect();
+    assert!(rows[0].mean_candidates >= k as f64);
+    for pair in rows.windows(2) {
+        assert!(
+            pair[1].mean_candidates <= pair[0].mean_candidates,
+            "candidates rose at scale"
+        );
+    }
+    for row in &rows {
+        assert!(
+            row.disclosure_gain.is_finite()
+                && row.mean_candidates.is_finite()
+                && row.mean_income_width.is_finite(),
+            "non-finite composition row at scale: {row:?}"
+        );
+        assert!(row.aux_coverage > 0.5, "harvest barely covered the core");
+    }
+}
+
 #[test]
 fn deterministic_end_to_end() {
     let (table, web) = world(60, 11);

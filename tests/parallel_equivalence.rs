@@ -112,6 +112,11 @@ proptest! {
         );
         let release = table.suppress_sensitive();
         let config = HarvestConfig::default();
+        // The parallel path is the cached one: agreement memo + score
+        // floor + deduplicated page-name keys. The sequential reference
+        // computes every feature of every hit. They must agree on every
+        // record, every accepted link, every counter — and therefore on
+        // harvest precision.
         let parallel = harvest_auxiliary(&release, &web, &config).unwrap();
         let sequential = harvest_auxiliary_sequential(&release, &web, &config).unwrap();
         prop_assert_eq!(parallel.records.len(), sequential.records.len());
@@ -121,6 +126,80 @@ proptest! {
         prop_assert_eq!(&parallel.linked, &sequential.linked);
         prop_assert_eq!(parallel.pages_inspected, sequential.pages_inspected);
         prop_assert_eq!(parallel.pages_linked, sequential.pages_linked);
+        let ids: Vec<usize> = people.iter().map(|p| p.id).collect();
+        let precision_cached =
+            fred_suite::attack::harvest_precision(&parallel, &web, &ids).unwrap();
+        let precision_reference =
+            fred_suite::attack::harvest_precision(&sequential, &web, &ids).unwrap();
+        prop_assert_eq!(precision_cached.to_bits(), precision_reference.to_bits());
+    }
+
+    #[test]
+    fn cached_floor_classification_equals_reference_decisions(
+        size in 4usize..24,
+        seed in 0u64..1_000,
+        noisy in any::<bool>(),
+    ) {
+        use fred_suite::linkage::{
+            compare_prepared, default_name_model, AgreementCache, AgreementScratch, LinkKey,
+            NameNormalizer, ScoreFloor,
+        };
+        // Release names against every distinct corpus display name — the
+        // exact pair population the harvest classifies — through the
+        // score floor and the agreement memo (each pair twice, so the
+        // replay path is exercised), versus the full feature vector.
+        let people = generate_population(&PopulationConfig {
+            size,
+            web_presence_rate: 0.9,
+            seed,
+            ..PopulationConfig::default()
+        });
+        let web = build_corpus(
+            &people,
+            &CorpusConfig {
+                noise: if noisy { NameNoise::heavy() } else { NameNoise::none() },
+                pages_per_person: (1, 2),
+                seed: seed ^ 0xACE,
+                ..CorpusConfig::default()
+            },
+        );
+        let normalizer = NameNormalizer::new();
+        let model = default_name_model();
+        let floor = ScoreFloor::new(&model);
+        let mut scratch = AgreementScratch::default();
+        let mut cache = AgreementCache::new();
+        let queries: Vec<LinkKey> = people
+            .iter()
+            .map(|p| LinkKey::prepare(&normalizer, &p.name))
+            .collect();
+        let (_, distinct) = web.distinct_display_names();
+        let candidates: Vec<LinkKey> = distinct
+            .iter()
+            .map(|n| LinkKey::prepare(&normalizer, n))
+            .collect();
+        for (qi, query) in queries.iter().enumerate() {
+            for (ci, candidate) in candidates.iter().enumerate() {
+                let expected = model.classify(
+                    &compare_prepared(query.prepared(), candidate.prepared()).agreement_vector(),
+                );
+                for round in 0..2 {
+                    let got = cache.classify(
+                        qi as u32,
+                        ci as u32,
+                        &floor,
+                        query,
+                        candidate,
+                        &mut scratch,
+                    );
+                    prop_assert_eq!(
+                        got, expected,
+                        "round {}: {:?} vs {:?}",
+                        round, query.prepared().joined, candidate.prepared().joined
+                    );
+                }
+            }
+        }
+        prop_assert!(cache.hit_rate() > 0.49, "every pair ran twice");
     }
 
     #[test]
