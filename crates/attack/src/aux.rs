@@ -13,6 +13,8 @@ use fred_linkage::{
     NameNormalizer, PreparedName, ScoreFloor,
 };
 use fred_web::{consolidate, extract, AuxRecord, SearchEngine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
 use crate::error::{AttackError, Result};
@@ -395,6 +397,49 @@ pub fn harvest_auxiliary_sequential(
     Ok(assemble(per_name))
 }
 
+/// Seeded sample of at most `max_rows` distinct release rows (ascending)
+/// — the rows the *sampled* exhaustive reference pins each run. A
+/// partial Fisher-Yates draws the prefix, so the sample is uniform and
+/// depends only on `(n_rows, max_rows, seed)`.
+pub fn reference_sample_rows(n_rows: usize, max_rows: usize, seed: u64) -> Vec<usize> {
+    let mut rows: Vec<usize> = (0..n_rows).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let take = max_rows.min(n_rows);
+    for i in 0..take {
+        let j = rng.gen_range(i..n_rows);
+        rows.swap(i, j);
+    }
+    rows.truncate(take);
+    rows.sort_unstable();
+    rows
+}
+
+/// The exhaustive reference ([`harvest_auxiliary_sequential`]) run over a
+/// seeded row sample of the release instead of every row: returns the
+/// sampled master rows (ascending) and their harvest, index-aligned.
+///
+/// Harvesting is per-name independent — each record depends only on its
+/// own identifier's search, linkage and extraction — so the sampled
+/// reference must agree record-for-record with the corresponding rows of
+/// any full harvest over the same release (pinned against the full
+/// reference by property test, and asserted against the parallel cached
+/// path by the large bench). This carries the exactness argument at a
+/// fraction of the exhaustive run's cost; `repro --quick --exhaustive`
+/// still runs the full reference.
+pub fn harvest_auxiliary_reference_sampled(
+    release: &Table,
+    engine: &SearchEngine,
+    config: &HarvestConfig,
+    max_rows: usize,
+    seed: u64,
+) -> Result<(Vec<usize>, Harvest)> {
+    let rows = reference_sample_rows(release.len(), max_rows, seed);
+    let sampled: Vec<_> = rows.iter().map(|&r| release.rows()[r].clone()).collect();
+    let sub = Table::with_rows(release.schema().clone(), sampled)?;
+    let harvest = harvest_auxiliary_sequential(&sub, engine, config)?;
+    Ok((rows, harvest))
+}
+
 /// Evaluates harvesting accuracy against ground truth: the fraction of
 /// linked records whose pages actually belong to the release person.
 ///
@@ -540,6 +585,37 @@ mod tests {
         assert!(with_seniority > 10, "seniority on {with_seniority} records");
         assert!(with_property > 10, "property on {with_property} records");
         let _ = people;
+    }
+
+    #[test]
+    fn reference_sample_rows_are_seeded_distinct_and_clamped() {
+        let a = reference_sample_rows(50, 10, 7);
+        let b = reference_sample_rows(50, 10, 7);
+        assert_eq!(a, b, "same seed, same sample");
+        assert_eq!(a.len(), 10);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "ascending, distinct");
+        assert!(a.iter().all(|&r| r < 50));
+        let c = reference_sample_rows(50, 10, 8);
+        assert_ne!(a, c, "different seed, different sample");
+        // Oversized requests clamp to every row.
+        assert_eq!(reference_sample_rows(5, 99, 0), vec![0, 1, 2, 3, 4]);
+        assert!(reference_sample_rows(0, 4, 0).is_empty());
+    }
+
+    #[test]
+    fn sampled_reference_agrees_with_the_full_harvest_rowwise() {
+        let (_, table, engine) = world();
+        let release = table.suppress_sensitive();
+        let config = HarvestConfig::default();
+        let full = harvest_auxiliary(&release, &engine, &config).unwrap();
+        let (rows, sampled) =
+            harvest_auxiliary_reference_sampled(&release, &engine, &config, 12, 99).unwrap();
+        assert_eq!(rows.len(), 12);
+        assert_eq!(sampled.records.len(), 12);
+        for (i, &row) in rows.iter().enumerate() {
+            assert_eq!(sampled.records[i], full.records[row], "row {row}");
+            assert_eq!(sampled.linked[i], full.linked[row], "row {row}");
+        }
     }
 
     #[test]

@@ -31,10 +31,17 @@
 //!   composed releases, and the mean candidate count must never rise
 //!   with an added release (composition only adds constraints). The two
 //!   blocks gate independently;
-//! * every composition row's numbers must be finite: a NaN gain would
-//!   not even parse out of the baseline and would otherwise sail through
-//!   the strict-monotonicity check (NaN comparisons are all false), so
-//!   an unparseable or non-finite row is itself a violation.
+//! * when the baseline carries a `composition_defense` block (`repro
+//!   --quick --compose --defend ...`), the fresh run must carry it too,
+//!   every policy's residual disclosure gain at its top release count
+//!   must stay *strictly below* the undefended gain at the same `R`
+//!   (a defense that stops defending is a regression), and every
+//!   `calibrated_widen_*` row must keep `mean_candidates >= k` (the
+//!   block's own `k` line) — the floor the calibration exists to hold;
+//! * every composition/defense row's numbers must be finite: a NaN gain
+//!   would not even parse out of the baseline and would otherwise sail
+//!   through the strict-monotonicity check (NaN comparisons are all
+//!   false), so an unparseable or non-finite row is itself a violation.
 
 use std::collections::BTreeMap;
 
@@ -64,6 +71,24 @@ pub const STAGE_FLOOR_MS: f64 = 2.0;
 /// mean_candidates)`.
 pub type CompositionRow = (usize, f64, f64);
 
+/// One defense-stage row, as parsed from a `composition_defense` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DefenseRow {
+    /// Stable policy label (`calibrated_widen_*` rows carry the
+    /// candidate-floor gate).
+    pub policy: String,
+    /// Number of composed releases.
+    pub releases: usize,
+    /// Disclosure gain the composition still achieves under the policy.
+    pub residual_gain: f64,
+    /// The undefended gain at the same release count.
+    pub undefended_gain: f64,
+    /// Mean effective anonymity under the defense.
+    pub mean_candidates: f64,
+    /// Widening price of the policy.
+    pub utility_cost: f64,
+}
+
 /// Everything [`parse_baseline`] can recover from one baseline file.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Baseline {
@@ -84,8 +109,14 @@ pub struct Baseline {
     pub composition: Vec<CompositionRow>,
     /// Large-world (`composition_large`) rows, when present.
     pub composition_large: Vec<CompositionRow>,
-    /// Composition row lines that carried an unparseable or non-finite
-    /// value — each one is a gate violation when found in a fresh run.
+    /// Defense rows (policy-major), when present.
+    pub composition_defense: Vec<DefenseRow>,
+    /// `k` recorded in the `composition_defense` block, when present —
+    /// the floor the `calibrated_widen_*` candidate gate checks against.
+    pub defense_k: Option<usize>,
+    /// Composition/defense row lines that carried an unparseable or
+    /// non-finite value — each one is a gate violation when found in a
+    /// fresh run.
     pub malformed_rows: Vec<String>,
 }
 
@@ -129,6 +160,7 @@ pub fn parse_baseline(json: &str) -> Baseline {
     enum Series {
         Quick,
         Large,
+        Defense,
     }
     let mut out = Baseline::default();
     let mut in_large = false;
@@ -137,13 +169,21 @@ pub fn parse_baseline(json: &str) -> Baseline {
         if line.contains("\"large\":") {
             in_large = true;
         }
-        if line.contains("\"composition_large\":") {
+        if line.contains("\"composition_defense\":") {
+            series = Series::Defense;
+            in_large = false;
+        } else if line.contains("\"composition_large\":") {
             series = Series::Large;
         } else if line.contains("\"composition\":") {
             // The quick-world block closes the large block (the writer
             // emits it after `large`).
             series = Series::Quick;
             in_large = false;
+        }
+        if matches!(series, Series::Defense) && line.contains("\"overlap\":") {
+            if let Some(k) = num_field(line, "k") {
+                out.defense_k = Some(k as usize);
+            }
         }
         if let (Some(name), Some(wall)) = (str_field(line, "name"), num_field(line, "wall_ms")) {
             out.stage_wall_ms.insert(name.to_owned(), wall);
@@ -166,6 +206,35 @@ pub fn parse_baseline(json: &str) -> Baseline {
                 out.large_cores = Some(v as usize);
             }
         }
+        if line.contains("\"residual_gain\":") {
+            let fields = (
+                str_field(line, "policy"),
+                num_field(line, "releases"),
+                num_field(line, "residual_gain"),
+                num_field(line, "undefended_gain"),
+                num_field(line, "mean_candidates"),
+                num_field(line, "utility_cost"),
+            );
+            match fields {
+                (Some(policy), Some(r), Some(res), Some(undef), Some(cand), Some(cost))
+                    if res.is_finite()
+                        && undef.is_finite()
+                        && cand.is_finite()
+                        && cost.is_finite() =>
+                {
+                    out.composition_defense.push(DefenseRow {
+                        policy: policy.to_owned(),
+                        releases: r as usize,
+                        residual_gain: res,
+                        undefended_gain: undef,
+                        mean_candidates: cand,
+                        utility_cost: cost,
+                    });
+                }
+                _ => out.malformed_rows.push(line.trim().to_owned()),
+            }
+            continue;
+        }
         if line.contains("\"disclosure_gain\":") {
             let fields = (
                 num_field(line, "releases"),
@@ -181,6 +250,7 @@ pub fn parse_baseline(json: &str) -> Baseline {
                     match series {
                         Series::Quick => out.composition.push(row),
                         Series::Large => out.composition_large.push(row),
+                        Series::Defense => out.malformed_rows.push(line.trim().to_owned()),
                     }
                 }
                 _ => out.malformed_rows.push(line.trim().to_owned()),
@@ -274,6 +344,85 @@ pub fn compare_baselines(committed_json: &str, fresh_json: &str) -> CompareRepor
         &fresh.composition_large,
         &mut report,
     );
+    // The defense gates: a deployed policy that stops defending is a
+    // regression just like a slowed stage. Per policy, the top-R row
+    // must keep its residual gain strictly below the undefended gain,
+    // and calibrated widening must hold the candidate floor it is named
+    // for at every R.
+    if !committed.composition_defense.is_empty() && fresh.composition_defense.is_empty() {
+        report
+            .violations
+            .push("composition_defense stage disappeared from the fresh baseline".into());
+    }
+    // A single policy vanishing from a still-present block is the same
+    // regression as the block vanishing — the per-policy gates below
+    // only see the fresh run's policies, so guard the roster here.
+    if !fresh.composition_defense.is_empty() {
+        for row in &committed.composition_defense {
+            if !fresh
+                .composition_defense
+                .iter()
+                .any(|f| f.policy == row.policy)
+                && !report.violations.iter().any(|v| v.contains(&row.policy))
+            {
+                report.violations.push(format!(
+                    "defense `{}` disappeared from the fresh baseline",
+                    row.policy
+                ));
+            }
+        }
+    }
+    let mut policies: Vec<&str> = Vec::new();
+    for row in &fresh.composition_defense {
+        if !policies.contains(&row.policy.as_str()) {
+            policies.push(&row.policy);
+        }
+    }
+    for policy in policies {
+        let rows: Vec<&DefenseRow> = fresh
+            .composition_defense
+            .iter()
+            .filter(|r| r.policy == policy)
+            .collect();
+        let last = rows
+            .iter()
+            .max_by_key(|r| r.releases)
+            .expect("policy group is non-empty");
+        if last.releases > 1 {
+            if last.residual_gain >= last.undefended_gain {
+                report.violations.push(format!(
+                    "defense `{policy}` residual gain {:.1} is not strictly below the \
+                     undefended gain {:.1} at R={}",
+                    last.residual_gain, last.undefended_gain, last.releases
+                ));
+            } else {
+                report.notes.push(format!(
+                    "defense `{policy}`: residual gain {:.1} vs undefended {:.1} at R={} \
+                     (utility cost {:.1})",
+                    last.residual_gain, last.undefended_gain, last.releases, last.utility_cost
+                ));
+            }
+        }
+        if policy.starts_with("calibrated_widen") {
+            match fresh.defense_k {
+                Some(k) => {
+                    for row in &rows {
+                        if row.mean_candidates + 1e-9 < k as f64 {
+                            report.violations.push(format!(
+                                "defense `{policy}` mean candidates fell to {:.2} at R={} \
+                                 (must stay >= k = {k})",
+                                row.mean_candidates, row.releases
+                            ));
+                        }
+                    }
+                }
+                None => report.violations.push(format!(
+                    "defense `{policy}` rows present but the composition_defense block \
+                     carries no k line to gate the candidate floor against"
+                )),
+            }
+        }
+    }
     for line in &fresh.malformed_rows {
         report.violations.push(format!(
             "composition row carries a non-finite or unparseable value: {line}"
@@ -313,7 +462,7 @@ pub fn compare_baselines(committed_json: &str, fresh_json: &str) -> CompareRepor
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::perf::quick_bench;
+    use crate::perf::{quick_bench, QuickBenchOptions};
     use crate::world::WorldConfig;
 
     fn small_bench_json(large: Option<usize>) -> String {
@@ -325,8 +474,10 @@ mod tests {
             2,
             4,
             1,
-            large,
-            false,
+            &QuickBenchOptions {
+                large_size: large,
+                ..QuickBenchOptions::default()
+            },
         )
         .to_json()
     }
@@ -356,8 +507,11 @@ mod tests {
             2,
             3,
             1,
-            Some(40),
-            true,
+            &QuickBenchOptions {
+                large_size: Some(40),
+                compose: true,
+                ..QuickBenchOptions::default()
+            },
         )
         .to_json();
         let b = parse_baseline(&json);
@@ -618,6 +772,174 @@ mod tests {
                 .violations
                 .iter()
                 .any(|v| v.contains("harvest parallel speedup fell")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    /// A synthetic baseline with a `composition_defense` block whose
+    /// rows are caller-controlled `(policy, releases, residual,
+    /// undefended, candidates)`.
+    fn synthetic_defense_json(k: usize, rows: &[(&str, usize, f64, f64, f64)]) -> String {
+        let mut out = synthetic_json(100.0, 5.0);
+        out.truncate(out.rfind("\n}").expect("closing brace"));
+        out.push_str(&format!(
+            ",\n  \"composition_defense\": {{\n    \"k\": {k}, \"overlap\": 0.50, \"wall_ms\": 25.000,\n    \"rows\": [\n"
+        ));
+        for (i, (policy, r, res, undef, cand)) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{ \"policy\": \"{policy}\", \"releases\": {r}, \"residual_gain\": {res:.1}, \"undefended_gain\": {undef:.1}, \"mean_candidates\": {cand:.2}, \"utility_cost\": 100.0 }}{}\n",
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("    ]\n  }\n}\n");
+        out
+    }
+
+    #[test]
+    fn defense_rows_parse_with_their_k() {
+        let json = synthetic_defense_json(
+            5,
+            &[
+                ("coordinated_seeds", 1, 0.0, 0.0, 5.0),
+                ("coordinated_seeds", 3, 0.0, 9000.0, 5.0),
+                ("calibrated_widen_k5", 3, 4000.0, 9000.0, 6.1),
+            ],
+        );
+        let b = parse_baseline(&json);
+        assert_eq!(b.defense_k, Some(5));
+        assert_eq!(b.composition_defense.len(), 3);
+        assert_eq!(b.composition_defense[1].policy, "coordinated_seeds");
+        assert_eq!(b.composition_defense[1].undefended_gain, 9000.0);
+        assert_eq!(b.composition_defense[2].mean_candidates, 6.1);
+        assert!(b.malformed_rows.is_empty());
+    }
+
+    #[test]
+    fn defended_policies_must_beat_the_undefended_gain() {
+        let good = synthetic_defense_json(
+            5,
+            &[
+                ("coordinated_seeds", 1, 0.0, 0.0, 5.0),
+                ("coordinated_seeds", 3, 0.0, 9000.0, 5.0),
+                ("overlap_cap_0.90", 3, 2000.0, 9000.0, 4.0),
+            ],
+        );
+        let report = compare_baselines(&good, &good);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.notes.iter().any(|n| n.contains("coordinated_seeds")));
+
+        // A policy whose residual gain reaches the undefended gain fails.
+        let broken = synthetic_defense_json(
+            5,
+            &[
+                ("coordinated_seeds", 3, 0.0, 9000.0, 5.0),
+                ("overlap_cap_0.90", 3, 9000.0, 9000.0, 4.0),
+            ],
+        );
+        let report = compare_baselines(&good, &broken);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("overlap_cap_0.90") && v.contains("strictly below")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn calibrated_widen_rows_gate_the_candidate_floor() {
+        let good = synthetic_defense_json(
+            5,
+            &[
+                ("calibrated_widen_k5", 2, 1000.0, 7000.0, 5.0),
+                ("calibrated_widen_k5", 3, 2000.0, 9000.0, 5.2),
+            ],
+        );
+        assert!(compare_baselines(&good, &good).violations.is_empty());
+        // A single R cell below the floor fails, even when the top-R
+        // residual gate passes.
+        let sunk = synthetic_defense_json(
+            5,
+            &[
+                ("calibrated_widen_k5", 2, 1000.0, 7000.0, 4.2),
+                ("calibrated_widen_k5", 3, 2000.0, 9000.0, 5.2),
+            ],
+        );
+        let report = compare_baselines(&good, &sunk);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("mean candidates fell") && v.contains("R=2")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn single_vanished_policy_fails_even_with_the_block_present() {
+        let committed = synthetic_defense_json(
+            5,
+            &[
+                ("coordinated_seeds", 3, 0.0, 9000.0, 5.0),
+                ("calibrated_widen_k5", 3, 2000.0, 9000.0, 5.2),
+            ],
+        );
+        let fresh = synthetic_defense_json(5, &[("coordinated_seeds", 3, 0.0, 9000.0, 5.0)]);
+        let report = compare_baselines(&committed, &fresh);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("calibrated_widen_k5") && v.contains("disappeared")),
+            "{:?}",
+            report.violations
+        );
+        // The surviving policy still gates (and passes) normally.
+        assert!(report.notes.iter().any(|n| n.contains("coordinated_seeds")));
+    }
+
+    #[test]
+    fn missing_defense_stage_fails() {
+        let committed = synthetic_defense_json(5, &[("coordinated_seeds", 3, 0.0, 9000.0, 5.0)]);
+        let fresh = synthetic_json(100.0, 5.0);
+        let report = compare_baselines(&committed, &fresh);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("composition_defense stage disappeared")),
+            "{:?}",
+            report.violations
+        );
+        // The other direction — a defense block newly appearing — is
+        // fine.
+        let report = compare_baselines(&fresh, &committed);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn non_finite_defense_rows_fail_both_sides() {
+        let good = synthetic_defense_json(5, &[("coordinated_seeds", 3, 0.0, 9000.0, 5.0)]);
+        let poisoned =
+            synthetic_defense_json(5, &[("coordinated_seeds", 3, f64::NAN, 9000.0, 5.0)]);
+        let b = parse_baseline(&poisoned);
+        assert_eq!(b.malformed_rows.len(), 1, "{:?}", b.malformed_rows);
+        let report = compare_baselines(&good, &poisoned);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("non-finite or unparseable")));
+        // A poisoned committed defense series must refuse to gate.
+        let fresh_without = synthetic_json(100.0, 5.0);
+        let report = compare_baselines(&poisoned, &fresh_without);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("committed baseline carries")),
             "{:?}",
             report.violations
         );

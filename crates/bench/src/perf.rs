@@ -14,10 +14,10 @@ use std::time::Instant;
 
 use fred_anon::{build_release, Anonymizer, Mdav, QiStyle, Release};
 use fred_attack::{
-    harvest_auxiliary, harvest_auxiliary_sequential, FusionSystem, FuzzyFusion, FuzzyFusionConfig,
-    Harvest, HarvestConfig, MidpointEstimator,
+    harvest_auxiliary, harvest_auxiliary_reference_sampled, harvest_auxiliary_sequential,
+    FusionSystem, FuzzyFusion, FuzzyFusionConfig, Harvest, HarvestConfig, MidpointEstimator,
 };
-use fred_composition::{composition_sweep, CompositionSweepConfig};
+use fred_composition::{composition_sweep, defense_sweep, CompositionSweepConfig, DefensePolicy};
 use fred_core::{sweep, SweepConfig};
 
 use crate::world::{faculty_world, WorldConfig};
@@ -30,6 +30,13 @@ pub const STAGE_K: usize = 5;
 
 /// Row-chunk size for the streaming-release stage.
 const STREAM_CHUNK_ROWS: usize = 1024;
+
+/// Rows the sampled exhaustive harvest reference pins per run (the
+/// equality assert behind `harvest_sequential_large`); the full-table
+/// reference runs under `repro --quick --exhaustive`. The sample is
+/// seeded from the world seed, so each committed baseline pins a fixed
+/// subset but different seeds roam the whole release over time.
+pub const REFERENCE_SAMPLE_ROWS: usize = 512;
 
 /// Wall-clock + throughput of one pipeline stage.
 #[derive(Debug, Clone)]
@@ -106,6 +113,43 @@ pub struct CompositionBench {
     pub rows: Vec<CompositionBenchRow>,
 }
 
+/// One `(policy, releases)` cell of the defense stage.
+#[derive(Debug, Clone)]
+pub struct DefenseBenchRow {
+    /// Stable policy label ([`DefensePolicy::label`]).
+    pub policy: String,
+    /// Number of composed releases.
+    pub releases: usize,
+    /// Disclosure gain the composition still achieves under the policy
+    /// (gated strictly below `undefended_gain` at the top release
+    /// count).
+    pub residual_gain: f64,
+    /// The undefended sweep's gain at the same release count.
+    pub undefended_gain: f64,
+    /// Mean effective anonymity under the defense (gated `>= k` for
+    /// `calibrated_widen_*` rows).
+    pub mean_candidates: f64,
+    /// Widening price: defended-minus-undefended single-release implied
+    /// sensitive width.
+    pub utility_cost: f64,
+}
+
+/// The `--defend` add-on: every policy swept over release counts at the
+/// tracked `k`, next to the undefended gain.
+#[derive(Debug, Clone)]
+pub struct DefenseBench {
+    /// Anonymization level every curator applied.
+    pub k: usize,
+    /// Shared-core fraction of the scenario.
+    pub overlap: f64,
+    /// Wall-clock of the whole defense sweep (including its undefended
+    /// reference run).
+    pub wall_ms: f64,
+    /// Per-policy, per-release-count measurements (policy-major,
+    /// ascending in `releases`).
+    pub rows: Vec<DefenseBenchRow>,
+}
+
 /// The quick-bench result.
 #[derive(Debug, Clone)]
 pub struct QuickBench {
@@ -126,6 +170,23 @@ pub struct QuickBench {
     pub large: Option<LargeBench>,
     /// The composition stage, when enabled (`repro --quick --compose`).
     pub composition: Option<CompositionBench>,
+    /// The defense stage, when enabled (`repro --quick --compose
+    /// --defend ...`).
+    pub composition_defense: Option<DefenseBench>,
+}
+
+/// Optional add-ons of [`quick_bench`] beyond the core timed sweep.
+#[derive(Debug, Clone, Default)]
+pub struct QuickBenchOptions {
+    /// Re-time the hot stages on a world of this many rows.
+    pub large_size: Option<usize>,
+    /// Run the composition stage(s).
+    pub compose: bool,
+    /// Run the defense stage over these policies (requires `compose`).
+    pub defend: Option<Vec<DefensePolicy>>,
+    /// Run the harvest reference exhaustively over the whole large
+    /// release instead of the seeded [`REFERENCE_SAMPLE_ROWS`] sample.
+    pub exhaustive: bool,
 }
 
 impl QuickBench {
@@ -199,6 +260,27 @@ impl QuickBench {
             out.push_str(",\n");
             out.push_str(&render_composition(comp, "composition", "  "));
         }
+        if let Some(defense) = &self.composition_defense {
+            out.push_str(",\n  \"composition_defense\": {\n");
+            out.push_str(&format!(
+                "    \"k\": {}, \"overlap\": {:.2}, \"wall_ms\": {:.3},\n",
+                defense.k, defense.overlap, defense.wall_ms
+            ));
+            out.push_str("    \"rows\": [\n");
+            for (i, row) in defense.rows.iter().enumerate() {
+                out.push_str(&format!(
+                    "      {{ \"policy\": \"{}\", \"releases\": {}, \"residual_gain\": {:.1}, \"undefended_gain\": {:.1}, \"mean_candidates\": {:.2}, \"utility_cost\": {:.1} }}{}\n",
+                    row.policy,
+                    row.releases,
+                    row.residual_gain,
+                    row.undefended_gain,
+                    row.mean_candidates,
+                    row.utility_cost,
+                    if i + 1 < defense.rows.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("    ]\n  }");
+        }
         out.push('\n');
         out.push_str("}\n");
         out
@@ -263,6 +345,23 @@ impl QuickBench {
         if let Some(comp) = &self.composition {
             render_composition(&mut out, comp, "composition");
         }
+        if let Some(defense) = &self.composition_defense {
+            out.push_str(&format!(
+                "  defenses — k = {}, overlap {:.2} ({:.2} ms):\n",
+                defense.k, defense.overlap, defense.wall_ms
+            ));
+            for row in &defense.rows {
+                out.push_str(&format!(
+                    "    {:<22} R = {}: residual $ {:>8.0} vs undefended $ {:>8.0}   candidates {:>6.2}   utility cost $ {:>8.0}\n",
+                    row.policy,
+                    row.releases,
+                    row.residual_gain,
+                    row.undefended_gain,
+                    row.mean_candidates,
+                    row.utility_cost
+                ));
+            }
+        }
         out
     }
 }
@@ -277,22 +376,25 @@ fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
 ///
 /// `repeats` controls how many times the two estimate paths run over the
 /// full release set (median-free but averaged), keeping the comparison
-/// stable at quick scale. `large_size` additionally times the hot stages
-/// (world build, MDAV, parallel + sequential harvest, release streaming,
-/// streamed estimates) on a world of that many rows — pass `None` to
-/// skip. `compose` appends the composition stage: the multi-release
-/// intersection attack swept over `R = 1..=3` at the tracked `k`, whose
-/// per-record disclosure gain the compare gate requires to be strictly
-/// increasing.
+/// stable at quick scale. [`QuickBenchOptions::large_size`] additionally
+/// times the hot stages (world build, MDAV, parallel + sampled-reference
+/// harvest, release streaming, streamed estimates) on a world of that
+/// many rows. [`QuickBenchOptions::compose`] appends the composition
+/// stage: the multi-release intersection attack swept over `R = 1..=3`
+/// at the tracked `k`, whose per-record disclosure gain the compare gate
+/// requires to be strictly increasing;
+/// [`QuickBenchOptions::defend`] additionally sweeps the given defense
+/// policies next to it (the `composition_defense` block, gated for
+/// residual gain strictly below the undefended gain).
 pub fn quick_bench(
     config: &WorldConfig,
     k_min: usize,
     k_max: usize,
     repeats: usize,
-    large_size: Option<usize>,
-    compose: bool,
+    options: &QuickBenchOptions,
 ) -> QuickBench {
     let repeats = repeats.max(1);
+    let compose = options.compose;
     let mut stages = Vec::new();
 
     // Stage 1: world generation.
@@ -411,6 +513,20 @@ pub fn quick_bench(
         });
     }
 
+    // Stage 8 (optional): the defense policies against the same attack.
+    let composition_defense = match (&options.defend, compose) {
+        (Some(policies), true) => {
+            let bench = defense_bench(&world, policies);
+            stages.push(StageTiming {
+                name: "composition_defense",
+                wall_ms: bench.wall_ms,
+                rows: world.table.len() * bench.rows.len(),
+            });
+            Some(bench)
+        }
+        _ => None,
+    };
+
     QuickBench {
         size: world.table.len(),
         seed: config.seed,
@@ -425,8 +541,64 @@ pub fn quick_bench(
         } else {
             0.0
         },
-        large: large_size.map(|size| large_bench(config, size, compose)),
+        large: options
+            .large_size
+            .map(|size| large_bench(config, size, compose, options.exhaustive)),
         composition,
+        composition_defense,
+    }
+}
+
+/// Runs the defense sweep (every policy over `R = 1..=3` at the tracked
+/// `k`, next to the undefended reference) and extracts the gated rows.
+/// Every recorded value is asserted finite — the same NaN-poisoning
+/// guard the attack stage carries.
+fn defense_bench(world: &crate::world::World, policies: &[DefensePolicy]) -> DefenseBench {
+    let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).expect("default config valid");
+    let config = CompositionSweepConfig {
+        ks: vec![STAGE_K.min(world.table.len())],
+        releases: vec![1, 2, 3],
+        ..CompositionSweepConfig::default()
+    };
+    let (report, wall) = time_ms(|| {
+        defense_sweep(
+            &world.table,
+            &world.web,
+            &Mdav::new(),
+            &fusion,
+            &config,
+            policies,
+        )
+        .expect("defense sweep over the quick world succeeds")
+    });
+    let rows: Vec<DefenseBenchRow> = report
+        .rows()
+        .iter()
+        .map(|r| DefenseBenchRow {
+            policy: r.policy.clone(),
+            releases: r.releases,
+            residual_gain: r.residual_gain,
+            undefended_gain: r.undefended_gain,
+            mean_candidates: r.mean_candidates,
+            utility_cost: r.utility_cost,
+        })
+        .collect();
+    for row in &rows {
+        assert!(
+            row.residual_gain.is_finite()
+                && row.undefended_gain.is_finite()
+                && row.mean_candidates.is_finite()
+                && row.utility_cost.is_finite(),
+            "defense row `{}` at R = {} carries a non-finite value: {row:?}",
+            row.policy,
+            row.releases
+        );
+    }
+    DefenseBench {
+        k: config.ks[0],
+        overlap: config.overlap,
+        wall_ms: wall,
+        rows,
     }
 }
 
@@ -480,7 +652,14 @@ fn composition_bench(world: &crate::world::World) -> CompositionBench {
 /// attack runs at this scale too: `R` independent per-source MDAV runs
 /// fanned across the worker pool, releases streamed through the
 /// intersection engine, gains gated like the quick-world stage.
-fn large_bench(config: &WorldConfig, size: usize, compose: bool) -> LargeBench {
+///
+/// The exhaustive-reference stage (`harvest_sequential_large`) runs over
+/// a seeded [`REFERENCE_SAMPLE_ROWS`]-row sample unless `exhaustive` is
+/// set: harvesting is per-name independent and the sampled reference is
+/// property-pinned against the full one, so the equality assert keeps
+/// its teeth while the stage drops from the bench's single largest cost
+/// (~1.2 s at 10 000 rows) to a few tens of milliseconds.
+fn large_bench(config: &WorldConfig, size: usize, compose: bool, exhaustive: bool) -> LargeBench {
     let mut stages = Vec::new();
     let large_config = WorldConfig {
         size,
@@ -550,19 +729,53 @@ fn large_bench(config: &WorldConfig, size: usize, compose: bool) -> LargeBench {
         rows: world.table.len(),
     });
 
-    let (harvest_seq, seq_wall) = time_ms(|| {
-        harvest_auxiliary_sequential(&release.table, &world.web, &harvest_config)
-            .expect("harvest over a generated corpus cannot fail")
+    // The sampled reference always runs under the stable stage name, so
+    // baselines stay comparable across modes; --exhaustive *adds* the
+    // full-table reference as its own stage instead of silently swapping
+    // the workload behind `harvest_sequential_large` (which would trip —
+    // or disarm — the 3x stage-ratio gate whenever the two sides of a
+    // compare were taken in different modes).
+    let (sampled, seq_wall) = time_ms(|| {
+        harvest_auxiliary_reference_sampled(
+            &release.table,
+            &world.web,
+            &harvest_config,
+            REFERENCE_SAMPLE_ROWS,
+            config.seed,
+        )
+        .expect("harvest over a generated corpus cannot fail")
     });
+    let (sample_rows, harvest_ref) = sampled;
     stages.push(StageTiming {
         name: "harvest_sequential_large",
         wall_ms: seq_wall,
-        rows: world.table.len(),
+        rows: sample_rows.len(),
     });
-    assert_eq!(
-        harvest_par, harvest_seq,
-        "parallel harvest must be record-for-record identical to the reference"
-    );
+    for (i, &row) in sample_rows.iter().enumerate() {
+        assert_eq!(
+            harvest_ref.records[i], harvest_par.records[row],
+            "parallel harvest diverged from the sampled reference at row {row}"
+        );
+        assert_eq!(
+            harvest_ref.linked[i], harvest_par.linked[row],
+            "parallel harvest links diverged from the sampled reference at row {row}"
+        );
+    }
+    if exhaustive {
+        let (harvest_seq, ex_wall) = time_ms(|| {
+            harvest_auxiliary_sequential(&release.table, &world.web, &harvest_config)
+                .expect("harvest over a generated corpus cannot fail")
+        });
+        stages.push(StageTiming {
+            name: "harvest_exhaustive_large",
+            wall_ms: ex_wall,
+            rows: world.table.len(),
+        });
+        assert_eq!(
+            harvest_par, harvest_seq,
+            "parallel harvest must be record-for-record identical to the reference"
+        );
+    }
     assert_eq!(
         harvest_par, harvest_single,
         "single-threaded fast path must be record-for-record identical to the parallel one"
@@ -676,8 +889,7 @@ mod tests {
             2,
             4,
             1,
-            None,
-            false,
+            &QuickBenchOptions::default(),
         );
         assert_eq!(bench.k_range, (2, 4));
         assert_eq!(bench.stages.len(), 7);
@@ -708,8 +920,10 @@ mod tests {
             2,
             4,
             1,
-            Some(80),
-            false,
+            &QuickBenchOptions {
+                large_size: Some(80),
+                ..QuickBenchOptions::default()
+            },
         );
         let large = bench.large.as_ref().expect("large stage requested");
         assert_eq!(large.size, 80);
@@ -756,8 +970,10 @@ mod tests {
             2,
             4,
             1,
-            None,
-            true,
+            &QuickBenchOptions {
+                compose: true,
+                ..QuickBenchOptions::default()
+            },
         );
         let comp = bench.composition.as_ref().expect("composition requested");
         assert_eq!(comp.k, STAGE_K);
@@ -789,8 +1005,11 @@ mod tests {
             2,
             3,
             1,
-            Some(40),
-            true,
+            &QuickBenchOptions {
+                large_size: Some(40),
+                compose: true,
+                ..QuickBenchOptions::default()
+            },
         );
         let json = both.to_json();
         assert!(json.contains("\"large\"") && json.contains("\"composition\""));
@@ -814,6 +1033,142 @@ mod tests {
     }
 
     #[test]
+    fn quick_bench_defense_stage_runs_and_serializes() {
+        let bench = quick_bench(
+            &WorldConfig {
+                size: 40,
+                ..WorldConfig::default()
+            },
+            2,
+            3,
+            1,
+            &QuickBenchOptions {
+                compose: true,
+                defend: Some(DefensePolicy::default_set(STAGE_K)),
+                ..QuickBenchOptions::default()
+            },
+        );
+        let defense = bench
+            .composition_defense
+            .as_ref()
+            .expect("defense stage requested");
+        assert_eq!(defense.k, STAGE_K);
+        // 3 policies x R = 1..=3.
+        assert_eq!(defense.rows.len(), 9);
+        let policies: std::collections::BTreeSet<&str> =
+            defense.rows.iter().map(|r| r.policy.as_str()).collect();
+        assert_eq!(policies.len(), 3);
+        assert!(policies.contains("coordinated_seeds"));
+        let coordinated: Vec<_> = defense
+            .rows
+            .iter()
+            .filter(|r| r.policy == "coordinated_seeds")
+            .collect();
+        for row in &defense.rows {
+            if row.releases == 1 {
+                // No composition yet: the residual is exactly the
+                // (negated) price of the wider publish.
+                assert_eq!(row.residual_gain, -row.utility_cost, "{row:?}");
+            }
+            if row.policy == "coordinated_seeds" {
+                // Identical core classes in every release: composition
+                // adds nothing, the residual stays flat in R.
+                assert_eq!(row.residual_gain, coordinated[0].residual_gain, "{row:?}");
+            }
+            if row.policy.starts_with("calibrated_widen") {
+                assert!(row.mean_candidates >= STAGE_K as f64, "{row:?}");
+            }
+        }
+        assert!(bench.stages.iter().any(|s| s.name == "composition_defense"));
+        let json = bench.to_json();
+        assert!(json.contains("\"composition_defense\""));
+        assert!(json.contains("\"residual_gain\""));
+        assert!(json.contains("\"utility_cost\""));
+        assert!(json.trim_end().ends_with('}'));
+        assert!(bench.to_ascii().contains("defenses"));
+        // Without --compose the defend request is ignored.
+        let without = quick_bench(
+            &WorldConfig {
+                size: 30,
+                ..WorldConfig::default()
+            },
+            2,
+            3,
+            1,
+            &QuickBenchOptions {
+                defend: Some(DefensePolicy::default_set(STAGE_K)),
+                ..QuickBenchOptions::default()
+            },
+        );
+        assert!(without.composition_defense.is_none());
+        assert!(!without.to_json().contains("composition_defense"));
+    }
+
+    #[test]
+    fn sampled_reference_stage_records_sample_rows() {
+        // 30-row large world: the sample covers every row, so the stage
+        // is the full reference in miniature; the stage's `rows` records
+        // the sample size either way.
+        let bench = quick_bench(
+            &WorldConfig {
+                size: 30,
+                ..WorldConfig::default()
+            },
+            2,
+            3,
+            1,
+            &QuickBenchOptions {
+                large_size: Some(30),
+                ..QuickBenchOptions::default()
+            },
+        );
+        let large = bench.large.as_ref().expect("large stage requested");
+        let stage = large
+            .stages
+            .iter()
+            .find(|s| s.name == "harvest_sequential_large")
+            .expect("reference stage present");
+        assert_eq!(stage.rows, 30.min(REFERENCE_SAMPLE_ROWS));
+        // The exhaustive variant keeps the sampled stage and adds the
+        // full-table reference as its own stage.
+        let exhaustive = quick_bench(
+            &WorldConfig {
+                size: 30,
+                ..WorldConfig::default()
+            },
+            2,
+            3,
+            1,
+            &QuickBenchOptions {
+                large_size: Some(30),
+                exhaustive: true,
+                ..QuickBenchOptions::default()
+            },
+        );
+        let large = exhaustive.large.as_ref().expect("large stage requested");
+        let stage = large
+            .stages
+            .iter()
+            .find(|s| s.name == "harvest_sequential_large")
+            .expect("sampled reference stage always present");
+        assert_eq!(stage.rows, 30.min(REFERENCE_SAMPLE_ROWS));
+        let full = large
+            .stages
+            .iter()
+            .find(|s| s.name == "harvest_exhaustive_large")
+            .expect("exhaustive stage added on top");
+        assert_eq!(full.rows, 30);
+        // The default mode never records the exhaustive stage.
+        assert!(!bench
+            .large
+            .as_ref()
+            .unwrap()
+            .stages
+            .iter()
+            .any(|s| s.name == "harvest_exhaustive_large"));
+    }
+
+    #[test]
     fn infeasible_large_world_skips_composition_stage() {
         // 8 rows at overlap 0.5 leaves a 4-row core — below STAGE_K, so
         // the composition stage must be skipped, not panic.
@@ -825,8 +1180,11 @@ mod tests {
             2,
             3,
             1,
-            Some(8),
-            true,
+            &QuickBenchOptions {
+                large_size: Some(8),
+                compose: true,
+                ..QuickBenchOptions::default()
+            },
         );
         let large = bench.large.as_ref().expect("large stage requested");
         assert!(large.composition.is_none());

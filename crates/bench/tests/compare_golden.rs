@@ -1,0 +1,139 @@
+//! Golden-file tests for the perf-smoke gate: two committed
+//! `BENCH_sweep.json` snapshots — one clean, one poisoned with a NaN
+//! composition row and a missing `composition_defense` block — pin
+//! [`fred_bench::compare`] end to end against the *written* baseline
+//! format, not just against JSON the tests synthesize themselves. The
+//! parser has twice grown silent-skip bugs against real files (PR 4);
+//! these fixtures make every documented fire/stay-silent decision a
+//! committed artifact.
+
+use fred_bench::compare::{compare_baselines, parse_baseline};
+
+const CLEAN: &str = include_str!("fixtures/bench_clean.json");
+const POISONED: &str = include_str!("fixtures/bench_poisoned.json");
+
+#[test]
+fn clean_fixture_parses_every_documented_block() {
+    let b = parse_baseline(CLEAN);
+    // Stages from both worlds share one namespace; the defense stage is
+    // a first-class timed stage.
+    for stage in [
+        "world_build",
+        "mdav_k5",
+        "composition_sweep",
+        "composition_defense",
+        "world_build_large",
+        "harvest_sequential_large",
+        "composition_large",
+    ] {
+        assert!(
+            b.stage_wall_ms.contains_key(stage),
+            "stage `{stage}` missing from the parsed clean fixture"
+        );
+    }
+    assert_eq!(b.cores, Some(1));
+    assert_eq!(b.large_cores, Some(1));
+    assert_eq!(b.speedup_batch_vs_naive, Some(5.38));
+    // The sampled reference records its sample size, not the world size.
+    assert_eq!(
+        b.stage_wall_ms.get("harvest_sequential_large"),
+        Some(&92.126)
+    );
+    // Both composition series, attributed to their own blocks.
+    let releases = |rows: &[(usize, f64, f64)]| rows.iter().map(|r| r.0).collect::<Vec<_>>();
+    assert_eq!(releases(&b.composition), vec![1, 2, 3]);
+    assert_eq!(releases(&b.composition_large), vec![1, 2, 3]);
+    assert_eq!(b.composition[2], (3, 8377.8, 1.88));
+    assert_eq!(b.composition_large[2], (3, 2306.2, 1.50));
+    // The defense block: nine rows (three policies x three Rs), its own k.
+    assert_eq!(b.defense_k, Some(5));
+    assert_eq!(b.composition_defense.len(), 9);
+    let coordinated: Vec<_> = b
+        .composition_defense
+        .iter()
+        .filter(|r| r.policy == "coordinated_seeds")
+        .collect();
+    assert_eq!(coordinated.len(), 3);
+    assert_eq!(coordinated[2].releases, 3);
+    assert_eq!(coordinated[2].residual_gain, -4148.1);
+    assert_eq!(coordinated[2].undefended_gain, 8377.8);
+    let widen: Vec<_> = b
+        .composition_defense
+        .iter()
+        .filter(|r| r.policy == "calibrated_widen_k5")
+        .collect();
+    assert_eq!(widen.len(), 3);
+    assert!(widen.iter().all(|r| r.mean_candidates >= 5.0));
+    assert!(b.malformed_rows.is_empty(), "{:?}", b.malformed_rows);
+}
+
+#[test]
+fn clean_self_diff_stays_silent_and_notes_every_series() {
+    let report = compare_baselines(CLEAN, CLEAN);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    for expected in [
+        "speedup_batch_vs_naive",
+        "composition disclosure gain at R=3",
+        "composition_large disclosure gain at R=3",
+        "defense `coordinated_seeds`",
+        "defense `overlap_cap_0.90`",
+        "defense `calibrated_widen_k5`",
+    ] {
+        assert!(
+            report.notes.iter().any(|n| n.contains(expected)),
+            "no note mentioning {expected:?} in {:?}",
+            report.notes
+        );
+    }
+}
+
+#[test]
+fn poisoned_fresh_run_fires_exactly_the_documented_gates() {
+    let b = parse_baseline(POISONED);
+    // The NaN row must surface as malformed, not silently drop.
+    assert_eq!(b.malformed_rows.len(), 1, "{:?}", b.malformed_rows);
+    assert!(b.malformed_rows[0].contains("NaN"));
+    // The defense block is gone entirely.
+    assert!(b.composition_defense.is_empty());
+    assert_eq!(b.defense_k, None);
+
+    let report = compare_baselines(CLEAN, POISONED);
+    // Exactly three findings: the timed stage vanished, the defense
+    // series vanished, and the NaN row. The NaN-adjacent composition
+    // series itself (rows 1 and 3 still parse, still increasing) must
+    // NOT additionally trip the monotonicity gate.
+    assert_eq!(report.violations.len(), 3, "{:?}", report.violations);
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.contains("stage `composition_defense` disappeared")));
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.contains("composition_defense stage disappeared")));
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.contains("non-finite or unparseable") && v.contains("NaN")));
+    assert!(!report
+        .violations
+        .iter()
+        .any(|v| v.contains("not strictly increasing")));
+}
+
+#[test]
+fn poisoned_committed_baseline_refuses_to_gate() {
+    // A corrupt committed baseline must not silently disarm its own
+    // gates: the NaN row is a violation in itself, prompting a
+    // regenerate, even when the fresh run is pristine.
+    let report = compare_baselines(POISONED, CLEAN);
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert!(report.violations[0].contains("committed baseline carries"));
+    // A fresh run *adding* the defense block on top of a committed
+    // baseline without one is growth, not a regression — nothing else
+    // fires.
+    assert!(!report
+        .violations
+        .iter()
+        .any(|v| v.contains("composition_defense")));
+}

@@ -109,6 +109,9 @@ pub struct CompositionOutcome {
     pub estimate_gain: f64,
     /// Fraction of targets with harvested auxiliary evidence.
     pub aux_coverage: f64,
+    /// Label of the [`crate::DefensePolicy`] the scenario was generated
+    /// under (`None` for the undefended attack).
+    pub defense: Option<String>,
 }
 
 /// Builds the fused pseudo-release: identifiers kept, each
@@ -345,6 +348,7 @@ pub fn compose_attack(
         disclosure_gain,
         estimate_gain: baseline.dissim - composed.dissim,
         aux_coverage: harvest.coverage(),
+        defense: scenario_config.defense.as_ref().map(|d| d.label()),
     })
 }
 

@@ -64,6 +64,25 @@ struct SourceDigest {
     class_cons: Vec<Vec<CellCon>>,
 }
 
+/// One source's candidate geometry, derived from the partition alone:
+/// `class_of_master[g]` is the class index of master row `g`
+/// (`u32::MAX` when absent from the source) and the per-class bitsets
+/// cover master rows. Shared by the digest below and the defense
+/// calibration loop, so the bitset encoding (word indexing, sentinel)
+/// lives in exactly one place.
+pub(crate) fn master_class_bits(source: &Source, n_master: usize) -> (Vec<u32>, Vec<Vec<u64>>) {
+    let class_of_local = source.partition.class_of_rows();
+    let words = n_master.div_ceil(64);
+    let mut class_bits = vec![vec![0u64; words]; source.partition.len()];
+    let mut class_of_master = vec![u32::MAX; n_master];
+    for (local, &g) in source.global_rows.iter().enumerate() {
+        let class = class_of_local[local];
+        class_bits[class][g >> 6] |= 1u64 << (g & 63);
+        class_of_master[g] = class as u32;
+    }
+    (class_of_master, class_bits)
+}
+
 fn digest_source(
     source: &Source,
     n_master: usize,
@@ -71,15 +90,8 @@ fn digest_source(
     chunk_rows: usize,
 ) -> Result<SourceDigest> {
     let class_of_local = source.partition.class_of_rows();
-    let words = n_master.div_ceil(64);
     let n_classes = source.partition.len();
-    let mut class_bits = vec![vec![0u64; words]; n_classes];
-    let mut class_of_master = vec![u32::MAX; n_master];
-    for (local, &g) in source.global_rows.iter().enumerate() {
-        let class = class_of_local[local];
-        class_bits[class][g >> 6] |= 1u64 << (g & 63);
-        class_of_master[g] = class as u32;
-    }
+    let (class_of_master, class_bits) = master_class_bits(source, n_master);
     // Stream the release chunk by chunk; the first row of each class
     // carries the whole class's published summary.
     let mut class_cons: Vec<Vec<CellCon>> = vec![Vec::new(); n_classes];
@@ -301,6 +313,48 @@ pub fn intersect_releases(
         .collect())
 }
 
+/// Per-target effective anonymity `|∩ classes|` alone — the number the
+/// [`crate::DefensePolicy::CalibratedWiden`] calibration loop measures
+/// after every widening round. Runs the same streamed digests as the
+/// full engine but skips all box arithmetic; index-aligned with
+/// `targets`, `0` for a target no source contains. Like the full
+/// engines, the result is invariant in `chunk_rows`.
+pub fn candidate_counts(
+    sources: &[Source],
+    targets: &[usize],
+    n_master: usize,
+    chunk_rows: usize,
+) -> Result<Vec<usize>> {
+    let (digests, _) = digests_for(sources, n_master, chunk_rows)?;
+    let words = n_master.div_ceil(64);
+    let mut bits = vec![0u64; words];
+    Ok(targets
+        .iter()
+        .map(|&target| {
+            let mut seen = 0usize;
+            for digest in &digests {
+                let class = digest.class_of_master[target];
+                if class == u32::MAX {
+                    continue;
+                }
+                if seen == 0 {
+                    bits.copy_from_slice(&digest.class_bits[class as usize]);
+                } else {
+                    for (w, &src) in bits.iter_mut().zip(&digest.class_bits[class as usize]) {
+                        *w &= src;
+                    }
+                }
+                seen += 1;
+            }
+            if seen == 0 {
+                0
+            } else {
+                bits.iter().map(|w| w.count_ones() as usize).sum()
+            }
+        })
+        .collect())
+}
+
 /// The plain one-target-at-a-time reference: same digests, fresh bitset
 /// per target, no worker threads. Kept public for equivalence property
 /// tests.
@@ -478,6 +532,24 @@ mod tests {
             let other =
                 intersect_releases(&s.sources, &s.targets, table.len(), chunk_rows).unwrap();
             assert_eq!(other, baseline, "chunk_rows={chunk_rows}");
+        }
+    }
+
+    #[test]
+    fn candidate_counts_match_the_full_engine() {
+        let (table, s) = scenario(70, 3, 4);
+        let counts = candidate_counts(&s.sources, &s.targets, table.len(), 16).unwrap();
+        let full = intersect_releases(&s.sources, &s.targets, table.len(), 16).unwrap();
+        assert_eq!(counts.len(), full.len());
+        for (c, inter) in counts.iter().zip(&full) {
+            assert_eq!(*c, inter.candidates());
+        }
+        // Chunking cannot change the counts.
+        for chunk_rows in [1usize, 13, 1024] {
+            assert_eq!(
+                candidate_counts(&s.sources, &s.targets, table.len(), chunk_rows).unwrap(),
+                counts
+            );
         }
     }
 

@@ -20,7 +20,12 @@
 //!   yielding a [`CompositionOutcome`] with per-record disclosure gain;
 //! * [`sweep`] — [`composition_sweep`]: `ks × releases` at a fixed
 //!   overlap, the subsystem's evaluation axis (wired into
-//!   `repro --compose`).
+//!   `repro --compose`);
+//! * [`defense`] — the countermeasure axis: [`DefensePolicy`]
+//!   (coordinated core partitions, capped source overlap, widening
+//!   calibrated against the composed intersection), threaded through the
+//!   scenario generator and swept side by side with the attack by
+//!   [`defense_sweep`] (`repro --compose --defend`).
 //!
 //! ## Example
 //!
@@ -54,18 +59,23 @@
 
 #![warn(missing_docs)]
 
+pub mod defense;
 pub mod error;
 pub mod fuse;
 pub mod intersect;
 pub mod scenario;
 pub mod sweep;
 
+pub use defense::DefensePolicy;
 pub use error::{CompositionError, Result};
 pub use fuse::{
     compose_attack, fused_table, CompositionConfig, CompositionOutcome, CompositionRecord,
 };
-pub use intersect::{intersect_releases, intersect_releases_sequential, TargetIntersection};
+pub use intersect::{
+    candidate_counts, intersect_releases, intersect_releases_sequential, TargetIntersection,
+};
 pub use scenario::{core_targets, generate_scenario, CompositionScenario, ScenarioConfig, Source};
 pub use sweep::{
-    composition_sweep, CompositionSweepConfig, CompositionSweepReport, CompositionSweepRow,
+    composition_sweep, defense_sweep, CompositionSweepConfig, CompositionSweepReport,
+    CompositionSweepRow, DefenseSweepReport, DefenseSweepRow,
 };

@@ -14,6 +14,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
+use crate::defense::{self, DefensePolicy};
 use crate::error::{CompositionError, Result};
 
 /// Configuration of a multi-release scenario.
@@ -39,6 +40,9 @@ pub struct ScenarioConfig {
     /// sources than entries. Defaults to ranges everywhere (the paper's
     /// Table III presentation).
     pub styles: Vec<QiStyle>,
+    /// Coordination defense the curators deploy against composition
+    /// (`None` = the undefended scenario the attack sweeps measure).
+    pub defense: Option<DefensePolicy>,
 }
 
 impl Default for ScenarioConfig {
@@ -50,6 +54,7 @@ impl Default for ScenarioConfig {
             k: 5,
             seed: 0xC0DE,
             styles: vec![QiStyle::Range],
+            defense: None,
         }
     }
 }
@@ -83,8 +88,9 @@ pub struct CompositionScenario {
     pub sources: Vec<Source>,
 }
 
-/// Seeded Fisher-Yates shuffle.
-fn shuffle(rows: &mut [usize], rng: &mut StdRng) {
+/// Seeded Fisher-Yates shuffle (also used by the defense's capped
+/// extras construction, so the two stay bit-identical by construction).
+pub(crate) fn shuffle(rows: &mut [usize], rng: &mut StdRng) {
     for i in (1..rows.len()).rev() {
         let j = rng.gen_range(0..=i);
         rows.swap(i, j);
@@ -125,6 +131,9 @@ fn split(n: usize, config: &ScenarioConfig) -> Result<(Vec<usize>, Vec<usize>)> 
             k = config.k
         )));
     }
+    if let Some(defense) = &config.defense {
+        defense.validate(core_size)?;
+    }
     let mut order: Vec<usize> = (0..n).collect();
     let mut rng = StdRng::seed_from_u64(config.seed);
     shuffle(&mut order, &mut rng);
@@ -158,6 +167,17 @@ pub fn core_targets(n: usize, config: &ScenarioConfig) -> Result<Vec<usize>> {
 /// per-source MDAV run, the dominant cost at enterprise scale — fans out
 /// across the worker pool. Results are collected in source order, so the
 /// scenario is bit-identical regardless of thread count.
+///
+/// When [`ScenarioConfig::defense`] is set, the curators coordinate:
+/// [`DefensePolicy::OverlapCap`] replaces the independent extras samples
+/// with a capped shared pool, [`DefensePolicy::CoordinatedSeeds`]
+/// replaces the per-source core clustering with one shared core
+/// partition (each curator still anonymizes its extras alone, and drops
+/// them entirely when it holds fewer than `k`), and
+/// [`DefensePolicy::CalibratedWiden`] post-processes the generated
+/// partitions until the streamed intersection keeps every core target at
+/// `target_k` candidates. The target core — and therefore the harvest —
+/// is identical to the undefended scenario's by construction.
 pub fn generate_scenario(
     table: &Table,
     anonymizer: &dyn Anonymizer,
@@ -169,7 +189,40 @@ pub fn generate_scenario(
     let mut targets: Vec<usize> = core.clone();
     targets.sort_unstable();
 
-    let sources: Vec<Source> = (0..config.releases)
+    // OverlapCap pre-computes every source's extras from one capped
+    // shared pool; the other paths sample per source below.
+    let capped_extras: Option<Vec<Vec<usize>>> = match &config.defense {
+        Some(DefensePolicy::OverlapCap {
+            max_shared_fraction,
+        }) => Some(defense::overlap_cap_extras(
+            &rest,
+            extras_per_source,
+            *max_shared_fraction,
+            config.releases,
+            config.seed,
+        )),
+        _ => None,
+    };
+    // CoordinatedSeeds partitions the shared core exactly once (the
+    // "shared partition seed"); classes are kept in master-row ids and
+    // mapped into each source's local rows.
+    let coordinated_core: Option<Vec<Vec<usize>>> = match &config.defense {
+        Some(DefensePolicy::CoordinatedSeeds) => {
+            let core_rows: Vec<_> = core.iter().map(|&r| table.rows()[r].clone()).collect();
+            let core_table = Table::with_rows(table.schema().clone(), core_rows)?;
+            let partition = anonymizer.partition(&core_table, config.k)?;
+            Some(
+                partition
+                    .classes()
+                    .iter()
+                    .map(|class| class.iter().map(|&i| core[i]).collect())
+                    .collect(),
+            )
+        }
+        _ => None,
+    };
+
+    let mut sources: Vec<Source> = (0..config.releases)
         .into_par_iter()
         .map(|s| -> Result<Source> {
             // `s + 1`: with a bare `s` the first source's stream would
@@ -178,17 +231,38 @@ pub fn generate_scenario(
             let mut source_rng = StdRng::seed_from_u64(
                 config.seed ^ (s as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             );
-            let mut pool: Vec<usize> = rest.to_vec();
-            shuffle(&mut pool, &mut source_rng);
+            let mut extras: Vec<usize> = match &capped_extras {
+                Some(per_source) => per_source[s].clone(),
+                None => {
+                    let mut pool: Vec<usize> = rest.to_vec();
+                    shuffle(&mut pool, &mut source_rng);
+                    pool.truncate(extras_per_source);
+                    pool
+                }
+            };
+            if coordinated_core.is_some() && extras.len() < config.k {
+                // A coordinating curator anonymizes its extras on its
+                // own; too few to protect means none get published.
+                extras.clear();
+            }
             let mut rows: Vec<usize> = core.to_vec();
-            rows.extend(pool.into_iter().take(extras_per_source));
+            rows.extend(extras);
             shuffle(&mut rows, &mut source_rng);
             let sub_rows = rows
                 .iter()
                 .map(|&r| table.rows()[r].clone())
                 .collect::<Vec<_>>();
             let sub_table = Table::with_rows(table.schema().clone(), sub_rows)?;
-            let partition = anonymizer.partition(&sub_table, config.k)?;
+            let partition = match &coordinated_core {
+                Some(core_classes) => defense::coordinated_partition(
+                    core_classes,
+                    &rows,
+                    &sub_table,
+                    anonymizer,
+                    config.k,
+                )?,
+                None => anonymizer.partition(&sub_table, config.k)?,
+            };
             Ok(Source {
                 global_rows: rows,
                 table: sub_table,
@@ -198,6 +272,9 @@ pub fn generate_scenario(
             })
         })
         .collect::<Result<Vec<_>>>()?;
+    if let Some(DefensePolicy::CalibratedWiden { target_k }) = config.defense {
+        defense::calibrate_widen(&mut sources, &targets, table.len(), target_k)?;
+    }
     Ok(CompositionScenario { targets, sources })
 }
 
@@ -304,6 +381,170 @@ mod tests {
             .collect();
         assert_eq!(targets[0], targets[1]);
         assert_eq!(targets[1], targets[2]);
+    }
+
+    #[test]
+    fn coordinated_seeds_share_one_core_partition() {
+        let table = master(60);
+        let config = ScenarioConfig {
+            releases: 3,
+            k: 3,
+            defense: Some(DefensePolicy::CoordinatedSeeds),
+            ..ScenarioConfig::default()
+        };
+        let scenario = generate_scenario(&table, &Mdav::new(), &config).unwrap();
+        // Every source's core classes, mapped back to master rows, are
+        // the same family of sets.
+        let core_classes_of = |s: &Source| -> std::collections::BTreeSet<Vec<usize>> {
+            s.partition
+                .classes()
+                .iter()
+                .filter(|class| {
+                    class
+                        .iter()
+                        .all(|&l| scenario.targets.contains(&s.global_rows[l]))
+                })
+                .map(|class| {
+                    let mut global: Vec<usize> = class.iter().map(|&l| s.global_rows[l]).collect();
+                    global.sort_unstable();
+                    global
+                })
+                .collect()
+        };
+        let first = core_classes_of(&scenario.sources[0]);
+        assert!(!first.is_empty());
+        for source in &scenario.sources {
+            assert!(source.partition.satisfies_k(3));
+            assert_eq!(core_classes_of(source), first);
+            // No class mixes core and extras rows.
+            for class in source.partition.classes() {
+                let in_core = class
+                    .iter()
+                    .filter(|&&l| scenario.targets.contains(&source.global_rows[l]))
+                    .count();
+                assert!(in_core == 0 || in_core == class.len());
+            }
+        }
+        // The undefended target core is preserved.
+        let undefended = generate_scenario(
+            &table,
+            &Mdav::new(),
+            &ScenarioConfig {
+                defense: None,
+                ..config.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(scenario.targets, undefended.targets);
+    }
+
+    #[test]
+    fn overlap_cap_zero_makes_sources_disjoint_outside_the_core() {
+        let table = master(80);
+        let config = ScenarioConfig {
+            releases: 3,
+            overlap: 0.4,
+            k: 4,
+            defense: Some(DefensePolicy::OverlapCap {
+                max_shared_fraction: 0.0,
+            }),
+            ..ScenarioConfig::default()
+        };
+        let scenario = generate_scenario(&table, &Mdav::new(), &config).unwrap();
+        let extras_of = |s: &Source| -> std::collections::BTreeSet<usize> {
+            s.global_rows
+                .iter()
+                .copied()
+                .filter(|g| !scenario.targets.contains(g))
+                .collect()
+        };
+        for (i, a) in scenario.sources.iter().enumerate() {
+            assert!(a.partition.satisfies_k(4));
+            for b in scenario.sources.iter().skip(i + 1) {
+                assert!(
+                    extras_of(a).intersection(&extras_of(b)).next().is_none(),
+                    "sources {i} share non-core rows under a zero cap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn calibrated_widen_holds_the_candidate_floor() {
+        let table = master(60);
+        let target_k = 4;
+        let config = ScenarioConfig {
+            releases: 3,
+            k: 4,
+            defense: Some(DefensePolicy::CalibratedWiden { target_k }),
+            ..ScenarioConfig::default()
+        };
+        let scenario = generate_scenario(&table, &Mdav::new(), &config).unwrap();
+        let counts = crate::intersect::candidate_counts(
+            &scenario.sources,
+            &scenario.targets,
+            table.len(),
+            64,
+        )
+        .unwrap();
+        assert!(counts.iter().all(|&c| c >= target_k), "{counts:?}");
+        for source in &scenario.sources {
+            assert!(
+                source.partition.satisfies_k(4),
+                "widening broke k-anonymity"
+            );
+        }
+    }
+
+    #[test]
+    fn calibrated_widen_handles_a_lone_release_with_a_higher_floor() {
+        // Regression: with a single release (or a target present in one
+        // source only) there is no other source to AND the unblock scan
+        // against, and the all-ones scratch used to leak ghost rows past
+        // the table — an out-of-bounds panic. A floor above k forces the
+        // calibration to actually widen at R = 1.
+        let table = master(60);
+        let target_k = 5;
+        let config = ScenarioConfig {
+            releases: 1,
+            k: 2,
+            defense: Some(DefensePolicy::CalibratedWiden { target_k }),
+            ..ScenarioConfig::default()
+        };
+        let scenario = generate_scenario(&table, &Mdav::new(), &config).unwrap();
+        let counts = crate::intersect::candidate_counts(
+            &scenario.sources,
+            &scenario.targets,
+            table.len(),
+            64,
+        )
+        .unwrap();
+        assert!(counts.iter().all(|&c| c >= target_k), "{counts:?}");
+        assert!(scenario.sources[0].partition.satisfies_k(2));
+    }
+
+    #[test]
+    fn invalid_defense_configs_rejected() {
+        let table = master(40);
+        for defense in [
+            DefensePolicy::OverlapCap {
+                max_shared_fraction: -0.1,
+            },
+            DefensePolicy::CalibratedWiden { target_k: 0 },
+            DefensePolicy::CalibratedWiden { target_k: 1000 },
+        ] {
+            let config = ScenarioConfig {
+                defense: Some(defense),
+                ..ScenarioConfig::default()
+            };
+            assert!(
+                matches!(
+                    generate_scenario(&table, &Mdav::new(), &config),
+                    Err(CompositionError::InvalidConfig(_))
+                ),
+                "{config:?}"
+            );
+        }
     }
 
     #[test]

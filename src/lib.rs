@@ -36,8 +36,8 @@ pub use fred_web as web;
 /// Everything a typical user needs, one `use` away.
 pub mod prelude {
     pub use fred_composition::{
-        compose_attack, composition_sweep, CompositionConfig, CompositionSweepConfig,
-        ScenarioConfig,
+        compose_attack, composition_sweep, defense_sweep, CompositionConfig,
+        CompositionSweepConfig, DefensePolicy, ScenarioConfig,
     };
     pub use fred_core::prelude::*;
 }

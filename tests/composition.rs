@@ -5,10 +5,13 @@
 //! release collapses as releases accumulate — per-record disclosure gain
 //! grows with `R` at fixed `k`, candidate pools only shrink.
 
+use proptest::prelude::*;
+
 use fred_suite::anon::Mdav;
 use fred_suite::attack::{FusionSystem, FuzzyFusion, FuzzyFusionConfig, LinearFusion};
 use fred_suite::composition::{
-    compose_attack, composition_sweep, CompositionConfig, CompositionSweepConfig, ScenarioConfig,
+    candidate_counts, compose_attack, composition_sweep, defense_sweep, generate_scenario,
+    CompositionConfig, CompositionSweepConfig, DefensePolicy, ScenarioConfig,
 };
 use fred_suite::data::Table;
 use fred_suite::synth::{customer_table, generate_population, CustomerConfig, PopulationConfig};
@@ -233,4 +236,211 @@ fn deterministic_end_to_end() {
     let a = compose_attack(&table, &web, &Mdav::new(), &fusion, &config).unwrap();
     let b = compose_attack(&table, &web, &Mdav::new(), &fusion, &config).unwrap();
     assert_eq!(a, b);
+    assert_eq!(a.defense, None);
+}
+
+#[test]
+fn defended_attack_records_its_policy_and_composes_nothing_under_coordination() {
+    let (table, web) = world(60, 11);
+    let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+    let outcome = compose_attack(
+        &table,
+        &web,
+        &Mdav::new(),
+        &fusion,
+        &CompositionConfig {
+            scenario: ScenarioConfig {
+                releases: 3,
+                k: 4,
+                defense: Some(DefensePolicy::CoordinatedSeeds),
+                ..ScenarioConfig::default()
+            },
+            ..CompositionConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(outcome.defense.as_deref(), Some("coordinated_seeds"));
+    assert_eq!(outcome.disclosure_gain, 0.0);
+    assert!(outcome.mean_candidates >= 4.0);
+    for record in &outcome.records {
+        assert_eq!(record.feasible_income_width, record.baseline_income_width);
+        assert!(record.candidates >= 4);
+    }
+}
+
+#[test]
+fn defense_sweep_side_by_side_on_the_bench_shape() {
+    // The repro harness's defense stage in miniature: the default
+    // policy set against the undefended attack at one k. The bench
+    // world's gate (residual strictly below undefended at top R for
+    // every policy) is CI's contract; this asserts the shape plus the
+    // structurally-guaranteed rows.
+    let (table, web) = world(90, 2015);
+    let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+    let k = 5;
+    let report = defense_sweep(
+        &table,
+        &web,
+        &Mdav::new(),
+        &fusion,
+        &CompositionSweepConfig {
+            ks: vec![k],
+            releases: vec![1, 2, 3],
+            ..CompositionSweepConfig::default()
+        },
+        &DefensePolicy::default_set(k),
+    )
+    .unwrap();
+    assert_eq!(report.rows().len(), 9);
+    let coordinated = report.rows_for("coordinated_seeds");
+    assert!(coordinated
+        .iter()
+        .all(|r| r.residual_gain == coordinated[0].residual_gain));
+    for row in report.rows_for(&format!("calibrated_widen_k{k}")) {
+        assert!(row.mean_candidates >= k as f64, "{row:?}");
+        assert!(row.residual_gain <= row.undefended_gain + 1e-9, "{row:?}");
+    }
+}
+
+// The defense invariants, property-tested across random worlds, seeds
+// and release counts: coordination composes *exactly* zero extra
+// disclosure, a zero overlap cap leaves nothing shared outside the
+// core, and calibrated widening holds its candidate floor everywhere.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn coordinated_seeds_compose_exactly_zero_gain_at_every_release_count(
+        size in 40usize..100,
+        seed in 0u64..1_000,
+        k in 2usize..6,
+        releases in 2usize..5,
+    ) {
+        let people = generate_population(&PopulationConfig {
+            size,
+            web_presence_rate: 0.95,
+            seed,
+            ..PopulationConfig::default()
+        });
+        let table = customer_table(&people, &CustomerConfig::default());
+        let web = build_corpus(
+            &people,
+            &CorpusConfig {
+                noise: NameNoise::none(),
+                pages_per_person: (1, 2),
+                seed: seed ^ 0xBEEF,
+                ..CorpusConfig::default()
+            },
+        );
+        let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+        let report = composition_sweep(
+            &table,
+            &web,
+            &Mdav::new(),
+            &fusion,
+            &CompositionSweepConfig {
+                ks: vec![k],
+                releases: (1..=releases).collect(),
+                seed: seed ^ 0xD00F,
+                defense: Some(DefensePolicy::CoordinatedSeeds),
+                ..CompositionSweepConfig::default()
+            },
+        )
+        .unwrap();
+        for row in report.rows() {
+            // Exactly zero — not approximately: every release carries
+            // the identical core classes, so the composed feasible set
+            // is bitwise the single release's.
+            prop_assert_eq!(row.disclosure_gain, 0.0);
+            prop_assert!(row.mean_candidates >= k as f64);
+        }
+    }
+
+    #[test]
+    fn zero_overlap_cap_leaves_sources_disjoint_outside_the_core(
+        size in 30usize..120,
+        seed in 0u64..10_000,
+        k in 2usize..6,
+        releases in 2usize..5,
+        overlap_pct in 30usize..70,
+        extras_pct in 20usize..80,
+    ) {
+        let people = generate_population(&PopulationConfig {
+            size,
+            seed,
+            ..PopulationConfig::default()
+        });
+        let table = customer_table(&people, &CustomerConfig::default());
+        let config = ScenarioConfig {
+            releases,
+            overlap: overlap_pct as f64 / 100.0,
+            extras: extras_pct as f64 / 100.0,
+            k,
+            seed: seed ^ 0xCA9,
+            defense: Some(DefensePolicy::OverlapCap { max_shared_fraction: 0.0 }),
+            ..ScenarioConfig::default()
+        };
+        prop_assume!(((size as f64) * config.overlap).round() as usize >= k);
+        let scenario = generate_scenario(&table, &Mdav::new(), &config).unwrap();
+        let in_core = |g: usize| scenario.targets.binary_search(&g).is_ok();
+        for (i, a) in scenario.sources.iter().enumerate() {
+            prop_assert!(a.partition.satisfies_k(k));
+            let extras_a: std::collections::BTreeSet<usize> = a
+                .global_rows
+                .iter()
+                .copied()
+                .filter(|&g| !in_core(g))
+                .collect();
+            for (j, b) in scenario.sources.iter().enumerate().skip(i + 1) {
+                for g in &b.global_rows {
+                    prop_assert!(
+                        in_core(*g) || !extras_a.contains(g),
+                        "sources {} and {} share non-core row {}",
+                        i, j, g
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn calibrated_widening_holds_the_floor_for_every_target(
+        size in 40usize..110,
+        seed in 0u64..10_000,
+        k in 2usize..6,
+        releases in 2usize..5,
+        widen_extra in 0usize..4,
+    ) {
+        let people = generate_population(&PopulationConfig {
+            size,
+            seed,
+            ..PopulationConfig::default()
+        });
+        let table = customer_table(&people, &CustomerConfig::default());
+        let target_k = k + widen_extra;
+        let config = ScenarioConfig {
+            releases,
+            k,
+            seed: seed ^ 0x51DE,
+            defense: Some(DefensePolicy::CalibratedWiden { target_k }),
+            ..ScenarioConfig::default()
+        };
+        prop_assume!(
+            ((size as f64) * config.overlap).round() as usize >= k.max(target_k)
+        );
+        let scenario = generate_scenario(&table, &Mdav::new(), &config).unwrap();
+        let counts =
+            candidate_counts(&scenario.sources, &scenario.targets, size, 64).unwrap();
+        for (t, count) in scenario.targets.iter().zip(&counts) {
+            prop_assert!(
+                *count >= target_k,
+                "target {} kept only {} candidates (floor {})",
+                t, count, target_k
+            );
+        }
+        // Widening must never break what each curator promised alone.
+        for source in &scenario.sources {
+            prop_assert!(source.partition.satisfies_k(k));
+        }
+    }
 }

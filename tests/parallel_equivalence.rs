@@ -9,8 +9,9 @@ use proptest::prelude::*;
 
 use fred_suite::anon::{build_release, Anonymizer, Mdav, QiStyle, Release};
 use fred_suite::attack::{
-    harvest_auxiliary, harvest_auxiliary_sequential, FusionSystem, FuzzyFusion, FuzzyFusionConfig,
-    HarvestConfig, MidpointEstimator,
+    harvest_auxiliary, harvest_auxiliary_reference_sampled, harvest_auxiliary_sequential,
+    reference_sample_rows, FusionSystem, FuzzyFusion, FuzzyFusionConfig, HarvestConfig,
+    MidpointEstimator,
 };
 use fred_suite::core::{dissimilarity, information_gain, sweep, SweepConfig};
 use fred_suite::data::{Schema, Table, Value};
@@ -132,6 +133,61 @@ proptest! {
         let precision_reference =
             fred_suite::attack::harvest_precision(&sequential, &web, &ids).unwrap();
         prop_assert_eq!(precision_cached.to_bits(), precision_reference.to_bits());
+    }
+
+    #[test]
+    fn sampled_reference_equals_the_full_reference_on_its_rows(
+        size in 8usize..40,
+        seed in 0u64..1_000,
+        sample_rows in 1usize..48,
+        sample_seed in 0u64..1_000,
+        noisy in any::<bool>(),
+    ) {
+        // The sampled exhaustive reference carries the large bench's
+        // equality assert; this pins the carrier itself: whatever rows
+        // the seed picks, the sampled run must agree record-for-record
+        // and link-for-link with the full exhaustive reference — and
+        // therefore (by the reference-equivalence property above) with
+        // the parallel cached path the bench actually checks.
+        let people = generate_population(&PopulationConfig {
+            size,
+            web_presence_rate: 0.85,
+            seed,
+            ..PopulationConfig::default()
+        });
+        let table = customer_table(&people, &CustomerConfig::default());
+        let web = build_corpus(
+            &people,
+            &CorpusConfig {
+                noise: if noisy { NameNoise::default() } else { NameNoise::none() },
+                pages_per_person: (1, 3),
+                seed: seed ^ 0x5A5A,
+                ..CorpusConfig::default()
+            },
+        );
+        let release = table.suppress_sensitive();
+        let config = HarvestConfig::default();
+        let full = harvest_auxiliary_sequential(&release, &web, &config).unwrap();
+        let (rows, sampled) = harvest_auxiliary_reference_sampled(
+            &release, &web, &config, sample_rows, sample_seed,
+        )
+        .unwrap();
+        prop_assert_eq!(&rows, &reference_sample_rows(size, sample_rows, sample_seed));
+        prop_assert_eq!(rows.len(), sample_rows.min(size));
+        prop_assert!(rows.windows(2).all(|w| w[0] < w[1]), "distinct ascending rows");
+        prop_assert_eq!(sampled.records.len(), rows.len());
+        for (i, &row) in rows.iter().enumerate() {
+            prop_assert_eq!(&sampled.records[i], &full.records[row], "row {}", row);
+            prop_assert_eq!(&sampled.linked[i], &full.linked[row], "row {}", row);
+        }
+        // The parallel cached path agrees on the same rows, so the
+        // bench's sampled assert is as strong on those rows as the full
+        // one used to be.
+        let parallel = harvest_auxiliary(&release, &web, &config).unwrap();
+        for (i, &row) in rows.iter().enumerate() {
+            prop_assert_eq!(&sampled.records[i], &parallel.records[row], "row {}", row);
+            prop_assert_eq!(&sampled.linked[i], &parallel.linked[row], "row {}", row);
+        }
     }
 
     #[test]
