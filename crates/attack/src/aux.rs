@@ -8,11 +8,12 @@
 use std::collections::HashMap;
 
 use fred_data::Table;
+use fred_faults::{salt, Degradation, FaultPlan, InputDefect};
 use fred_linkage::{
     compare_prepared, AgreementCache, AgreementScratch, Decision, FellegiSunter, LinkKey,
     NameNormalizer, PreparedName, ScoreFloor,
 };
-use fred_web::{consolidate, extract, AuxRecord, SearchEngine};
+use fred_web::{consolidate, extract, extract_checked, AuxRecord, SearchEngine};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -284,6 +285,128 @@ fn harvest_one_name(
         .filter_map(|&p| engine.page(p).map(extract))
         .collect();
     (consolidate(&extractions), accepted, inspected)
+}
+
+/// [`harvest_one_name`] with *checked* extraction: identical search and
+/// classification, but pages whose template frame is damaged are skipped
+/// and counted in the returned [`Degradation`] instead of parsed as if
+/// intact. On a clean corpus the result is bit-identical to
+/// [`harvest_one_name`] with a clean report.
+fn harvest_one_name_tolerant(
+    name: &str,
+    engine: &SearchEngine,
+    config: &HarvestConfig,
+    ctx: &HarvestContext,
+    state: &mut LinkState,
+) -> (Option<AuxRecord>, Vec<usize>, usize, Degradation) {
+    let mut deg = Degradation::default();
+    if name.trim().is_empty() {
+        return (None, Vec::new(), 0, deg);
+    }
+    let hits = engine.search_topk_with(
+        name,
+        config.hits_per_name,
+        &mut state.search,
+        &mut state.terms,
+    );
+    let query = LinkKey::prepare(&ctx.normalizer, name);
+    let query_id = state.query_id(&query);
+    let (accepted, inspected) = classify_hits_cached(
+        &hits,
+        query_id,
+        &query,
+        engine,
+        config,
+        &ctx.page_name_ids,
+        &ctx.name_keys,
+        &ctx.floor,
+        &mut state.agreement,
+        &mut state.cmp,
+    );
+    let extractions: Vec<AuxRecord> = accepted
+        .iter()
+        .filter_map(|&p| {
+            let page = engine.page(p)?;
+            match extract_checked(page) {
+                Ok(record) => Some(record),
+                Err(defect) => {
+                    deg.record(defect);
+                    None
+                }
+            }
+        })
+        .collect();
+    (consolidate(&extractions), accepted, inspected, deg)
+}
+
+/// Fault-tolerant [`harvest_auxiliary`]: survives the dirty corpus and
+/// the injected faults of a [`FaultPlan`] with skip-and-count semantics
+/// instead of panicking, returning the harvest plus its [`Degradation`]
+/// report.
+///
+/// Three things differ from the strict path, each degrading one row at
+/// worst: an identifier row the plan drops harvests nothing
+/// (`rows_skipped`); a worker panic on a row — injected by the plan, or
+/// any real one — is contained by the pool's tolerant entry point and
+/// costs that row only (`workers_restarted`); and a linked page whose
+/// template frame is damaged is skipped and counted (`pages_rejected`)
+/// rather than parsed. Under a zero-rate plan on a clean corpus the
+/// result is bit-identical to [`harvest_auxiliary`] with a clean report
+/// (pinned by property test).
+///
+/// Callers expecting injected panics should wrap the call in
+/// [`rayon::silence_panics`] to keep recovered backtraces off stderr.
+pub fn harvest_auxiliary_tolerant(
+    release: &Table,
+    engine: &SearchEngine,
+    config: &HarvestConfig,
+    plan: &FaultPlan,
+) -> Result<(Harvest, Degradation)> {
+    let id_cols = release.identifier_columns();
+    if id_cols.is_empty() {
+        return Err(AttackError::NoIdentifiers);
+    }
+    let mut deg = Degradation::default();
+    let items: Vec<(usize, String)> = release
+        .identifier_strings()
+        .into_iter()
+        .enumerate()
+        .map(|(row, name)| {
+            if plan.decide(plan.row_drop, salt::HARVEST_ROW_DROP, row as u64) {
+                deg.record(InputDefect::MissingRow);
+                // A blanked identifier harvests nothing, exactly like a
+                // release row that never arrived.
+                (row, String::new())
+            } else {
+                (row, name)
+            }
+        })
+        .collect();
+    let ctx = HarvestContext::new(engine, true);
+    let (results, _caught) = rayon::map_catch_init(
+        items,
+        || LinkState::new(engine),
+        |state, (row, name)| {
+            if plan.decide(plan.worker_panic, salt::WORKER_PANIC, row as u64) {
+                panic!("injected worker fault at harvest row {row}");
+            }
+            harvest_one_name_tolerant(&name, engine, config, &ctx, state)
+        },
+    );
+    let mut per_name = Vec::with_capacity(results.len());
+    for slot in results {
+        match slot {
+            Some((record, accepted, inspected, name_deg)) => {
+                deg.merge(&name_deg);
+                per_name.push((record, accepted, inspected));
+            }
+            None => {
+                deg.record(InputDefect::WorkerPanic);
+                per_name.push((None, Vec::new(), 0));
+            }
+        }
+    }
+    Ok((assemble(per_name), deg))
 }
 
 /// Harvests auxiliary data for every identifier in the release.
@@ -616,6 +739,78 @@ mod tests {
             assert_eq!(sampled.records[i], full.records[row], "row {row}");
             assert_eq!(sampled.linked[i], full.linked[row], "row {row}");
         }
+    }
+
+    #[test]
+    fn tolerant_harvest_with_zero_rate_plan_is_bit_identical() {
+        let (_, table, engine) = world();
+        let release = table.suppress_sensitive();
+        let config = HarvestConfig::default();
+        let strict = harvest_auxiliary(&release, &engine, &config).unwrap();
+        let (tolerant, deg) =
+            harvest_auxiliary_tolerant(&release, &engine, &config, &FaultPlan::none()).unwrap();
+        assert_eq!(tolerant, strict);
+        assert!(deg.is_clean(), "{deg}");
+    }
+
+    #[test]
+    fn tolerant_harvest_contains_injected_worker_panics() {
+        let (_, table, engine) = world();
+        let release = table.suppress_sensitive();
+        let plan = FaultPlan {
+            worker_panic: 0.3,
+            ..FaultPlan::uniform(21, 0.0)
+        };
+        let (h, deg) = rayon::silence_panics(|| {
+            harvest_auxiliary_tolerant(&release, &engine, &HarvestConfig::default(), &plan)
+        })
+        .unwrap();
+        assert_eq!(h.records.len(), 50, "every row keeps its slot");
+        assert!(deg.workers_restarted > 0, "{deg}");
+        // A panicked row degrades to nothing-found, never poisons peers.
+        let found = h.records.iter().filter(|r| r.is_some()).count();
+        assert!(found > 0);
+        assert!(found + deg.workers_restarted <= 50);
+    }
+
+    #[test]
+    fn tolerant_harvest_skips_dropped_rows_and_counts_them() {
+        let (_, table, engine) = world();
+        let release = table.suppress_sensitive();
+        let plan = FaultPlan {
+            row_drop: 0.4,
+            ..FaultPlan::uniform(22, 0.0)
+        };
+        let (h, deg) =
+            harvest_auxiliary_tolerant(&release, &engine, &HarvestConfig::default(), &plan)
+                .unwrap();
+        assert_eq!(h.records.len(), 50);
+        assert!(deg.rows_skipped > 0, "{deg}");
+        let found = h.records.iter().filter(|r| r.is_some()).count();
+        assert!(found + deg.rows_skipped <= 50);
+        assert!(found > 0);
+    }
+
+    #[test]
+    fn tolerant_harvest_rejects_damaged_pages_and_is_deterministic() {
+        use fred_web::corrupt_pages;
+        let (_, table, engine) = world();
+        let release = table.suppress_sensitive();
+        let plan = FaultPlan::uniform(23, 0.25);
+        let (pages, _) = corrupt_pages(engine.pages().to_vec(), &plan);
+        let dirty = SearchEngine::build(pages);
+        let config = HarvestConfig::default();
+        let run = || {
+            rayon::silence_panics(|| harvest_auxiliary_tolerant(&release, &dirty, &config, &plan))
+                .unwrap()
+        };
+        let (a, deg_a) = run();
+        let (b, deg_b) = run();
+        assert_eq!(a, b, "same plan, same harvest");
+        assert_eq!(deg_a, deg_b);
+        assert!(deg_a.pages_rejected > 0, "{deg_a}");
+        // The pipeline still stands something up from the surviving pages.
+        assert!(a.coverage() > 0.0);
     }
 
     #[test]

@@ -44,8 +44,8 @@ pub mod fusion;
 pub use attack::{AttackOutcome, WebFusionAttack};
 pub use aux::{
     harvest_auxiliary, harvest_auxiliary_reference_sampled, harvest_auxiliary_sequential,
-    harvest_auxiliary_single_threaded, harvest_precision, reference_sample_rows, Harvest,
-    HarvestConfig,
+    harvest_auxiliary_single_threaded, harvest_auxiliary_tolerant, harvest_precision,
+    reference_sample_rows, Harvest, HarvestConfig,
 };
 pub use error::{AttackError, Result};
 pub use explain::{explain_attack, most_exposed, RecordExplanation};

@@ -16,6 +16,8 @@
 //!   repro --quick --compose --defend all  # + the composition_defense block
 //!   repro --quick --exhaustive  # + the full-table harvest reference next
 //!                               # to the seeded 512-row sample
+//!   repro --quick --faults 0.1  # + the fault-injection robustness sweep
+//!                               # (robustness block in BENCH_sweep.json)
 //!   repro --quick --out perf.json
 //!   repro --size 240 --seed 2008
 
@@ -38,6 +40,7 @@ fn main() {
     let mut want_compose = false;
     let mut want_quick = false;
     let mut want_exhaustive = false;
+    let mut faults: Option<f64> = None;
     let mut defend: Option<Vec<DefensePolicy>> = None;
     let mut out_given = false;
     let mut out_path = String::from("BENCH_sweep.json");
@@ -52,6 +55,17 @@ fn main() {
             "--compose" => want_compose = true,
             "--quick" => want_quick = true,
             "--exhaustive" => want_exhaustive = true,
+            "--faults" => {
+                i += 1;
+                let rate: f64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--faults needs a rate in 0.0..=1.0"));
+                if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                    usage("--faults needs a rate in 0.0..=1.0");
+                }
+                faults = Some(rate);
+            }
             "--defend" => {
                 i += 1;
                 let which = args
@@ -110,10 +124,16 @@ fn main() {
         }
         i += 1;
     }
-    if (out_given || compare_path.is_some() || large_size != DEFAULT_LARGE_SIZE || want_exhaustive)
+    if (out_given
+        || compare_path.is_some()
+        || large_size != DEFAULT_LARGE_SIZE
+        || want_exhaustive
+        || faults.is_some())
         && !want_quick
     {
-        usage("--out/--compare/--large-size/--exhaustive only apply together with --quick");
+        usage(
+            "--out/--compare/--large-size/--exhaustive/--faults only apply together with --quick",
+        );
     }
     if defend.is_some() && !want_compose {
         usage("--defend only applies together with --compose");
@@ -133,6 +153,7 @@ fn main() {
                 compose: want_compose,
                 defend,
                 exhaustive: want_exhaustive,
+                faults,
             },
         );
         return;
@@ -179,7 +200,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--tables] [--fig N]... [--ablations] [--compose] \
-         [--defend POLICY] [--quick] [--exhaustive] \
+         [--defend POLICY] [--quick] [--exhaustive] [--faults RATE] \
          [--out PATH] [--large-size N] [--compare BASELINE] [--size N] [--seed N]\n\
          regenerates the paper's tables (I-IV) and figures (4-8);\n\
          --compose runs the multi-release composition attack sweep\n\
@@ -194,6 +215,9 @@ fn usage(err: &str) -> ! {
          machine-readable perf baseline (default BENCH_sweep.json);\n\
          --exhaustive additionally runs the full-table harvest reference\n\
          (harvest_exhaustive_large) next to the seeded 512-row sample;\n\
+         --faults re-runs harvest + composition under seeded corruption at\n\
+         rates 0, RATE/2 and RATE through the fault-tolerant pipeline and\n\
+         records the gated robustness block in the baseline;\n\
          --compare gates the fresh run against a committed baseline and\n\
          exits non-zero on a perf regression"
     );

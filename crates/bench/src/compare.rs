@@ -41,7 +41,15 @@
 //! * every composition/defense row's numbers must be finite: a NaN gain
 //!   would not even parse out of the baseline and would otherwise sail
 //!   through the strict-monotonicity check (NaN comparisons are all
-//!   false), so an unparseable or non-finite row is itself a violation.
+//!   false), so an unparseable or non-finite row is itself a violation;
+//! * when the baseline carries a `robustness` block (`repro --quick
+//!   --faults <rate>`), the fresh run must carry it too, its zero-rate
+//!   row must have survived **zero** defects and match the committed
+//!   zero-rate row value-for-value (the fault-free path must stay an
+//!   exact passthrough of the strict pipeline), and each faulted row is
+//!   held to a committed envelope: harvest precision within
+//!   [`ROBUSTNESS_PRECISION_SLACK`] of the committed row at the same
+//!   rate, composition gain at least [`ROBUSTNESS_GAIN_FLOOR`] of it.
 
 use std::collections::BTreeMap;
 
@@ -67,9 +75,35 @@ pub const HARVEST_SPEEDUP_MIN_CORES: usize = 4;
 /// this floor.
 pub const STAGE_FLOOR_MS: f64 = 2.0;
 
+/// A faulted robustness row's harvest precision may fall at most this
+/// far below the committed row at the same fault rate (corruption is
+/// seeded, so rate-matched rows measure the same injected pattern).
+pub const ROBUSTNESS_PRECISION_SLACK: f64 = 0.25;
+
+/// A faulted robustness row's composition gain must keep at least this
+/// fraction of the committed gain at the same fault rate.
+pub const ROBUSTNESS_GAIN_FLOOR: f64 = 0.5;
+
 /// One composition-stage row: `(releases, disclosure_gain,
 /// mean_candidates)`.
 pub type CompositionRow = (usize, f64, f64);
+
+/// One robustness-stage row, as parsed from a `robustness` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessRow {
+    /// Injected per-fault corruption rate (`0.0` is the passthrough
+    /// reference row the bit-identity gate pins).
+    pub fault_rate: f64,
+    /// Harvest precision over the corrupted corpus.
+    pub harvest_precision: f64,
+    /// Harvest coverage over the corrupted corpus.
+    pub harvest_coverage: f64,
+    /// Composition disclosure gain under the same faults.
+    pub composition_gain: f64,
+    /// Total defects the tolerant pipeline survived (pages rejected +
+    /// rows skipped + fields imputed + workers restarted).
+    pub defects: usize,
+}
 
 /// One defense-stage row, as parsed from a `composition_defense` block.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,6 +148,8 @@ pub struct Baseline {
     /// `k` recorded in the `composition_defense` block, when present —
     /// the floor the `calibrated_widen_*` candidate gate checks against.
     pub defense_k: Option<usize>,
+    /// Robustness rows, ascending in fault rate, when present.
+    pub robustness: Vec<RobustnessRow>,
     /// Composition/defense row lines that carried an unparseable or
     /// non-finite value — each one is a gate violation when found in a
     /// fresh run.
@@ -205,6 +241,44 @@ pub fn parse_baseline(json: &str) -> Baseline {
             } else if in_large {
                 out.large_cores = Some(v as usize);
             }
+        }
+        if line.contains("\"fault_rate\":") {
+            let fields = (
+                num_field(line, "fault_rate"),
+                num_field(line, "harvest_precision"),
+                num_field(line, "harvest_coverage"),
+                num_field(line, "composition_gain"),
+                num_field(line, "pages_rejected"),
+                num_field(line, "rows_skipped"),
+                num_field(line, "fields_imputed"),
+                num_field(line, "workers_restarted"),
+            );
+            match fields {
+                (
+                    Some(rate),
+                    Some(prec),
+                    Some(cov),
+                    Some(gain),
+                    Some(pages),
+                    Some(rows),
+                    Some(cells),
+                    Some(workers),
+                ) if rate.is_finite()
+                    && prec.is_finite()
+                    && cov.is_finite()
+                    && gain.is_finite() =>
+                {
+                    out.robustness.push(RobustnessRow {
+                        fault_rate: rate,
+                        harvest_precision: prec,
+                        harvest_coverage: cov,
+                        composition_gain: gain,
+                        defects: (pages + rows + cells + workers) as usize,
+                    });
+                }
+                _ => out.malformed_rows.push(line.trim().to_owned()),
+            }
+            continue;
         }
         if line.contains("\"residual_gain\":") {
             let fields = (
@@ -421,6 +495,77 @@ pub fn compare_baselines(committed_json: &str, fresh_json: &str) -> CompareRepor
                      carries no k line to gate the candidate floor against"
                 )),
             }
+        }
+    }
+    // The robustness gates: graceful degradation is a committed
+    // property. The fault-free row is pinned exactly (it *is* the strict
+    // pipeline, so any drift there is a zero-fault behavior change, not
+    // noise), and faulted rows must stay inside the committed envelope —
+    // corruption is seeded, so rate-matched rows measure the identical
+    // injected pattern and legitimately differ only through code changes.
+    if !committed.robustness.is_empty() && fresh.robustness.is_empty() {
+        report
+            .violations
+            .push("robustness stage disappeared from the fresh baseline".into());
+    }
+    if !fresh.robustness.is_empty() {
+        match fresh.robustness.iter().find(|r| r.fault_rate == 0.0) {
+            None => report
+                .violations
+                .push("robustness block carries no zero-fault reference row".into()),
+            Some(zero) => {
+                if zero.defects != 0 {
+                    report.violations.push(format!(
+                        "zero-fault robustness row survived {} defect(s) — the fault-free \
+                         path must be an exact passthrough",
+                        zero.defects
+                    ));
+                }
+                if let Some(pinned) = committed.robustness.iter().find(|r| r.fault_rate == 0.0) {
+                    if zero != pinned {
+                        report.violations.push(format!(
+                            "zero-fault robustness row drifted from the committed baseline \
+                             (fault-free output must stay bit-identical): committed \
+                             {pinned:?}, fresh {zero:?}"
+                        ));
+                    }
+                }
+            }
+        }
+        for row in &fresh.robustness {
+            if row.fault_rate == 0.0 {
+                continue;
+            }
+            let Some(base) = committed
+                .robustness
+                .iter()
+                .find(|b| b.fault_rate == row.fault_rate)
+            else {
+                continue;
+            };
+            if row.harvest_precision + ROBUSTNESS_PRECISION_SLACK < base.harvest_precision {
+                report.violations.push(format!(
+                    "robustness harvest precision at fault rate {:.3} fell to {:.4} \
+                     (committed {:.4}, slack {ROBUSTNESS_PRECISION_SLACK})",
+                    row.fault_rate, row.harvest_precision, base.harvest_precision
+                ));
+            }
+            if base.composition_gain > 0.0
+                && row.composition_gain < base.composition_gain * ROBUSTNESS_GAIN_FLOOR
+            {
+                report.violations.push(format!(
+                    "robustness composition gain at fault rate {:.3} fell to {:.1} \
+                     (committed {:.1}, floor {ROBUSTNESS_GAIN_FLOOR} of it)",
+                    row.fault_rate, row.composition_gain, base.composition_gain
+                ));
+            }
+        }
+        if let Some(top) = fresh.robustness.last() {
+            report.notes.push(format!(
+                "robustness: precision {:.3}, gain {:.1} at fault rate {:.3} \
+                 ({} defects survived, zero panics)",
+                top.harvest_precision, top.composition_gain, top.fault_rate, top.defects
+            ));
         }
     }
     for line in &fresh.malformed_rows {
@@ -940,6 +1085,146 @@ mod tests {
                 .violations
                 .iter()
                 .any(|v| v.contains("committed baseline carries")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    /// A synthetic baseline with a `robustness` block whose rows are
+    /// caller-controlled `(fault_rate, precision, coverage, gain,
+    /// defects)`.
+    fn synthetic_robustness_json(rows: &[(f64, f64, f64, f64, usize)]) -> String {
+        let mut out = synthetic_json(100.0, 5.0);
+        out.truncate(out.rfind("\n}").expect("closing brace"));
+        out.push_str(
+            ",\n  \"robustness\": {\n    \"max_rate\": 0.100, \"seed\": 2015, \"wall_ms\": 50.000,\n    \"rows\": [\n",
+        );
+        for (i, (rate, prec, cov, gain, defects)) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{ \"fault_rate\": {rate:.3}, \"harvest_precision\": {prec:.4}, \"harvest_coverage\": {cov:.4}, \"composition_gain\": {gain:.1}, \"pages_rejected\": {defects}, \"rows_skipped\": 0, \"fields_imputed\": 0, \"workers_restarted\": 0 }}{}\n",
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("    ]\n  }\n}\n");
+        out
+    }
+
+    #[test]
+    fn robustness_rows_parse() {
+        let json =
+            synthetic_robustness_json(&[(0.0, 0.95, 0.9, 8000.0, 0), (0.1, 0.9, 0.7, 6000.0, 42)]);
+        let b = parse_baseline(&json);
+        assert_eq!(b.robustness.len(), 2);
+        assert_eq!(b.robustness[0].fault_rate, 0.0);
+        assert_eq!(b.robustness[0].defects, 0);
+        assert_eq!(b.robustness[1].harvest_precision, 0.9);
+        assert_eq!(b.robustness[1].defects, 42);
+        assert!(b.malformed_rows.is_empty());
+        // Robustness rows never leak into the composition series.
+        assert!(b.composition.is_empty());
+        let report = compare_baselines(&json, &json);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.notes.iter().any(|n| n.contains("robustness")));
+    }
+
+    #[test]
+    fn zero_fault_robustness_row_is_pinned_exactly() {
+        let committed =
+            synthetic_robustness_json(&[(0.0, 0.95, 0.9, 8000.0, 0), (0.1, 0.9, 0.7, 6000.0, 42)]);
+        // A dirty zero row fails even against itself.
+        let dirty = synthetic_robustness_json(&[(0.0, 0.95, 0.9, 8000.0, 3)]);
+        let report = compare_baselines(&committed, &dirty);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("exact passthrough")),
+            "{:?}",
+            report.violations
+        );
+        // A drifted (but clean) zero row fails the bit-identity pin.
+        let drifted =
+            synthetic_robustness_json(&[(0.0, 0.94, 0.9, 8000.0, 0), (0.1, 0.9, 0.7, 6000.0, 42)]);
+        let report = compare_baselines(&committed, &drifted);
+        assert!(
+            report.violations.iter().any(|v| v.contains("drifted")),
+            "{:?}",
+            report.violations
+        );
+        // A block with no zero row at all fails.
+        let no_zero = synthetic_robustness_json(&[(0.1, 0.9, 0.7, 6000.0, 42)]);
+        let report = compare_baselines(&committed, &no_zero);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("no zero-fault reference row")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn faulted_robustness_rows_gate_against_the_committed_envelope() {
+        let committed =
+            synthetic_robustness_json(&[(0.0, 0.95, 0.9, 8000.0, 0), (0.1, 0.9, 0.7, 6000.0, 42)]);
+        // Precision collapse at the same rate fails.
+        let collapsed =
+            synthetic_robustness_json(&[(0.0, 0.95, 0.9, 8000.0, 0), (0.1, 0.5, 0.7, 6000.0, 42)]);
+        let report = compare_baselines(&committed, &collapsed);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("harvest precision at fault rate")),
+            "{:?}",
+            report.violations
+        );
+        // Gain collapse below the committed floor fails.
+        let no_gain =
+            synthetic_robustness_json(&[(0.0, 0.95, 0.9, 8000.0, 0), (0.1, 0.9, 0.7, 1000.0, 42)]);
+        let report = compare_baselines(&committed, &no_gain);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("composition gain at fault rate")),
+            "{:?}",
+            report.violations
+        );
+        // Within-envelope degradation passes.
+        let fine =
+            synthetic_robustness_json(&[(0.0, 0.95, 0.9, 8000.0, 0), (0.1, 0.8, 0.6, 4000.0, 50)]);
+        let report = compare_baselines(&committed, &fine);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn missing_robustness_stage_fails_and_non_finite_rows_are_malformed() {
+        let committed = synthetic_robustness_json(&[(0.0, 0.95, 0.9, 8000.0, 0)]);
+        let fresh = synthetic_json(100.0, 5.0);
+        let report = compare_baselines(&committed, &fresh);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("robustness stage disappeared")),
+            "{:?}",
+            report.violations
+        );
+        // A newly appearing robustness block is fine.
+        let report = compare_baselines(&fresh, &committed);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        // A NaN metric drops the row into malformed_rows and gates.
+        let poisoned = synthetic_robustness_json(&[(0.1, f64::NAN, 0.7, 6000.0, 42)]);
+        let b = parse_baseline(&poisoned);
+        assert_eq!(b.malformed_rows.len(), 1, "{:?}", b.malformed_rows);
+        let report = compare_baselines(&committed, &poisoned);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("non-finite or unparseable")),
             "{:?}",
             report.violations
         );

@@ -15,10 +15,16 @@ use std::time::Instant;
 use fred_anon::{build_release, Anonymizer, Mdav, QiStyle, Release};
 use fred_attack::{
     harvest_auxiliary, harvest_auxiliary_reference_sampled, harvest_auxiliary_sequential,
-    FusionSystem, FuzzyFusion, FuzzyFusionConfig, Harvest, HarvestConfig, MidpointEstimator,
+    harvest_auxiliary_tolerant, harvest_precision, FusionSystem, FuzzyFusion, FuzzyFusionConfig,
+    Harvest, HarvestConfig, MidpointEstimator,
 };
-use fred_composition::{composition_sweep, defense_sweep, CompositionSweepConfig, DefensePolicy};
+use fred_composition::{
+    compose_attack, compose_attack_tolerant, composition_sweep, defense_sweep, CompositionConfig,
+    CompositionSweepConfig, DefensePolicy, ScenarioConfig,
+};
 use fred_core::{sweep, SweepConfig};
+use fred_faults::FaultPlan;
+use fred_web::{corrupt_pages, SearchEngine};
 
 use crate::world::{faculty_world, WorldConfig};
 
@@ -150,6 +156,45 @@ pub struct DefenseBench {
     pub rows: Vec<DefenseBenchRow>,
 }
 
+/// One fault-rate cell of the robustness sweep.
+#[derive(Debug, Clone)]
+pub struct RobustnessBenchRow {
+    /// Per-fault injection probability every [`FaultPlan`] knob was set
+    /// to for this cell (`0.0` is the passthrough reference row).
+    pub fault_rate: f64,
+    /// Harvest precision against ground truth over the corrupted corpus.
+    pub harvest_precision: f64,
+    /// Fraction of release rows with harvested auxiliary evidence.
+    pub harvest_coverage: f64,
+    /// Per-record composition disclosure gain under the same faults.
+    pub composition_gain: f64,
+    /// Damaged pages the tolerant extractors rejected.
+    pub pages_rejected: usize,
+    /// Release/harvest rows dropped by injection and skipped over.
+    pub rows_skipped: usize,
+    /// Corrupted cells imputed back to the uninformative prior.
+    pub fields_imputed: usize,
+    /// Worker panics contained by the fault-tolerant pool entry point.
+    pub workers_restarted: usize,
+}
+
+/// The `--faults` add-on: the harvest + composition attack re-run under
+/// seeded fault injection at increasing corruption rates, recording how
+/// gracefully the measured signal degrades.
+#[derive(Debug, Clone)]
+pub struct RobustnessBench {
+    /// The top corruption rate swept (the CLI's `--faults` argument).
+    pub max_rate: f64,
+    /// Seed of the [`FaultPlan`] (derived from the world seed, so the
+    /// committed baseline pins one reproducible fault pattern).
+    pub seed: u64,
+    /// Wall-clock of the whole robustness sweep.
+    pub wall_ms: f64,
+    /// Per-rate measurements, ascending in `fault_rate`, starting at the
+    /// gated `0.0` passthrough row.
+    pub rows: Vec<RobustnessBenchRow>,
+}
+
 /// The quick-bench result.
 #[derive(Debug, Clone)]
 pub struct QuickBench {
@@ -173,6 +218,9 @@ pub struct QuickBench {
     /// The defense stage, when enabled (`repro --quick --compose
     /// --defend ...`).
     pub composition_defense: Option<DefenseBench>,
+    /// The fault-injection stage, when enabled (`repro --quick
+    /// --faults <rate>`).
+    pub robustness: Option<RobustnessBench>,
 }
 
 /// Optional add-ons of [`quick_bench`] beyond the core timed sweep.
@@ -187,6 +235,8 @@ pub struct QuickBenchOptions {
     /// Run the harvest reference exhaustively over the whole large
     /// release instead of the seeded [`REFERENCE_SAMPLE_ROWS`] sample.
     pub exhaustive: bool,
+    /// Run the fault-injection sweep up to this corruption rate.
+    pub faults: Option<f64>,
 }
 
 impl QuickBench {
@@ -281,6 +331,29 @@ impl QuickBench {
             }
             out.push_str("    ]\n  }");
         }
+        if let Some(rob) = &self.robustness {
+            out.push_str(",\n  \"robustness\": {\n");
+            out.push_str(&format!(
+                "    \"max_rate\": {:.3}, \"seed\": {}, \"wall_ms\": {:.3},\n",
+                rob.max_rate, rob.seed, rob.wall_ms
+            ));
+            out.push_str("    \"rows\": [\n");
+            for (i, row) in rob.rows.iter().enumerate() {
+                out.push_str(&format!(
+                    "      {{ \"fault_rate\": {:.3}, \"harvest_precision\": {:.4}, \"harvest_coverage\": {:.4}, \"composition_gain\": {:.1}, \"pages_rejected\": {}, \"rows_skipped\": {}, \"fields_imputed\": {}, \"workers_restarted\": {} }}{}\n",
+                    row.fault_rate,
+                    row.harvest_precision,
+                    row.harvest_coverage,
+                    row.composition_gain,
+                    row.pages_rejected,
+                    row.rows_skipped,
+                    row.fields_imputed,
+                    row.workers_restarted,
+                    if i + 1 < rob.rows.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("    ]\n  }");
+        }
         out.push('\n');
         out.push_str("}\n");
         out
@@ -359,6 +432,23 @@ impl QuickBench {
                     row.undefended_gain,
                     row.mean_candidates,
                     row.utility_cost
+                ));
+            }
+        }
+        if let Some(rob) = &self.robustness {
+            out.push_str(&format!(
+                "  robustness — faults up to {:.0}% ({:.2} ms):\n",
+                rob.max_rate * 100.0,
+                rob.wall_ms
+            ));
+            for row in &rob.rows {
+                out.push_str(&format!(
+                    "    rate {:>5.1}%: precision {:.3}   coverage {:.3}   composition gain $ {:>8.0}   survived {:>4} defects\n",
+                    row.fault_rate * 100.0,
+                    row.harvest_precision,
+                    row.harvest_coverage,
+                    row.composition_gain,
+                    row.pages_rejected + row.rows_skipped + row.fields_imputed + row.workers_restarted
                 ));
             }
         }
@@ -527,6 +617,17 @@ pub fn quick_bench(
         _ => None,
     };
 
+    // Stage 9 (optional): the fault-injection sweep.
+    let robustness = options.faults.map(|rate| {
+        let bench = robustness_bench(config, &world, rate);
+        stages.push(StageTiming {
+            name: "robustness_sweep",
+            wall_ms: bench.wall_ms,
+            rows: world.table.len() * bench.rows.len(),
+        });
+        bench
+    });
+
     QuickBench {
         size: world.table.len(),
         seed: config.seed,
@@ -546,6 +647,128 @@ pub fn quick_bench(
             .map(|size| large_bench(config, size, compose, options.exhaustive)),
         composition,
         composition_defense,
+        robustness,
+    }
+}
+
+/// XOR-folded into the world seed to derive the fault-plan seed, so the
+/// injected corruption pattern is reproducible from the baseline's
+/// `config.seed` but decorrelated from every other seeded stream.
+const FAULT_SEED_SALT: u64 = 0xFA17;
+
+/// Runs the fault-injection sweep: the corpus, harvest and composition
+/// attack re-run under a seeded [`FaultPlan`] at rates `0`, `rate/2` and
+/// `rate`, through the tolerant skip-and-count pipeline. The `0.0` row is
+/// asserted bit-identical to the strict pipeline in-process (the same
+/// passthrough property the compare gate later pins against the
+/// committed baseline), every recorded metric is asserted finite, and
+/// worker panics are contained by [`rayon::silence_panics`] — a panic
+/// escaping the sweep *is* a robustness failure.
+fn robustness_bench(
+    config: &WorldConfig,
+    world: &crate::world::World,
+    rate: f64,
+) -> RobustnessBench {
+    let rate = if rate.is_finite() {
+        rate.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let mut rates = vec![0.0];
+    if rate > 0.0 {
+        rates.push(rate / 2.0);
+        rates.push(rate);
+    }
+    rates.dedup();
+
+    let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).expect("default config valid");
+    let release = world.table.suppress_sensitive();
+    let ids: Vec<usize> = world.people.iter().map(|p| p.id).collect();
+    let harvest_config = HarvestConfig::default();
+    let compose_config = CompositionConfig {
+        scenario: ScenarioConfig {
+            releases: 3,
+            k: STAGE_K.min(world.table.len()),
+            ..ScenarioConfig::default()
+        },
+        ..CompositionConfig::default()
+    };
+
+    let (rows, wall) = time_ms(|| {
+        rates
+            .iter()
+            .map(|&r| {
+                let plan = FaultPlan::uniform(config.seed ^ FAULT_SEED_SALT, r);
+                let (pages, page_deg) = corrupt_pages(world.web.pages().to_vec(), &plan);
+                let engine = SearchEngine::build(pages);
+                let (harvest, harvest_deg) = rayon::silence_panics(|| {
+                    harvest_auxiliary_tolerant(&release, &engine, &harvest_config, &plan)
+                })
+                .expect("tolerant harvest never fails on injected faults");
+                let precision = harvest_precision(&harvest, &engine, &ids)
+                    .expect("harvest rows align with the world population");
+                let (outcome, compose_deg) = rayon::silence_panics(|| {
+                    compose_attack_tolerant(
+                        &world.table,
+                        &engine,
+                        &Mdav::new(),
+                        &fusion,
+                        &compose_config,
+                        &plan,
+                    )
+                })
+                .expect("tolerant composition never fails on injected faults");
+                let mut deg = page_deg;
+                deg.merge(&harvest_deg);
+                deg.merge(&compose_deg);
+                if r == 0.0 {
+                    // The passthrough gate, checked at the source: the
+                    // zero-rate row *is* the strict pipeline.
+                    assert!(deg.is_clean(), "zero-rate plan must stay clean: {deg:?}");
+                    let strict = harvest_auxiliary(&release, &engine, &harvest_config)
+                        .expect("harvest over a generated corpus cannot fail");
+                    assert_eq!(
+                        harvest, strict,
+                        "zero-rate tolerant harvest must be bit-identical to the strict path"
+                    );
+                    let strict_outcome = compose_attack(
+                        &world.table,
+                        &engine,
+                        &Mdav::new(),
+                        &fusion,
+                        &compose_config,
+                    )
+                    .expect("composition over the quick world succeeds");
+                    assert_eq!(
+                        outcome, strict_outcome,
+                        "zero-rate tolerant composition must be bit-identical to the strict path"
+                    );
+                }
+                let row = RobustnessBenchRow {
+                    fault_rate: r,
+                    harvest_precision: precision,
+                    harvest_coverage: harvest.coverage(),
+                    composition_gain: outcome.disclosure_gain,
+                    pages_rejected: deg.pages_rejected,
+                    rows_skipped: deg.rows_skipped,
+                    fields_imputed: deg.fields_imputed,
+                    workers_restarted: deg.workers_restarted,
+                };
+                assert!(
+                    row.harvest_precision.is_finite()
+                        && row.harvest_coverage.is_finite()
+                        && row.composition_gain.is_finite(),
+                    "robustness row at rate {r} carries a non-finite value: {row:?}"
+                );
+                row
+            })
+            .collect()
+    });
+    RobustnessBench {
+        max_rate: rate,
+        seed: config.seed ^ FAULT_SEED_SALT,
+        wall_ms: wall,
+        rows,
     }
 }
 
@@ -1102,6 +1325,68 @@ mod tests {
         );
         assert!(without.composition_defense.is_none());
         assert!(!without.to_json().contains("composition_defense"));
+    }
+
+    #[test]
+    fn quick_bench_robustness_stage_runs_and_serializes() {
+        let bench = quick_bench(
+            &WorldConfig {
+                size: 40,
+                ..WorldConfig::default()
+            },
+            2,
+            3,
+            1,
+            &QuickBenchOptions {
+                faults: Some(0.1),
+                ..QuickBenchOptions::default()
+            },
+        );
+        let rob = bench.robustness.as_ref().expect("robustness requested");
+        assert_eq!(rob.max_rate, 0.1);
+        let rates: Vec<f64> = rob.rows.iter().map(|r| r.fault_rate).collect();
+        assert_eq!(rates, vec![0.0, 0.05, 0.1]);
+        // The zero-rate row is the strict pipeline in disguise: the
+        // in-process bit-identity asserts ran, and no defects survived.
+        let zero = &rob.rows[0];
+        assert_eq!(
+            zero.pages_rejected + zero.rows_skipped + zero.fields_imputed + zero.workers_restarted,
+            0,
+            "{zero:?}"
+        );
+        // The top rate actually registered damage somewhere.
+        let top = rob.rows.last().expect("at least the zero row");
+        assert!(
+            top.pages_rejected + top.rows_skipped + top.fields_imputed + top.workers_restarted > 0,
+            "10% corruption left no trace: {top:?}"
+        );
+        assert!(bench.stages.iter().any(|s| s.name == "robustness_sweep"));
+        let json = bench.to_json();
+        assert!(json.contains("\"robustness\""));
+        assert!(json.contains("\"fault_rate\""));
+        assert!(json.contains("\"composition_gain\""));
+        assert!(json.trim_end().ends_with('}'));
+        assert!(bench.to_ascii().contains("robustness"));
+        // A zero --faults rate degenerates to the passthrough row alone.
+        let passthrough = quick_bench(
+            &WorldConfig {
+                size: 40,
+                ..WorldConfig::default()
+            },
+            2,
+            3,
+            1,
+            &QuickBenchOptions {
+                faults: Some(0.0),
+                ..QuickBenchOptions::default()
+            },
+        );
+        let rob = passthrough
+            .robustness
+            .as_ref()
+            .expect("robustness requested");
+        assert_eq!(rob.rows.len(), 1);
+        assert_eq!(rob.rows[0].fault_rate, 0.0);
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! Golden-file tests for the perf-smoke gate: two committed
 //! `BENCH_sweep.json` snapshots — one clean, one poisoned with a NaN
-//! composition row and a missing `composition_defense` block — pin
-//! [`fred_bench::compare`] end to end against the *written* baseline
-//! format, not just against JSON the tests synthesize themselves. The
-//! parser has twice grown silent-skip bugs against real files (PR 4);
-//! these fixtures make every documented fire/stay-silent decision a
-//! committed artifact.
+//! composition row, a missing `composition_defense` block, and a
+//! robustness block whose zero-fault row both survived defects and
+//! drifted — pin [`fred_bench::compare`] end to end against the
+//! *written* baseline format, not just against JSON the tests
+//! synthesize themselves. The parser has twice grown silent-skip bugs
+//! against real files (PR 4); these fixtures make every documented
+//! fire/stay-silent decision a committed artifact.
 
 use fred_bench::compare::{compare_baselines, parse_baseline};
 
@@ -22,6 +23,7 @@ fn clean_fixture_parses_every_documented_block() {
         "mdav_k5",
         "composition_sweep",
         "composition_defense",
+        "robustness_sweep",
         "world_build_large",
         "harvest_sequential_large",
         "composition_large",
@@ -64,6 +66,17 @@ fn clean_fixture_parses_every_documented_block() {
         .collect();
     assert_eq!(widen.len(), 3);
     assert!(widen.iter().all(|r| r.mean_candidates >= 5.0));
+    // The robustness block: zero-fault reference row first, defect-free,
+    // then the two faulted rows with their skip-and-count totals pooled
+    // into `defects`.
+    assert_eq!(b.robustness.len(), 3);
+    assert_eq!(b.robustness[0].fault_rate, 0.0);
+    assert_eq!(b.robustness[0].harvest_precision, 1.0);
+    assert_eq!(b.robustness[0].composition_gain, 8377.8);
+    assert_eq!(b.robustness[0].defects, 0);
+    assert_eq!(b.robustness[1].defects, 14 + 5 + 9 + 6);
+    assert_eq!(b.robustness[2].fault_rate, 0.1);
+    assert_eq!(b.robustness[2].defects, 31 + 11 + 17 + 13);
     assert!(b.malformed_rows.is_empty(), "{:?}", b.malformed_rows);
 }
 
@@ -78,6 +91,7 @@ fn clean_self_diff_stays_silent_and_notes_every_series() {
         "defense `coordinated_seeds`",
         "defense `overlap_cap_0.90`",
         "defense `calibrated_widen_k5`",
+        "robustness: precision",
     ] {
         assert!(
             report.notes.iter().any(|n| n.contains(expected)),
@@ -90,19 +104,28 @@ fn clean_self_diff_stays_silent_and_notes_every_series() {
 #[test]
 fn poisoned_fresh_run_fires_exactly_the_documented_gates() {
     let b = parse_baseline(POISONED);
-    // The NaN row must surface as malformed, not silently drop.
-    assert_eq!(b.malformed_rows.len(), 1, "{:?}", b.malformed_rows);
-    assert!(b.malformed_rows[0].contains("NaN"));
+    // Both NaN rows (one composition, one robustness) must surface as
+    // malformed, not silently drop.
+    assert_eq!(b.malformed_rows.len(), 2, "{:?}", b.malformed_rows);
+    assert!(b.malformed_rows.iter().all(|l| l.contains("NaN")));
     // The defense block is gone entirely.
     assert!(b.composition_defense.is_empty());
     assert_eq!(b.defense_k, None);
+    // The NaN robustness row drops out of the parsed series; the other
+    // two — the dirty zero row and the collapsed 10% row — stay in.
+    assert_eq!(b.robustness.len(), 2);
+    assert_eq!(b.robustness[0].defects, 2);
 
     let report = compare_baselines(CLEAN, POISONED);
-    // Exactly three findings: the timed stage vanished, the defense
-    // series vanished, and the NaN row. The NaN-adjacent composition
-    // series itself (rows 1 and 3 still parse, still increasing) must
-    // NOT additionally trip the monotonicity gate.
-    assert_eq!(report.violations.len(), 3, "{:?}", report.violations);
+    // Exactly nine findings: the two timed stages that vanished, the
+    // defense series that vanished, the zero-fault robustness row that
+    // survived defects AND drifted from the pin, the 10% row breaking
+    // both the precision slack and the gain floor, and the two NaN rows.
+    // The NaN-adjacent composition series itself (rows 1 and 3 still
+    // parse, still increasing) must NOT additionally trip the
+    // monotonicity gate, and the NaN robustness row must not be held to
+    // the envelope it failed to parse into.
+    assert_eq!(report.violations.len(), 9, "{:?}", report.violations);
     assert!(report
         .violations
         .iter()
@@ -110,11 +133,37 @@ fn poisoned_fresh_run_fires_exactly_the_documented_gates() {
     assert!(report
         .violations
         .iter()
+        .any(|v| v.contains("stage `robustness_sweep` disappeared")));
+    assert!(report
+        .violations
+        .iter()
         .any(|v| v.contains("composition_defense stage disappeared")));
     assert!(report
         .violations
         .iter()
-        .any(|v| v.contains("non-finite or unparseable") && v.contains("NaN")));
+        .any(|v| v.contains("zero-fault robustness row survived 2 defect(s)")));
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.contains("zero-fault robustness row drifted")));
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.contains("robustness harvest precision at fault rate 0.100")));
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.contains("robustness composition gain at fault rate 0.100")));
+    assert_eq!(
+        report
+            .violations
+            .iter()
+            .filter(|v| v.contains("non-finite or unparseable") && v.contains("NaN"))
+            .count(),
+        2,
+        "{:?}",
+        report.violations
+    );
     assert!(!report
         .violations
         .iter()
@@ -124,11 +173,27 @@ fn poisoned_fresh_run_fires_exactly_the_documented_gates() {
 #[test]
 fn poisoned_committed_baseline_refuses_to_gate() {
     // A corrupt committed baseline must not silently disarm its own
-    // gates: the NaN row is a violation in itself, prompting a
-    // regenerate, even when the fresh run is pristine.
+    // gates: each NaN row is a violation in itself, prompting a
+    // regenerate, even when the fresh run is pristine. The third finding
+    // is the zero-fault pin working in reverse — the clean fresh zero
+    // row legitimately differs from the dirty committed one, and drift
+    // from the committed reference is an alarm in either direction.
     let report = compare_baselines(POISONED, CLEAN);
-    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
-    assert!(report.violations[0].contains("committed baseline carries"));
+    assert_eq!(report.violations.len(), 3, "{:?}", report.violations);
+    assert_eq!(
+        report
+            .violations
+            .iter()
+            .filter(|v| v.contains("committed baseline carries"))
+            .count(),
+        2,
+        "{:?}",
+        report.violations
+    );
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.contains("zero-fault robustness row drifted")));
     // A fresh run *adding* the defense block on top of a committed
     // baseline without one is growth, not a regression — nothing else
     // fires.

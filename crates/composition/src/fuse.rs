@@ -13,13 +13,16 @@
 //! single-release attack at the same `k`.
 
 use fred_anon::Anonymizer;
-use fred_attack::{harvest_auxiliary, FusionSystem, Harvest, HarvestConfig};
+use fred_attack::{
+    harvest_auxiliary, harvest_auxiliary_tolerant, FusionSystem, Harvest, HarvestConfig,
+};
 use fred_core::dissimilarity;
 use fred_data::{Table, Value};
+use fred_faults::{Degradation, FaultPlan};
 use fred_web::SearchEngine;
 
 use crate::error::{CompositionError, Result};
-use crate::intersect::{intersect_releases, TargetIntersection};
+use crate::intersect::{intersect_releases, intersect_releases_tolerant, TargetIntersection};
 use crate::scenario::{generate_scenario, ScenarioConfig};
 
 /// Configuration of one end-to-end composition attack.
@@ -236,6 +239,61 @@ pub(crate) fn evaluate_sources(
     income_range: (f64, f64),
 ) -> Result<CellEval> {
     let inters = intersect_releases(sources, targets, master.len(), chunk_rows)?;
+    cell_from_inters(
+        master,
+        fusion,
+        harvest,
+        truth,
+        inters,
+        qi_range,
+        income_range,
+    )
+}
+
+/// [`evaluate_sources`] through the tolerant intersection engine: the
+/// sources are digested under `plan`'s release-level faults, counting
+/// into `deg`; everything downstream of the intersection is shared with
+/// the strict path, so a zero-rate plan evaluates bit-identically.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_sources_tolerant(
+    master: &Table,
+    fusion: &dyn FusionSystem,
+    harvest: &Harvest,
+    truth: &[f64],
+    sources: &[crate::scenario::Source],
+    targets: &[usize],
+    chunk_rows: usize,
+    qi_range: (f64, f64),
+    income_range: (f64, f64),
+    plan: &FaultPlan,
+    deg: &mut Degradation,
+) -> Result<CellEval> {
+    let (inters, run_deg) =
+        intersect_releases_tolerant(sources, targets, master.len(), chunk_rows, plan)?;
+    deg.merge(&run_deg);
+    cell_from_inters(
+        master,
+        fusion,
+        harvest,
+        truth,
+        inters,
+        qi_range,
+        income_range,
+    )
+}
+
+/// The shared back half of cell evaluation: from intersections to fused
+/// estimates and aggregates. One body for the strict and tolerant paths
+/// keeps their zero-fault float sequences identical by construction.
+fn cell_from_inters(
+    master: &Table,
+    fusion: &dyn FusionSystem,
+    harvest: &Harvest,
+    truth: &[f64],
+    inters: Vec<TargetIntersection>,
+    qi_range: (f64, f64),
+    income_range: (f64, f64),
+) -> Result<CellEval> {
     let fused = fused_table(master, &inters)?;
     let estimates = fusion.estimate(&fused, &harvest.records)?;
     let dissim = dissimilarity(truth, &estimates)?;
@@ -352,6 +410,111 @@ pub fn compose_attack(
     })
 }
 
+/// [`compose_attack`] under fault injection: the harvest tolerates
+/// damaged pages, dropped rows and worker panics, the intersection
+/// tolerates release-level corruption, and the combined [`Degradation`]
+/// ledger is returned alongside the outcome. A zero-rate `plan` is an
+/// exact passthrough — the outcome is bit-identical to
+/// [`compose_attack`] and the ledger is clean. Callers injecting
+/// `worker_panic` should wrap the call in
+/// [`rayon::silence_panics`](rayon::silence_panics) to keep the
+/// contained panics off stderr.
+pub fn compose_attack_tolerant(
+    master: &Table,
+    web: &SearchEngine,
+    anonymizer: &dyn Anonymizer,
+    fusion: &dyn FusionSystem,
+    config: &CompositionConfig,
+    plan: &FaultPlan,
+) -> Result<(CompositionOutcome, Degradation)> {
+    let scenario_config = &config.scenario;
+    let targets = crate::scenario::core_targets(master.len(), scenario_config)?;
+    let release = targets_release(master, &targets)?;
+    let (harvest, mut deg) = harvest_auxiliary_tolerant(&release, web, &config.harvest, plan)?;
+    let truth = target_truth(master, &targets)?;
+
+    let scenario = generate_scenario(master, anonymizer, scenario_config)?;
+    debug_assert_eq!(scenario.targets, targets);
+    // The baseline re-digests source 0 under the *same* pure-hash fault
+    // decisions the composed run makes for it, so its defects are counted
+    // once: in the composed ledger when R > 1, in the baseline's own when
+    // the baseline is the shipped outcome (R = 1).
+    let mut discard = Degradation::default();
+    let single = scenario_config.releases == 1;
+    let mut baseline_deg = Degradation::default();
+    let baseline = evaluate_sources_tolerant(
+        master,
+        fusion,
+        &harvest,
+        &truth,
+        &scenario.sources[..1],
+        &targets,
+        config.chunk_rows,
+        config.qi_range,
+        config.income_range,
+        plan,
+        if single {
+            &mut baseline_deg
+        } else {
+            &mut discard
+        },
+    )?;
+    let composed = if single {
+        None
+    } else {
+        Some(evaluate_sources_tolerant(
+            master,
+            fusion,
+            &harvest,
+            &truth,
+            &scenario.sources,
+            &targets,
+            config.chunk_rows,
+            config.qi_range,
+            config.income_range,
+            plan,
+            &mut baseline_deg,
+        )?)
+    };
+    deg.merge(&baseline_deg);
+    let composed = composed.as_ref().unwrap_or(&baseline);
+
+    let records: Vec<CompositionRecord> = composed
+        .inters
+        .iter()
+        .enumerate()
+        .map(|(i, inter)| CompositionRecord {
+            master_row: inter.master_row,
+            candidates: inter.candidates(),
+            feasible_width: inter.mean_feasible_width(),
+            feasible_income_width: composed.income_widths[i],
+            baseline_income_width: baseline.income_widths[i],
+            estimate: composed.estimates[i],
+            baseline_estimate: baseline.estimates[i],
+            truth: truth[i],
+        })
+        .collect();
+    let disclosure_gain = records
+        .iter()
+        .map(|r| r.baseline_income_width - r.feasible_income_width)
+        .sum::<f64>()
+        / records.len().max(1) as f64;
+    let outcome = CompositionOutcome {
+        releases: scenario_config.releases,
+        k: scenario_config.k,
+        records,
+        mean_candidates: composed.mean_candidates,
+        mean_feasible_width: composed.mean_feasible_width,
+        dissim_single: baseline.dissim,
+        dissim_composed: composed.dissim,
+        disclosure_gain,
+        estimate_gain: baseline.dissim - composed.dissim,
+        aux_coverage: harvest.coverage(),
+        defense: scenario_config.defense.as_ref().map(|d| d.label()),
+    };
+    Ok((outcome, deg))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -452,6 +615,71 @@ mod tests {
         let width = implied_income_width(&inter, (1.0, 10.0), income_range);
         assert!(width.is_finite());
         assert_eq!(width, income_range.1 - income_range.0);
+    }
+
+    #[test]
+    fn tolerant_compose_with_zero_rate_plan_matches_strict_exactly() {
+        let (table, web) = world(60);
+        let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+        let config = CompositionConfig {
+            scenario: ScenarioConfig {
+                releases: 3,
+                k: 4,
+                ..ScenarioConfig::default()
+            },
+            ..CompositionConfig::default()
+        };
+        let strict = compose_attack(&table, &web, &Mdav::new(), &fusion, &config).unwrap();
+        let (tolerant, deg) = compose_attack_tolerant(
+            &table,
+            &web,
+            &Mdav::new(),
+            &fusion,
+            &config,
+            &FaultPlan::none(),
+        )
+        .unwrap();
+        assert_eq!(strict, tolerant);
+        assert!(deg.is_clean(), "zero-rate plan must stay clean: {deg:?}");
+    }
+
+    #[test]
+    fn tolerant_compose_survives_heavy_corruption_with_finite_metrics() {
+        let (table, web) = world(60);
+        let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+        let config = CompositionConfig {
+            scenario: ScenarioConfig {
+                releases: 3,
+                k: 4,
+                ..ScenarioConfig::default()
+            },
+            ..CompositionConfig::default()
+        };
+        let plan = FaultPlan::uniform(77, 0.1);
+        let run = || {
+            rayon::silence_panics(|| {
+                compose_attack_tolerant(&table, &web, &Mdav::new(), &fusion, &config, &plan)
+                    .unwrap()
+            })
+        };
+        let (outcome, deg) = run();
+        assert!(
+            !deg.is_clean(),
+            "10% corruption should register somewhere: {deg:?}"
+        );
+        assert!(outcome.disclosure_gain.is_finite());
+        assert!(outcome.dissim_single.is_finite());
+        assert!(outcome.dissim_composed.is_finite());
+        assert!(outcome.mean_candidates.is_finite());
+        for r in &outcome.records {
+            assert!(r.estimate.is_finite());
+            assert!(r.feasible_income_width.is_finite());
+            assert!(r.baseline_income_width.is_finite());
+        }
+        // Pure-hash decisions: the degraded run is reproducible.
+        let (again, deg_again) = run();
+        assert_eq!(outcome, again);
+        assert_eq!(deg, deg_again);
     }
 
     #[test]

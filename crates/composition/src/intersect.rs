@@ -23,6 +23,7 @@
 
 use fred_anon::Release;
 use fred_data::{Interval, Value};
+use fred_faults::{key2, key3, salt, Degradation, FaultPlan, InputDefect};
 use rayon::prelude::*;
 
 use crate::error::{CompositionError, Result};
@@ -110,6 +111,134 @@ fn digest_source(
             }
         }
         lo += chunk.len();
+    }
+    Ok(SourceDigest {
+        class_of_master,
+        class_bits,
+        class_cons,
+    })
+}
+
+/// Applies the plan's chosen corruption flavor to one published
+/// constraint: either NaN garbage (detected and imputed downstream) or
+/// finite out-of-range inflation (harmless by construction — the
+/// intersection always keeps the tighter bound, so an inflated interval
+/// only loosens what this source contributes).
+fn corrupt_con(con: CellCon, plan: &FaultPlan, site: u64) -> CellCon {
+    if plan.pick(salt::CELL_FLAVOR, site, 2) == 0 {
+        CellCon::Bound(Interval::point(f64::NAN))
+    } else {
+        match con {
+            CellCon::Bound(iv) => {
+                let pad = 1e3 * (iv.width() + 1.0);
+                CellCon::Bound(Interval::new(iv.lo() - pad, iv.hi() + pad).expect("finite pad"))
+            }
+            CellCon::Point(x) => CellCon::Point(x + 1e9),
+            CellCon::Free => CellCon::Free,
+        }
+    }
+}
+
+/// Validates a constraint read from a possibly-corrupt release cell:
+/// non-finite bounds and points are defects; everything else passes.
+fn checked_con(con: CellCon) -> std::result::Result<CellCon, InputDefect> {
+    match con {
+        CellCon::Bound(iv) if !(iv.lo().is_finite() && iv.hi().is_finite()) => {
+            Err(InputDefect::NonFiniteValue)
+        }
+        CellCon::Point(x) if !x.is_finite() => Err(InputDefect::NonFiniteValue),
+        ok => Ok(ok),
+    }
+}
+
+/// [`digest_source`] under a fault plan: release rows can go missing,
+/// class-summary cells can arrive NaN (imputed as unconstrained and
+/// counted) or inflated out-of-range (kept — narrowing makes it
+/// harmless), and streamed chunks can arrive truncated (only their first
+/// half is readable; a class whose every readable row was lost keeps no
+/// constraint). All skip-and-count into `deg`; under a zero-rate plan
+/// the digest is bit-identical to the strict one.
+fn digest_source_tolerant(
+    source: &Source,
+    source_idx: usize,
+    n_master: usize,
+    qi_cols: &[usize],
+    chunk_rows: usize,
+    plan: &FaultPlan,
+    deg: &mut Degradation,
+) -> Result<SourceDigest> {
+    let class_of_local = source.partition.class_of_rows();
+    let n_classes = source.partition.len();
+    let words = n_master.div_ceil(64);
+    let mut class_bits = vec![vec![0u64; words]; n_classes];
+    let mut class_of_master = vec![u32::MAX; n_master];
+    let mut dropped_local = vec![false; source.global_rows.len()];
+    for (local, &g) in source.global_rows.iter().enumerate() {
+        if plan.decide(plan.row_drop, salt::RELEASE_ROW_DROP, key2(source_idx, g)) {
+            // The row never arrived: it constrains nothing and cannot
+            // appear in any candidate set of this source.
+            dropped_local[local] = true;
+            deg.record(InputDefect::MissingRow);
+            continue;
+        }
+        let class = class_of_local[local];
+        class_bits[class][g >> 6] |= 1u64 << (g & 63);
+        class_of_master[g] = class as u32;
+    }
+    let mut class_cons: Vec<Vec<CellCon>> = vec![Vec::new(); n_classes];
+    let mut filled = vec![false; n_classes];
+    let mut lo = 0usize;
+    for (chunk_idx, chunk) in
+        Release::chunks(&source.table, &source.partition, source.style, chunk_rows).enumerate()
+    {
+        let chunk = chunk?;
+        let take = if plan.decide(
+            plan.chunk_truncate,
+            salt::CHUNK_TRUNCATE,
+            key2(source_idx, chunk_idx),
+        ) {
+            deg.record(InputDefect::TruncatedChunk);
+            chunk.len() / 2
+        } else {
+            chunk.len()
+        };
+        for (i, row) in chunk.rows().iter().take(take).enumerate() {
+            let local = lo + i;
+            if dropped_local[local] {
+                continue;
+            }
+            let class = class_of_local[local];
+            if !filled[class] {
+                filled[class] = true;
+                class_cons[class] = qi_cols
+                    .iter()
+                    .enumerate()
+                    .map(|(qi, &c)| {
+                        let mut con = CellCon::from_value(&row[c]);
+                        let site = key3(source_idx, class, qi);
+                        if plan.decide(plan.cell_corrupt, salt::CELL_CORRUPT, site) {
+                            con = corrupt_con(con, plan, site);
+                        }
+                        match checked_con(con) {
+                            Ok(con) => con,
+                            Err(defect) => {
+                                deg.record(defect);
+                                CellCon::Free
+                            }
+                        }
+                    })
+                    .collect();
+            }
+        }
+        lo += chunk.len();
+    }
+    // A class whose every row fell in truncated tails or dropped rows
+    // never published a readable summary: its constraint vector stays
+    // empty, which `fold_source` treats as all-Free — count the imputed
+    // fields so the report reflects the loss.
+    let unfilled = filled.iter().filter(|&&f| !f).count();
+    for _ in 0..unfilled * qi_cols.len() {
+        deg.record(InputDefect::MissingField);
     }
     Ok(SourceDigest {
         class_of_master,
@@ -311,6 +440,46 @@ pub fn intersect_releases(
             |bits, target| intersect_target(target, &digests, qi_len, bits),
         )
         .collect())
+}
+
+/// Fault-tolerant [`intersect_releases`]: digests every source under the
+/// plan's release-level faults (missing rows, corrupt QI cells,
+/// truncated chunks) with skip-and-count semantics, then runs the same
+/// parallel per-target intersection. Returns the intersections plus the
+/// [`Degradation`] report. A target dropped from every source degrades
+/// to an empty candidate set with no feasible box — downstream fusion
+/// reads that as fully unconstrained — and under a zero-rate plan the
+/// result is bit-identical to [`intersect_releases`] with a clean report
+/// (pinned by property test).
+pub fn intersect_releases_tolerant(
+    sources: &[Source],
+    targets: &[usize],
+    n_master: usize,
+    chunk_rows: usize,
+    plan: &FaultPlan,
+) -> Result<(Vec<TargetIntersection>, Degradation)> {
+    let first = sources.first().ok_or_else(|| {
+        CompositionError::InvalidConfig("intersection needs at least one source".into())
+    })?;
+    let qi_cols = first.table.quasi_identifier_columns();
+    let mut deg = Degradation::default();
+    let digests = sources
+        .iter()
+        .enumerate()
+        .map(|(idx, s)| {
+            digest_source_tolerant(s, idx, n_master, &qi_cols, chunk_rows, plan, &mut deg)
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let words = n_master.div_ceil(64);
+    let inters = targets
+        .to_vec()
+        .into_par_iter()
+        .map_init(
+            || vec![0u64; words],
+            |bits, target| intersect_target(target, &digests, qi_cols.len(), bits),
+        )
+        .collect();
+    Ok((inters, deg))
 }
 
 /// Per-target effective anonymity `|∩ classes|` alone — the number the
@@ -550,6 +719,91 @@ mod tests {
                 candidate_counts(&s.sources, &s.targets, table.len(), chunk_rows).unwrap(),
                 counts
             );
+        }
+    }
+
+    #[test]
+    fn tolerant_intersection_with_zero_rate_plan_is_bit_identical() {
+        let (table, s) = scenario(70, 3, 4);
+        let strict = intersect_releases(&s.sources, &s.targets, table.len(), 16).unwrap();
+        let (tolerant, deg) = intersect_releases_tolerant(
+            &s.sources,
+            &s.targets,
+            table.len(),
+            16,
+            &FaultPlan::none(),
+        )
+        .unwrap();
+        assert_eq!(tolerant, strict);
+        assert!(deg.is_clean(), "{deg}");
+    }
+
+    #[test]
+    fn tolerant_intersection_survives_every_release_fault_at_once() {
+        let (table, s) = scenario(80, 3, 5);
+        let plan = FaultPlan::uniform(31, 0.2);
+        let (inters, deg) =
+            intersect_releases_tolerant(&s.sources, &s.targets, table.len(), 16, &plan).unwrap();
+        assert_eq!(inters.len(), s.targets.len());
+        assert!(
+            deg.rows_skipped > 0 || deg.fields_imputed > 0 || deg.chunks_truncated > 0,
+            "nothing fired at 20%: {deg}"
+        );
+        for inter in &inters {
+            // Degraded, never poisoned: every surviving box is finite.
+            for iv in inter.feasible.iter().flatten() {
+                assert!(iv.lo().is_finite() && iv.hi().is_finite(), "{inter:?}");
+            }
+            for hint in inter.centroid_hint.iter().flatten() {
+                assert!(hint.is_finite());
+            }
+        }
+        // Determinism: the same plan degrades identically.
+        let (again, deg_again) =
+            intersect_releases_tolerant(&s.sources, &s.targets, table.len(), 16, &plan).unwrap();
+        assert_eq!(again, inters);
+        assert_eq!(deg_again, deg);
+    }
+
+    #[test]
+    fn dropped_release_rows_leave_targets_unseen_not_poisoned() {
+        let (table, s) = scenario(60, 2, 4);
+        let plan = FaultPlan {
+            row_drop: 0.5,
+            ..FaultPlan::uniform(33, 0.0)
+        };
+        let (inters, deg) =
+            intersect_releases_tolerant(&s.sources, &s.targets, table.len(), 16, &plan).unwrap();
+        assert!(deg.rows_skipped > 0);
+        // With half the rows gone some targets see fewer sources; a
+        // fully-dropped target has no candidates and no box, and a
+        // surviving one has candidate sets no larger than the full run.
+        let strict = intersect_releases(&s.sources, &s.targets, table.len(), 16).unwrap();
+        for (t, f) in inters.iter().zip(&strict) {
+            assert!(t.sources_seen <= f.sources_seen);
+            if t.sources_seen == 0 {
+                assert_eq!(t.candidates(), 0);
+                assert!(t.feasible.iter().all(Option::is_none));
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_cells_impute_instead_of_propagating_nan() {
+        let (table, s) = scenario(60, 2, 4);
+        let plan = FaultPlan {
+            cell_corrupt: 1.0,
+            ..FaultPlan::uniform(35, 0.0)
+        };
+        let (inters, deg) =
+            intersect_releases_tolerant(&s.sources, &s.targets, table.len(), 16, &plan).unwrap();
+        // Every class summary cell was corrupted: roughly half NaN
+        // (imputed and counted), half inflated (kept, finite).
+        assert!(deg.fields_imputed > 0, "{deg}");
+        for inter in &inters {
+            for iv in inter.feasible.iter().flatten() {
+                assert!(iv.lo().is_finite() && iv.hi().is_finite());
+            }
         }
     }
 

@@ -69,10 +69,12 @@ pub mod sweep;
 pub use defense::DefensePolicy;
 pub use error::{CompositionError, Result};
 pub use fuse::{
-    compose_attack, fused_table, CompositionConfig, CompositionOutcome, CompositionRecord,
+    compose_attack, compose_attack_tolerant, fused_table, CompositionConfig, CompositionOutcome,
+    CompositionRecord,
 };
 pub use intersect::{
-    candidate_counts, intersect_releases, intersect_releases_sequential, TargetIntersection,
+    candidate_counts, intersect_releases, intersect_releases_sequential,
+    intersect_releases_tolerant, TargetIntersection,
 };
 pub use scenario::{core_targets, generate_scenario, CompositionScenario, ScenarioConfig, Source};
 pub use sweep::{

@@ -1,0 +1,439 @@
+//! Seeded, deterministic fault injection and graceful-degradation
+//! accounting for the FRED pipeline.
+//!
+//! The paper's adversary fuses *web-harvested* evidence, which in reality
+//! is noisy, truncated and partially garbage. This crate supplies the two
+//! halves of the robustness axis:
+//!
+//! - [`FaultPlan`] — a seeded plan that decides, purely as a function of
+//!   `(seed, stage, index)`, whether a given page / row / cell / worker is
+//!   corrupted. There is no RNG stream: every decision is an independent
+//!   hash, so decisions are identical regardless of evaluation order or
+//!   thread count, and a rate of zero short-circuits to "no fault" without
+//!   hashing at all. That makes the zero-rate plan an *exact passthrough*
+//!   and every faulted run bit-reproducible.
+//! - [`Degradation`] — the skip-and-count report every tolerant stage
+//!   returns instead of panicking: how many rows were skipped, pages
+//!   rejected, fields imputed and workers restarted, fed by the
+//!   [`InputDefect`] taxonomy.
+
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+/// Per-stage salts separating the hash streams of the different fault
+/// sites, so e.g. dropping page 7 is independent of garbling page 7.
+pub mod salt {
+    /// Page-level: drop (tombstone) a page from the corpus.
+    pub const PAGE_DROP: u64 = 0x5041_4745_0001;
+    /// Page-level: truncate a page's rendered text.
+    pub const PAGE_TRUNCATE: u64 = 0x5041_4745_0002;
+    /// Page-level: where (as a fraction of the text) a truncation cuts.
+    pub const PAGE_TRUNCATE_AT: u64 = 0x5041_4745_0003;
+    /// Page-level: garble a window of a page's text.
+    pub const PAGE_GARBLE: u64 = 0x5041_4745_0004;
+    /// Page-level: where a garble window starts.
+    pub const PAGE_GARBLE_AT: u64 = 0x5041_4745_0005;
+    /// Page-level: append a duplicate of a page to the corpus.
+    pub const PAGE_DUPLICATE: u64 = 0x5041_4745_0006;
+    /// Harvest-level: drop an identifier row before linkage.
+    pub const HARVEST_ROW_DROP: u64 = 0x4841_5256_0001;
+    /// Worker-level: panic inside the pool while processing a row.
+    pub const WORKER_PANIC: u64 = 0x574f_524b_0001;
+    /// Release-level: drop a row from a published release.
+    pub const RELEASE_ROW_DROP: u64 = 0x5245_4c00_0001;
+    /// Release-level: corrupt one QI cell of one class summary.
+    pub const CELL_CORRUPT: u64 = 0x5245_4c00_0002;
+    /// Release-level: which corruption flavor a corrupt cell gets.
+    pub const CELL_FLAVOR: u64 = 0x5245_4c00_0003;
+    /// Release-level: truncate one streamed chunk of a release.
+    pub const CHUNK_TRUNCATE: u64 = 0x5245_4c00_0004;
+}
+
+/// SplitMix64-style finalizer over `(seed, salt, index)`.
+fn mix(seed: u64, salt: u64, index: u64) -> u64 {
+    let mut z = seed ^ salt.rotate_left(17) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform value in `[0, 1)` from `(seed, salt, index)`.
+fn unit(seed: u64, salt: u64, index: u64) -> f64 {
+    (mix(seed, salt, index) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Packs a `(major, minor)` fault-site coordinate into one hash index.
+pub fn key2(major: usize, minor: usize) -> u64 {
+    ((major as u64) << 40) ^ (minor as u64)
+}
+
+/// Packs a `(major, mid, minor)` fault-site coordinate into one hash index.
+pub fn key3(major: usize, mid: usize, minor: usize) -> u64 {
+    ((major as u64) << 48) ^ ((mid as u64) << 24) ^ (minor as u64)
+}
+
+/// A seeded, deterministic corruption plan covering every stage boundary
+/// of the pipeline: page level (drop / truncate / garble / duplicate),
+/// release level (missing rows, NaN or out-of-range QI cells, truncated
+/// chunks) and worker level (injected panics inside the pool).
+///
+/// All rates are probabilities in `[0, 1]`. Each decision hashes
+/// `(seed, stage salt, site index)` against its rate; a rate of `0.0`
+/// short-circuits to `false` without hashing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed separating whole plans from each other.
+    pub seed: u64,
+    /// Probability a corpus page is dropped (tombstoned in place).
+    pub page_drop: f64,
+    /// Probability a corpus page's text is truncated.
+    pub page_truncate: f64,
+    /// Probability a window of a corpus page's text is garbled.
+    pub page_garble: f64,
+    /// Probability a corpus page is duplicated at the corpus tail.
+    pub page_duplicate: f64,
+    /// Probability an identifier / release row goes missing.
+    pub row_drop: f64,
+    /// Probability one QI cell of a class summary is corrupted
+    /// (NaN or out-of-range, chosen per cell).
+    pub cell_corrupt: f64,
+    /// Probability a streamed release chunk arrives truncated.
+    pub chunk_truncate: f64,
+    /// Probability a pool worker panics on a given row.
+    pub worker_panic: f64,
+}
+
+impl FaultPlan {
+    /// The no-fault plan: every rate zero. Running any tolerant stage
+    /// under this plan is bit-identical to the strict stage.
+    pub fn none() -> FaultPlan {
+        FaultPlan::uniform(0, 0.0)
+    }
+
+    /// A plan applying the same `rate` at every fault site. The rate is
+    /// clamped into `[0, 1]` (NaN clamps to zero).
+    pub fn uniform(seed: u64, rate: f64) -> FaultPlan {
+        let rate = if rate.is_finite() {
+            rate.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        FaultPlan {
+            seed,
+            page_drop: rate,
+            page_truncate: rate,
+            page_garble: rate,
+            page_duplicate: rate,
+            row_drop: rate,
+            cell_corrupt: rate,
+            chunk_truncate: rate,
+            worker_panic: rate,
+        }
+    }
+
+    /// True when every rate is zero: the plan cannot fire anywhere.
+    pub fn is_passthrough(&self) -> bool {
+        self.page_drop == 0.0
+            && self.page_truncate == 0.0
+            && self.page_garble == 0.0
+            && self.page_duplicate == 0.0
+            && self.row_drop == 0.0
+            && self.cell_corrupt == 0.0
+            && self.chunk_truncate == 0.0
+            && self.worker_panic == 0.0
+    }
+
+    /// One Bernoulli decision: does the fault with probability `rate`
+    /// fire at `(salt, index)`? Deterministic in `(seed, salt, index)`;
+    /// `rate <= 0` (and NaN) short-circuit to `false`.
+    pub fn decide(&self, rate: f64, salt: u64, index: u64) -> bool {
+        rate > 0.0 && unit(self.seed, salt, index) < rate
+    }
+
+    /// Uniform value in `[0, 1)` at `(salt, index)` — used to place a
+    /// fault (truncation point, garble window) once `decide` fired.
+    pub fn fraction(&self, salt: u64, index: u64) -> f64 {
+        unit(self.seed, salt, index)
+    }
+
+    /// Uniform pick in `0..n` at `(salt, index)` — used to choose a
+    /// corruption flavor. Returns 0 when `n == 0`.
+    pub fn pick(&self, salt: u64, index: u64, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (self.fraction(salt, index) * n as f64) as usize % n
+        }
+    }
+}
+
+/// The shared error taxonomy for defective inputs: what a tolerant stage
+/// found wrong with one page / row / cell / worker. Each defect maps onto
+/// one [`Degradation`] counter via [`Degradation::record`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InputDefect {
+    /// A page whose template markers are cut off mid-text.
+    TruncatedPage,
+    /// A page with no usable name or text at all (e.g. a tombstone).
+    MalformedPage,
+    /// A field that should be present but could not be read.
+    MissingField,
+    /// A numeric value that is NaN or infinite.
+    NonFiniteValue,
+    /// A numeric value wildly outside its committed range.
+    OutOfRangeValue,
+    /// A row missing from an identifier list or published release.
+    MissingRow,
+    /// A streamed release chunk that arrived shorter than declared.
+    TruncatedChunk,
+    /// A pool worker that panicked mid-row and was restarted.
+    WorkerPanic,
+}
+
+impl fmt::Display for InputDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InputDefect::TruncatedPage => "truncated page",
+            InputDefect::MalformedPage => "malformed page",
+            InputDefect::MissingField => "missing field",
+            InputDefect::NonFiniteValue => "non-finite value",
+            InputDefect::OutOfRangeValue => "out-of-range value",
+            InputDefect::MissingRow => "missing row",
+            InputDefect::TruncatedChunk => "truncated chunk",
+            InputDefect::WorkerPanic => "worker panic",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Error for InputDefect {}
+
+/// The skip-and-count report a tolerant stage returns instead of
+/// panicking: what the injection did to the inputs (`pages_*`,
+/// `duplicates_added`) and what the pipeline survived (`pages_rejected`,
+/// `rows_skipped`, `fields_imputed`, `chunks_truncated`,
+/// `workers_restarted`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Degradation {
+    /// Corpus pages tombstoned by injection.
+    pub pages_dropped: usize,
+    /// Corpus pages whose text was truncated by injection.
+    pub pages_truncated: usize,
+    /// Corpus pages with a garbled text window.
+    pub pages_garbled: usize,
+    /// Duplicate pages appended to the corpus.
+    pub duplicates_added: usize,
+    /// Pages a tolerant extractor rejected (truncated or malformed).
+    pub pages_rejected: usize,
+    /// Identifier / release rows skipped because they went missing.
+    pub rows_skipped: usize,
+    /// QI fields imputed (read as unconstrained) after a defect.
+    pub fields_imputed: usize,
+    /// Streamed release chunks that arrived truncated.
+    pub chunks_truncated: usize,
+    /// Pool workers that panicked and were restarted mid-batch.
+    pub workers_restarted: usize,
+}
+
+impl Degradation {
+    /// Routes one observed defect onto its counter.
+    pub fn record(&mut self, defect: InputDefect) {
+        match defect {
+            InputDefect::TruncatedPage | InputDefect::MalformedPage => self.pages_rejected += 1,
+            InputDefect::MissingField
+            | InputDefect::NonFiniteValue
+            | InputDefect::OutOfRangeValue => self.fields_imputed += 1,
+            InputDefect::MissingRow => self.rows_skipped += 1,
+            InputDefect::TruncatedChunk => self.chunks_truncated += 1,
+            InputDefect::WorkerPanic => self.workers_restarted += 1,
+        }
+    }
+
+    /// Accumulates another stage's report into this one.
+    pub fn merge(&mut self, other: &Degradation) {
+        self.pages_dropped += other.pages_dropped;
+        self.pages_truncated += other.pages_truncated;
+        self.pages_garbled += other.pages_garbled;
+        self.duplicates_added += other.duplicates_added;
+        self.pages_rejected += other.pages_rejected;
+        self.rows_skipped += other.rows_skipped;
+        self.fields_imputed += other.fields_imputed;
+        self.chunks_truncated += other.chunks_truncated;
+        self.workers_restarted += other.workers_restarted;
+    }
+
+    /// True when nothing was injected, skipped or imputed anywhere —
+    /// the report a zero-rate plan must produce.
+    pub fn is_clean(&self) -> bool {
+        *self == Degradation::default()
+    }
+
+    /// Total count of defects the pipeline *survived* (excludes the
+    /// injection-side counters, which describe the inputs, not the
+    /// recovery).
+    pub fn defects_survived(&self) -> usize {
+        self.pages_rejected
+            + self.rows_skipped
+            + self.fields_imputed
+            + self.chunks_truncated
+            + self.workers_restarted
+    }
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dropped {} / truncated {} / garbled {} / duplicated {} pages; \
+             rejected {} pages, skipped {} rows, imputed {} fields, \
+             {} truncated chunks, restarted {} workers",
+            self.pages_dropped,
+            self.pages_truncated,
+            self.pages_garbled,
+            self.duplicates_added,
+            self.pages_rejected,
+            self.rows_skipped,
+            self.fields_imputed,
+            self.chunks_truncated,
+            self.workers_restarted
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_order_free() {
+        let plan = FaultPlan::uniform(42, 0.3);
+        let a: Vec<bool> = (0..100)
+            .map(|i| plan.decide(plan.page_drop, salt::PAGE_DROP, i))
+            .collect();
+        let b: Vec<bool> = (0..100)
+            .rev()
+            .map(|i| plan.decide(plan.page_drop, salt::PAGE_DROP, i))
+            .rev()
+            .collect();
+        assert_eq!(a, b);
+        // A different seed gives a different decision vector.
+        let other = FaultPlan::uniform(43, 0.3);
+        let c: Vec<bool> = (0..100)
+            .map(|i| other.decide(other.page_drop, salt::PAGE_DROP, i))
+            .collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_passthrough());
+        for i in 0..1000 {
+            assert!(!plan.decide(plan.page_drop, salt::PAGE_DROP, i));
+            assert!(!plan.decide(plan.worker_panic, salt::WORKER_PANIC, i));
+        }
+        // Even a seeded plan with rate zero is a passthrough.
+        assert!(FaultPlan::uniform(7, 0.0).is_passthrough());
+        // NaN / out-of-range rates clamp instead of misfiring.
+        assert!(FaultPlan::uniform(7, f64::NAN).is_passthrough());
+        assert_eq!(FaultPlan::uniform(7, 2.0).page_drop, 1.0);
+        // A NaN rate handed to `decide` directly never fires either.
+        assert!(!FaultPlan::none().decide(f64::NAN, salt::PAGE_DROP, 3));
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let plan = FaultPlan::uniform(9, 0.2);
+        let fired = (0..10_000)
+            .filter(|&i| plan.decide(plan.row_drop, salt::HARVEST_ROW_DROP, i))
+            .count();
+        assert!((1_600..=2_400).contains(&fired), "fired {fired}/10000");
+        // Rate 1 always fires.
+        let all = FaultPlan::uniform(9, 1.0);
+        assert!((0..100).all(|i| all.decide(all.row_drop, salt::HARVEST_ROW_DROP, i)));
+    }
+
+    #[test]
+    fn salts_separate_fault_sites() {
+        let plan = FaultPlan::uniform(11, 0.5);
+        let drops: Vec<bool> = (0..200)
+            .map(|i| plan.decide(plan.page_drop, salt::PAGE_DROP, i))
+            .collect();
+        let garbles: Vec<bool> = (0..200)
+            .map(|i| plan.decide(plan.page_garble, salt::PAGE_GARBLE, i))
+            .collect();
+        assert_ne!(drops, garbles);
+    }
+
+    #[test]
+    fn fraction_and_pick_are_in_range() {
+        let plan = FaultPlan::uniform(13, 1.0);
+        for i in 0..500 {
+            let f = plan.fraction(salt::PAGE_TRUNCATE_AT, i);
+            assert!((0.0..1.0).contains(&f));
+            assert!(plan.pick(salt::CELL_FLAVOR, i, 3) < 3);
+        }
+        assert_eq!(plan.pick(salt::CELL_FLAVOR, 1, 0), 0);
+    }
+
+    #[test]
+    fn keys_do_not_collide_over_small_coordinates() {
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..20 {
+            for b in 0..50 {
+                assert!(seen.insert(key2(a, b)));
+            }
+        }
+        let mut seen3 = std::collections::HashSet::new();
+        for a in 0..10 {
+            for b in 0..20 {
+                for c in 0..10 {
+                    assert!(seen3.insert(key3(a, b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degradation_records_merge_and_report() {
+        let mut deg = Degradation::default();
+        assert!(deg.is_clean());
+        deg.record(InputDefect::TruncatedPage);
+        deg.record(InputDefect::MalformedPage);
+        deg.record(InputDefect::NonFiniteValue);
+        deg.record(InputDefect::MissingRow);
+        deg.record(InputDefect::TruncatedChunk);
+        deg.record(InputDefect::WorkerPanic);
+        assert_eq!(deg.pages_rejected, 2);
+        assert_eq!(deg.fields_imputed, 1);
+        assert_eq!(deg.rows_skipped, 1);
+        assert_eq!(deg.chunks_truncated, 1);
+        assert_eq!(deg.workers_restarted, 1);
+        assert_eq!(deg.defects_survived(), 6);
+        assert!(!deg.is_clean());
+
+        let mut other = Degradation {
+            pages_dropped: 3,
+            ..Degradation::default()
+        };
+        other.merge(&deg);
+        assert_eq!(other.pages_dropped, 3);
+        assert_eq!(other.pages_rejected, 2);
+        // Injection-side counters do not count as survived defects.
+        assert_eq!(other.defects_survived(), 6);
+        let text = format!("{other}");
+        assert!(text.contains("dropped 3"), "{text}");
+        assert!(text.contains("restarted 1 workers"), "{text}");
+    }
+
+    #[test]
+    fn defect_display_and_error() {
+        let defect = InputDefect::TruncatedChunk;
+        assert_eq!(format!("{defect}"), "truncated chunk");
+        let boxed: Box<dyn Error> = Box::new(defect);
+        assert!(boxed.source().is_none());
+    }
+}

@@ -1,0 +1,208 @@
+//! Corpus-level fault injection: applies a [`FaultPlan`]'s page-level
+//! faults to a rendered corpus, producing the dirty web the robustness
+//! axis measures the attack against.
+
+use crate::page::WebPage;
+use fred_faults::{salt, Degradation, FaultPlan};
+
+/// Applies a plan's page-level faults to a corpus, in place of the clean
+/// pages: drops (tombstones), truncations, garbled text windows and
+/// appended duplicates. Returns the corrupted pages plus the injection
+/// report.
+///
+/// Positional invariants the index relies on are preserved: a dropped
+/// page keeps its slot (id and position) but loses its name and text — a
+/// tombstone, exactly what a dead link leaves behind — and duplicates are
+/// appended at the tail with fresh sequential ids. Every decision is a
+/// pure function of `(plan seed, fault site, page id)`, so the same plan
+/// corrupts the same corpus identically regardless of call order, and a
+/// zero-rate plan returns the input bit-identically.
+pub fn corrupt_pages(pages: Vec<WebPage>, plan: &FaultPlan) -> (Vec<WebPage>, Degradation) {
+    let mut deg = Degradation::default();
+    let mut out = Vec::with_capacity(pages.len());
+    let mut duplicates = Vec::new();
+    for mut page in pages {
+        let site = page.id as u64;
+        if plan.decide(plan.page_drop, salt::PAGE_DROP, site) {
+            page.text.clear();
+            page.display_name.clear();
+            page.person_id = None;
+            deg.pages_dropped += 1;
+            out.push(page);
+            continue;
+        }
+        if plan.decide(plan.page_truncate, salt::PAGE_TRUNCATE, site) {
+            // Cut somewhere in the middle 15–85% of the text, snapped
+            // back to a char boundary.
+            let frac = 0.15 + 0.7 * plan.fraction(salt::PAGE_TRUNCATE_AT, site);
+            let mut cut = (page.text.len() as f64 * frac) as usize;
+            while cut > 0 && !page.text.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            page.text.truncate(cut);
+            deg.pages_truncated += 1;
+        }
+        if plan.decide(plan.page_garble, salt::PAGE_GARBLE, site) {
+            // Overwrite a window of the text with '?' — the display name
+            // is left alone (linkage can still match the page; it is the
+            // *facts* that rot), mirroring OCR / encoding damage.
+            let start =
+                (page.text.len() as f64 * plan.fraction(salt::PAGE_GARBLE_AT, site)) as usize;
+            let width = page.text.len() / 5 + 1;
+            page.text = page
+                .text
+                .char_indices()
+                .map(|(i, c)| {
+                    if i >= start && i < start + width && c.is_ascii_alphanumeric() {
+                        '?'
+                    } else {
+                        c
+                    }
+                })
+                .collect();
+            deg.pages_garbled += 1;
+        }
+        if plan.decide(plan.page_duplicate, salt::PAGE_DUPLICATE, site) {
+            duplicates.push(page.clone());
+            deg.duplicates_added += 1;
+        }
+        out.push(page);
+    }
+    for mut dup in duplicates {
+        dup.id = out.len();
+        out.push(dup);
+    }
+    (out, deg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{build_corpus, CorpusConfig};
+    use crate::index::SearchEngine;
+    use fred_synth::person::{generate_population, PopulationConfig};
+
+    fn corpus_pages() -> Vec<WebPage> {
+        let people = generate_population(&PopulationConfig {
+            size: 40,
+            web_presence_rate: 1.0,
+            ..PopulationConfig::default()
+        });
+        build_corpus(&people, &CorpusConfig::default())
+            .pages()
+            .to_vec()
+    }
+
+    #[test]
+    fn zero_rate_plan_is_bit_identical_passthrough() {
+        let pages = corpus_pages();
+        let (out, deg) = corrupt_pages(pages.clone(), &FaultPlan::none());
+        assert_eq!(out, pages);
+        assert!(deg.is_clean());
+        // A seeded plan with zero rates is a passthrough too.
+        let (out, deg) = corrupt_pages(pages.clone(), &FaultPlan::uniform(99, 0.0));
+        assert_eq!(out, pages);
+        assert!(deg.is_clean());
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_plan() {
+        let pages = corpus_pages();
+        let plan = FaultPlan::uniform(7, 0.25);
+        let (a, deg_a) = corrupt_pages(pages.clone(), &plan);
+        let (b, deg_b) = corrupt_pages(pages.clone(), &plan);
+        assert_eq!(a, b);
+        assert_eq!(deg_a, deg_b);
+        assert!(!deg_a.is_clean());
+        // A different seed corrupts differently.
+        let (c, _) = corrupt_pages(pages, &FaultPlan::uniform(8, 0.25));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dropped_pages_become_aligned_tombstones() {
+        let pages = corpus_pages();
+        let n = pages.len();
+        let plan = FaultPlan {
+            page_drop: 0.5,
+            ..FaultPlan::uniform(3, 0.0)
+        };
+        let (out, deg) = corrupt_pages(pages, &plan);
+        assert_eq!(out.len(), n);
+        assert!(deg.pages_dropped > 0);
+        let tombstones = out
+            .iter()
+            .filter(|p| p.text.is_empty() && p.display_name.is_empty())
+            .count();
+        assert_eq!(tombstones, deg.pages_dropped);
+        // Positional id alignment survives: the index can still resolve
+        // page `i` at slot `i`.
+        let engine = SearchEngine::build(out);
+        for i in 0..n {
+            assert_eq!(engine.page(i).map(|p| p.id), Some(i));
+        }
+    }
+
+    #[test]
+    fn duplicates_are_appended_with_fresh_ids() {
+        let pages = corpus_pages();
+        let n = pages.len();
+        let plan = FaultPlan {
+            page_duplicate: 0.3,
+            ..FaultPlan::uniform(5, 0.0)
+        };
+        let (out, deg) = corrupt_pages(pages, &plan);
+        assert!(deg.duplicates_added > 0);
+        assert_eq!(out.len(), n + deg.duplicates_added);
+        for (i, p) in out.iter().enumerate() {
+            assert_eq!(p.id, i);
+        }
+        // Each duplicate mirrors an original's text.
+        for dup in &out[n..] {
+            assert!(out[..n].iter().any(|p| p.text == dup.text));
+        }
+    }
+
+    #[test]
+    fn truncation_respects_char_boundaries() {
+        let mut page = WebPage::render(
+            0,
+            None,
+            crate::page::PageKind::Blog,
+            "Ana Núñez-Ibárruri",
+            "Director",
+            "Café München GmbH",
+            None,
+        );
+        // Pad with multibyte text so cuts land inside characters often.
+        page.text.push_str(&"héllo wörld ".repeat(20));
+        let n_originals = 64;
+        for seed in 0..n_originals {
+            let plan = FaultPlan {
+                page_truncate: 1.0,
+                ..FaultPlan::uniform(seed, 0.0)
+            };
+            let (out, deg) = corrupt_pages(vec![page.clone()], &plan);
+            assert_eq!(deg.pages_truncated, 1);
+            assert!(out[0].text.len() < page.text.len());
+            // Would panic at build time if the cut split a char.
+            let _ = out[0].text.to_lowercase();
+        }
+    }
+
+    #[test]
+    fn garbling_spares_the_display_name() {
+        let pages = corpus_pages();
+        let plan = FaultPlan {
+            page_garble: 1.0,
+            ..FaultPlan::uniform(11, 0.0)
+        };
+        let (out, deg) = corrupt_pages(pages.clone(), &plan);
+        assert_eq!(deg.pages_garbled, pages.len());
+        for (orig, got) in pages.iter().zip(&out) {
+            assert_eq!(orig.display_name, got.display_name);
+            assert_eq!(orig.text.len(), got.text.len());
+        }
+        assert!(out.iter().any(|p| p.text.contains('?')));
+    }
+}

@@ -2,6 +2,7 @@
 //! the auxiliary facts the adversary needs (paper Table IV's columns).
 
 use crate::page::{PageKind, WebPage};
+use fred_faults::InputDefect;
 
 /// An auxiliary record extracted from one page — the programmatic analog
 /// of one row of the paper's Table IV.
@@ -101,6 +102,41 @@ pub fn extract(page: &WebPage) -> AuxRecord {
     }
     record.seniority_level = record.title.as_deref().and_then(title_seniority);
     record
+}
+
+/// Checked variant of [`extract`] for dirty corpora: instead of parsing
+/// whatever survives on a damaged page, it rejects pages whose template
+/// frame is no longer intact — so a tolerant caller can *skip and count*
+/// the page rather than fuse garbage.
+///
+/// Rejections map onto the shared taxonomy: a page with no name or text
+/// at all (a tombstone) is a [`MalformedPage`](InputDefect::MalformedPage);
+/// a page whose kind-specific head or tail marker is cut off is a
+/// [`TruncatedPage`](InputDefect::TruncatedPage). On every cleanly
+/// rendered page this returns exactly `Ok(extract(page))` (a non-finite
+/// square footage is additionally dropped, defensively — templates never
+/// render one).
+pub fn extract_checked(page: &WebPage) -> Result<AuxRecord, InputDefect> {
+    if page.display_name.trim().is_empty() || page.text.trim().is_empty() {
+        return Err(InputDefect::MalformedPage);
+    }
+    // Each template has a fixed head and tail; truncation or a garble
+    // window over either boundary breaks the frame.
+    let (head, tail) = match page.kind {
+        PageKind::Directory => ("STAFF DIRECTORY", "Office hours by appointment."),
+        PageKind::Homepage => ("Welcome to the homepage of", "Thanks for visiting!"),
+        PageKind::News => ("LOCAL NEWS", "public library."),
+        PageKind::PropertyRecord => ("COUNTY PROPERTY RECORDS", "Assessment year:"),
+        PageKind::Blog => ("About me", "gardening and chess."),
+    };
+    if !page.text.starts_with(head) || !page.text.contains(tail) {
+        return Err(InputDefect::TruncatedPage);
+    }
+    let mut record = extract(page);
+    if record.property_sqft.is_some_and(|s| !s.is_finite()) {
+        record.property_sqft = None;
+    }
+    Ok(record)
 }
 
 /// Merges several extractions about the same person into one consolidated
@@ -262,6 +298,57 @@ mod tests {
         assert_eq!(title_seniority("Assistant Professor"), Some(1));
         assert_eq!(title_seniority("Analyst"), Some(1));
         assert_eq!(title_seniority("Wizard"), None);
+    }
+
+    #[test]
+    fn extract_checked_accepts_every_clean_template() {
+        for (i, kind) in PageKind::ALL.into_iter().enumerate() {
+            let p = WebPage::render(
+                i,
+                Some(i),
+                kind,
+                "Alice Walker",
+                "Director",
+                "NYU",
+                Some(2200.0),
+            );
+            let checked = extract_checked(&p).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            // Exact agreement with the lossy extractor on intact pages.
+            assert_eq!(checked, extract(&p), "{kind}");
+        }
+    }
+
+    #[test]
+    fn extract_checked_rejects_truncated_pages() {
+        // Regression: truncated pages used to be parsed as if intact,
+        // feeding half-fields into consolidation.
+        for (i, kind) in PageKind::ALL.into_iter().enumerate() {
+            let mut p = WebPage::render(
+                i,
+                Some(i),
+                kind,
+                "Alice Walker",
+                "Director",
+                "NYU",
+                Some(2200.0),
+            );
+            p.text.truncate(p.text.len() / 2);
+            assert_eq!(
+                extract_checked(&p),
+                Err(InputDefect::TruncatedPage),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn extract_checked_rejects_tombstones_and_blank_names() {
+        let mut p = WebPage::render(0, None, PageKind::News, "Wei Chen", "Director", "NYU", None);
+        p.text.clear();
+        assert_eq!(extract_checked(&p), Err(InputDefect::MalformedPage));
+        let mut q = WebPage::render(1, None, PageKind::News, "Wei Chen", "Director", "NYU", None);
+        q.display_name = "   ".into();
+        assert_eq!(extract_checked(&q), Err(InputDefect::MalformedPage));
     }
 
     #[test]

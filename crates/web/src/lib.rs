@@ -33,13 +33,15 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod corrupt;
 pub mod extract;
 pub mod index;
 pub mod noise;
 pub mod page;
 
 pub use corpus::{audit_property_pages, build_corpus, CorpusConfig, PropertyAudit};
-pub use extract::{consolidate, extract, title_seniority, AuxRecord};
+pub use corrupt::corrupt_pages;
+pub use extract::{consolidate, extract, extract_checked, title_seniority, AuxRecord};
 pub use index::{SearchEngine, SearchHit, SearchScratch, TermCache};
 pub use noise::NameNoise;
 pub use page::{tokenize, PageKind, WebPage};

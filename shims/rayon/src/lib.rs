@@ -236,6 +236,84 @@ where
         .collect()
 }
 
+/// Fault-tolerant parallel map: like the strict pipeline, every item is
+/// mapped in input order — but each item runs under its own
+/// `catch_unwind`, so one panicking item yields `None` in its slot
+/// instead of poisoning the whole batch after settle. Returns the
+/// per-item results plus the number of panics caught.
+///
+/// The strict pipeline (`par_iter().map(..)`) stays the default; reach
+/// for this only at a boundary that must survive corrupt inputs.
+pub fn map_catch<T, R, F>(items: Vec<T>, f: F) -> (Vec<Option<R>>, usize)
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    map_catch_init(items, || (), |(), t| f(t))
+}
+
+/// [`map_catch`] with a per-worker-chunk scratch value created by `init`
+/// (the `map_init` pattern). A panic mid-item discards that item's
+/// result only; the chunk's scratch value is reused for the remaining
+/// items, which is sound here because each chunk builds a fresh scratch.
+pub fn map_catch_init<T, S, R, I, F>(items: Vec<T>, init: I, f: F) -> (Vec<Option<R>>, usize)
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    let run_item = |scratch: &mut S, t: T| -> Option<R> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(scratch, t))).ok()
+    };
+    let width = pool_width();
+    let n = items.len();
+    let results: Vec<Option<R>> = if width <= 1 || n < 2 || IN_POOL.with(|c| c.get()) {
+        let mut scratch = init();
+        items
+            .into_iter()
+            .map(|t| run_item(&mut scratch, t))
+            .collect()
+    } else {
+        let chunks = split_chunks(items, width.min(n));
+        let init = &init;
+        let run_item = &run_item;
+        pool::global()
+            .map_chunks(chunks, |chunk| {
+                let mut scratch = init();
+                chunk
+                    .into_iter()
+                    .map(|t| run_item(&mut scratch, t))
+                    .collect()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+    };
+    let caught = results.iter().filter(|r| r.is_none()).count();
+    (results, caught)
+}
+
+/// Runs `f` with the default panic hook silenced, so panics *caught and
+/// recovered* inside (injected worker faults under a tolerant map) do
+/// not spray backtraces on stderr. The previous hook is restored before
+/// returning, and a panic that escapes `f` is re-raised unchanged.
+///
+/// The hook is process-global: concurrent panics outside `f` are also
+/// silenced for the duration. Use only around a bounded tolerant stage.
+pub fn silence_panics<R>(f: impl FnOnce() -> R) -> R {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    let _ = std::panic::take_hook();
+    std::panic::set_hook(hook);
+    match out {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
 /// A fully-materialized parallel iterator pipeline stage.
 pub struct ParIter<T> {
     items: Vec<T>,
@@ -541,6 +619,80 @@ mod tests {
         );
         let flat: Vec<usize> = out.into_iter().flatten().collect();
         assert_eq!(flat, (0..10).map(|i| i * 10 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_catch_contains_panics_and_continues_the_batch() {
+        let xs: Vec<usize> = (0..100).collect();
+        let (out, caught) = super::silence_panics(|| {
+            super::map_catch(xs, |x| {
+                if x % 10 == 3 {
+                    panic!("injected fault at {x}");
+                }
+                x * 2
+            })
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(caught, 10);
+        for (i, slot) in out.iter().enumerate() {
+            if i % 10 == 3 {
+                assert_eq!(*slot, None);
+            } else {
+                assert_eq!(*slot, Some(i * 2));
+            }
+        }
+    }
+
+    #[test]
+    fn map_catch_matches_strict_map_when_nothing_panics() {
+        let xs: Vec<usize> = (0..256).collect();
+        let strict: Vec<usize> = xs.clone().into_par_iter().map(|x| x + 7).collect();
+        let (tolerant, caught) = super::map_catch(xs, |x| x + 7);
+        assert_eq!(caught, 0);
+        let tolerant: Vec<usize> = tolerant.into_iter().map(Option::unwrap).collect();
+        assert_eq!(tolerant, strict);
+    }
+
+    #[test]
+    fn map_catch_init_reuses_scratch_and_counts_panics() {
+        let xs: Vec<usize> = (0..64).collect();
+        let (out, caught) = super::silence_panics(|| {
+            super::map_catch_init(
+                xs,
+                || 0usize,
+                |seen, x| {
+                    *seen += 1;
+                    if x == 31 {
+                        panic!("boom");
+                    }
+                    x
+                },
+            )
+        });
+        assert_eq!(caught, 1);
+        assert_eq!(out[31], None);
+        assert_eq!(out.iter().filter(|r| r.is_some()).count(), 63);
+    }
+
+    #[test]
+    fn map_catch_sequential_path_contains_panics_too() {
+        // A single item takes the sequential fast path regardless of
+        // core count; the panic must still be contained there.
+        let (out, caught) =
+            super::silence_panics(|| super::map_catch(vec![5usize], |_| -> usize { panic!("x") }));
+        assert_eq!(out, vec![None]);
+        assert_eq!(caught, 1);
+    }
+
+    #[test]
+    fn silence_panics_returns_value_and_reraises_escaping_panics() {
+        assert_eq!(super::silence_panics(|| 41 + 1), 42);
+        let escaped = std::panic::catch_unwind(|| super::silence_panics(|| panic!("through")));
+        assert!(escaped.is_err());
+        // The previous hook is restored: a normal panic after the call
+        // still reaches a hook (smoke-checked by catching one quietly).
+        let again = std::panic::catch_unwind(|| super::silence_panics(|| 1));
+        assert_eq!(again.unwrap(), 1);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! | [`synth`] | `fred-synth` | seeded population and dataset generators |
 //! | [`attack`] | `fred-attack` | the web-based information-fusion attack |
 //! | [`composition`] | `fred-composition` | multi-release intersection attacks fused with the harvest |
+//! | [`faults`] | `fred-faults` | seeded fault injection + graceful-degradation ledger |
 //! | [`core`] | `fred-core` | dissimilarity, objective `H`, Algorithm 1 (FRED) |
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
@@ -28,6 +29,7 @@ pub use fred_attack as attack;
 pub use fred_composition as composition;
 pub use fred_core as core;
 pub use fred_data as data;
+pub use fred_faults as faults;
 pub use fred_fuzzy as fuzzy;
 pub use fred_linkage as linkage;
 pub use fred_synth as synth;

@@ -1,0 +1,279 @@
+//! The robustness contract, end-to-end: the fault-tolerant pipeline
+//! (corpus corruption → tolerant harvest → tolerant intersection →
+//! tolerant composition) must be an *exact passthrough* of the strict
+//! pipeline whenever the fault plan's rates are zero — whatever its seed
+//! — and must complete with zero escaped panics and finite, reproducible
+//! metrics under 10% corruption at every stage boundary at once.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use fred_suite::anon::Mdav;
+use fred_suite::attack::{
+    harvest_auxiliary, harvest_auxiliary_tolerant, FuzzyFusion, FuzzyFusionConfig, HarvestConfig,
+};
+use fred_suite::composition::{
+    compose_attack, compose_attack_tolerant, generate_scenario, intersect_releases,
+    intersect_releases_tolerant, CompositionConfig, CompositionScenario, ScenarioConfig,
+};
+use fred_suite::data::Table;
+use fred_suite::faults::{Degradation, FaultPlan};
+use fred_suite::synth::{customer_table, generate_population, CustomerConfig, PopulationConfig};
+use fred_suite::web::{build_corpus, corrupt_pages, CorpusConfig, NameNoise, SearchEngine};
+
+const WORLD_SIZE: usize = 60;
+
+/// One world shared across every case: the passthrough property is about
+/// the *plan*, so only the plan seed varies.
+fn world() -> &'static (Table, SearchEngine) {
+    static WORLD: OnceLock<(Table, SearchEngine)> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let people = generate_population(&PopulationConfig {
+            size: WORLD_SIZE,
+            web_presence_rate: 0.95,
+            seed: 2015,
+            ..PopulationConfig::default()
+        });
+        let table = customer_table(&people, &CustomerConfig::default());
+        let web = build_corpus(
+            &people,
+            &CorpusConfig {
+                noise: NameNoise::none(),
+                pages_per_person: (2, 3),
+                seed: 2015 ^ 0xBEEF,
+                ..CorpusConfig::default()
+            },
+        );
+        (table, web)
+    })
+}
+
+fn scenario(table: &Table) -> CompositionScenario {
+    generate_scenario(
+        table,
+        &Mdav::new(),
+        &ScenarioConfig {
+            releases: 3,
+            k: 4,
+            ..ScenarioConfig::default()
+        },
+    )
+    .expect("scenario generates")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // The tentpole passthrough property: a zero-rate plan is invisible at
+    // EVERY stage boundary — page corruption, harvest, release
+    // intersection, end-to-end composition — bit-identical outputs and a
+    // clean degradation ledger, regardless of the plan's seed.
+    #[test]
+    fn zero_rate_plan_is_an_exact_passthrough_everywhere(plan_seed in 0u64..100_000) {
+        let (table, web) = world();
+        let plan = FaultPlan::uniform(plan_seed, 0.0);
+        prop_assert!(plan.is_passthrough());
+
+        // Pages: untouched, no tombstones, no duplicates.
+        let (pages, page_deg) = corrupt_pages(web.pages().to_vec(), &plan);
+        prop_assert_eq!(&pages[..], web.pages());
+        prop_assert!(page_deg.is_clean());
+
+        // Harvest: record-for-record identical to the strict path.
+        let release = table.suppress_sensitive();
+        let strict = harvest_auxiliary(&release, web, &HarvestConfig::default()).unwrap();
+        let (tolerant, deg) =
+            harvest_auxiliary_tolerant(&release, web, &HarvestConfig::default(), &plan).unwrap();
+        prop_assert_eq!(&tolerant, &strict);
+        prop_assert!(deg.is_clean());
+
+        // Intersection: identical feasible boxes and candidate sets.
+        let scenario = scenario(table);
+        let strict_inters =
+            intersect_releases(&scenario.sources, &scenario.targets, table.len(), 16).unwrap();
+        let (tolerant_inters, deg) = intersect_releases_tolerant(
+            &scenario.sources,
+            &scenario.targets,
+            table.len(),
+            16,
+            &plan,
+        )
+        .unwrap();
+        prop_assert_eq!(&tolerant_inters, &strict_inters);
+        prop_assert!(deg.is_clean());
+    }
+}
+
+#[test]
+fn zero_rate_composition_is_bit_identical_to_the_strict_attack() {
+    let (table, web) = world();
+    let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+    let config = CompositionConfig {
+        scenario: ScenarioConfig {
+            releases: 3,
+            k: 4,
+            ..ScenarioConfig::default()
+        },
+        ..CompositionConfig::default()
+    };
+    let strict = compose_attack(table, web, &Mdav::new(), &fusion, &config).unwrap();
+    for plan_seed in [0u64, 7, 0xFA17, u64::MAX] {
+        let (tolerant, deg) = compose_attack_tolerant(
+            table,
+            web,
+            &Mdav::new(),
+            &fusion,
+            &config,
+            &FaultPlan::uniform(plan_seed, 0.0),
+        )
+        .unwrap();
+        assert_eq!(
+            tolerant, strict,
+            "plan seed {plan_seed} perturbed the attack"
+        );
+        assert!(
+            deg.is_clean(),
+            "plan seed {plan_seed} dirtied the ledger: {deg:?}"
+        );
+    }
+}
+
+// The headline acceptance criterion: the whole pipeline, corrupted at
+// 10% at every stage boundary at once (pages + harvest rows + worker
+// panics + release rows/cells/chunks), completes with zero escaped
+// panics, a non-trivial degradation ledger, finite metrics, and is
+// reproducible run-to-run.
+#[test]
+fn ten_percent_corruption_completes_with_zero_panics_and_finite_metrics() {
+    let (table, web) = world();
+    let plan = FaultPlan::uniform(42, 0.1);
+    let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).unwrap();
+    let config = CompositionConfig {
+        scenario: ScenarioConfig {
+            releases: 3,
+            k: 4,
+            ..ScenarioConfig::default()
+        },
+        ..CompositionConfig::default()
+    };
+
+    let run = || {
+        rayon::silence_panics(|| {
+            let (pages, page_deg) = corrupt_pages(web.pages().to_vec(), &plan);
+            let engine = SearchEngine::build(pages);
+            let (harvest, harvest_deg) = harvest_auxiliary_tolerant(
+                &table.suppress_sensitive(),
+                &engine,
+                &HarvestConfig::default(),
+                &plan,
+            )
+            .expect("tolerant harvest survives injected faults");
+            let (outcome, compose_deg) =
+                compose_attack_tolerant(table, &engine, &Mdav::new(), &fusion, &config, &plan)
+                    .expect("tolerant composition survives injected faults");
+            let mut deg = page_deg;
+            deg.merge(&harvest_deg);
+            deg.merge(&compose_deg);
+            (harvest, outcome, deg)
+        })
+    };
+
+    let (harvest, outcome, deg) = run();
+    assert!(!deg.is_clean(), "10% corruption left no trace: {deg:?}");
+    assert!(
+        deg.defects_survived() > 0,
+        "nothing was skipped-and-counted: {deg:?}"
+    );
+    assert!(outcome.disclosure_gain.is_finite());
+    assert!(outcome.dissim_single.is_finite());
+    assert!(outcome.dissim_composed.is_finite());
+    for r in &outcome.records {
+        assert!(r.estimate.is_finite());
+        assert!(r.feasible_income_width.is_finite());
+        assert!(r.baseline_income_width.is_finite());
+    }
+    for rec in harvest.records.iter().flatten() {
+        if let Some(sqft) = rec.property_sqft {
+            assert!(sqft.is_finite());
+        }
+    }
+
+    // Pure-hash fault decisions: the degraded run reproduces exactly.
+    let (harvest2, outcome2, deg2) = run();
+    assert_eq!(harvest, harvest2);
+    assert_eq!(outcome, outcome2);
+    assert_eq!(deg, deg2);
+}
+
+// Worker panics alone — no data corruption — are contained per row: the
+// panicking rows degrade to empty aux records, every other row matches
+// the strict harvest bit-for-bit, and the ledger counts the restarts.
+#[test]
+fn injected_worker_panics_are_contained_row_by_row() {
+    let (table, web) = world();
+    let plan = FaultPlan {
+        worker_panic: 0.3,
+        ..FaultPlan::uniform(9, 0.0)
+    };
+    let release = table.suppress_sensitive();
+    let strict = harvest_auxiliary(&release, web, &HarvestConfig::default()).unwrap();
+    let (tolerant, deg) = rayon::silence_panics(|| {
+        harvest_auxiliary_tolerant(&release, web, &HarvestConfig::default(), &plan)
+    })
+    .unwrap();
+    assert!(deg.workers_restarted > 0, "no panics fired at 30%: {deg:?}");
+    assert!(
+        deg.workers_restarted < WORLD_SIZE,
+        "every worker panicked: {deg:?}"
+    );
+    let mut surviving = 0usize;
+    for row in 0..WORLD_SIZE {
+        if plan.decide(
+            plan.worker_panic,
+            fred_suite::faults::salt::WORKER_PANIC,
+            row as u64,
+        ) {
+            assert!(
+                tolerant.linked[row].is_empty(),
+                "panicked row {row} still carries links"
+            );
+        } else {
+            assert_eq!(tolerant.records[row], strict.records[row], "row {row}");
+            assert_eq!(tolerant.linked[row], strict.linked[row], "row {row}");
+            surviving += 1;
+        }
+    }
+    assert_eq!(surviving + deg.workers_restarted, WORLD_SIZE);
+}
+
+// The ledger itself: merge is additive and the survival counters feed
+// defects_survived, so bench rows cannot under-report what was skipped.
+#[test]
+fn degradation_ledger_merges_additively() {
+    let (table, web) = world();
+    let plan = FaultPlan::uniform(5, 0.25);
+    let (_, page_deg) = corrupt_pages(web.pages().to_vec(), &plan);
+    let (_, harvest_deg) = rayon::silence_panics(|| {
+        harvest_auxiliary_tolerant(
+            &table.suppress_sensitive(),
+            web,
+            &HarvestConfig::default(),
+            &plan,
+        )
+    })
+    .unwrap();
+    let mut merged = Degradation::default();
+    merged.merge(&page_deg);
+    merged.merge(&harvest_deg);
+    assert_eq!(
+        merged.defects_survived(),
+        page_deg.defects_survived() + harvest_deg.defects_survived()
+    );
+    assert_eq!(merged.pages_dropped, page_deg.pages_dropped);
+    assert_eq!(
+        merged.workers_restarted,
+        page_deg.workers_restarted + harvest_deg.workers_restarted
+    );
+    assert!(!merged.is_clean());
+}
