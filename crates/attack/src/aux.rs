@@ -372,7 +372,9 @@ pub fn harvest_auxiliary_tolerant(
         .into_iter()
         .enumerate()
         .map(|(row, name)| {
-            if plan.decide(plan.row_drop, salt::HARVEST_ROW_DROP, row as u64) {
+            if plan.targets_row(row)
+                || plan.decide(plan.row_drop, salt::HARVEST_ROW_DROP, row as u64)
+            {
                 deg.record(InputDefect::MissingRow);
                 // A blanked identifier harvests nothing, exactly like a
                 // release row that never arrived.

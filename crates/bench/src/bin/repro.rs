@@ -18,8 +18,19 @@
 //!                               # to the seeded 512-row sample
 //!   repro --quick --faults 0.1  # + the fault-injection robustness sweep
 //!                               # (robustness block in BENCH_sweep.json)
+//!   repro --quick --checkpoint-dir ckpt  # commit a checksummed artifact at
+//!                                        # every stage boundary (deterministic
+//!                                        # mode -> BENCH_sweep.ckpt.json)
+//!   repro --quick --checkpoint-dir ckpt --resume  # restart from the last
+//!                                                 # valid checkpoint; the JSON
+//!                                                 # is bit-identical to an
+//!                                                 # uninterrupted run
 //!   repro --quick --out perf.json
 //!   repro --size 240 --seed 2008
+//!
+//! `FRED_HALT_AFTER=<stage>` makes a checkpointed run exit with code 86
+//! right after that stage's checkpoint commits — the deterministic
+//! kill-point the resume tests and the CI smoke job use.
 
 use fred_bench::compare::compare_baselines;
 use fred_bench::figures::{ascii_plot, figure8, figure_sweep};
@@ -45,6 +56,8 @@ fn main() {
     let mut out_given = false;
     let mut out_path = String::from("BENCH_sweep.json");
     let mut large_size = DEFAULT_LARGE_SIZE;
+    let mut checkpoint_dir: Option<String> = None;
+    let mut resume = false;
     let mut compare_path: Option<String> = None;
     let mut figs: Vec<u32> = Vec::new();
     let mut i = 0;
@@ -89,6 +102,15 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--large-size needs an integer (0 disables)"));
             }
+            "--checkpoint-dir" => {
+                i += 1;
+                checkpoint_dir = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--checkpoint-dir needs a path")),
+                );
+            }
+            "--resume" => resume = true,
             "--compare" => {
                 i += 1;
                 compare_path = Some(
@@ -128,17 +150,32 @@ fn main() {
         || compare_path.is_some()
         || large_size != DEFAULT_LARGE_SIZE
         || want_exhaustive
-        || faults.is_some())
+        || faults.is_some()
+        || checkpoint_dir.is_some()
+        || resume)
         && !want_quick
     {
         usage(
-            "--out/--compare/--large-size/--exhaustive/--faults only apply together with --quick",
+            "--out/--compare/--large-size/--exhaustive/--faults/--checkpoint-dir/--resume \
+             only apply together with --quick",
         );
+    }
+    if resume && checkpoint_dir.is_none() {
+        usage("--resume requires --checkpoint-dir (nothing to resume from)");
     }
     if defend.is_some() && !want_compose {
         usage("--defend only applies together with --compose");
     }
     if want_quick {
+        if checkpoint_dir.is_some() && !out_given {
+            // A checkpointed run is deterministic (zeroed timings): don't
+            // let it silently replace the committed timing baseline.
+            out_path = String::from("BENCH_sweep.ckpt.json");
+            println!(
+                "note: checkpointed runs zero all timings; writing to {out_path} \
+                 (use --out to override)"
+            );
+        }
         let large = if large_size == 0 {
             None
         } else {
@@ -154,6 +191,9 @@ fn main() {
                 defend,
                 exhaustive: want_exhaustive,
                 faults,
+                checkpoint_dir: checkpoint_dir.map(std::path::PathBuf::from),
+                resume,
+                halt_after: std::env::var("FRED_HALT_AFTER").ok(),
             },
         );
         return;
@@ -201,6 +241,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro [--tables] [--fig N]... [--ablations] [--compose] \
          [--defend POLICY] [--quick] [--exhaustive] [--faults RATE] \
+         [--checkpoint-dir PATH] [--resume] \
          [--out PATH] [--large-size N] [--compare BASELINE] [--size N] [--seed N]\n\
          regenerates the paper's tables (I-IV) and figures (4-8);\n\
          --compose runs the multi-release composition attack sweep\n\
@@ -216,8 +257,16 @@ fn usage(err: &str) -> ! {
          --exhaustive additionally runs the full-table harvest reference\n\
          (harvest_exhaustive_large) next to the seeded 512-row sample;\n\
          --faults re-runs harvest + composition under seeded corruption at\n\
-         rates 0, RATE/2 and RATE through the fault-tolerant pipeline and\n\
-         records the gated robustness block in the baseline;\n\
+         rates 0, RATE/2 and RATE through the fault-tolerant pipeline (plus\n\
+         a targeted worst-case row), records the gated robustness block,\n\
+         and injects transient stage failures at RATE into the retry\n\
+         protocol (the recovery block);\n\
+         --checkpoint-dir commits a checksummed artifact at every stage\n\
+         boundary (deterministic mode: all timings zeroed; default output\n\
+         moves to BENCH_sweep.ckpt.json);\n\
+         --resume restarts from the last valid checkpoint in that\n\
+         directory — the resulting JSON is bit-identical to an\n\
+         uninterrupted run of the same configuration;\n\
          --compare gates the fresh run against a committed baseline and\n\
          exits non-zero on a perf regression"
     );

@@ -49,7 +49,28 @@
 //!   exact passthrough of the strict pipeline), and each faulted row is
 //!   held to a committed envelope: harvest precision within
 //!   [`ROBUSTNESS_PRECISION_SLACK`] of the committed row at the same
-//!   rate, composition gain at least [`ROBUSTNESS_GAIN_FLOOR`] of it.
+//!   `(fault_rate, mode)` pair — the worst-case `targeted` row gates
+//!   against the committed targeted row, never against the average-case
+//!   uniform row at the same rate — composition gain at least
+//!   [`ROBUSTNESS_GAIN_FLOOR`] of it;
+//! * when the baseline carries a `recovery` ledger (`repro --quick
+//!   --faults <rate>` or any checkpointed run), the fresh run must carry
+//!   it too, `escaped_panics` is pinned at zero, no stage row may vanish
+//!   from the ledger, and when the fresh run shares the committed
+//!   `(seed, transient_rate, max_attempts)` triple the total retry count
+//!   is pinned *exactly* — injection is seeded, so the retry trace is a
+//!   pure function of that triple and any drift is a behavior change;
+//! * a fresh run marked `"deterministic": true` (checkpointed) has every
+//!   wall-clock zeroed at source, so the timing gates (batch speedup,
+//!   stage regression ratios, harvest speedup) are skipped for it — the
+//!   physics gates still apply in full. A *committed* deterministic
+//!   baseline is itself a violation: zeroed timings cannot gate anything,
+//!   so committing one silently disarms every timing gate;
+//! * a baseline that fails structural sanity — no config line, no
+//!   parseable stage rows, or a truncated file — is reported as a
+//!   violation instead of silently parsing to an empty [`Baseline`]
+//!   that gates nothing (a corrupt committed baseline must fail loudly,
+//!   not pass vacuously).
 
 use std::collections::BTreeMap;
 
@@ -94,6 +115,11 @@ pub struct RobustnessRow {
     /// Injected per-fault corruption rate (`0.0` is the passthrough
     /// reference row the bit-identity gate pins).
     pub fault_rate: f64,
+    /// Corruption placement: `uniform` (seeded random) or `targeted`
+    /// (adversarial, aimed at the highest-gain records). Old baselines
+    /// predate the field and parse as `uniform`. Envelope gates match
+    /// rows by `(fault_rate, mode)`, never by rate alone.
+    pub mode: String,
     /// Harvest precision over the corrupted corpus.
     pub harvest_precision: f64,
     /// Harvest coverage over the corrupted corpus.
@@ -123,6 +149,38 @@ pub struct DefenseRow {
     pub utility_cost: f64,
 }
 
+/// One per-stage row of a `recovery` ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryRow {
+    /// Checkpoint stage name (`world_build`, `mdav`, ... `large`).
+    pub stage: String,
+    /// Compute attempts the stage took (1 means first-try success).
+    pub attempts: usize,
+    /// Retries after injected transients (`attempts - 1` when computed).
+    pub retries: usize,
+    /// Total deterministic backoff slept before success, in ms.
+    pub backoff_ms: f64,
+}
+
+/// The `recovery` ledger, as parsed from a checkpointed or faulted run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryBlock {
+    /// Config seed the retry trace is keyed to.
+    pub seed: u64,
+    /// Injected transient-failure rate per stage attempt.
+    pub transient_rate: f64,
+    /// Retry-policy attempt cap in force during the run.
+    pub max_attempts: usize,
+    /// Total retries across every stage — pinned exactly when the
+    /// committed ledger shares `(seed, transient_rate, max_attempts)`.
+    pub retries_total: usize,
+    /// Panics that escaped the runner. The whole point of the ledger:
+    /// this must be zero.
+    pub escaped_panics: usize,
+    /// Per-stage rows, in pipeline order.
+    pub rows: Vec<RecoveryRow>,
+}
+
 /// Everything [`parse_baseline`] can recover from one baseline file.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Baseline {
@@ -150,10 +208,20 @@ pub struct Baseline {
     pub defense_k: Option<usize>,
     /// Robustness rows, ascending in fault rate, when present.
     pub robustness: Vec<RobustnessRow>,
+    /// The recovery ledger, when present.
+    pub recovery: Option<RecoveryBlock>,
+    /// `deterministic` recorded in the config block; `None` for
+    /// baselines that predate the field (equivalent to `false`).
+    pub deterministic: Option<bool>,
     /// Composition/defense row lines that carried an unparseable or
     /// non-finite value — each one is a gate violation when found in a
     /// fresh run.
     pub malformed_rows: Vec<String>,
+    /// Structural sanity failures — a file with any of these is corrupt
+    /// (truncated write, wrong file, hand-edit gone wrong) and must not
+    /// gate anything: every entry is a violation on either side of the
+    /// diff.
+    pub structural_errors: Vec<String>,
 }
 
 /// The outcome of [`compare_baselines`].
@@ -200,8 +268,17 @@ pub fn parse_baseline(json: &str) -> Baseline {
     }
     let mut out = Baseline::default();
     let mut in_large = false;
+    let mut saw_config = false;
     let mut series = Series::Quick;
     for line in json.lines() {
+        if line.contains("\"config\":") {
+            saw_config = true;
+            if line.contains("\"deterministic\": true") {
+                out.deterministic = Some(true);
+            } else if line.contains("\"deterministic\": false") {
+                out.deterministic = Some(false);
+            }
+        }
         if line.contains("\"large\":") {
             in_large = true;
         }
@@ -270,10 +347,65 @@ pub fn parse_baseline(json: &str) -> Baseline {
                 {
                     out.robustness.push(RobustnessRow {
                         fault_rate: rate,
+                        // Pre-targeted-corruption baselines carry no
+                        // mode field; every row they have is uniform.
+                        mode: str_field(line, "mode").unwrap_or("uniform").to_owned(),
                         harvest_precision: prec,
                         harvest_coverage: cov,
                         composition_gain: gain,
                         defects: (pages + rows + cells + workers) as usize,
+                    });
+                }
+                _ => out.malformed_rows.push(line.trim().to_owned()),
+            }
+            continue;
+        }
+        // The recovery ledger header — keyed off `transient_rate`, which
+        // no other block carries (the robustness header's rate line is
+        // `max_rate`).
+        if line.contains("\"transient_rate\":") {
+            let fields = (
+                num_field(line, "seed"),
+                num_field(line, "transient_rate"),
+                num_field(line, "max_attempts"),
+                num_field(line, "retries_total"),
+                num_field(line, "escaped_panics"),
+            );
+            match fields {
+                (Some(seed), Some(rate), Some(max_a), Some(total), Some(esc))
+                    if rate.is_finite() =>
+                {
+                    out.recovery = Some(RecoveryBlock {
+                        seed: seed as u64,
+                        transient_rate: rate,
+                        max_attempts: max_a as usize,
+                        retries_total: total as usize,
+                        escaped_panics: esc as usize,
+                        rows: Vec::new(),
+                    });
+                }
+                _ => out.malformed_rows.push(line.trim().to_owned()),
+            }
+            continue;
+        }
+        // A recovery stage row — `"stage"` + `"attempts"` together occur
+        // nowhere else (timing stages are keyed `"name"`).
+        if line.contains("\"stage\":") && line.contains("\"attempts\":") {
+            let fields = (
+                str_field(line, "stage"),
+                num_field(line, "attempts"),
+                num_field(line, "retries"),
+                num_field(line, "backoff_ms"),
+            );
+            match (&mut out.recovery, fields) {
+                (Some(rec), (Some(stage), Some(att), Some(ret), Some(back)))
+                    if back.is_finite() =>
+                {
+                    rec.rows.push(RecoveryRow {
+                        stage: stage.to_owned(),
+                        attempts: att as usize,
+                        retries: ret as usize,
+                        backoff_ms: back,
                     });
                 }
                 _ => out.malformed_rows.push(line.trim().to_owned()),
@@ -331,6 +463,18 @@ pub fn parse_baseline(json: &str) -> Baseline {
             }
         }
     }
+    if !saw_config {
+        out.structural_errors
+            .push("no config line found — not a BENCH_sweep.json".into());
+    }
+    if out.stage_wall_ms.is_empty() {
+        out.structural_errors
+            .push("no parseable stage rows found".into());
+    }
+    if !json.trim_end().ends_with('}') {
+        out.structural_errors
+            .push("file does not end with a closing brace (truncated write?)".into());
+    }
     out
 }
 
@@ -340,16 +484,50 @@ pub fn compare_baselines(committed_json: &str, fresh_json: &str) -> CompareRepor
     let fresh = parse_baseline(fresh_json);
     let mut report = CompareReport::default();
 
-    match fresh.speedup_batch_vs_naive {
-        Some(v) if v < MIN_BATCH_SPEEDUP => report.violations.push(format!(
-            "speedup_batch_vs_naive fell to {v:.2} (must stay >= {MIN_BATCH_SPEEDUP:.1})"
-        )),
-        Some(v) => report
-            .notes
-            .push(format!("speedup_batch_vs_naive = {v:.2}")),
-        None => report
+    // Structural corruption disarms every gate below (an empty parse
+    // trivially has no stages to regress, no blocks to lose), so it must
+    // refuse to gate, loudly, before anything else runs.
+    for err in &committed.structural_errors {
+        report.violations.push(format!(
+            "committed baseline is structurally corrupt (regenerate it): {err}"
+        ));
+    }
+    for err in &fresh.structural_errors {
+        report
             .violations
-            .push("fresh baseline carries no speedup_batch_vs_naive".into()),
+            .push(format!("fresh baseline is structurally corrupt: {err}"));
+    }
+    if !report.violations.is_empty() {
+        return report;
+    }
+
+    // A checkpointed run zeroes every wall-clock at source so resume can
+    // be bit-identical; its timings are all sentinel zeros.
+    let fresh_det = fresh.deterministic == Some(true);
+    if committed.deterministic == Some(true) {
+        report.violations.push(
+            "committed baseline is a deterministic (checkpointed) run — its zeroed \
+             timings disarm every timing gate; regenerate it without --checkpoint-dir"
+                .into(),
+        );
+    }
+
+    if fresh_det {
+        report
+            .notes
+            .push("fresh run is deterministic (checkpointed): timing gates skipped".into());
+    } else {
+        match fresh.speedup_batch_vs_naive {
+            Some(v) if v < MIN_BATCH_SPEEDUP => report.violations.push(format!(
+                "speedup_batch_vs_naive fell to {v:.2} (must stay >= {MIN_BATCH_SPEEDUP:.1})"
+            )),
+            Some(v) => report
+                .notes
+                .push(format!("speedup_batch_vs_naive = {v:.2}")),
+            None => report
+                .violations
+                .push("fresh baseline carries no speedup_batch_vs_naive".into()),
+        }
     }
 
     for (name, &committed_ms) in &committed.stage_wall_ms {
@@ -359,7 +537,7 @@ pub fn compare_baselines(committed_json: &str, fresh_json: &str) -> CompareRepor
             ));
             continue;
         };
-        if committed_ms < STAGE_FLOOR_MS {
+        if fresh_det || committed_ms < STAGE_FLOOR_MS {
             continue;
         }
         let ratio = fresh_ms / committed_ms;
@@ -458,10 +636,13 @@ pub fn compare_baselines(committed_json: &str, fresh_json: &str) -> CompareRepor
             .iter()
             .filter(|r| r.policy == policy)
             .collect();
-        let last = rows
-            .iter()
-            .max_by_key(|r| r.releases)
-            .expect("policy group is non-empty");
+        // `policies` was built from the row list, so a group is never
+        // empty — but this path also runs against a *committed* baseline
+        // someone may have hand-edited, and the committed side must fail
+        // structurally, never panic the gate binary.
+        let Some(last) = rows.iter().max_by_key(|r| r.releases) else {
+            continue;
+        };
         if last.releases > 1 {
             if last.residual_gain >= last.undefended_gain {
                 report.violations.push(format!(
@@ -532,6 +713,11 @@ pub fn compare_baselines(committed_json: &str, fresh_json: &str) -> CompareRepor
                 }
             }
         }
+        // The worst-case `targeted` row shares its rate with a uniform
+        // row by design (worst-case next to average-case at the same
+        // budget), so envelope rows pair on `(rate, mode)` — matching on
+        // rate alone would gate the adversarial row against the much
+        // gentler average-case numbers.
         for row in &fresh.robustness {
             if row.fault_rate == 0.0 {
                 continue;
@@ -539,32 +725,96 @@ pub fn compare_baselines(committed_json: &str, fresh_json: &str) -> CompareRepor
             let Some(base) = committed
                 .robustness
                 .iter()
-                .find(|b| b.fault_rate == row.fault_rate)
+                .find(|b| b.fault_rate == row.fault_rate && b.mode == row.mode)
             else {
                 continue;
             };
             if row.harvest_precision + ROBUSTNESS_PRECISION_SLACK < base.harvest_precision {
                 report.violations.push(format!(
-                    "robustness harvest precision at fault rate {:.3} fell to {:.4} \
+                    "robustness harvest precision at {} fault rate {:.3} fell to {:.4} \
                      (committed {:.4}, slack {ROBUSTNESS_PRECISION_SLACK})",
-                    row.fault_rate, row.harvest_precision, base.harvest_precision
+                    row.mode, row.fault_rate, row.harvest_precision, base.harvest_precision
                 ));
             }
             if base.composition_gain > 0.0
                 && row.composition_gain < base.composition_gain * ROBUSTNESS_GAIN_FLOOR
             {
                 report.violations.push(format!(
-                    "robustness composition gain at fault rate {:.3} fell to {:.1} \
+                    "robustness composition gain at {} fault rate {:.3} fell to {:.1} \
                      (committed {:.1}, floor {ROBUSTNESS_GAIN_FLOOR} of it)",
-                    row.fault_rate, row.composition_gain, base.composition_gain
+                    row.mode, row.fault_rate, row.composition_gain, base.composition_gain
                 ));
             }
         }
+        // A committed targeted row is a committed property like any
+        // other: a fresh run that silently stops measuring the
+        // worst case has lost the gate, not passed it.
+        if committed.robustness.iter().any(|r| r.mode == "targeted")
+            && !fresh.robustness.iter().any(|r| r.mode == "targeted")
+        {
+            report.violations.push(
+                "targeted (worst-case) robustness row disappeared from the fresh baseline".into(),
+            );
+        }
         if let Some(top) = fresh.robustness.last() {
             report.notes.push(format!(
-                "robustness: precision {:.3}, gain {:.1} at fault rate {:.3} \
+                "robustness: precision {:.3}, gain {:.1} at {} fault rate {:.3} \
                  ({} defects survived, zero panics)",
-                top.harvest_precision, top.composition_gain, top.fault_rate, top.defects
+                top.harvest_precision, top.composition_gain, top.mode, top.fault_rate, top.defects
+            ));
+        }
+    }
+    // The recovery gates: the ledger is the witness that the runner
+    // absorbed every injected transient. Losing it, leaking a panic, or
+    // drifting off the seeded retry trace are all regressions.
+    if committed.recovery.is_some() && fresh.recovery.is_none() {
+        report
+            .violations
+            .push("recovery ledger disappeared from the fresh baseline".into());
+    }
+    if let Some(rec) = &fresh.recovery {
+        if rec.escaped_panics != 0 {
+            report.violations.push(format!(
+                "recovery ledger reports {} escaped panic(s) — every injected \
+                 transient must be absorbed by the retry policy",
+                rec.escaped_panics
+            ));
+        }
+        if let Some(base) = &committed.recovery {
+            // Injection sites hash only (plan seed, stage, attempt), so
+            // the same triple must reproduce the identical retry trace.
+            if base.seed == rec.seed
+                && base.transient_rate == rec.transient_rate
+                && base.max_attempts == rec.max_attempts
+                && rec.retries_total != base.retries_total
+            {
+                report.violations.push(format!(
+                    "recovery retry trace drifted: {} total retries vs committed {} \
+                     at the same (seed {}, transient rate {:.3}, max attempts {}) — \
+                     seeded injection makes this a pure function of that triple",
+                    rec.retries_total,
+                    base.retries_total,
+                    rec.seed,
+                    rec.transient_rate,
+                    rec.max_attempts
+                ));
+            }
+            for row in &base.rows {
+                if !rec.rows.iter().any(|f| f.stage == row.stage) {
+                    report.violations.push(format!(
+                        "recovery stage `{}` vanished from the fresh ledger",
+                        row.stage
+                    ));
+                }
+            }
+        }
+        if rec.escaped_panics == 0 {
+            report.notes.push(format!(
+                "recovery: {} retries absorbed across {} stage(s) at transient rate \
+                 {:.3}, zero escaped panics",
+                rec.retries_total,
+                rec.rows.len(),
+                rec.transient_rate
             ));
         }
     }
@@ -589,6 +839,7 @@ pub fn compare_baselines(committed_json: &str, fresh_json: &str) -> CompareRepor
     // stage against the wrong count.
     let fresh_cores = fresh.large_cores.or(fresh.cores).unwrap_or(1);
     match fresh.speedup_harvest_parallel_vs_single {
+        _ if fresh_det => {}
         Some(v) if fresh_cores >= HARVEST_SPEEDUP_MIN_CORES && v < MIN_HARVEST_SPEEDUP => {
             report.violations.push(format!(
                 "harvest parallel speedup fell to {v:.2} on {fresh_cores} cores \
@@ -1176,7 +1427,7 @@ mod tests {
             report
                 .violations
                 .iter()
-                .any(|v| v.contains("harvest precision at fault rate")),
+                .any(|v| v.contains("harvest precision at uniform fault rate")),
             "{:?}",
             report.violations
         );
@@ -1188,7 +1439,7 @@ mod tests {
             report
                 .violations
                 .iter()
-                .any(|v| v.contains("composition gain at fault rate")),
+                .any(|v| v.contains("composition gain at uniform fault rate")),
             "{:?}",
             report.violations
         );
@@ -1228,6 +1479,319 @@ mod tests {
             "{:?}",
             report.violations
         );
+    }
+
+    /// A synthetic robustness block with caller-controlled modes:
+    /// `(fault_rate, mode, precision, coverage, gain, defects)`.
+    fn synthetic_mode_robustness_json(rows: &[(f64, &str, f64, f64, f64, usize)]) -> String {
+        let mut out = synthetic_json(100.0, 5.0);
+        out.truncate(out.rfind("\n}").expect("closing brace"));
+        out.push_str(
+            ",\n  \"robustness\": {\n    \"max_rate\": 0.100, \"seed\": 2015, \"wall_ms\": 50.000,\n    \"rows\": [\n",
+        );
+        for (i, (rate, mode, prec, cov, gain, defects)) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{ \"fault_rate\": {rate:.3}, \"mode\": \"{mode}\", \"harvest_precision\": {prec:.4}, \"harvest_coverage\": {cov:.4}, \"composition_gain\": {gain:.1}, \"pages_rejected\": {defects}, \"rows_skipped\": 0, \"fields_imputed\": 0, \"workers_restarted\": 0 }}{}\n",
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("    ]\n  }\n}\n");
+        out
+    }
+
+    #[test]
+    fn robustness_mode_parses_and_defaults_to_uniform() {
+        // Mode-less rows (pre-targeted baselines) parse as uniform.
+        let old = synthetic_robustness_json(&[(0.0, 0.95, 0.9, 8000.0, 0)]);
+        let b = parse_baseline(&old);
+        assert_eq!(b.robustness[0].mode, "uniform");
+        // Mode-carrying rows keep their mode.
+        let new = synthetic_mode_robustness_json(&[
+            (0.0, "uniform", 0.95, 0.9, 8000.0, 0),
+            (0.1, "targeted", 0.9, 0.7, 1000.0, 12),
+        ]);
+        let b = parse_baseline(&new);
+        assert_eq!(b.robustness[1].mode, "targeted");
+        assert!(b.malformed_rows.is_empty());
+    }
+
+    #[test]
+    fn robustness_envelope_matches_rows_by_rate_and_mode() {
+        // Uniform and targeted rows share the 0.1 rate by design. The
+        // targeted gain (1000) sits far below the uniform gain (6000):
+        // matched by rate alone, a fresh targeted row at 900 would gate
+        // against 6000 * 0.5 = 3000 and fail spuriously.
+        let committed = synthetic_mode_robustness_json(&[
+            (0.0, "uniform", 0.95, 0.9, 8000.0, 0),
+            (0.1, "uniform", 0.9, 0.7, 6000.0, 42),
+            (0.1, "targeted", 0.85, 0.6, 1000.0, 12),
+        ]);
+        let fine = synthetic_mode_robustness_json(&[
+            (0.0, "uniform", 0.95, 0.9, 8000.0, 0),
+            (0.1, "uniform", 0.9, 0.7, 6000.0, 42),
+            (0.1, "targeted", 0.85, 0.6, 900.0, 12),
+        ]);
+        let report = compare_baselines(&committed, &fine);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        // A genuinely collapsed targeted row still fails against its own
+        // committed envelope.
+        let collapsed = synthetic_mode_robustness_json(&[
+            (0.0, "uniform", 0.95, 0.9, 8000.0, 0),
+            (0.1, "uniform", 0.9, 0.7, 6000.0, 42),
+            (0.1, "targeted", 0.85, 0.6, 400.0, 12),
+        ]);
+        let report = compare_baselines(&committed, &collapsed);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("targeted fault rate 0.100")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn vanished_targeted_row_fails() {
+        let committed = synthetic_mode_robustness_json(&[
+            (0.0, "uniform", 0.95, 0.9, 8000.0, 0),
+            (0.1, "targeted", 0.85, 0.6, 1000.0, 12),
+        ]);
+        let fresh = synthetic_mode_robustness_json(&[
+            (0.0, "uniform", 0.95, 0.9, 8000.0, 0),
+            (0.1, "uniform", 0.9, 0.7, 6000.0, 42),
+        ]);
+        let report = compare_baselines(&committed, &fresh);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("targeted (worst-case) robustness row disappeared")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    /// A synthetic baseline with a `recovery` ledger, rows as
+    /// `(stage, attempts, retries, backoff_ms)`.
+    fn synthetic_recovery_json(
+        seed: u64,
+        rate: f64,
+        max_attempts: usize,
+        retries_total: usize,
+        escaped: usize,
+        rows: &[(&str, usize, usize, f64)],
+    ) -> String {
+        let mut out = synthetic_json(100.0, 5.0);
+        out.truncate(out.rfind("\n}").expect("closing brace"));
+        out.push_str(&format!(
+            ",\n  \"recovery\": {{\n    \"seed\": {seed}, \"transient_rate\": {rate:.3}, \"max_attempts\": {max_attempts}, \"retries_total\": {retries_total}, \"escaped_panics\": {escaped},\n    \"rows\": [\n"
+        ));
+        for (i, (stage, att, ret, back)) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{ \"stage\": \"{stage}\", \"attempts\": {att}, \"retries\": {ret}, \"backoff_ms\": {back:.3} }}{}\n",
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("    ]\n  }\n}\n");
+        out
+    }
+
+    #[test]
+    fn recovery_ledger_parses() {
+        let json = synthetic_recovery_json(
+            2015,
+            0.1,
+            4,
+            3,
+            0,
+            &[("world_build", 1, 0, 0.0), ("mdav", 3, 2, 14.5)],
+        );
+        let b = parse_baseline(&json);
+        let rec = b.recovery.expect("recovery block parsed");
+        assert_eq!(rec.seed, 2015);
+        assert_eq!(rec.transient_rate, 0.1);
+        assert_eq!(rec.max_attempts, 4);
+        assert_eq!(rec.retries_total, 3);
+        assert_eq!(rec.escaped_panics, 0);
+        assert_eq!(rec.rows.len(), 2);
+        assert_eq!(rec.rows[1].stage, "mdav");
+        assert_eq!(rec.rows[1].attempts, 3);
+        assert_eq!(rec.rows[1].backoff_ms, 14.5);
+        assert!(b.malformed_rows.is_empty());
+        // Recovery rows never leak into the timing-stage namespace.
+        assert!(!b.stage_wall_ms.contains_key("mdav"));
+        let report = compare_baselines(&json, &json);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.notes.iter().any(|n| n.contains("recovery")));
+    }
+
+    #[test]
+    fn vanished_recovery_ledger_and_escaped_panics_fail() {
+        let committed = synthetic_recovery_json(2015, 0.1, 4, 3, 0, &[("world_build", 1, 0, 0.0)]);
+        // Ledger disappeared entirely.
+        let fresh = synthetic_json(100.0, 5.0);
+        let report = compare_baselines(&committed, &fresh);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("recovery ledger disappeared")),
+            "{:?}",
+            report.violations
+        );
+        // A newly appearing ledger is fine.
+        let report = compare_baselines(&fresh, &committed);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        // An escaped panic fails even against itself.
+        let leaky = synthetic_recovery_json(2015, 0.1, 4, 3, 1, &[("world_build", 1, 0, 0.0)]);
+        let report = compare_baselines(&committed, &leaky);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("escaped panic")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn retry_trace_is_pinned_at_the_same_seed_rate_and_policy() {
+        let committed = synthetic_recovery_json(2015, 0.1, 4, 3, 0, &[("robustness", 2, 1, 4.0)]);
+        // Same (seed, rate, max_attempts), different total: drift.
+        let drifted = synthetic_recovery_json(2015, 0.1, 4, 5, 0, &[("robustness", 2, 1, 4.0)]);
+        let report = compare_baselines(&committed, &drifted);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("retry trace drifted")),
+            "{:?}",
+            report.violations
+        );
+        // A different seed legitimately produces a different trace.
+        let other_seed = synthetic_recovery_json(77, 0.1, 4, 5, 0, &[("robustness", 2, 1, 4.0)]);
+        let report = compare_baselines(&committed, &other_seed);
+        assert!(
+            !report.violations.iter().any(|v| v.contains("drifted")),
+            "{:?}",
+            report.violations
+        );
+        // A stage row vanishing from a still-present ledger fails.
+        let hollow = synthetic_recovery_json(2015, 0.1, 4, 3, 0, &[("world_build", 1, 0, 0.0)]);
+        let report = compare_baselines(&committed, &hollow);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("`robustness` vanished from the fresh ledger")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    /// A synthetic baseline whose config marks a deterministic
+    /// (checkpointed) run: every wall-clock zeroed, speedups at the 0.0
+    /// sentinel.
+    fn synthetic_det_json() -> String {
+        "{\n  \"config\": { \"size\": 120, \"seed\": 2015, \"k_min\": 2, \"k_max\": 10, \"cores\": 1, \"deterministic\": true },\n  \
+         \"stages\": [\n    \
+         { \"name\": \"world_build\", \"wall_ms\": 0.000, \"rows\": 120, \"rows_per_sec\": 0.0 },\n    \
+         { \"name\": \"mdav_k5\", \"wall_ms\": 0.000, \"rows\": 120, \"rows_per_sec\": 0.0 }\n  \
+         ],\n  \"speedup_batch_vs_naive\": 0.00\n}\n"
+            .to_owned()
+    }
+
+    #[test]
+    fn deterministic_fresh_run_skips_timing_gates_but_not_structure() {
+        let committed = synthetic_json(100.0, 5.0);
+        let det = synthetic_det_json();
+        assert_eq!(parse_baseline(&det).deterministic, Some(true));
+        assert_eq!(parse_baseline(&committed).deterministic, None);
+        // Zeroed speedup and zeroed stage walls pass: timing gates are
+        // skipped for a deterministic fresh run.
+        let report = compare_baselines(&committed, &det);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(
+            report
+                .notes
+                .iter()
+                .any(|n| n.contains("timing gates skipped")),
+            "{:?}",
+            report.notes
+        );
+        // The stage-disappeared gate still applies in full.
+        let hollow: String = det
+            .lines()
+            .filter(|l| !l.contains("\"mdav_k5\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let report = compare_baselines(&committed, &hollow);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("`mdav_k5` disappeared")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn committed_deterministic_baseline_is_a_violation() {
+        let det = synthetic_det_json();
+        let fresh = synthetic_json(100.0, 5.0);
+        let report = compare_baselines(&det, &fresh);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("deterministic (checkpointed) run")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn structurally_corrupt_baselines_refuse_to_gate() {
+        let good = synthetic_composition_json(&[(1, 0.0, 5.0), (2, 7000.0, 2.3)]);
+        // A truncated committed baseline (torn write) fails loudly with
+        // ONLY structural violations — no spurious disappeared-stage
+        // noise from the half-parsed remains.
+        let torn = &good[..good.len() / 2];
+        assert!(!parse_baseline(torn).structural_errors.is_empty());
+        let report = compare_baselines(torn, &good);
+        assert!(!report.violations.is_empty());
+        assert!(
+            report
+                .violations
+                .iter()
+                .all(|v| v.contains("structurally corrupt")),
+            "{:?}",
+            report.violations
+        );
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("regenerate it")),
+            "{:?}",
+            report.violations
+        );
+        // A torn fresh run fails the same way.
+        let report = compare_baselines(&good, torn);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("fresh baseline is structurally corrupt")),
+            "{:?}",
+            report.violations
+        );
+        // Not-a-baseline input reports every missing landmark.
+        let b = parse_baseline("");
+        assert_eq!(b.structural_errors.len(), 3, "{:?}", b.structural_errors);
     }
 
     #[test]

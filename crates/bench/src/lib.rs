@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod ckpt;
 pub mod compare;
 pub mod figures;
 pub mod perf;

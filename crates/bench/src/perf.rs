@@ -9,7 +9,15 @@
 //! [`FuzzyFusion::estimate_interpreted`] (per-row string/`HashMap`
 //! lookups). The two paths return bit-identical estimates — the harness
 //! asserts it — so the ratio is pure overhead, not changed work.
+//!
+//! With [`QuickBenchOptions::checkpoint_dir`] set the whole pipeline runs
+//! under `fred-recover`'s [`StageRunner`]: every stage boundary commits a
+//! checksummed artifact, `resume` restarts from the last valid
+//! checkpoint, and all wall-clock fields are zeroed (deterministic mode),
+//! so a killed-and-resumed run renders `BENCH_sweep.json` bit-identical
+//! to an uninterrupted run of the same seed.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use fred_anon::{build_release, Anonymizer, Mdav, QiStyle, Release};
@@ -20,13 +28,19 @@ use fred_attack::{
 };
 use fred_composition::{
     compose_attack, compose_attack_tolerant, composition_sweep, defense_sweep, CompositionConfig,
-    CompositionSweepConfig, DefensePolicy, ScenarioConfig,
+    CompositionOutcome, CompositionSweepConfig, DefensePolicy, ScenarioConfig,
 };
 use fred_core::{sweep, SweepConfig};
-use fred_faults::FaultPlan;
+use fred_data::Table;
+use fred_faults::{FaultPlan, TargetedCorruption};
+use fred_recover::{RetryPolicy, StageRunner};
 use fred_web::{corrupt_pages, SearchEngine};
 
-use crate::world::{faculty_world, WorldConfig};
+use crate::ckpt::{
+    digest_bits, digest_harvest, digest_world, intern_stage_name, Digest, EstimatesArtifact,
+    StageAnchor, SweepArtifact,
+};
+use crate::world::{faculty_world, World, WorldConfig};
 
 /// Anonymization level used by the dedicated MDAV/harvest/composition
 /// stages (matches the `mdav_k5` target the ROADMAP tracks). Public so
@@ -160,8 +174,14 @@ pub struct DefenseBench {
 #[derive(Debug, Clone)]
 pub struct RobustnessBenchRow {
     /// Per-fault injection probability every [`FaultPlan`] knob was set
-    /// to for this cell (`0.0` is the passthrough reference row).
+    /// to for this cell (`0.0` is the passthrough reference row). For the
+    /// `targeted` row this is the *budget*: the fraction of records the
+    /// pointed corruption was allowed to hit.
     pub fault_rate: f64,
+    /// How the corruption was aimed: `"uniform"` (every site rolls the
+    /// seeded rate independently) or `"targeted"` (the worst-case plan —
+    /// exactly the highest-disclosure-gain records from the strict run).
+    pub mode: &'static str,
     /// Harvest precision against ground truth over the corrupted corpus.
     pub harvest_precision: f64,
     /// Fraction of release rows with harvested auxiliary evidence.
@@ -191,8 +211,53 @@ pub struct RobustnessBench {
     /// Wall-clock of the whole robustness sweep.
     pub wall_ms: f64,
     /// Per-rate measurements, ascending in `fault_rate`, starting at the
-    /// gated `0.0` passthrough row.
+    /// gated `0.0` passthrough row. When faults are enabled the last row
+    /// is the `targeted` worst-case plan at the top budget.
     pub rows: Vec<RobustnessBenchRow>,
+}
+
+/// One stage's recovery ledger: how the [`StageRunner`] obtained it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryBenchRow {
+    /// Checkpoint stage name (the runner's roster, not the timing one).
+    pub stage: String,
+    /// Attempts made when the artifact was *computed* (1 = first try).
+    /// Restored from the checkpoint envelope on resume, so the block is
+    /// invariant under kill-and-resume.
+    pub attempts: usize,
+    /// Retries burned (`attempts - 1`).
+    pub retries: usize,
+    /// Total deterministic backoff slept before success, in ms.
+    pub backoff_ms: f64,
+}
+
+/// The self-healing ledger: what the retry/checkpoint protocol did
+/// during the run. Emitted whenever faults are enabled or a checkpoint
+/// store is attached; the retry trace is a pure function of
+/// `(seed, transient_rate, policy)`, which the compare gate pins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryBench {
+    /// Seed of the runner's [`FaultPlan`] (world seed folded with
+    /// [`RECOVERY_SEED_SALT`]).
+    pub seed: u64,
+    /// Injected transient-failure probability per `(stage, attempt)`.
+    pub transient_rate: f64,
+    /// Attempts the [`RetryPolicy`] allowed per stage.
+    pub max_attempts: usize,
+    /// Retries burned across all stages.
+    pub retries_total: usize,
+    /// Checkpoint files quarantined for failing integrity checks.
+    /// Runtime-only (never serialized): it reflects the *history* of the
+    /// store, not the configuration, and would break resume bit-identity.
+    pub quarantined_total: usize,
+    /// Panics that escaped the retry protocol — always 0 in a bench that
+    /// returned at all; serialized as the gate's witness.
+    pub escaped_panics: usize,
+    /// Per-stage ledgers in execution order.
+    pub rows: Vec<RecoveryBenchRow>,
+    /// True when at least one stage loaded from a checkpoint.
+    /// Runtime-only (never serialized), shown in the ASCII summary.
+    pub resumed: bool,
 }
 
 /// The quick-bench result.
@@ -221,6 +286,14 @@ pub struct QuickBench {
     /// The fault-injection stage, when enabled (`repro --quick
     /// --faults <rate>`).
     pub robustness: Option<RobustnessBench>,
+    /// True when the run was taken under a checkpoint store: every
+    /// wall-clock field is zeroed so the JSON is a pure function of the
+    /// configuration (the resume bit-identity contract). Timing gates do
+    /// not apply to such a baseline.
+    pub deterministic: bool,
+    /// The self-healing ledger, when faults or a checkpoint store were
+    /// enabled.
+    pub recovery: Option<RecoveryBench>,
 }
 
 /// Optional add-ons of [`quick_bench`] beyond the core timed sweep.
@@ -235,8 +308,20 @@ pub struct QuickBenchOptions {
     /// Run the harvest reference exhaustively over the whole large
     /// release instead of the seeded [`REFERENCE_SAMPLE_ROWS`] sample.
     pub exhaustive: bool,
-    /// Run the fault-injection sweep up to this corruption rate.
+    /// Run the fault-injection sweep up to this corruption rate. Also
+    /// sets the [`StageRunner`]'s transient-stage-failure rate, so the
+    /// retry protocol itself is exercised at the same budget.
     pub faults: Option<f64>,
+    /// Commit a checksummed artifact at every stage boundary into this
+    /// directory and zero all wall-clock fields (deterministic mode).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Load valid checkpoints instead of recomputing (requires
+    /// `checkpoint_dir`; ignored without one).
+    pub resume: bool,
+    /// Exit with [`fred_recover::HALT_EXIT_CODE`] right after this
+    /// stage's checkpoint commits — the deterministic kill-point for the
+    /// resume tests and the CI smoke job. Only honored with a store.
+    pub halt_after: Option<String>,
 }
 
 impl QuickBench {
@@ -279,8 +364,8 @@ impl QuickBench {
         };
         let mut out = String::from("{\n");
         out.push_str(&format!(
-            "  \"config\": {{ \"size\": {}, \"seed\": {}, \"k_min\": {}, \"k_max\": {}, \"cores\": {} }},\n",
-            self.size, self.seed, self.k_range.0, self.k_range.1, self.cores
+            "  \"config\": {{ \"size\": {}, \"seed\": {}, \"k_min\": {}, \"k_max\": {}, \"cores\": {}, \"deterministic\": {} }},\n",
+            self.size, self.seed, self.k_range.0, self.k_range.1, self.cores, self.deterministic
         ));
         out.push_str("  \"stages\": [\n");
         out.push_str(&render_stages(&self.stages, "    "));
@@ -340,8 +425,9 @@ impl QuickBench {
             out.push_str("    \"rows\": [\n");
             for (i, row) in rob.rows.iter().enumerate() {
                 out.push_str(&format!(
-                    "      {{ \"fault_rate\": {:.3}, \"harvest_precision\": {:.4}, \"harvest_coverage\": {:.4}, \"composition_gain\": {:.1}, \"pages_rejected\": {}, \"rows_skipped\": {}, \"fields_imputed\": {}, \"workers_restarted\": {} }}{}\n",
+                    "      {{ \"fault_rate\": {:.3}, \"mode\": \"{}\", \"harvest_precision\": {:.4}, \"harvest_coverage\": {:.4}, \"composition_gain\": {:.1}, \"pages_rejected\": {}, \"rows_skipped\": {}, \"fields_imputed\": {}, \"workers_restarted\": {} }}{}\n",
                     row.fault_rate,
+                    row.mode,
                     row.harvest_precision,
                     row.harvest_coverage,
                     row.composition_gain,
@@ -350,6 +436,25 @@ impl QuickBench {
                     row.fields_imputed,
                     row.workers_restarted,
                     if i + 1 < rob.rows.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("    ]\n  }");
+        }
+        if let Some(rec) = &self.recovery {
+            out.push_str(",\n  \"recovery\": {\n");
+            out.push_str(&format!(
+                "    \"seed\": {}, \"transient_rate\": {:.3}, \"max_attempts\": {}, \"retries_total\": {}, \"escaped_panics\": {},\n",
+                rec.seed, rec.transient_rate, rec.max_attempts, rec.retries_total, rec.escaped_panics
+            ));
+            out.push_str("    \"rows\": [\n");
+            for (i, row) in rec.rows.iter().enumerate() {
+                out.push_str(&format!(
+                    "      {{ \"stage\": \"{}\", \"attempts\": {}, \"retries\": {}, \"backoff_ms\": {:.3} }}{}\n",
+                    row.stage,
+                    row.attempts,
+                    row.retries,
+                    row.backoff_ms,
+                    if i + 1 < rec.rows.len() { "," } else { "" }
                 ));
             }
             out.push_str("    ]\n  }");
@@ -443,12 +548,35 @@ impl QuickBench {
             ));
             for row in &rob.rows {
                 out.push_str(&format!(
-                    "    rate {:>5.1}%: precision {:.3}   coverage {:.3}   composition gain $ {:>8.0}   survived {:>4} defects\n",
+                    "    rate {:>5.1}% ({:<8}): precision {:.3}   coverage {:.3}   composition gain $ {:>8.0}   survived {:>4} defects\n",
                     row.fault_rate * 100.0,
+                    row.mode,
                     row.harvest_precision,
                     row.harvest_coverage,
                     row.composition_gain,
                     row.pages_rejected + row.rows_skipped + row.fields_imputed + row.workers_restarted
+                ));
+            }
+        }
+        if let Some(rec) = &self.recovery {
+            out.push_str(&format!(
+                "  recovery — transient rate {:.0}%, {} attempts max{}:\n",
+                rec.transient_rate * 100.0,
+                rec.max_attempts,
+                if rec.resumed {
+                    " (resumed from checkpoints)"
+                } else {
+                    ""
+                }
+            ));
+            out.push_str(&format!(
+                "    retries {}   quarantined {}   escaped panics {}\n",
+                rec.retries_total, rec.quarantined_total, rec.escaped_panics
+            ));
+            for row in &rec.rows {
+                out.push_str(&format!(
+                    "    {:<14} attempts {}   retries {}   backoff {:>8.3} ms\n",
+                    row.stage, row.attempts, row.retries, row.backoff_ms
                 ));
             }
         }
@@ -476,6 +604,14 @@ fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
 /// [`QuickBenchOptions::defend`] additionally sweeps the given defense
 /// policies next to it (the `composition_defense` block, gated for
 /// residual gain strictly below the undefended gain).
+///
+/// Every stage runs under a [`StageRunner`]: transient failures (real
+/// panics or injected ones at the `--faults` rate) are retried with
+/// seeded backoff, and with [`QuickBenchOptions::checkpoint_dir`] set
+/// each boundary commits a checksummed artifact. The cheap upstream
+/// stages (world, MDAV, harvest) are *anchors* — always recomputed and
+/// cross-checked against their stored digests, so a stale checkpoint
+/// directory is detected before any expensive stage trusts it.
 pub fn quick_bench(
     config: &WorldConfig,
     k_min: usize,
@@ -485,31 +621,57 @@ pub fn quick_bench(
 ) -> QuickBench {
     let repeats = repeats.max(1);
     let compose = options.compose;
+    let det = options.checkpoint_dir.is_some();
+    // Deterministic mode zeroes every wall-clock at the source, so the
+    // artifacts (and the JSON rendered from them) are pure functions of
+    // the configuration — the resume bit-identity contract.
+    let t = |wall: f64| if det { 0.0 } else { wall };
+
+    let faults_rate = options.faults.map_or(0.0, |r| {
+        if r.is_finite() {
+            r.clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
+    });
+    let runner_plan = FaultPlan {
+        stage_transient: faults_rate,
+        ..FaultPlan::uniform(config.seed ^ RECOVERY_SEED_SALT, 0.0)
+    };
+    let mut runner = StageRunner::new(
+        runner_plan,
+        RetryPolicy::default(),
+        config_fingerprint(config, k_min, k_max, repeats, options),
+    );
+    if let Some(dir) = &options.checkpoint_dir {
+        runner = runner.with_store(dir.clone(), options.resume);
+    }
+    runner.halt_after = options.halt_after.clone();
+
     let mut stages = Vec::new();
 
-    // Stage 1: world generation.
-    let (world, wall) = time_ms(|| faculty_world(config));
-    stages.push(StageTiming {
-        name: "world_build",
-        wall_ms: wall,
-        rows: world.table.len(),
+    // Stage 1: world generation (anchor: recomputed + digest-checked).
+    let mut world_slot: Option<World> = None;
+    let anchor = runner.run_verified("world_build", || {
+        let (world, wall) = time_ms(|| faculty_world(config));
+        let rows = world.table.len();
+        let content_hash = digest_world(&world);
+        world_slot = Some(world);
+        StageAnchor {
+            label: "world_build".to_string(),
+            rows,
+            content_hash,
+            timings: vec![("world_build".to_string(), t(wall), rows)],
+        }
     });
+    push_anchor_timings(&mut stages, &anchor);
+    let world = world_slot.expect("world anchor always computes");
 
-    // Stage 2: MDAV at the tracked level (the ROADMAP's `mdav_k5`).
+    // Stage 2: MDAV at the tracked level (the ROADMAP's `mdav_k5`) plus
+    // per-level anonymization, as one anchor whose digest folds every
+    // level's class assignment.
     let anonymizer = Mdav::new();
     let stage_k = STAGE_K.min(world.table.len());
-    let (_, wall) = time_ms(|| {
-        anonymizer
-            .partition(&world.table, stage_k)
-            .expect("quick-bench world partitions cleanly")
-    });
-    stages.push(StageTiming {
-        name: "mdav_k5",
-        wall_ms: wall,
-        rows: world.table.len(),
-    });
-
-    // Stage 3: per-level anonymization (partition + release).
     let k_max = k_max.min(world.table.len());
     assert!(
         k_min <= k_max,
@@ -518,83 +680,140 @@ pub fn quick_bench(
         world.table.len()
     );
     let ks: Vec<usize> = (k_min..=k_max).collect();
-    let (releases, wall) = time_ms(|| {
-        ks.iter()
-            .map(|&k| {
-                let partition = anonymizer
-                    .partition(&world.table, k)
-                    .expect("quick-bench world partitions cleanly");
-                build_release(&world.table, &partition, k, QiStyle::Range)
-                    .expect("release builds from a valid partition")
-            })
-            .collect::<Vec<Release>>()
+    let mut releases_slot: Option<Vec<Release>> = None;
+    let anchor = runner.run_verified("mdav", || {
+        let (_, mdav_wall) = time_ms(|| {
+            anonymizer
+                .partition(&world.table, stage_k)
+                .expect("quick-bench world partitions cleanly")
+        });
+        let (pairs, anon_wall) = time_ms(|| {
+            ks.iter()
+                .map(|&k| {
+                    let partition = anonymizer
+                        .partition(&world.table, k)
+                        .expect("quick-bench world partitions cleanly");
+                    let release = build_release(&world.table, &partition, k, QiStyle::Range)
+                        .expect("release builds from a valid partition");
+                    (partition, release)
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut digest = Digest::new();
+        digest.u64(stage_k as u64);
+        for (partition, _) in &pairs {
+            for class in partition.class_of_rows() {
+                digest.u64(class as u64);
+            }
+        }
+        releases_slot = Some(pairs.into_iter().map(|(_, release)| release).collect());
+        StageAnchor {
+            label: "mdav".to_string(),
+            rows: world.table.len(),
+            content_hash: digest.finish(),
+            timings: vec![
+                ("mdav_k5".to_string(), t(mdav_wall), world.table.len()),
+                (
+                    "anonymize_all_levels".to_string(),
+                    t(anon_wall),
+                    world.table.len() * ks.len(),
+                ),
+            ],
+        }
     });
-    stages.push(StageTiming {
-        name: "anonymize_all_levels",
-        wall_ms: wall,
-        rows: world.table.len() * ks.len(),
-    });
+    push_anchor_timings(&mut stages, &anchor);
+    let releases = releases_slot.expect("mdav anchor always computes");
 
     // Stage 3: auxiliary harvest (shared across levels, like the sweep).
-    let (harvest, wall) = time_ms(|| {
-        harvest_auxiliary(&releases[0].table, &world.web, &HarvestConfig::default())
-            .expect("harvest over a generated corpus cannot fail")
+    let mut harvest_slot: Option<Harvest> = None;
+    let anchor = runner.run_verified("harvest", || {
+        let (harvest, wall) = time_ms(|| {
+            harvest_auxiliary(&releases[0].table, &world.web, &HarvestConfig::default())
+                .expect("harvest over a generated corpus cannot fail")
+        });
+        let content_hash = digest_harvest(&harvest);
+        harvest_slot = Some(harvest);
+        StageAnchor {
+            label: "harvest".to_string(),
+            rows: world.table.len(),
+            content_hash,
+            timings: vec![("harvest_auxiliary".to_string(), t(wall), world.table.len())],
+        }
     });
-    stages.push(StageTiming {
-        name: "harvest_auxiliary",
-        wall_ms: wall,
-        rows: world.table.len(),
-    });
+    push_anchor_timings(&mut stages, &anchor);
+    let harvest = harvest_slot.expect("harvest anchor always computes");
 
     // Stages 4+5: the measured comparison — identical inputs through the
     // naive interpreted path and the compiled batch/parallel path.
     let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).expect("default config valid");
     let estimate_rows = world.table.len() * ks.len() * repeats;
-
-    let (naive, naive_wall) = time_ms(|| run_naive(&fusion, &releases, &harvest, repeats));
+    let estimates = runner.run("estimates", || {
+        let (naive, naive_wall) = time_ms(|| run_naive(&fusion, &releases, &harvest, repeats));
+        let (batch, batch_wall) = time_ms(|| run_batch(&fusion, &releases, &harvest, repeats));
+        assert_eq!(
+            naive, batch,
+            "batch path must be bit-identical to the naive path"
+        );
+        EstimatesArtifact {
+            naive_ms: t(naive_wall),
+            batch_ms: t(batch_wall),
+            rows: estimate_rows,
+            speedup: if det || batch_wall <= 0.0 {
+                0.0
+            } else {
+                naive_wall / batch_wall
+            },
+            estimate_hash: digest_bits(&naive),
+        }
+    });
     stages.push(StageTiming {
         name: "estimate_naive_per_row",
-        wall_ms: naive_wall,
-        rows: estimate_rows,
+        wall_ms: estimates.naive_ms,
+        rows: estimates.rows,
     });
-
-    let (batch, batch_wall) = time_ms(|| run_batch(&fusion, &releases, &harvest, repeats));
     stages.push(StageTiming {
         name: "estimate_batch_parallel",
-        wall_ms: batch_wall,
-        rows: estimate_rows,
+        wall_ms: estimates.batch_ms,
+        rows: estimates.rows,
     });
-
-    assert_eq!(
-        naive, batch,
-        "batch path must be bit-identical to the naive path"
-    );
 
     // Stage 6: the full parallel sweep end-to-end (what figures 4-7 run).
     let before = MidpointEstimator::default();
-    let (_, wall) = time_ms(|| {
-        sweep(
-            &world.table,
-            &world.web,
-            &anonymizer,
-            &before,
-            &fusion,
-            &SweepConfig {
-                k_min,
-                k_max,
-                ..SweepConfig::default()
-            },
-        )
-        .expect("quick-bench sweep succeeds")
+    let sweep_stage = runner.run("sweep", || {
+        let (_, wall) = time_ms(|| {
+            sweep(
+                &world.table,
+                &world.web,
+                &anonymizer,
+                &before,
+                &fusion,
+                &SweepConfig {
+                    k_min,
+                    k_max,
+                    ..SweepConfig::default()
+                },
+            )
+            .expect("quick-bench sweep succeeds")
+        });
+        SweepArtifact {
+            wall_ms: t(wall),
+            rows: world.table.len() * ks.len(),
+        }
     });
     stages.push(StageTiming {
         name: "sweep_end_to_end",
-        wall_ms: wall,
-        rows: world.table.len() * ks.len(),
+        wall_ms: sweep_stage.wall_ms,
+        rows: sweep_stage.rows,
     });
 
     // Stage 7 (optional): the composition attack at the tracked k.
-    let composition = compose.then(|| composition_bench(&world));
+    let composition = compose.then(|| {
+        runner.run("composition", || {
+            let mut comp = composition_bench(&world);
+            comp.wall_ms = t(comp.wall_ms);
+            comp
+        })
+    });
     if let Some(comp) = &composition {
         stages.push(StageTiming {
             name: "composition_sweep",
@@ -606,7 +825,11 @@ pub fn quick_bench(
     // Stage 8 (optional): the defense policies against the same attack.
     let composition_defense = match (&options.defend, compose) {
         (Some(policies), true) => {
-            let bench = defense_bench(&world, policies);
+            let bench = runner.run("defense", || {
+                let mut bench = defense_bench(&world, policies);
+                bench.wall_ms = t(bench.wall_ms);
+                bench
+            });
             stages.push(StageTiming {
                 name: "composition_defense",
                 wall_ms: bench.wall_ms,
@@ -619,13 +842,55 @@ pub fn quick_bench(
 
     // Stage 9 (optional): the fault-injection sweep.
     let robustness = options.faults.map(|rate| {
-        let bench = robustness_bench(config, &world, rate);
+        let bench = runner.run("robustness", || {
+            let mut bench = robustness_bench(config, &world, rate);
+            bench.wall_ms = t(bench.wall_ms);
+            bench
+        });
         stages.push(StageTiming {
             name: "robustness_sweep",
             wall_ms: bench.wall_ms,
             rows: world.table.len() * bench.rows.len(),
         });
         bench
+    });
+
+    // Stage 10 (optional, last — by far the most expensive, so a killed
+    // run resumes past everything else): the large-world block.
+    let large = options.large_size.map(|size| {
+        runner.run("large", || {
+            let mut bench = large_bench(config, size, compose, options.exhaustive);
+            if det {
+                for stage in &mut bench.stages {
+                    stage.wall_ms = 0.0;
+                }
+                bench.speedup_harvest_parallel_vs_single = 0.0;
+                if let Some(comp) = &mut bench.composition {
+                    comp.wall_ms = 0.0;
+                }
+            }
+            bench
+        })
+    });
+
+    let recovery = (options.faults.is_some() || det).then(|| RecoveryBench {
+        seed: config.seed ^ RECOVERY_SEED_SALT,
+        transient_rate: faults_rate,
+        max_attempts: runner.policy.max_attempts,
+        retries_total: runner.retries_total(),
+        quarantined_total: runner.quarantined_total(),
+        escaped_panics: 0,
+        rows: runner
+            .reports()
+            .iter()
+            .map(|r| RecoveryBenchRow {
+                stage: r.stage.clone(),
+                attempts: r.attempts,
+                retries: r.retries,
+                backoff_ms: r.backoff_ms,
+            })
+            .collect(),
+        resumed: runner.resumed(),
     });
 
     QuickBench {
@@ -637,17 +902,67 @@ pub fn quick_bench(
         cores: rayon::current_num_threads(),
         k_range: (k_min, k_max),
         stages,
-        speedup_batch_vs_naive: if batch_wall > 0.0 {
-            naive_wall / batch_wall
-        } else {
-            0.0
-        },
-        large: options
-            .large_size
-            .map(|size| large_bench(config, size, compose, options.exhaustive)),
+        speedup_batch_vs_naive: estimates.speedup,
+        large,
         composition,
         composition_defense,
         robustness,
+        deterministic: det,
+        recovery,
+    }
+}
+
+/// XOR-folded into the world seed to derive the [`StageRunner`]'s fault
+/// plan seed — decorrelated from the robustness sweep's
+/// [`FAULT_SEED_SALT`] stream, so retry decisions and corpus corruption
+/// never alias.
+pub const RECOVERY_SEED_SALT: u64 = 0x5EC0;
+
+/// Hashes the full run configuration into the checkpoint fingerprint: a
+/// checkpoint written under any other configuration is stale. Store
+/// location, resume flag and halt hook are deliberately excluded — they
+/// vary between the runs a resume is supposed to bridge.
+fn config_fingerprint(
+    config: &WorldConfig,
+    k_min: usize,
+    k_max: usize,
+    repeats: usize,
+    options: &QuickBenchOptions,
+) -> u64 {
+    let mut d = Digest::new();
+    d.u64(config.size as u64);
+    d.u64(config.seed);
+    d.u64(config.web_presence_rate.to_bits());
+    d.u64(config.name_noise.to_bits());
+    d.u64(config.score_noise.to_bits());
+    d.u64(k_min as u64);
+    d.u64(k_max as u64);
+    d.u64(repeats as u64);
+    d.u64(options.compose as u64);
+    match &options.defend {
+        None => d.u64(0),
+        Some(policies) => {
+            d.u64(1 + policies.len() as u64);
+            for policy in policies {
+                d.str(&policy.label());
+            }
+        }
+    }
+    d.u64(options.large_size.map_or(u64::MAX, |s| s as u64));
+    d.u64(options.exhaustive as u64);
+    d.u64(options.faults.map_or(u64::MAX, |r| r.to_bits()));
+    d.finish()
+}
+
+/// Copies an anchor's timing rows into the bench's stage list,
+/// re-interning the stage names into the `&'static str` roster.
+fn push_anchor_timings(stages: &mut Vec<StageTiming>, anchor: &StageAnchor) {
+    for (name, wall_ms, rows) in &anchor.timings {
+        stages.push(StageTiming {
+            name: intern_stage_name(name).expect("anchor timing names are in the stage roster"),
+            wall_ms: *wall_ms,
+            rows: *rows,
+        });
     }
 }
 
@@ -656,19 +971,27 @@ pub fn quick_bench(
 /// `config.seed` but decorrelated from every other seeded stream.
 const FAULT_SEED_SALT: u64 = 0xFA17;
 
+/// Shared inputs of one robustness cell.
+struct RobustnessCtx<'a> {
+    world: &'a World,
+    fusion: &'a FuzzyFusion,
+    release: &'a Table,
+    ids: &'a [usize],
+    harvest_config: &'a HarvestConfig,
+    compose_config: &'a CompositionConfig,
+}
+
 /// Runs the fault-injection sweep: the corpus, harvest and composition
 /// attack re-run under a seeded [`FaultPlan`] at rates `0`, `rate/2` and
-/// `rate`, through the tolerant skip-and-count pipeline. The `0.0` row is
-/// asserted bit-identical to the strict pipeline in-process (the same
-/// passthrough property the compare gate later pins against the
-/// committed baseline), every recorded metric is asserted finite, and
-/// worker panics are contained by [`rayon::silence_panics`] — a panic
-/// escaping the sweep *is* a robustness failure.
-fn robustness_bench(
-    config: &WorldConfig,
-    world: &crate::world::World,
-    rate: f64,
-) -> RobustnessBench {
+/// `rate`, through the tolerant skip-and-count pipeline — then once more
+/// under the *targeted* plan: the same corruption budget aimed exactly at
+/// the records the strict run disclosed hardest (worst case, not average
+/// case). The `0.0` row is asserted bit-identical to the strict pipeline
+/// in-process (the same passthrough property the compare gate later pins
+/// against the committed baseline), every recorded metric is asserted
+/// finite, and worker panics are contained by [`rayon::silence_panics`]
+/// — a panic escaping the sweep *is* a robustness failure.
+fn robustness_bench(config: &WorldConfig, world: &World, rate: f64) -> RobustnessBench {
     let rate = if rate.is_finite() {
         rate.clamp(0.0, 1.0)
     } else {
@@ -693,76 +1016,39 @@ fn robustness_bench(
         },
         ..CompositionConfig::default()
     };
+    let ctx = RobustnessCtx {
+        world,
+        fusion: &fusion,
+        release: &release,
+        ids: &ids,
+        harvest_config: &harvest_config,
+        compose_config: &compose_config,
+    };
 
     let (rows, wall) = time_ms(|| {
-        rates
-            .iter()
-            .map(|&r| {
-                let plan = FaultPlan::uniform(config.seed ^ FAULT_SEED_SALT, r);
-                let (pages, page_deg) = corrupt_pages(world.web.pages().to_vec(), &plan);
-                let engine = SearchEngine::build(pages);
-                let (harvest, harvest_deg) = rayon::silence_panics(|| {
-                    harvest_auxiliary_tolerant(&release, &engine, &harvest_config, &plan)
-                })
-                .expect("tolerant harvest never fails on injected faults");
-                let precision = harvest_precision(&harvest, &engine, &ids)
-                    .expect("harvest rows align with the world population");
-                let (outcome, compose_deg) = rayon::silence_panics(|| {
-                    compose_attack_tolerant(
-                        &world.table,
-                        &engine,
-                        &Mdav::new(),
-                        &fusion,
-                        &compose_config,
-                        &plan,
-                    )
-                })
-                .expect("tolerant composition never fails on injected faults");
-                let mut deg = page_deg;
-                deg.merge(&harvest_deg);
-                deg.merge(&compose_deg);
-                if r == 0.0 {
-                    // The passthrough gate, checked at the source: the
-                    // zero-rate row *is* the strict pipeline.
-                    assert!(deg.is_clean(), "zero-rate plan must stay clean: {deg:?}");
-                    let strict = harvest_auxiliary(&release, &engine, &harvest_config)
-                        .expect("harvest over a generated corpus cannot fail");
-                    assert_eq!(
-                        harvest, strict,
-                        "zero-rate tolerant harvest must be bit-identical to the strict path"
-                    );
-                    let strict_outcome = compose_attack(
-                        &world.table,
-                        &engine,
-                        &Mdav::new(),
-                        &fusion,
-                        &compose_config,
-                    )
-                    .expect("composition over the quick world succeeds");
-                    assert_eq!(
-                        outcome, strict_outcome,
-                        "zero-rate tolerant composition must be bit-identical to the strict path"
-                    );
-                }
-                let row = RobustnessBenchRow {
-                    fault_rate: r,
-                    harvest_precision: precision,
-                    harvest_coverage: harvest.coverage(),
-                    composition_gain: outcome.disclosure_gain,
-                    pages_rejected: deg.pages_rejected,
-                    rows_skipped: deg.rows_skipped,
-                    fields_imputed: deg.fields_imputed,
-                    workers_restarted: deg.workers_restarted,
-                };
-                assert!(
-                    row.harvest_precision.is_finite()
-                        && row.harvest_coverage.is_finite()
-                        && row.composition_gain.is_finite(),
-                    "robustness row at rate {r} carries a non-finite value: {row:?}"
-                );
-                row
-            })
-            .collect()
+        let mut rows = Vec::new();
+        let mut strict_outcome: Option<CompositionOutcome> = None;
+        for &r in &rates {
+            let plan = FaultPlan::uniform(config.seed ^ FAULT_SEED_SALT, r);
+            let (row, outcome) = robustness_row(&ctx, &plan, r, "uniform", r == 0.0);
+            if r == 0.0 {
+                strict_outcome = Some(outcome);
+            }
+            rows.push(row);
+        }
+        if rate > 0.0 {
+            let strict = strict_outcome
+                .as_ref()
+                .expect("the zero-rate row always runs first");
+            let targets = select_targets(world, strict, rate);
+            let plan = FaultPlan {
+                targeted: Some(targets),
+                ..FaultPlan::uniform(config.seed ^ FAULT_SEED_SALT, 0.0)
+            };
+            let (row, _) = robustness_row(&ctx, &plan, rate, "targeted", false);
+            rows.push(row);
+        }
+        rows
     });
     RobustnessBench {
         max_rate: rate,
@@ -770,6 +1056,120 @@ fn robustness_bench(
         wall_ms: wall,
         rows,
     }
+}
+
+/// One robustness cell: corrupt the corpus under `plan`, harvest and
+/// compose tolerantly, count the damage. With `check_strict` set the
+/// result is asserted bit-identical to the strict pipeline (only valid
+/// for passthrough plans).
+fn robustness_row(
+    ctx: &RobustnessCtx,
+    plan: &FaultPlan,
+    rate_label: f64,
+    mode: &'static str,
+    check_strict: bool,
+) -> (RobustnessBenchRow, CompositionOutcome) {
+    let (pages, page_deg) = corrupt_pages(ctx.world.web.pages().to_vec(), plan);
+    let engine = SearchEngine::build(pages);
+    let (harvest, harvest_deg) = rayon::silence_panics(|| {
+        harvest_auxiliary_tolerant(ctx.release, &engine, ctx.harvest_config, plan)
+    })
+    .expect("tolerant harvest never fails on injected faults");
+    let precision = harvest_precision(&harvest, &engine, ctx.ids)
+        .expect("harvest rows align with the world population");
+    let (outcome, compose_deg) = rayon::silence_panics(|| {
+        compose_attack_tolerant(
+            &ctx.world.table,
+            &engine,
+            &Mdav::new(),
+            ctx.fusion,
+            ctx.compose_config,
+            plan,
+        )
+    })
+    .expect("tolerant composition never fails on injected faults");
+    let mut deg = page_deg;
+    deg.merge(&harvest_deg);
+    deg.merge(&compose_deg);
+    if check_strict {
+        // The passthrough gate, checked at the source: the zero-rate row
+        // *is* the strict pipeline.
+        assert!(deg.is_clean(), "zero-rate plan must stay clean: {deg:?}");
+        let strict = harvest_auxiliary(ctx.release, &engine, ctx.harvest_config)
+            .expect("harvest over a generated corpus cannot fail");
+        assert_eq!(
+            harvest, strict,
+            "zero-rate tolerant harvest must be bit-identical to the strict path"
+        );
+        let strict_outcome = compose_attack(
+            &ctx.world.table,
+            &engine,
+            &Mdav::new(),
+            ctx.fusion,
+            ctx.compose_config,
+        )
+        .expect("composition over the quick world succeeds");
+        assert_eq!(
+            outcome, strict_outcome,
+            "zero-rate tolerant composition must be bit-identical to the strict path"
+        );
+    }
+    let row = RobustnessBenchRow {
+        fault_rate: rate_label,
+        mode,
+        harvest_precision: precision,
+        harvest_coverage: harvest.coverage(),
+        composition_gain: outcome.disclosure_gain,
+        pages_rejected: deg.pages_rejected,
+        rows_skipped: deg.rows_skipped,
+        fields_imputed: deg.fields_imputed,
+        workers_restarted: deg.workers_restarted,
+    };
+    assert!(
+        row.harvest_precision.is_finite()
+            && row.harvest_coverage.is_finite()
+            && row.composition_gain.is_finite(),
+        "robustness row at rate {rate_label} ({mode}) carries a non-finite value: {row:?}"
+    );
+    (row, outcome)
+}
+
+/// Builds the worst-case corruption plan from a strict run: the records
+/// are ranked by realized disclosure gain (baseline minus composed
+/// sensitive-range width, ties broken by row for determinism) and the
+/// top `ceil(rate * n)` get their release rows dropped and their web
+/// pages tombstoned — an adversary spending the same budget where the
+/// attack (equivalently, the honest analyst's signal) is strongest.
+fn select_targets(world: &World, strict: &CompositionOutcome, rate: f64) -> TargetedCorruption {
+    let mut ranked: Vec<(f64, usize)> = strict
+        .records
+        .iter()
+        .map(|r| {
+            (
+                r.baseline_income_width - r.feasible_income_width,
+                r.master_row,
+            )
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+    let budget = ((rate * ranked.len() as f64).ceil() as usize)
+        .min(ranked.len())
+        .max(1);
+    let rows: Vec<usize> = ranked.iter().take(budget).map(|&(_, row)| row).collect();
+    let mut pages = Vec::new();
+    for &row in &rows {
+        let person = world.people[row].id;
+        for page in world.web.pages() {
+            if page.person_id == Some(person) {
+                pages.push(page.id);
+            }
+        }
+    }
+    TargetedCorruption::new(pages, rows)
 }
 
 /// Runs the defense sweep (every policy over `R = 1..=3` at the tracked
@@ -1124,8 +1524,12 @@ mod tests {
         assert!(json.contains("\"cores\""));
         assert!(json.contains("\"estimate_batch_parallel\""));
         assert!(json.contains("\"speedup_batch_vs_naive\""));
+        assert!(json.contains("\"deterministic\": false"));
         assert!(!json.contains("\"large\""));
         assert!(!json.contains("\"composition\""));
+        // No faults, no checkpoint store: the recovery ledger stays off.
+        assert!(bench.recovery.is_none());
+        assert!(!json.contains("\"recovery\""));
         assert!(json.trim_end().ends_with('}'));
         let ascii = bench.to_ascii();
         assert!(ascii.contains("rows/sec"));
@@ -1345,7 +1749,11 @@ mod tests {
         let rob = bench.robustness.as_ref().expect("robustness requested");
         assert_eq!(rob.max_rate, 0.1);
         let rates: Vec<f64> = rob.rows.iter().map(|r| r.fault_rate).collect();
-        assert_eq!(rates, vec![0.0, 0.05, 0.1]);
+        // Uniform rows at 0, rate/2, rate — then the targeted worst-case
+        // row at the same top budget.
+        assert_eq!(rates, vec![0.0, 0.05, 0.1, 0.1]);
+        let modes: Vec<&str> = rob.rows.iter().map(|r| r.mode).collect();
+        assert_eq!(modes, vec!["uniform", "uniform", "uniform", "targeted"]);
         // The zero-rate row is the strict pipeline in disguise: the
         // in-process bit-identity asserts ran, and no defects survived.
         let zero = &rob.rows[0];
@@ -1354,19 +1762,41 @@ mod tests {
             0,
             "{zero:?}"
         );
-        // The top rate actually registered damage somewhere.
-        let top = rob.rows.last().expect("at least the zero row");
+        // The top uniform rate actually registered damage somewhere.
+        let top = &rob.rows[2];
         assert!(
             top.pages_rejected + top.rows_skipped + top.fields_imputed + top.workers_restarted > 0,
             "10% corruption left no trace: {top:?}"
         );
+        // The targeted plan hits exactly its victims: release rows
+        // dropped, and no more signal than the strict run had.
+        let targeted = rob.rows.last().expect("targeted row appended");
+        assert!(
+            targeted.rows_skipped > 0,
+            "targeted corruption dropped no rows: {targeted:?}"
+        );
+        assert!(
+            targeted.composition_gain <= zero.composition_gain,
+            "corrupting the top-gain records cannot increase the gain: {targeted:?}"
+        );
         assert!(bench.stages.iter().any(|s| s.name == "robustness_sweep"));
+        // Faults enabled => the recovery ledger is emitted, with one row
+        // per runner stage and no escaped panics.
+        let rec = bench.recovery.as_ref().expect("recovery ledger emitted");
+        assert_eq!(rec.escaped_panics, 0);
+        assert_eq!(rec.transient_rate, 0.1);
+        assert!(rec.rows.iter().any(|r| r.stage == "robustness"));
+        assert!(!rec.resumed);
         let json = bench.to_json();
         assert!(json.contains("\"robustness\""));
         assert!(json.contains("\"fault_rate\""));
+        assert!(json.contains("\"mode\": \"targeted\""));
         assert!(json.contains("\"composition_gain\""));
+        assert!(json.contains("\"recovery\""));
+        assert!(json.contains("\"transient_rate\""));
         assert!(json.trim_end().ends_with('}'));
         assert!(bench.to_ascii().contains("robustness"));
+        assert!(bench.to_ascii().contains("recovery"));
         // A zero --faults rate degenerates to the passthrough row alone.
         let passthrough = quick_bench(
             &WorldConfig {

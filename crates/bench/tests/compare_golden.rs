@@ -149,11 +149,11 @@ fn poisoned_fresh_run_fires_exactly_the_documented_gates() {
     assert!(report
         .violations
         .iter()
-        .any(|v| v.contains("robustness harvest precision at fault rate 0.100")));
+        .any(|v| v.contains("robustness harvest precision at uniform fault rate 0.100")));
     assert!(report
         .violations
         .iter()
-        .any(|v| v.contains("robustness composition gain at fault rate 0.100")));
+        .any(|v| v.contains("robustness composition gain at uniform fault rate 0.100")));
     assert_eq!(
         report
             .violations

@@ -174,7 +174,9 @@ fn digest_source_tolerant(
     let mut class_of_master = vec![u32::MAX; n_master];
     let mut dropped_local = vec![false; source.global_rows.len()];
     for (local, &g) in source.global_rows.iter().enumerate() {
-        if plan.decide(plan.row_drop, salt::RELEASE_ROW_DROP, key2(source_idx, g)) {
+        if plan.targets_row(g)
+            || plan.decide(plan.row_drop, salt::RELEASE_ROW_DROP, key2(source_idx, g))
+        {
             // The row never arrived: it constrains nothing and cannot
             // appear in any candidate set of this source.
             dropped_local[local] = true;

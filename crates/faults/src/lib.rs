@@ -49,6 +49,20 @@ pub mod salt {
     pub const CELL_FLAVOR: u64 = 0x5245_4c00_0003;
     /// Release-level: truncate one streamed chunk of a release.
     pub const CHUNK_TRUNCATE: u64 = 0x5245_4c00_0004;
+    /// Runner-level: one stage attempt fails transiently and is retried.
+    pub const STAGE_TRANSIENT: u64 = 0x5245_4356_0001;
+    /// Runner-level: deterministic backoff jitter for one retry attempt.
+    pub const RETRY_JITTER: u64 = 0x5245_4356_0002;
+    /// Checkpoint-level: a checkpoint write is cut short mid-stream.
+    pub const CKPT_WRITE_TRUNCATE: u64 = 0x5245_4356_0003;
+    /// Checkpoint-level: where (fraction of bytes) a truncated write stops.
+    pub const CKPT_TRUNCATE_AT: u64 = 0x5245_4356_0004;
+    /// Checkpoint-level: one checkpoint byte is flipped on reload.
+    pub const CKPT_BITFLIP: u64 = 0x5245_4356_0005;
+    /// Checkpoint-level: which byte a reload bit-flip lands on.
+    pub const CKPT_BITFLIP_AT: u64 = 0x5245_4356_0006;
+    /// Checkpoint-level: a checkpoint reads back stale on reload.
+    pub const CKPT_STALE: u64 = 0x5245_4356_0007;
 }
 
 /// SplitMix64-style finalizer over `(seed, salt, index)`.
@@ -74,15 +88,51 @@ pub fn key3(major: usize, mid: usize, minor: usize) -> u64 {
     ((major as u64) << 48) ^ ((mid as u64) << 24) ^ (minor as u64)
 }
 
+/// An adversarial (pointed) corruption target set: instead of corrupting
+/// a uniform random fraction of sites, the plan corrupts *exactly* the
+/// listed corpus pages and release/harvest rows — typically the
+/// highest-disclosure-gain targets fed back from a strict run, modelling
+/// an adversary (or defender) who knows where the attack's signal lives.
+///
+/// Lists are kept sorted and deduplicated so membership is a binary
+/// search and two target sets compare structurally.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TargetedCorruption {
+    /// Corpus page ids whose evidence is destroyed outright.
+    pub pages: Vec<usize>,
+    /// Release / harvest row indices that go missing.
+    pub rows: Vec<usize>,
+}
+
+impl TargetedCorruption {
+    /// Builds a target set; the lists are sorted and deduplicated.
+    pub fn new(mut pages: Vec<usize>, mut rows: Vec<usize>) -> TargetedCorruption {
+        pages.sort_unstable();
+        pages.dedup();
+        rows.sort_unstable();
+        rows.dedup();
+        TargetedCorruption { pages, rows }
+    }
+
+    /// True when the set targets nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty() && self.rows.is_empty()
+    }
+}
+
 /// A seeded, deterministic corruption plan covering every stage boundary
 /// of the pipeline: page level (drop / truncate / garble / duplicate),
 /// release level (missing rows, NaN or out-of-range QI cells, truncated
-/// chunks) and worker level (injected panics inside the pool).
+/// chunks), worker level (injected panics inside the pool) and runner
+/// level (transient stage failures, truncated / bit-flipped / stale
+/// checkpoints — consumed by `fred-recover`'s `StageRunner`).
 ///
 /// All rates are probabilities in `[0, 1]`. Each decision hashes
 /// `(seed, stage salt, site index)` against its rate; a rate of `0.0`
-/// short-circuits to `false` without hashing.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// short-circuits to `false` without hashing. On top of the uniform
+/// rates, an optional [`TargetedCorruption`] set corrupts exactly the
+/// listed pages and rows — the adversarial (non-random) mode.
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     /// Seed separating whole plans from each other.
     pub seed: u64,
@@ -103,6 +153,22 @@ pub struct FaultPlan {
     pub chunk_truncate: f64,
     /// Probability a pool worker panics on a given row.
     pub worker_panic: f64,
+    /// Probability one pipeline-stage attempt fails transiently (the
+    /// stage runner retries it with seeded backoff).
+    pub stage_transient: f64,
+    /// Probability a checkpoint write is cut short mid-stream (the
+    /// runner's read-back verification repairs it in place).
+    pub ckpt_write_truncate: f64,
+    /// Probability a checkpoint byte is flipped on reload (the integrity
+    /// check quarantines it and recomputes the stage).
+    pub ckpt_bitflip: f64,
+    /// Probability a checkpoint reads back stale — wrong fingerprint —
+    /// on reload (quarantined and recomputed, like a bit-flip).
+    pub ckpt_stale: f64,
+    /// Adversarial target set corrupted *in addition to* the uniform
+    /// rates: the listed pages are tombstoned and the listed rows go
+    /// missing with probability 1.
+    pub targeted: Option<TargetedCorruption>,
 }
 
 impl FaultPlan {
@@ -130,10 +196,16 @@ impl FaultPlan {
             cell_corrupt: rate,
             chunk_truncate: rate,
             worker_panic: rate,
+            stage_transient: rate,
+            ckpt_write_truncate: rate,
+            ckpt_bitflip: rate,
+            ckpt_stale: rate,
+            targeted: None,
         }
     }
 
-    /// True when every rate is zero: the plan cannot fire anywhere.
+    /// True when every rate is zero and nothing is targeted: the plan
+    /// cannot fire anywhere.
     pub fn is_passthrough(&self) -> bool {
         self.page_drop == 0.0
             && self.page_truncate == 0.0
@@ -143,6 +215,27 @@ impl FaultPlan {
             && self.cell_corrupt == 0.0
             && self.chunk_truncate == 0.0
             && self.worker_panic == 0.0
+            && self.stage_transient == 0.0
+            && self.ckpt_write_truncate == 0.0
+            && self.ckpt_bitflip == 0.0
+            && self.ckpt_stale == 0.0
+            && self.targeted.as_ref().is_none_or(|t| t.is_empty())
+    }
+
+    /// True when the plan's adversarial target set names this corpus
+    /// page id.
+    pub fn targets_page(&self, id: usize) -> bool {
+        self.targeted
+            .as_ref()
+            .is_some_and(|t| t.pages.binary_search(&id).is_ok())
+    }
+
+    /// True when the plan's adversarial target set names this harvest /
+    /// release row index.
+    pub fn targets_row(&self, row: usize) -> bool {
+        self.targeted
+            .as_ref()
+            .is_some_and(|t| t.rows.binary_search(&row).is_ok())
     }
 
     /// One Bernoulli decision: does the fault with probability `rate`
@@ -395,6 +488,59 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn targeted_corruption_sorts_dedups_and_answers_membership() {
+        let targeted = TargetedCorruption::new(vec![9, 2, 2, 5], vec![4, 4, 1]);
+        assert_eq!(targeted.pages, vec![2, 5, 9]);
+        assert_eq!(targeted.rows, vec![1, 4]);
+        assert!(!targeted.is_empty());
+        assert!(TargetedCorruption::default().is_empty());
+
+        let plan = FaultPlan {
+            targeted: Some(targeted),
+            ..FaultPlan::none()
+        };
+        assert!(plan.targets_page(2) && plan.targets_page(5) && plan.targets_page(9));
+        assert!(!plan.targets_page(3));
+        assert!(plan.targets_row(1) && plan.targets_row(4));
+        assert!(!plan.targets_row(0));
+        // An untargeted plan never targets anything.
+        assert!(!FaultPlan::none().targets_page(2));
+        assert!(!FaultPlan::none().targets_row(1));
+    }
+
+    #[test]
+    fn targeted_plans_are_not_passthrough() {
+        // Zero rates + a non-empty target set still corrupts.
+        let plan = FaultPlan {
+            targeted: Some(TargetedCorruption::new(vec![0], vec![])),
+            ..FaultPlan::uniform(3, 0.0)
+        };
+        assert!(!plan.is_passthrough());
+        // ... but an *empty* target set is still a passthrough.
+        let empty = FaultPlan {
+            targeted: Some(TargetedCorruption::default()),
+            ..FaultPlan::uniform(3, 0.0)
+        };
+        assert!(empty.is_passthrough());
+    }
+
+    #[test]
+    fn uniform_sets_runner_and_checkpoint_rates() {
+        let plan = FaultPlan::uniform(21, 0.4);
+        assert_eq!(plan.stage_transient, 0.4);
+        assert_eq!(plan.ckpt_write_truncate, 0.4);
+        assert_eq!(plan.ckpt_bitflip, 0.4);
+        assert_eq!(plan.ckpt_stale, 0.4);
+        assert!(plan.targeted.is_none());
+        // A plan with only a runner-level rate is not a passthrough.
+        let runner_only = FaultPlan {
+            stage_transient: 0.2,
+            ..FaultPlan::uniform(21, 0.0)
+        };
+        assert!(!runner_only.is_passthrough());
     }
 
     #[test]

@@ -1,0 +1,324 @@
+//! Minimal JSON reader for checkpoint envelopes and artifact payloads.
+//!
+//! The workspace writes all of its JSON by hand (there is no serde in the
+//! offline build), so the recovery layer only needs the *reading* half: a
+//! small recursive-descent parser producing a [`Value`] tree, plus the
+//! accessors checkpoint loading uses. Two deliberate deviations from
+//! strict JSON match what Rust's `{:?}` float formatting emits inside
+//! artifacts: the bare tokens `NaN`, `inf` and `-inf` parse as their f64
+//! counterparts, so a checkpointed non-finite metric round-trips instead
+//! of poisoning the whole envelope.
+
+/// A parsed JSON value. Object keys keep insertion order; numbers are
+/// all `f64`, which round-trips every integer the artifacts store
+/// (counts far below 2^53).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number, including the non-finite `NaN` / `inf` / `-inf` tokens.
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, keys in document order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks a key up in an object; `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a whole number.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < (1u64 << 53) as f64 => {
+                Some(*n as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document. Returns `None` on any syntax error or on
+/// trailing non-whitespace — a truncated or bit-flipped checkpoint must
+/// fail loudly here, not half-parse.
+pub fn parse(text: &str) -> Option<Value> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos == bytes.len() {
+        Some(value)
+    } else {
+        None
+    }
+}
+
+/// Escapes a string for embedding in hand-rolled JSON output.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn eat(bytes: &[u8], pos: &mut usize, token: &str) -> Option<()> {
+    if bytes[*pos..].starts_with(token.as_bytes()) {
+        *pos += token.len();
+        Some(())
+    } else {
+        None
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos)? {
+        b'n' => eat(bytes, pos, "null").map(|_| Value::Null),
+        b't' => eat(bytes, pos, "true").map(|_| Value::Bool(true)),
+        b'f' => eat(bytes, pos, "false").map(|_| Value::Bool(false)),
+        b'N' => eat(bytes, pos, "NaN").map(|_| Value::Num(f64::NAN)),
+        b'i' => eat(bytes, pos, "inf").map(|_| Value::Num(f64::INFINITY)),
+        b'"' => parse_string(bytes, pos).map(Value::Str),
+        b'[' => parse_array(bytes, pos),
+        b'{' => parse_object(bytes, pos),
+        b'-' if bytes[*pos..].starts_with(b"-inf") => {
+            *pos += 4;
+            Some(Value::Num(f64::NEG_INFINITY))
+        }
+        b'-' | b'0'..=b'9' => parse_number(bytes, pos),
+        _ => None,
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()?
+        .parse::<f64>()
+        .ok()
+        .map(Value::Num)
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Option<String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return None;
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes.get(*pos + 1..*pos + 5)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        *pos += 4;
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Consume one UTF-8 character (the input is a &str, so
+                // boundaries are valid by construction).
+                let rest = std::str::from_utf8(&bytes[*pos..]).ok()?;
+                let c = rest.chars().next()?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Some(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            b']' => {
+                *pos += 1;
+                return Some(Value::Arr(items));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+    *pos += 1; // consume '{'
+    let mut pairs = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Some(Value::Obj(pairs));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return None;
+        }
+        *pos += 1;
+        pairs.push((key, parse_value(bytes, pos)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            b'}' => {
+                *pos += 1;
+                return Some(Value::Obj(pairs));
+            }
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        let doc = r#"{"a": 1.5, "b": [true, null, "x\"y"], "c": {"d": -3}}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("a").unwrap().as_f64(), Some(1.5));
+        let arr = v.get("b").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_bool(), Some(true));
+        assert_eq!(arr[1], Value::Null);
+        assert_eq!(arr[2].as_str(), Some("x\"y"));
+        assert_eq!(v.get("c").unwrap().get("d").unwrap().as_f64(), Some(-3.0));
+    }
+
+    #[test]
+    fn non_finite_tokens_round_trip() {
+        let doc = format!(
+            "[{:?}, {:?}, {:?}]",
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY
+        );
+        let v = parse(&doc).unwrap();
+        let arr = v.as_arr().unwrap();
+        assert!(arr[0].as_f64().unwrap().is_nan());
+        assert_eq!(arr[1].as_f64(), Some(f64::INFINITY));
+        assert_eq!(arr[2].as_f64(), Some(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn shortest_float_repr_round_trips_exactly() {
+        for &x in &[0.1, 1.0 / 3.0, 8377.8, 5.38, f64::MIN_POSITIVE, 1e300] {
+            let doc = format!("{x:?}");
+            let v = parse(&doc).unwrap();
+            assert_eq!(v.as_f64().unwrap().to_bits(), x.to_bits(), "{doc}");
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_and_trailing_garbage() {
+        assert!(parse(r#"{"a": 1"#).is_none());
+        assert!(parse(r#"{"a": 1} extra"#).is_none());
+        assert!(parse(r#"[1, 2,"#).is_none());
+        assert!(parse("").is_none());
+    }
+
+    #[test]
+    fn as_usize_guards_fractions_and_negatives() {
+        assert_eq!(parse("42").unwrap().as_usize(), Some(42));
+        assert_eq!(parse("4.2").unwrap().as_usize(), None);
+        assert_eq!(parse("-1").unwrap().as_usize(), None);
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let nasty = "quote\" slash\\ newline\n tab\t unicode é";
+        let doc = format!("\"{}\"", escape(nasty));
+        assert_eq!(parse(&doc).unwrap().as_str(), Some(nasty));
+    }
+}

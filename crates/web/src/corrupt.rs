@@ -23,7 +23,7 @@ pub fn corrupt_pages(pages: Vec<WebPage>, plan: &FaultPlan) -> (Vec<WebPage>, De
     let mut duplicates = Vec::new();
     for mut page in pages {
         let site = page.id as u64;
-        if plan.decide(plan.page_drop, salt::PAGE_DROP, site) {
+        if plan.targets_page(page.id) || plan.decide(plan.page_drop, salt::PAGE_DROP, site) {
             page.text.clear();
             page.display_name.clear();
             page.person_id = None;

@@ -18,7 +18,7 @@ use fred_suite::composition::{
     intersect_releases_tolerant, CompositionConfig, CompositionScenario, ScenarioConfig,
 };
 use fred_suite::data::Table;
-use fred_suite::faults::{Degradation, FaultPlan};
+use fred_suite::faults::{Degradation, FaultPlan, TargetedCorruption};
 use fred_suite::synth::{customer_table, generate_population, CustomerConfig, PopulationConfig};
 use fred_suite::web::{build_corpus, corrupt_pages, CorpusConfig, NameNoise, SearchEngine};
 
@@ -245,6 +245,107 @@ fn injected_worker_panics_are_contained_row_by_row() {
         }
     }
     assert_eq!(surviving + deg.workers_restarted, WORLD_SIZE);
+}
+
+// Adversarial (pointed) corruption: a plan with zero uniform rates and a
+// target set corrupts exactly the listed pages and harvest rows — and
+// nothing else, deterministically.
+#[test]
+fn targeted_corruption_hits_exactly_the_listed_sites() {
+    let (table, web) = world();
+    // Destroy every page of the first three people with a web presence,
+    // and drop harvest rows 1 and 3.
+    let target_people: Vec<usize> = web
+        .pages()
+        .iter()
+        .filter_map(|p| p.person_id)
+        .take(3)
+        .collect();
+    let target_pages: Vec<usize> = web
+        .pages()
+        .iter()
+        .filter(|p| p.person_id.is_some_and(|id| target_people.contains(&id)))
+        .map(|p| p.id)
+        .collect();
+    let target_rows = vec![1usize, 3];
+    let plan = FaultPlan {
+        targeted: Some(TargetedCorruption::new(
+            target_pages.clone(),
+            target_rows.clone(),
+        )),
+        ..FaultPlan::uniform(7, 0.0)
+    };
+    assert!(!plan.is_passthrough());
+
+    // Pages: exactly the targeted ids are tombstoned.
+    let (pages, deg) = corrupt_pages(web.pages().to_vec(), &plan);
+    assert_eq!(deg.pages_dropped, target_pages.len());
+    for (orig, got) in web.pages().iter().zip(&pages) {
+        if target_pages.binary_search(&orig.id).is_ok() {
+            assert!(got.text.is_empty(), "page {} not destroyed", orig.id);
+        } else {
+            assert_eq!(orig, got, "untargeted page {} was touched", orig.id);
+        }
+    }
+
+    // Harvest: exactly the targeted rows go missing; every other row is
+    // bit-identical to the strict harvest.
+    let release = table.suppress_sensitive();
+    let row_plan = FaultPlan {
+        targeted: Some(TargetedCorruption::new(Vec::new(), target_rows.clone())),
+        ..FaultPlan::uniform(7, 0.0)
+    };
+    let strict = harvest_auxiliary(&release, web, &HarvestConfig::default()).unwrap();
+    let (tolerant, deg) =
+        harvest_auxiliary_tolerant(&release, web, &HarvestConfig::default(), &row_plan).unwrap();
+    assert_eq!(deg.rows_skipped, target_rows.len());
+    for row in 0..WORLD_SIZE {
+        if target_rows.contains(&row) {
+            assert!(tolerant.linked[row].is_empty(), "targeted row {row} linked");
+        } else {
+            assert_eq!(tolerant.records[row], strict.records[row], "row {row}");
+        }
+    }
+
+    // Pointed corruption is deterministic like everything else.
+    let (again, deg2) =
+        harvest_auxiliary_tolerant(&release, web, &HarvestConfig::default(), &row_plan).unwrap();
+    assert_eq!(tolerant, again);
+    assert_eq!(deg, deg2);
+}
+
+// Targeted release rows vanish from the composition intersection of
+// every source, while an empty target set stays a passthrough.
+#[test]
+fn targeted_release_rows_are_dropped_from_intersection() {
+    let (table, _) = world();
+    let scenario = scenario(table);
+    let strict = intersect_releases(&scenario.sources, &scenario.targets, table.len(), 16).unwrap();
+    let plan = FaultPlan {
+        targeted: Some(TargetedCorruption::new(Vec::new(), vec![0, 2])),
+        ..FaultPlan::uniform(11, 0.0)
+    };
+    let (tolerant, deg) =
+        intersect_releases_tolerant(&scenario.sources, &scenario.targets, table.len(), 16, &plan)
+            .unwrap();
+    assert!(deg.rows_skipped > 0, "targeted rows were not dropped");
+    assert_ne!(tolerant, strict);
+
+    let empty = FaultPlan {
+        targeted: Some(TargetedCorruption::default()),
+        ..FaultPlan::uniform(11, 0.0)
+    };
+    assert!(empty.is_passthrough());
+    let (passthrough, deg) = intersect_releases_tolerant(
+        &scenario.sources,
+        &scenario.targets,
+        table.len(),
+        16,
+        &empty,
+    )
+    .unwrap();
+    assert_eq!(passthrough, strict);
+    assert!(deg.is_clean());
 }
 
 // The ledger itself: merge is additive and the survival counters feed
