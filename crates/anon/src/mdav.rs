@@ -129,6 +129,7 @@ impl Anonymizer for Mdav {
         let mut classes: Vec<Vec<usize>> = Vec::with_capacity(n / k + 1);
 
         while pool.len() >= 3 * k {
+            fred_obs::counter("mdav.rounds", 1);
             pool.centroid_into(&mut centroid);
             let r = pool.farthest_from(&centroid);
             let cluster_r = pool.take_nearest(r, k, &mut scored, true);

@@ -149,6 +149,8 @@ impl Iterator for ReleaseChunks<'_> {
         let lo = self.next_row;
         let hi = (lo + self.chunk_rows).min(self.table.len());
         self.next_row = hi;
+        fred_obs::counter("release.chunks", 1);
+        fred_obs::counter("release.chunk_rows", (hi - lo) as u64);
         // Warm the summary cache for every class this chunk touches, then
         // rewrite rows through immutable reads.
         for row_idx in lo..hi {

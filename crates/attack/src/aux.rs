@@ -246,6 +246,32 @@ impl HarvestContext {
     }
 }
 
+/// Emits one harvested name's observability deltas: pages linked and
+/// inspected, plus what the memo and the score floor absorbed (read as
+/// deltas over the worker's [`LinkState`], which lives across names).
+/// Free when tracing is off — one relaxed atomic load.
+fn note_harvest_metrics(
+    state: &LinkState,
+    lookups_before: u64,
+    hits_before: u64,
+    prunes_before: u64,
+    linked: usize,
+    inspected: usize,
+) {
+    if !fred_obs::is_enabled() {
+        return;
+    }
+    fred_obs::counter("harvest.names", 1);
+    fred_obs::counter("harvest.pages_linked", linked as u64);
+    fred_obs::counter("harvest.pages_inspected", inspected as u64);
+    fred_obs::counter(
+        "harvest.cache_lookups",
+        state.agreement.lookups() - lookups_before,
+    );
+    fred_obs::counter("harvest.cache_hits", state.agreement.hits() - hits_before);
+    fred_obs::counter("harvest.floor_prunes", state.cmp.prunes() - prunes_before);
+}
+
 /// One release name through the cached path: exact top-k search, then
 /// floor/memo classification of the hits, then extraction and
 /// consolidation. The single per-name routine both cached harvest
@@ -260,6 +286,11 @@ fn harvest_one_name(
     if name.trim().is_empty() {
         return (None, Vec::new(), 0);
     }
+    let (lookups0, hits0, prunes0) = (
+        state.agreement.lookups(),
+        state.agreement.hits(),
+        state.cmp.prunes(),
+    );
     let hits = engine.search_topk_with(
         name,
         config.hits_per_name,
@@ -284,6 +315,7 @@ fn harvest_one_name(
         .iter()
         .filter_map(|&p| engine.page(p).map(extract))
         .collect();
+    note_harvest_metrics(state, lookups0, hits0, prunes0, accepted.len(), inspected);
     (consolidate(&extractions), accepted, inspected)
 }
 
@@ -303,6 +335,11 @@ fn harvest_one_name_tolerant(
     if name.trim().is_empty() {
         return (None, Vec::new(), 0, deg);
     }
+    let (lookups0, hits0, prunes0) = (
+        state.agreement.lookups(),
+        state.agreement.hits(),
+        state.cmp.prunes(),
+    );
     let hits = engine.search_topk_with(
         name,
         config.hits_per_name,
@@ -336,6 +373,7 @@ fn harvest_one_name_tolerant(
             }
         })
         .collect();
+    note_harvest_metrics(state, lookups0, hits0, prunes0, accepted.len(), inspected);
     (consolidate(&extractions), accepted, inspected, deg)
 }
 

@@ -25,6 +25,9 @@
 //!                                                 # valid checkpoint; the JSON
 //!                                                 # is bit-identical to an
 //!                                                 # uninterrupted run
+//!   repro --quick --trace trace.json  # + the span/counter trace (canonical
+//!                                     # JSON) and trace.json.chrome.json
+//!                                     # for chrome://tracing / Perfetto
 //!   repro --quick --out perf.json
 //!   repro --size 240 --seed 2008
 //!
@@ -59,6 +62,7 @@ fn main() {
     let mut checkpoint_dir: Option<String> = None;
     let mut resume = false;
     let mut compare_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut figs: Vec<u32> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -111,6 +115,14 @@ fn main() {
                 );
             }
             "--resume" => resume = true,
+            "--trace" => {
+                i += 1;
+                trace_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--trace needs an output path")),
+                );
+            }
             "--compare" => {
                 i += 1;
                 compare_path = Some(
@@ -152,11 +164,12 @@ fn main() {
         || want_exhaustive
         || faults.is_some()
         || checkpoint_dir.is_some()
-        || resume)
+        || resume
+        || trace_path.is_some())
         && !want_quick
     {
         usage(
-            "--out/--compare/--large-size/--exhaustive/--faults/--checkpoint-dir/--resume \
+            "--out/--compare/--large-size/--exhaustive/--faults/--checkpoint-dir/--resume/--trace \
              only apply together with --quick",
         );
     }
@@ -185,6 +198,7 @@ fn main() {
             &config,
             &out_path,
             compare_path.as_deref(),
+            trace_path.as_deref(),
             &QuickBenchOptions {
                 large_size: large,
                 compose: want_compose,
@@ -194,6 +208,9 @@ fn main() {
                 checkpoint_dir: checkpoint_dir.map(std::path::PathBuf::from),
                 resume,
                 halt_after: std::env::var("FRED_HALT_AFTER").ok(),
+                // Every quick run self-profiles: the baseline's `profile`
+                // block is part of what `--compare` gates.
+                profile: true,
             },
         );
         return;
@@ -241,7 +258,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro [--tables] [--fig N]... [--ablations] [--compose] \
          [--defend POLICY] [--quick] [--exhaustive] [--faults RATE] \
-         [--checkpoint-dir PATH] [--resume] \
+         [--checkpoint-dir PATH] [--resume] [--trace PATH] \
          [--out PATH] [--large-size N] [--compare BASELINE] [--size N] [--seed N]\n\
          regenerates the paper's tables (I-IV) and figures (4-8);\n\
          --compose runs the multi-release composition attack sweep\n\
@@ -268,7 +285,10 @@ fn usage(err: &str) -> ! {
          directory — the resulting JSON is bit-identical to an\n\
          uninterrupted run of the same configuration;\n\
          --compare gates the fresh run against a committed baseline and\n\
-         exits non-zero on a perf regression"
+         exits non-zero on a perf regression;\n\
+         --trace additionally writes the run's span/counter trace as\n\
+         canonical JSON to PATH plus a chrome://tracing events file to\n\
+         PATH.chrome.json (open via ui.perfetto.dev or chrome://tracing)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -278,6 +298,7 @@ fn run_quick(
     config: &WorldConfig,
     out_path: &str,
     compare: Option<&str>,
+    trace_path: Option<&str>,
     options: &QuickBenchOptions,
 ) {
     if config.size < 2 {
@@ -320,6 +341,9 @@ fn run_quick(
     let bench = quick_bench(config, 2, 10, 3, options);
     print!("{}", bench.to_ascii());
     let fresh_json = bench.to_json();
+    if let Some(trace_path) = trace_path {
+        write_trace(&bench, trace_path);
+    }
     let clobbers_baseline = compare.is_some_and(|baseline_path| {
         let canon = |p: &str| std::fs::canonicalize(p).unwrap_or_else(|_| p.into());
         canon(baseline_path) == canon(out_path)
@@ -350,6 +374,48 @@ fn run_quick(
             std::process::exit(1);
         }
     }
+}
+
+/// `--trace`: persists the drained span/counter trace as canonical JSON
+/// plus a `chrome://tracing` events file, after validating both that the
+/// canonical parser round-trips it and that the digest embedded in the
+/// baseline's `profile` block matches the tree being written.
+fn write_trace(bench: &fred_bench::perf::QuickBench, trace_path: &str) {
+    let trace = bench
+        .trace
+        .as_ref()
+        .expect("--quick runs always collect a trace");
+    let trace_json = trace.to_json();
+    if fred_recover::json::parse(&trace_json).is_none() {
+        eprintln!("error: trace JSON failed self-validation (canonical parser rejected it)");
+        std::process::exit(1);
+    }
+    let profile = bench
+        .profile
+        .as_ref()
+        .expect("--quick runs always distill a profile");
+    if profile.span_tree_digest != trace.structural_digest() {
+        eprintln!(
+            "error: trace digest {} disagrees with the profile block's {}",
+            trace.structural_digest(),
+            profile.span_tree_digest
+        );
+        std::process::exit(1);
+    }
+    let chrome_path = format!("{trace_path}.chrome.json");
+    for (path, payload) in [
+        (trace_path, trace_json),
+        (&chrome_path[..], trace.to_chrome_json()),
+    ] {
+        if let Err(e) = std::fs::write(path, payload) {
+            eprintln!("error: could not write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "  trace written to {trace_path} ({} spans, {} events; chrome-tracing view: {chrome_path})",
+        trace.spans_total, trace.events_total
+    );
 }
 
 fn print_tables() {

@@ -111,28 +111,10 @@ pub fn digest_bits(bits: &[u64]) -> u64 {
 /// [`StageTiming`] roster uses. `None` for unknown names — a checkpoint
 /// naming a stage this build does not know is corrupt or stale.
 pub fn intern_stage_name(name: &str) -> Option<&'static str> {
-    const ROSTER: &[&str] = &[
-        "world_build",
-        "mdav_k5",
-        "anonymize_all_levels",
-        "harvest_auxiliary",
-        "estimate_naive_per_row",
-        "estimate_batch_parallel",
-        "sweep_end_to_end",
-        "composition_sweep",
-        "composition_defense",
-        "robustness_sweep",
-        "world_build_large",
-        "mdav_k5_large",
-        "release_stream_large",
-        "harvest_parallel_large",
-        "harvest_single_thread_large",
-        "harvest_sequential_large",
-        "harvest_exhaustive_large",
-        "estimate_stream_large",
-        "composition_large",
-    ];
-    ROSTER.iter().find(|&&n| n == name).copied()
+    crate::stages::TIMING_ROSTER
+        .iter()
+        .find(|&&n| n == name)
+        .copied()
 }
 
 /// Interns a robustness-row mode label.

@@ -66,6 +66,20 @@
 //!   physics gates still apply in full. A *committed* deterministic
 //!   baseline is itself a violation: zeroed timings cannot gate anything,
 //!   so committing one silently disarms every timing gate;
+//! * when the baseline carries a `profile` block (`repro --quick`
+//!   self-profiling through `fred_obs`), the fresh run must carry it
+//!   too, the span-tree digest is pinned exactly — the tree wraps each
+//!   runner stage *outside* its compute closure, so it is a pure
+//!   function of the enabled stages and identical across fresh,
+//!   deterministic and resumed runs — no committed profile stage row
+//!   may vanish, and on a fresh non-deterministic run the obs counters
+//!   must reconcile *exactly* against the other ledgers in the same
+//!   file: `faults.*` against the robustness rows' summed degradation
+//!   fields and `recover.*` against the recovery ledger (counter and
+//!   ledger are incremented by the same source line, so any gap is
+//!   dropped instrumentation, not noise). The measured cost of
+//!   *disabled* tracing is held under [`MAX_OBS_OVERHEAD_PCT`] of the
+//!   large block's wall;
 //! * a baseline that fails structural sanity — no config line, no
 //!   parseable stage rows, or a truncated file — is reported as a
 //!   violation instead of silently parsing to an empty [`Baseline`]
@@ -105,6 +119,12 @@ pub const ROBUSTNESS_PRECISION_SLACK: f64 = 0.25;
 /// fraction of the committed gain at the same fault rate.
 pub const ROBUSTNESS_GAIN_FLOOR: f64 = 0.5;
 
+/// Ceiling on the disabled-tracing overhead probe, as a percentage of
+/// the large block's total stage wall. The probe times
+/// [`crate::perf::OVERHEAD_PROBE_CALLS`] counter calls against the
+/// disabled collector — the cost every uninstrumented run pays.
+pub const MAX_OBS_OVERHEAD_PCT: f64 = 3.0;
+
 /// One composition-stage row: `(releases, disclosure_gain,
 /// mean_candidates)`.
 pub type CompositionRow = (usize, f64, f64);
@@ -129,6 +149,14 @@ pub struct RobustnessRow {
     /// Total defects the tolerant pipeline survived (pages rejected +
     /// rows skipped + fields imputed + workers restarted).
     pub defects: usize,
+    /// Pages the tolerant parser rejected outright.
+    pub pages_rejected: usize,
+    /// Rows dropped by the row-level salvage path.
+    pub rows_skipped: usize,
+    /// Field values imputed after cell-level damage.
+    pub fields_imputed: usize,
+    /// Harvest workers restarted after an injected panic.
+    pub workers_restarted: usize,
 }
 
 /// One defense-stage row, as parsed from a `composition_defense` block.
@@ -174,11 +202,50 @@ pub struct RecoveryBlock {
     /// Total retries across every stage — pinned exactly when the
     /// committed ledger shares `(seed, transient_rate, max_attempts)`.
     pub retries_total: usize,
+    /// Checkpoint files quarantined for failing integrity checks.
+    /// Baselines that predate the field parse as zero.
+    pub quarantined_total: usize,
     /// Panics that escaped the runner. The whole point of the ledger:
     /// this must be zero.
     pub escaped_panics: usize,
     /// Per-stage rows, in pipeline order.
     pub rows: Vec<RecoveryRow>,
+}
+
+/// One per-stage row of a `profile` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRow {
+    /// Runner stage name (`world_build`, `mdav`, ... `large`).
+    pub stage: String,
+    /// Stage span wall minus its child spans' wall, in ms.
+    pub self_ms: f64,
+    /// Spans in the stage's subtree (including itself).
+    pub spans: usize,
+}
+
+/// The `profile` block, as parsed from a self-profiled run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileBlock {
+    /// Whether the trace was taken in deterministic mode (durations
+    /// zeroed at source, counter rows omitted).
+    pub deterministic: bool,
+    /// Total spans opened during the run.
+    pub spans_total: u64,
+    /// Total events recorded during the run.
+    pub events_total: u64,
+    /// Structural digest of the span tree — pinned committed-vs-fresh.
+    pub span_tree_digest: String,
+    /// Calls the disabled-tracing overhead probe made.
+    pub overhead_probe_calls: u64,
+    /// Wall-clock of the probe loop, ms.
+    pub overhead_wall_ms: f64,
+    /// Probe wall as a percentage of the large block's stage wall — the
+    /// number gated under [`MAX_OBS_OVERHEAD_PCT`].
+    pub overhead_pct_of_large: f64,
+    /// Per-stage self-time rows.
+    pub stages: Vec<ProfileRow>,
+    /// Merged counter totals by name (empty on deterministic runs).
+    pub counters: BTreeMap<String, u64>,
 }
 
 /// Everything [`parse_baseline`] can recover from one baseline file.
@@ -210,6 +277,8 @@ pub struct Baseline {
     pub robustness: Vec<RobustnessRow>,
     /// The recovery ledger, when present.
     pub recovery: Option<RecoveryBlock>,
+    /// The observability profile block, when present.
+    pub profile: Option<ProfileBlock>,
     /// `deterministic` recorded in the config block; `None` for
     /// baselines that predate the field (equivalent to `false`).
     pub deterministic: Option<bool>,
@@ -354,6 +423,10 @@ pub fn parse_baseline(json: &str) -> Baseline {
                         harvest_coverage: cov,
                         composition_gain: gain,
                         defects: (pages + rows + cells + workers) as usize,
+                        pages_rejected: pages as usize,
+                        rows_skipped: rows as usize,
+                        fields_imputed: cells as usize,
+                        workers_restarted: workers as usize,
                     });
                 }
                 _ => out.malformed_rows.push(line.trim().to_owned()),
@@ -380,6 +453,9 @@ pub fn parse_baseline(json: &str) -> Baseline {
                         transient_rate: rate,
                         max_attempts: max_a as usize,
                         retries_total: total as usize,
+                        // Pre-observability baselines predate the field.
+                        quarantined_total: num_field(line, "quarantined_total")
+                            .map_or(0, |q| q as usize),
                         escaped_panics: esc as usize,
                         rows: Vec::new(),
                     });
@@ -407,6 +483,82 @@ pub fn parse_baseline(json: &str) -> Baseline {
                         retries: ret as usize,
                         backoff_ms: back,
                     });
+                }
+                _ => out.malformed_rows.push(line.trim().to_owned()),
+            }
+            continue;
+        }
+        // The profile header — keyed off `spans_total`, which no other
+        // block carries.
+        if line.contains("\"spans_total\":") {
+            let fields = (
+                num_field(line, "spans_total"),
+                num_field(line, "events_total"),
+                str_field(line, "span_tree_digest"),
+            );
+            match fields {
+                (Some(spans), Some(events), Some(digest)) => {
+                    out.profile = Some(ProfileBlock {
+                        deterministic: line.contains("\"deterministic\": true"),
+                        spans_total: spans as u64,
+                        events_total: events as u64,
+                        span_tree_digest: digest.to_owned(),
+                        overhead_probe_calls: 0,
+                        overhead_wall_ms: 0.0,
+                        overhead_pct_of_large: 0.0,
+                        stages: Vec::new(),
+                        counters: BTreeMap::new(),
+                    });
+                }
+                _ => out.malformed_rows.push(line.trim().to_owned()),
+            }
+            continue;
+        }
+        // The profile's overhead line — `probe_calls` is unique to it.
+        if line.contains("\"probe_calls\":") {
+            let fields = (
+                num_field(line, "probe_calls"),
+                num_field(line, "wall_ms"),
+                num_field(line, "pct_of_large"),
+            );
+            match (&mut out.profile, fields) {
+                (Some(prof), (Some(calls), Some(wall), Some(pct)))
+                    if wall.is_finite() && pct.is_finite() =>
+                {
+                    prof.overhead_probe_calls = calls as u64;
+                    prof.overhead_wall_ms = wall;
+                    prof.overhead_pct_of_large = pct;
+                }
+                _ => out.malformed_rows.push(line.trim().to_owned()),
+            }
+            continue;
+        }
+        // A profile stage row — `"stage"` + `"self_ms"` together occur
+        // nowhere else (recovery rows pair `"stage"` with `"attempts"`).
+        if line.contains("\"stage\":") && line.contains("\"self_ms\":") {
+            let fields = (
+                str_field(line, "stage"),
+                num_field(line, "self_ms"),
+                num_field(line, "spans"),
+            );
+            match (&mut out.profile, fields) {
+                (Some(prof), (Some(stage), Some(self_ms), Some(spans))) if self_ms.is_finite() => {
+                    prof.stages.push(ProfileRow {
+                        stage: stage.to_owned(),
+                        self_ms,
+                        spans: spans as usize,
+                    });
+                }
+                _ => out.malformed_rows.push(line.trim().to_owned()),
+            }
+            continue;
+        }
+        // A profile counter row.
+        if line.contains("\"counter\":") {
+            let fields = (str_field(line, "counter"), num_field(line, "value"));
+            match (&mut out.profile, fields) {
+                (Some(prof), (Some(name), Some(value))) => {
+                    prof.counters.insert(name.to_owned(), value as u64);
                 }
                 _ => out.malformed_rows.push(line.trim().to_owned()),
             }
@@ -815,6 +967,113 @@ pub fn compare_baselines(committed_json: &str, fresh_json: &str) -> CompareRepor
                 rec.retries_total,
                 rec.rows.len(),
                 rec.transient_rate
+            ));
+        }
+    }
+    // The profile gates: the observability layer self-verifies against
+    // the other ledgers in the same file. The span tree wraps each
+    // runner stage outside its compute closure, so its digest is a pure
+    // function of the enabled stages — identical across fresh,
+    // deterministic and resumed runs — and is pinned exactly. On a
+    // fresh non-deterministic run the obs counters and the robustness/
+    // recovery ledgers are incremented by the same source lines, so
+    // they must agree to the unit; any gap is dropped instrumentation.
+    if committed.profile.is_some() && fresh.profile.is_none() {
+        report
+            .violations
+            .push("profile block disappeared from the fresh baseline".into());
+    }
+    if let Some(prof) = &fresh.profile {
+        if let Some(base) = &committed.profile {
+            if base.span_tree_digest != prof.span_tree_digest {
+                report.violations.push(format!(
+                    "span tree digest drifted: fresh {} vs committed {} — the tree is a \
+                     pure function of the enabled stages, so this is a structural \
+                     pipeline change, not noise",
+                    prof.span_tree_digest, base.span_tree_digest
+                ));
+            }
+            for row in &base.stages {
+                if !prof.stages.iter().any(|f| f.stage == row.stage) {
+                    report.violations.push(format!(
+                        "profile stage `{}` disappeared from the fresh profile",
+                        row.stage
+                    ));
+                }
+            }
+        }
+        if prof.deterministic {
+            report
+                .notes
+                .push("fresh profile is deterministic: overhead and counter gates skipped".into());
+        } else {
+            if prof.overhead_pct_of_large > MAX_OBS_OVERHEAD_PCT {
+                report.violations.push(format!(
+                    "disabled-tracing overhead reached {:.3}% of the large block over \
+                     {} probe calls (must stay < {MAX_OBS_OVERHEAD_PCT}%)",
+                    prof.overhead_pct_of_large, prof.overhead_probe_calls
+                ));
+            }
+            if !prof.counters.is_empty() {
+                let count = |name: &str| prof.counters.get(name).copied().unwrap_or(0) as usize;
+                if !fresh.robustness.is_empty() {
+                    let ledgers = [
+                        (
+                            "faults.pages_rejected",
+                            fresh.robustness.iter().map(|r| r.pages_rejected).sum(),
+                        ),
+                        (
+                            "faults.rows_skipped",
+                            fresh.robustness.iter().map(|r| r.rows_skipped).sum(),
+                        ),
+                        (
+                            "faults.fields_imputed",
+                            fresh.robustness.iter().map(|r| r.fields_imputed).sum(),
+                        ),
+                        (
+                            "faults.workers_restarted",
+                            fresh.robustness.iter().map(|r| r.workers_restarted).sum(),
+                        ),
+                    ];
+                    for (name, ledger) in ledgers {
+                        let counted = count(name);
+                        if counted != ledger {
+                            report.violations.push(format!(
+                                "obs counter `{name}` = {counted} disagrees with the \
+                                 robustness ledger total {ledger} — counter and ledger \
+                                 are written by the same line, so a gap is dropped \
+                                 instrumentation"
+                            ));
+                        }
+                    }
+                }
+                if let Some(rec) = &fresh.recovery {
+                    let attempts: usize = rec.rows.iter().map(|r| r.attempts).sum();
+                    let ledgers = [
+                        ("recover.attempts", attempts),
+                        ("recover.retries", rec.retries_total),
+                        ("recover.quarantines", rec.quarantined_total),
+                    ];
+                    for (name, ledger) in ledgers {
+                        let counted = count(name);
+                        if counted != ledger {
+                            report.violations.push(format!(
+                                "obs counter `{name}` = {counted} disagrees with the \
+                                 recovery ledger total {ledger} — counter and ledger \
+                                 are written by the same line, so a gap is dropped \
+                                 instrumentation"
+                            ));
+                        }
+                    }
+                }
+            }
+            report.notes.push(format!(
+                "profile: {} spans (tree {}), {} counters; disabled-tracing probe at \
+                 {:.2}% of the large block",
+                prof.spans_total,
+                prof.span_tree_digest,
+                prof.counters.len(),
+                prof.overhead_pct_of_large
             ));
         }
     }
@@ -1804,5 +2063,298 @@ mod tests {
             .collect();
         let report = compare_baselines(&json, &fresh);
         assert!(report.violations.iter().any(|v| v.contains("disappeared")));
+    }
+
+    /// Appends a `profile` block in the writer's shape onto an existing
+    /// synthetic baseline.
+    fn with_profile(
+        mut out: String,
+        digest: &str,
+        pct: f64,
+        stages: &[(&str, usize)],
+        counters: &[(&str, u64)],
+    ) -> String {
+        out.truncate(out.rfind("\n}").expect("closing brace"));
+        out.push_str(",\n  \"profile\": {\n");
+        out.push_str(&format!(
+            "    \"deterministic\": false, \"spans_total\": {}, \"events_total\": 0, \"span_tree_digest\": \"{digest}\",\n",
+            stages.len() + 1
+        ));
+        out.push_str(&format!(
+            "    \"overhead\": {{ \"probe_calls\": 1000000, \"wall_ms\": 4.000, \"pct_of_large\": {pct:.3} }},\n"
+        ));
+        out.push_str("    \"stages\": [\n");
+        for (i, (stage, spans)) in stages.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{ \"stage\": \"{stage}\", \"self_ms\": 1.000, \"spans\": {spans} }}{}\n",
+                if i + 1 < stages.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("    ],\n    \"counters\": [\n");
+        for (i, (name, value)) in counters.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{ \"counter\": \"{name}\", \"value\": {value} }}{}\n",
+                if i + 1 < counters.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("    ]\n  }\n}\n");
+        out
+    }
+
+    #[test]
+    fn profile_block_parses() {
+        let json = with_profile(
+            synthetic_json(100.0, 5.0),
+            "00deadbeef00cafe",
+            0.5,
+            &[("world_build", 1), ("mdav", 1)],
+            &[("mdav.rounds", 12), ("release.chunks", 3)],
+        );
+        let b = parse_baseline(&json);
+        let prof = b.profile.expect("profile block parsed");
+        assert!(!prof.deterministic);
+        assert_eq!(prof.spans_total, 3);
+        assert_eq!(prof.span_tree_digest, "00deadbeef00cafe");
+        assert_eq!(prof.overhead_probe_calls, 1_000_000);
+        assert_eq!(prof.overhead_pct_of_large, 0.5);
+        assert_eq!(prof.stages.len(), 2);
+        assert_eq!(prof.stages[1].stage, "mdav");
+        assert_eq!(prof.counters.get("mdav.rounds"), Some(&12));
+        assert!(b.malformed_rows.is_empty());
+        // Profile stage rows never leak into the timing-stage namespace
+        // or the recovery ledger.
+        assert!(!b.stage_wall_ms.contains_key("mdav"));
+        assert!(b.recovery.is_none());
+        let report = compare_baselines(&json, &json);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.notes.iter().any(|n| n.contains("profile")));
+    }
+
+    #[test]
+    fn span_tree_digest_is_pinned_and_profile_must_not_vanish() {
+        let committed = with_profile(
+            synthetic_json(100.0, 5.0),
+            "00deadbeef00cafe",
+            0.5,
+            &[("world_build", 1)],
+            &[],
+        );
+        // Digest drift fails.
+        let drifted = with_profile(
+            synthetic_json(100.0, 5.0),
+            "ffffffffffffffff",
+            0.5,
+            &[("world_build", 1)],
+            &[],
+        );
+        let report = compare_baselines(&committed, &drifted);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("span tree digest drifted")),
+            "{:?}",
+            report.violations
+        );
+        // The whole block vanishing fails.
+        let report = compare_baselines(&committed, &synthetic_json(100.0, 5.0));
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("profile block disappeared")),
+            "{:?}",
+            report.violations
+        );
+        // A committed stage row vanishing from a still-present block fails.
+        let hollow = with_profile(
+            synthetic_json(100.0, 5.0),
+            "00deadbeef00cafe",
+            0.5,
+            &[("mdav", 1)],
+            &[],
+        );
+        let report = compare_baselines(&committed, &hollow);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("profile stage `world_build` disappeared")),
+            "{:?}",
+            report.violations
+        );
+        // A newly appearing profile is fine.
+        let report = compare_baselines(&synthetic_json(100.0, 5.0), &committed);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn overhead_ceiling_gates_the_disabled_path() {
+        let fast = with_profile(
+            synthetic_json(100.0, 5.0),
+            "00deadbeef00cafe",
+            MAX_OBS_OVERHEAD_PCT / 2.0,
+            &[("world_build", 1)],
+            &[],
+        );
+        let report = compare_baselines(&fast, &fast);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        let slow = with_profile(
+            synthetic_json(100.0, 5.0),
+            "00deadbeef00cafe",
+            MAX_OBS_OVERHEAD_PCT * 2.0,
+            &[("world_build", 1)],
+            &[],
+        );
+        let report = compare_baselines(&fast, &slow);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("disabled-tracing overhead")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn obs_counters_reconcile_against_the_robustness_ledger() {
+        // Ledger rows sum to 42 pages_rejected (the helper writes defects
+        // as pages_rejected), zero everything else.
+        let base =
+            synthetic_robustness_json(&[(0.0, 0.95, 0.9, 8000.0, 0), (0.1, 0.9, 0.7, 6000.0, 42)]);
+        let agree = with_profile(
+            base.clone(),
+            "00deadbeef00cafe",
+            0.5,
+            &[("robustness", 1)],
+            &[
+                ("faults.pages_rejected", 42),
+                ("faults.rows_skipped", 0),
+                ("faults.fields_imputed", 0),
+                ("faults.workers_restarted", 0),
+            ],
+        );
+        let report = compare_baselines(&agree, &agree);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        // One dropped increment fails — the reconciliation is exact.
+        let disagree = with_profile(
+            base,
+            "00deadbeef00cafe",
+            0.5,
+            &[("robustness", 1)],
+            &[
+                ("faults.pages_rejected", 41),
+                ("faults.rows_skipped", 0),
+                ("faults.fields_imputed", 0),
+                ("faults.workers_restarted", 0),
+            ],
+        );
+        let report = compare_baselines(&disagree, &disagree);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("`faults.pages_rejected` = 41 disagrees")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn obs_counters_reconcile_against_the_recovery_ledger() {
+        let base = synthetic_recovery_json(
+            2015,
+            0.1,
+            4,
+            3,
+            0,
+            &[("world_build", 1, 0, 0.0), ("mdav", 3, 2, 14.5)],
+        );
+        // attempts sum to 4, retries_total 3, quarantines default 0.
+        let agree = with_profile(
+            base.clone(),
+            "00deadbeef00cafe",
+            0.5,
+            &[("world_build", 1), ("mdav", 1)],
+            &[
+                ("recover.attempts", 4),
+                ("recover.retries", 3),
+                ("recover.quarantines", 0),
+            ],
+        );
+        let report = compare_baselines(&agree, &agree);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        let disagree = with_profile(
+            base,
+            "00deadbeef00cafe",
+            0.5,
+            &[("world_build", 1), ("mdav", 1)],
+            &[
+                ("recover.attempts", 5),
+                ("recover.retries", 3),
+                ("recover.quarantines", 0),
+            ],
+        );
+        let report = compare_baselines(&disagree, &disagree);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("`recover.attempts` = 5 disagrees")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn deterministic_profile_skips_counter_and_overhead_gates() {
+        // A deterministic profile header with zeroed overhead and no
+        // counter rows — what a checkpointed/resumed run emits. Only the
+        // structural pins (digest, stage coverage) may gate it.
+        let committed = with_profile(
+            synthetic_json(100.0, 5.0),
+            "00deadbeef00cafe",
+            0.5,
+            &[("world_build", 1)],
+            &[],
+        );
+        let det = committed
+            .replace("\"deterministic\": false", "\"deterministic\": true")
+            .replace("\"pct_of_large\": 0.500", "\"pct_of_large\": 0.000");
+        let report = compare_baselines(&committed, &det);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(
+            report
+                .notes
+                .iter()
+                .any(|n| n.contains("counter gates skipped")),
+            "{:?}",
+            report.notes
+        );
+        // Digest drift still fails a deterministic profile.
+        let drifted = det.replace("00deadbeef00cafe", "ffffffffffffffff");
+        let report = compare_baselines(&committed, &drifted);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("span tree digest drifted")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn quarantined_total_round_trips_and_defaults() {
+        // Old-format header (no quarantined_total) parses as zero.
+        let old = synthetic_recovery_json(2015, 0.1, 4, 3, 0, &[("world_build", 1, 0, 0.0)]);
+        assert_eq!(parse_baseline(&old).recovery.unwrap().quarantined_total, 0);
+        // New-format header round-trips the field.
+        let new = old.replace(
+            "\"retries_total\": 3,",
+            "\"retries_total\": 3, \"quarantined_total\": 2,",
+        );
+        assert_eq!(parse_baseline(&new).recovery.unwrap().quarantined_total, 2);
     }
 }

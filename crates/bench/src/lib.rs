@@ -24,6 +24,7 @@ pub mod ckpt;
 pub mod compare;
 pub mod figures;
 pub mod perf;
+pub mod stages;
 pub mod tables;
 pub mod world;
 

@@ -40,6 +40,7 @@ use crate::ckpt::{
     digest_bits, digest_harvest, digest_world, intern_stage_name, Digest, EstimatesArtifact,
     StageAnchor, SweepArtifact,
 };
+use crate::stages::{self as sn, runner as rstage};
 use crate::world::{faculty_world, World, WorldConfig};
 
 /// Anonymization level used by the dedicated MDAV/harvest/composition
@@ -216,6 +217,55 @@ pub struct RobustnessBench {
     pub rows: Vec<RobustnessBenchRow>,
 }
 
+/// Disabled-path probe calls the overhead stage times: the committed
+/// ceiling in `compare.rs` holds this measurement (as a percentage of
+/// the large block's wall) under [`crate::compare::MAX_OBS_OVERHEAD_PCT`].
+pub const OVERHEAD_PROBE_CALLS: u64 = 1_000_000;
+
+/// One runner stage's slice of the observability profile: the stage
+/// span's self-time (wall minus child spans) and its subtree size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileStageRow {
+    /// Runner stage name (see [`crate::stages::runner`]).
+    pub stage: String,
+    /// Span wall minus the wall of its child spans, ms (`0.0` in
+    /// deterministic mode).
+    pub self_ms: f64,
+    /// Spans in this stage's subtree (including itself).
+    pub spans: usize,
+}
+
+/// The `profile` block: the drained [`fred_obs`] trace distilled into
+/// the gated shape — span-tree structure pin, per-stage self-time,
+/// counter totals, and the measured cost of *disabled* tracing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileBench {
+    /// True when the trace was taken in deterministic mode: every
+    /// duration below is zeroed and the counter rows are omitted
+    /// (checkpoint-resumed stages skip their compute closures, so
+    /// runtime counters are not a function of the configuration).
+    pub deterministic: bool,
+    /// Total spans opened during the run.
+    pub spans_total: u64,
+    /// Total events recorded during the run.
+    pub events_total: u64,
+    /// [`fred_obs::Trace::structural_digest`] of the span tree — a pure
+    /// function of the enabled stages, pinned committed-vs-fresh.
+    pub span_tree_digest: String,
+    /// Calls made by the disabled-tracing overhead probe.
+    pub overhead_probe_calls: u64,
+    /// Wall-clock of the probe loop, ms (`0.0` in deterministic mode).
+    pub overhead_wall_ms: f64,
+    /// Probe wall as a percentage of the large block's total stage wall
+    /// (`0.0` when deterministic or without a large block) — the number
+    /// the `< MAX_OBS_OVERHEAD_PCT` gate holds.
+    pub overhead_pct_of_large: f64,
+    /// Per-runner-stage rows in execution order.
+    pub stages: Vec<ProfileStageRow>,
+    /// Merged counter totals by name (empty in deterministic mode).
+    pub counters: Vec<(String, u64)>,
+}
+
 /// One stage's recovery ledger: how the [`StageRunner`] obtained it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecoveryBenchRow {
@@ -294,6 +344,12 @@ pub struct QuickBench {
     /// The self-healing ledger, when faults or a checkpoint store were
     /// enabled.
     pub recovery: Option<RecoveryBench>,
+    /// The observability profile, when tracing was enabled
+    /// ([`QuickBenchOptions::profile`]).
+    pub profile: Option<ProfileBench>,
+    /// The full drained trace behind the profile block (`repro --trace`
+    /// serializes it; never part of `to_json`).
+    pub trace: Option<fred_obs::Trace>,
 }
 
 /// Optional add-ons of [`quick_bench`] beyond the core timed sweep.
@@ -322,6 +378,12 @@ pub struct QuickBenchOptions {
     /// stage's checkpoint commits — the deterministic kill-point for the
     /// resume tests and the CI smoke job. Only honored with a store.
     pub halt_after: Option<String>,
+    /// Collect the observability trace: spans around every runner stage,
+    /// the pipeline's counters, and the disabled-path overhead probe,
+    /// distilled into the gated `profile` block. Off by default — the
+    /// collector is process-global, so concurrent `quick_bench` calls
+    /// (as in the test suite) must not both enable it.
+    pub profile: bool,
 }
 
 impl QuickBench {
@@ -459,6 +521,35 @@ impl QuickBench {
             }
             out.push_str("    ]\n  }");
         }
+        if let Some(prof) = &self.profile {
+            out.push_str(",\n  \"profile\": {\n");
+            out.push_str(&format!(
+                "    \"deterministic\": {}, \"spans_total\": {}, \"events_total\": {}, \"span_tree_digest\": \"{}\",\n",
+                prof.deterministic, prof.spans_total, prof.events_total, prof.span_tree_digest
+            ));
+            out.push_str(&format!(
+                "    \"overhead\": {{ \"probe_calls\": {}, \"wall_ms\": {:.3}, \"pct_of_large\": {:.3} }},\n",
+                prof.overhead_probe_calls, prof.overhead_wall_ms, prof.overhead_pct_of_large
+            ));
+            out.push_str("    \"stages\": [\n");
+            for (i, row) in prof.stages.iter().enumerate() {
+                out.push_str(&format!(
+                    "      {{ \"stage\": \"{}\", \"self_ms\": {:.3}, \"spans\": {} }}{}\n",
+                    row.stage,
+                    row.self_ms,
+                    row.spans,
+                    if i + 1 < prof.stages.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("    ],\n    \"counters\": [\n");
+            for (i, (name, value)) in prof.counters.iter().enumerate() {
+                out.push_str(&format!(
+                    "      {{ \"counter\": \"{name}\", \"value\": {value} }}{}\n",
+                    if i + 1 < prof.counters.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("    ]\n  }");
+        }
         out.push('\n');
         out.push_str("}\n");
         out
@@ -580,6 +671,23 @@ impl QuickBench {
                 ));
             }
         }
+        if let Some(prof) = &self.profile {
+            out.push_str(&format!(
+                "  profile — {} spans (tree {}), {} counters; disabled-tracing probe {:.3} ms / {} calls ({:.2}% of large)\n",
+                prof.spans_total,
+                prof.span_tree_digest,
+                prof.counters.len(),
+                prof.overhead_wall_ms,
+                prof.overhead_probe_calls,
+                prof.overhead_pct_of_large
+            ));
+            for row in &prof.stages {
+                out.push_str(&format!(
+                    "    {:<14} self {:>10.2} ms\n",
+                    row.stage, row.self_ms
+                ));
+            }
+        }
         out
     }
 }
@@ -588,6 +696,14 @@ fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
     let value = f();
     (value, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Runs `f` under an observability span — the stage-boundary wrapper
+/// [`quick_bench`] puts around every runner stage. Free when tracing is
+/// off.
+fn spanned<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    let _span = fred_obs::span(name);
+    f()
 }
 
 /// Runs the reduced sweep-and-attack pipeline with per-stage timing.
@@ -627,6 +743,15 @@ pub fn quick_bench(
     // the configuration — the resume bit-identity contract.
     let t = |wall: f64| if det { 0.0 } else { wall };
 
+    // Observability: spans wrap each runner stage *outside* its compute
+    // closure, so the span tree has the same shape whether a stage is
+    // computed fresh or satisfied from a checkpoint — one structural
+    // digest pins fresh, deterministic and resumed runs alike.
+    if options.profile {
+        fred_obs::enable(det);
+    }
+    let root_span = fred_obs::span(sn::SPAN_ROOT);
+
     let faults_rate = options.faults.map_or(0.0, |r| {
         if r.is_finite() {
             r.clamp(0.0, 1.0)
@@ -652,17 +777,19 @@ pub fn quick_bench(
 
     // Stage 1: world generation (anchor: recomputed + digest-checked).
     let mut world_slot: Option<World> = None;
-    let anchor = runner.run_verified("world_build", || {
-        let (world, wall) = time_ms(|| faculty_world(config));
-        let rows = world.table.len();
-        let content_hash = digest_world(&world);
-        world_slot = Some(world);
-        StageAnchor {
-            label: "world_build".to_string(),
-            rows,
-            content_hash,
-            timings: vec![("world_build".to_string(), t(wall), rows)],
-        }
+    let anchor = spanned(rstage::WORLD_BUILD, || {
+        runner.run_verified(rstage::WORLD_BUILD, || {
+            let (world, wall) = time_ms(|| faculty_world(config));
+            let rows = world.table.len();
+            let content_hash = digest_world(&world);
+            world_slot = Some(world);
+            StageAnchor {
+                label: rstage::WORLD_BUILD.to_string(),
+                rows,
+                content_hash,
+                timings: vec![(sn::WORLD_BUILD.to_string(), t(wall), rows)],
+            }
+        })
     });
     push_anchor_timings(&mut stages, &anchor);
     let world = world_slot.expect("world anchor always computes");
@@ -681,64 +808,72 @@ pub fn quick_bench(
     );
     let ks: Vec<usize> = (k_min..=k_max).collect();
     let mut releases_slot: Option<Vec<Release>> = None;
-    let anchor = runner.run_verified("mdav", || {
-        let (_, mdav_wall) = time_ms(|| {
-            anonymizer
-                .partition(&world.table, stage_k)
-                .expect("quick-bench world partitions cleanly")
-        });
-        let (pairs, anon_wall) = time_ms(|| {
-            ks.iter()
-                .map(|&k| {
-                    let partition = anonymizer
-                        .partition(&world.table, k)
-                        .expect("quick-bench world partitions cleanly");
-                    let release = build_release(&world.table, &partition, k, QiStyle::Range)
-                        .expect("release builds from a valid partition");
-                    (partition, release)
-                })
-                .collect::<Vec<_>>()
-        });
-        let mut digest = Digest::new();
-        digest.u64(stage_k as u64);
-        for (partition, _) in &pairs {
-            for class in partition.class_of_rows() {
-                digest.u64(class as u64);
+    let anchor = spanned(rstage::MDAV, || {
+        runner.run_verified(rstage::MDAV, || {
+            let (_, mdav_wall) = time_ms(|| {
+                anonymizer
+                    .partition(&world.table, stage_k)
+                    .expect("quick-bench world partitions cleanly")
+            });
+            let (pairs, anon_wall) = time_ms(|| {
+                ks.iter()
+                    .map(|&k| {
+                        let partition = anonymizer
+                            .partition(&world.table, k)
+                            .expect("quick-bench world partitions cleanly");
+                        let release = build_release(&world.table, &partition, k, QiStyle::Range)
+                            .expect("release builds from a valid partition");
+                        (partition, release)
+                    })
+                    .collect::<Vec<_>>()
+            });
+            let mut digest = Digest::new();
+            digest.u64(stage_k as u64);
+            for (partition, _) in &pairs {
+                for class in partition.class_of_rows() {
+                    digest.u64(class as u64);
+                }
             }
-        }
-        releases_slot = Some(pairs.into_iter().map(|(_, release)| release).collect());
-        StageAnchor {
-            label: "mdav".to_string(),
-            rows: world.table.len(),
-            content_hash: digest.finish(),
-            timings: vec![
-                ("mdav_k5".to_string(), t(mdav_wall), world.table.len()),
-                (
-                    "anonymize_all_levels".to_string(),
-                    t(anon_wall),
-                    world.table.len() * ks.len(),
-                ),
-            ],
-        }
+            releases_slot = Some(pairs.into_iter().map(|(_, release)| release).collect());
+            StageAnchor {
+                label: rstage::MDAV.to_string(),
+                rows: world.table.len(),
+                content_hash: digest.finish(),
+                timings: vec![
+                    (sn::MDAV_K5.to_string(), t(mdav_wall), world.table.len()),
+                    (
+                        sn::ANONYMIZE_ALL_LEVELS.to_string(),
+                        t(anon_wall),
+                        world.table.len() * ks.len(),
+                    ),
+                ],
+            }
+        })
     });
     push_anchor_timings(&mut stages, &anchor);
     let releases = releases_slot.expect("mdav anchor always computes");
 
     // Stage 3: auxiliary harvest (shared across levels, like the sweep).
     let mut harvest_slot: Option<Harvest> = None;
-    let anchor = runner.run_verified("harvest", || {
-        let (harvest, wall) = time_ms(|| {
-            harvest_auxiliary(&releases[0].table, &world.web, &HarvestConfig::default())
-                .expect("harvest over a generated corpus cannot fail")
-        });
-        let content_hash = digest_harvest(&harvest);
-        harvest_slot = Some(harvest);
-        StageAnchor {
-            label: "harvest".to_string(),
-            rows: world.table.len(),
-            content_hash,
-            timings: vec![("harvest_auxiliary".to_string(), t(wall), world.table.len())],
-        }
+    let anchor = spanned(rstage::HARVEST, || {
+        runner.run_verified(rstage::HARVEST, || {
+            let (harvest, wall) = time_ms(|| {
+                harvest_auxiliary(&releases[0].table, &world.web, &HarvestConfig::default())
+                    .expect("harvest over a generated corpus cannot fail")
+            });
+            let content_hash = digest_harvest(&harvest);
+            harvest_slot = Some(harvest);
+            StageAnchor {
+                label: rstage::HARVEST.to_string(),
+                rows: world.table.len(),
+                content_hash,
+                timings: vec![(
+                    sn::HARVEST_AUXILIARY.to_string(),
+                    t(wall),
+                    world.table.len(),
+                )],
+            }
+        })
     });
     push_anchor_timings(&mut stages, &anchor);
     let harvest = harvest_slot.expect("harvest anchor always computes");
@@ -747,76 +882,82 @@ pub fn quick_bench(
     // naive interpreted path and the compiled batch/parallel path.
     let fusion = FuzzyFusion::new(FuzzyFusionConfig::default()).expect("default config valid");
     let estimate_rows = world.table.len() * ks.len() * repeats;
-    let estimates = runner.run("estimates", || {
-        let (naive, naive_wall) = time_ms(|| run_naive(&fusion, &releases, &harvest, repeats));
-        let (batch, batch_wall) = time_ms(|| run_batch(&fusion, &releases, &harvest, repeats));
-        assert_eq!(
-            naive, batch,
-            "batch path must be bit-identical to the naive path"
-        );
-        EstimatesArtifact {
-            naive_ms: t(naive_wall),
-            batch_ms: t(batch_wall),
-            rows: estimate_rows,
-            speedup: if det || batch_wall <= 0.0 {
-                0.0
-            } else {
-                naive_wall / batch_wall
-            },
-            estimate_hash: digest_bits(&naive),
-        }
+    let estimates = spanned(rstage::ESTIMATES, || {
+        runner.run(rstage::ESTIMATES, || {
+            let (naive, naive_wall) = time_ms(|| run_naive(&fusion, &releases, &harvest, repeats));
+            let (batch, batch_wall) = time_ms(|| run_batch(&fusion, &releases, &harvest, repeats));
+            assert_eq!(
+                naive, batch,
+                "batch path must be bit-identical to the naive path"
+            );
+            EstimatesArtifact {
+                naive_ms: t(naive_wall),
+                batch_ms: t(batch_wall),
+                rows: estimate_rows,
+                speedup: if det || batch_wall <= 0.0 {
+                    0.0
+                } else {
+                    naive_wall / batch_wall
+                },
+                estimate_hash: digest_bits(&naive),
+            }
+        })
     });
     stages.push(StageTiming {
-        name: "estimate_naive_per_row",
+        name: sn::ESTIMATE_NAIVE_PER_ROW,
         wall_ms: estimates.naive_ms,
         rows: estimates.rows,
     });
     stages.push(StageTiming {
-        name: "estimate_batch_parallel",
+        name: sn::ESTIMATE_BATCH_PARALLEL,
         wall_ms: estimates.batch_ms,
         rows: estimates.rows,
     });
 
     // Stage 6: the full parallel sweep end-to-end (what figures 4-7 run).
     let before = MidpointEstimator::default();
-    let sweep_stage = runner.run("sweep", || {
-        let (_, wall) = time_ms(|| {
-            sweep(
-                &world.table,
-                &world.web,
-                &anonymizer,
-                &before,
-                &fusion,
-                &SweepConfig {
-                    k_min,
-                    k_max,
-                    ..SweepConfig::default()
-                },
-            )
-            .expect("quick-bench sweep succeeds")
-        });
-        SweepArtifact {
-            wall_ms: t(wall),
-            rows: world.table.len() * ks.len(),
-        }
+    let sweep_stage = spanned(rstage::SWEEP, || {
+        runner.run(rstage::SWEEP, || {
+            let (_, wall) = time_ms(|| {
+                sweep(
+                    &world.table,
+                    &world.web,
+                    &anonymizer,
+                    &before,
+                    &fusion,
+                    &SweepConfig {
+                        k_min,
+                        k_max,
+                        ..SweepConfig::default()
+                    },
+                )
+                .expect("quick-bench sweep succeeds")
+            });
+            SweepArtifact {
+                wall_ms: t(wall),
+                rows: world.table.len() * ks.len(),
+            }
+        })
     });
     stages.push(StageTiming {
-        name: "sweep_end_to_end",
+        name: sn::SWEEP_END_TO_END,
         wall_ms: sweep_stage.wall_ms,
         rows: sweep_stage.rows,
     });
 
     // Stage 7 (optional): the composition attack at the tracked k.
     let composition = compose.then(|| {
-        runner.run("composition", || {
-            let mut comp = composition_bench(&world);
-            comp.wall_ms = t(comp.wall_ms);
-            comp
+        spanned(rstage::COMPOSITION, || {
+            runner.run(rstage::COMPOSITION, || {
+                let mut comp = composition_bench(&world);
+                comp.wall_ms = t(comp.wall_ms);
+                comp
+            })
         })
     });
     if let Some(comp) = &composition {
         stages.push(StageTiming {
-            name: "composition_sweep",
+            name: sn::COMPOSITION_SWEEP,
             wall_ms: comp.wall_ms,
             rows: world.table.len() * comp.rows.len(),
         });
@@ -825,13 +966,15 @@ pub fn quick_bench(
     // Stage 8 (optional): the defense policies against the same attack.
     let composition_defense = match (&options.defend, compose) {
         (Some(policies), true) => {
-            let bench = runner.run("defense", || {
-                let mut bench = defense_bench(&world, policies);
-                bench.wall_ms = t(bench.wall_ms);
-                bench
+            let bench = spanned(rstage::DEFENSE, || {
+                runner.run(rstage::DEFENSE, || {
+                    let mut bench = defense_bench(&world, policies);
+                    bench.wall_ms = t(bench.wall_ms);
+                    bench
+                })
             });
             stages.push(StageTiming {
-                name: "composition_defense",
+                name: sn::COMPOSITION_DEFENSE,
                 wall_ms: bench.wall_ms,
                 rows: world.table.len() * bench.rows.len(),
             });
@@ -842,13 +985,15 @@ pub fn quick_bench(
 
     // Stage 9 (optional): the fault-injection sweep.
     let robustness = options.faults.map(|rate| {
-        let bench = runner.run("robustness", || {
-            let mut bench = robustness_bench(config, &world, rate);
-            bench.wall_ms = t(bench.wall_ms);
-            bench
+        let bench = spanned(rstage::ROBUSTNESS, || {
+            runner.run(rstage::ROBUSTNESS, || {
+                let mut bench = robustness_bench(config, &world, rate);
+                bench.wall_ms = t(bench.wall_ms);
+                bench
+            })
         });
         stages.push(StageTiming {
-            name: "robustness_sweep",
+            name: sn::ROBUSTNESS_SWEEP,
             wall_ms: bench.wall_ms,
             rows: world.table.len() * bench.rows.len(),
         });
@@ -858,20 +1003,48 @@ pub fn quick_bench(
     // Stage 10 (optional, last — by far the most expensive, so a killed
     // run resumes past everything else): the large-world block.
     let large = options.large_size.map(|size| {
-        runner.run("large", || {
-            let mut bench = large_bench(config, size, compose, options.exhaustive);
-            if det {
-                for stage in &mut bench.stages {
-                    stage.wall_ms = 0.0;
+        spanned(rstage::LARGE, || {
+            runner.run(rstage::LARGE, || {
+                let mut bench = large_bench(config, size, compose, options.exhaustive);
+                if det {
+                    for stage in &mut bench.stages {
+                        stage.wall_ms = 0.0;
+                    }
+                    bench.speedup_harvest_parallel_vs_single = 0.0;
+                    if let Some(comp) = &mut bench.composition {
+                        comp.wall_ms = 0.0;
+                    }
                 }
-                bench.speedup_harvest_parallel_vs_single = 0.0;
-                if let Some(comp) = &mut bench.composition {
-                    comp.wall_ms = 0.0;
-                }
-            }
-            bench
+                bench
+            })
         })
     });
+
+    // Close the root span, stop collecting, then measure the *disabled*
+    // fast path — the cost every uninstrumented run pays. `disable()`
+    // keeps the collected window and `drain()` works on a disabled
+    // collector, so the probe itself records nothing.
+    drop(root_span);
+    let (profile, trace) = if options.profile {
+        fred_obs::disable();
+        let probe_start = std::time::Instant::now();
+        for _ in 0..OVERHEAD_PROBE_CALLS {
+            fred_obs::counter(
+                std::hint::black_box("obs.overhead_probe"),
+                std::hint::black_box(1),
+            );
+        }
+        let probe_wall = probe_start.elapsed().as_secs_f64() * 1e3;
+        let trace = fred_obs::drain();
+        let large_wall: f64 = large
+            .as_ref()
+            .map(|l| l.stages.iter().map(|s| s.wall_ms).sum())
+            .unwrap_or(0.0);
+        let profile = distill_profile(&trace, probe_wall, large_wall, det);
+        (Some(profile), Some(trace))
+    } else {
+        (None, None)
+    };
 
     let recovery = (options.faults.is_some() || det).then(|| RecoveryBench {
         seed: config.seed ^ RECOVERY_SEED_SALT,
@@ -909,6 +1082,63 @@ pub fn quick_bench(
         robustness,
         deterministic: det,
         recovery,
+        profile,
+        trace,
+    }
+}
+
+/// Distills a drained trace into the gated `profile` block: per-stage
+/// self-time under the [`crate::stages::SPAN_ROOT`] span, the structural
+/// digest, and the disabled-path overhead expressed against the large
+/// block's wall. Counter rows are dropped in deterministic mode —
+/// checkpoint-resumed stages skip their compute closures, so runtime
+/// counters are not a pure function of the configuration.
+fn distill_profile(
+    trace: &fred_obs::Trace,
+    probe_wall_ms: f64,
+    large_wall_ms: f64,
+    det: bool,
+) -> ProfileBench {
+    fn subtree(node: &fred_obs::SpanNode) -> usize {
+        1 + node.children.iter().map(subtree).sum::<usize>()
+    }
+    let stages = trace
+        .spans
+        .iter()
+        .filter(|root| root.name == crate::stages::SPAN_ROOT)
+        .flat_map(|root| root.children.iter())
+        .map(|stage| {
+            let child_wall: f64 = stage.children.iter().map(|c| c.wall_ms).sum();
+            ProfileStageRow {
+                stage: stage.name.clone(),
+                self_ms: (stage.wall_ms - child_wall).max(0.0),
+                spans: subtree(stage),
+            }
+        })
+        .collect();
+    let pct = if det || large_wall_ms <= 0.0 {
+        0.0
+    } else {
+        probe_wall_ms / large_wall_ms * 100.0
+    };
+    ProfileBench {
+        deterministic: det,
+        spans_total: trace.spans_total,
+        events_total: trace.events_total,
+        span_tree_digest: trace.structural_digest(),
+        overhead_probe_calls: OVERHEAD_PROBE_CALLS,
+        overhead_wall_ms: if det { 0.0 } else { probe_wall_ms },
+        overhead_pct_of_large: pct,
+        stages,
+        counters: if det {
+            Vec::new()
+        } else {
+            trace
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect()
+        },
     }
 }
 
@@ -1291,7 +1521,7 @@ fn large_bench(config: &WorldConfig, size: usize, compose: bool, exhaustive: boo
 
     let (world, wall) = time_ms(|| faculty_world(&large_config));
     stages.push(StageTiming {
-        name: "world_build_large",
+        name: sn::WORLD_BUILD_LARGE,
         wall_ms: wall,
         rows: world.table.len(),
     });
@@ -1304,7 +1534,7 @@ fn large_bench(config: &WorldConfig, size: usize, compose: bool, exhaustive: boo
             .expect("large world partitions cleanly")
     });
     stages.push(StageTiming {
-        name: "mdav_k5_large",
+        name: sn::MDAV_K5_LARGE,
         wall_ms: wall,
         rows: world.table.len(),
     });
@@ -1318,7 +1548,7 @@ fn large_bench(config: &WorldConfig, size: usize, compose: bool, exhaustive: boo
     });
     assert_eq!(streamed_rows, world.table.len());
     stages.push(StageTiming {
-        name: "release_stream_large",
+        name: sn::RELEASE_STREAM_LARGE,
         wall_ms: wall,
         rows: streamed_rows,
     });
@@ -1331,7 +1561,7 @@ fn large_bench(config: &WorldConfig, size: usize, compose: bool, exhaustive: boo
             .expect("harvest over a generated corpus cannot fail")
     });
     stages.push(StageTiming {
-        name: "harvest_parallel_large",
+        name: sn::HARVEST_PARALLEL_LARGE,
         wall_ms: par_wall,
         rows: world.table.len(),
     });
@@ -1347,7 +1577,7 @@ fn large_bench(config: &WorldConfig, size: usize, compose: bool, exhaustive: boo
             .expect("harvest over a generated corpus cannot fail")
     });
     stages.push(StageTiming {
-        name: "harvest_single_thread_large",
+        name: sn::HARVEST_SINGLE_THREAD_LARGE,
         wall_ms: single_wall,
         rows: world.table.len(),
     });
@@ -1370,7 +1600,7 @@ fn large_bench(config: &WorldConfig, size: usize, compose: bool, exhaustive: boo
     });
     let (sample_rows, harvest_ref) = sampled;
     stages.push(StageTiming {
-        name: "harvest_sequential_large",
+        name: sn::HARVEST_SEQUENTIAL_LARGE,
         wall_ms: seq_wall,
         rows: sample_rows.len(),
     });
@@ -1390,7 +1620,7 @@ fn large_bench(config: &WorldConfig, size: usize, compose: bool, exhaustive: boo
                 .expect("harvest over a generated corpus cannot fail")
         });
         stages.push(StageTiming {
-            name: "harvest_exhaustive_large",
+            name: sn::HARVEST_EXHAUSTIVE_LARGE,
             wall_ms: ex_wall,
             rows: world.table.len(),
         });
@@ -1425,7 +1655,7 @@ fn large_bench(config: &WorldConfig, size: usize, compose: bool, exhaustive: boo
     });
     assert_eq!(estimated_rows, world.table.len());
     stages.push(StageTiming {
-        name: "estimate_stream_large",
+        name: sn::ESTIMATE_STREAM_LARGE,
         wall_ms: wall,
         rows: estimated_rows,
     });
@@ -1438,7 +1668,7 @@ fn large_bench(config: &WorldConfig, size: usize, compose: bool, exhaustive: boo
     let composition = (compose && core_rows >= STAGE_K).then(|| {
         let comp = composition_bench(&world);
         stages.push(StageTiming {
-            name: "composition_large",
+            name: sn::COMPOSITION_LARGE,
             wall_ms: comp.wall_ms,
             rows: world.table.len() * comp.rows.len(),
         });

@@ -1,8 +1,10 @@
 //! Golden-file tests for the perf-smoke gate: two committed
 //! `BENCH_sweep.json` snapshots — one clean, one poisoned with a NaN
-//! composition row, a missing `composition_defense` block, and a
+//! composition row, a missing `composition_defense` block, a
 //! robustness block whose zero-fault row both survived defects and
-//! drifted — pin [`fred_bench::compare`] end to end against the
+//! drifted, and a profile block whose `mdav` stage row vanished and
+//! whose `faults.fields_imputed` counter disagrees with the robustness
+//! ledger — pin [`fred_bench::compare`] end to end against the
 //! *written* baseline format, not just against JSON the tests
 //! synthesize themselves. The parser has twice grown silent-skip bugs
 //! against real files (PR 4); these fixtures make every documented
@@ -77,6 +79,18 @@ fn clean_fixture_parses_every_documented_block() {
     assert_eq!(b.robustness[1].defects, 14 + 5 + 9 + 6);
     assert_eq!(b.robustness[2].fault_rate, 0.1);
     assert_eq!(b.robustness[2].defects, 31 + 11 + 17 + 13);
+    // The profile block: header, overhead, one self-time row per runner
+    // stage, and the counter rows the reconciliation gate reads.
+    let prof = b.profile.as_ref().expect("clean fixture carries a profile");
+    assert!(!prof.deterministic);
+    assert_eq!(prof.spans_total, 10);
+    assert_eq!(prof.span_tree_digest, "3f94c1d2a07be586");
+    assert_eq!(prof.overhead_probe_calls, 1_000_000);
+    assert_eq!(prof.overhead_pct_of_large, 0.352);
+    assert_eq!(prof.stages.len(), 9);
+    assert!(prof.stages.iter().any(|s| s.stage == "mdav"));
+    assert_eq!(prof.counters.get("faults.pages_rejected"), Some(&45));
+    assert_eq!(prof.counters.get("faults.workers_restarted"), Some(&19));
     assert!(b.malformed_rows.is_empty(), "{:?}", b.malformed_rows);
 }
 
@@ -92,6 +106,7 @@ fn clean_self_diff_stays_silent_and_notes_every_series() {
         "defense `overlap_cap_0.90`",
         "defense `calibrated_widen_k5`",
         "robustness: precision",
+        "profile: 10 spans",
     ] {
         assert!(
             report.notes.iter().any(|n| n.contains(expected)),
@@ -117,15 +132,31 @@ fn poisoned_fresh_run_fires_exactly_the_documented_gates() {
     assert_eq!(b.robustness[0].defects, 2);
 
     let report = compare_baselines(CLEAN, POISONED);
-    // Exactly nine findings: the two timed stages that vanished, the
+    // Exactly eleven findings: the two timed stages that vanished, the
     // defense series that vanished, the zero-fault robustness row that
     // survived defects AND drifted from the pin, the 10% row breaking
-    // both the precision slack and the gain floor, and the two NaN rows.
-    // The NaN-adjacent composition series itself (rows 1 and 3 still
-    // parse, still increasing) must NOT additionally trip the
-    // monotonicity gate, and the NaN robustness row must not be held to
-    // the envelope it failed to parse into.
-    assert_eq!(report.violations.len(), 9, "{:?}", report.violations);
+    // both the precision slack and the gain floor, the two NaN rows, the
+    // profile stage row that vanished, and the obs counter that
+    // disagrees with the parsed robustness ledger. The NaN-adjacent
+    // composition series itself (rows 1 and 3 still parse, still
+    // increasing) must NOT additionally trip the monotonicity gate, and
+    // the NaN robustness row must not be held to the envelope it failed
+    // to parse into — nor feed the counter reconciliation, which sums
+    // the *parsed* rows only.
+    assert_eq!(report.violations.len(), 11, "{:?}", report.violations);
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.contains("profile stage `mdav` disappeared")));
+    assert!(report.violations.iter().any(|v| {
+        v.contains("obs counter `faults.fields_imputed` = 99")
+            && v.contains("robustness ledger total 17")
+    }));
+    // The identical digest must not fire: the tree did not change shape.
+    assert!(!report
+        .violations
+        .iter()
+        .any(|v| v.contains("span tree digest drifted")));
     assert!(report
         .violations
         .iter()

@@ -1,0 +1,218 @@
+//! Observability ground-truth tests: the obs counters must agree with
+//! the pipeline's own ledgers, and deterministic traces must be
+//! bit-identical across runs.
+//!
+//! Two properties:
+//!
+//! * **Ledger reconciliation** — on a faulted `--quick`-shaped run, every
+//!   `faults.*` counter equals the summed degradation fields of the
+//!   robustness rows and every `recover.*` counter equals the recovery
+//!   ledger, *exactly*, across seeds. Counter and ledger are incremented
+//!   by the same source line (`Degradation::record`, the stage runner's
+//!   attempt loop), and injected stage transients fire *before* the
+//!   compute closure runs, so retries never double-count — any gap is
+//!   dropped instrumentation.
+//! * **Deterministic trace bit-identity** — two zero-fault checkpointed
+//!   runs of the same configuration (separate stores, both computing
+//!   fresh) drain byte-identical trace JSON and the same structural
+//!   digest, which also matches the digest embedded in the `profile`
+//!   block.
+//!
+//! The obs collector is process-global, so every test in this binary
+//! serializes on one lock; tests that enable tracing must never share a
+//! binary with tests that run `quick_bench` concurrently.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use fred_bench::perf::{quick_bench, QuickBench, QuickBenchOptions};
+use fred_bench::world::WorldConfig;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fred_obs_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Counter lookup over the profile's rendered rows (absent names count
+/// as zero, matching the gate in `compare.rs`).
+fn counter(bench: &QuickBench, name: &str) -> u64 {
+    bench
+        .profile
+        .as_ref()
+        .expect("profiled run carries a profile block")
+        .counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map_or(0, |(_, v)| *v)
+}
+
+#[test]
+fn faulted_counters_reconcile_with_both_ledgers_across_seeds() {
+    let _g = obs_lock();
+    for seed in [7, 42, 2008] {
+        let bench = quick_bench(
+            &WorldConfig {
+                size: 30,
+                seed,
+                ..WorldConfig::default()
+            },
+            2,
+            4,
+            1,
+            &QuickBenchOptions {
+                large_size: None,
+                faults: Some(0.1),
+                profile: true,
+                ..QuickBenchOptions::default()
+            },
+        );
+        let rob = bench
+            .robustness
+            .as_ref()
+            .expect("faulted run carries the robustness block");
+        let sum = |f: fn(&fred_bench::perf::RobustnessBenchRow) -> usize| -> u64 {
+            rob.rows.iter().map(f).sum::<usize>() as u64
+        };
+        let pairs = [
+            ("faults.pages_rejected", sum(|r| r.pages_rejected)),
+            ("faults.rows_skipped", sum(|r| r.rows_skipped)),
+            ("faults.fields_imputed", sum(|r| r.fields_imputed)),
+            ("faults.workers_restarted", sum(|r| r.workers_restarted)),
+        ];
+        for (name, ledger) in pairs {
+            assert_eq!(
+                counter(&bench, name),
+                ledger,
+                "seed {seed}: obs counter `{name}` disagrees with the robustness ledger"
+            );
+        }
+        // The uniform sweep at a positive rate must actually have
+        // exercised the tolerant paths, or the equalities above are
+        // vacuous 0 == 0.
+        assert!(
+            pairs.iter().any(|(_, ledger)| *ledger > 0),
+            "seed {seed}: fault injection produced no defects at all"
+        );
+        let rec = bench
+            .recovery
+            .as_ref()
+            .expect("faulted run carries the recovery ledger");
+        assert_eq!(
+            counter(&bench, "recover.attempts"),
+            rec.rows.iter().map(|r| r.attempts).sum::<usize>() as u64,
+            "seed {seed}: obs counter `recover.attempts` disagrees with the recovery ledger"
+        );
+        assert_eq!(
+            counter(&bench, "recover.retries"),
+            rec.retries_total as u64,
+            "seed {seed}: obs counter `recover.retries` disagrees with the recovery ledger"
+        );
+        assert_eq!(
+            counter(&bench, "recover.quarantines"),
+            rec.quarantined_total as u64,
+            "seed {seed}: obs counter `recover.quarantines` disagrees with the recovery ledger"
+        );
+    }
+}
+
+#[test]
+fn deterministic_trace_is_bit_identical_across_runs() {
+    let _g = obs_lock();
+    let run = |dir: PathBuf| {
+        quick_bench(
+            &WorldConfig {
+                size: 30,
+                ..WorldConfig::default()
+            },
+            2,
+            4,
+            1,
+            &QuickBenchOptions {
+                large_size: Some(40),
+                checkpoint_dir: Some(dir),
+                profile: true,
+                ..QuickBenchOptions::default()
+            },
+        )
+    };
+    let a = run(temp_dir("det_a"));
+    let b = run(temp_dir("det_b"));
+    let (ta, tb) = (
+        a.trace.as_ref().expect("profiled run keeps its trace"),
+        b.trace.as_ref().expect("profiled run keeps its trace"),
+    );
+    assert!(
+        ta.deterministic,
+        "checkpointed runs trace deterministically"
+    );
+    assert_eq!(
+        ta.to_json(),
+        tb.to_json(),
+        "deterministic trace JSON diverged between two fresh runs"
+    );
+    assert_eq!(ta.structural_digest(), tb.structural_digest());
+    // The digest the profile block publishes is the digest of this tree.
+    let prof = a.profile.as_ref().expect("profile block present");
+    assert_eq!(prof.span_tree_digest, ta.structural_digest());
+    assert!(prof.deterministic);
+    // Deterministic profiles must not publish runtime counter rows: a
+    // later resumed run would skip compute closures and legitimately
+    // count differently.
+    assert!(prof.counters.is_empty());
+    // Every duration in the tree is zeroed at source.
+    fn all_zero(node: &fred_obs::SpanNode) -> bool {
+        node.start_ms == 0.0 && node.wall_ms == 0.0 && node.children.iter().all(all_zero)
+    }
+    assert!(ta.spans.iter().all(all_zero));
+    // Merged counter totals are still a pure function of the config,
+    // and the scheduling-dependent per-worker split is omitted.
+    assert_eq!(ta.counters, tb.counters);
+    assert!(ta.counter_total("recover.attempts") > 0);
+    assert!(ta.worker_counters.is_empty());
+}
+
+#[test]
+fn resumed_run_keeps_the_span_tree_of_the_uninterrupted_run() {
+    let _g = obs_lock();
+    let opts = |dir: PathBuf, resume: bool| QuickBenchOptions {
+        large_size: Some(40),
+        checkpoint_dir: Some(dir),
+        resume,
+        profile: true,
+        ..QuickBenchOptions::default()
+    };
+    let config = WorldConfig {
+        size: 30,
+        ..WorldConfig::default()
+    };
+    let dir = temp_dir("resume");
+    let full = quick_bench(&config, 2, 4, 1, &opts(dir.clone(), false));
+    // Second run over the same store: every loadable stage is satisfied
+    // from its checkpoint, so the compute closures are skipped — the
+    // span tree must not notice (spans wrap the runner, not the
+    // closures).
+    let resumed = quick_bench(&config, 2, 4, 1, &opts(dir, true));
+    let full_prof = full.profile.expect("profile present");
+    let resumed_prof = resumed.profile.expect("profile present");
+    assert_eq!(full_prof.span_tree_digest, resumed_prof.span_tree_digest);
+    assert_eq!(
+        full_prof
+            .stages
+            .iter()
+            .map(|s| &s.stage)
+            .collect::<Vec<_>>(),
+        resumed_prof
+            .stages
+            .iter()
+            .map(|s| &s.stage)
+            .collect::<Vec<_>>()
+    );
+}

@@ -268,9 +268,8 @@ fn evaluate_sources_tolerant(
     plan: &FaultPlan,
     deg: &mut Degradation,
 ) -> Result<CellEval> {
-    let (inters, run_deg) =
-        intersect_releases_tolerant(sources, targets, master.len(), chunk_rows, plan)?;
-    deg.merge(&run_deg);
+    let inters =
+        intersect_releases_tolerant(sources, targets, master.len(), chunk_rows, plan, deg)?;
     cell_from_inters(
         master,
         fusion,
@@ -438,8 +437,10 @@ pub fn compose_attack_tolerant(
     // The baseline re-digests source 0 under the *same* pure-hash fault
     // decisions the composed run makes for it, so its defects are counted
     // once: in the composed ledger when R > 1, in the baseline's own when
-    // the baseline is the shipped outcome (R = 1).
-    let mut discard = Degradation::default();
+    // the baseline is the shipped outcome (R = 1). The discarded report
+    // is muted so the shadow pass stays off the observability counters
+    // too.
+    let mut discard = Degradation::muted();
     let single = scenario_config.releases == 1;
     let mut baseline_deg = Degradation::default();
     let baseline = evaluate_sources_tolerant(

@@ -447,30 +447,29 @@ pub fn intersect_releases(
 /// Fault-tolerant [`intersect_releases`]: digests every source under the
 /// plan's release-level faults (missing rows, corrupt QI cells,
 /// truncated chunks) with skip-and-count semantics, then runs the same
-/// parallel per-target intersection. Returns the intersections plus the
-/// [`Degradation`] report. A target dropped from every source degrades
-/// to an empty candidate set with no feasible box — downstream fusion
-/// reads that as fully unconstrained — and under a zero-rate plan the
-/// result is bit-identical to [`intersect_releases`] with a clean report
-/// (pinned by property test).
+/// parallel per-target intersection. Defects are recorded straight into
+/// the caller's `deg` — a [muted](Degradation::muted) report keeps a
+/// shadow pass off the observability counters. A target dropped from
+/// every source degrades to an empty candidate set with no feasible box
+/// — downstream fusion reads that as fully unconstrained — and under a
+/// zero-rate plan the result is bit-identical to [`intersect_releases`]
+/// with a clean report (pinned by property test).
 pub fn intersect_releases_tolerant(
     sources: &[Source],
     targets: &[usize],
     n_master: usize,
     chunk_rows: usize,
     plan: &FaultPlan,
-) -> Result<(Vec<TargetIntersection>, Degradation)> {
+    deg: &mut Degradation,
+) -> Result<Vec<TargetIntersection>> {
     let first = sources.first().ok_or_else(|| {
         CompositionError::InvalidConfig("intersection needs at least one source".into())
     })?;
     let qi_cols = first.table.quasi_identifier_columns();
-    let mut deg = Degradation::default();
     let digests = sources
         .iter()
         .enumerate()
-        .map(|(idx, s)| {
-            digest_source_tolerant(s, idx, n_master, &qi_cols, chunk_rows, plan, &mut deg)
-        })
+        .map(|(idx, s)| digest_source_tolerant(s, idx, n_master, &qi_cols, chunk_rows, plan, deg))
         .collect::<Result<Vec<_>>>()?;
     let words = n_master.div_ceil(64);
     let inters = targets
@@ -481,7 +480,7 @@ pub fn intersect_releases_tolerant(
             |bits, target| intersect_target(target, &digests, qi_cols.len(), bits),
         )
         .collect();
-    Ok((inters, deg))
+    Ok(inters)
 }
 
 /// Per-target effective anonymity `|∩ classes|` alone — the number the
@@ -728,12 +727,14 @@ mod tests {
     fn tolerant_intersection_with_zero_rate_plan_is_bit_identical() {
         let (table, s) = scenario(70, 3, 4);
         let strict = intersect_releases(&s.sources, &s.targets, table.len(), 16).unwrap();
-        let (tolerant, deg) = intersect_releases_tolerant(
+        let mut deg = Degradation::default();
+        let tolerant = intersect_releases_tolerant(
             &s.sources,
             &s.targets,
             table.len(),
             16,
             &FaultPlan::none(),
+            &mut deg,
         )
         .unwrap();
         assert_eq!(tolerant, strict);
@@ -744,8 +745,10 @@ mod tests {
     fn tolerant_intersection_survives_every_release_fault_at_once() {
         let (table, s) = scenario(80, 3, 5);
         let plan = FaultPlan::uniform(31, 0.2);
-        let (inters, deg) =
-            intersect_releases_tolerant(&s.sources, &s.targets, table.len(), 16, &plan).unwrap();
+        let mut deg = Degradation::default();
+        let inters =
+            intersect_releases_tolerant(&s.sources, &s.targets, table.len(), 16, &plan, &mut deg)
+                .unwrap();
         assert_eq!(inters.len(), s.targets.len());
         assert!(
             deg.rows_skipped > 0 || deg.fields_imputed > 0 || deg.chunks_truncated > 0,
@@ -761,8 +764,16 @@ mod tests {
             }
         }
         // Determinism: the same plan degrades identically.
-        let (again, deg_again) =
-            intersect_releases_tolerant(&s.sources, &s.targets, table.len(), 16, &plan).unwrap();
+        let mut deg_again = Degradation::default();
+        let again = intersect_releases_tolerant(
+            &s.sources,
+            &s.targets,
+            table.len(),
+            16,
+            &plan,
+            &mut deg_again,
+        )
+        .unwrap();
         assert_eq!(again, inters);
         assert_eq!(deg_again, deg);
     }
@@ -774,8 +785,10 @@ mod tests {
             row_drop: 0.5,
             ..FaultPlan::uniform(33, 0.0)
         };
-        let (inters, deg) =
-            intersect_releases_tolerant(&s.sources, &s.targets, table.len(), 16, &plan).unwrap();
+        let mut deg = Degradation::default();
+        let inters =
+            intersect_releases_tolerant(&s.sources, &s.targets, table.len(), 16, &plan, &mut deg)
+                .unwrap();
         assert!(deg.rows_skipped > 0);
         // With half the rows gone some targets see fewer sources; a
         // fully-dropped target has no candidates and no box, and a
@@ -797,8 +810,10 @@ mod tests {
             cell_corrupt: 1.0,
             ..FaultPlan::uniform(35, 0.0)
         };
-        let (inters, deg) =
-            intersect_releases_tolerant(&s.sources, &s.targets, table.len(), 16, &plan).unwrap();
+        let mut deg = Degradation::default();
+        let inters =
+            intersect_releases_tolerant(&s.sources, &s.targets, table.len(), 16, &plan, &mut deg)
+                .unwrap();
         // Every class summary cell was corrupted: roughly half NaN
         // (imputed and counted), half inflated (kept, finite).
         assert!(deg.fields_imputed > 0, "{deg}");

@@ -309,7 +309,7 @@ impl Error for InputDefect {}
 /// `duplicates_added`) and what the pipeline survived (`pages_rejected`,
 /// `rows_skipped`, `fields_imputed`, `chunks_truncated`,
 /// `workers_restarted`).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Degradation {
     /// Corpus pages tombstoned by injection.
     pub pages_dropped: usize,
@@ -329,19 +329,78 @@ pub struct Degradation {
     pub chunks_truncated: usize,
     /// Pool workers that panicked and were restarted mid-batch.
     pub workers_restarted: usize,
+    /// A muted report records defects without mirroring them onto the
+    /// global `faults.*` observability counters. Shadow computations
+    /// whose report is deliberately discarded (the baseline re-digest of
+    /// a source the composed run already counts) use this so counter and
+    /// ledger stay in exact agreement.
+    muted: bool,
 }
 
+/// Equality compares the counted fields only; whether a report is muted
+/// is an instrumentation detail, not part of the measurement.
+impl PartialEq for Degradation {
+    fn eq(&self, other: &Self) -> bool {
+        self.pages_dropped == other.pages_dropped
+            && self.pages_truncated == other.pages_truncated
+            && self.pages_garbled == other.pages_garbled
+            && self.duplicates_added == other.duplicates_added
+            && self.pages_rejected == other.pages_rejected
+            && self.rows_skipped == other.rows_skipped
+            && self.fields_imputed == other.fields_imputed
+            && self.chunks_truncated == other.chunks_truncated
+            && self.workers_restarted == other.workers_restarted
+    }
+}
+
+impl Eq for Degradation {}
+
 impl Degradation {
-    /// Routes one observed defect onto its counter.
+    /// A report whose records stay off the global observability
+    /// counters. For shadow passes that re-run faulted work the shipped
+    /// ledger already counts — merging such a report elsewhere would
+    /// make the `faults.*` counters disagree with the degradation
+    /// totals, so callers discard it.
+    pub fn muted() -> Self {
+        Degradation {
+            muted: true,
+            ..Degradation::default()
+        }
+    }
+
+    /// Routes one observed defect onto its counter. Every survival-side
+    /// field is fed exclusively through here, so each increment is
+    /// mirrored onto the matching `faults.*` observability counter
+    /// (unless the report is [`muted`](Degradation::muted)) — the two
+    /// ledgers are written by the same line and the perf gate can
+    /// demand they agree exactly.
     pub fn record(&mut self, defect: InputDefect) {
-        match defect {
-            InputDefect::TruncatedPage | InputDefect::MalformedPage => self.pages_rejected += 1,
+        let counter = match defect {
+            InputDefect::TruncatedPage | InputDefect::MalformedPage => {
+                self.pages_rejected += 1;
+                "faults.pages_rejected"
+            }
             InputDefect::MissingField
             | InputDefect::NonFiniteValue
-            | InputDefect::OutOfRangeValue => self.fields_imputed += 1,
-            InputDefect::MissingRow => self.rows_skipped += 1,
-            InputDefect::TruncatedChunk => self.chunks_truncated += 1,
-            InputDefect::WorkerPanic => self.workers_restarted += 1,
+            | InputDefect::OutOfRangeValue => {
+                self.fields_imputed += 1;
+                "faults.fields_imputed"
+            }
+            InputDefect::MissingRow => {
+                self.rows_skipped += 1;
+                "faults.rows_skipped"
+            }
+            InputDefect::TruncatedChunk => {
+                self.chunks_truncated += 1;
+                "faults.chunks_truncated"
+            }
+            InputDefect::WorkerPanic => {
+                self.workers_restarted += 1;
+                "faults.workers_restarted"
+            }
+        };
+        if !self.muted {
+            fred_obs::counter(counter, 1);
         }
     }
 

@@ -213,12 +213,14 @@ impl ScoreFloor {
         let mut w = self.weight_of(3, agreement[3]) + self.weight_of(4, agreement[4]);
         // The headline floor check: prune before any string comparator.
         if let Some(decision) = self.forced(w, FIRST_STRING_STAGE) {
+            scratch.prunes += 1;
             return decision;
         }
         // Stage 2: Dice over the precomputed bigram multisets.
         agreement[1] = dice_sorted_bigrams(&a.bigrams, &b.bigrams) >= DICE_AGREE;
         w += self.weight_of(1, agreement[1]);
         if let Some(decision) = self.forced(w, FIRST_STRING_STAGE + 1) {
+            scratch.prunes += 1;
             return decision;
         }
         // Stage 3: Levenshtein on the canonical forms.
@@ -227,6 +229,7 @@ impl ScoreFloor {
                 >= LEVENSHTEIN_AGREE;
         w += self.weight_of(2, agreement[2]);
         if let Some(decision) = self.forced(w, FIRST_STRING_STAGE + 2) {
+            scratch.prunes += 1;
             return decision;
         }
         // Stage 4: Jaro-Winkler on the order-preserving forms. The vector
@@ -239,11 +242,21 @@ impl ScoreFloor {
 }
 
 /// Reusable comparator buffers for [`ScoreFloor::classify`] — one per
-/// worker, not per pair.
+/// worker, not per pair — plus a running tally of floor prunes, read by
+/// the harvest's observability hooks.
 #[derive(Debug, Clone, Default)]
 pub struct AgreementScratch {
     jaro: JaroScratch,
     edit: EditScratch,
+    prunes: u64,
+}
+
+impl AgreementScratch {
+    /// Number of classifications the score floor short-circuited before
+    /// the full comparator chain ran (monotone over the scratch's life).
+    pub fn prunes(&self) -> u64 {
+        self.prunes
+    }
 }
 
 /// Multiplicative mixer for the packed pair key: the ids are dense and
@@ -316,6 +329,16 @@ impl AgreementCache {
     /// Whether the memo is empty.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// Total classify calls routed through the memo.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookups served from the memo without re-classifying.
+    pub fn hits(&self) -> u64 {
+        self.hits
     }
 
     /// Fraction of lookups served from the memo.

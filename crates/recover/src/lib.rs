@@ -276,6 +276,7 @@ impl StageRunner {
         };
         for attempt in 1..=max_attempts {
             report.attempts = attempt;
+            fred_obs::counter("recover.attempts", 1);
             let injected = attempt < max_attempts
                 && self.plan.decide(
                     self.plan.stage_transient,
@@ -294,6 +295,7 @@ impl StageRunner {
                 }
             }
             report.retries += 1;
+            fred_obs::counter("recover.retries", 1);
             let pause = self.policy.backoff_ms(&self.plan, stage, attempt);
             report.backoff_ms += pause;
             std::thread::sleep(Duration::from_secs_f64(pause / 1000.0));
@@ -352,6 +354,7 @@ impl StageRunner {
             bytes.truncate(cut.min(bytes.len().saturating_sub(1)));
         }
         commit_bytes(&path, &bytes);
+        fred_obs::counter("recover.commits", 1);
         // Read-back verification: the committed file must parse and
         // checksum exactly. If not (truncated write), quarantine the bad
         // file and rewrite the clean envelope — no re-injection.
@@ -359,6 +362,7 @@ impl StageRunner {
             self.quarantine(stage, "write failed read-back verification");
             commit_bytes(&path, envelope.as_bytes());
             self.repaired_writes += 1;
+            fred_obs::counter("recover.repaired_writes", 1);
         }
     }
 
@@ -377,17 +381,20 @@ impl StageRunner {
             Ok((value, attempts, retries, backoff_ms)) => {
                 let payload = value.get("payload")?;
                 match T::from_payload(payload) {
-                    Some(artifact) => Some((
-                        artifact,
-                        StageReport {
-                            stage: stage.to_string(),
-                            attempts,
-                            retries,
-                            backoff_ms,
-                            loaded: true,
-                            verified: false,
-                        },
-                    )),
+                    Some(artifact) => {
+                        fred_obs::counter("recover.loads", 1);
+                        Some((
+                            artifact,
+                            StageReport {
+                                stage: stage.to_string(),
+                                attempts,
+                                retries,
+                                backoff_ms,
+                                loaded: true,
+                                verified: false,
+                            },
+                        ))
+                    }
                     None => {
                         self.quarantine(stage, "payload shape mismatch");
                         None
@@ -500,6 +507,8 @@ impl StageRunner {
             let _ = fs::rename(&path, qdir.join(&name));
         }
         self.quarantined_files.push((name, reason.to_string()));
+        fred_obs::counter("recover.quarantines", 1);
+        fred_obs::event("quarantine");
     }
 
     /// Exits with [`HALT_EXIT_CODE`] right after `stage`'s boundary when

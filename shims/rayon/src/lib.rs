@@ -25,6 +25,24 @@ use std::sync::OnceLock;
 thread_local! {
     /// Set on pool worker threads, to flatten nested parallelism.
     static IN_POOL: Cell<bool> = const { Cell::new(false) };
+    /// Stable index of the current pool worker (`usize::MAX` off-pool).
+    static WORKER_ID: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Stable index of the worker thread this call runs on: `Some(i)` with
+/// `i < current_num_threads()` inside the pool, `None` on any thread the
+/// pool does not own (the main thread, test threads, ...). The index is
+/// assigned at spawn and never changes, so traces and per-worker metric
+/// buffers can attribute work to a worker across batches.
+pub fn current_worker_id() -> Option<usize> {
+    WORKER_ID.with(|c| {
+        let id = c.get();
+        if id == usize::MAX {
+            None
+        } else {
+            Some(id)
+        }
+    })
 }
 
 /// Number of worker threads parallel calls will use, mirroring
@@ -96,6 +114,7 @@ mod pool {
                     .name(format!("rayon-shim-{i}"))
                     .spawn(move || {
                         super::IN_POOL.with(|c| c.set(true));
+                        super::WORKER_ID.with(|c| c.set(i));
                         loop {
                             // The guard is held only for the handoff: the
                             // receiving worker drops it before running the
@@ -567,6 +586,19 @@ mod tests {
     // The dedicated-pool tests construct their own `WorkerPool` so the
     // machinery is exercised even on a single-core machine (where the
     // public pipeline takes the sequential fast path).
+
+    #[test]
+    fn worker_id_is_stable_on_pool_and_absent_off_pool() {
+        assert_eq!(super::current_worker_id(), None);
+        let pool = super::pool::WorkerPool::new(3);
+        let chunks: Vec<Vec<usize>> = (0..24).map(|i| vec![i]).collect();
+        let ids = pool.map_chunks(chunks, |_| vec![super::current_worker_id()]);
+        for id in ids.iter().flatten() {
+            let id = id.expect("pool jobs always run on a pool worker");
+            assert!(id < 3, "worker index {id} out of range");
+        }
+        assert_eq!(super::current_worker_id(), None);
+    }
 
     #[test]
     fn pool_map_chunks_preserves_chunk_order() {

@@ -92,12 +92,14 @@ proptest! {
         let scenario = scenario(table);
         let strict_inters =
             intersect_releases(&scenario.sources, &scenario.targets, table.len(), 16).unwrap();
-        let (tolerant_inters, deg) = intersect_releases_tolerant(
+        let mut deg = Degradation::default();
+        let tolerant_inters = intersect_releases_tolerant(
             &scenario.sources,
             &scenario.targets,
             table.len(),
             16,
             &plan,
+            &mut deg,
         )
         .unwrap();
         prop_assert_eq!(&tolerant_inters, &strict_inters);
@@ -325,9 +327,16 @@ fn targeted_release_rows_are_dropped_from_intersection() {
         targeted: Some(TargetedCorruption::new(Vec::new(), vec![0, 2])),
         ..FaultPlan::uniform(11, 0.0)
     };
-    let (tolerant, deg) =
-        intersect_releases_tolerant(&scenario.sources, &scenario.targets, table.len(), 16, &plan)
-            .unwrap();
+    let mut deg = Degradation::default();
+    let tolerant = intersect_releases_tolerant(
+        &scenario.sources,
+        &scenario.targets,
+        table.len(),
+        16,
+        &plan,
+        &mut deg,
+    )
+    .unwrap();
     assert!(deg.rows_skipped > 0, "targeted rows were not dropped");
     assert_ne!(tolerant, strict);
 
@@ -336,12 +345,14 @@ fn targeted_release_rows_are_dropped_from_intersection() {
         ..FaultPlan::uniform(11, 0.0)
     };
     assert!(empty.is_passthrough());
-    let (passthrough, deg) = intersect_releases_tolerant(
+    let mut deg = Degradation::default();
+    let passthrough = intersect_releases_tolerant(
         &scenario.sources,
         &scenario.targets,
         table.len(),
         16,
         &empty,
+        &mut deg,
     )
     .unwrap();
     assert_eq!(passthrough, strict);
