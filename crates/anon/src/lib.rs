@@ -61,7 +61,7 @@ pub use diversity::{
 pub use error::{AnonError, Result};
 pub use generalize::{AttributeHierarchy, FullDomain, Hierarchy, NumericHierarchy};
 pub use kanon::{anonymity_level, classes_from_release, is_k_anonymous};
-pub use mdav::Mdav;
+pub use mdav::{HierarchicalMdav, Mdav};
 pub use mondrian::Mondrian;
 pub use optimal::{within_class_sse, OptimalUnivariate};
 pub use partition::{EquivalenceClass, Partition};

@@ -13,7 +13,7 @@
 use crate::anonymizer::{dist2, normalize_columns, numeric_qi_matrix, Anonymizer};
 use crate::error::Result;
 use crate::partition::Partition;
-use fred_data::Table;
+use fred_data::{ShardPlan, Table};
 use rayon::prelude::*;
 
 /// Minimum number of active rows before a distance scan is worth
@@ -58,32 +58,110 @@ impl Mdav {
             normalize_columns(&mut matrix);
         }
         let n = matrix.len();
-        let mut remaining: Vec<usize> = (0..n).collect();
+        let mut selected = vec![false; n];
+        let classes = reference_classes(&matrix, (0..n).collect(), &mut selected, k);
+        Partition::new(classes, n)
+    }
+
+    /// Hierarchical MDAV: the rows are first recursively split along the
+    /// widest-spread quasi-identifier dimension into at most
+    /// [`ShardPlan::shards`] leaves (each at least `3k` rows, so every
+    /// leaf clusters exactly like a standalone MDAV run), then the
+    /// optimized MDAV loop runs independently inside each leaf and the
+    /// per-leaf classes are concatenated in deterministic leaf order —
+    /// the bounded cross-shard "merge" is that concatenation. Distance
+    /// scans therefore touch `n / leaves` rows instead of `n`, turning
+    /// the O(n·rounds) flat loop into a per-shard loop.
+    ///
+    /// With a single-shard plan the split is a no-op and the result is
+    /// bit-identical to [`partition`](Anonymizer::partition); for any
+    /// plan it is pinned bit-identical to
+    /// [`partition_hierarchical_reference`](Mdav::partition_hierarchical_reference)
+    /// by property test (same ulp caveat as the flat pair).
+    pub fn partition_hierarchical(
+        &self,
+        table: &Table,
+        k: usize,
+        plan: &ShardPlan,
+    ) -> Result<Partition> {
+        let mut matrix = numeric_qi_matrix(table, k)?;
+        if !self.skip_normalization {
+            normalize_columns(&mut matrix);
+        }
+        let n = matrix.len();
+        let dims = matrix[0].len();
+        let leaves = split_leaves(&matrix, (0..n).collect(), plan.shards(), k);
+        let mut classes: Vec<Vec<usize>> = Vec::with_capacity(n / k + 1);
+        for leaf in leaves {
+            fred_obs::counter("mdav.leaves", 1);
+            let mut flat = Vec::with_capacity(leaf.len() * dims);
+            for &r in &leaf {
+                flat.extend_from_slice(&matrix[r]);
+            }
+            for class in pool_classes(flat, leaf.len(), dims, k) {
+                classes.push(class.into_iter().map(|local| leaf[local]).collect());
+            }
+        }
+        Partition::new(classes, n)
+    }
+
+    /// The reference twin of [`partition_hierarchical`](Mdav::partition_hierarchical):
+    /// identical leaf split, but each leaf runs the straightforward
+    /// [`partition_reference`](Mdav::partition_reference) loop over its
+    /// global row ids. Equivalence tests diff the two.
+    pub fn partition_hierarchical_reference(
+        &self,
+        table: &Table,
+        k: usize,
+        plan: &ShardPlan,
+    ) -> Result<Partition> {
+        let mut matrix = numeric_qi_matrix(table, k)?;
+        if !self.skip_normalization {
+            normalize_columns(&mut matrix);
+        }
+        let n = matrix.len();
+        let leaves = split_leaves(&matrix, (0..n).collect(), plan.shards(), k);
         let mut selected = vec![false; n];
         let mut classes: Vec<Vec<usize>> = Vec::with_capacity(n / k + 1);
-
-        while remaining.len() >= 3 * k {
-            let centroid = centroid_of(&matrix, &remaining);
-            let r = farthest_from_point(&matrix, &remaining, &centroid);
-            let cluster_r = take_nearest(&matrix, &mut remaining, &mut selected, r, k);
-            // `s`: the record farthest from `r` among what is left.
-            let s = farthest_from_row(&matrix, &remaining, &matrix[r]);
-            let cluster_s = take_nearest(&matrix, &mut remaining, &mut selected, s, k);
-            classes.push(cluster_r);
-            classes.push(cluster_s);
+        for leaf in leaves {
+            classes.extend(reference_classes(&matrix, leaf, &mut selected, k));
         }
-
-        if remaining.len() >= 2 * k {
-            let centroid = centroid_of(&matrix, &remaining);
-            let r = farthest_from_point(&matrix, &remaining, &centroid);
-            let cluster_r = take_nearest(&matrix, &mut remaining, &mut selected, r, k);
-            classes.push(cluster_r);
-            classes.push(std::mem::take(&mut remaining));
-        } else if !remaining.is_empty() {
-            classes.push(std::mem::take(&mut remaining));
-        }
-
         Partition::new(classes, n)
+    }
+}
+
+/// [`Mdav`] in hierarchical mode packaged as a drop-in [`Anonymizer`]:
+/// the composition stack selects it for large sweeps where the flat
+/// MDAV loop's full-pool distance scans dominate.
+#[derive(Debug, Clone)]
+pub struct HierarchicalMdav {
+    inner: Mdav,
+    plan: ShardPlan,
+}
+
+impl HierarchicalMdav {
+    /// Hierarchical MDAV with z-score normalization, splitting into at
+    /// most `plan.shards()` leaves.
+    pub fn new(plan: ShardPlan) -> Self {
+        HierarchicalMdav {
+            inner: Mdav::new(),
+            plan,
+        }
+    }
+
+    /// The shard plan driving the leaf split.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+}
+
+impl Anonymizer for HierarchicalMdav {
+    fn name(&self) -> &'static str {
+        "mdav_hier"
+    }
+
+    fn partition(&self, table: &Table, k: usize) -> Result<Partition> {
+        self.inner.partition_hierarchical(table, k, &self.plan)
     }
 }
 
@@ -122,45 +200,152 @@ impl Anonymizer for Mdav {
             flat.extend_from_slice(row);
         }
         drop(matrix);
-
-        let mut pool = ActivePool::new(flat, n, dims);
-        let mut scored: Vec<(f64, u32)> = Vec::with_capacity(n);
-        let mut centroid = vec![0.0f64; dims];
-        let mut classes: Vec<Vec<usize>> = Vec::with_capacity(n / k + 1);
-
-        while pool.len() >= 3 * k {
-            fred_obs::counter("mdav.rounds", 1);
-            pool.centroid_into(&mut centroid);
-            let r = pool.farthest_from(&centroid);
-            let cluster_r = pool.take_nearest(r, k, &mut scored, true);
-            // `s`: the record farthest from `r` among what is left. The
-            // scored buffer still holds every pre-removal distance to `r`,
-            // so the scan is a reduce over it (skipping the rows just
-            // removed) instead of a fresh distance pass.
-            let s = pool.farthest_in_scored(&scored);
-            let cluster_s = pool.take_nearest(s, k, &mut scored, false);
-            classes.push(cluster_r);
-            classes.push(cluster_s);
-        }
-
-        if pool.len() >= 2 * k {
-            // Final stage: at most `3k - 1` rows remain, and with `k = 1`
-            // the two leftovers are exactly equidistant from their
-            // midpoint — a structural tie the incremental sum (off by an
-            // ulp from the reference's fresh fold) would break the wrong
-            // way. A fresh ascending-order fold is O(k·dims) here and
-            // bit-identical to the reference by construction.
-            pool.centroid_fresh_into(&mut centroid);
-            let r = pool.farthest_from(&centroid);
-            let cluster_r = pool.take_nearest(r, k, &mut scored, false);
-            classes.push(cluster_r);
-            classes.push(pool.drain_sorted());
-        } else if !pool.is_empty() {
-            classes.push(pool.drain_sorted());
-        }
-
+        let classes = pool_classes(flat, n, dims, k);
         Partition::new(classes, n)
     }
+}
+
+/// The optimized MDAV loop over a prepared flat point buffer: returns
+/// classes of *local* ids `0..n` (the caller maps them back to table
+/// rows when the buffer is a leaf subset).
+fn pool_classes(flat: Vec<f64>, n: usize, dims: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut pool = ActivePool::new(flat, n, dims);
+    let mut scored: Vec<(f64, u32)> = Vec::with_capacity(n);
+    let mut centroid = vec![0.0f64; dims];
+    let mut classes: Vec<Vec<usize>> = Vec::with_capacity(n / k + 1);
+
+    while pool.len() >= 3 * k {
+        fred_obs::counter("mdav.rounds", 1);
+        pool.centroid_into(&mut centroid);
+        let r = pool.farthest_from(&centroid);
+        let cluster_r = pool.take_nearest(r, k, &mut scored, true);
+        // `s`: the record farthest from `r` among what is left. The
+        // scored buffer still holds every pre-removal distance to `r`,
+        // so the scan is a reduce over it (skipping the rows just
+        // removed) instead of a fresh distance pass.
+        let s = pool.farthest_in_scored(&scored);
+        let cluster_s = pool.take_nearest(s, k, &mut scored, false);
+        classes.push(cluster_r);
+        classes.push(cluster_s);
+    }
+
+    if pool.len() >= 2 * k {
+        // Final stage: at most `3k - 1` rows remain, and with `k = 1`
+        // the two leftovers are exactly equidistant from their
+        // midpoint — a structural tie the incremental sum (off by an
+        // ulp from the reference's fresh fold) would break the wrong
+        // way. A fresh ascending-order fold is O(k·dims) here and
+        // bit-identical to the reference by construction.
+        pool.centroid_fresh_into(&mut centroid);
+        let r = pool.farthest_from(&centroid);
+        let cluster_r = pool.take_nearest(r, k, &mut scored, false);
+        classes.push(cluster_r);
+        classes.push(pool.drain_sorted());
+    } else if !pool.is_empty() {
+        classes.push(pool.drain_sorted());
+    }
+
+    classes
+}
+
+/// The straightforward MDAV loop over the row subset `remaining` of a
+/// prepared (normalized) matrix. `selected` is an all-false scratch mask
+/// of table size, restored before returning. Classes carry the global
+/// row ids from `remaining`.
+fn reference_classes(
+    matrix: &[Vec<f64>],
+    mut remaining: Vec<usize>,
+    selected: &mut [bool],
+    k: usize,
+) -> Vec<Vec<usize>> {
+    let mut classes: Vec<Vec<usize>> = Vec::with_capacity(remaining.len() / k + 1);
+
+    while remaining.len() >= 3 * k {
+        let centroid = centroid_of(matrix, &remaining);
+        let r = farthest_from_point(matrix, &remaining, &centroid);
+        let cluster_r = take_nearest(matrix, &mut remaining, selected, r, k);
+        // `s`: the record farthest from `r` among what is left.
+        let s = farthest_from_row(matrix, &remaining, &matrix[r]);
+        let cluster_s = take_nearest(matrix, &mut remaining, selected, s, k);
+        classes.push(cluster_r);
+        classes.push(cluster_s);
+    }
+
+    if remaining.len() >= 2 * k {
+        let centroid = centroid_of(matrix, &remaining);
+        let r = farthest_from_point(matrix, &remaining, &centroid);
+        let cluster_r = take_nearest(matrix, &mut remaining, selected, r, k);
+        classes.push(cluster_r);
+        classes.push(std::mem::take(&mut remaining));
+    } else if !remaining.is_empty() {
+        classes.push(std::mem::take(&mut remaining));
+    }
+
+    classes
+}
+
+/// Recursively splits `rows` into at most `parts` leaves for
+/// hierarchical MDAV. Each split picks the dimension with the widest
+/// value spread among the node's rows (ties to the lowest dimension),
+/// orders the rows by `(value, row)` along it, and cuts proportionally
+/// to the leaf budget of each side. A node stops splitting when its
+/// budget reaches one leaf or when a cut would leave a side below `3k`
+/// rows — so every leaf is big enough to run the full three-phase MDAV
+/// loop, keeping per-leaf cluster sizes in the same `[k, 2k-1]` bounds
+/// as a flat run. Leaves come back in deterministic left-to-right order
+/// with their rows ascending (the fold order both MDAV loops assume).
+fn split_leaves(matrix: &[Vec<f64>], rows: Vec<usize>, parts: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut leaves = Vec::with_capacity(parts);
+    split_rec(matrix, rows, parts, 3 * k, &mut leaves);
+    leaves
+}
+
+fn split_rec(
+    matrix: &[Vec<f64>],
+    rows: Vec<usize>,
+    parts: usize,
+    min_leaf: usize,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if parts <= 1 || rows.len() < 2 * min_leaf {
+        out.push(rows);
+        return;
+    }
+    let dims = matrix[0].len();
+    let (split_dim, _) = (0..dims)
+        .map(|d| {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &r in &rows {
+                let v = matrix[r][d];
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            (d, hi - lo)
+        })
+        .fold((0, f64::NEG_INFINITY), |best, cand| {
+            if cand.1 > best.1 {
+                cand
+            } else {
+                best
+            }
+        });
+    let left_parts = parts / 2;
+    let right_parts = parts - left_parts;
+    let target_left = (rows.len() * left_parts / parts).clamp(min_leaf, rows.len() - min_leaf);
+    let mut sorted = rows;
+    sorted.sort_by(|&a, &b| {
+        matrix[a][split_dim]
+            .partial_cmp(&matrix[b][split_dim])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut right = sorted.split_off(target_left);
+    let mut left = sorted;
+    left.sort_unstable();
+    right.sort_unstable();
+    split_rec(matrix, left, left_parts, min_leaf, out);
+    split_rec(matrix, right, right_parts, min_leaf, out);
 }
 
 /// The dense set of rows MDAV has not yet clustered. Points are kept
@@ -712,5 +897,110 @@ mod tests {
         assert_eq!(p.n_rows(), 4);
         // k=1 MDAV still caps classes at 2k-1 = 1.
         assert_eq!(p.max_class_size(), 1);
+    }
+
+    use fred_data::ShardPlan;
+
+    #[test]
+    fn hierarchical_single_shard_is_flat() {
+        let plan = ShardPlan::single();
+        for n in [7usize, 23, 60] {
+            for k in [1usize, 2, 4] {
+                let t = jittered_table(n);
+                let m = Mdav::new();
+                assert_eq!(
+                    m.partition_hierarchical(&t, k, &plan).unwrap(),
+                    m.partition(&t, k).unwrap(),
+                    "optimized n={n} k={k}"
+                );
+                assert_eq!(
+                    m.partition_hierarchical_reference(&t, k, &plan).unwrap(),
+                    m.partition_reference(&t, k).unwrap(),
+                    "reference n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_optimized_matches_reference() {
+        for n in [30usize, 81, 150] {
+            for k in [2usize, 3, 5] {
+                for shards in [2usize, 3, 4, 7] {
+                    let plan = ShardPlan::new(shards, 11);
+                    let t = jittered_table(n);
+                    for m in [Mdav::new(), Mdav::without_normalization()] {
+                        let fast = m.partition_hierarchical(&t, k, &plan).unwrap();
+                        let reference = m.partition_hierarchical_reference(&t, k, &plan).unwrap();
+                        assert_eq!(fast, reference, "n={n} k={k} shards={shards}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_cluster_sizes_stay_bounded() {
+        for n in [24usize, 50, 120] {
+            for k in [2usize, 3, 5] {
+                for shards in [2usize, 4, 8] {
+                    let plan = ShardPlan::new(shards, 3);
+                    let t = jittered_table(n);
+                    let p = Mdav::new().partition_hierarchical(&t, k, &plan).unwrap();
+                    assert!(p.satisfies_k(k), "n={n} k={k} shards={shards} violated k");
+                    assert!(
+                        p.max_class_size() < 2 * k,
+                        "n={n} k={k} shards={shards}: max class {} > 2k-1",
+                        p.max_class_size()
+                    );
+                    assert_eq!(p.n_rows(), n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_small_input_collapses_to_single_leaf() {
+        // n < 6k: no cut can keep both sides at 3k, so the split is a
+        // no-op and the result must equal the flat run exactly.
+        let t = jittered_table(11);
+        let plan = ShardPlan::new(8, 0);
+        let m = Mdav::new();
+        assert_eq!(
+            m.partition_hierarchical(&t, 2, &plan).unwrap(),
+            m.partition(&t, 2).unwrap()
+        );
+    }
+
+    #[test]
+    fn hierarchical_anonymizer_wrapper_delegates() {
+        let plan = ShardPlan::new(3, 7);
+        let t = jittered_table(40);
+        let wrapped = HierarchicalMdav::new(plan);
+        assert_eq!(wrapped.name(), "mdav_hier");
+        assert_eq!(wrapped.plan().shards(), 3);
+        assert_eq!(
+            wrapped.partition(&t, 3).unwrap(),
+            Mdav::new().partition_hierarchical(&t, 3, &plan).unwrap()
+        );
+    }
+
+    #[test]
+    fn split_leaves_cover_rows_exactly_once() {
+        let t = jittered_table(90);
+        let mut matrix = numeric_qi_matrix(&t, 3).unwrap();
+        normalize_columns(&mut matrix);
+        let leaves = split_leaves(&matrix, (0..90).collect(), 4, 3);
+        assert!(leaves.len() <= 4 && !leaves.is_empty());
+        let mut seen = [false; 90];
+        for leaf in &leaves {
+            assert!(leaf.len() >= 9, "leaf below 3k: {}", leaf.len());
+            assert!(leaf.windows(2).all(|w| w[0] < w[1]), "leaf not ascending");
+            for &r in leaf {
+                assert!(!seen[r], "row {r} in two leaves");
+                seen[r] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some row missing from leaves");
     }
 }

@@ -46,6 +46,11 @@ use fred_composition::DefensePolicy;
 /// disable with `--large-size 0`).
 const DEFAULT_LARGE_SIZE: usize = 10_000;
 
+/// `--size` requests at or above this row count run the sharded
+/// `large_100k` stage instead of blowing up the quick sweep's quadratic
+/// estimate references.
+const SHARDED_SIZE_THRESHOLD: usize = 20_000;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = WorldConfig::default();
@@ -194,6 +199,22 @@ fn main() {
         } else {
             Some(large_size)
         };
+        // `--size 100000`-scale requests route to the sharded block: the
+        // quick sweep's estimate references are quadratic in the world
+        // size, so the sweep keeps its default world and the big number
+        // drives the shard-partitioned pipeline instead.
+        let sharded_size = if config.size >= SHARDED_SIZE_THRESHOLD {
+            let size = config.size;
+            config.size = WorldConfig::default().size;
+            println!(
+                "note: --size {size} >= {SHARDED_SIZE_THRESHOLD} runs the sharded large_100k \
+                 stage; the quick sweep keeps its default {}-record world",
+                config.size
+            );
+            Some(size)
+        } else {
+            None
+        };
         run_quick(
             &config,
             &out_path,
@@ -201,6 +222,7 @@ fn main() {
             trace_path.as_deref(),
             &QuickBenchOptions {
                 large_size: large,
+                sharded_size,
                 compose: want_compose,
                 defend,
                 exhaustive: want_exhaustive,
@@ -271,6 +293,11 @@ fn usage(err: &str) -> ! {
          --quick runs a reduced timed sweep plus a large-world stage\n\
          (default 10000 rows; --large-size 0 disables) and writes a\n\
          machine-readable perf baseline (default BENCH_sweep.json);\n\
+         --size N with --quick sizes the sweep world; N >= 20000 instead\n\
+         runs the shard-partitioned pipeline at N rows (the large_100k\n\
+         block: hierarchical MDAV, per-shard harvest + intersection,\n\
+         digest-pinned to the unsharded references) while the sweep\n\
+         keeps its default world;\n\
          --exhaustive additionally runs the full-table harvest reference\n\
          (harvest_exhaustive_large) next to the seeded 512-row sample;\n\
          --faults re-runs harvest + composition under seeded corruption at\n\

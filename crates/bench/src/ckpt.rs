@@ -19,8 +19,8 @@
 use fred_recover::{json, Artifact};
 
 use crate::perf::{
-    CompositionBench, CompositionBenchRow, DefenseBench, DefenseBenchRow, LargeBench,
-    RobustnessBench, RobustnessBenchRow, StageTiming,
+    CompositionBench, CompositionBenchRow, DefenseBench, DefenseBenchRow, Large100kBench,
+    LargeBench, RobustnessBench, RobustnessBenchRow, ShardBenchRow, StageTiming,
 };
 use crate::world::World;
 use fred_attack::Harvest;
@@ -356,7 +356,7 @@ impl Artifact for RobustnessBench {
             .iter()
             .map(|r| {
                 format!(
-                    "{{\"fault_rate\": {:?}, \"mode\": \"{}\", \"harvest_precision\": {:?}, \"harvest_coverage\": {:?}, \"composition_gain\": {:?}, \"pages_rejected\": {}, \"rows_skipped\": {}, \"fields_imputed\": {}, \"workers_restarted\": {}}}",
+                    "{{\"fault_rate\": {:?}, \"mode\": \"{}\", \"harvest_precision\": {:?}, \"harvest_coverage\": {:?}, \"composition_gain\": {:?}, \"pages_rejected\": {}, \"rows_skipped\": {}, \"fields_imputed\": {}, \"workers_restarted\": {}, \"shards_lost\": {}}}",
                     r.fault_rate,
                     r.mode,
                     r.harvest_precision,
@@ -365,7 +365,8 @@ impl Artifact for RobustnessBench {
                     r.pages_rejected,
                     r.rows_skipped,
                     r.fields_imputed,
-                    r.workers_restarted
+                    r.workers_restarted,
+                    r.shards_lost
                 )
             })
             .collect();
@@ -394,6 +395,7 @@ impl Artifact for RobustnessBench {
                     rows_skipped: r.get("rows_skipped")?.as_usize()?,
                     fields_imputed: r.get("fields_imputed")?.as_usize()?,
                     workers_restarted: r.get("workers_restarted")?.as_usize()?,
+                    shards_lost: r.get("shards_lost")?.as_usize()?,
                 })
             })
             .collect::<Option<Vec<_>>>()?;
@@ -457,6 +459,95 @@ impl Artifact for LargeBench {
                 .get("speedup_harvest_parallel_vs_single")?
                 .as_f64()?,
             composition,
+        })
+    }
+}
+
+impl Artifact for Large100kBench {
+    fn to_payload(&self) -> String {
+        let stages: Vec<String> = self
+            .stages
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"name\": \"{}\", \"wall_ms\": {:?}, \"rows\": {}}}",
+                    s.name, s.wall_ms, s.rows
+                )
+            })
+            .collect();
+        let shard_rows: Vec<String> = self
+            .shard_rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"shard\": {}, \"rows\": {}, \"pages\": {}}}",
+                    r.shard, r.rows, r.pages
+                )
+            })
+            .collect();
+        format!(
+            "{{\"size\": {}, \"shards\": {}, \"cores\": {}, \"sample_rows\": {}, \"peak_rss_mb\": {:?}, \
+             \"harvest_digest_sharded\": \"{:016x}\", \"harvest_digest_unsharded\": \"{:016x}\", \
+             \"mdav_digest_sharded\": \"{:016x}\", \"mdav_digest_unsharded\": \"{:016x}\", \
+             \"intersect_digest_sharded\": \"{:016x}\", \"intersect_digest_unsharded\": \"{:016x}\", \
+             \"stages\": [{}], \"shard_rows\": [{}]}}",
+            self.size,
+            self.shards,
+            self.cores,
+            self.sample_rows,
+            self.peak_rss_mb,
+            self.harvest_digest_sharded,
+            self.harvest_digest_unsharded,
+            self.mdav_digest_sharded,
+            self.mdav_digest_unsharded,
+            self.intersect_digest_sharded,
+            self.intersect_digest_unsharded,
+            stages.join(", "),
+            shard_rows.join(", ")
+        )
+    }
+
+    fn from_payload(value: &json::Value) -> Option<Large100kBench> {
+        let stages = value
+            .get("stages")?
+            .as_arr()?
+            .iter()
+            .map(|s| {
+                Some(StageTiming {
+                    name: intern_stage_name(s.get("name")?.as_str()?)?,
+                    wall_ms: s.get("wall_ms")?.as_f64()?,
+                    rows: s.get("rows")?.as_usize()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let shard_rows = value
+            .get("shard_rows")?
+            .as_arr()?
+            .iter()
+            .map(|r| {
+                Some(ShardBenchRow {
+                    shard: r.get("shard")?.as_usize()?,
+                    rows: r.get("rows")?.as_usize()?,
+                    pages: r.get("pages")?.as_usize()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let hex =
+            |key: &str| -> Option<u64> { u64::from_str_radix(value.get(key)?.as_str()?, 16).ok() };
+        Some(Large100kBench {
+            size: value.get("size")?.as_usize()?,
+            shards: value.get("shards")?.as_usize()?,
+            cores: value.get("cores")?.as_usize()?,
+            sample_rows: value.get("sample_rows")?.as_usize()?,
+            peak_rss_mb: value.get("peak_rss_mb")?.as_f64()?,
+            stages,
+            shard_rows,
+            harvest_digest_sharded: hex("harvest_digest_sharded")?,
+            harvest_digest_unsharded: hex("harvest_digest_unsharded")?,
+            mdav_digest_sharded: hex("mdav_digest_sharded")?,
+            mdav_digest_unsharded: hex("mdav_digest_unsharded")?,
+            intersect_digest_sharded: hex("intersect_digest_sharded")?,
+            intersect_digest_unsharded: hex("intersect_digest_unsharded")?,
         })
     }
 }
@@ -550,10 +641,12 @@ mod tests {
                 rows_skipped: 2,
                 fields_imputed: 1,
                 workers_restarted: 0,
+                shards_lost: 2,
             }],
         };
         let back = round_trip(&rob);
         assert_eq!(back.rows[0].mode, "targeted");
+        assert_eq!(back.rows[0].shards_lost, 2);
 
         let large = LargeBench {
             size: 10_000,
@@ -569,6 +662,33 @@ mod tests {
         let back = round_trip(&large);
         assert_eq!(back.stages[0].name, "mdav_k5_large");
         assert!(back.composition.is_some());
+
+        let sharded = Large100kBench {
+            size: 100_000,
+            shards: 8,
+            cores: 1,
+            sample_rows: 2048,
+            peak_rss_mb: 512.25,
+            stages: vec![StageTiming {
+                name: "harvest_sharded_100k",
+                wall_ms: 12_500.75,
+                rows: 100_000,
+            }],
+            shard_rows: vec![ShardBenchRow {
+                shard: 0,
+                rows: 12_500,
+                pages: 11_000,
+            }],
+            harvest_digest_sharded: 0x0123_4567_89ab_cdef,
+            harvest_digest_unsharded: 0x0123_4567_89ab_cdef,
+            mdav_digest_sharded: u64::MAX,
+            mdav_digest_unsharded: u64::MAX,
+            intersect_digest_sharded: 1,
+            intersect_digest_unsharded: 1,
+        };
+        let back = round_trip(&sharded);
+        assert_eq!(back, sharded);
+        assert_eq!(back.harvest_digest_sharded, 0x0123_4567_89ab_cdef);
     }
 
     #[test]
@@ -583,7 +703,7 @@ mod tests {
             "{\"max_rate\": 0.1, \"seed\": 1, \"wall_ms\": 1.0, \"rows\": [{\"fault_rate\": 0.1, \
                    \"mode\": \"sideways\", \"harvest_precision\": 1.0, \"harvest_coverage\": 1.0, \
                    \"composition_gain\": 1.0, \"pages_rejected\": 0, \"rows_skipped\": 0, \
-                   \"fields_imputed\": 0, \"workers_restarted\": 0}]}";
+                   \"fields_imputed\": 0, \"workers_restarted\": 0, \"shards_lost\": 0}]}";
         let value = json::parse(rob).unwrap();
         assert!(RobustnessBench::from_payload(&value).is_none());
     }

@@ -125,6 +125,14 @@ pub const ROBUSTNESS_GAIN_FLOOR: f64 = 0.5;
 /// disabled collector — the cost every uninstrumented run pays.
 pub const MAX_OBS_OVERHEAD_PCT: f64 = 3.0;
 
+/// Ceiling on the `large_100k` block's peak resident set, in MiB. The
+/// block exists to prove the sharded pipeline keeps memory flat in the
+/// row count — the unsharded intersection alone would allocate
+/// full-master-width bitsets per equivalence class — so a breach is the
+/// very regression the stage guards against. Skipped when the run
+/// recorded `0.0` (deterministic mode, or `/proc` unavailable).
+pub const MAX_100K_PEAK_RSS_MB: f64 = 2048.0;
+
 /// One composition-stage row: `(releases, disclosure_gain,
 /// mean_candidates)`.
 pub type CompositionRow = (usize, f64, f64);
@@ -147,7 +155,7 @@ pub struct RobustnessRow {
     /// Composition disclosure gain under the same faults.
     pub composition_gain: f64,
     /// Total defects the tolerant pipeline survived (pages rejected +
-    /// rows skipped + fields imputed + workers restarted).
+    /// rows skipped + fields imputed + workers restarted + shards lost).
     pub defects: usize,
     /// Pages the tolerant parser rejected outright.
     pub pages_rejected: usize,
@@ -157,6 +165,9 @@ pub struct RobustnessRow {
     pub fields_imputed: usize,
     /// Harvest workers restarted after an injected panic.
     pub workers_restarted: usize,
+    /// Search shards lost outright and degraded around. Baselines that
+    /// predate the shard-loss fault class parse as zero.
+    pub shards_lost: usize,
 }
 
 /// One defense-stage row, as parsed from a `composition_defense` block.
@@ -248,6 +259,27 @@ pub struct ProfileBlock {
     pub counters: BTreeMap<String, u64>,
 }
 
+/// The `large_100k` block, as parsed from a sharded-scale run
+/// (`repro --quick --size 100000`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Sharded100kBlock {
+    /// World row count the block ran at.
+    pub size: usize,
+    /// Shards the run's `ShardPlan` derived for that size.
+    pub shards: usize,
+    /// Rows in the seeded equivalence subsample.
+    pub sample_rows: usize,
+    /// Peak resident set in MiB (`0.0` = unavailable/deterministic).
+    pub peak_rss_mb: f64,
+    /// Per-shard accounting rows `(shard, rows, pages)`, as written —
+    /// the gate checks exactly `shards` of them, dense and covering
+    /// `size` rows, so a vanished shard row cannot pass silently.
+    pub shard_rows: Vec<(usize, usize, usize)>,
+    /// Equivalence digests by name (`harvest_sharded`,
+    /// `harvest_unsharded`, `mdav_*`, `intersect_*`), as hex strings.
+    pub digests: BTreeMap<String, String>,
+}
+
 /// Everything [`parse_baseline`] can recover from one baseline file.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Baseline {
@@ -275,6 +307,11 @@ pub struct Baseline {
     pub defense_k: Option<usize>,
     /// Robustness rows, ascending in fault rate, when present.
     pub robustness: Vec<RobustnessRow>,
+    /// The sharded-scale `large_100k` block, when present.
+    pub large_100k: Option<Sharded100kBlock>,
+    /// `seed` recorded in the config block, when present — the
+    /// `large_100k` digest pin only binds runs of the same seed.
+    pub seed: Option<u64>,
     /// The recovery ledger, when present.
     pub recovery: Option<RecoveryBlock>,
     /// The observability profile block, when present.
@@ -337,11 +374,15 @@ pub fn parse_baseline(json: &str) -> Baseline {
     }
     let mut out = Baseline::default();
     let mut in_large = false;
+    let mut in_large_100k = false;
     let mut saw_config = false;
     let mut series = Series::Quick;
     for line in json.lines() {
         if line.contains("\"config\":") {
             saw_config = true;
+            if let Some(seed) = num_field(line, "seed") {
+                out.seed = Some(seed as u64);
+            }
             if line.contains("\"deterministic\": true") {
                 out.deterministic = Some(true);
             } else if line.contains("\"deterministic\": false") {
@@ -351,9 +392,17 @@ pub fn parse_baseline(json: &str) -> Baseline {
         if line.contains("\"large\":") {
             in_large = true;
         }
+        if line.contains("\"large_100k\":") {
+            // The writer emits the sharded block after (and outside)
+            // `large`, so its header closes that block's cores scope.
+            in_large_100k = true;
+            in_large = false;
+            out.large_100k = Some(Sharded100kBlock::default());
+        }
         if line.contains("\"composition_defense\":") {
             series = Series::Defense;
             in_large = false;
+            in_large_100k = false;
         } else if line.contains("\"composition_large\":") {
             series = Series::Large;
         } else if line.contains("\"composition\":") {
@@ -361,6 +410,71 @@ pub fn parse_baseline(json: &str) -> Baseline {
             // emits it after `large`).
             series = Series::Quick;
             in_large = false;
+            in_large_100k = false;
+        }
+        // The sharded block's scalar header lines, shard accounting rows
+        // and digest line. Stage rows inside it fall through to the
+        // shared `"name"`/`"wall_ms"` branch below: the 100k stages live
+        // in the same timing namespace as every other stage.
+        if in_large_100k {
+            if let Some(big) = &mut out.large_100k {
+                if line.contains("\"digests\":") {
+                    let mut complete = true;
+                    for key in [
+                        "harvest_sharded",
+                        "harvest_unsharded",
+                        "mdav_sharded",
+                        "mdav_unsharded",
+                        "intersect_sharded",
+                        "intersect_unsharded",
+                    ] {
+                        match str_field(line, key) {
+                            Some(hex) => {
+                                big.digests.insert(key.to_owned(), hex.to_owned());
+                            }
+                            None => complete = false,
+                        }
+                    }
+                    if !complete {
+                        out.malformed_rows.push(line.trim().to_owned());
+                    }
+                    // The digest line is the block's final field.
+                    in_large_100k = false;
+                    continue;
+                }
+                if line.contains("\"shard\":") {
+                    match (
+                        num_field(line, "shard"),
+                        num_field(line, "rows"),
+                        num_field(line, "pages"),
+                    ) {
+                        (Some(shard), Some(rows), Some(pages)) => {
+                            big.shard_rows
+                                .push((shard as usize, rows as usize, pages as usize));
+                        }
+                        _ => out.malformed_rows.push(line.trim().to_owned()),
+                    }
+                    continue;
+                }
+                if !line.contains("\"name\":") {
+                    if let Some(v) = num_field(line, "size") {
+                        big.size = v as usize;
+                    }
+                    if let Some(v) = num_field(line, "shards") {
+                        big.shards = v as usize;
+                    }
+                    if let Some(v) = num_field(line, "sample_rows") {
+                        big.sample_rows = v as usize;
+                    }
+                    if let Some(v) = num_field(line, "peak_rss_mb") {
+                        if v.is_finite() {
+                            big.peak_rss_mb = v;
+                        } else {
+                            out.malformed_rows.push(line.trim().to_owned());
+                        }
+                    }
+                }
+            }
         }
         if matches!(series, Series::Defense) && line.contains("\"overlap\":") {
             if let Some(k) = num_field(line, "k") {
@@ -414,6 +528,9 @@ pub fn parse_baseline(json: &str) -> Baseline {
                     && cov.is_finite()
                     && gain.is_finite() =>
                 {
+                    // Pre-shard-loss baselines carry no shards_lost
+                    // field; every row they have lost zero shards.
+                    let shards = num_field(line, "shards_lost").unwrap_or(0.0);
                     out.robustness.push(RobustnessRow {
                         fault_rate: rate,
                         // Pre-targeted-corruption baselines carry no
@@ -422,11 +539,12 @@ pub fn parse_baseline(json: &str) -> Baseline {
                         harvest_precision: prec,
                         harvest_coverage: cov,
                         composition_gain: gain,
-                        defects: (pages + rows + cells + workers) as usize,
+                        defects: (pages + rows + cells + workers + shards) as usize,
                         pages_rejected: pages as usize,
                         rows_skipped: rows as usize,
                         fields_imputed: cells as usize,
                         workers_restarted: workers as usize,
+                        shards_lost: shards as usize,
                     });
                 }
                 _ => out.malformed_rows.push(line.trim().to_owned()),
@@ -916,6 +1034,101 @@ pub fn compare_baselines(committed_json: &str, fresh_json: &str) -> CompareRepor
             ));
         }
     }
+    // The sharded-scale gates: the `large_100k` block's claims are
+    // structural, not timed, so every one of them holds on fresh runs
+    // even against a committed baseline that predates the block — a
+    // pre-shard baseline must never make the shard gates vacuous. The
+    // sharded paths are pure functions of (seed, size), so when the
+    // committed block shares the fresh run's (seed, size, shards)
+    // triple, every equivalence digest is pinned exactly.
+    if committed.large_100k.is_some() && fresh.large_100k.is_none() {
+        report
+            .violations
+            .push("large_100k (sharded) block disappeared from the fresh baseline".into());
+    }
+    if let Some(big) = &fresh.large_100k {
+        for (sharded, unsharded, label) in [
+            ("harvest_sharded", "harvest_unsharded", "harvest"),
+            ("mdav_sharded", "mdav_unsharded", "hierarchical MDAV"),
+            ("intersect_sharded", "intersect_unsharded", "intersection"),
+        ] {
+            match (big.digests.get(sharded), big.digests.get(unsharded)) {
+                (Some(s), Some(u)) if s == u => {}
+                (Some(s), Some(u)) => report.violations.push(format!(
+                    "large_100k {label} diverged from its unsharded reference: sharded \
+                     digest {s} vs unsharded {u}"
+                )),
+                _ => report.violations.push(format!(
+                    "large_100k block carries no {label} digest pair — the \
+                     sharded-vs-unsharded equivalence gate cannot run"
+                )),
+            }
+        }
+        if big.shard_rows.len() != big.shards {
+            report.violations.push(format!(
+                "large_100k shard accounting lost a shard: {} row(s) for {} shard(s)",
+                big.shard_rows.len(),
+                big.shards
+            ));
+        } else if big
+            .shard_rows
+            .iter()
+            .enumerate()
+            .any(|(i, (shard, _, _))| *shard != i)
+        {
+            report.violations.push(format!(
+                "large_100k shard rows are not dense ascending: {:?}",
+                big.shard_rows
+            ));
+        }
+        let covered: usize = big.shard_rows.iter().map(|(_, rows, _)| rows).sum();
+        if covered != big.size {
+            report.violations.push(format!(
+                "large_100k shard rows cover {} of {} master rows — every row must \
+                 belong to exactly one shard",
+                covered, big.size
+            ));
+        }
+        if big.peak_rss_mb > MAX_100K_PEAK_RSS_MB {
+            report.violations.push(format!(
+                "large_100k peak rss reached {:.1} MiB at {} rows (must stay <= \
+                 {MAX_100K_PEAK_RSS_MB:.0} MiB — the sharded pipeline's memory must \
+                 not scale with the master width)",
+                big.peak_rss_mb, big.size
+            ));
+        }
+        match &committed.large_100k {
+            Some(base)
+                if base.size == big.size
+                    && base.shards == big.shards
+                    && committed.seed == fresh.seed =>
+            {
+                if base.digests != big.digests {
+                    report.violations.push(format!(
+                        "large_100k digests drifted at the same (seed, size {}, shards {}) \
+                         — the sharded pipeline is seeded and deterministic, so this is a \
+                         behavior change: committed {:?}, fresh {:?}",
+                        big.size, big.shards, base.digests, big.digests
+                    ));
+                }
+            }
+            Some(base) => report.notes.push(format!(
+                "large_100k config changed (committed size {} / {} shards, fresh size {} / \
+                 {} shards): cross-run digest pin skipped, in-run equivalence still gated",
+                base.size, base.shards, big.size, big.shards
+            )),
+            None => report.notes.push(format!(
+                "committed baseline predates the large_100k block: in-run shard gates \
+                 applied at size {} / {} shards; cross-run digest pin starts once the \
+                 baseline is regenerated",
+                big.size, big.shards
+            )),
+        }
+        report.notes.push(format!(
+            "large_100k: {} rows across {} shard(s), peak rss {:.1} MiB",
+            big.size, big.shards, big.peak_rss_mb
+        ));
+    }
     // The recovery gates: the ledger is the witness that the runner
     // absorbed every injected transient. Losing it, leaking a panic, or
     // drifting off the seeded retry trace are all regressions.
@@ -1033,6 +1246,10 @@ pub fn compare_baselines(committed_json: &str, fresh_json: &str) -> CompareRepor
                         (
                             "faults.workers_restarted",
                             fresh.robustness.iter().map(|r| r.workers_restarted).sum(),
+                        ),
+                        (
+                            "faults.shards_lost",
+                            fresh.robustness.iter().map(|r| r.shards_lost).sum(),
                         ),
                     ];
                     for (name, ledger) in ledgers {
@@ -2356,5 +2573,267 @@ mod tests {
             "\"retries_total\": 3, \"quarantined_total\": 2,",
         );
         assert_eq!(parse_baseline(&new).recovery.unwrap().quarantined_total, 2);
+    }
+
+    /// A synthetic baseline carrying a well-formed `large_100k` block in
+    /// the writer's format: `shards` equal shards covering `size` rows,
+    /// all three digest pairs agreeing, peak rss under the ceiling.
+    fn synthetic_sharded_sized_json(size: usize, shards: usize) -> String {
+        let mut out = synthetic_json(100.0, 5.0);
+        out.truncate(out.rfind("\n}").expect("closing brace"));
+        out.push_str(&format!(
+            ",\n  \"large_100k\": {{\n    \"size\": {size},\n    \"shards\": {shards},\n    \
+             \"cores\": 1,\n    \"sample_rows\": {size},\n    \"peak_rss_mb\": 512.0,\n"
+        ));
+        out.push_str(
+            "    \"stages\": [\n      \
+             { \"name\": \"harvest_sharded_100k\", \"wall_ms\": 100.000, \"rows\": 200, \"rows_per_sec\": 2000.0 }\n    \
+             ],\n    \"shard_rows\": [\n",
+        );
+        for shard in 0..shards {
+            out.push_str(&format!(
+                "      {{ \"shard\": {shard}, \"rows\": {}, \"pages\": {} }}{}\n",
+                size / shards,
+                90 - shard,
+                if shard + 1 < shards { "," } else { "" }
+            ));
+        }
+        out.push_str(
+            "    ],\n    \
+             \"digests\": { \"harvest_sharded\": \"00000000000000aa\", \"harvest_unsharded\": \"00000000000000aa\", \"mdav_sharded\": \"00000000000000bb\", \"mdav_unsharded\": \"00000000000000bb\", \"intersect_sharded\": \"00000000000000cc\", \"intersect_unsharded\": \"00000000000000cc\" }\n  \
+             }\n}\n",
+        );
+        out
+    }
+
+    /// The two-shard, 200-row default most gate tests mutate.
+    fn synthetic_sharded_json() -> String {
+        synthetic_sharded_sized_json(200, 2)
+    }
+
+    #[test]
+    fn sharded_block_parses_and_self_diff_passes() {
+        let json = synthetic_sharded_json();
+        let b = parse_baseline(&json);
+        let big = b.large_100k.as_ref().expect("block parsed");
+        assert_eq!((big.size, big.shards, big.sample_rows), (200, 2, 200));
+        assert_eq!(big.peak_rss_mb, 512.0);
+        assert_eq!(big.shard_rows, vec![(0, 100, 90), (1, 100, 89)]);
+        assert_eq!(big.digests.len(), 6);
+        assert_eq!(b.seed, Some(2015));
+        // The 100k stages share the common timing namespace.
+        assert!(b.stage_wall_ms.contains_key("harvest_sharded_100k"));
+        assert!(b.malformed_rows.is_empty(), "{:?}", b.malformed_rows);
+        let report = compare_baselines(&json, &json);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(
+            report.notes.iter().any(|n| n.contains("large_100k")),
+            "{:?}",
+            report.notes
+        );
+    }
+
+    #[test]
+    fn sharded_digest_mismatch_fails() {
+        let committed = synthetic_sharded_json();
+        let fresh = committed.replace(
+            "\"mdav_unsharded\": \"00000000000000bb\"",
+            "\"mdav_unsharded\": \"00000000000000be\"",
+        );
+        let report = compare_baselines(&committed, &fresh);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("hierarchical MDAV diverged")),
+            "{:?}",
+            report.violations
+        );
+        // The drifted pair also breaks the cross-run pin at the same
+        // (seed, size, shards).
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("digests drifted")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn vanished_shard_row_and_uncovered_rows_fail() {
+        let committed = synthetic_sharded_json();
+        // Drop the second shard's accounting row entirely.
+        let fresh = committed
+            .replace(
+                "{ \"shard\": 0, \"rows\": 100, \"pages\": 90 },\n",
+                "{ \"shard\": 0, \"rows\": 100, \"pages\": 90 }\n",
+            )
+            .replace("      { \"shard\": 1, \"rows\": 100, \"pages\": 89 }\n", "");
+        let report = compare_baselines(&committed, &fresh);
+        assert!(
+            report.violations.iter().any(|v| v.contains("lost a shard")),
+            "{:?}",
+            report.violations
+        );
+        // A present-but-short row count is a coverage violation.
+        let fresh = committed.replace(
+            "{ \"shard\": 1, \"rows\": 100, \"pages\": 89 }",
+            "{ \"shard\": 1, \"rows\": 60, \"pages\": 89 }",
+        );
+        let report = compare_baselines(&committed, &fresh);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("cover 160 of 200")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn sharded_rss_ceiling_gates_and_zero_skips() {
+        let committed = synthetic_sharded_json();
+        let breach = committed.replace(
+            "\"peak_rss_mb\": 512.0",
+            &format!("\"peak_rss_mb\": {:.1}", MAX_100K_PEAK_RSS_MB * 2.0),
+        );
+        let report = compare_baselines(&committed, &breach);
+        assert!(
+            report.violations.iter().any(|v| v.contains("peak rss")),
+            "{:?}",
+            report.violations
+        );
+        // A deterministic/unavailable 0.0 reading skips the ceiling.
+        let zeroed = committed.replace("\"peak_rss_mb\": 512.0", "\"peak_rss_mb\": 0.0");
+        let report = compare_baselines(&committed, &zeroed);
+        assert!(
+            !report.violations.iter().any(|v| v.contains("peak rss")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn pre_shard_committed_baseline_still_gates_the_fresh_block() {
+        // Committed predates the block: the in-run gates still fire.
+        let committed = synthetic_json(100.0, 5.0);
+        let fresh = synthetic_sharded_json();
+        let report = compare_baselines(&committed, &fresh);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(
+            report
+                .notes
+                .iter()
+                .any(|n| n.contains("predates the large_100k block")),
+            "{:?}",
+            report.notes
+        );
+        // ... and a broken fresh block fails against that same old
+        // baseline — no pre-shard vacuous pass.
+        let broken = fresh.replace(
+            "\"intersect_unsharded\": \"00000000000000cc\"",
+            "\"intersect_unsharded\": \"00000000000000cd\"",
+        );
+        let report = compare_baselines(&committed, &broken);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("intersection diverged")),
+            "{:?}",
+            report.violations
+        );
+        // A committed block that vanishes from the fresh run fails.
+        let report = compare_baselines(&fresh, &committed);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("large_100k (sharded) block disappeared")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn sharded_config_change_skips_the_cross_run_pin() {
+        // Same digests, different (size, shards): the in-run gates still
+        // hold and the cross-run pin steps aside with a note.
+        let committed = synthetic_sharded_json();
+        let fresh = synthetic_sharded_sized_json(400, 4);
+        let report = compare_baselines(&committed, &fresh);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(
+            report
+                .notes
+                .iter()
+                .any(|n| n.contains("cross-run digest pin skipped")),
+            "{:?}",
+            report.notes
+        );
+        // Non-dense shard indices are their own violation even when the
+        // count and coverage check out.
+        let swapped = committed
+            .replace("\"shard\": 1", "\"shard\": 9")
+            .replace("\"shard\": 0", "\"shard\": 1")
+            .replace("\"shard\": 9", "\"shard\": 0");
+        let report = compare_baselines(&committed, &swapped);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("not dense ascending")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn sharded_block_round_trips_from_the_writer() {
+        let json = quick_bench(
+            &WorldConfig {
+                size: 30,
+                ..WorldConfig::default()
+            },
+            2,
+            3,
+            1,
+            &QuickBenchOptions {
+                sharded_size: Some(80),
+                ..QuickBenchOptions::default()
+            },
+        )
+        .to_json();
+        let b = parse_baseline(&json);
+        let big = b.large_100k.as_ref().expect("block parsed");
+        assert_eq!((big.size, big.shards), (80, 1));
+        assert_eq!(big.shard_rows.len(), 1);
+        assert_eq!(big.digests.len(), 6);
+        assert!(b.stage_wall_ms.contains_key("equivalence_100k"));
+        assert!(b.malformed_rows.is_empty(), "{:?}", b.malformed_rows);
+        let report = compare_baselines(&json, &json);
+        assert!(
+            report.violations.iter().all(|v| !v.contains("large_100k")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn robustness_shards_lost_parses_and_defaults() {
+        // Old-format rows (no shards_lost) parse as zero lost shards.
+        let old = synthetic_robustness_json(&[(0.0, 0.95, 0.9, 8000.0, 0)]);
+        assert_eq!(parse_baseline(&old).robustness[0].shards_lost, 0);
+        // New-format rows fold the field into the defect total.
+        let new = old.replace(
+            "\"workers_restarted\": 0",
+            "\"workers_restarted\": 0, \"shards_lost\": 3",
+        );
+        let row = &parse_baseline(&new).robustness[0];
+        assert_eq!(row.shards_lost, 3);
+        assert_eq!(row.defects, 3);
     }
 }

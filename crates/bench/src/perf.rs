@@ -20,21 +20,22 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use fred_anon::{build_release, Anonymizer, Mdav, QiStyle, Release};
+use fred_anon::{build_release, Anonymizer, HierarchicalMdav, Mdav, Partition, QiStyle, Release};
 use fred_attack::{
     harvest_auxiliary, harvest_auxiliary_reference_sampled, harvest_auxiliary_sequential,
-    harvest_auxiliary_tolerant, harvest_precision, FusionSystem, FuzzyFusion, FuzzyFusionConfig,
-    Harvest, HarvestConfig, MidpointEstimator,
+    harvest_auxiliary_sharded, harvest_auxiliary_sharded_tolerant, harvest_precision, FusionSystem,
+    FuzzyFusion, FuzzyFusionConfig, Harvest, HarvestConfig, MidpointEstimator,
 };
 use fred_composition::{
-    compose_attack, compose_attack_tolerant, composition_sweep, defense_sweep, CompositionConfig,
-    CompositionOutcome, CompositionSweepConfig, DefensePolicy, ScenarioConfig,
+    compose_attack, compose_attack_tolerant, composition_sweep, defense_sweep, generate_scenario,
+    intersect_releases, intersect_releases_sharded, CompositionConfig, CompositionOutcome,
+    CompositionSweepConfig, DefensePolicy, ScenarioConfig, TargetIntersection,
 };
 use fred_core::{sweep, SweepConfig};
-use fred_data::Table;
+use fred_data::{ShardPlan, Table};
 use fred_faults::{FaultPlan, TargetedCorruption};
 use fred_recover::{RetryPolicy, StageRunner};
-use fred_web::{corrupt_pages, SearchEngine};
+use fred_web::{corrupt_pages, SearchEngine, ShardedSearchEngine};
 
 use crate::ckpt::{
     digest_bits, digest_harvest, digest_world, intern_stage_name, Digest, EstimatesArtifact,
@@ -59,8 +60,82 @@ const STREAM_CHUNK_ROWS: usize = 1024;
 /// subset but different seeds roam the whole release over time.
 pub const REFERENCE_SAMPLE_ROWS: usize = 512;
 
+/// Rows in the seeded subsample the `large_100k` equivalence pass pins
+/// its sharded-vs-unsharded MDAV and intersection digest pairs on. The
+/// unsharded references are superlinear (MDAV) or O(classes x rows)
+/// in memory (full-width intersection bitsets), so running them at the
+/// full 100k size would defeat the block's flat-memory claim; the
+/// sharded paths additionally run at full size under their own stages.
+pub const EQUIVALENCE_SAMPLE_ROWS: usize = 2048;
+
+/// Targets the full-size sharded intersection stage extracts candidates
+/// for (a seeded sample of the scenario core — per-target cost is flat,
+/// so a sample times the per-shard machinery without an O(core) tail).
+pub const INTERSECT_TARGET_SAMPLE: usize = 512;
+
+/// Shards the robustness sweep partitions its harvest into: small and
+/// fixed so the `shard_loss` fault class has coarse, countable victims
+/// at quick-world scale.
+pub const ROBUSTNESS_SHARDS: usize = 4;
+
+/// One shard's accounting row inside the `large_100k` block: its
+/// contiguous master-row range and the corpus pages its postings own.
+/// The compare gate checks exactly `shards` rows covering `size` rows
+/// and all pages — a vanished shard row is a lost shard, not a rounding
+/// artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardBenchRow {
+    /// Shard index (dense, ascending).
+    pub shard: usize,
+    /// Master rows in this shard's contiguous range.
+    pub rows: usize,
+    /// Corpus pages owned by this shard's postings.
+    pub pages: usize,
+}
+
+/// The sharded 100k block (`repro --quick --size 100000`): the
+/// shard-partitioned pipeline — hierarchical MDAV, per-shard harvest,
+/// per-shard streaming intersection — timed at full size with every
+/// sharded path digest-pinned against its unsharded reference, plus the
+/// peak resident set the flat-memory claim is gated on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Large100kBench {
+    /// World row count.
+    pub size: usize,
+    /// Shards the [`ShardPlan`] derived for this size.
+    pub shards: usize,
+    /// Worker threads available when this block's numbers were taken.
+    pub cores: usize,
+    /// Rows in the seeded equivalence subsample.
+    pub sample_rows: usize,
+    /// Peak resident set size of the process in MiB (`VmHWM`), `0.0` in
+    /// deterministic mode or where `/proc` is unavailable.
+    pub peak_rss_mb: f64,
+    /// Per-stage timings in pipeline order.
+    pub stages: Vec<StageTiming>,
+    /// Per-shard accounting, ascending in `shard`.
+    pub shard_rows: Vec<ShardBenchRow>,
+    /// Digest of the sharded harvest at full size.
+    pub harvest_digest_sharded: u64,
+    /// Digest of the unsharded parallel harvest at full size (gated
+    /// equal to the sharded one).
+    pub harvest_digest_unsharded: u64,
+    /// Digest of the optimized hierarchical MDAV partition over the
+    /// equivalence subsample.
+    pub mdav_digest_sharded: u64,
+    /// Digest of the reference hierarchical MDAV partition over the same
+    /// subsample and leaf split (gated equal).
+    pub mdav_digest_unsharded: u64,
+    /// Digest of the per-shard streaming intersection over the subsample
+    /// scenario.
+    pub intersect_digest_sharded: u64,
+    /// Digest of the full-width parallel intersection over the same
+    /// scenario (gated equal).
+    pub intersect_digest_unsharded: u64,
+}
+
 /// Wall-clock + throughput of one pipeline stage.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StageTiming {
     /// Stage identifier (stable across PRs; used as the JSON key).
     pub name: &'static str,
@@ -197,6 +272,9 @@ pub struct RobustnessBenchRow {
     pub fields_imputed: usize,
     /// Worker panics contained by the fault-tolerant pool entry point.
     pub workers_restarted: usize,
+    /// Harvest shards lost wholesale and degraded around (the surviving
+    /// shards still answer; coverage shrinks instead of failing).
+    pub shards_lost: usize,
 }
 
 /// The `--faults` add-on: the harvest + composition attack re-run under
@@ -328,6 +406,9 @@ pub struct QuickBench {
     pub speedup_batch_vs_naive: f64,
     /// The large-world stage, when enabled.
     pub large: Option<LargeBench>,
+    /// The sharded 100k block, when enabled (`repro --quick --size
+    /// 100000`).
+    pub large_100k: Option<Large100kBench>,
     /// The composition stage, when enabled (`repro --quick --compose`).
     pub composition: Option<CompositionBench>,
     /// The defense stage, when enabled (`repro --quick --compose
@@ -357,6 +438,10 @@ pub struct QuickBench {
 pub struct QuickBenchOptions {
     /// Re-time the hot stages on a world of this many rows.
     pub large_size: Option<usize>,
+    /// Run the shard-partitioned pipeline on a world of this many rows
+    /// (the `large_100k` block; `repro --quick --size N` routes here for
+    /// `N >= 20000`).
+    pub sharded_size: Option<usize>,
     /// Run the composition stage(s).
     pub compose: bool,
     /// Run the defense stage over these policies (requires `compose`).
@@ -453,6 +538,41 @@ impl QuickBench {
             }
             out.push_str("\n  }");
         }
+        if let Some(big) = &self.large_100k {
+            out.push_str(",\n  \"large_100k\": {\n");
+            out.push_str(&format!("    \"size\": {},\n", big.size));
+            out.push_str(&format!("    \"shards\": {},\n", big.shards));
+            out.push_str(&format!("    \"cores\": {},\n", big.cores));
+            out.push_str(&format!("    \"sample_rows\": {},\n", big.sample_rows));
+            out.push_str(&format!("    \"peak_rss_mb\": {:.1},\n", big.peak_rss_mb));
+            out.push_str("    \"stages\": [\n");
+            out.push_str(&render_stages(&big.stages, "      "));
+            out.push_str("    ],\n    \"shard_rows\": [\n");
+            for (i, row) in big.shard_rows.iter().enumerate() {
+                out.push_str(&format!(
+                    "      {{ \"shard\": {}, \"rows\": {}, \"pages\": {} }}{}\n",
+                    row.shard,
+                    row.rows,
+                    row.pages,
+                    if i + 1 < big.shard_rows.len() {
+                        ","
+                    } else {
+                        ""
+                    }
+                ));
+            }
+            out.push_str("    ],\n");
+            out.push_str(&format!(
+                "    \"digests\": {{ \"harvest_sharded\": \"{:016x}\", \"harvest_unsharded\": \"{:016x}\", \"mdav_sharded\": \"{:016x}\", \"mdav_unsharded\": \"{:016x}\", \"intersect_sharded\": \"{:016x}\", \"intersect_unsharded\": \"{:016x}\" }}\n",
+                big.harvest_digest_sharded,
+                big.harvest_digest_unsharded,
+                big.mdav_digest_sharded,
+                big.mdav_digest_unsharded,
+                big.intersect_digest_sharded,
+                big.intersect_digest_unsharded
+            ));
+            out.push_str("  }");
+        }
         if let Some(comp) = &self.composition {
             out.push_str(",\n");
             out.push_str(&render_composition(comp, "composition", "  "));
@@ -487,7 +607,7 @@ impl QuickBench {
             out.push_str("    \"rows\": [\n");
             for (i, row) in rob.rows.iter().enumerate() {
                 out.push_str(&format!(
-                    "      {{ \"fault_rate\": {:.3}, \"mode\": \"{}\", \"harvest_precision\": {:.4}, \"harvest_coverage\": {:.4}, \"composition_gain\": {:.1}, \"pages_rejected\": {}, \"rows_skipped\": {}, \"fields_imputed\": {}, \"workers_restarted\": {} }}{}\n",
+                    "      {{ \"fault_rate\": {:.3}, \"mode\": \"{}\", \"harvest_precision\": {:.4}, \"harvest_coverage\": {:.4}, \"composition_gain\": {:.1}, \"pages_rejected\": {}, \"rows_skipped\": {}, \"fields_imputed\": {}, \"workers_restarted\": {}, \"shards_lost\": {} }}{}\n",
                     row.fault_rate,
                     row.mode,
                     row.harvest_precision,
@@ -497,6 +617,7 @@ impl QuickBench {
                     row.rows_skipped,
                     row.fields_imputed,
                     row.workers_restarted,
+                    row.shards_lost,
                     if i + 1 < rob.rows.len() { "," } else { "" }
                 ));
             }
@@ -611,6 +732,33 @@ impl QuickBench {
                 render_composition(&mut out, comp, "composition (large world)");
             }
         }
+        if let Some(big) = &self.large_100k {
+            out.push_str(&format!(
+                "  sharded world — {} records across {} shard{} ({} core{}), peak rss {:.1} MiB:\n",
+                big.size,
+                big.shards,
+                if big.shards == 1 { "" } else { "s" },
+                big.cores,
+                if big.cores == 1 { "" } else { "s" },
+                big.peak_rss_mb
+            ));
+            for s in &big.stages {
+                out.push_str(&format!(
+                    "  {:<26} {:>10.2} {:>9} {:>11.0}\n",
+                    s.name,
+                    s.wall_ms,
+                    s.rows,
+                    s.rows_per_sec()
+                ));
+            }
+            out.push_str(&format!(
+                "  sharded paths digest-pinned to unsharded references (sample {} rows): harvest {}, mdav {}, intersect {}\n",
+                big.sample_rows,
+                if big.harvest_digest_sharded == big.harvest_digest_unsharded { "ok" } else { "MISMATCH" },
+                if big.mdav_digest_sharded == big.mdav_digest_unsharded { "ok" } else { "MISMATCH" },
+                if big.intersect_digest_sharded == big.intersect_digest_unsharded { "ok" } else { "MISMATCH" },
+            ));
+        }
         if let Some(comp) = &self.composition {
             render_composition(&mut out, comp, "composition");
         }
@@ -645,7 +793,11 @@ impl QuickBench {
                     row.harvest_precision,
                     row.harvest_coverage,
                     row.composition_gain,
-                    row.pages_rejected + row.rows_skipped + row.fields_imputed + row.workers_restarted
+                    row.pages_rejected
+                        + row.rows_skipped
+                        + row.fields_imputed
+                        + row.workers_restarted
+                        + row.shards_lost
                 ));
             }
         }
@@ -1000,8 +1152,9 @@ pub fn quick_bench(
         bench
     });
 
-    // Stage 10 (optional, last — by far the most expensive, so a killed
-    // run resumes past everything else): the large-world block.
+    // Stage 10 (optional — by far the most expensive of the core
+    // pipeline, so a killed run resumes past everything else): the
+    // large-world block.
     let large = options.large_size.map(|size| {
         spanned(rstage::LARGE, || {
             runner.run(rstage::LARGE, || {
@@ -1014,6 +1167,24 @@ pub fn quick_bench(
                     if let Some(comp) = &mut bench.composition {
                         comp.wall_ms = 0.0;
                     }
+                }
+                bench
+            })
+        })
+    });
+
+    // Stage 11 (optional, last): the shard-partitioned pipeline at
+    // `--size` scale, every sharded path digest-pinned in-process
+    // against its unsharded reference.
+    let large_100k = options.sharded_size.map(|size| {
+        spanned(rstage::LARGE_100K, || {
+            runner.run(rstage::LARGE_100K, || {
+                let mut bench = large_100k_bench(config, size);
+                if det {
+                    for stage in &mut bench.stages {
+                        stage.wall_ms = 0.0;
+                    }
+                    bench.peak_rss_mb = 0.0;
                 }
                 bench
             })
@@ -1077,6 +1248,7 @@ pub fn quick_bench(
         stages,
         speedup_batch_vs_naive: estimates.speedup,
         large,
+        large_100k,
         composition,
         composition_defense,
         robustness,
@@ -1179,6 +1351,7 @@ fn config_fingerprint(
         }
     }
     d.u64(options.large_size.map_or(u64::MAX, |s| s as u64));
+    d.u64(options.sharded_size.map_or(u64::MAX, |s| s as u64));
     d.u64(options.exhaustive as u64);
     d.u64(options.faults.map_or(u64::MAX, |r| r.to_bits()));
     d.finish()
@@ -1209,6 +1382,10 @@ struct RobustnessCtx<'a> {
     ids: &'a [usize],
     harvest_config: &'a HarvestConfig,
     compose_config: &'a CompositionConfig,
+    /// Harvest shard layout: each cell rebuilds its corrupted engine,
+    /// then partitions it under this fixed plan so the `shard_loss`
+    /// fault class has stable victims across rates.
+    shard_plan: ShardPlan,
 }
 
 /// Runs the fault-injection sweep: the corpus, harvest and composition
@@ -1253,6 +1430,7 @@ fn robustness_bench(config: &WorldConfig, world: &World, rate: f64) -> Robustnes
         ids: &ids,
         harvest_config: &harvest_config,
         compose_config: &compose_config,
+        shard_plan: ShardPlan::new(ROBUSTNESS_SHARDS, config.seed),
     };
 
     let (rows, wall) = time_ms(|| {
@@ -1301,8 +1479,9 @@ fn robustness_row(
 ) -> (RobustnessBenchRow, CompositionOutcome) {
     let (pages, page_deg) = corrupt_pages(ctx.world.web.pages().to_vec(), plan);
     let engine = SearchEngine::build(pages);
+    let sharded = ShardedSearchEngine::build(&engine, ctx.shard_plan);
     let (harvest, harvest_deg) = rayon::silence_panics(|| {
-        harvest_auxiliary_tolerant(ctx.release, &engine, ctx.harvest_config, plan)
+        harvest_auxiliary_sharded_tolerant(ctx.release, &sharded, ctx.harvest_config, plan)
     })
     .expect("tolerant harvest never fails on injected faults");
     let precision = harvest_precision(&harvest, &engine, ctx.ids)
@@ -1354,6 +1533,7 @@ fn robustness_row(
         rows_skipped: deg.rows_skipped,
         fields_imputed: deg.fields_imputed,
         workers_restarted: deg.workers_restarted,
+        shards_lost: deg.shards_lost,
     };
     assert!(
         row.harvest_precision.is_finite()
@@ -1688,6 +1868,261 @@ fn large_bench(config: &WorldConfig, size: usize, compose: bool, exhaustive: boo
     }
 }
 
+/// Peak resident set size of this process in MiB, read from
+/// `/proc/self/status` (`VmHWM`). `0.0` where `/proc` is unavailable —
+/// the compare gate treats a zero ceiling measurement as "not taken"
+/// rather than as a regression.
+fn peak_rss_mb() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            return kb / 1024.0;
+        }
+    }
+    0.0
+}
+
+/// Content digest of a partition's per-row class assignment.
+fn digest_partition(partition: &Partition) -> u64 {
+    let mut d = Digest::new();
+    for class in partition.class_of_rows() {
+        d.u64(class as u64);
+    }
+    d.finish()
+}
+
+/// Content digest of an intersection result: candidates, feasible boxes
+/// and centroid hints, folded through each target's canonical `Debug`
+/// form (floats render shortest-round-trip, so equal digests mean
+/// bit-equal results).
+fn digest_intersections(targets: &[TargetIntersection]) -> u64 {
+    let mut d = Digest::new();
+    for t in targets {
+        d.str(&format!("{t:?}"));
+    }
+    d.finish()
+}
+
+/// Seeded index sample without replacement (SplitMix64-driven partial
+/// Fisher-Yates), returned ascending.
+fn sample_indices(n: usize, take: usize, seed: u64) -> Vec<usize> {
+    let take = take.min(n);
+    let mut rows: Vec<usize> = (0..n).collect();
+    let mut state = seed;
+    for i in 0..take {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let j = i + (z as usize) % (n - i);
+        rows.swap(i, j);
+    }
+    rows.truncate(take);
+    rows.sort_unstable();
+    rows
+}
+
+/// XOR salts decorrelating the block's two seeded samples from each
+/// other and from every other seeded stream in the pipeline.
+const EQUIVALENCE_SAMPLE_SALT: u64 = 0x5A3D;
+const INTERSECT_TARGET_SALT: u64 = 0x7A46;
+
+/// Times the shard-partitioned pipeline at `--size` scale — the
+/// `large_100k` block. The hot paths are re-expressed shard-by-shard so
+/// peak memory stays flat in the row count: the harvest queries
+/// per-shard postings, MDAV recurses into bounded leaves, and the
+/// intersection engine rebuilds its candidate bitsets per contiguous
+/// row range instead of at full master width. Every sharded path is
+/// pinned against its unsharded reference in-process: the harvest pair
+/// at full size (both paths are near-linear), the MDAV and intersection
+/// pairs on a seeded [`EQUIVALENCE_SAMPLE_ROWS`] subsample — their
+/// references are superlinear in time (per-class farthest scans over
+/// one flat pool) or memory (full-width per-class bitsets), so running
+/// them at 100k would defeat the very claim this block gates.
+fn large_100k_bench(config: &WorldConfig, size: usize) -> Large100kBench {
+    let mut stages = Vec::new();
+    let world_config = WorldConfig {
+        size,
+        ..config.clone()
+    };
+    let (world, wall) = time_ms(|| faculty_world(&world_config));
+    let n = world.table.len();
+    stages.push(StageTiming {
+        name: sn::WORLD_BUILD_100K,
+        wall_ms: wall,
+        rows: n,
+    });
+
+    let plan = ShardPlan::for_size(n, config.seed);
+    let stage_k = STAGE_K.min(n);
+    let hier = HierarchicalMdav::new(plan);
+
+    let (partition, wall) = time_ms(|| {
+        hier.partition(&world.table, stage_k)
+            .expect("sharded world partitions cleanly")
+    });
+    stages.push(StageTiming {
+        name: sn::MDAV_HIER_100K,
+        wall_ms: wall,
+        rows: n,
+    });
+
+    let release = build_release(&world.table, &partition, stage_k, QiStyle::Range)
+        .expect("release builds from a valid partition");
+    let harvest_config = HarvestConfig::default();
+    let sharded_engine = ShardedSearchEngine::build(&world.web, plan);
+    let shard_rows: Vec<ShardBenchRow> = plan
+        .row_ranges(n)
+        .into_iter()
+        .enumerate()
+        .map(|(shard, range)| ShardBenchRow {
+            shard,
+            rows: range.len(),
+            pages: sharded_engine.pages_in_shard(shard),
+        })
+        .collect();
+
+    let (harvest_sharded, wall) = time_ms(|| {
+        harvest_auxiliary_sharded(&release.table, &sharded_engine, &harvest_config)
+            .expect("harvest over a generated corpus cannot fail")
+    });
+    stages.push(StageTiming {
+        name: sn::HARVEST_SHARDED_100K,
+        wall_ms: wall,
+        rows: n,
+    });
+    let (harvest_unsharded, wall) = time_ms(|| {
+        harvest_auxiliary(&release.table, &world.web, &harvest_config)
+            .expect("harvest over a generated corpus cannot fail")
+    });
+    stages.push(StageTiming {
+        name: sn::HARVEST_UNSHARDED_100K,
+        wall_ms: wall,
+        rows: n,
+    });
+    assert_eq!(
+        harvest_sharded, harvest_unsharded,
+        "sharded harvest must be bit-identical to the unsharded parallel path"
+    );
+
+    // The per-shard streaming intersection over a full-size scenario
+    // (per-source hierarchical MDAV keeps the scenario build per-leaf
+    // too). Per-target cost is flat, so a seeded target sample times the
+    // per-shard machinery without an O(core) tail.
+    let scenario_config = ScenarioConfig {
+        releases: 2,
+        k: stage_k,
+        seed: config.seed,
+        ..ScenarioConfig::default()
+    };
+    let scenario = generate_scenario(&world.table, &hier, &scenario_config)
+        .expect("sharded world holds a k-anonymizable core");
+    let target_idx = sample_indices(
+        scenario.targets.len(),
+        INTERSECT_TARGET_SAMPLE,
+        config.seed ^ INTERSECT_TARGET_SALT,
+    );
+    let targets: Vec<usize> = target_idx.iter().map(|&i| scenario.targets[i]).collect();
+    let (intersections, wall) = time_ms(|| {
+        intersect_releases_sharded(&scenario.sources, &targets, n, STREAM_CHUNK_ROWS, &plan)
+            .expect("intersection over a generated scenario cannot fail")
+    });
+    assert_eq!(intersections.len(), targets.len());
+    stages.push(StageTiming {
+        name: sn::INTERSECT_SHARDED_100K,
+        wall_ms: wall,
+        rows: targets.len(),
+    });
+
+    // The equivalence pass: sharded-vs-unsharded digest pairs on a
+    // seeded subsample, asserted equal in-process and re-gated against
+    // the committed baseline by `compare.rs`.
+    let sample = sample_indices(
+        n,
+        EQUIVALENCE_SAMPLE_ROWS,
+        config.seed ^ EQUIVALENCE_SAMPLE_SALT,
+    );
+    let sub_table = Table::with_rows(
+        world.table.schema().clone(),
+        sample
+            .iter()
+            .map(|&r| world.table.rows()[r].clone())
+            .collect(),
+    )
+    .expect("subsampled rows satisfy the schema they came from");
+    let (digests, wall) = time_ms(|| {
+        let mdav = Mdav::new();
+        let optimized = mdav
+            .partition_hierarchical(&sub_table, stage_k, &plan)
+            .expect("subsample partitions cleanly");
+        let reference = mdav
+            .partition_hierarchical_reference(&sub_table, stage_k, &plan)
+            .expect("subsample partitions cleanly");
+        let sub_scenario = generate_scenario(&sub_table, &hier, &scenario_config)
+            .expect("subsample holds a k-anonymizable core");
+        let sharded = intersect_releases_sharded(
+            &sub_scenario.sources,
+            &sub_scenario.targets,
+            sub_table.len(),
+            STREAM_CHUNK_ROWS,
+            &plan,
+        )
+        .expect("intersection over a generated scenario cannot fail");
+        let full = intersect_releases(
+            &sub_scenario.sources,
+            &sub_scenario.targets,
+            sub_table.len(),
+            STREAM_CHUNK_ROWS,
+        )
+        .expect("intersection over a generated scenario cannot fail");
+        assert_eq!(
+            sharded, full,
+            "sharded intersection must be bit-identical to the full-width engine"
+        );
+        (
+            digest_partition(&optimized),
+            digest_partition(&reference),
+            digest_intersections(&sharded),
+            digest_intersections(&full),
+        )
+    });
+    let (mdav_opt, mdav_ref, int_sharded, int_full) = digests;
+    assert_eq!(
+        mdav_opt, mdav_ref,
+        "hierarchical MDAV must match its per-leaf reference on the subsample"
+    );
+    stages.push(StageTiming {
+        name: sn::EQUIVALENCE_100K,
+        wall_ms: wall,
+        rows: sub_table.len(),
+    });
+
+    Large100kBench {
+        size: n,
+        shards: plan.shards(),
+        cores: rayon::current_num_threads(),
+        sample_rows: sub_table.len(),
+        peak_rss_mb: peak_rss_mb(),
+        stages,
+        shard_rows,
+        harvest_digest_sharded: digest_harvest(&harvest_sharded),
+        harvest_digest_unsharded: digest_harvest(&harvest_unsharded),
+        mdav_digest_sharded: mdav_opt,
+        mdav_digest_unsharded: mdav_ref,
+        intersect_digest_sharded: int_sharded,
+        intersect_digest_unsharded: int_full,
+    }
+}
+
 fn run_naive(
     fusion: &FuzzyFusion,
     releases: &[Release],
@@ -1988,14 +2423,23 @@ mod tests {
         // in-process bit-identity asserts ran, and no defects survived.
         let zero = &rob.rows[0];
         assert_eq!(
-            zero.pages_rejected + zero.rows_skipped + zero.fields_imputed + zero.workers_restarted,
+            zero.pages_rejected
+                + zero.rows_skipped
+                + zero.fields_imputed
+                + zero.workers_restarted
+                + zero.shards_lost,
             0,
             "{zero:?}"
         );
         // The top uniform rate actually registered damage somewhere.
         let top = &rob.rows[2];
         assert!(
-            top.pages_rejected + top.rows_skipped + top.fields_imputed + top.workers_restarted > 0,
+            top.pages_rejected
+                + top.rows_skipped
+                + top.fields_imputed
+                + top.workers_restarted
+                + top.shards_lost
+                > 0,
             "10% corruption left no trace: {top:?}"
         );
         // The targeted plan hits exactly its victims: release rows
@@ -2022,6 +2466,7 @@ mod tests {
         assert!(json.contains("\"fault_rate\""));
         assert!(json.contains("\"mode\": \"targeted\""));
         assert!(json.contains("\"composition_gain\""));
+        assert!(json.contains("\"shards_lost\""));
         assert!(json.contains("\"recovery\""));
         assert!(json.contains("\"transient_rate\""));
         assert!(json.trim_end().ends_with('}'));
@@ -2047,6 +2492,71 @@ mod tests {
             .expect("robustness requested");
         assert_eq!(rob.rows.len(), 1);
         assert_eq!(rob.rows[0].fault_rate, 0.0);
+    }
+
+    #[test]
+    fn quick_bench_sharded_stage_runs_and_serializes() {
+        // A "100k" world of 80 rows keeps the test fast while driving the
+        // exact code path `--size 100000` exercises; below the per-shard
+        // floor the plan degenerates to one shard, so every sharded path
+        // runs against its reference over identical row ranges.
+        let bench = quick_bench(
+            &WorldConfig {
+                size: 30,
+                ..WorldConfig::default()
+            },
+            2,
+            3,
+            1,
+            &QuickBenchOptions {
+                sharded_size: Some(80),
+                ..QuickBenchOptions::default()
+            },
+        );
+        let sharded = bench.large_100k.as_ref().expect("sharded stage requested");
+        assert_eq!(sharded.size, 80);
+        assert_eq!(sharded.shards, 1, "80 rows sit below the 12.5k shard floor");
+        assert!(sharded.cores >= 1);
+        let names: Vec<&str> = sharded.stages.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "world_build_100k",
+                "mdav_hier_100k",
+                "harvest_sharded_100k",
+                "harvest_unsharded_100k",
+                "intersect_sharded_100k",
+                "equivalence_100k",
+            ]
+        );
+        // One accounting row per shard, jointly covering every row.
+        assert_eq!(sharded.shard_rows.len(), sharded.shards);
+        assert_eq!(
+            sharded.shard_rows.iter().map(|r| r.rows).sum::<usize>(),
+            sharded.size
+        );
+        // The in-process equivalence asserts passed, and the recorded
+        // digest pairs agree — the same predicate compare.rs re-gates.
+        assert_eq!(
+            sharded.harvest_digest_sharded,
+            sharded.harvest_digest_unsharded
+        );
+        assert_eq!(sharded.mdav_digest_sharded, sharded.mdav_digest_unsharded);
+        assert_eq!(
+            sharded.intersect_digest_sharded,
+            sharded.intersect_digest_unsharded
+        );
+        assert_eq!(sharded.sample_rows, 80.min(EQUIVALENCE_SAMPLE_ROWS));
+        let json = bench.to_json();
+        assert!(json.contains("\"large_100k\""));
+        assert!(json.contains("\"mdav_hier_100k\""));
+        assert!(json.contains("\"intersect_sharded_100k\""));
+        assert!(json.contains("\"shard_rows\""));
+        assert!(json.contains("\"harvest_sharded\""));
+        assert!(json.trim_end().ends_with('}'));
+        let ascii = bench.to_ascii();
+        assert!(ascii.contains("sharded world"));
+        assert!(ascii.contains("digest-pinned"));
     }
 
     #[test]

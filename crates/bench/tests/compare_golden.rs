@@ -29,6 +29,11 @@ fn clean_fixture_parses_every_documented_block() {
         "world_build_large",
         "harvest_sequential_large",
         "composition_large",
+        "world_build_100k",
+        "mdav_hier_100k",
+        "harvest_sharded_100k",
+        "intersect_sharded_100k",
+        "equivalence_100k",
     ] {
         assert!(
             b.stage_wall_ms.contains_key(stage),
@@ -76,9 +81,32 @@ fn clean_fixture_parses_every_documented_block() {
     assert_eq!(b.robustness[0].harvest_precision, 1.0);
     assert_eq!(b.robustness[0].composition_gain, 8377.8);
     assert_eq!(b.robustness[0].defects, 0);
-    assert_eq!(b.robustness[1].defects, 14 + 5 + 9 + 6);
+    assert_eq!(b.robustness[1].defects, 14 + 5 + 9 + 6 + 2);
+    assert_eq!(b.robustness[1].shards_lost, 2);
     assert_eq!(b.robustness[2].fault_rate, 0.1);
-    assert_eq!(b.robustness[2].defects, 31 + 11 + 17 + 13);
+    assert_eq!(b.robustness[2].defects, 31 + 11 + 17 + 13 + 4);
+    assert_eq!(b.robustness[2].shards_lost, 4);
+    // The sharded-scale block: shard accounting dense and covering, the
+    // three digest pairs agreeing, and the peak-rss witness.
+    let big = b
+        .large_100k
+        .as_ref()
+        .expect("clean fixture carries the sharded block");
+    assert_eq!(big.size, 100_000);
+    assert_eq!(big.shards, 8);
+    assert_eq!(big.sample_rows, 2048);
+    assert_eq!(big.peak_rss_mb, 612.4);
+    assert_eq!(big.shard_rows.len(), 8);
+    assert_eq!(big.shard_rows.iter().map(|r| r.1).sum::<usize>(), 100_000);
+    assert_eq!(big.digests.len(), 6);
+    assert_eq!(
+        big.digests.get("harvest_sharded"),
+        big.digests.get("harvest_unsharded")
+    );
+    assert_eq!(
+        big.digests.get("intersect_sharded"),
+        Some(&"e6b20a9f7d1c5438".to_owned())
+    );
     // The profile block: header, overhead, one self-time row per runner
     // stage, and the counter rows the reconciliation gate reads.
     let prof = b.profile.as_ref().expect("clean fixture carries a profile");
@@ -91,6 +119,7 @@ fn clean_fixture_parses_every_documented_block() {
     assert!(prof.stages.iter().any(|s| s.stage == "mdav"));
     assert_eq!(prof.counters.get("faults.pages_rejected"), Some(&45));
     assert_eq!(prof.counters.get("faults.workers_restarted"), Some(&19));
+    assert_eq!(prof.counters.get("faults.shards_lost"), Some(&6));
     assert!(b.malformed_rows.is_empty(), "{:?}", b.malformed_rows);
 }
 
@@ -107,6 +136,7 @@ fn clean_self_diff_stays_silent_and_notes_every_series() {
         "defense `calibrated_widen_k5`",
         "robustness: precision",
         "profile: 10 spans",
+        "large_100k: 100000 rows across 8 shard(s)",
     ] {
         assert!(
             report.notes.iter().any(|n| n.contains(expected)),
@@ -130,20 +160,52 @@ fn poisoned_fresh_run_fires_exactly_the_documented_gates() {
     // two — the dirty zero row and the collapsed 10% row — stay in.
     assert_eq!(b.robustness.len(), 2);
     assert_eq!(b.robustness[0].defects, 2);
+    // Pre-shard-loss rows parse with zero lost shards, so the counter
+    // reconciliation stays silent on the absent `faults.shards_lost`.
+    assert!(b.robustness.iter().all(|r| r.shards_lost == 0));
+    // The poisoned sharded block parses structurally — its defects are
+    // semantic (a vanished shard row, a blown memory ceiling), caught by
+    // the gates below, not by the parser.
+    let big = b
+        .large_100k
+        .as_ref()
+        .expect("poisoned sharded block parses");
+    assert_eq!((big.shards, big.shard_rows.len()), (2, 1));
 
     let report = compare_baselines(CLEAN, POISONED);
-    // Exactly eleven findings: the two timed stages that vanished, the
+    // Exactly thirteen findings: the two timed stages that vanished, the
     // defense series that vanished, the zero-fault robustness row that
     // survived defects AND drifted from the pin, the 10% row breaking
     // both the precision slack and the gain floor, the two NaN rows, the
-    // profile stage row that vanished, and the obs counter that
-    // disagrees with the parsed robustness ledger. The NaN-adjacent
-    // composition series itself (rows 1 and 3 still parse, still
-    // increasing) must NOT additionally trip the monotonicity gate, and
-    // the NaN robustness row must not be held to the envelope it failed
-    // to parse into — nor feed the counter reconciliation, which sums
-    // the *parsed* rows only.
-    assert_eq!(report.violations.len(), 11, "{:?}", report.violations);
+    // profile stage row that vanished, the obs counter that disagrees
+    // with the parsed robustness ledger, and the sharded block's two
+    // structural defects: one shard-accounting row for two shards, and a
+    // peak rss over the ceiling. The NaN-adjacent composition series
+    // itself (rows 1 and 3 still parse, still increasing) must NOT
+    // additionally trip the monotonicity gate, and the NaN robustness
+    // row must not be held to the envelope it failed to parse into —
+    // nor feed the counter reconciliation, which sums the *parsed* rows
+    // only. The single shard row covers all 200 master rows, so the
+    // coverage gate stays silent, and the (size, shards) pair differs
+    // from the committed block, so the cross-run digest pin is skipped
+    // (a note), not fired.
+    assert_eq!(report.violations.len(), 13, "{:?}", report.violations);
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.contains("large_100k shard accounting lost a shard: 1 row(s) for 2 shard(s)")));
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.contains("large_100k peak rss reached 4096.0 MiB")));
+    assert!(!report
+        .violations
+        .iter()
+        .any(|v| v.contains("master rows") || v.contains("digests drifted")));
+    assert!(report
+        .notes
+        .iter()
+        .any(|n| n.contains("large_100k config changed")));
     assert!(report
         .violations
         .iter()
@@ -232,4 +294,13 @@ fn poisoned_committed_baseline_refuses_to_gate() {
         .violations
         .iter()
         .any(|v| v.contains("composition_defense")));
+    // The clean fresh sharded block passes every in-run gate; the
+    // committed block's own poisons never gate (in-run gates read the
+    // fresh side only), and its different (size, shards) downgrades the
+    // cross-run digest pin to a note.
+    assert!(!report.violations.iter().any(|v| v.contains("large_100k")));
+    assert!(report
+        .notes
+        .iter()
+        .any(|n| n.contains("large_100k config changed")));
 }

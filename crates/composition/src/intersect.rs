@@ -22,9 +22,15 @@
 //! per-worker bitset scratch — pinned bit-identical by property test.
 
 use fred_anon::Release;
-use fred_data::{Interval, Value};
+use fred_data::{Interval, ShardPlan, Value};
 use fred_faults::{key2, key3, salt, Degradation, FaultPlan, InputDefect};
 use rayon::prelude::*;
+use std::time::Instant;
+
+/// Per-shard sub-span emitted inside the sharded intersection loop.
+const INTERSECT_SHARD_SPAN: &str = "intersect.shard";
+/// Per-shard latency histogram fed by the sharded intersection loop.
+const INTERSECT_SHARD_MS: &str = "intersect.shard_ms";
 
 use crate::error::{CompositionError, Result};
 use crate::scenario::Source;
@@ -84,17 +90,18 @@ pub(crate) fn master_class_bits(source: &Source, n_master: usize) -> (Vec<u32>, 
     (class_of_master, class_bits)
 }
 
-fn digest_source(
+/// Streams one source's release and collects each class's published
+/// constraint vector (the first row of a class carries the whole class's
+/// summary). The memory-heavy candidate bitsets are *not* built here, so
+/// the sharded engine can reuse this pass while keeping per-shard bitset
+/// peaks.
+fn class_constraints(
     source: &Source,
-    n_master: usize,
     qi_cols: &[usize],
     chunk_rows: usize,
-) -> Result<SourceDigest> {
+) -> Result<Vec<Vec<CellCon>>> {
     let class_of_local = source.partition.class_of_rows();
     let n_classes = source.partition.len();
-    let (class_of_master, class_bits) = master_class_bits(source, n_master);
-    // Stream the release chunk by chunk; the first row of each class
-    // carries the whole class's published summary.
     let mut class_cons: Vec<Vec<CellCon>> = vec![Vec::new(); n_classes];
     let mut filled = vec![false; n_classes];
     let mut lo = 0usize;
@@ -112,6 +119,17 @@ fn digest_source(
         }
         lo += chunk.len();
     }
+    Ok(class_cons)
+}
+
+fn digest_source(
+    source: &Source,
+    n_master: usize,
+    qi_cols: &[usize],
+    chunk_rows: usize,
+) -> Result<SourceDigest> {
+    let (class_of_master, class_bits) = master_class_bits(source, n_master);
+    let class_cons = class_constraints(source, qi_cols, chunk_rows)?;
     Ok(SourceDigest {
         class_of_master,
         class_bits,
@@ -340,7 +358,24 @@ fn fold_source(
             *w &= src;
         }
     }
-    for (qi, con) in digest.class_cons[class].iter().enumerate() {
+    fold_cons(
+        &digest.class_cons[class],
+        feasible,
+        centroid_sum,
+        centroid_n,
+    );
+}
+
+/// The constraint half of [`fold_source`], shared with the sharded
+/// engine so the box-narrowing float sequence is identical by
+/// construction in every path.
+fn fold_cons(
+    cons: &[CellCon],
+    feasible: &mut [Option<Interval>],
+    centroid_sum: &mut [f64],
+    centroid_n: &mut [usize],
+) {
+    for (qi, con) in cons.iter().enumerate() {
         match *con {
             CellCon::Bound(iv) => {
                 feasible[qi] = Some(match feasible[qi] {
@@ -441,6 +476,152 @@ pub fn intersect_releases(
             || vec![0u64; words],
             |bits, target| intersect_target(target, &digests, qi_len, bits),
         )
+        .collect())
+}
+
+/// One source's class map alone (`u32::MAX` for absent master rows) —
+/// the cheap O(n) half of [`master_class_bits`], without the full-width
+/// candidate bitsets the sharded engine exists to avoid.
+fn class_of_master_only(source: &Source, n_master: usize) -> Vec<u32> {
+    let class_of_local = source.partition.class_of_rows();
+    let mut class_of_master = vec![u32::MAX; n_master];
+    for (local, &g) in source.global_rows.iter().enumerate() {
+        class_of_master[g] = class_of_local[local] as u32;
+    }
+    class_of_master
+}
+
+/// The shard-streamed intersection engine: candidate bitsets are built
+/// and intersected one master-row range at a time, so the peak bitset
+/// footprint is `classes × range_words` per source instead of
+/// `classes × n/64` — the term that dominates memory at 100k rows. Per
+/// shard, every source's range-restricted class bitsets are rebuilt from
+/// the partition map, every target's classes are ANDed over that range,
+/// and the in-range candidates are appended; ranges are contiguous and
+/// ascending ([`ShardPlan::row_ranges`]), so the concatenation is the
+/// same ascending candidate list the full-width engine extracts.
+/// Feasible boxes and centroid hints fold the streamed class constraints
+/// once per target in source order — the exact float sequence of
+/// [`fold_source`] — so the result is bit-identical to
+/// [`intersect_releases`] for every shard plan (pinned by property
+/// test). Each shard runs under an `intersect.shard` span and feeds the
+/// `intersect.shard_ms` histogram.
+pub fn intersect_releases_sharded(
+    sources: &[Source],
+    targets: &[usize],
+    n_master: usize,
+    chunk_rows: usize,
+    plan: &ShardPlan,
+) -> Result<Vec<TargetIntersection>> {
+    let first = sources.first().ok_or_else(|| {
+        CompositionError::InvalidConfig("intersection needs at least one source".into())
+    })?;
+    let qi_cols = first.table.quasi_identifier_columns();
+    let qi_len = qi_cols.len();
+    let class_of_master: Vec<Vec<u32>> = sources
+        .iter()
+        .map(|s| class_of_master_only(s, n_master))
+        .collect();
+    let class_cons: Vec<Vec<Vec<CellCon>>> = sources
+        .iter()
+        .map(|s| class_constraints(s, &qi_cols, chunk_rows))
+        .collect::<Result<Vec<_>>>()?;
+
+    let mut candidates: Vec<Vec<u32>> = vec![Vec::new(); targets.len()];
+    for range in plan.row_ranges(n_master) {
+        let _span = fred_obs::span(INTERSECT_SHARD_SPAN);
+        let started = Instant::now();
+        let word_lo = range.start >> 6;
+        let words = range.end.div_ceil(64) - word_lo;
+        // Range-restricted per-class bitsets: only rows inside the range
+        // set bits, so boundary words shared with the neighbouring shard
+        // cannot leak rows across ranges.
+        let shard_bits: Vec<Vec<Vec<u64>>> = sources
+            .iter()
+            .enumerate()
+            .map(|(si, source)| {
+                let mut bits = vec![vec![0u64; words]; source.partition.len()];
+                for g in range.clone() {
+                    let class = class_of_master[si][g];
+                    if class != u32::MAX {
+                        bits[class as usize][(g >> 6) - word_lo] |= 1u64 << (g & 63);
+                    }
+                }
+                bits
+            })
+            .collect();
+        let mut scratch = vec![0u64; words];
+        for (ti, &target) in targets.iter().enumerate() {
+            let mut seen = 0usize;
+            for (si, map) in class_of_master.iter().enumerate() {
+                let class = map[target];
+                if class == u32::MAX {
+                    continue;
+                }
+                let src = &shard_bits[si][class as usize];
+                if seen == 0 {
+                    scratch.copy_from_slice(src);
+                } else {
+                    for (w, &s) in scratch.iter_mut().zip(src) {
+                        *w &= s;
+                    }
+                }
+                seen += 1;
+            }
+            if seen == 0 {
+                continue;
+            }
+            for (wi, &word) in scratch.iter().enumerate() {
+                let mut w = word;
+                while w != 0 {
+                    let b = w.trailing_zeros();
+                    candidates[ti].push(((word_lo + wi) as u32) * 64 + b);
+                    w &= w - 1;
+                }
+            }
+        }
+        fred_obs::observe_ms(INTERSECT_SHARD_MS, started.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // Boxes and hints are range-independent: fold once per target in
+    // source order, the same sequence the full-width engine runs.
+    Ok(targets
+        .iter()
+        .enumerate()
+        .map(|(ti, &target)| {
+            let mut feasible: Vec<Option<Interval>> = vec![None; qi_len];
+            let mut centroid_sum = vec![0.0f64; qi_len];
+            let mut centroid_n = vec![0usize; qi_len];
+            let mut seen = 0usize;
+            for (si, map) in class_of_master.iter().enumerate() {
+                let class = map[target];
+                if class == u32::MAX {
+                    continue;
+                }
+                fold_cons(
+                    &class_cons[si][class as usize],
+                    &mut feasible,
+                    &mut centroid_sum,
+                    &mut centroid_n,
+                );
+                seen += 1;
+            }
+            TargetIntersection {
+                master_row: target,
+                candidate_rows: std::mem::take(&mut candidates[ti]),
+                feasible,
+                centroid_hint: (0..qi_len)
+                    .map(|qi| {
+                        if centroid_n[qi] > 0 {
+                            Some(centroid_sum[qi] / centroid_n[qi] as f64)
+                        } else {
+                            None
+                        }
+                    })
+                    .collect(),
+                sources_seen: seen,
+            }
+        })
         .collect())
 }
 
@@ -692,6 +873,63 @@ mod tests {
         let reference =
             intersect_releases_sequential(&s.sources, &s.targets, table.len(), 16).unwrap();
         assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn sharded_engine_equals_full_width_engine() {
+        let (table, s) = scenario(90, 3, 4);
+        let full = intersect_releases(&s.sources, &s.targets, table.len(), 16).unwrap();
+        for shards in [1usize, 2, 3, 5, 8, 64] {
+            for seed in [0u64, 17] {
+                let plan = ShardPlan::new(shards, seed);
+                let sharded =
+                    intersect_releases_sharded(&s.sources, &s.targets, table.len(), 16, &plan)
+                        .unwrap();
+                assert_eq!(sharded, full, "shards={shards} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_engine_handles_centroid_styles() {
+        let table = master(50, 9);
+        let s = generate_scenario(
+            &table,
+            &Mdav::new(),
+            &ScenarioConfig {
+                releases: 2,
+                k: 4,
+                styles: vec![QiStyle::Centroid, QiStyle::Range],
+                ..ScenarioConfig::default()
+            },
+        )
+        .unwrap();
+        let full = intersect_releases(&s.sources, &s.targets, table.len(), 16).unwrap();
+        let sharded = intersect_releases_sharded(
+            &s.sources,
+            &s.targets,
+            table.len(),
+            16,
+            &ShardPlan::new(4, 3),
+        )
+        .unwrap();
+        assert_eq!(sharded, full);
+    }
+
+    #[test]
+    fn sharded_engine_is_chunk_invariant() {
+        let (table, s) = scenario(60, 2, 4);
+        let plan = ShardPlan::new(3, 1);
+        let baseline =
+            intersect_releases_sharded(&s.sources, &s.targets, table.len(), 7, &plan).unwrap();
+        for chunk_rows in [1usize, 13, 1024] {
+            assert_eq!(
+                intersect_releases_sharded(&s.sources, &s.targets, table.len(), chunk_rows, &plan)
+                    .unwrap(),
+                baseline,
+                "chunk_rows={chunk_rows}"
+            );
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod error;
 pub mod groupby;
 pub mod interval;
 pub mod schema;
+pub mod shard;
 pub mod stats;
 pub mod table;
 pub mod value;
@@ -43,6 +44,7 @@ pub use error::{DataError, Result};
 pub use groupby::{aggregate_fidelity, group_by, Aggregate, GroupRow};
 pub use interval::Interval;
 pub use schema::{Attribute, AttributeRole, Schema, SchemaBuilder};
+pub use shard::ShardPlan;
 pub use stats::{histogram, mae, pearson, rmse, ColumnStats};
 pub use table::{Row, Table};
 pub use value::{Value, ValueKind};

@@ -39,6 +39,8 @@ pub mod salt {
     pub const PAGE_DUPLICATE: u64 = 0x5041_4745_0006;
     /// Harvest-level: drop an identifier row before linkage.
     pub const HARVEST_ROW_DROP: u64 = 0x4841_5256_0001;
+    /// Harvest-level: lose a whole index shard mid-harvest.
+    pub const SHARD_LOSS: u64 = 0x4841_5256_0002;
     /// Worker-level: panic inside the pool while processing a row.
     pub const WORKER_PANIC: u64 = 0x574f_524b_0001;
     /// Release-level: drop a row from a published release.
@@ -153,6 +155,10 @@ pub struct FaultPlan {
     pub chunk_truncate: f64,
     /// Probability a pool worker panics on a given row.
     pub worker_panic: f64,
+    /// Probability a whole index shard is lost mid-harvest (its pages
+    /// vanish from every query's candidate pool; the tolerant harvest
+    /// degrades to the surviving shards).
+    pub shard_loss: f64,
     /// Probability one pipeline-stage attempt fails transiently (the
     /// stage runner retries it with seeded backoff).
     pub stage_transient: f64,
@@ -196,6 +202,7 @@ impl FaultPlan {
             cell_corrupt: rate,
             chunk_truncate: rate,
             worker_panic: rate,
+            shard_loss: rate,
             stage_transient: rate,
             ckpt_write_truncate: rate,
             ckpt_bitflip: rate,
@@ -215,6 +222,7 @@ impl FaultPlan {
             && self.cell_corrupt == 0.0
             && self.chunk_truncate == 0.0
             && self.worker_panic == 0.0
+            && self.shard_loss == 0.0
             && self.stage_transient == 0.0
             && self.ckpt_write_truncate == 0.0
             && self.ckpt_bitflip == 0.0
@@ -284,6 +292,9 @@ pub enum InputDefect {
     TruncatedChunk,
     /// A pool worker that panicked mid-row and was restarted.
     WorkerPanic,
+    /// A whole index shard lost mid-harvest; queries degraded to the
+    /// surviving shards.
+    LostShard,
 }
 
 impl fmt::Display for InputDefect {
@@ -297,6 +308,7 @@ impl fmt::Display for InputDefect {
             InputDefect::MissingRow => "missing row",
             InputDefect::TruncatedChunk => "truncated chunk",
             InputDefect::WorkerPanic => "worker panic",
+            InputDefect::LostShard => "lost shard",
         };
         f.write_str(s)
     }
@@ -329,6 +341,8 @@ pub struct Degradation {
     pub chunks_truncated: usize,
     /// Pool workers that panicked and were restarted mid-batch.
     pub workers_restarted: usize,
+    /// Index shards lost mid-harvest; queries degraded to the survivors.
+    pub shards_lost: usize,
     /// A muted report records defects without mirroring them onto the
     /// global `faults.*` observability counters. Shadow computations
     /// whose report is deliberately discarded (the baseline re-digest of
@@ -350,6 +364,7 @@ impl PartialEq for Degradation {
             && self.fields_imputed == other.fields_imputed
             && self.chunks_truncated == other.chunks_truncated
             && self.workers_restarted == other.workers_restarted
+            && self.shards_lost == other.shards_lost
     }
 }
 
@@ -398,6 +413,10 @@ impl Degradation {
                 self.workers_restarted += 1;
                 "faults.workers_restarted"
             }
+            InputDefect::LostShard => {
+                self.shards_lost += 1;
+                "faults.shards_lost"
+            }
         };
         if !self.muted {
             fred_obs::counter(counter, 1);
@@ -415,6 +434,7 @@ impl Degradation {
         self.fields_imputed += other.fields_imputed;
         self.chunks_truncated += other.chunks_truncated;
         self.workers_restarted += other.workers_restarted;
+        self.shards_lost += other.shards_lost;
     }
 
     /// True when nothing was injected, skipped or imputed anywhere —
@@ -432,6 +452,7 @@ impl Degradation {
             + self.fields_imputed
             + self.chunks_truncated
             + self.workers_restarted
+            + self.shards_lost
     }
 }
 
@@ -441,7 +462,7 @@ impl fmt::Display for Degradation {
             f,
             "dropped {} / truncated {} / garbled {} / duplicated {} pages; \
              rejected {} pages, skipped {} rows, imputed {} fields, \
-             {} truncated chunks, restarted {} workers",
+             {} truncated chunks, restarted {} workers, lost {} shards",
             self.pages_dropped,
             self.pages_truncated,
             self.pages_garbled,
@@ -450,7 +471,8 @@ impl fmt::Display for Degradation {
             self.rows_skipped,
             self.fields_imputed,
             self.chunks_truncated,
-            self.workers_restarted
+            self.workers_restarted,
+            self.shards_lost
         )
     }
 }
@@ -589,6 +611,7 @@ mod tests {
     #[test]
     fn uniform_sets_runner_and_checkpoint_rates() {
         let plan = FaultPlan::uniform(21, 0.4);
+        assert_eq!(plan.shard_loss, 0.4);
         assert_eq!(plan.stage_transient, 0.4);
         assert_eq!(plan.ckpt_write_truncate, 0.4);
         assert_eq!(plan.ckpt_bitflip, 0.4);
@@ -612,12 +635,14 @@ mod tests {
         deg.record(InputDefect::MissingRow);
         deg.record(InputDefect::TruncatedChunk);
         deg.record(InputDefect::WorkerPanic);
+        deg.record(InputDefect::LostShard);
         assert_eq!(deg.pages_rejected, 2);
         assert_eq!(deg.fields_imputed, 1);
         assert_eq!(deg.rows_skipped, 1);
         assert_eq!(deg.chunks_truncated, 1);
         assert_eq!(deg.workers_restarted, 1);
-        assert_eq!(deg.defects_survived(), 6);
+        assert_eq!(deg.shards_lost, 1);
+        assert_eq!(deg.defects_survived(), 7);
         assert!(!deg.is_clean());
 
         let mut other = Degradation {
@@ -627,11 +652,13 @@ mod tests {
         other.merge(&deg);
         assert_eq!(other.pages_dropped, 3);
         assert_eq!(other.pages_rejected, 2);
+        assert_eq!(other.shards_lost, 1);
         // Injection-side counters do not count as survived defects.
-        assert_eq!(other.defects_survived(), 6);
+        assert_eq!(other.defects_survived(), 7);
         let text = format!("{other}");
         assert!(text.contains("dropped 3"), "{text}");
         assert!(text.contains("restarted 1 workers"), "{text}");
+        assert!(text.contains("lost 1 shards"), "{text}");
     }
 
     #[test]

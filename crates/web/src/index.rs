@@ -10,6 +10,7 @@
 //! searcher consumes, enabling its early exit).
 
 use crate::page::{tokenize, WebPage};
+use fred_data::ShardPlan;
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -102,6 +103,140 @@ fn page_term_counts(text: &str, buf: &mut String, out: &mut Vec<(String, u32)>) 
 #[inline]
 fn hit_beats(score: f64, page: u32, best_score: f64, best_page: u32) -> bool {
     score > best_score || (score == best_score && page < best_page)
+}
+
+/// Merges partial hit lists (e.g. per-shard exact top-`k`s over disjoint
+/// page sets) into the global top-`limit` under the canonical
+/// `(score desc, page asc)` order. With exact per-shard scores this is
+/// bit-identical to running the query against the union of the shards.
+pub fn merge_hits(mut hits: Vec<SearchHit>, limit: usize) -> Vec<SearchHit> {
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.page.cmp(&b.page))
+    });
+    hits.truncate(limit);
+    hits
+}
+
+/// One layer's term lists as seen by the top-k scanner: either the full
+/// engine's global lists or one shard's slice of them. Term ids and page
+/// ids are always global; a shard simply returns the subset of each list
+/// whose pages it owns (empty when the term never occurs in the shard).
+trait TermLists {
+    /// Page-ascending postings for a global term id.
+    fn page_ascending(&self, tid: u32) -> &[(u32, u32)];
+    /// The same postings in `(tf desc, page asc)` contribution order.
+    fn contribution_order(&self, tid: u32) -> &[(u32, u32)];
+}
+
+impl TermLists for SearchEngine {
+    fn page_ascending(&self, tid: u32) -> &[(u32, u32)] {
+        &self.postings[tid as usize]
+    }
+
+    fn contribution_order(&self, tid: u32) -> &[(u32, u32)] {
+        &self.by_contribution[tid as usize]
+    }
+}
+
+/// The early-exit top-`limit` scan over one set of term lists — the body
+/// of [`SearchEngine::search_topk_with`], extracted so a shard's lists can
+/// be scanned by the exact same code. Exactness does not depend on which
+/// lists are supplied: every page first seen gets its full score in
+/// `resolved` (query) term order, and the bound argument documented on
+/// `search_topk_with` holds for any scan order.
+fn topk_scan<L: TermLists>(
+    lists: &L,
+    idf: &[f64],
+    resolved: &[u32],
+    limit: usize,
+    pages: usize,
+    scratch: &mut SearchScratch,
+) -> Vec<SearchHit> {
+    // Scan order: distinct lists, rarest first (stable on equal
+    // lengths), so the upper bound collapses as early as possible.
+    // Each list carries its query multiplicity — a token repeated in
+    // the query contributes that many times to a page's score, so
+    // every upper bound below must scale by it too.
+    let mut scan: Vec<(u32, u32)> = {
+        let mut distinct: Vec<u32> = resolved.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        distinct
+            .into_iter()
+            .map(|t| (t, resolved.iter().filter(|&&r| r == t).count() as u32))
+            .collect()
+    };
+    scan.sort_by_key(|&(t, _)| lists.page_ascending(t).len());
+    // `exhausted[t]` once list `t` has been scanned to the end: a page
+    // still unseen afterwards is provably absent from it, so scoring
+    // can skip that term without a lookup.
+    let mut exhausted: FnvMap<u32, bool> = scan.iter().map(|&(t, _)| (t, false)).collect();
+
+    scratch.begin(pages);
+    let mut tracker = TopHits::new(limit);
+    for (li, &(tid, mult)) in scan.iter().enumerate() {
+        // Best contribution still reachable from the lists after this
+        // one (their contribution-sorted heads, times multiplicity).
+        let rest_ub: f64 = scan[li + 1..]
+            .iter()
+            .map(|&(t, m)| {
+                lists.contribution_order(t).first().map_or(0.0, |&(_, tf)| {
+                    f64::from(m) * contribution(tf, idf[t as usize])
+                })
+            })
+            .sum();
+        let term_idf = idf[tid as usize];
+        let mut completed = true;
+        for &(page, tf) in lists.contribution_order(tid) {
+            if tracker.is_full() {
+                let ub = rest_ub + f64::from(mult) * contribution(tf, term_idf);
+                let (kth_score, _) = tracker.worst();
+                if ub < kth_score {
+                    // No page drawn from this list's remainder can
+                    // reach the boundary: within the list
+                    // contributions only fall, deeper lists are
+                    // already inside `rest_ub`, and the boundary
+                    // score only rises from here — so the skip stays
+                    // sound for the rest of the scan too. (Pages of
+                    // the remainder that also sit in a later list
+                    // still get scored there, via the lookup path.)
+                    completed = false;
+                    break;
+                }
+            }
+            if scratch.mark[page as usize] == scratch.epoch {
+                continue; // already scored on first sight
+            }
+            scratch.mark[page as usize] = scratch.epoch;
+            // Full exact score, accumulated in query-term order: the
+            // same addition sequence as the exhaustive path. The term
+            // being scanned contributes its known tf; terms whose
+            // lists were already exhausted cannot contain a page
+            // first seen here; everything else is a binary search.
+            let mut score = 0.0f64;
+            for &t in resolved {
+                if t == tid {
+                    score += contribution(tf, term_idf);
+                } else if !exhausted[&t] {
+                    if let Ok(pos) = lists
+                        .page_ascending(t)
+                        .binary_search_by_key(&page, |&(p, _)| p)
+                    {
+                        let (_, tf_t) = lists.page_ascending(t)[pos];
+                        score += contribution(tf_t, idf[t as usize]);
+                    }
+                }
+            }
+            tracker.offer(score, page);
+        }
+        if completed {
+            exhausted.insert(tid, true);
+        }
+    }
+    tracker.into_hits()
 }
 
 impl SearchEngine {
@@ -365,89 +500,7 @@ impl SearchEngine {
         if resolved.is_empty() {
             return Vec::new();
         }
-        // Scan order: distinct lists, rarest first (stable on equal
-        // lengths), so the upper bound collapses as early as possible.
-        // Each list carries its query multiplicity — a token repeated in
-        // the query contributes that many times to a page's score, so
-        // every upper bound below must scale by it too.
-        let mut scan: Vec<(u32, u32)> = {
-            let mut distinct: Vec<u32> = resolved.clone();
-            distinct.sort_unstable();
-            distinct.dedup();
-            distinct
-                .into_iter()
-                .map(|t| (t, resolved.iter().filter(|&&r| r == t).count() as u32))
-                .collect()
-        };
-        scan.sort_by_key(|&(t, _)| self.postings[t as usize].len());
-        // `exhausted[t]` once list `t` has been scanned to the end: a page
-        // still unseen afterwards is provably absent from it, so scoring
-        // can skip that term without a lookup.
-        let mut exhausted: FnvMap<u32, bool> = scan.iter().map(|&(t, _)| (t, false)).collect();
-
-        scratch.begin(self.pages.len());
-        let mut tracker = TopHits::new(limit);
-        for (li, &(tid, mult)) in scan.iter().enumerate() {
-            // Best contribution still reachable from the lists after this
-            // one (their contribution-sorted heads, times multiplicity).
-            let rest_ub: f64 = scan[li + 1..]
-                .iter()
-                .map(|&(t, m)| {
-                    self.by_contribution[t as usize]
-                        .first()
-                        .map_or(0.0, |&(_, tf)| {
-                            f64::from(m) * contribution(tf, self.idf[t as usize])
-                        })
-                })
-                .sum();
-            let idf = self.idf[tid as usize];
-            let mut completed = true;
-            for &(page, tf) in &self.by_contribution[tid as usize] {
-                if tracker.is_full() {
-                    let ub = rest_ub + f64::from(mult) * contribution(tf, idf);
-                    let (kth_score, _) = tracker.worst();
-                    if ub < kth_score {
-                        // No page drawn from this list's remainder can
-                        // reach the boundary: within the list
-                        // contributions only fall, deeper lists are
-                        // already inside `rest_ub`, and the boundary
-                        // score only rises from here — so the skip stays
-                        // sound for the rest of the scan too. (Pages of
-                        // the remainder that also sit in a later list
-                        // still get scored there, via the lookup path.)
-                        completed = false;
-                        break;
-                    }
-                }
-                if scratch.mark[page as usize] == scratch.epoch {
-                    continue; // already scored on first sight
-                }
-                scratch.mark[page as usize] = scratch.epoch;
-                // Full exact score, accumulated in query-term order: the
-                // same addition sequence as the exhaustive path. The term
-                // being scanned contributes its known tf; terms whose
-                // lists were already exhausted cannot contain a page
-                // first seen here; everything else is a binary search.
-                let mut score = 0.0f64;
-                for &t in &resolved {
-                    if t == tid {
-                        score += contribution(tf, idf);
-                    } else if !exhausted[&t] {
-                        if let Ok(pos) =
-                            self.postings[t as usize].binary_search_by_key(&page, |&(p, _)| p)
-                        {
-                            let (_, tf_t) = self.postings[t as usize][pos];
-                            score += contribution(tf_t, self.idf[t as usize]);
-                        }
-                    }
-                }
-                tracker.offer(score, page);
-            }
-            if completed {
-                exhausted.insert(tid, true);
-            }
-        }
-        tracker.into_hits()
+        topk_scan(self, &self.idf, &resolved, limit, self.pages.len(), scratch)
     }
 
     /// [`search_topk_with`](SearchEngine::search_topk_with) with one-shot
@@ -468,6 +521,250 @@ impl SearchEngine {
             .iter()
             .map(|q| self.search_with(q.as_ref(), limit, &mut scratch, &mut cache))
             .collect()
+    }
+}
+
+/// One shard's slice of the index: the postings of the pages it owns,
+/// keyed by *global* term id through a dense local remap so shard lists
+/// stay compact while sharing the engine-wide term table and IDF.
+#[derive(Debug, Clone)]
+struct EngineShard {
+    /// Global term id → local list id (`u32::MAX` when the term never
+    /// occurs in this shard).
+    local_of_global: Vec<u32>,
+    /// Local postings `(global page, tf)`, page-ascending (inherited from
+    /// the global lists: filtering an ascending list keeps it ascending).
+    postings: Vec<Vec<(u32, u32)>>,
+    /// Local postings in `(tf desc, page asc)` contribution order.
+    by_contribution: Vec<Vec<(u32, u32)>>,
+    /// Number of pages owned by the shard.
+    pages: usize,
+}
+
+const NO_LOCAL_TERM: u32 = u32::MAX;
+
+impl TermLists for EngineShard {
+    fn page_ascending(&self, tid: u32) -> &[(u32, u32)] {
+        match self.local_of_global.get(tid as usize) {
+            Some(&local) if local != NO_LOCAL_TERM => &self.postings[local as usize],
+            _ => &[],
+        }
+    }
+
+    fn contribution_order(&self, tid: u32) -> &[(u32, u32)] {
+        match self.local_of_global.get(tid as usize) {
+            Some(&local) if local != NO_LOCAL_TERM => &self.by_contribution[local as usize],
+            _ => &[],
+        }
+    }
+}
+
+/// A document-partitioned view of a [`SearchEngine`]: every page is owned
+/// by exactly one shard (keyed on its display name through a
+/// [`ShardPlan`]), each shard holds only its own postings, and a query is
+/// answered scatter-gather — exact top-`k` per shard, merged under the
+/// global `(score desc, page asc)` order.
+///
+/// Sharing the base engine's term table and IDF keeps per-shard scores
+/// bit-identical to the full engine's: a page's every term lives in its
+/// own shard's lists, so its score accumulates the exact same float
+/// sequence, and the global top-`k` is a subset of the per-shard top-`k`
+/// union. [`search_topk_with`](ShardedSearchEngine::search_topk_with) is
+/// therefore pinned bit-identical to
+/// [`SearchEngine::search_topk_with`] by property test for every shard
+/// count.
+#[derive(Debug, Clone)]
+pub struct ShardedSearchEngine<'a> {
+    base: &'a SearchEngine,
+    plan: ShardPlan,
+    /// Owning shard of each page.
+    shard_of_page: Vec<u32>,
+    shards: Vec<EngineShard>,
+}
+
+impl<'a> ShardedSearchEngine<'a> {
+    /// Partitions the base engine's postings by each page's display-name
+    /// blocking key under `plan`.
+    pub fn build(base: &'a SearchEngine, plan: ShardPlan) -> Self {
+        let shard_of_page: Vec<u32> = base
+            .pages
+            .iter()
+            .map(|p| plan.shard_of(&p.display_name) as u32)
+            .collect();
+        let n_terms = base.postings.len();
+        let mut shards: Vec<EngineShard> = (0..plan.shards())
+            .map(|_| EngineShard {
+                local_of_global: vec![NO_LOCAL_TERM; n_terms],
+                postings: Vec::new(),
+                by_contribution: Vec::new(),
+                pages: 0,
+            })
+            .collect();
+        for &s in &shard_of_page {
+            shards[s as usize].pages += 1;
+        }
+        for (tid, list) in base.postings.iter().enumerate() {
+            for &(page, tf) in list {
+                let shard = &mut shards[shard_of_page[page as usize] as usize];
+                let mut local = shard.local_of_global[tid];
+                if local == NO_LOCAL_TERM {
+                    local = shard.postings.len() as u32;
+                    shard.local_of_global[tid] = local;
+                    shard.postings.push(Vec::new());
+                }
+                shard.postings[local as usize].push((page, tf));
+            }
+        }
+        for shard in &mut shards {
+            shard.by_contribution = shard
+                .postings
+                .par_iter()
+                .map(|p| {
+                    let mut sorted = p.clone();
+                    sorted.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                    sorted
+                })
+                .collect();
+        }
+        ShardedSearchEngine {
+            base,
+            plan,
+            shard_of_page,
+            shards,
+        }
+    }
+
+    /// The underlying unsharded engine (pages, term table, IDF).
+    pub fn base(&self) -> &'a SearchEngine {
+        self.base
+    }
+
+    /// The plan the partition was built under.
+    pub fn plan(&self) -> ShardPlan {
+        self.plan
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Owning shard of a page.
+    pub fn shard_of_page(&self, page: usize) -> usize {
+        self.shard_of_page[page] as usize
+    }
+
+    /// Number of pages owned by shard `shard`.
+    pub fn pages_in_shard(&self, shard: usize) -> usize {
+        self.shards[shard].pages
+    }
+
+    /// Exact top-`limit` over one shard's postings only: what that
+    /// shard's worker can answer without touching shared state.
+    pub fn search_topk_shard(
+        &self,
+        shard: usize,
+        query: &str,
+        limit: usize,
+        scratch: &mut SearchScratch,
+        cache: &mut TermCache,
+    ) -> Vec<SearchHit> {
+        match self.resolve(query, limit, cache) {
+            Some(resolved) => topk_scan(
+                &self.shards[shard],
+                &self.base.idf,
+                &resolved,
+                limit,
+                self.base.pages.len(),
+                scratch,
+            ),
+            None => Vec::new(),
+        }
+    }
+
+    /// Scatter-gather top-`limit`: exact per-shard top-`limit` from every
+    /// shard, merged under `(score desc, page asc)`. Bit-identical to
+    /// [`SearchEngine::search_topk_with`] on the base engine.
+    pub fn search_topk_with(
+        &self,
+        query: &str,
+        limit: usize,
+        scratch: &mut SearchScratch,
+        cache: &mut TermCache,
+    ) -> Vec<SearchHit> {
+        self.scatter_gather(query, limit, scratch, cache, None)
+    }
+
+    /// Scatter-gather over the surviving shards only: `alive[s] == false`
+    /// drops shard `s`'s pages from the candidate pool entirely — the
+    /// degraded-mode search behind the harvest's shard-loss tolerance.
+    /// With every shard alive this is exactly
+    /// [`search_topk_with`](ShardedSearchEngine::search_topk_with).
+    pub fn search_topk_surviving(
+        &self,
+        query: &str,
+        limit: usize,
+        alive: &[bool],
+        scratch: &mut SearchScratch,
+        cache: &mut TermCache,
+    ) -> Vec<SearchHit> {
+        self.scatter_gather(query, limit, scratch, cache, Some(alive))
+    }
+
+    /// Shared query-token resolution against the base term table; `None`
+    /// short-circuits the empty-query/empty-corpus/zero-limit cases the
+    /// same way the unsharded paths do.
+    fn resolve(&self, query: &str, limit: usize, cache: &mut TermCache) -> Option<Vec<u32>> {
+        if limit == 0 || self.base.pages.is_empty() {
+            return None;
+        }
+        let tokens = tokenize(query);
+        if tokens.is_empty() {
+            return None;
+        }
+        let resolved: Vec<u32> = tokens
+            .into_iter()
+            .filter_map(|t| self.base.resolve_term(t, cache))
+            .collect();
+        if resolved.is_empty() {
+            None
+        } else {
+            Some(resolved)
+        }
+    }
+
+    fn scatter_gather(
+        &self,
+        query: &str,
+        limit: usize,
+        scratch: &mut SearchScratch,
+        cache: &mut TermCache,
+        alive: Option<&[bool]>,
+    ) -> Vec<SearchHit> {
+        let resolved = match self.resolve(query, limit, cache) {
+            Some(r) => r,
+            None => return Vec::new(),
+        };
+        // Every page is owned by exactly one shard, so the partial lists
+        // are disjoint and the merge needs no dedup. Any page of the true
+        // top-`limit` beats `limit` rivals globally, hence also within
+        // its own shard, so it survives its shard's exact top-`limit` and
+        // reaches the merge.
+        let mut merged: Vec<SearchHit> = Vec::new();
+        for (si, shard) in self.shards.iter().enumerate() {
+            if alive.is_some_and(|a| !a.get(si).copied().unwrap_or(true)) {
+                continue;
+            }
+            merged.extend(topk_scan(
+                shard,
+                &self.base.idf,
+                &resolved,
+                limit,
+                self.base.pages.len(),
+                scratch,
+            ));
+        }
+        merge_hits(merged, limit)
     }
 }
 
@@ -796,6 +1093,88 @@ mod tests {
             for (a, b) in fast.iter().zip(&exhaustive) {
                 assert_eq!(a.page, b.page, "limit {limit}");
                 assert_eq!(a.score.to_bits(), b.score.to_bits(), "limit {limit}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_topk_matches_unsharded_bit_for_bit() {
+        let e = corpus();
+        let queries = [
+            "Robert Smith",
+            "Alice Walker",
+            "Robert",
+            "Robert Robert Smith",
+            "Verizon CEO",
+            "Robert Jones Acme zzyzx",
+            "zzyzx unknown",
+            "",
+        ];
+        for shards in 1..=5usize {
+            for seed in [0u64, 7, 991] {
+                let sharded = ShardedSearchEngine::build(&e, ShardPlan::new(shards, seed));
+                assert_eq!(sharded.shard_count(), shards);
+                let total: usize = (0..shards).map(|s| sharded.pages_in_shard(s)).sum();
+                assert_eq!(total, e.len(), "every page owned exactly once");
+                let mut scratch = e.scratch();
+                let mut cache = e.term_cache();
+                for limit in [1usize, 2, 3, 8] {
+                    for q in &queries {
+                        let full = e.search_topk(q, limit);
+                        let split = sharded.search_topk_with(q, limit, &mut scratch, &mut cache);
+                        assert_eq!(split.len(), full.len(), "query {q:?} shards {shards}");
+                        for (a, b) in split.iter().zip(&full) {
+                            assert_eq!(a.page, b.page, "query {q:?} shards {shards}");
+                            assert_eq!(
+                                a.score.to_bits(),
+                                b.score.to_bits(),
+                                "query {q:?} shards {shards}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_assignment_follows_plan_keys() {
+        let e = corpus();
+        let plan = ShardPlan::new(3, 11);
+        let sharded = ShardedSearchEngine::build(&e, plan);
+        for (pi, page) in e.pages().iter().enumerate() {
+            assert_eq!(sharded.shard_of_page(pi), plan.shard_of(&page.display_name));
+        }
+        // Same display name ⇒ same shard (pages 0 and 2 are both
+        // "Robert Smith").
+        assert_eq!(sharded.shard_of_page(0), sharded.shard_of_page(2));
+    }
+
+    #[test]
+    fn surviving_search_drops_only_lost_shard_pages() {
+        let e = corpus();
+        let sharded = ShardedSearchEngine::build(&e, ShardPlan::new(3, 5));
+        let mut scratch = e.scratch();
+        let mut cache = e.term_cache();
+        let all_alive = vec![true; 3];
+        let full =
+            sharded.search_topk_surviving("Robert Smith", 10, &all_alive, &mut scratch, &mut cache);
+        assert_eq!(full, e.search_topk("Robert Smith", 10));
+        for lost in 0..3usize {
+            let mut alive = vec![true; 3];
+            alive[lost] = false;
+            let degraded =
+                sharded.search_topk_surviving("Robert Smith", 10, &alive, &mut scratch, &mut cache);
+            // Exactly the full result minus the lost shard's pages, with
+            // surviving scores untouched.
+            let expected: Vec<&SearchHit> = full
+                .iter()
+                .filter(|h| sharded.shard_of_page(h.page) != lost)
+                .collect();
+            assert_eq!(degraded.len(), expected.len(), "lost shard {lost}");
+            for (a, b) in degraded.iter().zip(&expected) {
+                assert_eq!(a.page, b.page, "lost shard {lost}");
+                assert_eq!(a.score.to_bits(), b.score.to_bits(), "lost shard {lost}");
             }
         }
     }

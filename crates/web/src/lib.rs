@@ -42,6 +42,8 @@ pub mod page;
 pub use corpus::{audit_property_pages, build_corpus, CorpusConfig, PropertyAudit};
 pub use corrupt::corrupt_pages;
 pub use extract::{consolidate, extract, extract_checked, title_seniority, AuxRecord};
-pub use index::{SearchEngine, SearchHit, SearchScratch, TermCache};
+pub use index::{
+    merge_hits, SearchEngine, SearchHit, SearchScratch, ShardedSearchEngine, TermCache,
+};
 pub use noise::NameNoise;
 pub use page::{tokenize, PageKind, WebPage};

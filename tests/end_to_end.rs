@@ -261,3 +261,83 @@ fn name_noise_weakens_but_does_not_stop_the_attack() {
         "noise should not help the adversary"
     );
 }
+
+/// The sharded pipeline at the 100k scale target (`repro --quick --size
+/// 100000` exercises the same paths through the bench): hierarchical
+/// MDAV partitions the full table, the scenario generator anonymizes
+/// each release through it, and the per-shard intersection engine
+/// composes them. The paper's composition claim must survive the scale
+/// jump: every added release can only shrink the mean candidate pool.
+/// Minutes of wall clock on one core — run with `cargo test -- --ignored`.
+#[test]
+#[ignore = "100k-row sweep (minutes on one core); run with -- --ignored"]
+fn sharded_composition_stays_monotone_at_100k() {
+    use fred_suite::anon::HierarchicalMdav;
+    use fred_suite::composition::{generate_scenario, intersect_releases_sharded, ScenarioConfig};
+    use fred_suite::data::ShardPlan;
+
+    let people = generate_population(&PopulationConfig {
+        size: 100_000,
+        seed: 2015,
+        ..PopulationConfig::default()
+    });
+    let table = customer_table(&people, &CustomerConfig::default());
+    let plan = ShardPlan::for_size(table.len(), 2015);
+    assert!(plan.shards() > 1, "100k rows must actually shard");
+    let hier = HierarchicalMdav::new(plan);
+
+    let k = 5;
+    let mut mean_candidates = Vec::new();
+    for releases in [1usize, 2, 3] {
+        let scenario = generate_scenario(
+            &table,
+            &hier,
+            &ScenarioConfig {
+                releases,
+                k,
+                seed: 2015,
+                ..ScenarioConfig::default()
+            },
+        )
+        .unwrap();
+        // A seeded stride over the core: per-target cost is flat, so a
+        // sample measures the composition without an O(core) tail.
+        let targets: Vec<usize> = scenario
+            .targets
+            .iter()
+            .copied()
+            .step_by((scenario.targets.len() / 512).max(1))
+            .take(512)
+            .collect();
+        let intersections =
+            intersect_releases_sharded(&scenario.sources, &targets, table.len(), 1024, &plan)
+                .unwrap();
+        assert_eq!(intersections.len(), targets.len());
+        // Every target keeps at least itself as a candidate, and the
+        // single-release pool honors k-anonymity.
+        for t in &intersections {
+            assert!(
+                t.candidate_rows.contains(&(t.master_row as u32)),
+                "target {} lost itself",
+                t.master_row
+            );
+        }
+        let mean = intersections
+            .iter()
+            .map(|t| t.candidate_rows.len())
+            .sum::<usize>() as f64
+            / intersections.len() as f64;
+        if releases == 1 {
+            assert!(mean >= k as f64, "one release must keep k-anonymity");
+        }
+        mean_candidates.push(mean);
+    }
+    assert!(
+        mean_candidates.windows(2).all(|w| w[1] <= w[0]),
+        "composition grew the candidate pool: {mean_candidates:?}"
+    );
+    assert!(
+        mean_candidates[2] < mean_candidates[0],
+        "three releases should compose strictly below one: {mean_candidates:?}"
+    );
+}

@@ -347,6 +347,118 @@ proptest! {
     }
 
     #[test]
+    fn sharded_harvest_equals_unsharded_for_every_plan(
+        size in 8usize..40,
+        seed in 0u64..1_000,
+        shards in 1usize..7,
+        noisy in any::<bool>(),
+    ) {
+        use fred_suite::attack::harvest_auxiliary_sharded;
+        use fred_suite::data::ShardPlan;
+        use fred_suite::web::ShardedSearchEngine;
+        let people = generate_population(&PopulationConfig {
+            size,
+            web_presence_rate: 0.85,
+            seed,
+            ..PopulationConfig::default()
+        });
+        let table = customer_table(&people, &CustomerConfig::default());
+        let web = build_corpus(
+            &people,
+            &CorpusConfig {
+                noise: if noisy { NameNoise::default() } else { NameNoise::none() },
+                pages_per_person: (1, 3),
+                seed: seed ^ 0x51AB,
+                ..CorpusConfig::default()
+            },
+        );
+        let release = table.suppress_sensitive();
+        let config = HarvestConfig::default();
+        let reference = harvest_auxiliary(&release, &web, &config).unwrap();
+        // Whatever the shard count or hash seed, partitioned postings
+        // merged per query must reproduce the whole-corpus harvest —
+        // records, links and counters alike.
+        let sharded_engine = ShardedSearchEngine::build(&web, ShardPlan::new(shards, seed ^ 0x9A));
+        let sharded = harvest_auxiliary_sharded(&release, &sharded_engine, &config).unwrap();
+        prop_assert_eq!(sharded.records.len(), reference.records.len());
+        for (i, (s, r)) in sharded.records.iter().zip(&reference.records).enumerate() {
+            prop_assert_eq!(s, r, "record {} differs at {} shards", i, shards);
+        }
+        prop_assert_eq!(&sharded.linked, &reference.linked);
+        prop_assert_eq!(sharded.pages_inspected, reference.pages_inspected);
+        prop_assert_eq!(sharded.pages_linked, reference.pages_linked);
+    }
+
+    #[test]
+    fn hierarchical_mdav_equals_its_reference_and_collapses_on_one_shard(
+        n in 4usize..200,
+        dims in 1usize..4,
+        seed in 0u64..1_000_000,
+        k in 2usize..7,
+        shards in 1usize..9,
+    ) {
+        use fred_suite::data::ShardPlan;
+        prop_assume!(k <= n);
+        let table = random_qi_table(n, dims, seed);
+        let mdav = Mdav::new();
+        let plan = ShardPlan::new(shards, seed ^ 0xD1);
+        let fast = mdav.partition_hierarchical(&table, k, &plan).unwrap();
+        let reference = mdav.partition_hierarchical_reference(&table, k, &plan).unwrap();
+        prop_assert_eq!(&fast, &reference, "n={} k={} shards={}", n, k, shards);
+        // A single-shard plan never splits, so the hierarchy degenerates
+        // to the flat partitioner exactly.
+        let flat = mdav.partition(&table, k).unwrap();
+        let single = mdav
+            .partition_hierarchical(&table, k, &ShardPlan::single())
+            .unwrap();
+        prop_assert_eq!(&single, &flat, "n={} k={}", n, k);
+        // Every class still holds at least k rows regardless of how the
+        // leaf split carved the table.
+        prop_assert!(fast.classes().iter().all(|c| c.len() >= k));
+    }
+
+    #[test]
+    fn sharded_intersection_equals_unsharded_for_every_plan(
+        size in 20usize..80,
+        seed in 0u64..1_000,
+        k in 2usize..6,
+        releases in 1usize..4,
+        shards in 1usize..7,
+        chunk_rows in 1usize..40,
+    ) {
+        use fred_suite::composition::{
+            generate_scenario, intersect_releases, intersect_releases_sharded, ScenarioConfig,
+        };
+        use fred_suite::data::ShardPlan;
+        let people = generate_population(&PopulationConfig {
+            size,
+            seed,
+            ..PopulationConfig::default()
+        });
+        let table = customer_table(&people, &CustomerConfig::default());
+        let config = ScenarioConfig {
+            releases,
+            k,
+            seed: seed ^ 0x5EAD,
+            ..ScenarioConfig::default()
+        };
+        prop_assume!(((size as f64) * config.overlap).round() as usize >= k);
+        let scenario = generate_scenario(&table, &Mdav::new(), &config).unwrap();
+        let plan = ShardPlan::new(shards, seed ^ 0x1C);
+        let full =
+            intersect_releases(&scenario.sources, &scenario.targets, size, chunk_rows).unwrap();
+        let sharded = intersect_releases_sharded(
+            &scenario.sources,
+            &scenario.targets,
+            size,
+            chunk_rows,
+            &plan,
+        )
+        .unwrap();
+        prop_assert_eq!(&sharded, &full, "shards={} chunk_rows={}", shards, chunk_rows);
+    }
+
+    #[test]
     fn streamed_release_chunks_equal_built_release(
         n in 4usize..120,
         dims in 1usize..4,
