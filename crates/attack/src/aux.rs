@@ -249,6 +249,13 @@ impl HarvestContext {
     }
 }
 
+/// Per-name latency histogram: one observation per name that reaches
+/// the classify-extract tail, recorded by the same routine that bumps
+/// the `harvest.names` counter — so the histogram's `count` reconciles
+/// exactly with the counter in every path (cached parallel, sequential,
+/// sharded, tolerant), which `tests/obs_reconcile.rs` pins.
+const HARVEST_NAME_MS: &str = "harvest.name_ms";
+
 /// Emits one harvested name's observability deltas: pages linked and
 /// inspected, plus what the memo and the score floor absorbed (read as
 /// deltas over the worker's [`LinkState`], which lives across names).
@@ -309,6 +316,7 @@ fn harvest_hits(
     ctx: &HarvestContext,
     state: &mut LinkState,
 ) -> (Option<AuxRecord>, Vec<usize>, usize) {
+    let started = fred_obs::is_enabled().then(std::time::Instant::now);
     let (lookups0, hits0, prunes0) = (
         state.agreement.lookups(),
         state.agreement.hits(),
@@ -332,6 +340,9 @@ fn harvest_hits(
         .iter()
         .filter_map(|&p| engine.page(p).map(extract))
         .collect();
+    if let Some(started) = started {
+        fred_obs::observe_ms(HARVEST_NAME_MS, started.elapsed().as_secs_f64() * 1e3);
+    }
     note_harvest_metrics(state, lookups0, hits0, prunes0, accepted.len(), inspected);
     (consolidate(&extractions), accepted, inspected)
 }
@@ -370,6 +381,7 @@ fn harvest_hits_tolerant(
     ctx: &HarvestContext,
     state: &mut LinkState,
 ) -> (Option<AuxRecord>, Vec<usize>, usize, Degradation) {
+    let started = fred_obs::is_enabled().then(std::time::Instant::now);
     let mut deg = Degradation::default();
     let (lookups0, hits0, prunes0) = (
         state.agreement.lookups(),
@@ -403,6 +415,9 @@ fn harvest_hits_tolerant(
             }
         })
         .collect();
+    if let Some(started) = started {
+        fred_obs::observe_ms(HARVEST_NAME_MS, started.elapsed().as_secs_f64() * 1e3);
+    }
     note_harvest_metrics(state, lookups0, hits0, prunes0, accepted.len(), inspected);
     (consolidate(&extractions), accepted, inspected, deg)
 }

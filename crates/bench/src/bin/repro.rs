@@ -12,8 +12,13 @@
 //!   repro --quick         # reduced timed sweep -> BENCH_sweep.json
 //!   repro --quick --compose  # + composition stages (quick world and,
 //!                            # with the large stage enabled, the 10k-row
-//!                            # composition_large block) in BENCH_sweep.json
+//!                            # composition_large block) and the gated
+//!                            # hypothesis-testing eval block (ROC AUC,
+//!                            # TPR@FPR=1e-3, empirical epsilon per
+//!                            # (k, R, defense) cell) in BENCH_sweep.json
 //!   repro --quick --compose --defend all  # + the composition_defense block
+//!                                         # and one defended eval cell per
+//!                                         # policy at the stage (k, R)
 //!   repro --quick --exhaustive  # + the full-table harvest reference next
 //!                               # to the seeded 512-row sample
 //!   repro --quick --faults 0.1  # + the fault-injection robustness sweep

@@ -19,8 +19,8 @@
 use fred_recover::{json, Artifact};
 
 use crate::perf::{
-    CompositionBench, CompositionBenchRow, DefenseBench, DefenseBenchRow, Large100kBench,
-    LargeBench, RobustnessBench, RobustnessBenchRow, ShardBenchRow, StageTiming,
+    CompositionBench, CompositionBenchRow, DefenseBench, DefenseBenchRow, EvalBench, EvalCellRow,
+    Large100kBench, LargeBench, RobustnessBench, RobustnessBenchRow, ShardBenchRow, StageTiming,
 };
 use crate::world::World;
 use fred_attack::Harvest;
@@ -349,6 +349,57 @@ impl Artifact for DefenseBench {
     }
 }
 
+impl Artifact for EvalBench {
+    fn to_payload(&self) -> String {
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"k\": {}, \"releases\": {}, \"defense\": \"{}\", \"targets\": {}, \"decoys\": {}, \"auc\": {:?}, \"tpr_at_fpr3\": {:?}, \"epsilon\": {:?}}}",
+                    r.k,
+                    r.releases,
+                    json::escape(&r.defense),
+                    r.targets,
+                    r.decoys,
+                    r.auc,
+                    r.tpr_at_fpr3,
+                    r.epsilon
+                )
+            })
+            .collect();
+        format!(
+            "{{\"wall_ms\": {:?}, \"rows\": [{}]}}",
+            self.wall_ms,
+            rows.join(", ")
+        )
+    }
+
+    fn from_payload(value: &json::Value) -> Option<EvalBench> {
+        let rows = value
+            .get("rows")?
+            .as_arr()?
+            .iter()
+            .map(|r| {
+                Some(EvalCellRow {
+                    k: r.get("k")?.as_usize()?,
+                    releases: r.get("releases")?.as_usize()?,
+                    defense: r.get("defense")?.as_str()?.to_string(),
+                    targets: r.get("targets")?.as_usize()?,
+                    decoys: r.get("decoys")?.as_usize()?,
+                    auc: r.get("auc")?.as_f64()?,
+                    tpr_at_fpr3: r.get("tpr_at_fpr3")?.as_f64()?,
+                    epsilon: r.get("epsilon")?.as_f64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(EvalBench {
+            wall_ms: value.get("wall_ms")?.as_f64()?,
+            rows,
+        })
+    }
+}
+
 impl Artifact for RobustnessBench {
     fn to_payload(&self) -> String {
         let rows: Vec<String> = self
@@ -480,8 +531,8 @@ impl Artifact for Large100kBench {
             .iter()
             .map(|r| {
                 format!(
-                    "{{\"shard\": {}, \"rows\": {}, \"pages\": {}}}",
-                    r.shard, r.rows, r.pages
+                    "{{\"shard\": {}, \"rows\": {}, \"pages\": {}, \"capped\": {}}}",
+                    r.shard, r.rows, r.pages, r.capped
                 )
             })
             .collect();
@@ -529,6 +580,10 @@ impl Artifact for Large100kBench {
                     shard: r.get("shard")?.as_usize()?,
                     rows: r.get("rows")?.as_usize()?,
                     pages: r.get("pages")?.as_usize()?,
+                    // Checkpoints written before the cap-saturation fix
+                    // lack the field; those runs were all well below the
+                    // 64-shard ceiling, so absent means uncapped.
+                    capped: r.get("capped").and_then(|v| v.as_bool()).unwrap_or(false),
                 })
             })
             .collect::<Option<Vec<_>>>()?;
@@ -627,6 +682,39 @@ mod tests {
         let back = round_trip(&defense);
         assert_eq!(back.rows[0].policy, "calibrated_widen_1.5");
 
+        let eval = EvalBench {
+            wall_ms: 2.5,
+            rows: vec![
+                EvalCellRow {
+                    k: 2,
+                    releases: 3,
+                    defense: "none".to_string(),
+                    targets: 60,
+                    decoys: 60,
+                    auc: 0.9875,
+                    tpr_at_fpr3: 0.8166,
+                    epsilon: 4.094_344_562_222_1,
+                },
+                EvalCellRow {
+                    k: 5,
+                    releases: 3,
+                    defense: "coordinated_seeds".to_string(),
+                    targets: 60,
+                    decoys: 60,
+                    auc: 0.5,
+                    tpr_at_fpr3: 0.0,
+                    epsilon: 0.008_230_486,
+                },
+            ],
+        };
+        let back = round_trip(&eval);
+        assert_eq!(back, eval);
+        assert_eq!(back.rows[1].defense, "coordinated_seeds");
+        assert_eq!(
+            back.rows[0].epsilon.to_bits(),
+            eval.rows[0].epsilon.to_bits()
+        );
+
         let rob = RobustnessBench {
             max_rate: 0.1,
             seed: 2015 ^ 0xFA17,
@@ -678,6 +766,7 @@ mod tests {
                 shard: 0,
                 rows: 12_500,
                 pages: 11_000,
+                capped: true,
             }],
             harvest_digest_sharded: 0x0123_4567_89ab_cdef,
             harvest_digest_unsharded: 0x0123_4567_89ab_cdef,
@@ -689,6 +778,13 @@ mod tests {
         let back = round_trip(&sharded);
         assert_eq!(back, sharded);
         assert_eq!(back.harvest_digest_sharded, 0x0123_4567_89ab_cdef);
+
+        // Checkpoints written before the cap-saturation field still
+        // parse, defaulting to uncapped.
+        let legacy = sharded.to_payload().replace(", \"capped\": true", "");
+        let value = json::parse(&legacy).unwrap();
+        let back = Large100kBench::from_payload(&value).expect("legacy payload decodes");
+        assert!(!back.shard_rows[0].capped);
     }
 
     #[test]

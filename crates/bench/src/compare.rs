@@ -80,6 +80,32 @@
 //!   dropped instrumentation, not noise). The measured cost of
 //!   *disabled* tracing is held under [`MAX_OBS_OVERHEAD_PCT`] of the
 //!   large block's wall;
+//! * when the baseline carries an `eval` block (`repro --quick
+//!   --compose` hypothesis-testing evaluation), the fresh run must carry
+//!   it too, and the fresh block's physics gate unconditionally — even
+//!   against a committed baseline that predates the block: every cell's
+//!   AUC must sit in `[0.5 −` [`EVAL_AUC_SLACK`]`, 1.0]`, TPR@10⁻³ in
+//!   `[0, 1]`, empirical ε must be non-negative and *non-increasing in
+//!   `k`* within a `(R, defense)` group (stronger anonymity must not
+//!   leak more), and every defended cell's ε must stay at or below the
+//!   undefended ε at the same `(k, R)`. A non-finite cell value is
+//!   unparseable by construction and lands in the malformed-row
+//!   violations — on *either* side, so a NaN-poisoned committed block
+//!   refuses to gate instead of disarming these checks. When the
+//!   committed baseline carries the block at the same seed and
+//!   populations, each matched `(k, R, defense)` cell is additionally
+//!   pinned within [`EVAL_DRIFT_SLACK`] — the cell is seeded and
+//!   deterministic, so larger drift is a behavior change;
+//! * `large_100k` shard accounting rows carry a `capped` flag that must
+//!   agree with the plan derivation at the block's size: a saturated
+//!   plan (> 64 derived shards clamped to 64) holds *more* rows per
+//!   shard than the one-per-12.5k derivation rate, and a row that
+//!   misreports that invites exactly the misread the flag exists to
+//!   prevent. Pre-cap baselines parse as uncapped;
+//! * when a fresh non-deterministic profile carries histogram rows, the
+//!   `harvest.name_ms` histogram's observation count must reconcile
+//!   exactly with the `harvest.names` counter — both are written by the
+//!   same harvest tail, so a gap is dropped instrumentation;
 //! * a baseline that fails structural sanity — no config line, no
 //!   parseable stage rows, or a truncated file — is reported as a
 //!   violation instead of silently parsing to an empty [`Baseline`]
@@ -133,9 +159,48 @@ pub const MAX_OBS_OVERHEAD_PCT: f64 = 3.0;
 /// recorded `0.0` (deterministic mode, or `/proc` unavailable).
 pub const MAX_100K_PEAK_RSS_MB: f64 = 2048.0;
 
+/// A fresh eval cell's AUC may dip at most this far below chance-level
+/// 0.5: finite decoy populations are noisy, and a defense can push the
+/// attacker slightly *past* chance in the wrong direction, but a score
+/// that systematically prefers decoys is a scoring-path bug.
+pub const EVAL_AUC_SLACK: f64 = 0.05;
+
+/// Tolerance for the ε ordering gates (non-increasing in `k`, defended
+/// ≤ undefended) — covers the baseline's 4-decimal print rounding on
+/// both sides of a comparison, nothing more.
+pub const EVAL_EPSILON_SLACK: f64 = 1e-3;
+
+/// Cross-run drift tolerance per eval metric at a matched `(k, R,
+/// defense)` cell when seed and populations match: the cell is seeded
+/// and deterministic, so anything past print rounding plus last-ulp
+/// libm skew is a behavior change.
+pub const EVAL_DRIFT_SLACK: f64 = 0.05;
+
 /// One composition-stage row: `(releases, disclosure_gain,
 /// mean_candidates)`.
 pub type CompositionRow = (usize, f64, f64);
+
+/// One `(k, R, defense)` cell of the hypothesis-testing `eval` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalRow {
+    /// Anonymization level the cell's scenario was generated at.
+    pub k: usize,
+    /// Number of composed releases the adversary scored.
+    pub releases: usize,
+    /// Defense label (`"none"` for undefended cells).
+    pub defense: String,
+    /// Core targets scored (the positive population).
+    pub targets: usize,
+    /// Matched decoys scored through the identical path (the negatives).
+    pub decoys: usize,
+    /// Trapezoidal area under the ROC curve.
+    pub auc: f64,
+    /// True-positive rate at the largest threshold with FPR ≤ 10⁻³.
+    pub tpr_at_fpr3: f64,
+    /// Empirical ε (max log-likelihood ratio over thresholds, Laplace
+    /// corrected — finite by construction).
+    pub epsilon: f64,
+}
 
 /// One robustness-stage row, as parsed from a `robustness` block.
 #[derive(Debug, Clone, PartialEq)]
@@ -257,6 +322,9 @@ pub struct ProfileBlock {
     pub stages: Vec<ProfileRow>,
     /// Merged counter totals by name (empty on deterministic runs).
     pub counters: BTreeMap<String, u64>,
+    /// Latency histograms by name → `(count, sum_ms)` (empty on
+    /// deterministic runs and on baselines that predate the rows).
+    pub hists: BTreeMap<String, (u64, f64)>,
 }
 
 /// The `large_100k` block, as parsed from a sharded-scale run
@@ -271,10 +339,12 @@ pub struct Sharded100kBlock {
     pub sample_rows: usize,
     /// Peak resident set in MiB (`0.0` = unavailable/deterministic).
     pub peak_rss_mb: f64,
-    /// Per-shard accounting rows `(shard, rows, pages)`, as written —
-    /// the gate checks exactly `shards` of them, dense and covering
-    /// `size` rows, so a vanished shard row cannot pass silently.
-    pub shard_rows: Vec<(usize, usize, usize)>,
+    /// Per-shard accounting rows `(shard, rows, pages, capped)`, as
+    /// written — the gate checks exactly `shards` of them, dense and
+    /// covering `size` rows, so a vanished shard row cannot pass
+    /// silently, and `capped` must agree with the plan derivation at
+    /// `size` (baselines that predate the flag parse as uncapped).
+    pub shard_rows: Vec<(usize, usize, usize, bool)>,
     /// Equivalence digests by name (`harvest_sharded`,
     /// `harvest_unsharded`, `mdav_*`, `intersect_*`), as hex strings.
     pub digests: BTreeMap<String, String>,
@@ -305,6 +375,9 @@ pub struct Baseline {
     /// `k` recorded in the `composition_defense` block, when present —
     /// the floor the `calibrated_widen_*` candidate gate checks against.
     pub defense_k: Option<usize>,
+    /// Hypothesis-testing eval cells, when present (undefended cells
+    /// first, then one row per defense policy).
+    pub eval: Vec<EvalRow>,
     /// Robustness rows, ascending in fault rate, when present.
     pub robustness: Vec<RobustnessRow>,
     /// The sharded-scale `large_100k` block, when present.
@@ -449,8 +522,15 @@ pub fn parse_baseline(json: &str) -> Baseline {
                         num_field(line, "pages"),
                     ) {
                         (Some(shard), Some(rows), Some(pages)) => {
-                            big.shard_rows
-                                .push((shard as usize, rows as usize, pages as usize));
+                            // Pre-cap baselines carry no flag; every
+                            // size they ran at derived exactly.
+                            let capped = line.contains("\"capped\": true");
+                            big.shard_rows.push((
+                                shard as usize,
+                                rows as usize,
+                                pages as usize,
+                                capped,
+                            ));
                         }
                         _ => out.malformed_rows.push(line.trim().to_owned()),
                     }
@@ -626,6 +706,7 @@ pub fn parse_baseline(json: &str) -> Baseline {
                         overhead_pct_of_large: 0.0,
                         stages: Vec::new(),
                         counters: BTreeMap::new(),
+                        hists: BTreeMap::new(),
                     });
                 }
                 _ => out.malformed_rows.push(line.trim().to_owned()),
@@ -677,6 +758,63 @@ pub fn parse_baseline(json: &str) -> Baseline {
             match (&mut out.profile, fields) {
                 (Some(prof), (Some(name), Some(value))) => {
                     prof.counters.insert(name.to_owned(), value as u64);
+                }
+                _ => out.malformed_rows.push(line.trim().to_owned()),
+            }
+            continue;
+        }
+        // A profile histogram row — `"hist"` occurs nowhere else.
+        if line.contains("\"hist\":") {
+            let fields = (
+                str_field(line, "hist"),
+                num_field(line, "count"),
+                num_field(line, "sum_ms"),
+            );
+            match (&mut out.profile, fields) {
+                (Some(prof), (Some(name), Some(count), Some(sum))) if sum.is_finite() => {
+                    prof.hists.insert(name.to_owned(), (count as u64, sum));
+                }
+                _ => out.malformed_rows.push(line.trim().to_owned()),
+            }
+            continue;
+        }
+        // A hypothesis-testing eval cell — `"auc"` occurs nowhere else.
+        // A NaN metric does not survive `num_field` (the writer renders
+        // it as `NaN`, which the numeric scan rejects), so a poisoned
+        // cell lands in `malformed_rows` and refuses to gate instead of
+        // slipping past the comparison gates below.
+        if line.contains("\"auc\":") {
+            let fields = (
+                num_field(line, "k"),
+                num_field(line, "releases"),
+                str_field(line, "defense"),
+                num_field(line, "targets"),
+                num_field(line, "decoys"),
+                num_field(line, "auc"),
+                num_field(line, "tpr_at_fpr3"),
+                num_field(line, "epsilon"),
+            );
+            match fields {
+                (
+                    Some(k),
+                    Some(releases),
+                    Some(defense),
+                    Some(targets),
+                    Some(decoys),
+                    Some(auc),
+                    Some(tpr),
+                    Some(eps),
+                ) if auc.is_finite() && tpr.is_finite() && eps.is_finite() => {
+                    out.eval.push(EvalRow {
+                        k: k as usize,
+                        releases: releases as usize,
+                        defense: defense.to_owned(),
+                        targets: targets as usize,
+                        decoys: decoys as usize,
+                        auc,
+                        tpr_at_fpr3: tpr,
+                        epsilon: eps,
+                    });
                 }
                 _ => out.malformed_rows.push(line.trim().to_owned()),
             }
@@ -948,6 +1086,151 @@ pub fn compare_baselines(committed_json: &str, fresh_json: &str) -> CompareRepor
             }
         }
     }
+    // The hypothesis-testing eval gates: like the shard gates, the
+    // block's claims are physics, not timing, so every in-run gate runs
+    // on the fresh side even against a committed baseline that predates
+    // the block — only the cross-run drift pin needs a committed
+    // counterpart (and says so in a note when it cannot bind, so the
+    // gate is never silently vacuous).
+    if !committed.eval.is_empty() && fresh.eval.is_empty() {
+        report
+            .violations
+            .push("eval (hypothesis-testing) block disappeared from the fresh baseline".into());
+    }
+    if !fresh.eval.is_empty() {
+        for row in &fresh.eval {
+            if row.targets == 0 || row.decoys == 0 {
+                report.violations.push(format!(
+                    "eval cell k={} R={} `{}` scored an empty population ({} targets, \
+                     {} decoys) — both classes are required for a hypothesis test",
+                    row.k, row.releases, row.defense, row.targets, row.decoys
+                ));
+            }
+            if row.auc < 0.5 - EVAL_AUC_SLACK || row.auc > 1.0 + 1e-9 {
+                report.violations.push(format!(
+                    "eval cell k={} R={} `{}` AUC {:.4} is outside [{:.2}, 1.0] — the \
+                     score must discriminate no worse than chance and cannot beat a \
+                     perfect test",
+                    row.k,
+                    row.releases,
+                    row.defense,
+                    row.auc,
+                    0.5 - EVAL_AUC_SLACK
+                ));
+            }
+            if !(0.0..=1.0 + 1e-9).contains(&row.tpr_at_fpr3) {
+                report.violations.push(format!(
+                    "eval cell k={} R={} `{}` TPR@1e-3 {:.4} is outside [0, 1]",
+                    row.k, row.releases, row.defense, row.tpr_at_fpr3
+                ));
+            }
+            if row.epsilon < -EVAL_EPSILON_SLACK {
+                report.violations.push(format!(
+                    "eval cell k={} R={} `{}` empirical ε {:.4} is negative — the \
+                     Laplace-corrected max log-likelihood ratio over thresholds \
+                     includes the accept-nothing threshold, so it cannot fall below 0",
+                    row.k, row.releases, row.defense, row.epsilon
+                ));
+            }
+        }
+        // Stronger anonymity must not leak more: within a (R, defense)
+        // group, ε is non-increasing in k.
+        for a in &fresh.eval {
+            for b in &fresh.eval {
+                if a.defense == b.defense
+                    && a.releases == b.releases
+                    && a.k < b.k
+                    && b.epsilon > a.epsilon + EVAL_EPSILON_SLACK
+                {
+                    report.violations.push(format!(
+                        "eval ε rose with k at R={} `{}`: k={} -> {:.4}, k={} -> {:.4} \
+                         — stronger anonymity must not leak more",
+                        a.releases, a.defense, a.k, a.epsilon, b.k, b.epsilon
+                    ));
+                }
+            }
+        }
+        // A deployed defense must not make the attacker's test better
+        // than the undefended reference at the same cell.
+        for row in fresh.eval.iter().filter(|r| r.defense != "none") {
+            match fresh
+                .eval
+                .iter()
+                .find(|u| u.defense == "none" && u.k == row.k && u.releases == row.releases)
+            {
+                Some(undef) => {
+                    if row.epsilon > undef.epsilon + EVAL_EPSILON_SLACK {
+                        report.violations.push(format!(
+                            "eval defended ε {:.4} under `{}` exceeds the undefended ε \
+                             {:.4} at the same (k={}, R={}) — the defense made the \
+                             attacker's test stronger",
+                            row.epsilon, row.defense, undef.epsilon, row.k, row.releases
+                        ));
+                    }
+                }
+                None => report.violations.push(format!(
+                    "eval defended cell `{}` at (k={}, R={}) has no undefended \
+                     reference cell to gate against",
+                    row.defense, row.k, row.releases
+                )),
+            }
+        }
+        // Cross-run drift pin: the cell is a pure function of (seed,
+        // size, defense), so matched cells must agree across runs.
+        if committed.eval.is_empty() {
+            report.notes.push(format!(
+                "committed baseline predates the eval block: in-run eval gates applied \
+                 over {} cell(s); cross-run drift pin starts once the baseline is \
+                 regenerated",
+                fresh.eval.len()
+            ));
+        } else if committed.seed != fresh.seed {
+            report.notes.push(
+                "eval seed changed: cross-run drift pin skipped, in-run gates still applied".into(),
+            );
+        } else {
+            for row in &fresh.eval {
+                let Some(base) = committed.eval.iter().find(|b| {
+                    b.k == row.k
+                        && b.releases == row.releases
+                        && b.defense == row.defense
+                        && b.targets == row.targets
+                        && b.decoys == row.decoys
+                }) else {
+                    continue;
+                };
+                for (metric, fresh_v, base_v) in [
+                    ("AUC", row.auc, base.auc),
+                    ("TPR@1e-3", row.tpr_at_fpr3, base.tpr_at_fpr3),
+                    ("ε", row.epsilon, base.epsilon),
+                ] {
+                    if (fresh_v - base_v).abs() > EVAL_DRIFT_SLACK {
+                        report.violations.push(format!(
+                            "eval {metric} drifted at (k={}, R={}, `{}`): {fresh_v:.4} \
+                             vs committed {base_v:.4} — the cell is seeded and \
+                             deterministic, so this is a behavior change",
+                            row.k, row.releases, row.defense
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(top) = fresh
+            .eval
+            .iter()
+            .filter(|r| r.defense == "none")
+            .max_by_key(|r| (r.k, r.releases))
+        {
+            report.notes.push(format!(
+                "eval: {} cell(s); undefended k={} R={} reaches AUC {:.4}, ε {:.4}",
+                fresh.eval.len(),
+                top.k,
+                top.releases,
+                top.auc,
+                top.epsilon
+            ));
+        }
+    }
     // The robustness gates: graceful degradation is a committed
     // property. The fault-free row is pinned exactly (it *is* the strict
     // pipeline, so any drift there is a zero-fault behavior change, not
@@ -1074,19 +1357,43 @@ pub fn compare_baselines(committed_json: &str, fresh_json: &str) -> CompareRepor
             .shard_rows
             .iter()
             .enumerate()
-            .any(|(i, (shard, _, _))| *shard != i)
+            .any(|(i, (shard, _, _, _))| *shard != i)
         {
             report.violations.push(format!(
                 "large_100k shard rows are not dense ascending: {:?}",
                 big.shard_rows
             ));
         }
-        let covered: usize = big.shard_rows.iter().map(|(_, rows, _)| rows).sum();
+        let covered: usize = big.shard_rows.iter().map(|(_, rows, _, _)| rows).sum();
         if covered != big.size {
             report.violations.push(format!(
                 "large_100k shard rows cover {} of {} master rows — every row must \
                  belong to exactly one shard",
                 covered, big.size
+            ));
+        }
+        // The capped flag must agree with the plan derivation: a
+        // saturated plan holds more rows per shard than the
+        // one-per-12.5k rate, and a row that misreports it reintroduces
+        // exactly the misread the flag exists to prevent.
+        let expected_cap = fred_data::ShardPlan::for_size_saturated(big.size);
+        if big
+            .shard_rows
+            .iter()
+            .any(|(_, _, _, capped)| *capped != expected_cap)
+        {
+            report.violations.push(format!(
+                "large_100k shard rows misreport cap saturation at {} rows across {} \
+                 shard(s): expected capped = {expected_cap}",
+                big.size, big.shards
+            ));
+        }
+        if expected_cap && !big.shard_rows.is_empty() {
+            report.notes.push(format!(
+                "large_100k shard plan saturated at the derivation ceiling: {} shard(s) \
+                 hold ~{} rows each, not one per 12.5k",
+                big.shards,
+                big.size / big.shards.max(1)
             ));
         }
         if big.peak_rss_mb > MAX_100K_PEAK_RSS_MB {
@@ -1262,6 +1569,24 @@ pub fn compare_baselines(committed_json: &str, fresh_json: &str) -> CompareRepor
                                  instrumentation"
                             ));
                         }
+                    }
+                }
+                // The harvest latency histogram and the harvest.names
+                // counter are bumped by the same classify-extract tail
+                // (cached, sequential, sharded and tolerant paths all
+                // funnel through it), so their totals must agree to the
+                // unit whenever the histogram was recorded.
+                if let (Some((hist_count, _)), Some(&names)) = (
+                    prof.hists.get("harvest.name_ms"),
+                    prof.counters.get("harvest.names"),
+                ) {
+                    if *hist_count != names {
+                        report.violations.push(format!(
+                            "obs histogram `harvest.name_ms` recorded {hist_count} \
+                             observation(s) but counter `harvest.names` = {names} — \
+                             both are written by the same harvest tail, so a gap is \
+                             dropped instrumentation"
+                        ));
                     }
                 }
                 if let Some(rec) = &fresh.recovery {
@@ -2618,7 +2943,11 @@ mod tests {
         let big = b.large_100k.as_ref().expect("block parsed");
         assert_eq!((big.size, big.shards, big.sample_rows), (200, 2, 200));
         assert_eq!(big.peak_rss_mb, 512.0);
-        assert_eq!(big.shard_rows, vec![(0, 100, 90), (1, 100, 89)]);
+        // Pre-cap rows (no `capped` field) parse as uncapped.
+        assert_eq!(
+            big.shard_rows,
+            vec![(0, 100, 90, false), (1, 100, 89, false)]
+        );
         assert_eq!(big.digests.len(), 6);
         assert_eq!(b.seed, Some(2015));
         // The 100k stages share the common timing namespace.

@@ -29,7 +29,7 @@ use fred_attack::{
 use fred_composition::{
     compose_attack, compose_attack_tolerant, composition_sweep, defense_sweep, generate_scenario,
     intersect_releases, intersect_releases_sharded, CompositionConfig, CompositionOutcome,
-    CompositionSweepConfig, DefensePolicy, ScenarioConfig, TargetIntersection,
+    CompositionSweepConfig, DefensePolicy, ScenarioConfig, Source, TargetIntersection,
 };
 use fred_core::{sweep, SweepConfig};
 use fred_data::{ShardPlan, Table};
@@ -91,6 +91,11 @@ pub struct ShardBenchRow {
     pub rows: usize,
     /// Corpus pages owned by this shard's postings.
     pub pages: usize,
+    /// True when [`ShardPlan::for_size`] saturated at its 64-shard
+    /// ceiling for this world — the shard count is a floor, not the
+    /// one-shard-per-12.5k-rows rate a reader would otherwise infer
+    /// (a 1M-row plan still says 64).
+    pub capped: bool,
 }
 
 /// The sharded 100k block (`repro --quick --size 100000`): the
@@ -246,6 +251,47 @@ pub struct DefenseBench {
     pub rows: Vec<DefenseBenchRow>,
 }
 
+/// One `(k, releases, defense)` cell of the hypothesis-testing
+/// evaluation: the composition attack's output rescored as a binary
+/// classifier over core targets versus matched decoys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalCellRow {
+    /// Anonymization level every curator applied in this cell.
+    pub k: usize,
+    /// Number of composed releases the adversary observed.
+    pub releases: usize,
+    /// `"none"` for the undefended scenario, else the
+    /// [`DefensePolicy::label`] the curators coordinated under.
+    pub defense: String,
+    /// Core targets scored (the positive class).
+    pub targets: usize,
+    /// Matched decoys scored through the identical path (the negative
+    /// class).
+    pub decoys: usize,
+    /// Trapezoidal area under the ROC curve (gated within
+    /// `[0.5 - slack, 1.0]`).
+    pub auc: f64,
+    /// TPR at FPR ≤ 10⁻³ ([`fred_eval::LOW_FPR`]).
+    pub tpr_at_fpr3: f64,
+    /// Empirical ε: max over thresholds of `ln((1−FNR)/FPR)` with the
+    /// +1/2 Laplace correction — always finite (gated non-increasing in
+    /// `k`, and defended ≤ undefended at matching `(k, R)`).
+    pub epsilon: f64,
+}
+
+/// The hypothesis-testing evaluation stage (`repro --quick --compose`):
+/// every `(k, R)` cell of [`EVAL_KS`] × [`EVAL_RELEASES`] scored
+/// undefended, plus one defended cell per `--defend` policy at the
+/// tracked `k` and top `R`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalBench {
+    /// Wall-clock of the whole evaluation stage.
+    pub wall_ms: f64,
+    /// Per-cell metrics: undefended cells first (ascending `k`, then
+    /// `releases`), then one row per defense policy.
+    pub rows: Vec<EvalCellRow>,
+}
+
 /// One fault-rate cell of the robustness sweep.
 #[derive(Debug, Clone)]
 pub struct RobustnessBenchRow {
@@ -313,6 +359,24 @@ pub struct ProfileStageRow {
     pub spans: usize,
 }
 
+/// One duration histogram surfaced in the `profile` block: the
+/// fixed-bucket distribution a [`fred_obs::observe_ms`] site recorded
+/// (e.g. per-name harvest latency under `harvest.name_ms`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileHistRow {
+    /// Histogram name (the `observe_ms` site).
+    pub name: String,
+    /// Total observations — reconciled against the site's companion
+    /// counter (`harvest.name_ms` vs `harvest.names`) both in-run by the
+    /// compare gate and in `tests/obs_reconcile.rs`.
+    pub count: u64,
+    /// Sum of observed values in ms.
+    pub sum_ms: f64,
+    /// Observation counts per bucket ([`fred_obs::HIST_BOUNDS_MS`]
+    /// upper bounds plus one overflow bucket).
+    pub buckets: Vec<u64>,
+}
+
 /// The `profile` block: the drained [`fred_obs`] trace distilled into
 /// the gated shape — span-tree structure pin, per-stage self-time,
 /// counter totals, and the measured cost of *disabled* tracing.
@@ -342,6 +406,11 @@ pub struct ProfileBench {
     pub stages: Vec<ProfileStageRow>,
     /// Merged counter totals by name (empty in deterministic mode).
     pub counters: Vec<(String, u64)>,
+    /// Duration histograms by name (empty in deterministic mode, like
+    /// the counters: resumed stages skip their compute closures, so
+    /// observation counts are not a pure function of the
+    /// configuration).
+    pub hists: Vec<ProfileHistRow>,
 }
 
 /// One stage's recovery ledger: how the [`StageRunner`] obtained it.
@@ -414,6 +483,9 @@ pub struct QuickBench {
     /// The defense stage, when enabled (`repro --quick --compose
     /// --defend ...`).
     pub composition_defense: Option<DefenseBench>,
+    /// The hypothesis-testing evaluation, when enabled (`repro --quick
+    /// --compose`; defended cells with `--defend` too).
+    pub eval: Option<EvalBench>,
     /// The fault-injection stage, when enabled (`repro --quick
     /// --faults <rate>`).
     pub robustness: Option<RobustnessBench>,
@@ -550,10 +622,11 @@ impl QuickBench {
             out.push_str("    ],\n    \"shard_rows\": [\n");
             for (i, row) in big.shard_rows.iter().enumerate() {
                 out.push_str(&format!(
-                    "      {{ \"shard\": {}, \"rows\": {}, \"pages\": {} }}{}\n",
+                    "      {{ \"shard\": {}, \"rows\": {}, \"pages\": {}, \"capped\": {} }}{}\n",
                     row.shard,
                     row.rows,
                     row.pages,
+                    row.capped,
                     if i + 1 < big.shard_rows.len() {
                         ","
                     } else {
@@ -594,6 +667,26 @@ impl QuickBench {
                     row.mean_candidates,
                     row.utility_cost,
                     if i + 1 < defense.rows.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("    ]\n  }");
+        }
+        if let Some(eval) = &self.eval {
+            out.push_str(",\n  \"eval\": {\n");
+            out.push_str(&format!("    \"wall_ms\": {:.3},\n", eval.wall_ms));
+            out.push_str("    \"rows\": [\n");
+            for (i, row) in eval.rows.iter().enumerate() {
+                out.push_str(&format!(
+                    "      {{ \"k\": {}, \"releases\": {}, \"defense\": \"{}\", \"targets\": {}, \"decoys\": {}, \"auc\": {:.4}, \"tpr_at_fpr3\": {:.4}, \"epsilon\": {:.4} }}{}\n",
+                    row.k,
+                    row.releases,
+                    row.defense,
+                    row.targets,
+                    row.decoys,
+                    row.auc,
+                    row.tpr_at_fpr3,
+                    row.epsilon,
+                    if i + 1 < eval.rows.len() { "," } else { "" }
                 ));
             }
             out.push_str("    ]\n  }");
@@ -669,6 +762,23 @@ impl QuickBench {
                     if i + 1 < prof.counters.len() { "," } else { "" }
                 ));
             }
+            out.push_str("    ],\n    \"hists\": [\n");
+            for (i, row) in prof.hists.iter().enumerate() {
+                let buckets = row
+                    .buckets
+                    .iter()
+                    .map(|b| b.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                out.push_str(&format!(
+                    "      {{ \"hist\": \"{}\", \"count\": {}, \"sum_ms\": {:.3}, \"buckets\": [{}] }}{}\n",
+                    row.name,
+                    row.count,
+                    row.sum_ms,
+                    buckets,
+                    if i + 1 < prof.hists.len() { "," } else { "" }
+                ));
+            }
             out.push_str("    ]\n  }");
         }
         out.push('\n');
@@ -734,10 +844,15 @@ impl QuickBench {
         }
         if let Some(big) = &self.large_100k {
             out.push_str(&format!(
-                "  sharded world — {} records across {} shard{} ({} core{}), peak rss {:.1} MiB:\n",
+                "  sharded world — {} records across {} shard{}{} ({} core{}), peak rss {:.1} MiB:\n",
                 big.size,
                 big.shards,
                 if big.shards == 1 { "" } else { "s" },
+                if big.shard_rows.iter().any(|r| r.capped) {
+                    " (CAPPED at the plan ceiling)"
+                } else {
+                    ""
+                },
                 big.cores,
                 if big.cores == 1 { "" } else { "s" },
                 big.peak_rss_mb
@@ -776,6 +891,26 @@ impl QuickBench {
                     row.undefended_gain,
                     row.mean_candidates,
                     row.utility_cost
+                ));
+            }
+        }
+        if let Some(eval) = &self.eval {
+            out.push_str(&format!(
+                "  hypothesis test — {} cells ({:.2} ms):\n",
+                eval.rows.len(),
+                eval.wall_ms
+            ));
+            for row in &eval.rows {
+                out.push_str(&format!(
+                    "    k = {} R = {} {:<22} auc {:.3}   tpr@1e-3 {:.3}   eps {:.2}   ({} targets vs {} decoys)\n",
+                    row.k,
+                    row.releases,
+                    row.defense,
+                    row.auc,
+                    row.tpr_at_fpr3,
+                    row.epsilon,
+                    row.targets,
+                    row.decoys
                 ));
             }
         }
@@ -837,6 +972,19 @@ impl QuickBench {
                 out.push_str(&format!(
                     "    {:<14} self {:>10.2} ms\n",
                     row.stage, row.self_ms
+                ));
+            }
+            for row in &prof.hists {
+                out.push_str(&format!(
+                    "    hist {:<20} {:>8} obs   sum {:>10.2} ms   mean {:>8.3} ms\n",
+                    row.name,
+                    row.count,
+                    row.sum_ms,
+                    if row.count > 0 {
+                        row.sum_ms / row.count as f64
+                    } else {
+                        0.0
+                    }
                 ));
             }
         }
@@ -1135,7 +1283,28 @@ pub fn quick_bench(
         _ => None,
     };
 
-    // Stage 9 (optional): the fault-injection sweep.
+    // Stage 9 (optional): the hypothesis-testing evaluation — the same
+    // scenarios the composition stages attack, rescored as a binary
+    // classifier (core targets vs matched decoys) per (k, R, defense)
+    // cell.
+    let eval = compose.then(|| {
+        spanned(rstage::EVAL, || {
+            runner.run(rstage::EVAL, || {
+                let mut bench = eval_bench(&world, options.defend.as_deref());
+                bench.wall_ms = t(bench.wall_ms);
+                bench
+            })
+        })
+    });
+    if let Some(eval) = &eval {
+        stages.push(StageTiming {
+            name: sn::EVAL_SWEEP,
+            wall_ms: eval.wall_ms,
+            rows: eval.rows.iter().map(|r| r.targets + r.decoys).sum(),
+        });
+    }
+
+    // Stage 10 (optional): the fault-injection sweep.
     let robustness = options.faults.map(|rate| {
         let bench = spanned(rstage::ROBUSTNESS, || {
             runner.run(rstage::ROBUSTNESS, || {
@@ -1152,7 +1321,7 @@ pub fn quick_bench(
         bench
     });
 
-    // Stage 10 (optional — by far the most expensive of the core
+    // Stage 11 (optional — by far the most expensive of the core
     // pipeline, so a killed run resumes past everything else): the
     // large-world block.
     let large = options.large_size.map(|size| {
@@ -1173,7 +1342,7 @@ pub fn quick_bench(
         })
     });
 
-    // Stage 11 (optional, last): the shard-partitioned pipeline at
+    // Stage 12 (optional, last): the shard-partitioned pipeline at
     // `--size` scale, every sharded path digest-pinned in-process
     // against its unsharded reference.
     let large_100k = options.sharded_size.map(|size| {
@@ -1251,6 +1420,7 @@ pub fn quick_bench(
         large_100k,
         composition,
         composition_defense,
+        eval,
         robustness,
         deterministic: det,
         recovery,
@@ -1309,6 +1479,20 @@ fn distill_profile(
                 .counters
                 .iter()
                 .map(|(k, v)| (k.clone(), *v))
+                .collect()
+        },
+        hists: if det {
+            Vec::new()
+        } else {
+            trace
+                .histograms
+                .iter()
+                .map(|(name, h)| ProfileHistRow {
+                    name: name.clone(),
+                    count: h.count,
+                    sum_ms: h.sum_ms,
+                    buckets: h.buckets.to_vec(),
+                })
                 .collect()
         },
     }
@@ -1633,6 +1817,151 @@ fn defense_bench(world: &crate::world::World, policies: &[DefensePolicy]) -> Def
         wall_ms: wall,
         rows,
     }
+}
+
+/// Anonymization levels the hypothesis-testing evaluation sweeps — two
+/// distinct ks so the "ε non-increasing in k" gate compares real cells
+/// within one run instead of holding vacuously over a single level.
+pub const EVAL_KS: [usize; 2] = [2, STAGE_K];
+
+/// Release counts every undefended evaluation cell is scored at.
+pub const EVAL_RELEASES: [usize; 2] = [2, 3];
+
+/// The decoy pool for one scenario: every master row outside the
+/// target core. Which of them actually count as negatives is decided
+/// per cell, after intersection — see [`eval_cell`].
+fn eval_decoys(n: usize, targets: &[usize]) -> Vec<usize> {
+    let in_core: std::collections::HashSet<usize> = targets.iter().copied().collect();
+    (0..n).filter(|row| !in_core.contains(row)).collect()
+}
+
+/// Scores one `(sources, targets, decoys)` cell: both populations run
+/// through the intersection engine in a single call (so the scoring
+/// path cannot drift between them), then split and handed to the
+/// threshold sweep.
+///
+/// Decoy rows that turn out to be present in *every* scored release are
+/// dropped before the sweep: such a row is a member of the fused
+/// release population, so its "not in the core" label is ground-truth
+/// noise, not a measure of attacker power — at low `k` it intersects
+/// exactly as sharply as a real target and no score can tell them
+/// apart. Excluding it is the membership-inference convention of
+/// evaluating only on cleanly-labelled in/out populations, and it is
+/// what makes the committed ε genuinely non-increasing in `k` instead
+/// of tie-noise.
+fn eval_cell(
+    sources: &[Source],
+    targets: &[usize],
+    decoys: &[usize],
+    n_master: usize,
+) -> fred_eval::EvalReport {
+    let mut rows: Vec<usize> = Vec::with_capacity(targets.len() + decoys.len());
+    rows.extend_from_slice(targets);
+    rows.extend_from_slice(decoys);
+    let inters = intersect_releases(sources, &rows, n_master, STREAM_CHUNK_ROWS)
+        .expect("intersection over generated sources cannot fail");
+    let (target_rows, decoy_rows) = inters.split_at(targets.len());
+    let eligible: Vec<TargetIntersection> = decoy_rows
+        .iter()
+        .filter(|d| d.sources_seen < sources.len())
+        .cloned()
+        .collect();
+    fred_eval::evaluate_intersections(target_rows, &eligible, n_master)
+        .expect("eval populations are non-empty with finite scores")
+}
+
+/// Runs the hypothesis-testing evaluation on a world: every undefended
+/// `(k, R)` cell of [`EVAL_KS`] × [`EVAL_RELEASES`] (ks clamped to the
+/// world and deduplicated) scores the scenario's target core against a
+/// matched decoy population, sweeps the decision threshold, and records
+/// ROC-derived AUC, TPR@FPR=10⁻³ and empirical ε; with `--defend` one
+/// extra cell per policy runs at the tracked `k` and top `R`. Each k's
+/// lower-R cells score a *prefix* of the same source list, so the only
+/// variable across a row group is how much the adversary has seen.
+/// Every value is asserted finite — a NaN would sail through the
+/// comparison gates (every NaN comparison is false) and disarm them
+/// silently.
+fn eval_bench(world: &crate::world::World, policies: Option<&[DefensePolicy]>) -> EvalBench {
+    let table = &world.table;
+    let n = table.len();
+    let anonymizer = Mdav::new();
+    let base = ScenarioConfig::default();
+    let max_r = *EVAL_RELEASES.iter().max().expect("release list non-empty");
+    let stage_k = STAGE_K.min(n);
+    let mut ks: Vec<usize> = EVAL_KS.iter().map(|&k| k.min(stage_k)).collect();
+    ks.sort_unstable();
+    ks.dedup();
+    let (rows, wall_ms) = time_ms(|| {
+        let mut rows: Vec<EvalCellRow> = Vec::new();
+        for &k in &ks {
+            let config = ScenarioConfig {
+                releases: max_r,
+                k,
+                ..base.clone()
+            };
+            let scenario = generate_scenario(table, &anonymizer, &config)
+                .expect("eval scenario generates over the quick world");
+            let decoys = eval_decoys(n, &scenario.targets);
+            for &releases in &EVAL_RELEASES {
+                let releases = releases.min(scenario.sources.len());
+                let report =
+                    eval_cell(&scenario.sources[..releases], &scenario.targets, &decoys, n);
+                fred_obs::counter("eval.cells", 1);
+                fred_obs::counter("eval.scored_rows", (report.targets + report.decoys) as u64);
+                rows.push(EvalCellRow {
+                    k,
+                    releases,
+                    defense: "none".to_owned(),
+                    targets: report.targets,
+                    decoys: report.decoys,
+                    auc: report.auc,
+                    tpr_at_fpr3: report.tpr_at_low_fpr,
+                    epsilon: report.epsilon,
+                });
+            }
+        }
+        if let Some(policies) = policies {
+            for policy in policies {
+                // Defended cells regenerate the full scenario under the
+                // policy and score all sources (no prefix slicing:
+                // CalibratedWiden calibrates against the whole release
+                // set, so a sliced view would misstate the defense).
+                let config = ScenarioConfig {
+                    releases: max_r,
+                    k: stage_k,
+                    defense: Some(policy.clone()),
+                    ..base.clone()
+                };
+                let scenario = generate_scenario(table, &anonymizer, &config)
+                    .expect("defended eval scenario generates over the quick world");
+                let decoys = eval_decoys(n, &scenario.targets);
+                let report = eval_cell(&scenario.sources, &scenario.targets, &decoys, n);
+                fred_obs::counter("eval.cells", 1);
+                fred_obs::counter("eval.scored_rows", (report.targets + report.decoys) as u64);
+                rows.push(EvalCellRow {
+                    k: stage_k,
+                    releases: max_r,
+                    defense: policy.label(),
+                    targets: report.targets,
+                    decoys: report.decoys,
+                    auc: report.auc,
+                    tpr_at_fpr3: report.tpr_at_low_fpr,
+                    epsilon: report.epsilon,
+                });
+            }
+        }
+        rows
+    });
+    for row in &rows {
+        assert!(
+            row.auc.is_finite() && row.tpr_at_fpr3.is_finite() && row.epsilon.is_finite(),
+            "eval cell k = {} R = {} `{}` carries a non-finite value: {row:?}",
+            row.k,
+            row.releases,
+            row.defense
+        );
+    }
+    EvalBench { wall_ms, rows }
 }
 
 /// Runs the composition sweep (`R = 1..=3` at the tracked k) on a world
@@ -1980,6 +2309,19 @@ fn large_100k_bench(config: &WorldConfig, size: usize) -> Large100kBench {
         .expect("release builds from a valid partition");
     let harvest_config = HarvestConfig::default();
     let sharded_engine = ShardedSearchEngine::build(&world.web, plan);
+    // A capped plan holds more rows per shard than the derivation rate
+    // suggests; the accounting rows must say so or a 1M-row run reads
+    // 64 shards as "one per 12.5k rows".
+    let capped = ShardPlan::for_size_saturated(n);
+    if capped {
+        fred_obs::counter("shard.plan_capped", 1);
+        eprintln!(
+            "note: shard plan saturated at {} shards for {} rows ({} rows/shard)",
+            plan.shards(),
+            n,
+            n / plan.shards()
+        );
+    }
     let shard_rows: Vec<ShardBenchRow> = plan
         .row_ranges(n)
         .into_iter()
@@ -1988,6 +2330,7 @@ fn large_100k_bench(config: &WorldConfig, size: usize) -> Large100kBench {
             shard,
             rows: range.len(),
             pages: sharded_engine.pages_in_shard(shard),
+            capped,
         })
         .collect();
 

@@ -25,6 +25,8 @@ pub const SWEEP_END_TO_END: &str = "sweep_end_to_end";
 pub const COMPOSITION_SWEEP: &str = "composition_sweep";
 /// The defense-policy sweep next to it.
 pub const COMPOSITION_DEFENSE: &str = "composition_defense";
+/// The hypothesis-testing evaluation (ROC / TPR@low-FPR / empirical ε).
+pub const EVAL_SWEEP: &str = "eval_sweep";
 /// The fault-injection sweep.
 pub const ROBUSTNESS_SWEEP: &str = "robustness_sweep";
 
@@ -76,6 +78,7 @@ pub const TIMING_ROSTER: &[&str] = &[
     SWEEP_END_TO_END,
     COMPOSITION_SWEEP,
     COMPOSITION_DEFENSE,
+    EVAL_SWEEP,
     ROBUSTNESS_SWEEP,
     WORLD_BUILD_LARGE,
     MDAV_K5_LARGE,
@@ -113,6 +116,8 @@ pub mod runner {
     pub const COMPOSITION: &str = "composition";
     /// The defense-policy sweep.
     pub const DEFENSE: &str = "defense";
+    /// The hypothesis-testing evaluation.
+    pub const EVAL: &str = "eval";
     /// The fault-injection sweep.
     pub const ROBUSTNESS: &str = "robustness";
     /// The large-world block.
@@ -129,6 +134,7 @@ pub mod runner {
         SWEEP,
         COMPOSITION,
         DEFENSE,
+        EVAL,
         ROBUSTNESS,
         LARGE,
         LARGE_100K,

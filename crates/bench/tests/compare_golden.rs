@@ -2,13 +2,16 @@
 //! `BENCH_sweep.json` snapshots — one clean, one poisoned with a NaN
 //! composition row, a missing `composition_defense` block, a
 //! robustness block whose zero-fault row both survived defects and
-//! drifted, and a profile block whose `mdav` stage row vanished and
-//! whose `faults.fields_imputed` counter disagrees with the robustness
-//! ledger — pin [`fred_bench::compare`] end to end against the
-//! *written* baseline format, not just against JSON the tests
-//! synthesize themselves. The parser has twice grown silent-skip bugs
-//! against real files (PR 4); these fixtures make every documented
-//! fire/stay-silent decision a committed artifact.
+//! drifted, a profile block whose `mdav` stage row vanished and whose
+//! `faults.fields_imputed` counter disagrees with the robustness
+//! ledger, an eval block with a NaN ε row, an AUC above 1, and a
+//! drifted undefended cell, a shard row misreporting cap saturation,
+//! and a `harvest.name_ms` histogram that disagrees with the
+//! `harvest.names` counter — pin [`fred_bench::compare`] end to end
+//! against the *written* baseline format, not just against JSON the
+//! tests synthesize themselves. The parser has twice grown silent-skip
+//! bugs against real files (PR 4); these fixtures make every
+//! documented fire/stay-silent decision a committed artifact.
 
 use fred_bench::compare::{compare_baselines, parse_baseline};
 
@@ -25,6 +28,7 @@ fn clean_fixture_parses_every_documented_block() {
         "mdav_k5",
         "composition_sweep",
         "composition_defense",
+        "eval_sweep",
         "robustness_sweep",
         "world_build_large",
         "harvest_sequential_large",
@@ -107,19 +111,45 @@ fn clean_fixture_parses_every_documented_block() {
         big.digests.get("intersect_sharded"),
         Some(&"e6b20a9f7d1c5438".to_owned())
     );
+    // Every shard row carries the cap-saturation flag, false below the
+    // 64-shard derivation ceiling.
+    assert!(big.shard_rows.iter().all(|r| !r.3));
+    // The hypothesis-testing eval block: four undefended cells, one per
+    // deployed defense at the stage (k, R), every metric finite.
+    assert_eq!(b.eval.len(), 7);
+    assert_eq!(b.eval.iter().filter(|r| r.defense == "none").count(), 4);
+    let top = b
+        .eval
+        .iter()
+        .find(|r| r.k == 5 && r.releases == 3 && r.defense == "none")
+        .expect("undefended stage cell present");
+    assert_eq!((top.targets, top.decoys), (60, 51));
+    assert_eq!(
+        (top.auc, top.tpr_at_fpr3, top.epsilon),
+        (0.9984, 0.9167, 4.5499)
+    );
+    assert!(b
+        .eval
+        .iter()
+        .any(|r| r.defense == "coordinated_seeds" && r.epsilon == 1.6917));
     // The profile block: header, overhead, one self-time row per runner
     // stage, and the counter rows the reconciliation gate reads.
     let prof = b.profile.as_ref().expect("clean fixture carries a profile");
     assert!(!prof.deterministic);
-    assert_eq!(prof.spans_total, 10);
+    assert_eq!(prof.spans_total, 11);
     assert_eq!(prof.span_tree_digest, "3f94c1d2a07be586");
     assert_eq!(prof.overhead_probe_calls, 1_000_000);
     assert_eq!(prof.overhead_pct_of_large, 0.352);
-    assert_eq!(prof.stages.len(), 9);
+    assert_eq!(prof.stages.len(), 10);
     assert!(prof.stages.iter().any(|s| s.stage == "mdav"));
+    assert!(prof.stages.iter().any(|s| s.stage == "eval"));
     assert_eq!(prof.counters.get("faults.pages_rejected"), Some(&45));
     assert_eq!(prof.counters.get("faults.workers_restarted"), Some(&19));
     assert_eq!(prof.counters.get("faults.shards_lost"), Some(&6));
+    // The latency histogram the obs-reconciliation gate reads, agreeing
+    // with its counter to the unit.
+    assert_eq!(prof.counters.get("harvest.names"), Some(&226));
+    assert_eq!(prof.hists.get("harvest.name_ms"), Some(&(226, 7.150)));
     assert!(b.malformed_rows.is_empty(), "{:?}", b.malformed_rows);
 }
 
@@ -135,8 +165,9 @@ fn clean_self_diff_stays_silent_and_notes_every_series() {
         "defense `overlap_cap_0.90`",
         "defense `calibrated_widen_k5`",
         "robustness: precision",
-        "profile: 10 spans",
+        "profile: 11 spans",
         "large_100k: 100000 rows across 8 shard(s)",
+        "eval: 7 cell(s)",
     ] {
         assert!(
             report.notes.iter().any(|n| n.contains(expected)),
@@ -149,10 +180,13 @@ fn clean_self_diff_stays_silent_and_notes_every_series() {
 #[test]
 fn poisoned_fresh_run_fires_exactly_the_documented_gates() {
     let b = parse_baseline(POISONED);
-    // Both NaN rows (one composition, one robustness) must surface as
-    // malformed, not silently drop.
-    assert_eq!(b.malformed_rows.len(), 2, "{:?}", b.malformed_rows);
+    // All three NaN rows (composition, robustness, eval ε) must surface
+    // as malformed, not silently drop.
+    assert_eq!(b.malformed_rows.len(), 3, "{:?}", b.malformed_rows);
     assert!(b.malformed_rows.iter().all(|l| l.contains("NaN")));
+    // The NaN ε row drops out of the parsed eval series; the drifted
+    // undefended cell and the impossible defended cell stay in.
+    assert_eq!(b.eval.len(), 2);
     // The defense block is gone entirely.
     assert!(b.composition_defense.is_empty());
     assert_eq!(b.defense_k, None);
@@ -173,23 +207,52 @@ fn poisoned_fresh_run_fires_exactly_the_documented_gates() {
     assert_eq!((big.shards, big.shard_rows.len()), (2, 1));
 
     let report = compare_baselines(CLEAN, POISONED);
-    // Exactly thirteen findings: the two timed stages that vanished, the
+    // Exactly nineteen findings: the two timed stages that vanished, the
     // defense series that vanished, the zero-fault robustness row that
     // survived defects AND drifted from the pin, the 10% row breaking
-    // both the precision slack and the gain floor, the two NaN rows, the
-    // profile stage row that vanished, the obs counter that disagrees
-    // with the parsed robustness ledger, and the sharded block's two
-    // structural defects: one shard-accounting row for two shards, and a
-    // peak rss over the ceiling. The NaN-adjacent composition series
-    // itself (rows 1 and 3 still parse, still increasing) must NOT
-    // additionally trip the monotonicity gate, and the NaN robustness
-    // row must not be held to the envelope it failed to parse into —
-    // nor feed the counter reconciliation, which sums the *parsed* rows
-    // only. The single shard row covers all 200 master rows, so the
-    // coverage gate stays silent, and the (size, shards) pair differs
-    // from the committed block, so the cross-run digest pin is skipped
-    // (a note), not fired.
-    assert_eq!(report.violations.len(), 13, "{:?}", report.violations);
+    // both the precision slack and the gain floor, the three NaN rows,
+    // the profile stage row that vanished, the obs counter that
+    // disagrees with the parsed robustness ledger, the histogram whose
+    // observation count disagrees with its counter, the sharded block's
+    // three structural defects (one shard-accounting row for two shards,
+    // a peak rss over the ceiling, a shard row claiming cap saturation
+    // far below the derivation ceiling), and the eval block's three: an
+    // AUC above a perfect test, a defended cell whose undefended
+    // reference was eaten by the NaN row, and an undefended cell that
+    // drifted from the committed pin. The NaN-adjacent composition
+    // series itself (rows 1 and 3 still parse, still increasing) must
+    // NOT additionally trip the monotonicity gate, and the NaN
+    // robustness row must not be held to the envelope it failed to
+    // parse into — nor feed the counter reconciliation, which sums the
+    // *parsed* rows only. The single shard row covers all 200 master
+    // rows, so the coverage gate stays silent, and the (size, shards)
+    // pair differs from the committed block, so the cross-run digest
+    // pin is skipped (a note), not fired. The surviving eval pair (one
+    // row per (R, defense) group) must not trip the ε-vs-k gate.
+    assert_eq!(report.violations.len(), 19, "{:?}", report.violations);
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.contains("AUC 1.2000 is outside")));
+    assert!(report.violations.iter().any(
+        |v| v.contains("eval defended cell `overlap_cap_0.90` at (k=5, R=3) has no undefended")
+    ));
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.contains("eval ε drifted at (k=2, R=3, `none`)")));
+    assert!(!report
+        .violations
+        .iter()
+        .any(|v| v.contains("ε rose with k")));
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.contains("misreport cap saturation at 200 rows")));
+    assert!(report.violations.iter().any(|v| {
+        v.contains("obs histogram `harvest.name_ms` recorded 226")
+            && v.contains("`harvest.names` = 230")
+    }));
     assert!(report
         .violations
         .iter()
@@ -253,7 +316,7 @@ fn poisoned_fresh_run_fires_exactly_the_documented_gates() {
             .iter()
             .filter(|v| v.contains("non-finite or unparseable") && v.contains("NaN"))
             .count(),
-        2,
+        3,
         "{:?}",
         report.violations
     );
@@ -267,19 +330,20 @@ fn poisoned_fresh_run_fires_exactly_the_documented_gates() {
 fn poisoned_committed_baseline_refuses_to_gate() {
     // A corrupt committed baseline must not silently disarm its own
     // gates: each NaN row is a violation in itself, prompting a
-    // regenerate, even when the fresh run is pristine. The third finding
-    // is the zero-fault pin working in reverse — the clean fresh zero
-    // row legitimately differs from the dirty committed one, and drift
-    // from the committed reference is an alarm in either direction.
+    // regenerate, even when the fresh run is pristine. The other two
+    // findings are the cross-run pins working in reverse — the clean
+    // fresh zero-fault row and undefended eval cell legitimately differ
+    // from the dirty committed ones, and drift from the committed
+    // reference is an alarm in either direction.
     let report = compare_baselines(POISONED, CLEAN);
-    assert_eq!(report.violations.len(), 3, "{:?}", report.violations);
+    assert_eq!(report.violations.len(), 5, "{:?}", report.violations);
     assert_eq!(
         report
             .violations
             .iter()
             .filter(|v| v.contains("committed baseline carries"))
             .count(),
-        2,
+        3,
         "{:?}",
         report.violations
     );
@@ -287,6 +351,10 @@ fn poisoned_committed_baseline_refuses_to_gate() {
         .violations
         .iter()
         .any(|v| v.contains("zero-fault robustness row drifted")));
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.contains("eval ε drifted at (k=2, R=3, `none`)")));
     // A fresh run *adding* the defense block on top of a committed
     // baseline without one is growth, not a regression — nothing else
     // fires.
@@ -303,4 +371,34 @@ fn poisoned_committed_baseline_refuses_to_gate() {
         .notes
         .iter()
         .any(|n| n.contains("large_100k config changed")));
+}
+
+#[test]
+fn vanished_eval_block_fires_the_disappearance_gate() {
+    // A fresh run that silently drops the hypothesis-testing block is a
+    // regression, not growth-in-reverse: strip the eval block (and only
+    // it) from the clean fixture and the dedicated gate must fire. With
+    // no fresh cells, every other eval gate — including the cross-run
+    // drift pin — has nothing to bind to and must stay silent rather
+    // than panic or double-report.
+    let mut stripped = String::new();
+    let mut in_eval = false;
+    for line in CLEAN.lines() {
+        if line.starts_with("  \"eval\": {") {
+            in_eval = true;
+            continue;
+        }
+        if in_eval {
+            if line == "  }," {
+                in_eval = false;
+            }
+            continue;
+        }
+        stripped.push_str(line);
+        stripped.push('\n');
+    }
+    assert!(!parse_baseline(&stripped).eval.iter().any(|_| true));
+    let report = compare_baselines(CLEAN, &stripped);
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert!(report.violations[0].contains("eval (hypothesis-testing) block disappeared"));
 }

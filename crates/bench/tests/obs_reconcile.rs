@@ -2,7 +2,7 @@
 //! the pipeline's own ledgers, and deterministic traces must be
 //! bit-identical across runs.
 //!
-//! Two properties:
+//! Three properties:
 //!
 //! * **Ledger reconciliation** — on a faulted `--quick`-shaped run, every
 //!   `faults.*` counter equals the summed degradation fields of the
@@ -12,6 +12,11 @@
 //!   attempt loop), and injected stage transients fire *before* the
 //!   compute closure runs, so retries never double-count — any gap is
 //!   dropped instrumentation.
+//! * **Histogram reconciliation** — the `harvest.name_ms` latency
+//!   histogram and the `harvest.names` counter are bumped by the same
+//!   classify-extract tail (cached, sharded and tolerant paths all
+//!   funnel through it), so the histogram's observation count equals
+//!   the counter to the unit, and its buckets sum to that count.
 //! * **Deterministic trace bit-identity** — two zero-fault checkpointed
 //!   runs of the same configuration (separate stores, both computing
 //!   fresh) drain byte-identical trace JSON and the same structural
@@ -124,6 +129,58 @@ fn faulted_counters_reconcile_with_both_ledgers_across_seeds() {
 }
 
 #[test]
+fn harvest_latency_histogram_reconciles_with_the_names_counter() {
+    let _g = obs_lock();
+    for seed in [7, 2008] {
+        let bench = quick_bench(
+            &WorldConfig {
+                size: 30,
+                seed,
+                ..WorldConfig::default()
+            },
+            2,
+            4,
+            1,
+            &QuickBenchOptions {
+                large_size: None,
+                faults: Some(0.1),
+                profile: true,
+                ..QuickBenchOptions::default()
+            },
+        );
+        let prof = bench
+            .profile
+            .as_ref()
+            .expect("profiled run carries a profile block");
+        let hist = prof
+            .hists
+            .iter()
+            .find(|h| h.name == "harvest.name_ms")
+            .expect("profiled harvest records the per-name latency histogram");
+        // Non-vacuous: the quick world's harvest classifies real pages.
+        assert!(
+            hist.count > 0,
+            "seed {seed}: harvest recorded no per-name latencies at all"
+        );
+        assert_eq!(
+            hist.count,
+            counter(&bench, "harvest.names"),
+            "seed {seed}: histogram observations disagree with `harvest.names` — \
+             both are written by the same classify-extract tail"
+        );
+        assert_eq!(
+            hist.buckets.iter().sum::<u64>(),
+            hist.count,
+            "seed {seed}: histogram buckets do not sum to the observation count"
+        );
+        assert!(
+            hist.sum_ms.is_finite() && hist.sum_ms >= 0.0,
+            "seed {seed}: histogram sum must be finite and non-negative"
+        );
+    }
+}
+
+#[test]
 fn deterministic_trace_is_bit_identical_across_runs() {
     let _g = obs_lock();
     let run = |dir: PathBuf| {
@@ -167,6 +224,7 @@ fn deterministic_trace_is_bit_identical_across_runs() {
     // later resumed run would skip compute closures and legitimately
     // count differently.
     assert!(prof.counters.is_empty());
+    assert!(prof.hists.is_empty());
     // Every duration in the tree is zeroed at source.
     fn all_zero(node: &fred_obs::SpanNode) -> bool {
         node.start_ms == 0.0 && node.wall_ms == 0.0 && node.children.iter().all(all_zero)

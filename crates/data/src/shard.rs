@@ -54,6 +54,15 @@ impl ShardPlan {
         Self::new(shards, seed)
     }
 
+    /// True when [`ShardPlan::for_size`] hit the `MAX_DERIVED_SHARDS`
+    /// ceiling for this row count — the plan holds *more* than
+    /// `ROWS_PER_SHARD` rows per shard, not the one-per-12.5k-rows a
+    /// reader of the shard count alone would infer. Accounting rows
+    /// derived from a capped plan must say so.
+    pub fn for_size_saturated(rows: usize) -> bool {
+        rows / ROWS_PER_SHARD > MAX_DERIVED_SHARDS
+    }
+
     /// Number of shards in the plan (always at least 1).
     pub fn shards(&self) -> usize {
         self.shards
@@ -144,6 +153,21 @@ mod tests {
         assert_eq!(ShardPlan::for_size(120, 0).shards(), 1);
         assert_eq!(ShardPlan::for_size(100_000, 0).shards(), 8);
         assert_eq!(ShardPlan::for_size(10_000_000, 0).shards(), 64);
+    }
+
+    #[test]
+    fn for_size_saturation_matches_the_cap() {
+        // Below and at the cap the derivation is exact, not saturated.
+        assert!(!ShardPlan::for_size_saturated(0));
+        assert!(!ShardPlan::for_size_saturated(100_000));
+        assert!(!ShardPlan::for_size_saturated(64 * 12_500));
+        // Strictly past 64 full shards the count is a floor, not a rate.
+        assert!(ShardPlan::for_size_saturated(65 * 12_500));
+        assert!(ShardPlan::for_size_saturated(1_000_000));
+        assert!(ShardPlan::for_size_saturated(10_000_000));
+        // The probe agrees with the plan it describes: saturated sizes
+        // all derive exactly the ceiling.
+        assert_eq!(ShardPlan::for_size(65 * 12_500, 0).shards(), 64);
     }
 
     #[test]

@@ -1,0 +1,363 @@
+//! Hypothesis-testing adversary metrics over the composition attack.
+//!
+//! The sweep reports disclosure dollars; this crate reports how
+//! confidently the adversary can *distinguish a target from a decoy* —
+//! the framing of "Privacy against a Hypothesis Testing Adversary". Each
+//! row (core target or matched decoy) is pushed through the identical
+//! scoring path ([`identifiability_score`] over its
+//! [`TargetIntersection`]), the decision threshold is swept over every
+//! distinct score, and the resulting (FPR, TPR) curve is distilled into
+//! three gated numbers:
+//!
+//! - **AUC** — trapezoidal area under the ROC curve; 0.5 is a blind
+//!   adversary, 1.0 perfect separation.
+//! - **TPR@FPR=10⁻³** ([`LOW_FPR`]) — the highest true-positive rate at
+//!   essentially zero false positives, the operating point a real
+//!   re-identification campaign runs at. With a decoy population smaller
+//!   than 1000 this is the TPR at FPR = 0 exactly.
+//! - **empirical ε** — `max` over thresholds of `ln((1−FNR)/FPR)`, the
+//!   largest likelihood-ratio bound the observed (FPR, FNR) pairs
+//!   witness, directly comparable to a differential-privacy ε.
+//!
+//! ## The finite-ε convention
+//!
+//! A perfect threshold has FPR = 0 and the raw ratio is +∞; a NaN or ∞
+//! would sail straight through the bench's strict-monotonicity gates
+//! (every NaN comparison is false), so both rates are Laplace-corrected
+//! with the +1/2 rule before the log: `FPR' = (FP + 1/2)/(D + 1)`,
+//! `FNR' = (FN + 1/2)/(T + 1)` for `T` targets and `D` decoys. Every
+//! emitted ε is therefore finite and capped at [`epsilon_ceiling`] —
+//! the corrected value of a perfect separator — which grows only
+//! logarithmically in the population sizes.
+//!
+//! ## Determinism
+//!
+//! Ties are handled deterministically by construction: thresholds are
+//! the distinct scores themselves (sorted by `f64::total_cmp`), and the
+//! classifier is `score >= threshold`, so equal scores always flip
+//! together and the output is invariant under permutation of the inputs.
+//! Every metric depends on the scores only through their ordering, so
+//! any strictly increasing transform of the scores leaves the report
+//! bit-identical (pinned by property test).
+
+use fred_composition::TargetIntersection;
+
+/// The low-FPR operating point the `tpr_at_fpr3` column reports.
+pub const LOW_FPR: f64 = 1e-3;
+
+/// Why an evaluation could not be computed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// One of the populations was empty — the hypothesis test needs
+    /// both classes.
+    EmptyPopulation(&'static str),
+    /// A score was NaN or infinite; poisoned inputs are rejected at the
+    /// door instead of corrupting the curve.
+    NonFiniteScore {
+        /// Which population carried the bad score.
+        population: &'static str,
+        /// Index into that population's score slice.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::EmptyPopulation(which) => {
+                write!(f, "eval needs a non-empty {which} population")
+            }
+            EvalError::NonFiniteScore { population, index } => {
+                write!(f, "non-finite score at {population}[{index}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Convenience alias for eval results.
+pub type Result<T> = std::result::Result<T, EvalError>;
+
+/// One operating point of the threshold sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RocPoint {
+    /// Decision threshold (classifier: "target" iff `score >= threshold`).
+    /// `+∞` for the all-negative anchor at (0, 0).
+    pub threshold: f64,
+    /// False-positive rate: decoys at or above the threshold.
+    pub fpr: f64,
+    /// True-positive rate: targets at or above the threshold.
+    pub tpr: f64,
+}
+
+/// The distilled hypothesis-testing report for one population pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReport {
+    /// Number of target scores.
+    pub targets: usize,
+    /// Number of decoy scores.
+    pub decoys: usize,
+    /// The full ROC curve, ascending in FPR, from the (0, 0) anchor to
+    /// (1, 1) at the lowest score.
+    pub roc: Vec<RocPoint>,
+    /// Trapezoidal area under the ROC curve.
+    pub auc: f64,
+    /// Highest TPR among thresholds with FPR ≤ [`LOW_FPR`].
+    pub tpr_at_low_fpr: f64,
+    /// `max` over thresholds of `ln((1−FNR')/FPR')` with +1/2-corrected
+    /// rates — always finite, at most [`epsilon_ceiling`].
+    pub epsilon: f64,
+}
+
+/// The largest ε [`evaluate_scores`] can emit for the given population
+/// sizes: the +1/2-corrected likelihood ratio of a perfect separator
+/// (FP = 0, FN = 0). Every emitted ε is ≤ this, and a perfectly
+/// separated score set reaches it exactly (pinned by property test).
+pub fn epsilon_ceiling(targets: usize, decoys: usize) -> f64 {
+    corrected_epsilon(targets, 0, targets, decoys)
+}
+
+/// `ln((1−FNR')/FPR')` with the +1/2 Laplace correction applied to both
+/// rates: `FNR' = (FN + 1/2)/(T + 1)`, `FPR' = (FP + 1/2)/(D + 1)`.
+fn corrected_epsilon(tp: usize, fp: usize, targets: usize, decoys: usize) -> f64 {
+    let fnr = (targets - tp) as f64 + 0.5;
+    let tpr_corrected = 1.0 - fnr / (targets as f64 + 1.0);
+    let fpr_corrected = (fp as f64 + 0.5) / (decoys as f64 + 1.0);
+    (tpr_corrected / fpr_corrected).ln()
+}
+
+/// Sweeps the decision threshold over every distinct score and distills
+/// the ROC curve, AUC, TPR@[`LOW_FPR`] and the empirical ε.
+///
+/// Rejects empty populations and non-finite scores instead of emitting
+/// poisoned metrics. Output is deterministic: invariant under
+/// permutation of either slice, and equal scores always classify
+/// together (the threshold set is the distinct scores themselves).
+pub fn evaluate_scores(target_scores: &[f64], decoy_scores: &[f64]) -> Result<EvalReport> {
+    if target_scores.is_empty() {
+        return Err(EvalError::EmptyPopulation("target"));
+    }
+    if decoy_scores.is_empty() {
+        return Err(EvalError::EmptyPopulation("decoy"));
+    }
+    for (population, scores) in [("target", target_scores), ("decoy", decoy_scores)] {
+        if let Some(index) = scores.iter().position(|s| !s.is_finite()) {
+            return Err(EvalError::NonFiniteScore { population, index });
+        }
+    }
+
+    // Sorted copies make each threshold's counts a binary search instead
+    // of a scan; descending thresholds walk the curve from (0, 0) to
+    // (1, 1).
+    let mut targets_sorted = target_scores.to_vec();
+    let mut decoys_sorted = decoy_scores.to_vec();
+    targets_sorted.sort_by(f64::total_cmp);
+    decoys_sorted.sort_by(f64::total_cmp);
+
+    let mut thresholds: Vec<f64> = targets_sorted
+        .iter()
+        .chain(decoys_sorted.iter())
+        .copied()
+        .collect();
+    thresholds.sort_by(f64::total_cmp);
+    thresholds.dedup_by(|a, b| a.total_cmp(b).is_eq());
+    thresholds.reverse();
+
+    let at_or_above = |sorted: &[f64], t: f64| -> usize {
+        // First index with value >= t; everything from there counts.
+        sorted.len() - sorted.partition_point(|&s| s < t)
+    };
+
+    let n_targets = target_scores.len();
+    let n_decoys = decoy_scores.len();
+    let mut roc = Vec::with_capacity(thresholds.len() + 1);
+    roc.push(RocPoint {
+        threshold: f64::INFINITY,
+        fpr: 0.0,
+        tpr: 0.0,
+    });
+    let mut epsilon = corrected_epsilon(0, 0, n_targets, n_decoys);
+    let mut tpr_at_low_fpr = 0.0f64;
+    for &t in &thresholds {
+        let tp = at_or_above(&targets_sorted, t);
+        let fp = at_or_above(&decoys_sorted, t);
+        let tpr = tp as f64 / n_targets as f64;
+        let fpr = fp as f64 / n_decoys as f64;
+        if fpr <= LOW_FPR && tpr > tpr_at_low_fpr {
+            tpr_at_low_fpr = tpr;
+        }
+        epsilon = epsilon.max(corrected_epsilon(tp, fp, n_targets, n_decoys));
+        roc.push(RocPoint {
+            threshold: t,
+            fpr,
+            tpr,
+        });
+    }
+
+    let mut auc = 0.0f64;
+    for pair in roc.windows(2) {
+        auc += (pair[1].fpr - pair[0].fpr) * (pair[0].tpr + pair[1].tpr) / 2.0;
+    }
+
+    Ok(EvalReport {
+        targets: n_targets,
+        decoys: n_decoys,
+        roc,
+        auc,
+        tpr_at_low_fpr,
+        epsilon,
+    })
+}
+
+/// The adversary's per-row identifiability score over a composed
+/// intersection — computed by the *identical* path for core targets and
+/// decoys, which is what makes the hypothesis test honest.
+///
+/// Evidence compounds per release seen: `sources_seen · ln(n/|C|)` for
+/// candidate set `C` (a row pinned to one candidate across three
+/// releases scores three times a single-release pin), plus a bounded
+/// feasible-box term `1/(1+w̄)` so narrower QI boxes break score ties
+/// between rows with equal candidate counts. A row absent from every
+/// release scores 0 — the adversary learned nothing.
+///
+/// Always finite: candidate counts are clamped to ≥ 1 and the width
+/// term is in (0, 1].
+pub fn identifiability_score(inter: &TargetIntersection, n_master: usize) -> f64 {
+    if inter.sources_seen == 0 {
+        return 0.0;
+    }
+    let candidates = inter.candidates().max(1) as f64;
+    let linkage = (n_master.max(1) as f64 / candidates).ln();
+    let width_evidence = match inter.mean_feasible_width() {
+        Some(width) if width.is_finite() && width >= 0.0 => 1.0 / (1.0 + width),
+        _ => 0.0,
+    };
+    inter.sources_seen as f64 * linkage + width_evidence
+}
+
+/// Scores a batch of intersections (index-aligned with the input).
+pub fn score_rows(inters: &[TargetIntersection], n_master: usize) -> Vec<f64> {
+    inters
+        .iter()
+        .map(|inter| identifiability_score(inter, n_master))
+        .collect()
+}
+
+/// Scores both populations through [`identifiability_score`] and runs
+/// the threshold sweep — the one-call form the bench stage uses.
+pub fn evaluate_intersections(
+    targets: &[TargetIntersection],
+    decoys: &[TargetIntersection],
+    n_master: usize,
+) -> Result<EvalReport> {
+    evaluate_scores(
+        &score_rows(targets, n_master),
+        &score_rows(decoys, n_master),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_separated_scores_reach_the_ceiling() {
+        let targets = [10.0, 11.0, 12.0];
+        let decoys = [1.0, 2.0, 3.0, 4.0];
+        let report = evaluate_scores(&targets, &decoys).unwrap();
+        assert!((report.auc - 1.0).abs() < 1e-12, "auc = {}", report.auc);
+        assert_eq!(report.tpr_at_low_fpr, 1.0);
+        let ceiling = epsilon_ceiling(3, 4);
+        assert!(
+            (report.epsilon - ceiling).abs() < 1e-12,
+            "epsilon {} vs ceiling {ceiling}",
+            report.epsilon
+        );
+        assert!(report.epsilon.is_finite());
+    }
+
+    #[test]
+    fn inverted_scores_auc_zero() {
+        let report = evaluate_scores(&[1.0, 2.0], &[10.0, 11.0]).unwrap();
+        assert!(report.auc.abs() < 1e-12, "auc = {}", report.auc);
+        assert_eq!(report.tpr_at_low_fpr, 0.0);
+    }
+
+    #[test]
+    fn identical_scores_are_chance() {
+        // Every row ties: one threshold classifies everything positive,
+        // so the ROC is the diagonal's endpoints and AUC is 1/2.
+        let report = evaluate_scores(&[5.0, 5.0, 5.0], &[5.0, 5.0]).unwrap();
+        assert!((report.auc - 0.5).abs() < 1e-12, "auc = {}", report.auc);
+        assert_eq!(report.roc.len(), 2);
+        assert_eq!(report.tpr_at_low_fpr, 0.0);
+    }
+
+    #[test]
+    fn roc_is_monotone_and_anchored() {
+        let report =
+            evaluate_scores(&[3.0, 1.0, 4.0, 1.0, 5.0], &[2.0, 7.0, 1.0, 8.0, 2.0]).unwrap();
+        assert_eq!(report.roc[0].fpr, 0.0);
+        assert_eq!(report.roc[0].tpr, 0.0);
+        let last = report.roc.last().unwrap();
+        assert_eq!(last.fpr, 1.0);
+        assert_eq!(last.tpr, 1.0);
+        for pair in report.roc.windows(2) {
+            assert!(pair[1].fpr >= pair[0].fpr);
+            assert!(pair[1].tpr >= pair[0].tpr);
+        }
+    }
+
+    #[test]
+    fn input_order_is_irrelevant() {
+        let a = evaluate_scores(&[3.0, 1.0, 2.0], &[0.5, 2.5]).unwrap();
+        let b = evaluate_scores(&[1.0, 2.0, 3.0], &[2.5, 0.5]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn poisoned_inputs_are_rejected() {
+        assert_eq!(
+            evaluate_scores(&[], &[1.0]),
+            Err(EvalError::EmptyPopulation("target"))
+        );
+        assert_eq!(
+            evaluate_scores(&[1.0], &[]),
+            Err(EvalError::EmptyPopulation("decoy"))
+        );
+        assert_eq!(
+            evaluate_scores(&[1.0, f64::NAN], &[1.0]),
+            Err(EvalError::NonFiniteScore {
+                population: "target",
+                index: 1
+            })
+        );
+        assert_eq!(
+            evaluate_scores(&[1.0], &[f64::INFINITY]),
+            Err(EvalError::NonFiniteScore {
+                population: "decoy",
+                index: 0
+            })
+        );
+    }
+
+    #[test]
+    fn epsilon_ceiling_grows_with_population() {
+        assert!(epsilon_ceiling(10, 10) < epsilon_ceiling(10, 100));
+        assert!(epsilon_ceiling(10, 10) < epsilon_ceiling(100, 10));
+        assert!(epsilon_ceiling(1000, 1000).is_finite());
+    }
+
+    #[test]
+    fn unseen_rows_score_zero() {
+        let inter = TargetIntersection {
+            master_row: 3,
+            candidate_rows: Vec::new(),
+            feasible: Vec::new(),
+            centroid_hint: Vec::new(),
+            sources_seen: 0,
+        };
+        assert_eq!(identifiability_score(&inter, 100), 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests pinning the eval math: chance-level AUC for a blind
+//! adversary, ceiling behaviour under perfect separation, invariance
+//! under strictly monotone score transforms, and determinism under ties.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fred_eval::{epsilon_ceiling, evaluate_scores, EvalReport};
+
+/// Draws `n` scores from the same uniform distribution for both
+/// populations — an adversary with no signal.
+fn blind_scores(seed: u64, n: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut draw = |_: usize| rng.gen_range(0.0..1.0f64);
+    let targets: Vec<f64> = (0..n).map(&mut draw).collect();
+    let decoys: Vec<f64> = (0..n).map(&mut draw).collect();
+    (targets, decoys)
+}
+
+/// The order-dependent pieces of a report (thresholds are score-valued
+/// and *should* change under a transform; everything else must not).
+fn shape(report: &EvalReport) -> (Vec<(f64, f64)>, f64, f64, f64) {
+    (
+        report.roc.iter().map(|p| (p.fpr, p.tpr)).collect(),
+        report.auc,
+        report.tpr_at_low_fpr,
+        report.epsilon,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A seeded random-score adversary sits at chance level: AUC ≈ 0.5
+    /// (3-sigma band for 400-vs-400 samples) and ε stays far below the
+    /// perfect-separation ceiling.
+    #[test]
+    fn random_scores_are_chance_level(seed in 0u64..u64::MAX) {
+        let (targets, decoys) = blind_scores(seed, 400);
+        let report = evaluate_scores(&targets, &decoys).unwrap();
+        prop_assert!(
+            (report.auc - 0.5).abs() < 0.15,
+            "blind adversary AUC {} strayed from 0.5", report.auc
+        );
+        prop_assert!(report.epsilon.is_finite());
+        prop_assert!(report.epsilon < epsilon_ceiling(400, 400) / 2.0);
+    }
+
+    /// Perfectly separated scores reach AUC = 1.0 exactly and the
+    /// maximal *finite* ε — the +1/2-corrected ceiling, never ∞.
+    #[test]
+    fn separated_scores_reach_auc_one_and_the_epsilon_ceiling(
+        seed in 0u64..u64::MAX,
+        n_targets in 2usize..60,
+        n_decoys in 2usize..60,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let decoys: Vec<f64> = (0..n_decoys).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let targets: Vec<f64> = (0..n_targets).map(|_| rng.gen_range(2.0..3.0)).collect();
+        let report = evaluate_scores(&targets, &decoys).unwrap();
+        prop_assert!((report.auc - 1.0).abs() < 1e-12, "auc = {}", report.auc);
+        prop_assert_eq!(report.tpr_at_low_fpr, 1.0);
+        prop_assert!(report.epsilon.is_finite());
+        prop_assert_eq!(report.epsilon, epsilon_ceiling(n_targets, n_decoys));
+    }
+
+    /// Every metric depends on scores only through their ordering, so a
+    /// strictly increasing transform leaves the report bit-identical.
+    /// Integer-valued scores and integer affine coefficients keep f64
+    /// arithmetic exact, so the transform provably preserves ordering
+    /// and distinctness.
+    #[test]
+    fn metrics_invariant_under_monotone_transform(
+        seed in 0u64..u64::MAX,
+        scale in 1u32..64,
+        shift in -1000i32..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut draw = |n: usize| -> Vec<f64> {
+            (0..n).map(|_| f64::from(rng.gen_range(0..4096u32))).collect()
+        };
+        let targets = draw(50);
+        let decoys = draw(70);
+        let transform = |s: &f64| s * f64::from(scale) + f64::from(shift);
+        let base = evaluate_scores(&targets, &decoys).unwrap();
+        let mapped = evaluate_scores(
+            &targets.iter().map(transform).collect::<Vec<_>>(),
+            &decoys.iter().map(transform).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        prop_assert_eq!(shape(&base), shape(&mapped));
+    }
+
+    /// Ties flip together and input order is irrelevant: scores drawn
+    /// from a 4-value alphabet produce the same report under any
+    /// permutation, and re-running is bit-identical.
+    #[test]
+    fn tied_scores_evaluate_deterministically(
+        seed in 0u64..u64::MAX,
+        rot_t in 1usize..39,
+        rot_d in 1usize..29,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut draw = |n: usize| -> Vec<f64> {
+            (0..n).map(|_| f64::from(rng.gen_range(0..4u32))).collect()
+        };
+        let targets = draw(40);
+        let decoys = draw(30);
+        let base = evaluate_scores(&targets, &decoys).unwrap();
+        prop_assert_eq!(&base, &evaluate_scores(&targets, &decoys).unwrap());
+        let mut targets_rot = targets.clone();
+        targets_rot.rotate_left(rot_t);
+        let mut decoys_rot = decoys.clone();
+        decoys_rot.rotate_left(rot_d);
+        prop_assert_eq!(&base, &evaluate_scores(&targets_rot, &decoys_rot).unwrap());
+    }
+}
